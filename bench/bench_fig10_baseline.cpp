@@ -1,0 +1,58 @@
+// Figure 10 (baseline convergence test, §IV-A): six clusters x 40 virtual
+// hosts, 43,200 jobs over six hours at 95 % load, fairshare-only
+// scheduling with the percental projection, policy targets equal to the
+// workload's actual usage shares. The system should converge towards
+// balance: cumulative usage shares approach the targets and all users'
+// priorities approach the 0.5 balance point.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace aequus;
+
+int main(int argc, char** argv) {
+  bench::print_banner("Figure 10: baseline six-cluster convergence",
+                      "Espling et al., IPPS'14, Section IV-A test 1");
+
+  const std::size_t jobs = bench::jobs_from_argv(argc, argv, bench::kTestbedJobs);
+  const workload::Scenario scenario = workload::baseline_scenario(2012, jobs);
+  std::printf("scenario: %d clusters x %d hosts, %zu jobs, %.0f s, target load %.0f%%\n\n",
+              scenario.cluster_count, scenario.hosts_per_cluster, scenario.trace.size(),
+              scenario.duration_seconds, 100.0 * scenario.target_load);
+
+  const testbed::ExperimentResult result = bench::run_scenario(scenario);
+
+  std::printf("%s\n",
+              result.usage_shares
+                  .render_chart("Fig 10a analogue: cumulative usage share per user", 100, 14,
+                                0.0, 1.0)
+                  .c_str());
+  std::printf("%s\n",
+              result.priorities
+                  .render_chart("Fig 10b analogue: global fairshare priority per user "
+                                "(percental; balance = 0.5)",
+                                100, 14, 0.3, 0.7)
+                  .c_str());
+
+  std::printf("jobs completed: %llu / %llu\n",
+              static_cast<unsigned long long>(result.jobs_completed),
+              static_cast<unsigned long long>(result.jobs_submitted));
+  std::printf("mean utilization over the 6 h window: %.1f%% (paper: 93-97%%)\n",
+              100.0 * result.mean_utilization);
+  std::printf("sustained submission rate: %.0f jobs/min (paper: ~120)\n",
+              result.rates.sustained_per_minute);
+
+  const double convergence = result.priority_convergence_time(0.05, scenario.duration_seconds);
+  std::printf("priority convergence to balance +-0.05: %s\n",
+              convergence >= 0
+                  ? util::format("%.0f s (%.0f min)", convergence, convergence / 60.0).c_str()
+                  : "not reached");
+
+  std::printf("\nfinal usage shares vs targets:\n");
+  for (const auto& [user, share] : result.final_usage_share) {
+    std::printf("  %-5s measured %.4f  target %.4f  |delta| %.4f\n", user.c_str(), share,
+                scenario.usage_shares.at(user),
+                std::abs(share - scenario.usage_shares.at(user)));
+  }
+  return 0;
+}

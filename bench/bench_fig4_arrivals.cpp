@@ -1,0 +1,58 @@
+// Figure 4: "Jobs arrival as a function of time. Bin size is one day.
+// Shown is both total jobs and jobs for U65." Plus the §IV-2
+// autocorrelation analysis: no clear daily/weekly/monthly pattern in the
+// total trace, but a ~3-month cycle when U65 is isolated (Figure 5's
+// motivation).
+#include <cstdio>
+
+#include "common.hpp"
+#include "stats/autocorr.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace aequus;
+
+int main(int argc, char** argv) {
+  bench::print_banner("Figure 4: job arrivals per day (total and U65)",
+                      "Espling et al., IPPS'14, Figure 4 / Section IV-2");
+
+  const std::size_t jobs = bench::jobs_from_argv(argc, argv, bench::kYearTraceJobs);
+  const workload::Trace raw = bench::raw_year_trace(jobs);
+  const auto [trace, report] = workload::filter_for_modeling(raw);
+  (void)report;
+
+  constexpr std::size_t kDays = 365;
+
+  stats::Histogram total(0.0, workload::kYearSeconds, kDays);
+  stats::Histogram u65(0.0, workload::kYearSeconds, kDays);
+  for (const auto& record : trace.records()) {
+    total.add(record.submit);
+    if (record.user == workload::kU65) u65.add(record.submit);
+  }
+
+  std::printf("%s\n", total.render("total job arrivals (1-day bins)").c_str());
+  std::printf("%s\n", u65.render("U65 job arrivals (1-day bins)").c_str());
+
+  // Autocorrelation of the daily arrival counts.
+  const auto acf_scan = [](const stats::Histogram& h, const char* label) {
+    const auto series = h.counts();
+    const auto result = stats::detect_periodicity(series, 180, 5, 0.2);
+    if (result.found) {
+      std::printf("%s: dominant periodic lag %zu days (ACF %.2f) ~ %.1f months\n", label,
+                  result.lag, result.strength, result.lag / 30.4);
+    } else {
+      std::printf("%s: no clear periodic pattern (max ACF below threshold)\n", label);
+    }
+    // Echo the classic daily/weekly/monthly probes the paper mentions.
+    const auto acf = stats::autocorrelation(series, 120);
+    std::printf("  ACF at 7 days %.2f, 30 days %.2f, 90 days %.2f\n", acf[7], acf[30],
+                acf[90]);
+  };
+  acf_scan(total, "total trace");
+  acf_scan(u65, "U65 only  ");
+
+  std::printf("\npaper: no clear auto correlation patterns in the total trace; a\n"
+              "pattern about every three months when isolating U65 (Figure 5).\n");
+  std::printf("U65 share of jobs in cleaned trace: %.1f%% (paper: 81.03%%)\n",
+              100.0 * u65.total() / total.total());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 6: "Cumulative probability of job arrival as a function of time.
+// Thin lines indicate fitted functions, thick lines indicate empiric
+// data." One chart per user: empirical CDF vs the fitted model's CDF.
+#include <cstdio>
+
+#include "common.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/fit.hpp"
+#include "stats/ks.hpp"
+#include "stats/mixture.hpp"
+#include "util/strings.hpp"
+#include "util/timeseries.hpp"
+
+using namespace aequus;
+
+int main(int argc, char** argv) {
+  bench::print_banner("Figure 6: arrival CDFs, empirical vs fitted",
+                      "Espling et al., IPPS'14, Figure 6 / Section IV-2");
+
+  const std::size_t jobs = bench::jobs_from_argv(argc, argv, bench::kYearTraceJobs);
+  const workload::Trace raw = bench::raw_year_trace(jobs);
+  const auto [trace, report] = workload::filter_for_modeling(raw);
+  (void)report;
+
+  const auto chart_for = [&](const std::string& user, const stats::Distribution& model,
+                             double ks) {
+    const auto arrivals = trace.arrival_times(user);
+    const stats::EmpiricalCdf ecdf(arrivals);
+    util::SeriesSet overlay;
+    constexpr int kPoints = 100;
+    for (int i = 0; i <= kPoints; ++i) {
+      const double t = workload::kYearSeconds * i / kPoints;
+      overlay.series("empirical").add(t, ecdf(t));
+      overlay.series("fitted").add(t, model.cdf(t));
+    }
+    std::printf("%s\n",
+                overlay
+                    .render_chart(util::format("%s arrival CDF (KS %.2f)", user.c_str(), ks),
+                                  100, 12, 0.0, 1.0)
+                    .c_str());
+  };
+
+  // U65: composite model.
+  {
+    const auto arrivals = trace.arrival_times(workload::kU65);
+    const auto phases = bench::split_u65_phases(arrivals, workload::kYearSeconds);
+    std::vector<stats::Mixture::Component> components;
+    for (const auto& phase : phases) {
+      stats::FitResult fit =
+          stats::fit_mle(stats::Family::kGev, bench::subsample(phase, bench::kFitSubsample));
+      if (!fit.ok()) return 1;
+      components.push_back({std::move(fit.distribution),
+                            static_cast<double>(phase.size()) / arrivals.size()});
+    }
+    const stats::Mixture composite(std::move(components));
+    chart_for(workload::kU65, composite, stats::ks_test(arrivals, composite).statistic);
+  }
+
+  // Other users: BIC-selected best fit.
+  for (const auto* user : {workload::kU30, workload::kU3, workload::kUoth}) {
+    const auto arrivals = trace.arrival_times(user);
+    const stats::ModelSelection selection =
+        stats::fit_best(bench::subsample(arrivals, bench::kFitSubsample));
+    if (!selection.best.ok()) return 1;
+    const double ks = stats::ks_test(arrivals, *selection.best.distribution).statistic;
+    std::printf("%s best fit: %s\n", user, selection.best.distribution->describe().c_str());
+    chart_for(user, *selection.best.distribution, ks);
+  }
+
+  std::printf("paper: fits reasonably close everywhere; worst is U3, whose usage\n"
+              "burst the distribution cannot fully capture (KS 0.15).\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Partial cluster participation (§IV-A-4): one of six sites only reads
+// global usage data but does not contribute; another contributes but only
+// considers local data for prioritization. Expected shape:
+//   - the read-only site's priorities stay well aligned with fully
+//     participating sites;
+//   - the local-only site converges towards the same levels but slower
+//     and with more fluctuation;
+//   - the local-only site's data acts as noise for the others without a
+//     noticeable impact on global prioritization.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace aequus;
+
+namespace {
+
+struct Alignment {
+  double mean_gap = 0.0;   ///< mean |site priority - reference priority|
+  double variance = 0.0;   ///< fluctuation of the site's own series
+};
+
+Alignment alignment_of(const testbed::ExperimentResult& result, const std::string& site,
+                       const std::string& reference_site, double t0, double t1) {
+  Alignment a;
+  std::size_t n = 0;
+  std::vector<double> values;
+  for (const auto* user : {"U65", "U30", "U3", "Uoth"}) {
+    const auto& site_series = result.per_site.all().at(site + "/" + user);
+    const auto& reference = result.per_site.all().at(reference_site + "/" + user);
+    for (std::size_t i = 0; i < site_series.size(); ++i) {
+      const double t = site_series.times()[i];
+      if (t < t0 || t > t1) continue;
+      a.mean_gap += std::fabs(site_series.values()[i] - reference.value_at(t, 0.5));
+      values.push_back(site_series.values()[i]);
+      ++n;
+    }
+  }
+  if (n > 0) a.mean_gap /= static_cast<double>(n);
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  if (!values.empty()) mean /= static_cast<double>(values.size());
+  for (double v : values) a.variance += (v - mean) * (v - mean);
+  if (values.size() > 1) a.variance /= static_cast<double>(values.size() - 1);
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner("Partial cluster participation",
+                      "Espling et al., IPPS'14, Section IV-A test 4");
+
+  const std::size_t jobs = bench::jobs_from_argv(argc, argv, bench::kTestbedJobs);
+  const workload::Scenario scenario = workload::baseline_scenario(2012, jobs);
+
+  testbed::ExperimentConfig config;
+  config.record_per_site = true;
+  testbed::SiteSpec read_only;  // reads global data, does not contribute
+  read_only.participation.contributes = false;
+  config.site_overrides[4] = read_only;
+  testbed::SiteSpec local_only;  // contributes, considers only local data
+  local_only.participation.reads_global = false;
+  config.site_overrides[5] = local_only;
+
+  std::printf("site4: reads global, does not contribute; site5: contributes, "
+              "prioritizes on local data only; site0-3 fully participate\n\n");
+  const testbed::ExperimentResult result = bench::run_scenario(scenario, config);
+
+  // The local-only site prioritizes on its ~1/6 sample of the workload:
+  // it converges to the same levels, but "at a slower pace and with more
+  // fluctuations" — most visible while its local history is still thin.
+  const double end = scenario.duration_seconds;
+  const Alignment full_early = alignment_of(result, "site1", "site0", 120.0, 3600.0);
+  const Alignment read_only_early = alignment_of(result, "site4", "site0", 120.0, 3600.0);
+  const Alignment local_only_early = alignment_of(result, "site5", "site0", 120.0, 3600.0);
+  const Alignment read_only_late = alignment_of(result, "site4", "site0", 3600.0, end);
+  const Alignment local_only_late = alignment_of(result, "site5", "site0", 3600.0, end);
+
+  std::printf("mean |priority gap| to the fully-participating reference (site0):\n");
+  std::printf("  %-24s  first hour   rest of run\n", "");
+  std::printf("  full participant (site1)  %.4f       (reference pair)\n",
+              full_early.mean_gap);
+  std::printf("  read-only (site4)         %.4f       %.4f\n", read_only_early.mean_gap,
+              read_only_late.mean_gap);
+  std::printf("  local-only (site5)        %.4f       %.4f\n\n", local_only_early.mean_gap,
+              local_only_late.mean_gap);
+
+  // Fluctuation: mean |change between consecutive samples| of the
+  // priority each site computes for the sparse users (U3, Uoth), whose
+  // local sample is smallest.
+  const auto fluctuation = [&](const std::string& site) {
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const auto* user : {"U3", "Uoth"}) {
+      const auto& s = result.per_site.all().at(site + "/" + user);
+      for (std::size_t i = 1; i < s.size(); ++i) {
+        if (s.times()[i] > end) break;
+        total += std::fabs(s.values()[i] - s.values()[i - 1]);
+        ++n;
+      }
+    }
+    return n > 0 ? total / static_cast<double>(n) : 0.0;
+  };
+  std::printf("sparse-user (U3/Uoth) priority fluctuation per sample:\n");
+  std::printf("  full %.5f | read-only %.5f | local-only %.5f\n\n", fluctuation("site0"),
+              fluctuation("site4"), fluctuation("site5"));
+
+  std::printf("shape checks:\n");
+  std::printf("  read-only tracks global closely throughout: %s\n",
+              (read_only_early.mean_gap < 0.06 && read_only_late.mean_gap < 0.06) ? "yes"
+                                                                                  : "NO");
+  std::printf("  local-only fluctuates more than participating sites: %s\n",
+              fluctuation("site5") > fluctuation("site4") &&
+                      fluctuation("site5") > fluctuation("site0")
+                  ? "yes"
+                  : "NO");
+  std::printf("  local-only converges to comparable levels eventually: %s\n",
+              local_only_late.mean_gap < 0.08 ? "yes" : "NO");
+  (void)local_only_early;
+
+  // Global impact: compare fully-participating sites' convergence with an
+  // all-participating control run.
+  const testbed::ExperimentResult control =
+      bench::run_scenario(scenario, testbed::ExperimentConfig{});
+  const double with_noise = result.priority_convergence_time(0.05, scenario.duration_seconds);
+  const double without_noise = control.priority_convergence_time(0.05, scenario.duration_seconds);
+  std::printf("  global convergence with vs without the partial sites: %.0f s vs %.0f s\n",
+              with_noise, without_noise);
+  std::printf("  (paper: the local-only site's noise has no noticeable impact)\n");
+  std::printf("\njobs completed: %llu/%llu, bus messages dropped by participation: %llu\n",
+              static_cast<unsigned long long>(result.jobs_completed),
+              static_cast<unsigned long long>(result.jobs_submitted),
+              static_cast<unsigned long long>(result.bus.dropped_participation));
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Production deployment test (§IV, "Production system tests"): Aequus
+// deployed alongside SLURM at HPC2N on a 68-node / 544-core cluster.
+// "Since the system was deployed at the start of 2013, about 40,000 jobs
+// per month has been executed on the cluster. During this period the
+// system has shown to be stable and the transition from using local
+// fairshare to global fairshare as performed by Aequus has had no
+// noticeable impact on the performance or the stability of the cluster."
+//
+// The bench simulates one month of production on the HPC2N-sized cluster
+// twice — once with SLURM's local multifactor fairshare, once with the
+// Aequus priority + jobcomp plugins — and compares throughput, waits,
+// and utilization. "No noticeable impact" = the two runs agree closely.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "services/installation.hpp"
+#include "slurm/aequus_plugins.hpp"
+#include "slurm/controller.hpp"
+#include "util/table.hpp"
+
+using namespace aequus;
+
+namespace {
+
+constexpr double kMonthSeconds = 30.0 * 86400.0;
+
+struct RunStats {
+  std::uint64_t completed = 0;
+  double mean_wait = 0.0;
+  double utilization = 0.0;
+  double priority_jitter = 0.0;  ///< stddev of sampled U65 factor
+};
+
+workload::Trace month_trace(std::size_t jobs) {
+  const auto model = workload::NationalGridModel::paper_2012(kMonthSeconds);
+  workload::GeneratorConfig config;
+  config.total_jobs = jobs;
+  config.seed = 1301;  // January 2013
+  config.target_total_usage = 0.90 * 544.0 * kMonthSeconds;
+  workload::Trace trace = workload::generate_trace(model, config);
+  // HPC2N-style 7-day maximum walltime.
+  std::map<std::string, double> targets;
+  for (const auto& user : model.users()) {
+    targets[user.name] = config.target_total_usage * user.usage_fraction;
+  }
+  workload::enforce_walltime_cap(trace, targets, 7.0 * 86400.0);
+  return trace;
+}
+
+RunStats run(const workload::Trace& trace, bool use_aequus) {
+  sim::Simulator simulator;
+  net::ServiceBus bus(simulator);
+
+  services::InstallationConfig site_config;
+  site_config.uss.bin_width = 3600.0;
+  site_config.ums.update_interval = 600.0;
+  site_config.fcs.update_interval = 600.0;
+  site_config.ums.decay =
+      core::DecayConfig{core::DecayKind::kExponentialHalfLife, 7.0 * 86400.0, 0.0};
+  services::Installation site(simulator, bus, "hpc2n", site_config);
+
+  core::PolicyTree policy;
+  const auto model = workload::NationalGridModel::paper_2012(kMonthSeconds);
+  for (const auto& user : model.users()) policy.set_share("/" + user.name, user.usage_fraction);
+  site.set_policy(std::move(policy));
+
+  // The paper's HPC2N setup: a small name-resolution endpoint reverts the
+  // grid-to-system mapping for Aequus.
+  bus.bind("hpc2n.nameresolver", [](const json::Value& query) -> json::Value {
+    const auto grid_user = testbed::grid_user_for(query.get_string("system_user"));
+    json::Object reply;
+    if (grid_user) reply["grid_user"] = *grid_user;
+    else reply["unknown"] = true;
+    return json::Value(std::move(reply));
+  });
+  site.irs().set_endpoint("hpc2n.nameresolver");
+
+  client::ClientConfig client_config;
+  client_config.site = "hpc2n";
+  client_config.cluster = "hpc2n";
+  client_config.fairshare_cache_ttl = 300.0;
+  client::AequusClient client(simulator, bus, client_config);
+
+  rms::SchedulerConfig scheduler_config;
+  scheduler_config.reprioritize_interval = 300.0;  // SLURM PriorityCalcPeriod default
+  rms::Cluster cluster("hpc2n", 68, 8);  // 544 cores, 5.8 TFLOPS in the paper
+
+  std::unique_ptr<slurm::SlurmController> controller;
+  auto local_fairshare = std::make_shared<slurm::LocalFairshare>(
+      core::DecayConfig{core::DecayKind::kExponentialHalfLife, 7.0 * 86400.0, 0.0});
+  if (use_aequus) {
+    controller = std::make_unique<slurm::SlurmController>(
+        simulator, std::move(cluster), slurm::make_aequus_priority_plugin(client),
+        scheduler_config);
+    controller->add_jobcomp_plugin(std::make_unique<slurm::AequusJobCompPlugin>(client));
+  } else {
+    for (const auto& user : model.users()) {
+      local_fairshare->set_share(testbed::system_account_for(user.name),
+                                 user.usage_fraction);
+    }
+    auto plugin = std::make_unique<slurm::MultifactorPriorityPlugin>(
+        slurm::MultifactorWeights{},
+        [local_fairshare](const rms::Job& job, double now) {
+          return local_fairshare->factor(job.system_user, now);
+        });
+    controller = std::make_unique<slurm::SlurmController>(
+        simulator, std::move(cluster), std::move(plugin), scheduler_config);
+    controller->add_completion_listener([local_fairshare, &simulator](const rms::Job& job) {
+      local_fairshare->record_usage(job.system_user, job.usage(), simulator.now());
+    });
+  }
+
+  for (const auto& record : trace.records()) {
+    simulator.schedule_at(record.submit, [&, record] {
+      rms::Job job;
+      job.system_user = testbed::system_account_for(record.user);
+      job.duration = record.duration;
+      job.cores = record.cores;
+      controller->submit(std::move(job));
+    });
+  }
+
+  // Sample the U65 fairshare factor hourly for the stability metric.
+  std::vector<double> samples;
+  simulator.schedule_periodic(3600.0, 3600.0, [&] {
+    samples.push_back(use_aequus ? client.fairshare_factor("U65")
+                                 : local_fairshare->factor("acct_u65", simulator.now()));
+  });
+
+  // Run until the backlog drains (bounded at 4 simulated months).
+  double until = kMonthSeconds * 1.25;
+  while (controller->stats().completed < trace.size() && until < kMonthSeconds * 4.0) {
+    simulator.run_until(until);
+    until += kMonthSeconds * 0.25;
+  }
+
+  RunStats stats;
+  stats.completed = controller->stats().completed;
+  stats.mean_wait = controller->stats().started > 0
+                        ? controller->stats().total_wait_time /
+                              static_cast<double>(controller->stats().started)
+                        : 0.0;
+  stats.utilization = controller->cluster().utilization(kMonthSeconds);
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  if (!samples.empty()) mean /= static_cast<double>(samples.size());
+  for (double s : samples) stats.priority_jitter += (s - mean) * (s - mean);
+  if (samples.size() > 1) {
+    stats.priority_jitter =
+        std::sqrt(stats.priority_jitter / static_cast<double>(samples.size() - 1));
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner("Production test: one month on the HPC2N cluster (544 cores)",
+                      "Espling et al., IPPS'14, Section IV production tests");
+
+  // Default scaled to a sixth of the paper's monthly volume so both runs
+  // finish in minutes; pass 40000 as argv[1] for the full month.
+  const std::size_t jobs = bench::jobs_from_argv(argc, argv, 16000);
+  const workload::Trace trace = month_trace(jobs);
+  std::printf("trace: %zu jobs over 30 days (paper volume: ~40,000 jobs/month; pass 40000 to match)\n\n",
+              trace.size());
+
+  std::printf("running with SLURM local multifactor fairshare...\n");
+  const RunStats local = run(trace, false);
+  std::printf("running with Aequus priority + jobcomp plugins...\n\n");
+  const RunStats aequus_run = run(trace, true);
+
+  util::Table table({"Configuration", "Completed", "Mean wait (s)", "Utilization",
+                     "U65 factor stddev"});
+  table.add_row({"local fairshare", util::format("%llu", (unsigned long long)local.completed),
+                 util::format("%.1f", local.mean_wait),
+                 util::format("%.1f%%", 100.0 * local.utilization),
+                 util::format("%.4f", local.priority_jitter)});
+  table.add_row({"Aequus (global)",
+                 util::format("%llu", (unsigned long long)aequus_run.completed),
+                 util::format("%.1f", aequus_run.mean_wait),
+                 util::format("%.1f%%", 100.0 * aequus_run.utilization),
+                 util::format("%.4f", aequus_run.priority_jitter)});
+  std::printf("%s\n", table.render().c_str());
+
+  const double utilization_delta =
+      std::fabs(local.utilization - aequus_run.utilization);
+  std::printf("transition impact: utilization delta %.2f%%, all jobs completed in both\n"
+              "runs: %s — consistent with the paper's 'no noticeable impact on the\n"
+              "performance or the stability of the cluster'.\n",
+              100.0 * utilization_delta,
+              (local.completed == trace.size() && aequus_run.completed == trace.size())
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

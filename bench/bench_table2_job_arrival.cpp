@@ -1,0 +1,106 @@
+// Table II: "Job arrival: Median inter-arrival value of original data
+// (whole seconds), the best found fitted distribution for each data set
+// and the corresponding Kolmogorov-Smirnov goodness of fit values."
+//
+// End-to-end reproduction of the paper's modeling pipeline:
+//   synthesize raw year trace (paper user mix + admin/zero records)
+//   -> cleanup filters (§IV-1: ~15 % of jobs, ~1.5 % of usage removed)
+//   -> partition by user (U65/U30/U3/Uoth), U65 further into 4 phases
+//   -> fit 18 candidate families by MLE, select by BIC
+//   -> report median inter-arrival, winning family, KS statistic.
+//
+// Expected shape: GEV-family winners for the U65 phases and for U3/Uoth,
+// a heavy-tailed (Burr-like) winner for U30, and KS values in the same
+// 0.02-0.15 band the paper reports. Absolute parameters differ: the real
+// 2012 trace is proprietary, so the ground truth here is the paper's own
+// published model.
+#include <cstdio>
+
+#include "common.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/fit.hpp"
+#include "stats/ks.hpp"
+#include "stats/mixture.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace aequus;
+
+int main(int argc, char** argv) {
+  bench::print_banner("Table II: job arrival modeling",
+                      "Espling et al., IPPS'14, Table II / Section IV-2");
+
+  const std::size_t jobs = bench::jobs_from_argv(argc, argv, bench::kYearTraceJobs);
+  const workload::Trace raw = bench::raw_year_trace(jobs);
+  const auto [trace, report] = workload::filter_for_modeling(raw);
+  std::printf("cleanup: removed %zu admin + %zu zero-duration records "
+              "(%.1f%% of jobs, %.2f%% of usage; paper: ~15%% / ~1.5%%)\n\n",
+              report.removed_admin, report.removed_zero_duration,
+              100.0 * report.removed_job_fraction, 100.0 * report.removed_usage_fraction);
+
+  util::Table table({"User", "Median(s)", "Fitted Distribution", "KS"});
+
+  // U65: four-phase composite (Eq. 1).
+  const auto u65_arrivals = trace.arrival_times(workload::kU65);
+  const auto u65_gaps = trace.interarrival_times(workload::kU65);
+  const auto phases = bench::split_u65_phases(u65_arrivals, workload::kYearSeconds);
+  std::vector<stats::Mixture::Component> components;
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const auto sample = bench::subsample(phases[p], bench::kFitSubsample);
+    const stats::FitResult fit = stats::fit_mle(stats::Family::kGev, sample);
+    if (!fit.ok()) {
+      std::fprintf(stderr, "phase %zu: GEV fit failed\n", p + 1);
+      return 1;
+    }
+    const stats::KsResult ks = stats::ks_test(phases[p], *fit.distribution);
+    std::vector<double> phase_gaps;
+    std::vector<double> sorted = phases[p];
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 1; i < sorted.size(); ++i) phase_gaps.push_back(sorted[i] - sorted[i - 1]);
+    table.add_row({util::format("U65 (p%zu)", p + 1),
+                   util::format("%ld", bench::whole_seconds(stats::median(phase_gaps))),
+                   fit.distribution->describe(), util::format("%.2f", ks.statistic)});
+    const double weight = static_cast<double>(phases[p].size()) /
+                          static_cast<double>(u65_arrivals.size());
+    components.push_back({fit.distribution->clone(), weight});
+  }
+  // Composite row (Eq. 1).
+  const stats::Mixture composite(std::move(components));
+  const stats::KsResult composite_ks = stats::ks_test(u65_arrivals, composite);
+  table.add_row({"U65 (comp)",
+                 util::format("%ld", bench::whole_seconds(stats::median(u65_gaps))),
+                 "(Eq. 1: weighted 4-phase GEV mixture)",
+                 util::format("%.2f", composite_ks.statistic)});
+  table.add_separator();
+
+  // Remaining users: full 18-family BIC selection.
+  for (const auto* user : {workload::kU30, workload::kU3, workload::kUoth}) {
+    const auto arrivals = trace.arrival_times(user);
+    const auto gaps = trace.interarrival_times(user);
+    const auto sample = bench::subsample(arrivals, bench::kFitSubsample);
+    const stats::ModelSelection selection = stats::fit_best(sample);
+    if (!selection.best.ok()) {
+      std::fprintf(stderr, "%s: no family converged\n", user);
+      return 1;
+    }
+    const stats::KsResult ks = stats::ks_test(arrivals, *selection.best.distribution);
+    table.add_row({user, util::format("%ld", bench::whole_seconds(stats::median(gaps))),
+                   selection.best.distribution->describe(),
+                   util::format("%.2f", ks.statistic)});
+    std::printf("%s BIC ranking:", user);
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, selection.candidates.size()); ++i) {
+      std::printf("  %zu. %s (BIC %.0f)", i + 1,
+                  stats::to_string(selection.candidates[i].family).c_str(),
+                  selection.candidates[i].bic);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper Table II: U65 phases GEV (KS 0.05-0.07), composite KS 0.02,\n"
+              "U30 Burr (KS 0.08), U3 GEV k>0 (KS 0.15, burst not fully captured),\n"
+              "Uoth GEV (KS 0.06). Medians: 2-3 s (U65), 1 s (U30), 0 s (U3), 13 s (Uoth),\n"
+              "scaled here by the synthetic trace's job count.\n");
+  return 0;
+}

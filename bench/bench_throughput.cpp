@@ -1,0 +1,47 @@
+// Throughput characteristics (§IV-A): "the test bed was found to support
+// a sustained job submission rate of about 120 jobs per minute. The peak
+// job submission rate during the bursty test ... reaches 472 jobs per
+// minute. During these tests, the traces contain a total load of 95 % of
+// the theoretical maximum ... total utilization varies between 93 % and
+// 97 %."
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace aequus;
+
+int main(int argc, char** argv) {
+  bench::print_banner("Throughput and utilization across tests",
+                      "Espling et al., IPPS'14, Section IV-A");
+
+  const std::size_t jobs = bench::jobs_from_argv(argc, argv, bench::kTestbedJobs);
+
+  util::Table table({"Test", "Jobs", "Sustained (jobs/min)", "Peak (jobs/min)",
+                     "Utilization", "Completed"});
+  double utilization_lo = 1.0;
+  double utilization_hi = 0.0;
+
+  const auto run = [&](const char* name, const workload::Scenario& scenario) {
+    const testbed::ExperimentResult result = bench::run_scenario(scenario);
+    utilization_lo = std::min(utilization_lo, result.mean_utilization);
+    utilization_hi = std::max(utilization_hi, result.mean_utilization);
+    table.add_row({name, util::format("%zu", scenario.trace.size()),
+                   util::format("%.0f", result.rates.sustained_per_minute),
+                   util::format("%.0f", result.rates.peak_per_minute),
+                   util::format("%.1f%%", 100.0 * result.mean_utilization),
+                   util::format("%llu/%llu",
+                                static_cast<unsigned long long>(result.jobs_completed),
+                                static_cast<unsigned long long>(result.jobs_submitted))});
+  };
+
+  run("baseline", workload::baseline_scenario(2012, jobs));
+  run("non-optimal policy", workload::nonoptimal_policy_scenario(2012, jobs));
+  run("bursty", workload::bursty_scenario(2012, jobs));
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("utilization band across tests: %.1f%% - %.1f%% (paper: 93-97%%)\n",
+              100.0 * utilization_lo, 100.0 * utilization_hi);
+  std::printf("paper anchors: sustained ~120 jobs/min; bursty peak 472 jobs/min.\n");
+  return 0;
+}

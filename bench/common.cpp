@@ -1,0 +1,84 @@
+#include "common.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/rng.hpp"
+
+namespace aequus::bench {
+
+std::size_t jobs_from_argv(int argc, char** argv, std::size_t fallback) {
+  if (argc > 1) {
+    const long parsed = std::strtol(argv[1], nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+workload::Trace raw_year_trace(std::size_t jobs, std::uint64_t seed) {
+  const auto model = workload::NationalGridModel::paper_2012();
+  workload::GeneratorConfig config;
+  config.total_jobs = jobs;
+  config.seed = seed;
+  // Extra records on top of the regular jobs: tuned so the cleanup removes
+  // ~15 % of records carrying ~1.5 % of usage (§IV-1).
+  config.admin_job_fraction = 0.150;
+  config.zero_duration_fraction = 0.027;
+  config.admin_duration_lo = 600.0;
+  config.admin_duration_hi = 21600.0;
+  return workload::generate_trace(model, config);
+}
+
+std::vector<double> subsample(const std::vector<double>& data, std::size_t limit,
+                              std::uint64_t seed) {
+  if (data.size() <= limit) return data;
+  util::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(limit);
+  // Stride sampling with random phase keeps the subsample spread evenly.
+  const double stride = static_cast<double>(data.size()) / static_cast<double>(limit);
+  double position = rng.uniform() * stride;
+  for (std::size_t i = 0; i < limit; ++i) {
+    out.push_back(data[static_cast<std::size_t>(position) % data.size()]);
+    position += stride;
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> split_u65_phases(const std::vector<double>& arrivals,
+                                                  double window_seconds) {
+  std::vector<std::vector<double>> phases(4);
+  for (double t : arrivals) {
+    auto index = static_cast<std::size_t>(t / (window_seconds / 4.0));
+    if (index > 3) index = 3;
+    phases[index].push_back(t);
+  }
+  return phases;
+}
+
+long whole_seconds(double seconds) {
+  return std::lround(seconds);
+}
+
+void rescale_to_capacity(workload::Scenario& scenario) {
+  const double target = scenario.target_load * scenario.capacity_core_seconds();
+  const double current = scenario.trace.total_usage();
+  if (current <= 0.0) return;
+  for (auto& record : scenario.trace.records()) record.duration *= target / current;
+}
+
+testbed::ExperimentResult run_scenario(const workload::Scenario& scenario,
+                                       testbed::ExperimentConfig config) {
+  testbed::Experiment experiment(scenario, std::move(config));
+  return experiment.run();
+}
+
+void print_banner(const std::string& title, const std::string& paper_reference) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_reference.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace aequus::bench

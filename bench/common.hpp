@@ -1,0 +1,62 @@
+// Shared helpers for the benchmark harnesses.
+//
+// The evaluation pipeline is the same in most benches: synthesize the
+// "historical" national trace from the paper's models, run the paper's
+// cleanup filters, partition by user, and (for the modeling benches) fit
+// candidate distributions. Scaled-down sizes are chosen so every bench
+// finishes in minutes on a laptop; pass a positive integer argv[1] to a
+// bench to override the job count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "testbed/experiment.hpp"
+#include "util/strings.hpp"
+#include "workload/generator.hpp"
+#include "workload/national_model.hpp"
+#include "workload/scenarios.hpp"
+
+namespace aequus::bench {
+
+/// Default job counts, tuned for bench runtime (the paper's tests use
+/// 43,200-job traces; the statistical results are insensitive to this).
+inline constexpr std::size_t kYearTraceJobs = 40000;
+inline constexpr std::size_t kTestbedJobs = 43200;
+inline constexpr std::size_t kFitSubsample = 3000;
+
+/// Parse an optional job-count override from argv.
+[[nodiscard]] std::size_t jobs_from_argv(int argc, char** argv, std::size_t fallback);
+
+/// The raw "historical" year trace: paper user mix plus injected
+/// admin/monitoring (~15 % of records) and zero-duration jobs, matching
+/// the share the paper removed prior to modeling.
+[[nodiscard]] workload::Trace raw_year_trace(std::size_t jobs = kYearTraceJobs,
+                                             std::uint64_t seed = 2012);
+
+/// Subsample `data` to at most `limit` elements (deterministic).
+[[nodiscard]] std::vector<double> subsample(const std::vector<double>& data, std::size_t limit,
+                                            std::uint64_t seed = 7);
+
+/// Partition U65 arrival times into the four phases (quarter boundaries).
+[[nodiscard]] std::vector<std::vector<double>> split_u65_phases(
+    const std::vector<double>& arrivals, double window_seconds);
+
+/// Round a seconds value to whole seconds, as the paper's medians are
+/// ("the time stamps from the original trace are limited to second
+/// accuracy").
+[[nodiscard]] long whole_seconds(double seconds);
+
+/// Rescale a scenario's durations so total usage hits target_load of the
+/// (possibly modified) capacity. Used when benches shrink cluster counts.
+void rescale_to_capacity(workload::Scenario& scenario);
+
+/// Run a scenario through the full testbed with paper-default timings.
+[[nodiscard]] testbed::ExperimentResult run_scenario(const workload::Scenario& scenario,
+                                                     testbed::ExperimentConfig config = {});
+
+/// Pretty banner for bench output.
+void print_banner(const std::string& title, const std::string& paper_reference);
+
+}  // namespace aequus::bench

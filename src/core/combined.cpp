@@ -1,0 +1,71 @@
+#include "core/combined.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aequus::core {
+
+VectorFactor age_factor(double max_age) {
+  return {"age", [max_age](const JobAttributes& job) {
+            if (max_age <= 0.0) return 0.0;
+            const double fraction = std::clamp(job.wait_time / max_age, 0.0, 1.0);
+            return 2.0 * fraction - 1.0;
+          }};
+}
+
+VectorFactor small_job_factor(int max_cores) {
+  return {"small-job", [max_cores](const JobAttributes& job) {
+            if (max_cores <= 1) return 0.0;
+            const double fraction = std::clamp(
+                static_cast<double>(job.cores - 1) / (max_cores - 1), 0.0, 1.0);
+            return 1.0 - 2.0 * fraction;
+          }};
+}
+
+VectorFactor qos_factor() {
+  return {"qos", [](const JobAttributes& job) {
+            return std::clamp(2.0 * job.qos - 1.0, -1.0, 1.0);
+          }};
+}
+
+CombinedVectorPriority::CombinedVectorPriority(std::vector<VectorFactor> factors,
+                                               MergeOrder order)
+    : factors_(std::move(factors)), order_(order) {}
+
+FairshareVector CombinedVectorPriority::combine(const FairshareVector& fairshare,
+                                                const JobAttributes& job) const {
+  std::vector<double> elements;
+  elements.reserve(fairshare.depth() + factors_.size());
+  const auto push_factors = [&] {
+    for (const auto& factor : factors_) {
+      elements.push_back(std::clamp(factor.value(job), -1.0, 1.0));
+    }
+  };
+  if (order_ == MergeOrder::kPrepend) push_factors();
+  elements.insert(elements.end(), fairshare.values().begin(), fairshare.values().end());
+  if (order_ == MergeOrder::kAppend) push_factors();
+  return FairshareVector(std::move(elements), fairshare.resolution());
+}
+
+std::vector<double> CombinedVectorPriority::rank(
+    const std::vector<std::pair<JobAttributes, FairshareVector>>& jobs) const {
+  std::vector<FairshareVector> combined;
+  combined.reserve(jobs.size());
+  for (const auto& [job, fairshare] : jobs) {
+    combined.push_back(combine(fairshare, job));
+  }
+  std::vector<std::size_t> order_index(jobs.size());
+  std::iota(order_index.begin(), order_index.end(), 0);
+  // Descending: best vector gets the highest scalar.
+  std::stable_sort(order_index.begin(), order_index.end(), [&](std::size_t a, std::size_t b) {
+    return combined[a].compare(combined[b]) == std::strong_ordering::greater;
+  });
+  std::vector<double> ranks(jobs.size(), 0.0);
+  const double n = static_cast<double>(jobs.size());
+  for (std::size_t position = 0; position < order_index.size(); ++position) {
+    ranks[order_index[position]] = (n - static_cast<double>(position)) / (n + 1.0);
+  }
+  return ranks;
+}
+
+}  // namespace aequus::core

@@ -1,0 +1,84 @@
+// Combined vector priorities — the paper's stated future-work direction.
+//
+// §III-C: "More work on finding alternative approaches is also ongoing,
+// where one interesting alternative is to reverse the problem and instead
+// investigate modeling other factors, such as job age, using a
+// representation combinable with the fairshare vectors."
+//
+// This module implements that idea: non-fairshare factors (job age, job
+// size, QoS) are quantized into vector *elements* and merged with the
+// user's fairshare vector, so the final scheduling order is a single
+// lexicographic comparison over an extended vector instead of a weighted
+// scalar sum. Two merge strategies are provided:
+//
+//   kAppend   - factor elements are appended after the fairshare levels:
+//               fairshare strictly dominates; other factors only break
+//               fairshare ties. Keeps full subgroup isolation.
+//   kPrepend  - factor elements come first: factors dominate and
+//               fairshare breaks their ties (e.g. hard aging guarantees).
+//
+// Because the combined representation is still a vector, it retains the
+// arbitrary-depth / unlimited-precision properties of Table I that every
+// scalar projection has to give up.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/vector.hpp"
+
+namespace aequus::core {
+
+/// RM-neutral job attributes consumed by vector factors (core stays below
+/// the RM substrates in the layering; adapters fill this from their own
+/// job types).
+struct JobAttributes {
+  double wait_time = 0.0;  ///< seconds in the queue
+  int cores = 1;           ///< processors requested
+  double qos = 0.0;        ///< site-defined quality-of-service in [0, 1]
+};
+
+/// A named factor producing a raw value in [-1, 1] for a job (encoded
+/// like a fairshare level: -1 worst, 0 neutral, +1 best).
+struct VectorFactor {
+  std::string name;
+  std::function<double(const JobAttributes& job)> value;
+};
+
+/// Standard factors, pre-normalized to [-1, 1].
+/// Age: -1 at zero wait, +1 at max_age (linear ramp, saturating).
+[[nodiscard]] VectorFactor age_factor(double max_age);
+/// Size: +1 for single-core jobs, -1 at max_cores (favors small jobs).
+[[nodiscard]] VectorFactor small_job_factor(int max_cores);
+/// QoS: passes the site-defined [0, 1] level through as [-1, 1].
+[[nodiscard]] VectorFactor qos_factor();
+
+enum class MergeOrder { kAppend, kPrepend };
+
+/// Builds combined vectors for jobs from fairshare vectors plus factors.
+class CombinedVectorPriority {
+ public:
+  CombinedVectorPriority(std::vector<VectorFactor> factors,
+                         MergeOrder order = MergeOrder::kAppend);
+
+  /// The combined vector for a job, given its user's fairshare vector.
+  [[nodiscard]] FairshareVector combine(const FairshareVector& fairshare,
+                                        const JobAttributes& job) const;
+
+  /// Scalar ranks in [0, 1] for a batch of jobs (rank-spaced like
+  /// dictionary ordering, since RM queues ultimately need scalars).
+  /// Output aligns with the input order.
+  [[nodiscard]] std::vector<double> rank(
+      const std::vector<std::pair<JobAttributes, FairshareVector>>& jobs) const;
+
+  [[nodiscard]] const std::vector<VectorFactor>& factors() const noexcept { return factors_; }
+  [[nodiscard]] MergeOrder order() const noexcept { return order_; }
+
+ private:
+  std::vector<VectorFactor> factors_;
+  MergeOrder order_;
+};
+
+}  // namespace aequus::core

@@ -1,0 +1,66 @@
+#include "core/decay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aequus::core {
+
+Decay::Decay(DecayConfig config) : config_(config) {
+  if (config_.kind == DecayKind::kExponentialHalfLife && config_.half_life <= 0.0) {
+    throw std::invalid_argument("Decay: half_life must be > 0");
+  }
+  if ((config_.kind == DecayKind::kSlidingWindow || config_.kind == DecayKind::kLinear) &&
+      config_.window <= 0.0) {
+    throw std::invalid_argument("Decay: window must be > 0");
+  }
+}
+
+double Decay::weight(double age) const noexcept {
+  if (age <= 0.0) return 1.0;
+  switch (config_.kind) {
+    case DecayKind::kNone:
+      return 1.0;
+    case DecayKind::kExponentialHalfLife:
+      return std::exp2(-age / config_.half_life);
+    case DecayKind::kSlidingWindow:
+      return age <= config_.window ? 1.0 : 0.0;
+    case DecayKind::kLinear:
+      return age >= config_.window ? 0.0 : 1.0 - age / config_.window;
+  }
+  return 1.0;
+}
+
+double Decay::decayed_total(const std::vector<std::pair<double, double>>& bins,
+                            double now) const noexcept {
+  double total = 0.0;
+  for (const auto& [time, amount] : bins) total += amount * weight(now - time);
+  return total;
+}
+
+json::Value Decay::to_json() const {
+  json::Object obj;
+  switch (config_.kind) {
+    case DecayKind::kNone: obj["kind"] = "none"; break;
+    case DecayKind::kExponentialHalfLife: obj["kind"] = "half-life"; break;
+    case DecayKind::kSlidingWindow: obj["kind"] = "window"; break;
+    case DecayKind::kLinear: obj["kind"] = "linear"; break;
+  }
+  obj["half_life"] = config_.half_life;
+  obj["window"] = config_.window;
+  return json::Value(std::move(obj));
+}
+
+Decay Decay::from_json(const json::Value& value) {
+  DecayConfig config;
+  const std::string kind = value.get_string("kind", "half-life");
+  if (kind == "none") config.kind = DecayKind::kNone;
+  else if (kind == "half-life") config.kind = DecayKind::kExponentialHalfLife;
+  else if (kind == "window") config.kind = DecayKind::kSlidingWindow;
+  else if (kind == "linear") config.kind = DecayKind::kLinear;
+  else throw std::invalid_argument("Decay::from_json: unknown kind " + kind);
+  config.half_life = value.get_number("half_life", config.half_life);
+  config.window = value.get_number("window", config.window);
+  return Decay(config);
+}
+
+}  // namespace aequus::core

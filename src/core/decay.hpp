@@ -1,0 +1,51 @@
+// Usage decay functions (§II-A): "configured with, e.g., different usage
+// decay functions to control how the impact of previous usage is
+// decreased over time".
+//
+// Usage arrives as time-binned histograms (from the USS). A decay
+// function assigns each bin a weight based on its age; the effective
+// usage is the weighted sum. Three families are provided:
+//   - exponential half-life: weight = 2^(-age / half_life)
+//   - sliding window:        weight = 1 inside the window, 0 outside
+//   - linear:                weight = max(0, 1 - age / window)
+// plus no decay (weight = 1 everywhere).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace aequus::core {
+
+enum class DecayKind { kNone, kExponentialHalfLife, kSlidingWindow, kLinear };
+
+struct DecayConfig {
+  DecayKind kind = DecayKind::kExponentialHalfLife;
+  double half_life = 3600.0;  ///< seconds; used by kExponentialHalfLife
+  double window = 7200.0;     ///< seconds; used by kSlidingWindow / kLinear
+};
+
+/// Weighting of historical usage by age.
+class Decay {
+ public:
+  Decay() = default;
+  explicit Decay(DecayConfig config);
+
+  /// Weight for usage `age` seconds in the past. Ages <= 0 weigh 1.
+  [[nodiscard]] double weight(double age) const noexcept;
+
+  /// Weighted sum of (bin_time, amount) pairs evaluated at time `now`.
+  [[nodiscard]] double decayed_total(const std::vector<std::pair<double, double>>& bins,
+                                     double now) const noexcept;
+
+  [[nodiscard]] const DecayConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] json::Value to_json() const;
+  [[nodiscard]] static Decay from_json(const json::Value& value);
+
+ private:
+  DecayConfig config_;
+};
+
+}  // namespace aequus::core

@@ -1,0 +1,197 @@
+#include "core/fairshare.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aequus::core {
+
+const FairshareTree::Node* FairshareTree::Node::find_child(const std::string& child_name) const {
+  for (const auto& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+const FairshareTree::Node* FairshareTree::find(const std::string& path) const {
+  const auto segments = split_path(path);
+  const Node* node = &root_;
+  for (const auto& segment : segments) {
+    node = node->find_child(segment);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+std::optional<FairshareVector> FairshareTree::vector_for(const std::string& path) const {
+  const auto segments = split_path(path);
+  std::vector<double> values;
+  const Node* node = &root_;
+  for (const auto& segment : segments) {
+    node = node->find_child(segment);
+    if (node == nullptr) return std::nullopt;
+    values.push_back(node->distance);
+  }
+  FairshareVector vector(std::move(values), resolution_);
+  return vector.padded_to(static_cast<std::size_t>(depth()));
+}
+
+namespace {
+void collect_leaves(const FairshareTree::Node& node, std::vector<std::string>& prefix,
+                    std::vector<std::string>& out) {
+  if (node.leaf()) {
+    out.push_back(join_path(prefix));
+    return;
+  }
+  for (const auto& child : node.children) {
+    prefix.push_back(child.name);
+    collect_leaves(child, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+int node_depth(const FairshareTree::Node& node) {
+  int deepest = 0;
+  for (const auto& child : node.children) deepest = std::max(deepest, 1 + node_depth(child));
+  return deepest;
+}
+
+json::Value node_to_json(const FairshareTree::Node& node) {
+  json::Object obj;
+  obj["name"] = node.name;
+  obj["policy"] = node.policy_share;
+  obj["usage"] = node.usage_share;
+  obj["distance"] = node.distance;
+  if (!node.children.empty()) {
+    json::Array children;
+    for (const auto& child : node.children) children.push_back(node_to_json(child));
+    obj["children"] = std::move(children);
+  }
+  return json::Value(std::move(obj));
+}
+
+FairshareTree::Node node_from_json(const json::Value& value) {
+  FairshareTree::Node node;
+  node.name = value.get_string("name");
+  node.policy_share = value.get_number("policy");
+  node.usage_share = value.get_number("usage");
+  node.distance = value.get_number("distance");
+  if (const auto children = value.find("children")) {
+    for (const auto& child : children->get().as_array()) {
+      node.children.push_back(node_from_json(child));
+    }
+  }
+  return node;
+}
+}  // namespace
+
+std::vector<std::string> FairshareTree::user_paths() const {
+  std::vector<std::string> out;
+  std::vector<std::string> prefix;
+  if (root_.leaf()) return out;
+  collect_leaves(root_, prefix, out);
+  return out;
+}
+
+int FairshareTree::depth() const {
+  return node_depth(root_);
+}
+
+json::Value FairshareTree::to_json() const {
+  json::Object obj;
+  obj["resolution"] = resolution_;
+  obj["tree"] = node_to_json(root_);
+  return json::Value(std::move(obj));
+}
+
+FairshareTree FairshareTree::from_json(const json::Value& value) {
+  FairshareTree tree;
+  tree.resolution_ = static_cast<int>(value.get_number("resolution", kDefaultResolution));
+  tree.root_ = node_from_json(value.at("tree"));
+  return tree;
+}
+
+json::Value to_json(const FairshareConfig& config) {
+  json::Object obj;
+  obj["k"] = config.distance_weight_k;
+  obj["resolution"] = config.resolution;
+  return json::Value(std::move(obj));
+}
+
+FairshareConfig fairshare_config_from_json(const json::Value& value) {
+  FairshareConfig config;
+  config.distance_weight_k = value.get_number("k", config.distance_weight_k);
+  config.resolution =
+      static_cast<int>(value.get_number("resolution", config.resolution));
+  return config;
+}
+
+FairshareAlgorithm::FairshareAlgorithm(FairshareConfig config) : config_(config) {
+  if (config_.distance_weight_k < 0.0 || config_.distance_weight_k > 1.0) {
+    throw std::invalid_argument("FairshareAlgorithm: k must be in [0, 1]");
+  }
+  if (config_.resolution < 2) {
+    throw std::invalid_argument("FairshareAlgorithm: resolution must be >= 2");
+  }
+}
+
+double FairshareAlgorithm::node_distance(double policy_share, double usage_share) const noexcept {
+  const double k = config_.distance_weight_k;
+  const double absolute = policy_share - usage_share;
+  double relative = 0.0;
+  if (policy_share > 0.0) {
+    relative = std::clamp((policy_share - usage_share) / policy_share, -1.0, 1.0);
+  } else if (usage_share > 0.0) {
+    relative = -1.0;  // consuming with no allocation: maximal over-use
+  }
+  return k * relative + (1.0 - k) * absolute;
+}
+
+namespace {
+void annotate(const FairshareAlgorithm& algorithm, const PolicyTree::Node& policy_node,
+              const UsageTree& usage, std::vector<std::string>& prefix,
+              FairshareTree::Node& out) {
+  out.name = policy_node.name;
+  // Normalized shares of the children within this sibling group.
+  double share_total = 0.0;
+  for (const auto& child : policy_node.children) share_total += std::max(child.share, 0.0);
+  double usage_total = 0.0;
+  std::vector<double> child_usage(policy_node.children.size(), 0.0);
+  for (std::size_t i = 0; i < policy_node.children.size(); ++i) {
+    prefix.push_back(policy_node.children[i].name);
+    child_usage[i] = usage.usage(join_path(prefix));
+    prefix.pop_back();
+    usage_total += child_usage[i];
+  }
+
+  out.children.resize(policy_node.children.size());
+  for (std::size_t i = 0; i < policy_node.children.size(); ++i) {
+    const auto& policy_child = policy_node.children[i];
+    auto& child_out = out.children[i];
+    child_out.policy_share =
+        share_total > 0.0 ? std::max(policy_child.share, 0.0) / share_total : 0.0;
+    child_out.usage_share = usage_total > 0.0 ? child_usage[i] / usage_total : 0.0;
+    child_out.distance =
+        algorithm.node_distance(child_out.policy_share, child_out.usage_share);
+    prefix.push_back(policy_child.name);
+    annotate(algorithm, policy_child, usage, prefix, child_out);
+    prefix.pop_back();
+  }
+}
+}  // namespace
+
+FairshareTree FairshareAlgorithm::compute(const PolicyTree& policy,
+                                          const UsageTree& usage) const {
+  FairshareTree tree;
+  tree.resolution_ = config_.resolution;
+  std::vector<std::string> prefix;
+  annotate(*this, policy.root(), usage, prefix, tree.root_);
+  // assign() instead of = "/": avoids GCC 12's -Wrestrict false positive
+  // on short-literal string assignment (PR105651).
+  tree.root_.name.assign(1, '/');
+  tree.root_.policy_share = 1.0;
+  tree.root_.usage_share = usage.empty() ? 0.0 : 1.0;
+  tree.root_.distance = 0.0;
+  return tree;
+}
+
+}  // namespace aequus::core

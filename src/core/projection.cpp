@@ -1,0 +1,124 @@
+#include "core/projection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <cmath>
+#include <vector>
+
+namespace aequus::core {
+
+std::string to_string(ProjectionKind kind) {
+  switch (kind) {
+    case ProjectionKind::kDictionaryOrdering: return "dictionary";
+    case ProjectionKind::kBitwiseVector: return "bitwise";
+    case ProjectionKind::kPercental: return "percental";
+  }
+  return "?";
+}
+
+ProjectionKind projection_kind_from_string(const std::string& name) {
+  if (name == "dictionary") return ProjectionKind::kDictionaryOrdering;
+  if (name == "bitwise") return ProjectionKind::kBitwiseVector;
+  if (name == "percental") return ProjectionKind::kPercental;
+  throw std::invalid_argument("unknown projection kind: " + name);
+}
+
+json::Value to_json(const ProjectionConfig& config) {
+  json::Object obj;
+  obj["kind"] = to_string(config.kind);
+  obj["bits_per_level"] = config.bits_per_level;
+  return json::Value(std::move(obj));
+}
+
+ProjectionConfig projection_config_from_json(const json::Value& value) {
+  ProjectionConfig config;
+  config.kind = projection_kind_from_string(
+      value.get_string("kind", to_string(config.kind)));
+  config.bits_per_level =
+      static_cast<int>(value.get_number("bits_per_level", config.bits_per_level));
+  return config;
+}
+
+namespace {
+
+std::map<std::string, double> project_dictionary(const FairshareTree& tree) {
+  struct Entry {
+    std::string path;
+    FairshareVector vector;
+  };
+  std::vector<Entry> entries;
+  for (const auto& path : tree.user_paths()) {
+    entries.push_back({path, *tree.vector_for(path)});
+  }
+  // Descending sort: best vector first. Stable order for equal vectors.
+  std::stable_sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.vector.compare(b.vector) == std::strong_ordering::greater;
+  });
+  std::map<std::string, double> out;
+  const double n = static_cast<double>(entries.size());
+  for (std::size_t rank = 0; rank < entries.size(); ++rank) {
+    out[entries[rank].path] = (n - static_cast<double>(rank)) / (n + 1.0);
+  }
+  return out;
+}
+
+std::map<std::string, double> project_bitwise(const FairshareTree& tree, int bits_per_level) {
+  // A double's 52-bit mantissa bounds the usable depth: extra levels are
+  // truncated (the "finite depth" trade-off of Table I).
+  const int max_levels = std::max(1, 52 / std::max(bits_per_level, 1));
+  const auto level_count = static_cast<std::size_t>(std::min(tree.depth(), max_levels));
+  const double bucket_count = std::exp2(bits_per_level);
+  double scale = 1.0;
+  for (std::size_t i = 0; i < level_count; ++i) scale *= bucket_count;
+
+  std::map<std::string, double> out;
+  for (const auto& path : tree.user_paths()) {
+    const FairshareVector vector = *tree.vector_for(path);
+    double merged = 0.0;
+    for (std::size_t level = 0; level < level_count; ++level) {
+      const double raw = level < vector.depth() ? vector.values()[level] : 0.0;
+      // Quantize [-1, 1] into [0, 2^bits - 1].
+      double bucket = std::floor((raw + 1.0) / 2.0 * bucket_count);
+      bucket = std::clamp(bucket, 0.0, bucket_count - 1.0);
+      merged = merged * bucket_count + bucket;
+    }
+    out[path] = scale > 1.0 ? merged / (scale - 1.0) : 0.0;
+  }
+  return out;
+}
+
+std::map<std::string, double> project_percental(const FairshareTree& tree) {
+  std::map<std::string, double> out;
+  for (const auto& path : tree.user_paths()) {
+    out[path] = percental_value(tree, path);
+  }
+  return out;
+}
+
+}  // namespace
+
+double percental_value(const FairshareTree& tree, const std::string& path) {
+  const auto segments = split_path(path);
+  const FairshareTree::Node* node = &tree.root();
+  double target = 1.0;
+  double usage = 1.0;
+  for (const auto& segment : segments) {
+    node = node->find_child(segment);
+    if (node == nullptr) return 0.5;
+    target *= node->policy_share;
+    usage *= node->usage_share;
+  }
+  return std::clamp((target - usage + 1.0) / 2.0, 0.0, 1.0);
+}
+
+std::map<std::string, double> project(const FairshareTree& tree,
+                                      const ProjectionConfig& config) {
+  switch (config.kind) {
+    case ProjectionKind::kDictionaryOrdering: return project_dictionary(tree);
+    case ProjectionKind::kBitwiseVector: return project_bitwise(tree, config.bits_per_level);
+    case ProjectionKind::kPercental: return project_percental(tree);
+  }
+  return {};
+}
+
+}  // namespace aequus::core

@@ -1,0 +1,58 @@
+// Usage trees: per-entity resource consumption organized to mirror the
+// policy hierarchy (§II-A).
+//
+// Leaf usage is added per user path; interior nodes aggregate their
+// subtree. Cross-site merging is additive: each Aequus installation keeps
+// its local usage tree and adds the "compact form" per-user totals
+// relayed by remote installations.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace aequus::core {
+
+/// Additive usage accounting over '/'-separated paths.
+class UsageTree {
+ public:
+  UsageTree() = default;
+
+  /// Add `amount` core-seconds to the leaf at `path` (creates the path).
+  /// Negative amounts are rejected.
+  void add(const std::string& path, double amount);
+
+  /// Merge another tree (adds every leaf).
+  void merge(const UsageTree& other);
+
+  /// Multiply every recorded amount by `factor` (used by decay-on-merge).
+  void scale(double factor);
+
+  /// Total usage in the subtree rooted at `path` (the whole tree for "/").
+  [[nodiscard]] double usage(const std::string& path) const;
+
+  /// Subtree usage at `path` divided by the sum over its siblings.
+  /// Returns 0 when the node is unknown or the sibling group is idle.
+  [[nodiscard]] double normalized_usage(const std::string& path) const;
+
+  /// Direct leaf contributions, path -> amount.
+  [[nodiscard]] const std::map<std::string, double>& leaves() const noexcept { return leaves_; }
+
+  [[nodiscard]] double total() const;
+  [[nodiscard]] bool empty() const noexcept { return leaves_.empty(); }
+  void clear() noexcept { leaves_.clear(); }
+
+  /// Wire format: {"<path>": amount, ...}.
+  [[nodiscard]] json::Value to_json() const;
+  [[nodiscard]] static UsageTree from_json(const json::Value& value);
+
+ private:
+  // Leaf-map representation: interior aggregates are computed by prefix
+  // scans, which keeps merge/scale trivially correct.
+  std::map<std::string, double> leaves_;
+};
+
+}  // namespace aequus::core

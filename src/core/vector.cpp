@@ -1,0 +1,62 @@
+#include "core/vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace aequus::core {
+
+FairshareVector::FairshareVector(std::vector<double> values, int resolution)
+    : values_(std::move(values)), resolution_(resolution) {
+  if (resolution < 2) throw std::invalid_argument("FairshareVector: resolution must be >= 2");
+}
+
+int FairshareVector::encode(double value, int resolution) {
+  const double clamped = std::clamp(value, -1.0, 1.0);
+  const double scaled = (clamped + 1.0) / 2.0 * static_cast<double>(resolution - 1);
+  return static_cast<int>(std::lround(scaled));
+}
+
+int FairshareVector::balance_point(int resolution) {
+  return encode(0.0, resolution);
+}
+
+std::vector<int> FairshareVector::encoded() const {
+  std::vector<int> out;
+  out.reserve(values_.size());
+  for (double v : values_) out.push_back(encode(v, resolution_));
+  return out;
+}
+
+FairshareVector FairshareVector::padded_to(std::size_t target_depth) const {
+  FairshareVector padded = *this;
+  while (padded.values_.size() < target_depth) padded.values_.push_back(0.0);
+  return padded;
+}
+
+std::strong_ordering FairshareVector::compare(const FairshareVector& other) const {
+  // Raw (full-precision) element comparison: the vectors' "unlimited
+  // precision" property (Table I). The encoded form is for display and
+  // wire transfer only. Missing levels compare as the balance value 0.
+  const std::size_t depth = std::max(values_.size(), other.values_.size());
+  for (std::size_t i = 0; i < depth; ++i) {
+    const double a = i < values_.size() ? values_[i] : 0.0;
+    const double b = i < other.values_.size() ? other.values_[i] : 0.0;
+    if (a < b) return std::strong_ordering::less;
+    if (a > b) return std::strong_ordering::greater;
+  }
+  return std::strong_ordering::equal;
+}
+
+std::string FairshareVector::to_string() const {
+  std::string out;
+  for (const int e : encoded()) {
+    if (!out.empty()) out += '.';
+    out += util::format("%04d", e);
+  }
+  return out;
+}
+
+}  // namespace aequus::core

@@ -1,0 +1,62 @@
+// Fairshare vectors (§III-C, Fig. 3).
+//
+// The fairshare value of a user is the vector of per-level fairshare
+// distances along the path from the root to the user's leaf. Elements are
+// encoded with a configurable resolution (the paper's example uses the
+// range [0, 9999]); paths shorter than the tree depth are padded with the
+// *balance point*, the center of the value range.
+//
+// Properties (Table I): arbitrary depth, unlimited precision, subgroup
+// isolation (an element is affected only by its own sibling group), and
+// proportionality.
+#pragma once
+
+#include <compare>
+#include <string>
+#include <vector>
+
+namespace aequus::core {
+
+/// Default element resolution: values encode into [0, 9999].
+inline constexpr int kDefaultResolution = 10000;
+
+/// Ordered per-level fairshare values for one user.
+class FairshareVector {
+ public:
+  FairshareVector() = default;
+
+  /// `values` are raw per-level distances in [-1, 1], root level first.
+  explicit FairshareVector(std::vector<double> values, int resolution = kDefaultResolution);
+
+  /// Raw distances, one per hierarchy level.
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+  [[nodiscard]] std::size_t depth() const noexcept { return values_.size(); }
+  [[nodiscard]] int resolution() const noexcept { return resolution_; }
+
+  /// Encoded elements in [0, resolution): e = round((v+1)/2 * (res-1)).
+  [[nodiscard]] std::vector<int> encoded() const;
+
+  /// Encode a single raw value.
+  [[nodiscard]] static int encode(double value, int resolution = kDefaultResolution);
+
+  /// The balance-point element (center of the range, raw value 0).
+  [[nodiscard]] static int balance_point(int resolution = kDefaultResolution);
+
+  /// Copy padded with balance-point levels up to `target_depth` (like /LQ
+  /// in the paper's Figure 3 example).
+  [[nodiscard]] FairshareVector padded_to(std::size_t target_depth) const;
+
+  /// Lexicographic comparison of encoded elements, leftmost (top level)
+  /// first. Greater compares as "higher priority".
+  [[nodiscard]] std::strong_ordering compare(const FairshareVector& other) const;
+
+  /// Dotted string of encoded elements, e.g. "7812.5000.6413".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<double> values_;
+  int resolution_ = kDefaultResolution;
+};
+
+}  // namespace aequus::core

@@ -1,0 +1,386 @@
+#include "json/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace aequus::json {
+
+namespace {
+[[noreturn]] void fail(const char* what, std::size_t offset) {
+  throw std::runtime_error(util::format("json: %s at offset %zu", what, offset));
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (!is_bool()) throw std::runtime_error("json: not a bool");
+  return std::get<bool>(data_);
+}
+
+double Value::as_number() const {
+  if (!is_number()) throw std::runtime_error("json: not a number");
+  return std::get<double>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  return static_cast<std::int64_t>(std::llround(as_number()));
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw std::runtime_error("json: not a string");
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::as_array() const {
+  if (!is_array()) throw std::runtime_error("json: not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::as_object() const {
+  if (!is_object()) throw std::runtime_error("json: not an object");
+  return std::get<Object>(data_);
+}
+
+Array& Value::as_array() {
+  if (!is_array()) throw std::runtime_error("json: not an array");
+  return std::get<Array>(data_);
+}
+
+Object& Value::as_object() {
+  if (!is_object()) throw std::runtime_error("json: not an object");
+  return std::get<Object>(data_);
+}
+
+const Value& Value::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::runtime_error("json: missing key '" + key + "'");
+  return it->second;
+}
+
+std::optional<std::reference_wrapper<const Value>> Value::find(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) return std::nullopt;
+  return std::cref(it->second);
+}
+
+std::string Value::get_string(const std::string& key, std::string fallback) const {
+  const auto found = find(key);
+  if (!found || !found->get().is_string()) return fallback;
+  return found->get().as_string();
+}
+
+double Value::get_number(const std::string& key, double fallback) const {
+  const auto found = find(key);
+  if (!found || !found->get().is_number()) return fallback;
+  return found->get().as_number();
+}
+
+bool Value::get_bool(const std::string& key, bool fallback) const {
+  const auto found = find(key);
+  if (!found || !found->get().is_bool()) return fallback;
+  return found->get().as_bool();
+}
+
+const Value& Value::at(std::size_t index) const {
+  const auto& arr = as_array();
+  if (index >= arr.size()) throw std::runtime_error("json: index out of range");
+  return arr[index];
+}
+
+std::size_t Value::size() const {
+  if (is_array()) return std::get<Array>(data_).size();
+  if (is_object()) return std::get<Object>(data_).size();
+  throw std::runtime_error("json: size() on scalar");
+}
+
+namespace {
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(std::string& out, double d) {
+  if (d == std::llround(d) && std::fabs(d) < 1e15) {
+    out += util::format("%lld", static_cast<long long>(std::llround(d)));
+  } else {
+    out += util::format("%.17g", d);
+  }
+}
+}  // namespace
+
+void Value::write(std::string& out, int indent, int depth) const {
+  const auto newline = [&] {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  };
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(data_) ? "true" : "false";
+  } else if (is_number()) {
+    write_number(out, std::get<double>(data_));
+  } else if (is_string()) {
+    write_escaped(out, std::get<std::string>(data_));
+  } else if (is_array()) {
+    const auto& arr = std::get<Array>(data_);
+    out += '[';
+    bool first = true;
+    for (const auto& item : arr) {
+      if (!first) out += ',';
+      first = false;
+      ++depth;
+      newline();
+      --depth;
+      item.write(out, indent, depth + 1);
+    }
+    if (!arr.empty()) newline();
+    out += ']';
+  } else {
+    const auto& obj = std::get<Object>(data_);
+    out += '{';
+    bool first = true;
+    for (const auto& [key, item] : obj) {
+      if (!first) out += ',';
+      first = false;
+      ++depth;
+      newline();
+      --depth;
+      write_escaped(out, key);
+      out += ':';
+      if (indent > 0) out += ' ';
+      item.write(out, indent, depth + 1);
+    }
+    if (!obj.empty()) newline();
+    out += '}';
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string Value::pretty() const {
+  std::string out;
+  write(out, 2, 0);
+  return out;
+}
+
+namespace {
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_whitespace();
+    Value v = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters", pos_);
+    return v;
+  }
+
+ private:
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (advance() != c) fail("unexpected character", pos_ - 1);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal", pos_);
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal", pos_);
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal", pos_);
+        return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_whitespace();
+      const char c = advance();
+      if (c == '}') return Value(std::move(obj));
+      if (c != ',') fail("expected ',' or '}'", pos_ - 1);
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_whitespace();
+      const char c = advance();
+      if (c == ']') return Value(std::move(arr));
+      if (c != ',') fail("expected ',' or ']'", pos_ - 1);
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = advance();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = advance();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = advance();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape", pos_ - 1);
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+            // the IRS protocol is ASCII identity names).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape", pos_ - 1);
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character", pos_ - 1);
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected value", start);
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number", start);
+    return Value(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+}  // namespace
+
+Value parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::optional<Value> try_parse(std::string_view text) noexcept {
+  try {
+    return parse(text);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace aequus::json

@@ -1,0 +1,77 @@
+#include "libaequus/c_api.hpp"
+
+#include <cstring>
+
+#include "libaequus/client.hpp"
+
+struct aequus_handle {
+  aequus::client::AequusClient client;
+};
+
+extern "C" {
+
+aequus_handle* aequus_create(aequus::sim::Simulator* simulator, aequus::net::ServiceBus* bus,
+                             const char* site, const char* cluster,
+                             double fairshare_cache_ttl, double identity_cache_ttl) {
+  if (simulator == nullptr || bus == nullptr || site == nullptr || cluster == nullptr) {
+    return nullptr;
+  }
+  try {
+    aequus::client::ClientConfig config;
+    config.site = site;
+    config.cluster = cluster;
+    config.fairshare_cache_ttl = fairshare_cache_ttl;
+    config.identity_cache_ttl = identity_cache_ttl;
+    return new aequus_handle{
+        aequus::client::AequusClient(*simulator, *bus, std::move(config))};
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void aequus_destroy(aequus_handle* handle) {
+  delete handle;
+}
+
+double aequus_fairshare_factor(aequus_handle* handle, const char* grid_user) {
+  if (handle == nullptr || grid_user == nullptr) return -1.0;
+  try {
+    return handle->client.fairshare_factor(grid_user);
+  } catch (...) {
+    return -1.0;
+  }
+}
+
+int aequus_resolve_identity(aequus_handle* handle, const char* system_user, char* out,
+                            std::size_t out_size) {
+  if (handle == nullptr || system_user == nullptr || out == nullptr || out_size == 0) return -1;
+  try {
+    const auto grid_user = handle->client.resolve_identity(system_user);
+    if (!grid_user || grid_user->size() + 1 > out_size) return -1;
+    std::memcpy(out, grid_user->c_str(), grid_user->size() + 1);
+    return 0;
+  } catch (...) {
+    return -1;
+  }
+}
+
+int aequus_report_usage(aequus_handle* handle, const char* grid_user, double usage) {
+  if (handle == nullptr || grid_user == nullptr) return -1;
+  try {
+    handle->client.report_usage(grid_user, usage);
+    return 0;
+  } catch (...) {
+    return -1;
+  }
+}
+
+int aequus_report_system_usage(aequus_handle* handle, const char* system_user, double usage) {
+  if (handle == nullptr || system_user == nullptr) return -1;
+  try {
+    return handle->client.report_system_usage(system_user, usage) ? 0 : -1;
+  } catch (...) {
+    return -1;
+  }
+}
+
+}  // extern "C"

@@ -1,0 +1,51 @@
+// C-compatible facade over AequusClient.
+//
+// Real SLURM plugins and Maui patches are C code; the paper's libaequus
+// therefore exposes a C interface. This facade mirrors that boundary:
+// opaque handle, plain-C types, no exceptions across the API (failures
+// return error codes / sentinel values).
+#pragma once
+
+#include <cstddef>
+
+namespace aequus::client {
+class AequusClient;
+}
+namespace aequus::net {
+class ServiceBus;
+}
+namespace aequus::sim {
+class Simulator;
+}
+
+extern "C" {
+
+/// Opaque client handle.
+typedef struct aequus_handle aequus_handle;
+
+/// Create a client bound to `site` (installation name) and `cluster`
+/// (local cluster name). Cache TTLs in seconds. Returns nullptr on error.
+aequus_handle* aequus_create(aequus::sim::Simulator* simulator, aequus::net::ServiceBus* bus,
+                             const char* site, const char* cluster,
+                             double fairshare_cache_ttl, double identity_cache_ttl);
+
+/// Destroy a client created by aequus_create. Safe on nullptr.
+void aequus_destroy(aequus_handle* handle);
+
+/// Global fairshare factor in [0, 1]; 0.5 when unknown; -1.0 on error.
+double aequus_fairshare_factor(aequus_handle* handle, const char* grid_user);
+
+/// Resolve a system user to a grid identity. Writes a NUL-terminated
+/// string into `out` (capacity `out_size`). Returns 0 on success, -1 when
+/// unresolvable or on error.
+int aequus_resolve_identity(aequus_handle* handle, const char* system_user, char* out,
+                            std::size_t out_size);
+
+/// Report usage (core-seconds) for a grid user. Returns 0 on success.
+int aequus_report_usage(aequus_handle* handle, const char* grid_user, double usage);
+
+/// Resolve-and-report for a system user. Returns 0 on success, -1 when the
+/// identity cannot be resolved.
+int aequus_report_system_usage(aequus_handle* handle, const char* system_user, double usage);
+
+}  // extern "C"

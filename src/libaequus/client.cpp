@@ -1,0 +1,87 @@
+#include "libaequus/client.hpp"
+
+#include "util/logging.hpp"
+
+namespace aequus::client {
+
+AequusClient::AequusClient(sim::Simulator& simulator, net::ServiceBus& bus, ClientConfig config)
+    : simulator_(simulator), bus_(bus), config_(std::move(config)) {
+  refresh_fairshare_table();
+  refresh_task_ =
+      simulator_.schedule_periodic(config_.fairshare_cache_ttl, config_.fairshare_cache_ttl,
+                                   [this] { refresh_fairshare_table(); });
+}
+
+AequusClient::~AequusClient() {
+  refresh_task_.cancel();
+}
+
+void AequusClient::refresh_fairshare_table() {
+  json::Object request;
+  request["op"] = "table";
+  bus_.request(config_.site, config_.site + ".fcs", json::Value(std::move(request)),
+               [this](const json::Value& reply) {
+                 try {
+                   const auto users = reply.find("users");
+                   if (!users) return;
+                   for (const auto& [user, value] : users->get().as_object()) {
+                     fairshare_table_[user] = value.as_number();
+                   }
+                   ++stats_.fairshare_refreshes;
+                 } catch (const std::exception& e) {
+                   AEQ_WARN("libaequus") << "bad fairshare table reply: " << e.what();
+                 }
+               });
+}
+
+double AequusClient::fairshare_factor(const std::string& grid_user) {
+  ++stats_.fairshare_lookups;
+  const auto it = fairshare_table_.find(grid_user);
+  return it != fairshare_table_.end() ? it->second : 0.5;
+}
+
+std::optional<std::string> AequusClient::resolve_identity(const std::string& system_user) {
+  const double now = simulator_.now();
+  const auto it = identity_cache_.find(system_user);
+  if (it != identity_cache_.end() && it->second.expires > now) {
+    ++stats_.identity_hits;
+    return it->second.grid_user;
+  }
+  ++stats_.identity_misses;
+  json::Object request;
+  request["op"] = "resolve";
+  request["system_user"] = system_user;
+  request["cluster"] = config_.cluster;
+  // The IRS is co-located with the installation; the paper resolves
+  // identities synchronously during the fairshare calculation process.
+  const json::Value reply =
+      bus_.call(config_.site + ".irs", json::Value(std::move(request)));
+  if (reply.get_bool("unknown", false)) return std::nullopt;
+  const std::string grid_user = reply.get_string("grid_user");
+  if (grid_user.empty()) return std::nullopt;
+  identity_cache_[system_user] = {grid_user, now + config_.identity_cache_ttl};
+  return grid_user;
+}
+
+void AequusClient::report_usage(const std::string& grid_user, double usage) {
+  if (usage <= 0.0) return;
+  ++stats_.usage_reports;
+  json::Object record;
+  record["op"] = "report";
+  record["user"] = grid_user;
+  record["usage"] = usage;
+  bus_.send(config_.site, config_.site + ".uss", json::Value(std::move(record)));
+}
+
+bool AequusClient::report_system_usage(const std::string& system_user, double usage) {
+  const auto grid_user = resolve_identity(system_user);
+  if (!grid_user) {
+    AEQ_DEBUG("libaequus") << "unresolvable system user " << system_user
+                           << "; usage record dropped";
+    return false;
+  }
+  report_usage(*grid_user, usage);
+  return true;
+}
+
+}  // namespace aequus::client

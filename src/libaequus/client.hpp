@@ -1,0 +1,88 @@
+// libaequus: the unified system library linked into local resource
+// management systems (§III-A).
+//
+// "The libaequus library provides a C/C++ based interface that underneath
+// contains Web service clients that communicate with Aequus to retrieve
+// fairshare values, usage identity mappings, and store usage records.
+// Previously resolved fairshare values and identities are cached within
+// the library (for a configurable amount of time), which considerably
+// reduces the amount of network traffic and computations required when
+// batches of jobs are submitted and processed at the same time."
+//
+// The client is synchronous from the RM's point of view: fairshare
+// lookups are served from a periodically refreshed snapshot of the FCS
+// table (cache delay III of §IV-A-2), identity lookups hit a TTL cache in
+// front of the site IRS, and usage reports are one-way messages to the
+// site USS (reporting delay I).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/service_bus.hpp"
+#include "sim/simulator.hpp"
+
+namespace aequus::client {
+
+struct ClientConfig {
+  std::string site;                  ///< Aequus installation to talk to
+  std::string cluster;               ///< local cluster name (IRS context)
+  double fairshare_cache_ttl = 30.0; ///< seconds between table refreshes
+  double identity_cache_ttl = 600.0; ///< seconds an identity stays cached
+};
+
+struct ClientStats {
+  std::uint64_t fairshare_lookups = 0;
+  std::uint64_t fairshare_refreshes = 0;
+  std::uint64_t identity_hits = 0;
+  std::uint64_t identity_misses = 0;
+  std::uint64_t usage_reports = 0;
+};
+
+class AequusClient {
+ public:
+  AequusClient(sim::Simulator& simulator, net::ServiceBus& bus, ClientConfig config);
+  ~AequusClient();
+  AequusClient(const AequusClient&) = delete;
+  AequusClient& operator=(const AequusClient&) = delete;
+
+  /// Global fairshare factor in [0, 1] for a grid user. Served from the
+  /// cached FCS table; 0.5 (the balance point) until the first refresh
+  /// lands or for users Aequus does not know.
+  [[nodiscard]] double fairshare_factor(const std::string& grid_user);
+
+  /// Reverse-map a system user to its grid identity via the site IRS,
+  /// caching results for `identity_cache_ttl` seconds.
+  [[nodiscard]] std::optional<std::string> resolve_identity(const std::string& system_user);
+
+  /// Report `usage` core-seconds consumed by `grid_user` to the site USS.
+  void report_usage(const std::string& grid_user, double usage);
+
+  /// Convenience used by completion plugins: resolve, then report. Returns
+  /// false when the identity cannot be resolved (usage is then dropped,
+  /// as it would be in a misconfigured deployment).
+  bool report_system_usage(const std::string& system_user, double usage);
+
+  [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ClientConfig& config() const noexcept { return config_; }
+
+  /// Force a synchronous-style refresh request (normally timer-driven).
+  void refresh_fairshare_table();
+
+ private:
+  sim::Simulator& simulator_;
+  net::ServiceBus& bus_;
+  ClientConfig config_;
+  std::map<std::string, double> fairshare_table_;
+  struct CachedIdentity {
+    std::string grid_user;
+    double expires;
+  };
+  std::map<std::string, CachedIdentity> identity_cache_;
+  ClientStats stats_;
+  sim::EventHandle refresh_task_;
+};
+
+}  // namespace aequus::client

@@ -1,0 +1,57 @@
+#include "maui/maui_scheduler.hpp"
+
+#include <algorithm>
+
+namespace aequus::maui {
+
+MauiScheduler::MauiScheduler(sim::Simulator& simulator, rms::Cluster cluster,
+                             MauiWeights weights, rms::SchedulerConfig config,
+                             core::DecayConfig local_decay)
+    : rms::SchedulerBase(simulator, std::move(cluster), config),
+      weights_(weights),
+      local_fairshare_(local_decay) {}
+
+void MauiScheduler::set_local_share(const std::string& system_user, double share) {
+  local_fairshare_.set_share(system_user, share);
+}
+
+void MauiScheduler::set_user_credential(const std::string& system_user, double priority) {
+  credentials_[system_user] = std::clamp(priority, 0.0, 1.0);
+}
+
+double MauiScheduler::queue_time_component(const rms::Job& job, double now) const {
+  if (weights_.max_queue_time <= 0.0) return 0.0;
+  return std::clamp(job.wait_time(now) / weights_.max_queue_time, 0.0, 1.0);
+}
+
+double MauiScheduler::resource_component(const rms::Job& job) const {
+  if (weights_.max_procs <= 0) return 0.0;
+  return std::clamp(static_cast<double>(job.cores) / weights_.max_procs, 0.0, 1.0);
+}
+
+double MauiScheduler::credential_component(const rms::Job& job) const {
+  const auto it = credentials_.find(job.system_user);
+  return it == credentials_.end() ? 0.0 : it->second;
+}
+
+double MauiScheduler::fairshare_component(const rms::Job& job, double now) const {
+  if (fairshare_hook_) return std::clamp(fairshare_hook_(job, now), 0.0, 1.0);
+  return local_fairshare_.factor(job.system_user, now);
+}
+
+double MauiScheduler::compute_priority(const rms::Job& job, double now) {
+  double priority = 0.0;
+  priority += weights_.service * queue_time_component(job, now);
+  priority += weights_.fairshare * fairshare_component(job, now);
+  priority += weights_.resources * resource_component(job);
+  priority += weights_.credential * credential_component(job);
+  return priority;
+}
+
+void MauiScheduler::on_job_completed(const rms::Job& job) {
+  const double now = simulator().now();
+  local_fairshare_.record_usage(job.system_user, job.usage(), now);
+  if (completion_hook_) completion_hook_(job, now);
+}
+
+}  // namespace aequus::maui

@@ -1,0 +1,79 @@
+// The Maui-like scheduler (§III-A).
+//
+// "Maui has no inherent plug-in system, and therefore the integration is
+// done by applying patches to the Maui source code. Similarly to SLURM,
+// the local calculation of the fairshare priority factor is replaced with
+// a call to the libaequus system library, and another call for supplying
+// usage information to Aequus is injected into Maui for execution when
+// jobs are completed."
+//
+// Priority follows Maui's weighted component model:
+//   priority = SERVICEWEIGHT * QUEUETIME + FSWEIGHT * FAIRSHARE
+//            + RESWEIGHT * PROC + CREDWEIGHT * USERCRED
+// (each component normalized to [0, 1] here). The fairshare component is
+// computed by `fairshare_component()` — the exact function the Aequus
+// patch replaces via patch_fairshare(); completion-time usage recording
+// goes through the injected completion hook via patch_completion().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "rms/scheduler.hpp"
+#include "slurm/local_fairshare.hpp"
+
+namespace aequus::maui {
+
+struct MauiWeights {
+  double service = 0.0;    ///< SERVICEWEIGHT (queue-time component)
+  double fairshare = 1.0;  ///< FSWEIGHT
+  double resources = 0.0;  ///< RESWEIGHT (requested processors)
+  double credential = 0.0; ///< CREDWEIGHT (per-user static priority)
+  double max_queue_time = 7.0 * 86400.0;  ///< queue-time saturation [s]
+  int max_procs = 1024;                   ///< processor normalization
+};
+
+class MauiScheduler final : public rms::SchedulerBase {
+ public:
+  /// The patch points. Both receive the job and the current time.
+  using FairshareHook = std::function<double(const rms::Job&, double now)>;
+  using CompletionHook = std::function<void(const rms::Job&, double now)>;
+
+  MauiScheduler(sim::Simulator& simulator, rms::Cluster cluster, MauiWeights weights = {},
+                rms::SchedulerConfig config = {},
+                core::DecayConfig local_decay = {});
+
+  /// Replace the local fairshare component calculation (the Aequus patch).
+  void patch_fairshare(FairshareHook hook) { fairshare_hook_ = std::move(hook); }
+
+  /// Inject a completion-time call-out (the Aequus usage-reporting patch).
+  void patch_completion(CompletionHook hook) { completion_hook_ = std::move(hook); }
+
+  /// Configure local fairshare target shares (used when unpatched).
+  void set_local_share(const std::string& system_user, double share);
+
+  /// Per-user static credential priority in [0, 1] (USERCFG PRIORITY=).
+  void set_user_credential(const std::string& system_user, double priority);
+
+  [[nodiscard]] const MauiWeights& weights() const noexcept { return weights_; }
+
+  /// Individual components, exposed for tests.
+  [[nodiscard]] double queue_time_component(const rms::Job& job, double now) const;
+  [[nodiscard]] double resource_component(const rms::Job& job) const;
+  [[nodiscard]] double credential_component(const rms::Job& job) const;
+  [[nodiscard]] double fairshare_component(const rms::Job& job, double now) const;
+
+ protected:
+  double compute_priority(const rms::Job& job, double now) override;
+  void on_job_completed(const rms::Job& job) override;
+
+ private:
+  MauiWeights weights_;
+  FairshareHook fairshare_hook_;      ///< empty = local calculation
+  CompletionHook completion_hook_;    ///< empty = no call-out
+  slurm::LocalFairshare local_fairshare_;
+  std::map<std::string, double> credentials_;
+};
+
+}  // namespace aequus::maui

@@ -1,0 +1,23 @@
+#include "maui/patches.hpp"
+
+namespace aequus::maui {
+
+void apply_aequus_patches(MauiScheduler& scheduler, client::AequusClient& client) {
+  scheduler.patch_fairshare([&client](const rms::Job& job, double now) -> double {
+    (void)now;
+    if (!job.grid_user.empty()) return client.fairshare_factor(job.grid_user);
+    const auto grid_user = client.resolve_identity(job.system_user);
+    if (!grid_user) return 0.5;
+    return client.fairshare_factor(*grid_user);
+  });
+  scheduler.patch_completion([&client](const rms::Job& job, double now) {
+    (void)now;
+    if (!job.grid_user.empty()) {
+      client.report_usage(job.grid_user, job.usage());
+    } else {
+      (void)client.report_system_usage(job.system_user, job.usage());
+    }
+  });
+}
+
+}  // namespace aequus::maui

@@ -1,0 +1,16 @@
+// The "Aequus patches" for Maui: minimal source-level injections wiring a
+// MauiScheduler to libaequus, mirroring §III-A's description of patching
+// Maui rather than using a plugin system.
+#pragma once
+
+#include "libaequus/client.hpp"
+#include "maui/maui_scheduler.hpp"
+
+namespace aequus::maui {
+
+/// Apply both patches: replace the fairshare component with a libaequus
+/// call (resolving system users through the IRS) and inject the
+/// completion-time usage report.
+void apply_aequus_patches(MauiScheduler& scheduler, client::AequusClient& client);
+
+}  // namespace aequus::maui

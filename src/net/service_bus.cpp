@@ -1,0 +1,137 @@
+#include "net/service_bus.hpp"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace aequus::net {
+
+ServiceBus::ServiceBus(sim::Simulator& simulator) : simulator_(simulator) {}
+
+void ServiceBus::bind(const std::string& address, Handler handler) {
+  endpoints_[address] = std::move(handler);
+}
+
+void ServiceBus::unbind(const std::string& address) {
+  endpoints_.erase(address);
+}
+
+bool ServiceBus::bound(const std::string& address) const {
+  return endpoints_.count(address) > 0;
+}
+
+std::string ServiceBus::site_of(std::string_view address) {
+  const std::size_t dot = address.find('.');
+  if (dot == std::string_view::npos) return std::string(address);
+  return std::string(address.substr(0, dot));
+}
+
+void ServiceBus::set_site_contributes(const std::string& site, bool contributes) {
+  contributes_[site] = contributes;
+}
+
+void ServiceBus::set_site_receives(const std::string& site, bool receives) {
+  receives_[site] = receives;
+}
+
+bool ServiceBus::site_contributes(const std::string& site) const {
+  const auto it = contributes_.find(site);
+  return it == contributes_.end() || it->second;
+}
+
+bool ServiceBus::site_receives(const std::string& site) const {
+  const auto it = receives_.find(site);
+  return it == receives_.end() || it->second;
+}
+
+bool ServiceBus::allowed(const std::string& from_site, const std::string& to_site) const {
+  if (from_site == to_site) return true;  // intra-site traffic always flows
+  return site_contributes(from_site) && site_receives(to_site);
+}
+
+void ServiceBus::set_loss_rate(double rate, std::uint64_t seed) {
+  loss_rate_ = std::clamp(rate, 0.0, 1.0);
+  loss_rng_ = util::Rng(seed);
+}
+
+bool ServiceBus::lose(const std::string& from_site, const std::string& to_site) {
+  if (loss_rate_ <= 0.0 || from_site == to_site) return false;
+  if (!loss_rng_.bernoulli(loss_rate_)) return false;
+  ++stats_.dropped_loss;
+  return true;
+}
+
+double ServiceBus::latency(const std::string& from_site, const std::string& to_site) const {
+  return from_site == to_site ? local_latency_ : remote_latency_;
+}
+
+void ServiceBus::request(const std::string& from_site, const std::string& address,
+                         json::Value payload, ReplyCallback on_reply) {
+  ++stats_.requests;
+  stats_.payload_bytes += payload.dump().size();
+  const std::string to_site = site_of(address);
+  // The forward leg is a query (metadata), not data: it always flows, so a
+  // non-contributing site can still *read* global state (§IV-A-4). The
+  // reply leg carries the responder's data and is gated below.
+  const auto it = endpoints_.find(address);
+  if (it == endpoints_.end()) {
+    ++stats_.dropped_unbound;
+    AEQ_DEBUG("bus") << "request to unbound address " << address;
+    return;
+  }
+  if (lose(from_site, to_site)) return;  // query leg lost
+  const double hop = latency(from_site, to_site);
+  // Copy the handler so a later re-bind does not affect in-flight traffic.
+  simulator_.schedule_after(
+      hop, [this, handler = it->second, payload = std::move(payload), hop, from_site,
+            to_site, on_reply = std::move(on_reply)]() mutable {
+        json::Value reply = handler(payload);
+        // The reply carries the responder's data: it is subject to the
+        // responder's contribution flag (a non-contributing site answers
+        // local requests but its data never leaves the site, §IV-A-4).
+        if (!allowed(to_site, from_site)) {
+          ++stats_.dropped_participation;
+          return;
+        }
+        if (lose(to_site, from_site)) return;  // reply leg lost
+        stats_.payload_bytes += reply.dump().size();
+        simulator_.schedule_after(
+            hop, [reply = std::move(reply), on_reply = std::move(on_reply)] {
+              if (on_reply) on_reply(reply);
+            });
+      });
+}
+
+void ServiceBus::send(const std::string& from_site, const std::string& address,
+                      json::Value payload) {
+  ++stats_.one_way;
+  stats_.payload_bytes += payload.dump().size();
+  const std::string to_site = site_of(address);
+  if (!allowed(from_site, to_site)) {
+    ++stats_.dropped_participation;
+    return;
+  }
+  const auto it = endpoints_.find(address);
+  if (it == endpoints_.end()) {
+    ++stats_.dropped_unbound;
+    AEQ_DEBUG("bus") << "send to unbound address " << address;
+    return;
+  }
+  if (lose(from_site, to_site)) return;
+  simulator_.schedule_after(latency(from_site, to_site),
+                            [handler = it->second, payload = std::move(payload)] {
+                              (void)handler(payload);
+                            });
+}
+
+json::Value ServiceBus::call(const std::string& address, const json::Value& payload) {
+  const auto it = endpoints_.find(address);
+  if (it == endpoints_.end()) {
+    throw std::runtime_error("ServiceBus::call: unbound address " + address);
+  }
+  return it->second(payload);
+}
+
+}  // namespace aequus::net

@@ -1,0 +1,110 @@
+// Simulated service bus: the stand-in for the Java Web-service transport
+// between Aequus installations.
+//
+// Endpoints have addresses of the form "<site>.<service>" (e.g.
+// "hpc2n.uss"). Messages are JSON payloads delivered with configurable
+// latency: `local_latency` within a site and `remote_latency` between
+// sites. The paper's partial-participation experiment (§IV-A-4) is modeled
+// with per-site flags: a site that does not *contribute* has its outbound
+// inter-site traffic dropped; a site that does not *receive* has inbound
+// inter-site traffic dropped. Intra-site traffic always flows.
+//
+// Message volume counters support evaluating the "compact form" usage
+// exchange (bytes on the wire per experiment).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "json/json.hpp"
+#include "util/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace aequus::net {
+
+/// Traffic counters, exposed for experiments.
+struct BusStats {
+  std::uint64_t requests = 0;
+  std::uint64_t one_way = 0;
+  std::uint64_t dropped_participation = 0;  ///< blocked by participation flags
+  std::uint64_t dropped_unbound = 0;        ///< no endpoint at address
+  std::uint64_t dropped_loss = 0;           ///< lost to injected failures
+  std::uint64_t payload_bytes = 0;          ///< serialized payload volume
+};
+
+/// In-process message fabric running on the shared Simulator.
+class ServiceBus {
+ public:
+  using Handler = std::function<json::Value(const json::Value&)>;
+  using ReplyCallback = std::function<void(const json::Value&)>;
+
+  explicit ServiceBus(sim::Simulator& simulator);
+
+  /// Register the handler for `address` ("<site>.<service>"). Re-binding
+  /// replaces the previous handler.
+  void bind(const std::string& address, Handler handler);
+
+  void unbind(const std::string& address);
+
+  /// Asynchronous request/response. The handler runs after the forward
+  /// latency; `on_reply` runs after the return latency. The query leg
+  /// always flows; the *reply* carries the responder's data and is
+  /// dropped when the responder does not contribute or the requester does
+  /// not receive. If dropped (or the address is unbound) `on_reply` never
+  /// fires.
+  void request(const std::string& from_site, const std::string& address, json::Value payload,
+               ReplyCallback on_reply);
+
+  /// Fire-and-forget data message (e.g. a usage report): dropped across
+  /// sites when the sender does not contribute or the receiver does not
+  /// receive.
+  void send(const std::string& from_site, const std::string& address, json::Value payload);
+
+  /// Immediate local call, bypassing latency and participation (used for
+  /// co-located services inside one installation). Throws if unbound.
+  [[nodiscard]] json::Value call(const std::string& address, const json::Value& payload);
+
+  [[nodiscard]] bool bound(const std::string& address) const;
+
+  /// Latency configuration (seconds).
+  void set_local_latency(double seconds) noexcept { local_latency_ = seconds; }
+  void set_remote_latency(double seconds) noexcept { remote_latency_ = seconds; }
+  [[nodiscard]] double remote_latency() const noexcept { return remote_latency_; }
+
+  /// Participation flags (default: full participation).
+  void set_site_contributes(const std::string& site, bool contributes);
+  void set_site_receives(const std::string& site, bool receives);
+  [[nodiscard]] bool site_contributes(const std::string& site) const;
+  [[nodiscard]] bool site_receives(const std::string& site) const;
+
+  /// Failure injection: drop each *inter-site* message leg independently
+  /// with probability `rate` (deterministic given `seed`). Intra-site
+  /// traffic is unaffected. rate = 0 disables (default).
+  void set_loss_rate(double rate, std::uint64_t seed = 0x10ad);
+
+  [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
+
+  /// Site prefix of an address ("siteA.uss" -> "siteA").
+  [[nodiscard]] static std::string site_of(std::string_view address);
+
+ private:
+  [[nodiscard]] bool allowed(const std::string& from_site, const std::string& to_site) const;
+  [[nodiscard]] double latency(const std::string& from_site, const std::string& to_site) const;
+  /// True when an inter-site leg should be dropped by failure injection.
+  [[nodiscard]] bool lose(const std::string& from_site, const std::string& to_site);
+
+  sim::Simulator& simulator_;
+  std::map<std::string, Handler> endpoints_;
+  std::map<std::string, bool> contributes_;
+  std::map<std::string, bool> receives_;
+  double local_latency_ = 0.01;
+  double remote_latency_ = 0.10;
+  double loss_rate_ = 0.0;
+  util::Rng loss_rng_{0x10ad};
+  BusStats stats_;
+};
+
+}  // namespace aequus::net

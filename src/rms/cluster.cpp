@@ -1,0 +1,44 @@
+#include "rms/cluster.hpp"
+
+#include <stdexcept>
+
+namespace aequus::rms {
+
+Cluster::Cluster(std::string name, int node_count, int cores_per_node)
+    : name_(std::move(name)), node_count_(node_count), cores_per_node_(cores_per_node) {
+  if (node_count <= 0 || cores_per_node <= 0) {
+    throw std::invalid_argument("Cluster: node_count and cores_per_node must be > 0");
+  }
+}
+
+void Cluster::advance(double now) noexcept {
+  if (now > last_change_) {
+    busy_core_seconds_ += static_cast<double>(busy_cores_) * (now - last_change_);
+    last_change_ = now;
+  }
+}
+
+void Cluster::allocate(int cores, double now) {
+  if (cores < 0 || cores > free_cores()) {
+    throw std::runtime_error("Cluster::allocate: capacity exceeded on " + name_);
+  }
+  advance(now);
+  busy_cores_ += cores;
+}
+
+void Cluster::release(int cores, double now) {
+  if (cores < 0 || cores > busy_cores_) {
+    throw std::runtime_error("Cluster::release: more cores than busy on " + name_);
+  }
+  advance(now);
+  busy_cores_ -= cores;
+}
+
+double Cluster::utilization(double now) const noexcept {
+  if (now <= 0.0) return 0.0;
+  double busy = busy_core_seconds_;
+  if (now > last_change_) busy += static_cast<double>(busy_cores_) * (now - last_change_);
+  return busy / (static_cast<double>(total_cores()) * now);
+}
+
+}  // namespace aequus::rms

@@ -1,0 +1,53 @@
+// Cluster resource model: a set of nodes with cores, plus utilization
+// accounting.
+//
+// The testbed clusters are 40 single-core virtual hosts each; the HPC2N
+// production cluster is 68 nodes x 8 cores = 544 cores. Allocation is
+// core-granular first-fit (the traces are single-core bag-of-task jobs,
+// so node topology never constrains placement).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aequus::rms {
+
+class Cluster {
+ public:
+  /// `node_count` nodes with `cores_per_node` cores each.
+  Cluster(std::string name, int node_count, int cores_per_node);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int node_count() const noexcept { return node_count_; }
+  [[nodiscard]] int cores_per_node() const noexcept { return cores_per_node_; }
+  [[nodiscard]] int total_cores() const noexcept { return node_count_ * cores_per_node_; }
+  [[nodiscard]] int busy_cores() const noexcept { return busy_cores_; }
+  [[nodiscard]] int free_cores() const noexcept { return total_cores() - busy_cores_; }
+
+  [[nodiscard]] bool can_allocate(int cores) const noexcept { return cores <= free_cores(); }
+
+  /// Claim `cores` at simulated time `now`. Throws when over capacity.
+  void allocate(int cores, double now);
+
+  /// Return `cores` at simulated time `now`. Throws when releasing more
+  /// than currently busy.
+  void release(int cores, double now);
+
+  /// Integral of busy cores over time, up to the last allocate/release.
+  [[nodiscard]] double busy_core_seconds() const noexcept { return busy_core_seconds_; }
+
+  /// Mean utilization over [0, now]: busy core-seconds / capacity.
+  [[nodiscard]] double utilization(double now) const noexcept;
+
+ private:
+  void advance(double now) noexcept;
+
+  std::string name_;
+  int node_count_;
+  int cores_per_node_;
+  int busy_cores_ = 0;
+  double last_change_ = 0.0;
+  double busy_core_seconds_ = 0.0;
+};
+
+}  // namespace aequus::rms

@@ -1,0 +1,14 @@
+#include "rms/job.hpp"
+
+namespace aequus::rms {
+
+std::string to_string(JobState state) {
+  switch (state) {
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+  }
+  return "?";
+}
+
+}  // namespace aequus::rms

@@ -1,0 +1,41 @@
+// Job model shared by the resource-management substrates.
+//
+// A job carries both a *system user* (the local account it runs under)
+// and a *grid user* identity. §III-B: the mapping between the two differs
+// per site and per RM; local fairshare only needs the system user, but
+// grid-wide fairshare requires the grid identity, recovered through the
+// IRS when the RM does not know it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aequus::rms {
+
+using JobId = std::uint64_t;
+
+enum class JobState { kPending, kRunning, kCompleted };
+
+[[nodiscard]] std::string to_string(JobState state);
+
+struct Job {
+  JobId id = 0;
+  std::string system_user;   ///< local account on the cluster
+  std::string grid_user;     ///< global grid identity ("" = unresolved)
+  double submit_time = 0.0;  ///< when the job entered the queue [s]
+  double duration = 0.0;     ///< wall-clock runtime once started [s]
+  int cores = 1;             ///< processors requested
+
+  JobState state = JobState::kPending;
+  double start_time = -1.0;
+  double end_time = -1.0;
+  double priority = 0.0;     ///< last computed scheduling priority
+
+  [[nodiscard]] double usage() const noexcept { return duration * cores; }
+  [[nodiscard]] double wait_time(double now) const noexcept {
+    const double until = start_time >= 0.0 ? start_time : now;
+    return until - submit_time;
+  }
+};
+
+}  // namespace aequus::rms

@@ -1,0 +1,103 @@
+#include "rms/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace aequus::rms {
+
+SchedulerBase::SchedulerBase(sim::Simulator& simulator, Cluster cluster, SchedulerConfig config)
+    : simulator_(simulator), cluster_(std::move(cluster)), config_(config) {}
+
+void SchedulerBase::ensure_reprioritize_scheduled() {
+  // Periodic priority sweeps run only while jobs wait, so an idle
+  // scheduler leaves the event queue drainable.
+  if (reprioritize_scheduled_ || pending_.empty()) return;
+  reprioritize_scheduled_ = true;
+  reprioritize_handle_ =
+      simulator_.schedule_after(config_.reprioritize_interval, [this] {
+        reprioritize_scheduled_ = false;
+        reschedule();
+        ensure_reprioritize_scheduled();
+      });
+}
+
+JobId SchedulerBase::submit(Job job) {
+  if (job.id == 0) job.id = next_id_++;
+  else next_id_ = std::max(next_id_, job.id + 1);
+  job.state = JobState::kPending;
+  job.submit_time = simulator_.now();
+  job.priority = compute_priority(job, simulator_.now());
+  const JobId id = job.id;
+  pending_.push_back(std::move(job));
+  ++stats_.submitted;
+  schedule_pass();
+  ensure_reprioritize_scheduled();
+  return id;
+}
+
+void SchedulerBase::add_completion_listener(CompletionListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void SchedulerBase::reschedule() {
+  const double now = simulator_.now();
+  for (auto& job : pending_) job.priority = compute_priority(job, now);
+  schedule_pass();
+}
+
+void SchedulerBase::schedule_pass() {
+  if (pending_.empty()) return;
+  // Highest priority first; FIFO (submit order == id order) breaks ties.
+  std::stable_sort(pending_.begin(), pending_.end(), [](const Job& a, const Job& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.id < b.id;
+  });
+  std::deque<Job> still_pending;
+  bool blocked = false;
+  while (!pending_.empty()) {
+    Job job = std::move(pending_.front());
+    pending_.pop_front();
+    if (blocked || !cluster_.can_allocate(job.cores)) {
+      if (!config_.backfill) blocked = true;
+      still_pending.push_back(std::move(job));
+      continue;
+    }
+    start_job(std::move(job));
+  }
+  pending_ = std::move(still_pending);
+  if (pending_.empty() && reprioritize_scheduled_) {
+    reprioritize_handle_.cancel();
+    reprioritize_scheduled_ = false;
+  }
+}
+
+void SchedulerBase::start_job(Job job) {
+  const double now = simulator_.now();
+  cluster_.allocate(job.cores, now);
+  job.state = JobState::kRunning;
+  job.start_time = now;
+  job.end_time = now + job.duration;
+  ++running_;
+  ++stats_.started;
+  stats_.total_wait_time += now - job.submit_time;
+  AEQ_TRACE("rms") << cluster_.name() << " start job " << job.id << " user "
+                   << job.system_user;
+  simulator_.schedule_at(job.end_time,
+                         [this, job = std::move(job)]() mutable { finish_job(std::move(job)); });
+}
+
+void SchedulerBase::finish_job(Job job) {
+  const double now = simulator_.now();
+  cluster_.release(job.cores, now);
+  job.state = JobState::kCompleted;
+  job.end_time = now;
+  --running_;
+  ++stats_.completed;
+  local_usage_[job.system_user] += job.usage();
+  on_job_completed(job);
+  for (const auto& listener : listeners_) listener(job);
+  schedule_pass();
+}
+
+}  // namespace aequus::rms

@@ -1,0 +1,54 @@
+#include "services/config.hpp"
+
+namespace aequus::services {
+
+InstallationConfig installation_config_from_json(const json::Value& value) {
+  InstallationConfig config;
+  if (const auto uss = value.find("uss")) {
+    config.uss.bin_width = uss->get().get_number("bin_width", config.uss.bin_width);
+    config.uss.retention = uss->get().get_number("retention", config.uss.retention);
+  }
+  if (const auto ums = value.find("ums")) {
+    config.ums.update_interval =
+        ums->get().get_number("update_interval", config.ums.update_interval);
+    config.ums.read_remote = ums->get().get_bool("read_remote", config.ums.read_remote);
+    if (const auto decay = ums->get().find("decay")) {
+      config.ums.decay = core::Decay::from_json(decay->get()).config();
+    }
+  }
+  if (const auto fcs = value.find("fcs")) {
+    config.fcs.update_interval =
+        fcs->get().get_number("update_interval", config.fcs.update_interval);
+    if (const auto algorithm = fcs->get().find("algorithm")) {
+      config.fcs.algorithm = core::fairshare_config_from_json(algorithm->get());
+    }
+    if (const auto projection = fcs->get().find("projection")) {
+      config.fcs.projection = core::projection_config_from_json(projection->get());
+    }
+  }
+  return config;
+}
+
+json::Value to_json(const InstallationConfig& config) {
+  json::Object uss;
+  uss["bin_width"] = config.uss.bin_width;
+  uss["retention"] = config.uss.retention;
+
+  json::Object ums;
+  ums["update_interval"] = config.ums.update_interval;
+  ums["read_remote"] = config.ums.read_remote;
+  ums["decay"] = core::Decay(config.ums.decay).to_json();
+
+  json::Object fcs;
+  fcs["update_interval"] = config.fcs.update_interval;
+  fcs["algorithm"] = core::to_json(config.fcs.algorithm);
+  fcs["projection"] = core::to_json(config.fcs.projection);
+
+  json::Object root;
+  root["uss"] = std::move(uss);
+  root["ums"] = std::move(ums);
+  root["fcs"] = std::move(fcs);
+  return json::Value(std::move(root));
+}
+
+}  // namespace aequus::services

@@ -1,0 +1,122 @@
+#include "services/fcs.hpp"
+
+#include "util/logging.hpp"
+
+namespace aequus::services {
+
+Fcs::Fcs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, FcsConfig config)
+    : simulator_(simulator),
+      bus_(bus),
+      site_(std::move(site)),
+      address_(site_ + ".fcs"),
+      config_(config),
+      algorithm_(config.algorithm) {
+  bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
+  update_task_ = simulator_.schedule_periodic(config_.update_interval, config_.update_interval,
+                                              [this] { update_now(); });
+}
+
+Fcs::~Fcs() {
+  update_task_.cancel();
+  bus_.unbind(address_);
+}
+
+void Fcs::update_now() {
+  json::Object policy_request;
+  policy_request["op"] = "policy";
+  bus_.request(site_, site_ + ".pds", json::Value(std::move(policy_request)),
+               [this](const json::Value& reply) {
+                 try {
+                   policy_ = core::PolicyTree::from_json(reply);
+                   have_policy_ = true;
+                   recalculate();
+                 } catch (const std::exception& e) {
+                   AEQ_WARN("fcs") << site_ << ": bad policy reply: " << e.what();
+                 }
+               });
+  json::Object usage_request;
+  usage_request["op"] = "usage";
+  bus_.request(site_, site_ + ".ums", json::Value(std::move(usage_request)),
+               [this](const json::Value& reply) {
+                 try {
+                   usage_ = core::UsageTree::from_json(reply);
+                   recalculate();
+                 } catch (const std::exception& e) {
+                   AEQ_WARN("fcs") << site_ << ": bad usage reply: " << e.what();
+                 }
+               });
+}
+
+void Fcs::recalculate() {
+  if (!have_policy_) return;
+  tree_ = algorithm_.compute(policy_, usage_);
+  table_ = core::project(tree_, config_.projection);
+  user_table_.clear();
+  for (const auto& [path, value] : table_) {
+    const auto segments = core::split_path(path);
+    if (!segments.empty()) user_table_[segments.back()] = value;
+  }
+  ++calculations_;
+}
+
+void Fcs::set_projection(core::ProjectionConfig projection) {
+  config_.projection = projection;
+  recalculate();
+}
+
+void Fcs::set_algorithm(core::FairshareConfig algorithm) {
+  config_.algorithm = algorithm;
+  algorithm_ = core::FairshareAlgorithm(algorithm);
+  recalculate();
+}
+
+double Fcs::factor_for(const std::string& grid_user) const {
+  const auto it = user_table_.find(grid_user);
+  return it != user_table_.end() ? it->second : 0.5;
+}
+
+json::Value Fcs::handle(const json::Value& request) {
+  const std::string op = request.get_string("op");
+  if (op == "fairshare") {
+    const std::string user = request.get_string("user");
+    json::Object reply;
+    reply["value"] = factor_for(user);
+    // Attach the vector when the user exists in the tree.
+    for (const auto& path : tree_.user_paths()) {
+      const auto segments = core::split_path(path);
+      if (!segments.empty() && segments.back() == user) {
+        if (const auto vector = tree_.vector_for(path)) {
+          reply["vector"] = vector->to_string();
+        }
+        break;
+      }
+    }
+    return json::Value(std::move(reply));
+  }
+  if (op == "table") {
+    json::Object users;
+    for (const auto& [user, value] : user_table_) users[user] = value;
+    json::Object reply;
+    reply["users"] = std::move(users);
+    return json::Value(std::move(reply));
+  }
+  if (op == "tree") {
+    return tree_.to_json();
+  }
+  if (op == "configure") {
+    try {
+      if (const auto projection = request.find("projection")) {
+        set_projection(core::projection_config_from_json(projection->get()));
+      }
+      if (const auto algorithm = request.find("algorithm")) {
+        set_algorithm(core::fairshare_config_from_json(algorithm->get()));
+      }
+      return json::Value(json::Object{{"ok", json::Value(true)}});
+    } catch (const std::exception& e) {
+      return json::Value(json::Object{{"error", json::Value(std::string(e.what()))}});
+    }
+  }
+  return json::Value(json::Object{{"error", json::Value("unknown op: " + op)}});
+}
+
+}  // namespace aequus::services

@@ -1,0 +1,92 @@
+// Fairshare Calculation Service (FCS).
+//
+// §II-A: "The Fairshare Calculation Service (FCS) fetches usage trees from
+// the UMS and policy trees from the PDS periodically, and pre-calculates
+// fairshare trees with the current fairshare values for all users. This
+// way, no real-time calculations need to take place when new jobs arrive,
+// as pre-calculated values already exist."
+//
+// The FCS holds the configured FairshareAlgorithm (distance weight k,
+// vector resolution) and projection; queries are served from the latest
+// pre-computed table.
+//
+// §III-C: "The approach to use is configurable and can be changed during
+// run-time" — reconfigure() swaps the projection and/or algorithm live
+// and takes effect on the immediate recalculation.
+//
+// Bus protocol (address "<site>.fcs"):
+//   {"op":"fairshare", "user":<grid id>} -> {"value":f, "vector":"...."}
+//   {"op":"table"} -> {"users": {"<user>": value, ...}}
+//   {"op":"tree"}  -> full fairshare tree JSON
+//   {"op":"configure", "projection":{...}, "algorithm":{...}} -> {"ok":true}
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/fairshare.hpp"
+#include "core/projection.hpp"
+#include "net/service_bus.hpp"
+#include "sim/simulator.hpp"
+
+namespace aequus::services {
+
+struct FcsConfig {
+  double update_interval = 30.0;          ///< pre-calculation period [s]
+  core::FairshareConfig algorithm{};      ///< distance weight k, resolution
+  core::ProjectionConfig projection{};    ///< projection for scalar factors
+};
+
+class Fcs {
+ public:
+  Fcs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, FcsConfig config = {});
+  ~Fcs();
+  Fcs(const Fcs&) = delete;
+  Fcs& operator=(const Fcs&) = delete;
+
+  /// Latest pre-calculated fairshare tree.
+  [[nodiscard]] const core::FairshareTree& tree() const noexcept { return tree_; }
+
+  /// Latest projected per-user factors (policy leaf path -> [0, 1]).
+  [[nodiscard]] const std::map<std::string, double>& table() const noexcept { return table_; }
+
+  /// Projected factor for a grid user (leaf name); 0.5 (balance) when the
+  /// user is unknown or no calculation has completed yet.
+  [[nodiscard]] double factor_for(const std::string& grid_user) const;
+
+  [[nodiscard]] const std::string& address() const noexcept { return address_; }
+  [[nodiscard]] std::uint64_t calculations() const noexcept { return calculations_; }
+  [[nodiscard]] const FcsConfig& config() const noexcept { return config_; }
+
+  /// Force an immediate fetch + recalculation.
+  void update_now();
+
+  /// Run-time reconfiguration: swap the projection and recompute from the
+  /// already-fetched state.
+  void set_projection(core::ProjectionConfig projection);
+
+  /// Run-time reconfiguration of the distance algorithm (k, resolution).
+  void set_algorithm(core::FairshareConfig algorithm);
+
+ private:
+  json::Value handle(const json::Value& request);
+  void recalculate();
+
+  sim::Simulator& simulator_;
+  net::ServiceBus& bus_;
+  std::string site_;
+  std::string address_;
+  FcsConfig config_;
+  core::FairshareAlgorithm algorithm_;
+  core::PolicyTree policy_;
+  core::UsageTree usage_;
+  bool have_policy_ = false;
+  core::FairshareTree tree_;
+  std::map<std::string, double> table_;        ///< leaf path -> factor
+  std::map<std::string, double> user_table_;   ///< leaf name -> factor
+  std::uint64_t calculations_ = 0;
+  sim::EventHandle update_task_;
+};
+
+}  // namespace aequus::services

@@ -1,0 +1,23 @@
+#include "services/installation.hpp"
+
+namespace aequus::services {
+
+Installation::Installation(sim::Simulator& simulator, net::ServiceBus& bus, std::string site,
+                           InstallationConfig config)
+    : site_(std::move(site)) {
+  uss_ = std::make_unique<Uss>(simulator, bus, site_, config.uss);
+  ums_ = std::make_unique<Ums>(simulator, bus, site_, config.ums);
+  pds_ = std::make_unique<Pds>(simulator, bus, site_);
+  fcs_ = std::make_unique<Fcs>(simulator, bus, site_, config.fcs);
+  irs_ = std::make_unique<Irs>(simulator, bus, site_);
+}
+
+void Installation::set_peer_sites(const std::vector<std::string>& sites) {
+  std::vector<std::string> addresses;
+  for (const auto& peer : sites) {
+    if (peer != site_) addresses.push_back(peer + ".uss");
+  }
+  ums_->set_peers(std::move(addresses));
+}
+
+}  // namespace aequus::services

@@ -1,0 +1,54 @@
+// A complete Aequus installation: the five services of one site wired to
+// the shared bus and simulator (Fig. 2).
+//
+// "Each of the simulated clusters hosts its own Aequus installation, and
+// they communicate only by exchanging data through the USS services, just
+// like a full scale deployment is likely to be." (§IV-A)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "services/fcs.hpp"
+#include "services/irs.hpp"
+#include "services/pds.hpp"
+#include "services/ums.hpp"
+#include "services/uss.hpp"
+
+namespace aequus::services {
+
+struct InstallationConfig {
+  UssConfig uss{};
+  UmsConfig ums{};
+  FcsConfig fcs{};
+};
+
+class Installation {
+ public:
+  Installation(sim::Simulator& simulator, net::ServiceBus& bus, std::string site,
+               InstallationConfig config = {});
+
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+  [[nodiscard]] Uss& uss() noexcept { return *uss_; }
+  [[nodiscard]] Ums& ums() noexcept { return *ums_; }
+  [[nodiscard]] Pds& pds() noexcept { return *pds_; }
+  [[nodiscard]] Fcs& fcs() noexcept { return *fcs_; }
+  [[nodiscard]] Irs& irs() noexcept { return *irs_; }
+
+  /// Configure the peer USS addresses this site exchanges usage with.
+  void set_peer_sites(const std::vector<std::string>& sites);
+
+  /// Shorthand: set the local policy through the PDS.
+  void set_policy(core::PolicyTree policy) { pds_->set_policy(std::move(policy)); }
+
+ private:
+  std::string site_;
+  std::unique_ptr<Uss> uss_;
+  std::unique_ptr<Ums> ums_;
+  std::unique_ptr<Pds> pds_;
+  std::unique_ptr<Fcs> fcs_;
+  std::unique_ptr<Irs> irs_;
+};
+
+}  // namespace aequus::services

@@ -1,0 +1,73 @@
+#include "services/irs.hpp"
+
+#include "util/logging.hpp"
+
+namespace aequus::services {
+
+Irs::Irs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site)
+    : simulator_(simulator), bus_(bus), site_(std::move(site)), address_(site_ + ".irs") {
+  bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
+}
+
+Irs::~Irs() {
+  bus_.unbind(address_);
+}
+
+std::string Irs::key(const std::string& cluster, const std::string& system_user) {
+  return cluster + ":" + system_user;
+}
+
+void Irs::add_mapping(const std::string& cluster, const std::string& system_user,
+                      const std::string& grid_user) {
+  table_[key(cluster, system_user)] = grid_user;
+}
+
+void Irs::set_endpoint(std::string endpoint_address) {
+  endpoint_address_ = std::move(endpoint_address);
+}
+
+std::optional<std::string> Irs::resolve(const std::string& cluster,
+                                        const std::string& system_user) {
+  ++lookups_;
+  const auto it = table_.find(key(cluster, system_user));
+  if (it != table_.end()) return it->second;
+  if (endpoint_address_.empty() || !bus_.bound(endpoint_address_)) return std::nullopt;
+
+  // Custom endpoint: the paper's minimalist JSON protocol.
+  ++endpoint_queries_;
+  json::Object query;
+  query["system_user"] = system_user;
+  query["cluster"] = cluster;
+  const json::Value reply = bus_.call(endpoint_address_, json::Value(std::move(query)));
+  if (reply.is_object() && !reply.get_bool("unknown", false)) {
+    const std::string grid_user = reply.get_string("grid_user");
+    if (!grid_user.empty()) {
+      table_[key(cluster, system_user)] = grid_user;  // cache the hit
+      return grid_user;
+    }
+  }
+  return std::nullopt;
+}
+
+json::Value Irs::handle(const json::Value& request) {
+  const std::string op = request.get_string("op");
+  if (op == "resolve") {
+    const auto grid_user =
+        resolve(request.get_string("cluster"), request.get_string("system_user"));
+    json::Object reply;
+    if (grid_user) {
+      reply["grid_user"] = *grid_user;
+    } else {
+      reply["unknown"] = true;
+    }
+    return json::Value(std::move(reply));
+  }
+  if (op == "store") {
+    add_mapping(request.get_string("cluster"), request.get_string("system_user"),
+                request.get_string("grid_user"));
+    return json::Value(json::Object{{"ok", json::Value(true)}});
+  }
+  return json::Value(json::Object{{"error", json::Value("unknown op: " + op)}});
+}
+
+}  // namespace aequus::services

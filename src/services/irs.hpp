@@ -1,0 +1,71 @@
+// Identity Resolution Service (IRS).
+//
+// §III-B: grid user identities are mapped to local system users when jobs
+// arrive; global fairshare needs the *reverse* mapping. "The revert
+// mapping can be obtained in two ways; either by actively making a call
+// to IRS to store the reverse mapping in a look-up table, or by
+// implementing a small custom mapping resolution end point and
+// configuring the IRS to call the end point with name resolution queries
+// using a minimalist JSON based protocol."
+//
+// Both paths are implemented: add_mapping() feeds the look-up table, and
+// set_endpoint() registers the bus address of a custom resolution
+// endpoint, queried (and cached) on table misses.
+//
+// Bus protocol (address "<site>.irs"):
+//   {"op":"resolve", "system_user":.., "cluster":..} -> {"grid_user":..}
+//                                                  or -> {"unknown":true}
+//   {"op":"store", "system_user":.., "cluster":.., "grid_user":..}
+// Custom endpoint protocol (the paper's "minimalist JSON based protocol"):
+//   {"system_user":.., "cluster":..} -> {"grid_user":..} / {"unknown":true}
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/service_bus.hpp"
+#include "sim/simulator.hpp"
+
+namespace aequus::services {
+
+class Irs {
+ public:
+  Irs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site);
+  ~Irs();
+  Irs(const Irs&) = delete;
+  Irs& operator=(const Irs&) = delete;
+
+  /// Store a reverse mapping in the look-up table.
+  void add_mapping(const std::string& cluster, const std::string& system_user,
+                   const std::string& grid_user);
+
+  /// Configure a custom resolution endpoint address, consulted on misses.
+  void set_endpoint(std::string endpoint_address);
+
+  /// Resolve a system user back to a grid identity. Look-up table first,
+  /// then the custom endpoint (synchronous local call), caching hits.
+  [[nodiscard]] std::optional<std::string> resolve(const std::string& cluster,
+                                                   const std::string& system_user);
+
+  [[nodiscard]] const std::string& address() const noexcept { return address_; }
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
+  [[nodiscard]] std::uint64_t endpoint_queries() const noexcept { return endpoint_queries_; }
+
+ private:
+  json::Value handle(const json::Value& request);
+  [[nodiscard]] static std::string key(const std::string& cluster,
+                                       const std::string& system_user);
+
+  sim::Simulator& simulator_;
+  net::ServiceBus& bus_;
+  std::string site_;
+  std::string address_;
+  std::string endpoint_address_;
+  std::map<std::string, std::string> table_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t endpoint_queries_ = 0;
+};
+
+}  // namespace aequus::services

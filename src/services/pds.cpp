@@ -1,0 +1,55 @@
+#include "services/pds.hpp"
+
+#include "util/logging.hpp"
+
+namespace aequus::services {
+
+Pds::Pds(sim::Simulator& simulator, net::ServiceBus& bus, std::string site)
+    : simulator_(simulator), bus_(bus), site_(std::move(site)), address_(site_ + ".pds") {
+  bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
+}
+
+Pds::~Pds() {
+  for (auto& task : refresh_tasks_) task.cancel();
+  bus_.unbind(address_);
+}
+
+void Pds::set_policy(core::PolicyTree policy) {
+  policy_ = std::move(policy);
+}
+
+void Pds::mount_remote(const std::string& path, const std::string& remote_pds_address,
+                       double share, double refresh_interval) {
+  mounts_.push_back(Mount{path, remote_pds_address, share});
+  const Mount mount = mounts_.back();
+  refresh_mount(mount);
+  refresh_tasks_.push_back(simulator_.schedule_periodic(
+      simulator_.now() + refresh_interval, refresh_interval,
+      [this, mount] { refresh_mount(mount); }));
+}
+
+void Pds::refresh_mount(const Mount& mount) {
+  json::Object request;
+  request["op"] = "policy";
+  bus_.request(site_, mount.remote_address, json::Value(std::move(request)),
+               [this, mount](const json::Value& reply) {
+                 try {
+                   const core::PolicyTree remote = core::PolicyTree::from_json(reply);
+                   policy_.mount(mount.path, remote, mount.share);
+                   ++mounts_applied_;
+                 } catch (const std::exception& e) {
+                   AEQ_WARN("pds") << site_ << ": bad remote policy from "
+                                   << mount.remote_address << ": " << e.what();
+                 }
+               });
+}
+
+json::Value Pds::handle(const json::Value& request) {
+  const std::string op = request.get_string("op");
+  if (op == "policy") {
+    return policy_.to_json();
+  }
+  return json::Value(json::Object{{"error", json::Value("unknown op: " + op)}});
+}
+
+}  // namespace aequus::services

@@ -1,0 +1,68 @@
+// Policy Distribution Service (PDS).
+//
+// §II-A: "The Policy Distribution Service (PDS) is responsible for
+// managing user policies both locally and globally by mounting
+// sub-policies from other sources (which may be other PDS services)."
+//
+// A local administration sets the root policy; globally managed
+// sub-policies can be mounted at a path and are refreshed periodically
+// from the remote PDS, so a site can delegate, e.g., the subdivision of
+// its grid allocation while retaining control of the coarse split.
+//
+// Bus protocol (address "<site>.pds"):
+//   {"op":"policy"} -> policy tree JSON
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "net/service_bus.hpp"
+#include "sim/simulator.hpp"
+
+namespace aequus::services {
+
+class Pds {
+ public:
+  Pds(sim::Simulator& simulator, net::ServiceBus& bus, std::string site);
+  ~Pds();
+  Pds(const Pds&) = delete;
+  Pds& operator=(const Pds&) = delete;
+
+  /// Replace the locally administered policy. Mounted subtrees are
+  /// re-applied on their next refresh.
+  void set_policy(core::PolicyTree policy);
+
+  /// Mount the policy served by `remote_pds_address` under `path` with
+  /// `share` weight, refreshing every `refresh_interval` seconds. The
+  /// first fetch is issued immediately.
+  void mount_remote(const std::string& path, const std::string& remote_pds_address,
+                    double share, double refresh_interval = 300.0);
+
+  [[nodiscard]] const core::PolicyTree& policy() const noexcept { return policy_; }
+  [[nodiscard]] const std::string& address() const noexcept { return address_; }
+
+  /// Number of successful remote mounts applied so far.
+  [[nodiscard]] int mounts_applied() const noexcept { return mounts_applied_; }
+
+ private:
+  struct Mount {
+    std::string path;
+    std::string remote_address;
+    double share;
+  };
+
+  json::Value handle(const json::Value& request);
+  void refresh_mount(const Mount& mount);
+
+  sim::Simulator& simulator_;
+  net::ServiceBus& bus_;
+  std::string site_;
+  std::string address_;
+  core::PolicyTree policy_;
+  std::vector<Mount> mounts_;
+  std::vector<sim::EventHandle> refresh_tasks_;
+  int mounts_applied_ = 0;
+};
+
+}  // namespace aequus::services

@@ -1,0 +1,109 @@
+#include "services/ums.hpp"
+
+#include "util/logging.hpp"
+
+namespace aequus::services {
+
+Ums::Ums(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UmsConfig config)
+    : simulator_(simulator),
+      bus_(bus),
+      site_(std::move(site)),
+      address_(site_ + ".ums"),
+      config_(config),
+      decay_(config.decay) {
+  bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
+  poll_task_ = simulator_.schedule_periodic(config_.update_interval, config_.update_interval,
+                                            [this] { update_now(); });
+}
+
+Ums::~Ums() {
+  poll_task_.cancel();
+  bus_.unbind(address_);
+}
+
+void Ums::set_peers(std::vector<std::string> uss_addresses) {
+  peers_ = std::move(uss_addresses);
+}
+
+void Ums::update_now() {
+  ++polls_;
+  // Refresh the site policy (user -> leaf path mapping).
+  json::Object policy_request;
+  policy_request["op"] = "policy";
+  bus_.request(site_, site_ + ".pds", json::Value(std::move(policy_request)),
+               [this](const json::Value& reply) {
+                 try {
+                   site_policy_ = core::PolicyTree::from_json(reply);
+                   have_policy_ = true;
+                   rebuild();
+                 } catch (const std::exception& e) {
+                   AEQ_WARN("ums") << site_ << ": bad policy reply: " << e.what();
+                 }
+               });
+
+  // Poll the local USS plus (optionally) remote peers.
+  std::vector<std::string> targets = {site_ + ".uss"};
+  if (config_.read_remote) {
+    for (const auto& peer : peers_) {
+      if (peer != targets.front()) targets.push_back(peer);
+    }
+  }
+  for (const auto& target : targets) {
+    json::Object request;
+    request["op"] = "histograms";
+    bus_.request(site_, target, json::Value(std::move(request)),
+                 [this, target](const json::Value& reply) {
+                   ingest(target, reply);
+                   rebuild();
+                 });
+  }
+}
+
+void Ums::ingest(const std::string& source, const json::Value& histograms) {
+  try {
+    auto& per_user = sources_[source];
+    per_user.clear();
+    for (const auto& [user, bins] : histograms.at("users").as_object()) {
+      auto& entries = per_user[user];
+      for (const auto& bin : bins.as_array()) {
+        entries.emplace_back(bin.at(0).as_number(), bin.at(1).as_number());
+      }
+    }
+  } catch (const std::exception& e) {
+    AEQ_WARN("ums") << site_ << ": bad histogram reply from " << source << ": " << e.what();
+  }
+}
+
+void Ums::rebuild() {
+  const double now = simulator_.now();
+  // Map grid users to policy leaf paths; users missing from the policy are
+  // accounted directly under the root.
+  std::map<std::string, std::string> path_of;
+  if (have_policy_) {
+    for (const auto& path : site_policy_.leaf_paths()) {
+      const auto segments = core::split_path(path);
+      if (!segments.empty()) path_of[segments.back()] = path;
+    }
+  }
+  core::UsageTree tree;
+  for (const auto& [source, per_user] : sources_) {
+    (void)source;
+    for (const auto& [user, bins] : per_user) {
+      const double amount = decay_.decayed_total(bins, now);
+      if (amount <= 0.0) continue;
+      const auto it = path_of.find(user);
+      tree.add(it != path_of.end() ? it->second : "/" + user, amount);
+    }
+  }
+  tree_ = std::move(tree);
+}
+
+json::Value Ums::handle(const json::Value& request) {
+  const std::string op = request.get_string("op");
+  if (op == "usage") {
+    return tree_.to_json();
+  }
+  return json::Value(json::Object{{"error", json::Value("unknown op: " + op)}});
+}
+
+}  // namespace aequus::services

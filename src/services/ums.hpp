@@ -1,0 +1,83 @@
+// Usage Monitoring Service (UMS).
+//
+// §II-A: "The Usage Monitoring Service (UMS) of each site gathers usage
+// histograms from one or more USSs and pre-computes usage trees based on
+// the site-specific policies."
+//
+// Every `update_interval` seconds the UMS polls its configured USS
+// addresses (the local one plus peers at remote sites), stores the latest
+// per-site histograms, and rebuilds a usage tree: grid users are mapped to
+// policy leaf paths via the site policy (fetched from the local PDS) and
+// bin amounts are weighted by the configured decay function.
+//
+// Partial participation (§IV-A-4): a site that should only consider local
+// usage sets `read_remote = false`; a site that must not contribute keeps
+// polling and serving locally, but its data is dropped on the wire by the
+// ServiceBus participation flags.
+//
+// Bus protocol (address "<site>.ums"):
+//   {"op":"usage"} -> usage tree JSON ({"<path>": decayed core-seconds})
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/decay.hpp"
+#include "core/policy.hpp"
+#include "core/usage.hpp"
+#include "net/service_bus.hpp"
+#include "sim/simulator.hpp"
+
+namespace aequus::services {
+
+struct UmsConfig {
+  double update_interval = 30.0;  ///< USS polling / tree rebuild period [s]
+  core::DecayConfig decay{};      ///< historical usage decay
+  bool read_remote = true;        ///< consider remote sites' usage
+};
+
+class Ums {
+ public:
+  Ums(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UmsConfig config = {});
+  ~Ums();
+  Ums(const Ums&) = delete;
+  Ums& operator=(const Ums&) = delete;
+
+  /// USS addresses to poll. The local "<site>.uss" is always polled;
+  /// remote peers are polled only when `read_remote` is set.
+  void set_peers(std::vector<std::string> uss_addresses);
+
+  /// Current pre-computed usage tree (decayed, path-keyed).
+  [[nodiscard]] const core::UsageTree& usage_tree() const noexcept { return tree_; }
+
+  [[nodiscard]] const std::string& address() const noexcept { return address_; }
+  [[nodiscard]] std::uint64_t polls_completed() const noexcept { return polls_; }
+
+  /// Force an immediate poll + rebuild (normally driven by the timer).
+  void update_now();
+
+ private:
+  json::Value handle(const json::Value& request);
+  void ingest(const std::string& source, const json::Value& histograms);
+  void rebuild();
+
+  sim::Simulator& simulator_;
+  net::ServiceBus& bus_;
+  std::string site_;
+  std::string address_;
+  UmsConfig config_;
+  core::Decay decay_;
+  std::vector<std::string> peers_;
+  /// source USS address -> user -> (bin time, amount) pairs
+  std::map<std::string, std::map<std::string, std::vector<std::pair<double, double>>>> sources_;
+  core::PolicyTree site_policy_;
+  bool have_policy_ = false;
+  core::UsageTree tree_;
+  std::uint64_t polls_ = 0;
+  sim::EventHandle poll_task_;
+};
+
+}  // namespace aequus::services

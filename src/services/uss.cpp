@@ -1,0 +1,76 @@
+#include "services/uss.hpp"
+
+#include <cmath>
+
+namespace aequus::services {
+
+Uss::Uss(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UssConfig config)
+    : simulator_(simulator),
+      bus_(bus),
+      site_(std::move(site)),
+      address_(site_ + ".uss"),
+      config_(config) {
+  bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
+}
+
+Uss::~Uss() {
+  bus_.unbind(address_);
+}
+
+void Uss::report(const std::string& grid_user, double usage) {
+  if (usage <= 0.0) return;
+  ++reports_;
+  const double now = simulator_.now();
+  const double bin_start = std::floor(now / config_.bin_width) * config_.bin_width;
+  auto& bins = histograms_[grid_user];
+  if (!bins.empty() && bins.back().first == bin_start) {
+    bins.back().second += usage;
+  } else {
+    bins.emplace_back(bin_start, usage);
+  }
+  if (config_.retention > 0.0) {
+    const double horizon = now - config_.retention;
+    std::size_t stale = 0;
+    while (stale < bins.size() && bins[stale].first < horizon) ++stale;
+    if (stale > 0) bins.erase(bins.begin(), bins.begin() + static_cast<std::ptrdiff_t>(stale));
+  }
+}
+
+double Uss::total_for(const std::string& grid_user) const {
+  const auto it = histograms_.find(grid_user);
+  if (it == histograms_.end()) return 0.0;
+  double total = 0.0;
+  for (const auto& [time, amount] : it->second) {
+    (void)time;
+    total += amount;
+  }
+  return total;
+}
+
+json::Value Uss::histograms_json() const {
+  json::Object users;
+  for (const auto& [user, bins] : histograms_) {
+    json::Array entries;
+    for (const auto& [time, amount] : bins) {
+      entries.push_back(json::Array{json::Value(time), json::Value(amount)});
+    }
+    users[user] = std::move(entries);
+  }
+  json::Object reply;
+  reply["users"] = std::move(users);
+  return json::Value(std::move(reply));
+}
+
+json::Value Uss::handle(const json::Value& request) {
+  const std::string op = request.get_string("op");
+  if (op == "report") {
+    report(request.get_string("user"), request.get_number("usage"));
+    return json::Value(json::Object{{"ok", json::Value(true)}});
+  }
+  if (op == "histograms") {
+    return histograms_json();
+  }
+  return json::Value(json::Object{{"error", json::Value("unknown op: " + op)}});
+}
+
+}  // namespace aequus::services

@@ -1,0 +1,72 @@
+// Usage Statistics Service (USS).
+//
+// §II-A: "The Usage Statistics Service (USS) gathers per-job usage results
+// of the local site, and produces per-user histograms for configurable
+// time intervals." The histograms are the compact exchange format: other
+// sites' UMS instances fetch them instead of individual job records,
+// "relaying the combined usage of each user on each site while omitting
+// the details of individual jobs".
+//
+// Bus protocol (address "<site>.uss"):
+//   {"op":"report", "user":<grid id>, "usage":<core-seconds>}  -> {"ok":true}
+//   {"op":"histograms"} -> {"users": {"<user>": [[bin_time, amount], ...]}}
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/service_bus.hpp"
+#include "sim/simulator.hpp"
+
+namespace aequus::services {
+
+struct UssConfig {
+  double bin_width = 60.0;  ///< histogram interval length [s]
+  /// Drop bins older than this many seconds (0 = keep everything). With
+  /// exponential decay downstream, bins past ~6 half-lives carry <2 % of
+  /// their mass, so pruning bounds the exchanged histogram size on long
+  /// runs without noticeably changing the fairshare values.
+  double retention = 0.0;
+};
+
+class Uss {
+ public:
+  Uss(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UssConfig config = {});
+  ~Uss();
+  Uss(const Uss&) = delete;
+  Uss& operator=(const Uss&) = delete;
+
+  /// Record `usage` core-seconds for `grid_user` at the current time.
+  void report(const std::string& grid_user, double usage);
+
+  /// Per-user histograms: user -> ordered (bin start time, amount) pairs.
+  [[nodiscard]] const std::map<std::string, std::vector<std::pair<double, double>>>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  /// Total recorded usage for one user (un-decayed).
+  [[nodiscard]] double total_for(const std::string& grid_user) const;
+
+  [[nodiscard]] const std::string& address() const noexcept { return address_; }
+  [[nodiscard]] std::uint64_t reports_received() const noexcept { return reports_; }
+
+  /// Serialize histograms into the wire format.
+  [[nodiscard]] json::Value histograms_json() const;
+
+ private:
+  json::Value handle(const json::Value& request);
+
+  sim::Simulator& simulator_;
+  net::ServiceBus& bus_;
+  std::string site_;
+  std::string address_;
+  UssConfig config_;
+  std::map<std::string, std::vector<std::pair<double, double>>> histograms_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace aequus::services

@@ -1,0 +1,56 @@
+#include "slurm/aequus_plugins.hpp"
+
+namespace aequus::slurm {
+
+FairshareSource aequus_fairshare_source(client::AequusClient& client) {
+  return [&client](const rms::Job& job, double now) -> double {
+    (void)now;  // the client's cached table already embodies staleness
+    // Prefer an already-known grid identity; otherwise resolve the system
+    // account through the IRS.
+    if (!job.grid_user.empty()) return client.fairshare_factor(job.grid_user);
+    const auto grid_user = client.resolve_identity(job.system_user);
+    if (!grid_user) return 0.5;  // balance point for unresolvable accounts
+    return client.fairshare_factor(*grid_user);
+  };
+}
+
+AequusJobCompPlugin::AequusJobCompPlugin(client::AequusClient& client) : client_(client) {}
+
+void AequusJobCompPlugin::job_complete(const rms::Job& job, double now) {
+  (void)now;
+  bool ok = false;
+  if (!job.grid_user.empty()) {
+    client_.report_usage(job.grid_user, job.usage());
+    ok = true;
+  } else {
+    ok = client_.report_system_usage(job.system_user, job.usage());
+  }
+  if (ok) {
+    ++reported_;
+  } else {
+    ++dropped_;
+  }
+}
+
+namespace {
+class AequusPriorityPlugin final : public PriorityPlugin {
+ public:
+  AequusPriorityPlugin(client::AequusClient& client, MultifactorWeights weights)
+      : inner_(weights, aequus_fairshare_source(client)) {}
+
+  [[nodiscard]] std::string name() const override { return "priority/aequus"; }
+  [[nodiscard]] double priority(const rms::Job& job, double now) override {
+    return inner_.priority(job, now);
+  }
+
+ private:
+  MultifactorPriorityPlugin inner_;
+};
+}  // namespace
+
+std::unique_ptr<PriorityPlugin> make_aequus_priority_plugin(client::AequusClient& client,
+                                                            MultifactorWeights weights) {
+  return std::make_unique<AequusPriorityPlugin>(client, weights);
+}
+
+}  // namespace aequus::slurm

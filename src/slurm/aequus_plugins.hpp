@@ -1,0 +1,45 @@
+// The Aequus integration plugins (§III-A).
+//
+// "The priority plug-in is based on the existing multifactor priority
+// plugin, with the normal fairshare priority calculation code replaced
+// with a call to libaequus. A job completion plug-in supplies usage
+// information to Aequus by calling libaequus."
+//
+// Both plugins work on *system users*: the priority plugin resolves the
+// grid identity through libaequus (IRS + cache) before asking for the
+// global factor, falling back to the balance value for unresolvable
+// accounts; the jobcomp plugin resolves and reports completed usage.
+#pragma once
+
+#include "libaequus/client.hpp"
+#include "slurm/multifactor.hpp"
+
+namespace aequus::slurm {
+
+/// FairshareSource backed by libaequus: the drop-in replacement for the
+/// local fairshare calculation inside the multifactor plugin.
+[[nodiscard]] FairshareSource aequus_fairshare_source(client::AequusClient& client);
+
+/// jobcomp/aequus: reports completed jobs' usage to Aequus.
+class AequusJobCompPlugin final : public JobCompPlugin {
+ public:
+  explicit AequusJobCompPlugin(client::AequusClient& client);
+
+  [[nodiscard]] std::string name() const override { return "jobcomp/aequus"; }
+  void job_complete(const rms::Job& job, double now) override;
+
+  [[nodiscard]] std::uint64_t reported() const noexcept { return reported_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  client::AequusClient& client_;
+  std::uint64_t reported_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Build the full Aequus priority plugin: multifactor with the fairshare
+/// factor redirected to libaequus ("priority/aequus").
+[[nodiscard]] std::unique_ptr<PriorityPlugin> make_aequus_priority_plugin(
+    client::AequusClient& client, MultifactorWeights weights = {});
+
+}  // namespace aequus::slurm

@@ -1,0 +1,29 @@
+#include "slurm/controller.hpp"
+
+#include <stdexcept>
+
+namespace aequus::slurm {
+
+SlurmController::SlurmController(sim::Simulator& simulator, rms::Cluster cluster,
+                                 std::unique_ptr<PriorityPlugin> priority_plugin,
+                                 rms::SchedulerConfig config)
+    : rms::SchedulerBase(simulator, std::move(cluster), config),
+      priority_(std::move(priority_plugin)) {
+  if (!priority_) {
+    throw std::invalid_argument("SlurmController: priority plugin required");
+  }
+}
+
+void SlurmController::add_jobcomp_plugin(std::unique_ptr<JobCompPlugin> plugin) {
+  jobcomp_.push_back(std::move(plugin));
+}
+
+double SlurmController::compute_priority(const rms::Job& job, double now) {
+  return priority_->priority(job, now);
+}
+
+void SlurmController::on_job_completed(const rms::Job& job) {
+  for (const auto& plugin : jobcomp_) plugin->job_complete(job, simulator().now());
+}
+
+}  // namespace aequus::slurm

@@ -1,0 +1,34 @@
+// The SLURM-like controller ("slurmctld"): the scheduling engine wired to
+// the plugin system.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rms/scheduler.hpp"
+#include "slurm/plugin.hpp"
+
+namespace aequus::slurm {
+
+class SlurmController final : public rms::SchedulerBase {
+ public:
+  /// Takes ownership of the priority plugin (required).
+  SlurmController(sim::Simulator& simulator, rms::Cluster cluster,
+                  std::unique_ptr<PriorityPlugin> priority_plugin,
+                  rms::SchedulerConfig config = {});
+
+  /// Add a job-completion plugin (invoked in registration order).
+  void add_jobcomp_plugin(std::unique_ptr<JobCompPlugin> plugin);
+
+  [[nodiscard]] const PriorityPlugin& priority_plugin() const noexcept { return *priority_; }
+
+ protected:
+  double compute_priority(const rms::Job& job, double now) override;
+  void on_job_completed(const rms::Job& job) override;
+
+ private:
+  std::unique_ptr<PriorityPlugin> priority_;
+  std::vector<std::unique_ptr<JobCompPlugin>> jobcomp_;
+};
+
+}  // namespace aequus::slurm

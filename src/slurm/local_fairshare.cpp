@@ -1,0 +1,55 @@
+#include "slurm/local_fairshare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aequus::slurm {
+
+LocalFairshare::LocalFairshare(core::DecayConfig decay) : decay_(decay) {}
+
+void LocalFairshare::set_share(const std::string& system_user, double share) {
+  shares_[system_user] = std::max(share, 0.0);
+}
+
+void LocalFairshare::record_usage(const std::string& system_user, double usage, double now) {
+  if (usage <= 0.0) return;
+  auto& bins = usage_bins_[system_user];
+  // Coarse 60-second bins keep the decay evaluation cheap.
+  const double bin = std::floor(now / 60.0) * 60.0;
+  if (!bins.empty() && bins.back().first == bin) {
+    bins.back().second += usage;
+  } else {
+    bins.emplace_back(bin, usage);
+  }
+}
+
+double LocalFairshare::usage_share(const std::string& system_user, double now) const {
+  double own = 0.0;
+  double total = 0.0;
+  for (const auto& [user, bins] : usage_bins_) {
+    const double amount = decay_.decayed_total(bins, now);
+    total += amount;
+    if (user == system_user) own = amount;
+  }
+  if (total <= 0.0) return 0.0;
+  return own / total;
+}
+
+double LocalFairshare::normalized_share(const std::string& system_user) const {
+  double total = 0.0;
+  for (const auto& [user, share] : shares_) {
+    (void)user;
+    total += share;
+  }
+  if (total <= 0.0) return 0.0;
+  const auto it = shares_.find(system_user);
+  return it == shares_.end() ? 0.0 : it->second / total;
+}
+
+double LocalFairshare::factor(const std::string& system_user, double now) const {
+  const double share = normalized_share(system_user);
+  const double usage = usage_share(system_user, now);
+  return std::clamp((share - usage + 1.0) / 2.0, 0.0, 1.0);
+}
+
+}  // namespace aequus::slurm

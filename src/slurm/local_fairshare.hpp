@@ -1,0 +1,48 @@
+// Local (single-cluster) fairshare calculation — the mechanism Aequus
+// replaces, kept as the comparison baseline.
+//
+// Mirrors SLURM's pre-2.5 fairshare (which the paper notes is similar to
+// the percental projection): each system user has a configured normalized
+// share; the factor is the difference between share and the user's
+// half-life-decayed fraction of local usage, rescaled to [0, 1]:
+//   factor = clamp((share - usage_share + 1) / 2)
+// Only local history is considered — this is exactly the "each site an
+// independent fairshare prioritization system" situation of §I.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/decay.hpp"
+
+namespace aequus::slurm {
+
+class LocalFairshare {
+ public:
+  explicit LocalFairshare(core::DecayConfig decay = {});
+
+  /// Configure a user's target share (raw weight; normalized over users).
+  void set_share(const std::string& system_user, double share);
+
+  /// Record completed usage (core-seconds) at time `now`.
+  void record_usage(const std::string& system_user, double usage, double now);
+
+  /// Fairshare factor in [0, 1] at time `now`. Unknown users get the
+  /// balance value 0.5 when idle.
+  [[nodiscard]] double factor(const std::string& system_user, double now) const;
+
+  /// Decayed usage share of a user among all users at time `now`.
+  [[nodiscard]] double usage_share(const std::string& system_user, double now) const;
+
+  /// Normalized configured share (0 for unknown users).
+  [[nodiscard]] double normalized_share(const std::string& system_user) const;
+
+ private:
+  core::Decay decay_;
+  std::map<std::string, double> shares_;
+  std::map<std::string, std::vector<std::pair<double, double>>> usage_bins_;
+};
+
+}  // namespace aequus::slurm

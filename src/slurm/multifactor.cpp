@@ -1,0 +1,43 @@
+#include "slurm/multifactor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aequus::slurm {
+
+MultifactorPriorityPlugin::MultifactorPriorityPlugin(MultifactorWeights weights,
+                                                     FairshareSource fairshare)
+    : weights_(weights), fairshare_(std::move(fairshare)) {
+  if (!fairshare_) {
+    throw std::invalid_argument("MultifactorPriorityPlugin: fairshare source required");
+  }
+}
+
+double MultifactorPriorityPlugin::age_factor(const rms::Job& job, double now) const {
+  if (weights_.max_age <= 0.0) return 0.0;
+  return std::clamp(job.wait_time(now) / weights_.max_age, 0.0, 1.0);
+}
+
+double MultifactorPriorityPlugin::job_size_factor(const rms::Job& job) const {
+  if (weights_.max_cores <= 0) return 0.0;
+  return std::clamp(static_cast<double>(job.cores) / weights_.max_cores, 0.0, 1.0);
+}
+
+double MultifactorPriorityPlugin::fairshare_factor(const rms::Job& job, double now) const {
+  return std::clamp(fairshare_(job, now), 0.0, 1.0);
+}
+
+double MultifactorPriorityPlugin::priority(const rms::Job& job, double now) {
+  double priority = 0.0;
+  priority += weights_.age * age_factor(job, now);
+  priority += weights_.fairshare * fairshare_factor(job, now);
+  priority += weights_.job_size * job_size_factor(job);
+  // Partition and QoS factors are constant in the single-partition,
+  // single-QoS testbed; their weights still participate so ablations can
+  // exercise the smoothing effect of non-fairshare terms.
+  priority += weights_.partition * 0.0;
+  priority += weights_.qos * 0.0;
+  return priority;
+}
+
+}  // namespace aequus::slurm

@@ -1,0 +1,58 @@
+// The multifactor priority plugin (priority/multifactor).
+//
+// SLURM's multifactor plugin combines normalized factors linearly:
+//   priority = w_age * age + w_fairshare * fairshare + w_jobsize * size
+//            + w_partition * partition + w_qos * qos
+// with every factor in [0, 1] (§III-C: "Both SLURM and Maui employ a
+// linear combination of several factors ... Each factor is represented by
+// a value in the [0,1] range, and configurable weights are applied").
+//
+// The fairshare factor comes from a pluggable FairshareSource — the exact
+// line the paper replaces: "the normal fairshare priority calculation
+// code replaced with a call to libaequus".
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "slurm/plugin.hpp"
+
+namespace aequus::slurm {
+
+/// Produces the [0, 1] fairshare factor for a job.
+using FairshareSource = std::function<double(const rms::Job& job, double now)>;
+
+struct MultifactorWeights {
+  double age = 0.0;
+  double fairshare = 1.0;
+  double job_size = 0.0;
+  double partition = 0.0;
+  double qos = 0.0;
+  /// Age factor saturates at this queue wait (PriorityMaxAge).
+  double max_age = 7.0 * 86400.0;
+  /// Job-size normalization: cores of the largest possible job.
+  int max_cores = 1024;
+};
+
+class MultifactorPriorityPlugin final : public PriorityPlugin {
+ public:
+  MultifactorPriorityPlugin(MultifactorWeights weights, FairshareSource fairshare);
+
+  [[nodiscard]] std::string name() const override { return "priority/multifactor"; }
+  [[nodiscard]] double priority(const rms::Job& job, double now) override;
+
+  /// Individual factors, exposed for tests and for the smoothing study
+  /// ("other factors have a smoothing effect ... on the fluctuating
+  /// behavior natural to fairshare").
+  [[nodiscard]] double age_factor(const rms::Job& job, double now) const;
+  [[nodiscard]] double job_size_factor(const rms::Job& job) const;
+  [[nodiscard]] double fairshare_factor(const rms::Job& job, double now) const;
+
+  [[nodiscard]] const MultifactorWeights& weights() const noexcept { return weights_; }
+
+ private:
+  MultifactorWeights weights_;
+  FairshareSource fairshare_;
+};
+
+}  // namespace aequus::slurm

@@ -1,0 +1,49 @@
+#include "slurm/plugin.hpp"
+
+#include <stdexcept>
+
+namespace aequus::slurm {
+
+void PluginRegistry::register_priority(const std::string& name, PriorityFactory factory) {
+  priority_factories_[name] = std::move(factory);
+}
+
+void PluginRegistry::register_jobcomp(const std::string& name, JobCompFactory factory) {
+  jobcomp_factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<PriorityPlugin> PluginRegistry::create_priority(const std::string& name) const {
+  const auto it = priority_factories_.find(name);
+  if (it == priority_factories_.end()) {
+    throw std::out_of_range("PluginRegistry: unknown priority plugin " + name);
+  }
+  return it->second();
+}
+
+std::unique_ptr<JobCompPlugin> PluginRegistry::create_jobcomp(const std::string& name) const {
+  const auto it = jobcomp_factories_.find(name);
+  if (it == jobcomp_factories_.end()) {
+    throw std::out_of_range("PluginRegistry: unknown jobcomp plugin " + name);
+  }
+  return it->second();
+}
+
+std::vector<std::string> PluginRegistry::priority_plugin_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : priority_factories_) {
+    (void)factory;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> PluginRegistry::jobcomp_plugin_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : jobcomp_factories_) {
+    (void)factory;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace aequus::slurm

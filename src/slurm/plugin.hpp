@@ -1,0 +1,59 @@
+// The SLURM-like plugin system (§III-A).
+//
+// Real SLURM loads priority and job-completion plugins by name at
+// run-time; integration with Aequus is "done by implementing custom
+// Aequus priority and job completion plugins for use in the SLURM plug-in
+// system". This module reproduces that seam: typed plugin interfaces plus
+// a name-keyed registry, so the controller is configured with plugin
+// *names* exactly like slurm.conf's PriorityType / JobCompType.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rms/job.hpp"
+
+namespace aequus::slurm {
+
+/// Computes the scheduling priority of a pending job (PriorityType=...).
+class PriorityPlugin {
+ public:
+  virtual ~PriorityPlugin() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual double priority(const rms::Job& job, double now) = 0;
+};
+
+/// Notified when a job completes (JobCompType=...).
+class JobCompPlugin {
+ public:
+  virtual ~JobCompPlugin() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void job_complete(const rms::Job& job, double now) = 0;
+};
+
+/// Name-keyed plugin factories, mirroring SLURM's dynamic plugin loading.
+class PluginRegistry {
+ public:
+  using PriorityFactory = std::function<std::unique_ptr<PriorityPlugin>()>;
+  using JobCompFactory = std::function<std::unique_ptr<JobCompPlugin>()>;
+
+  void register_priority(const std::string& name, PriorityFactory factory);
+  void register_jobcomp(const std::string& name, JobCompFactory factory);
+
+  /// Instantiate a registered plugin; throws std::out_of_range on unknown
+  /// names (SLURM would fail to start in the same situation).
+  [[nodiscard]] std::unique_ptr<PriorityPlugin> create_priority(const std::string& name) const;
+  [[nodiscard]] std::unique_ptr<JobCompPlugin> create_jobcomp(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> priority_plugin_names() const;
+  [[nodiscard]] std::vector<std::string> jobcomp_plugin_names() const;
+
+ private:
+  std::map<std::string, PriorityFactory> priority_factories_;
+  std::map<std::string, JobCompFactory> jobcomp_factories_;
+};
+
+}  // namespace aequus::slurm

@@ -1,0 +1,43 @@
+#include "stats/autocorr.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+
+namespace aequus::stats {
+
+std::vector<double> autocorrelation(const std::vector<double>& series, std::size_t max_lag) {
+  const std::size_t n = series.size();
+  std::vector<double> acf(max_lag + 1, 0.0);
+  if (n == 0) return acf;
+  const double m = mean(series);
+  double denom = 0.0;
+  for (double x : series) denom += (x - m) * (x - m);
+  acf[0] = 1.0;
+  if (denom <= 0.0) return acf;
+  for (std::size_t lag = 1; lag <= max_lag && lag < n; ++lag) {
+    double num = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      num += (series[i] - m) * (series[i + lag] - m);
+    }
+    acf[lag] = num / denom;
+  }
+  return acf;
+}
+
+PeriodicityResult detect_periodicity(const std::vector<double>& series, std::size_t max_lag,
+                                     std::size_t min_lag, double threshold) {
+  PeriodicityResult result;
+  const std::vector<double> acf = autocorrelation(series, max_lag);
+  for (std::size_t lag = std::max<std::size_t>(min_lag, 1); lag + 1 < acf.size(); ++lag) {
+    const bool local_max = acf[lag] >= acf[lag - 1] && acf[lag] >= acf[lag + 1];
+    if (local_max && acf[lag] > threshold && acf[lag] > result.strength) {
+      result.found = true;
+      result.lag = lag;
+      result.strength = acf[lag];
+    }
+  }
+  return result;
+}
+
+}  // namespace aequus::stats

@@ -1,0 +1,33 @@
+// Autocorrelation analysis for periodicity detection.
+//
+// The paper analyzes the national trace "for periodicity using auto
+// correlation functions, searching for daily, weekly, and monthly
+// patterns" and finds a ~3-month cycle for U65 (§IV-2, Fig. 5). This
+// module computes the sample ACF of a binned arrival series and scans it
+// for dominant periodic lags.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aequus::stats {
+
+/// Sample autocorrelation of `series` for lags 0..max_lag (inclusive).
+/// acf[0] == 1 by construction; a constant series yields zeros past lag 0.
+[[nodiscard]] std::vector<double> autocorrelation(const std::vector<double>& series,
+                                                  std::size_t max_lag);
+
+struct PeriodicityResult {
+  bool found = false;      ///< a significant periodic lag was detected
+  std::size_t lag = 0;     ///< dominant lag (bins)
+  double strength = 0.0;   ///< ACF value at that lag
+};
+
+/// Scan the ACF for the strongest local maximum above `threshold`
+/// (ignoring lag 0 and lags below `min_lag`).
+[[nodiscard]] PeriodicityResult detect_periodicity(const std::vector<double>& series,
+                                                   std::size_t max_lag,
+                                                   std::size_t min_lag = 2,
+                                                   double threshold = 0.2);
+
+}  // namespace aequus::stats

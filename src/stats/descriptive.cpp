@@ -1,0 +1,136 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace aequus::stats {
+
+double mean(std::span<const double> data) noexcept {
+  if (data.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : data) sum += x;
+  return sum / static_cast<double>(data.size());
+}
+
+double variance(std::span<const double> data) noexcept {
+  if (data.size() < 2) return 0.0;
+  const double m = mean(data);
+  double sum = 0.0;
+  for (double x : data) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(data.size() - 1);
+}
+
+double stddev(std::span<const double> data) noexcept {
+  return std::sqrt(variance(data));
+}
+
+double coefficient_of_variation(std::span<const double> data) noexcept {
+  const double m = mean(data);
+  if (m == 0.0) return 0.0;
+  return stddev(data) / m;
+}
+
+double median(std::span<const double> data) {
+  return quantile(data, 0.5);
+}
+
+double quantile(std::span<const double> data, double q) {
+  if (data.empty()) return 0.0;
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double skewness(std::span<const double> data) noexcept {
+  const auto n = static_cast<double>(data.size());
+  if (data.size() < 3) return 0.0;
+  const double m = mean(data);
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (double x : data) {
+    const double d = x - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  if (m2 <= 0.0) return 0.0;
+  const double g1 = m3 / std::pow(m2, 1.5);
+  return std::sqrt(n * (n - 1.0)) / (n - 2.0) * g1;
+}
+
+double min_value(std::span<const double> data) noexcept {
+  if (data.empty()) return 0.0;
+  return *std::min_element(data.begin(), data.end());
+}
+
+double max_value(std::span<const double> data) noexcept {
+  if (data.empty()) return 0.0;
+  return *std::max_element(data.begin(), data.end());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0.0) {}
+
+void Histogram::add(double value, double weight) noexcept {
+  const double width = bin_width();
+  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / width);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_width() const noexcept {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width();
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ <= 0.0) return out;
+  const double scale = 1.0 / (total_ * bin_width());
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = counts_[i] * scale;
+  return out;
+}
+
+std::string Histogram::render(const std::string& title, int height) const {
+  const double peak = counts_.empty()
+                          ? 0.0
+                          : *std::max_element(counts_.begin(), counts_.end());
+  std::string out = title + "\n";
+  if (peak <= 0.0) return out + "  (empty)\n";
+  for (int row = height; row >= 1; --row) {
+    const double threshold = peak * static_cast<double>(row) / height;
+    std::string line = util::format("%10.1f |", threshold);
+    for (double c : counts_) line += c >= threshold ? '#' : ' ';
+    out += line + '\n';
+  }
+  out += "           +";
+  out.append(counts_.size(), '-');
+  out += '\n';
+  out += util::format("            x = [%g, %g], %zu bins, total %.0f\n", lo_, hi_,
+                      counts_.size(), total_);
+  return out;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> data) : sorted_(std::move(data)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+}  // namespace aequus::stats

@@ -1,0 +1,115 @@
+// Descriptive statistics used throughout the workload-modeling pipeline.
+//
+// The paper (following Downey & Feitelson) prefers medians over means and
+// coefficients of variation because the trace contains outliers of unknown
+// legitimacy; both are provided, plus histograms and empirical CDFs used to
+// regenerate Figures 4-7.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aequus::stats {
+
+/// Arithmetic mean; 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> data) noexcept;
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> data) noexcept;
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> data) noexcept;
+
+/// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> data) noexcept;
+
+/// Median (average of middle two for even n); 0 for empty input.
+[[nodiscard]] double median(std::span<const double> data);
+
+/// Linear-interpolated quantile, q in [0, 1].
+[[nodiscard]] double quantile(std::span<const double> data, double q);
+
+/// Sample skewness (adjusted Fisher–Pearson); 0 for n < 3.
+[[nodiscard]] double skewness(std::span<const double> data) noexcept;
+
+/// Minimum / maximum; 0 for empty input.
+[[nodiscard]] double min_value(std::span<const double> data) noexcept;
+[[nodiscard]] double max_value(std::span<const double> data) noexcept;
+
+// Initializer-list conveniences (std::span cannot bind to braced lists).
+inline double mean(std::initializer_list<double> data) noexcept {
+  return mean(std::span<const double>(data.begin(), data.size()));
+}
+inline double variance(std::initializer_list<double> data) noexcept {
+  return variance(std::span<const double>(data.begin(), data.size()));
+}
+inline double stddev(std::initializer_list<double> data) noexcept {
+  return stddev(std::span<const double>(data.begin(), data.size()));
+}
+inline double coefficient_of_variation(std::initializer_list<double> data) noexcept {
+  return coefficient_of_variation(std::span<const double>(data.begin(), data.size()));
+}
+inline double median(std::initializer_list<double> data) {
+  return median(std::span<const double>(data.begin(), data.size()));
+}
+inline double quantile(std::initializer_list<double> data, double q) {
+  return quantile(std::span<const double>(data.begin(), data.size()), q);
+}
+inline double skewness(std::initializer_list<double> data) noexcept {
+  return skewness(std::span<const double>(data.begin(), data.size()));
+}
+
+/// Fixed-width histogram over [lo, hi) with `bins` bins.
+///
+/// Used both for the figure reproductions (job arrivals per day, Fig. 4-5)
+/// and by the USS service, which aggregates per-user usage into interval
+/// histograms before exchanging them between sites.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Add one observation; out-of-range values are clamped into the edge bins.
+  void add(double value, double weight = 1.0) noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] const std::vector<double>& counts() const noexcept { return counts_; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] double bin_width() const noexcept;
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Normalized density (counts / (total * bin_width)); zeros when empty.
+  [[nodiscard]] std::vector<double> density() const;
+
+  /// Render as a vertical-bar ASCII chart for bench output.
+  [[nodiscard]] std::string render(const std::string& title, int height = 12) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Empirical cumulative distribution function over a sample.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> data);
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// i-th order statistic, 0-based.
+  [[nodiscard]] double order_statistic(std::size_t i) const { return sorted_.at(i); }
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace aequus::stats

@@ -1,0 +1,81 @@
+#include "stats/distribution.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace aequus::stats {
+
+double Distribution::log_pdf(double x) const {
+  const double d = pdf(x);
+  if (d <= 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log(d);
+}
+
+double Distribution::icdf(double p) const {
+  return numeric_icdf(p);
+}
+
+double Distribution::sample(util::Rng& rng) const {
+  // Avoid the exact endpoints where icdf may be infinite.
+  double u;
+  do {
+    u = rng.uniform();
+  } while (u <= 0.0);
+  return icdf(u);
+}
+
+std::string Distribution::describe() const {
+  std::string out = family() + "(";
+  bool first = true;
+  for (const auto& p : params()) {
+    if (!first) out += ", ";
+    first = false;
+    out += util::format("%s=%.4g", p.name.c_str(), p.value);
+  }
+  out += ")";
+  return out;
+}
+
+double Distribution::log_likelihood(const std::vector<double>& data) const {
+  double total = 0.0;
+  for (double x : data) {
+    const double lp = log_pdf(x);
+    if (!std::isfinite(lp)) return -std::numeric_limits<double>::infinity();
+    total += lp;
+  }
+  return total;
+}
+
+double Distribution::numeric_icdf(double p) const {
+  if (p <= 0.0) return support_lo();
+  if (p >= 1.0) return support_hi();
+
+  // Establish a finite bracket [lo, hi] with cdf(lo) <= p <= cdf(hi).
+  double lo = support_lo();
+  double hi = support_hi();
+  if (!std::isfinite(lo)) {
+    lo = -1.0;
+    while (cdf(lo) > p && std::isfinite(lo)) lo *= 2.0;
+  }
+  if (!std::isfinite(hi)) {
+    hi = std::fabs(lo) + 1.0;
+    while (cdf(hi) < p && std::isfinite(hi)) hi *= 2.0;
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;  // bracket at machine precision
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace aequus::stats

@@ -1,0 +1,80 @@
+// Abstract probability distribution interface.
+//
+// The workload-modeling pipeline (§IV of the paper) fits a set of 18
+// candidate families to each data set and selects the best one by BIC.
+// Every family implements this interface: density, log-density (for MLE),
+// CDF, inverse CDF (for the ICDF sampling the paper uses to generate
+// synthetic traces), and direct sampling.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aequus::stats {
+
+/// A named distribution parameter, e.g. {"sigma", 19.5}.
+struct Param {
+  std::string name;
+  double value;
+};
+
+class Distribution;
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+/// Base class for all distribution families.
+///
+/// Invariants: pdf(x) >= 0; cdf is nondecreasing from 0 to 1 over the
+/// support; icdf(cdf(x)) == x up to numeric tolerance inside the support.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Family name, e.g. "GEV", "Burr", "BirnbaumSaunders".
+  [[nodiscard]] virtual std::string family() const = 0;
+
+  /// Current parameter values in canonical order.
+  [[nodiscard]] virtual std::vector<Param> params() const = 0;
+
+  /// Probability density at x (0 outside the support).
+  [[nodiscard]] virtual double pdf(double x) const = 0;
+
+  /// log pdf(x); -inf outside the support. Default takes log of pdf();
+  /// families override where a direct form is more stable.
+  [[nodiscard]] virtual double log_pdf(double x) const;
+
+  /// Cumulative distribution function.
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+
+  /// Inverse CDF (quantile). Default inverts cdf() numerically by bracketed
+  /// bisection; families with closed forms override.
+  [[nodiscard]] virtual double icdf(double p) const;
+
+  /// Draw one sample. Default is inverse-transform sampling.
+  [[nodiscard]] virtual double sample(util::Rng& rng) const;
+
+  /// Support bounds (inclusive where finite).
+  [[nodiscard]] virtual double support_lo() const { return -std::numeric_limits<double>::infinity(); }
+  [[nodiscard]] virtual double support_hi() const { return std::numeric_limits<double>::infinity(); }
+
+  /// Deep copy.
+  [[nodiscard]] virtual DistributionPtr clone() const = 0;
+
+  /// Number of free parameters (used by BIC/AIC).
+  [[nodiscard]] std::size_t n_params() const { return params().size(); }
+
+  /// Human-readable form: "GEV(k=-0.386, sigma=19.5, mu=73500)".
+  [[nodiscard]] std::string describe() const;
+
+  /// Sum of log_pdf over a data set; -inf if any point is impossible.
+  [[nodiscard]] double log_likelihood(const std::vector<double>& data) const;
+
+ protected:
+  /// Bracketed bisection inversion of cdf(); used by the default icdf().
+  [[nodiscard]] double numeric_icdf(double p) const;
+};
+
+}  // namespace aequus::stats

@@ -1,0 +1,321 @@
+// The 18 distribution families used for workload model fitting (§IV-2 of
+// the paper: "modeling each data set using a set of 18 different
+// distributions ... such as normal, Weibull, Generalized Extreme Value
+// (GEV), Birnbaum-Saunders (BS), Pareto, Burr, and Log-normal").
+//
+// Parameterizations follow the Matlab conventions the paper used, so that
+// Table II/III entries like GEV(k, sigma, mu) and Burr(alpha, c, k) read
+// identically.
+//
+// All constructors validate parameters and throw std::invalid_argument on
+// out-of-domain values.
+#pragma once
+
+#include "stats/distribution.hpp"
+
+namespace aequus::stats {
+
+/// Normal(mu, sigma), sigma > 0.
+class Normal final : public Distribution {
+ public:
+  Normal(double mu, double sigma);
+  [[nodiscard]] std::string family() const override { return "Normal"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double sample(util::Rng& rng) const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_, sigma_;
+};
+
+/// LogNormal(mu, sigma): log X ~ Normal(mu, sigma). Support x > 0.
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+  [[nodiscard]] std::string family() const override { return "LogNormal"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Uniform(a, b), a < b.
+class Uniform final : public Distribution {
+ public:
+  Uniform(double a, double b);
+  [[nodiscard]] std::string family() const override { return "Uniform"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override { return a_; }
+  [[nodiscard]] double support_hi() const override { return b_; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double a_, b_;
+};
+
+/// Exponential(mu): mean mu > 0 (Matlab convention). Support x >= 0.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mu);
+  [[nodiscard]] std::string family() const override { return "Exponential"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double mu_;
+};
+
+/// Logistic(mu, s), s > 0.
+class Logistic final : public Distribution {
+ public:
+  Logistic(double mu, double s);
+  [[nodiscard]] std::string family() const override { return "Logistic"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double mu_, s_;
+};
+
+/// HalfNormal(sigma): |Z| * sigma. Support x >= 0.
+class HalfNormal final : public Distribution {
+ public:
+  explicit HalfNormal(double sigma);
+  [[nodiscard]] std::string family() const override { return "HalfNormal"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double sigma_;
+};
+
+/// Weibull(lambda, k): scale lambda > 0, shape k > 0. Support x >= 0.
+class Weibull final : public Distribution {
+ public:
+  Weibull(double lambda, double k);
+  [[nodiscard]] std::string family() const override { return "Weibull"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double lambda_, k_;
+};
+
+/// Gamma(k, theta): shape k > 0, scale theta > 0. Support x > 0.
+class Gamma final : public Distribution {
+ public:
+  Gamma(double k, double theta);
+  [[nodiscard]] std::string family() const override { return "Gamma"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double sample(util::Rng& rng) const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double k_, theta_;
+};
+
+/// Rayleigh(sigma), sigma > 0. Support x >= 0.
+class Rayleigh final : public Distribution {
+ public:
+  explicit Rayleigh(double sigma);
+  [[nodiscard]] std::string family() const override { return "Rayleigh"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double sigma_;
+};
+
+/// Birnbaum-Saunders BS(beta, gamma): scale beta > 0, shape gamma > 0.
+/// The family the paper fits to U65 and Uoth job durations (Table III).
+class BirnbaumSaunders final : public Distribution {
+ public:
+  BirnbaumSaunders(double beta, double gamma);
+  [[nodiscard]] std::string family() const override { return "BirnbaumSaunders"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double beta_, gamma_;
+};
+
+/// InverseGaussian(mu, lambda), both > 0. Support x > 0.
+class InverseGaussian final : public Distribution {
+ public:
+  InverseGaussian(double mu, double lambda);
+  [[nodiscard]] std::string family() const override { return "InverseGaussian"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double mu_, lambda_;
+};
+
+/// Nakagami(m, omega): shape m >= 0.5, spread omega > 0. Support x >= 0.
+class Nakagami final : public Distribution {
+ public:
+  Nakagami(double m, double omega);
+  [[nodiscard]] std::string family() const override { return "Nakagami"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double m_, omega_;
+};
+
+/// LogLogistic(alpha, beta): scale alpha > 0, shape beta > 0. Support x >= 0.
+class LogLogistic final : public Distribution {
+ public:
+  LogLogistic(double alpha, double beta);
+  [[nodiscard]] std::string family() const override { return "LogLogistic"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double alpha_, beta_;
+};
+
+/// Generalized Extreme Value GEV(k, sigma, mu): shape k (any sign),
+/// scale sigma > 0, location mu. The workhorse family of Table II.
+class Gev final : public Distribution {
+ public:
+  Gev(double k, double sigma, double mu);
+  [[nodiscard]] std::string family() const override { return "GEV"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override;
+  [[nodiscard]] double support_hi() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+  [[nodiscard]] double k() const noexcept { return k_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+
+ private:
+  double k_, sigma_, mu_;
+};
+
+/// Gumbel / Type-I extreme value (mu, beta), beta > 0.
+class Gumbel final : public Distribution {
+ public:
+  Gumbel(double mu, double beta);
+  [[nodiscard]] std::string family() const override { return "Gumbel"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double mu_, beta_;
+};
+
+/// Pareto(xm, alpha): scale xm > 0, shape alpha > 0. Support x >= xm.
+class Pareto final : public Distribution {
+ public:
+  Pareto(double xm, double alpha);
+  [[nodiscard]] std::string family() const override { return "Pareto"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override { return xm_; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double xm_, alpha_;
+};
+
+/// Generalized Pareto GP(k, sigma, theta): shape k, scale sigma > 0,
+/// threshold theta. Support x >= theta (and bounded above for k < 0).
+class GeneralizedPareto final : public Distribution {
+ public:
+  GeneralizedPareto(double k, double sigma, double theta);
+  [[nodiscard]] std::string family() const override { return "GeneralizedPareto"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override { return theta_; }
+  [[nodiscard]] double support_hi() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double k_, sigma_, theta_;
+};
+
+/// Burr Type XII (alpha, c, k): scale alpha > 0, shapes c > 0, k > 0.
+/// Fits U30 arrivals and U3 durations in the paper. Support x > 0.
+class Burr final : public Distribution {
+ public:
+  Burr(double alpha, double c, double k);
+  [[nodiscard]] std::string family() const override { return "Burr"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double log_pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double icdf(double p) const override;
+  [[nodiscard]] double support_lo() const override { return 0.0; }
+  [[nodiscard]] DistributionPtr clone() const override;
+
+ private:
+  double alpha_, c_, k_;
+};
+
+}  // namespace aequus::stats

@@ -1,0 +1,213 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/families.hpp"
+#include "stats/special.hpp"
+
+namespace aequus::stats {
+
+namespace {
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Normal
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(sigma > 0.0, "Normal: sigma must be > 0");
+}
+
+std::vector<Param> Normal::params() const {
+  return {{"mu", mu_}, {"sigma", sigma_}};
+}
+
+double Normal::pdf(double x) const {
+  return normal_pdf((x - mu_) / sigma_) / sigma_;
+}
+
+double Normal::log_pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  return -0.5 * z * z - std::log(sigma_) - 0.5 * std::log(2.0 * M_PI);
+}
+
+double Normal::cdf(double x) const {
+  return normal_cdf((x - mu_) / sigma_);
+}
+
+double Normal::icdf(double p) const {
+  return mu_ + sigma_ * normal_icdf(p);
+}
+
+double Normal::sample(util::Rng& rng) const {
+  return rng.normal(mu_, sigma_);
+}
+
+DistributionPtr Normal::clone() const {
+  return std::make_unique<Normal>(*this);
+}
+
+// ------------------------------------------------------------- LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(sigma > 0.0, "LogNormal: sigma must be > 0");
+}
+
+std::vector<Param> LogNormal::params() const {
+  return {{"mu", mu_}, {"sigma", sigma_}};
+}
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return normal_pdf(z) / (x * sigma_);
+}
+
+double LogNormal::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double z = (std::log(x) - mu_) / sigma_;
+  return -0.5 * z * z - std::log(x * sigma_) - 0.5 * std::log(2.0 * M_PI);
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::icdf(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return std::exp(mu_ + sigma_ * normal_icdf(p));
+}
+
+DistributionPtr LogNormal::clone() const {
+  return std::make_unique<LogNormal>(*this);
+}
+
+// --------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double a, double b) : a_(a), b_(b) {
+  require(a < b, "Uniform: a must be < b");
+}
+
+std::vector<Param> Uniform::params() const {
+  return {{"a", a_}, {"b", b_}};
+}
+
+double Uniform::pdf(double x) const {
+  if (x < a_ || x > b_) return 0.0;
+  return 1.0 / (b_ - a_);
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= a_) return 0.0;
+  if (x >= b_) return 1.0;
+  return (x - a_) / (b_ - a_);
+}
+
+double Uniform::icdf(double p) const {
+  if (p <= 0.0) return a_;
+  if (p >= 1.0) return b_;
+  return a_ + p * (b_ - a_);
+}
+
+DistributionPtr Uniform::clone() const {
+  return std::make_unique<Uniform>(*this);
+}
+
+// ----------------------------------------------------------- Exponential
+
+Exponential::Exponential(double mu) : mu_(mu) {
+  require(mu > 0.0, "Exponential: mu must be > 0");
+}
+
+std::vector<Param> Exponential::params() const {
+  return {{"mu", mu_}};
+}
+
+double Exponential::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return std::exp(-x / mu_) / mu_;
+}
+
+double Exponential::log_pdf(double x) const {
+  if (x < 0.0) return -std::numeric_limits<double>::infinity();
+  return -x / mu_ - std::log(mu_);
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-x / mu_);
+}
+
+double Exponential::icdf(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return -mu_ * std::log1p(-p);
+}
+
+DistributionPtr Exponential::clone() const {
+  return std::make_unique<Exponential>(*this);
+}
+
+// -------------------------------------------------------------- Logistic
+
+Logistic::Logistic(double mu, double s) : mu_(mu), s_(s) {
+  require(s > 0.0, "Logistic: s must be > 0");
+}
+
+std::vector<Param> Logistic::params() const {
+  return {{"mu", mu_}, {"s", s_}};
+}
+
+double Logistic::pdf(double x) const {
+  const double e = std::exp(-(x - mu_) / s_);
+  const double denom = s_ * (1.0 + e) * (1.0 + e);
+  return e / denom;
+}
+
+double Logistic::cdf(double x) const {
+  return 1.0 / (1.0 + std::exp(-(x - mu_) / s_));
+}
+
+double Logistic::icdf(double p) const {
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return mu_ + s_ * std::log(p / (1.0 - p));
+}
+
+DistributionPtr Logistic::clone() const {
+  return std::make_unique<Logistic>(*this);
+}
+
+// ------------------------------------------------------------ HalfNormal
+
+HalfNormal::HalfNormal(double sigma) : sigma_(sigma) {
+  require(sigma > 0.0, "HalfNormal: sigma must be > 0");
+}
+
+std::vector<Param> HalfNormal::params() const {
+  return {{"sigma", sigma_}};
+}
+
+double HalfNormal::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return 2.0 * normal_pdf(x / sigma_) / sigma_;
+}
+
+double HalfNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return std::erf(x / (sigma_ * M_SQRT2));
+}
+
+double HalfNormal::icdf(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return sigma_ * normal_icdf(0.5 * (1.0 + p));
+}
+
+DistributionPtr HalfNormal::clone() const {
+  return std::make_unique<HalfNormal>(*this);
+}
+
+}  // namespace aequus::stats

@@ -1,0 +1,228 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/families.hpp"
+
+namespace aequus::stats {
+
+namespace {
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+constexpr double kShapeEpsilon = 1e-12;  // treat |k| below this as k == 0
+}  // namespace
+
+// ------------------------------------------------------------------- GEV
+
+Gev::Gev(double k, double sigma, double mu) : k_(k), sigma_(sigma), mu_(mu) {
+  require(sigma > 0.0, "GEV: sigma must be > 0");
+}
+
+std::vector<Param> Gev::params() const {
+  return {{"k", k_}, {"sigma", sigma_}, {"mu", mu_}};
+}
+
+double Gev::support_lo() const {
+  if (k_ > kShapeEpsilon) return mu_ - sigma_ / k_;
+  return -std::numeric_limits<double>::infinity();
+}
+
+double Gev::support_hi() const {
+  if (k_ < -kShapeEpsilon) return mu_ - sigma_ / k_;
+  return std::numeric_limits<double>::infinity();
+}
+
+double Gev::pdf(double x) const {
+  const double lp = log_pdf(x);
+  return std::isfinite(lp) ? std::exp(lp) : 0.0;
+}
+
+double Gev::log_pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  if (std::fabs(k_) < kShapeEpsilon) {
+    // Gumbel limit: log f = -z - e^{-z} - log sigma
+    return -z - std::exp(-z) - std::log(sigma_);
+  }
+  const double base = 1.0 + k_ * z;
+  if (base <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double t_log = -std::log(base) / k_;  // log t, where t = base^{-1/k}
+  // log f = (1/k + 1) * log(base)^{-1} ... expressed via t:
+  // f = (1/sigma) * t^{k+1} * exp(-t)
+  const double t = std::exp(t_log);
+  return (k_ + 1.0) * t_log - t - std::log(sigma_);
+}
+
+double Gev::cdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  if (std::fabs(k_) < kShapeEpsilon) {
+    return std::exp(-std::exp(-z));
+  }
+  const double base = 1.0 + k_ * z;
+  if (base <= 0.0) return k_ > 0.0 ? 0.0 : 1.0;
+  return std::exp(-std::pow(base, -1.0 / k_));
+}
+
+double Gev::icdf(double p) const {
+  if (p <= 0.0) return support_lo();
+  if (p >= 1.0) return support_hi();
+  const double w = -std::log(p);  // in (0, inf)
+  if (std::fabs(k_) < kShapeEpsilon) {
+    return mu_ - sigma_ * std::log(w);
+  }
+  return mu_ + sigma_ * (std::pow(w, -k_) - 1.0) / k_;
+}
+
+DistributionPtr Gev::clone() const {
+  return std::make_unique<Gev>(*this);
+}
+
+// ---------------------------------------------------------------- Gumbel
+
+Gumbel::Gumbel(double mu, double beta) : mu_(mu), beta_(beta) {
+  require(beta > 0.0, "Gumbel: beta must be > 0");
+}
+
+std::vector<Param> Gumbel::params() const {
+  return {{"mu", mu_}, {"beta", beta_}};
+}
+
+double Gumbel::pdf(double x) const {
+  const double z = (x - mu_) / beta_;
+  return std::exp(-z - std::exp(-z)) / beta_;
+}
+
+double Gumbel::cdf(double x) const {
+  return std::exp(-std::exp(-(x - mu_) / beta_));
+}
+
+double Gumbel::icdf(double p) const {
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return mu_ - beta_ * std::log(-std::log(p));
+}
+
+DistributionPtr Gumbel::clone() const {
+  return std::make_unique<Gumbel>(*this);
+}
+
+// ---------------------------------------------------------------- Pareto
+
+Pareto::Pareto(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  require(xm > 0.0, "Pareto: xm must be > 0");
+  require(alpha > 0.0, "Pareto: alpha must be > 0");
+}
+
+std::vector<Param> Pareto::params() const {
+  return {{"xm", xm_}, {"alpha", alpha_}};
+}
+
+double Pareto::pdf(double x) const {
+  if (x < xm_) return 0.0;
+  return alpha_ * std::pow(xm_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double Pareto::cdf(double x) const {
+  if (x <= xm_) return 0.0;
+  return 1.0 - std::pow(xm_ / x, alpha_);
+}
+
+double Pareto::icdf(double p) const {
+  if (p <= 0.0) return xm_;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return xm_ / std::pow(1.0 - p, 1.0 / alpha_);
+}
+
+DistributionPtr Pareto::clone() const {
+  return std::make_unique<Pareto>(*this);
+}
+
+// ----------------------------------------------------- GeneralizedPareto
+
+GeneralizedPareto::GeneralizedPareto(double k, double sigma, double theta)
+    : k_(k), sigma_(sigma), theta_(theta) {
+  require(sigma > 0.0, "GeneralizedPareto: sigma must be > 0");
+}
+
+std::vector<Param> GeneralizedPareto::params() const {
+  return {{"k", k_}, {"sigma", sigma_}, {"theta", theta_}};
+}
+
+double GeneralizedPareto::support_hi() const {
+  if (k_ < -kShapeEpsilon) return theta_ - sigma_ / k_;
+  return std::numeric_limits<double>::infinity();
+}
+
+double GeneralizedPareto::pdf(double x) const {
+  const double z = (x - theta_) / sigma_;
+  if (z < 0.0) return 0.0;
+  if (std::fabs(k_) < kShapeEpsilon) return std::exp(-z) / sigma_;
+  const double base = 1.0 + k_ * z;
+  if (base <= 0.0) return 0.0;
+  return std::pow(base, -1.0 / k_ - 1.0) / sigma_;
+}
+
+double GeneralizedPareto::cdf(double x) const {
+  const double z = (x - theta_) / sigma_;
+  if (z <= 0.0) return 0.0;
+  if (std::fabs(k_) < kShapeEpsilon) return 1.0 - std::exp(-z);
+  const double base = 1.0 + k_ * z;
+  if (base <= 0.0) return 1.0;
+  return 1.0 - std::pow(base, -1.0 / k_);
+}
+
+double GeneralizedPareto::icdf(double p) const {
+  if (p <= 0.0) return theta_;
+  if (p >= 1.0) return support_hi();
+  if (std::fabs(k_) < kShapeEpsilon) return theta_ - sigma_ * std::log1p(-p);
+  return theta_ + sigma_ * (std::pow(1.0 - p, -k_) - 1.0) / k_;
+}
+
+DistributionPtr GeneralizedPareto::clone() const {
+  return std::make_unique<GeneralizedPareto>(*this);
+}
+
+// ------------------------------------------------------------------ Burr
+
+Burr::Burr(double alpha, double c, double k) : alpha_(alpha), c_(c), k_(k) {
+  require(alpha > 0.0, "Burr: alpha must be > 0");
+  require(c > 0.0, "Burr: c must be > 0");
+  require(k > 0.0, "Burr: k must be > 0");
+}
+
+std::vector<Param> Burr::params() const {
+  return {{"alpha", alpha_}, {"c", c_}, {"k", k_}};
+}
+
+double Burr::pdf(double x) const {
+  const double lp = log_pdf(x);
+  return std::isfinite(lp) ? std::exp(lp) : 0.0;
+}
+
+double Burr::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double log_z = c_ * (std::log(x) - std::log(alpha_));
+  // softplus(log_z) = log(1 + (x/alpha)^c), computed without overflow
+  const double softplus = log_z > 30.0 ? log_z : std::log1p(std::exp(log_z));
+  // f = (k c / alpha) (x/alpha)^{c-1} (1 + (x/alpha)^c)^{-(k+1)}
+  return std::log(k_ * c_ / alpha_) + (c_ - 1.0) * (std::log(x) - std::log(alpha_)) -
+         (k_ + 1.0) * softplus;
+}
+
+double Burr::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = std::pow(x / alpha_, c_);
+  return 1.0 - std::pow(1.0 + z, -k_);
+}
+
+double Burr::icdf(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  const double t = std::pow(1.0 - p, -1.0 / k_) - 1.0;
+  return alpha_ * std::pow(t, 1.0 / c_);
+}
+
+DistributionPtr Burr::clone() const {
+  return std::make_unique<Burr>(*this);
+}
+
+}  // namespace aequus::stats

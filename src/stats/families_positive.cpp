@@ -1,0 +1,276 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/families.hpp"
+#include "stats/special.hpp"
+
+namespace aequus::stats {
+
+namespace {
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+}  // namespace
+
+// --------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double lambda, double k) : lambda_(lambda), k_(k) {
+  require(lambda > 0.0, "Weibull: lambda must be > 0");
+  require(k > 0.0, "Weibull: k must be > 0");
+}
+
+std::vector<Param> Weibull::params() const {
+  return {{"lambda", lambda_}, {"k", k_}};
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return k_ < 1.0 ? std::numeric_limits<double>::infinity()
+                                : (k_ == 1.0 ? 1.0 / lambda_ : 0.0);
+  const double z = x / lambda_;
+  return (k_ / lambda_) * std::pow(z, k_ - 1.0) * std::exp(-std::pow(z, k_));
+}
+
+double Weibull::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double z = x / lambda_;
+  return std::log(k_ / lambda_) + (k_ - 1.0) * std::log(z) - std::pow(z, k_);
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / lambda_, k_));
+}
+
+double Weibull::icdf(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return lambda_ * std::pow(-std::log1p(-p), 1.0 / k_);
+}
+
+DistributionPtr Weibull::clone() const {
+  return std::make_unique<Weibull>(*this);
+}
+
+// ----------------------------------------------------------------- Gamma
+
+Gamma::Gamma(double k, double theta) : k_(k), theta_(theta) {
+  require(k > 0.0, "Gamma: k must be > 0");
+  require(theta > 0.0, "Gamma: theta must be > 0");
+}
+
+std::vector<Param> Gamma::params() const {
+  return {{"k", k_}, {"theta", theta_}};
+}
+
+double Gamma::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return std::exp(log_pdf(x));
+}
+
+double Gamma::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  return (k_ - 1.0) * std::log(x) - x / theta_ - std::lgamma(k_) - k_ * std::log(theta_);
+}
+
+double Gamma::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(k_, x / theta_);
+}
+
+double Gamma::sample(util::Rng& rng) const {
+  // Marsaglia-Tsang squeeze method; boost for k < 1 via the U^(1/k) trick.
+  double k = k_;
+  double boost = 1.0;
+  if (k < 1.0) {
+    double u;
+    do {
+      u = rng.uniform();
+    } while (u <= 0.0);
+    boost = std::pow(u, 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x;
+    double v;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v * theta_;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return boost * d * v * theta_;
+    }
+  }
+}
+
+DistributionPtr Gamma::clone() const {
+  return std::make_unique<Gamma>(*this);
+}
+
+// -------------------------------------------------------------- Rayleigh
+
+Rayleigh::Rayleigh(double sigma) : sigma_(sigma) {
+  require(sigma > 0.0, "Rayleigh: sigma must be > 0");
+}
+
+std::vector<Param> Rayleigh::params() const {
+  return {{"sigma", sigma_}};
+}
+
+double Rayleigh::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  const double s2 = sigma_ * sigma_;
+  return (x / s2) * std::exp(-x * x / (2.0 * s2));
+}
+
+double Rayleigh::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-x * x / (2.0 * sigma_ * sigma_));
+}
+
+double Rayleigh::icdf(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return sigma_ * std::sqrt(-2.0 * std::log1p(-p));
+}
+
+DistributionPtr Rayleigh::clone() const {
+  return std::make_unique<Rayleigh>(*this);
+}
+
+// ------------------------------------------------------ BirnbaumSaunders
+
+BirnbaumSaunders::BirnbaumSaunders(double beta, double gamma) : beta_(beta), gamma_(gamma) {
+  require(beta > 0.0, "BirnbaumSaunders: beta must be > 0");
+  require(gamma > 0.0, "BirnbaumSaunders: gamma must be > 0");
+}
+
+std::vector<Param> BirnbaumSaunders::params() const {
+  return {{"beta", beta_}, {"gamma", gamma_}};
+}
+
+double BirnbaumSaunders::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double sqrt_ratio = std::sqrt(x / beta_);
+  const double inv_sqrt_ratio = std::sqrt(beta_ / x);
+  const double z = (sqrt_ratio - inv_sqrt_ratio) / gamma_;
+  const double dz = (sqrt_ratio + inv_sqrt_ratio) / (2.0 * gamma_ * x);
+  return normal_pdf(z) * dz;
+}
+
+double BirnbaumSaunders::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::sqrt(x / beta_) - std::sqrt(beta_ / x)) / gamma_;
+  return normal_cdf(z);
+}
+
+double BirnbaumSaunders::icdf(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  const double z = normal_icdf(p);
+  const double t = gamma_ * z;
+  const double root = 0.5 * (t + std::sqrt(t * t + 4.0));
+  return beta_ * root * root;
+}
+
+DistributionPtr BirnbaumSaunders::clone() const {
+  return std::make_unique<BirnbaumSaunders>(*this);
+}
+
+// ------------------------------------------------------- InverseGaussian
+
+InverseGaussian::InverseGaussian(double mu, double lambda) : mu_(mu), lambda_(lambda) {
+  require(mu > 0.0, "InverseGaussian: mu must be > 0");
+  require(lambda > 0.0, "InverseGaussian: lambda must be > 0");
+}
+
+std::vector<Param> InverseGaussian::params() const {
+  return {{"mu", mu_}, {"lambda", lambda_}};
+}
+
+double InverseGaussian::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double d = x - mu_;
+  return std::sqrt(lambda_ / (2.0 * M_PI * x * x * x)) *
+         std::exp(-lambda_ * d * d / (2.0 * mu_ * mu_ * x));
+}
+
+double InverseGaussian::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double sqrt_term = std::sqrt(lambda_ / x);
+  const double a = sqrt_term * (x / mu_ - 1.0);
+  const double b = -sqrt_term * (x / mu_ + 1.0);
+  return normal_cdf(a) + std::exp(2.0 * lambda_ / mu_) * normal_cdf(b);
+}
+
+DistributionPtr InverseGaussian::clone() const {
+  return std::make_unique<InverseGaussian>(*this);
+}
+
+// -------------------------------------------------------------- Nakagami
+
+Nakagami::Nakagami(double m, double omega) : m_(m), omega_(omega) {
+  require(m >= 0.5, "Nakagami: m must be >= 0.5");
+  require(omega > 0.0, "Nakagami: omega must be > 0");
+}
+
+std::vector<Param> Nakagami::params() const {
+  return {{"m", m_}, {"omega", omega_}};
+}
+
+double Nakagami::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double log_pdf_value = std::log(2.0) + m_ * std::log(m_ / omega_) - std::lgamma(m_) +
+                               (2.0 * m_ - 1.0) * std::log(x) - m_ * x * x / omega_;
+  return std::exp(log_pdf_value);
+}
+
+double Nakagami::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(m_, m_ * x * x / omega_);
+}
+
+DistributionPtr Nakagami::clone() const {
+  return std::make_unique<Nakagami>(*this);
+}
+
+// ----------------------------------------------------------- LogLogistic
+
+LogLogistic::LogLogistic(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  require(alpha > 0.0, "LogLogistic: alpha must be > 0");
+  require(beta > 0.0, "LogLogistic: beta must be > 0");
+}
+
+std::vector<Param> LogLogistic::params() const {
+  return {{"alpha", alpha_}, {"beta", beta_}};
+}
+
+double LogLogistic::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return beta_ > 1.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  const double z = std::pow(x / alpha_, beta_);
+  const double denom = (1.0 + z) * (1.0 + z);
+  return (beta_ / alpha_) * std::pow(x / alpha_, beta_ - 1.0) / denom;
+}
+
+double LogLogistic::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 / (1.0 + std::pow(x / alpha_, -beta_));
+}
+
+double LogLogistic::icdf(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * std::pow(p / (1.0 - p), 1.0 / beta_);
+}
+
+DistributionPtr LogLogistic::clone() const {
+  return std::make_unique<LogLogistic>(*this);
+}
+
+}  // namespace aequus::stats

@@ -1,0 +1,374 @@
+#include "stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "stats/families.hpp"
+#include "stats/optimize.hpp"
+
+namespace aequus::stats {
+
+const std::vector<Family>& all_families() {
+  static const std::vector<Family> families = {
+      Family::kNormal,          Family::kLogNormal,      Family::kUniform,
+      Family::kExponential,     Family::kLogistic,       Family::kHalfNormal,
+      Family::kWeibull,         Family::kGamma,          Family::kRayleigh,
+      Family::kBirnbaumSaunders, Family::kInverseGaussian, Family::kNakagami,
+      Family::kLogLogistic,     Family::kGev,            Family::kGumbel,
+      Family::kPareto,          Family::kGeneralizedPareto, Family::kBurr,
+  };
+  return families;
+}
+
+std::string to_string(Family family) {
+  switch (family) {
+    case Family::kNormal: return "Normal";
+    case Family::kLogNormal: return "LogNormal";
+    case Family::kUniform: return "Uniform";
+    case Family::kExponential: return "Exponential";
+    case Family::kLogistic: return "Logistic";
+    case Family::kHalfNormal: return "HalfNormal";
+    case Family::kWeibull: return "Weibull";
+    case Family::kGamma: return "Gamma";
+    case Family::kRayleigh: return "Rayleigh";
+    case Family::kBirnbaumSaunders: return "BirnbaumSaunders";
+    case Family::kInverseGaussian: return "InverseGaussian";
+    case Family::kNakagami: return "Nakagami";
+    case Family::kLogLogistic: return "LogLogistic";
+    case Family::kGev: return "GEV";
+    case Family::kGumbel: return "Gumbel";
+    case Family::kPareto: return "Pareto";
+    case Family::kGeneralizedPareto: return "GeneralizedPareto";
+    case Family::kBurr: return "Burr";
+  }
+  return "?";
+}
+
+double bic_score(double log_likelihood, std::size_t n_params, std::size_t n_samples) {
+  return static_cast<double>(n_params) * std::log(static_cast<double>(n_samples)) -
+         2.0 * log_likelihood;
+}
+
+double aic_score(double log_likelihood, std::size_t n_params) {
+  return 2.0 * static_cast<double>(n_params) - 2.0 * log_likelihood;
+}
+
+namespace {
+
+struct DataSummary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  bool all_positive = false;
+  bool all_nonnegative = false;
+  double log_mean = 0.0;    // mean of ln(x), positive data only
+  double log_stddev = 0.0;  // stddev of ln(x), positive data only
+};
+
+DataSummary summarize(const std::vector<double>& data) {
+  DataSummary s;
+  s.n = data.size();
+  s.mean = mean(data);
+  s.stddev = stddev(data);
+  s.min = min_value(data);
+  s.max = max_value(data);
+  s.median = median(data);
+  s.all_positive = s.min > 0.0;
+  s.all_nonnegative = s.min >= 0.0;
+  if (s.all_positive) {
+    std::vector<double> logs;
+    logs.reserve(data.size());
+    for (double x : data) logs.push_back(std::log(x));
+    s.log_mean = mean(logs);
+    s.log_stddev = stddev(logs);
+  }
+  return s;
+}
+
+FitResult failed(Family family) {
+  FitResult r;
+  r.family = family;
+  return r;
+}
+
+FitResult finish(Family family, DistributionPtr dist, const std::vector<double>& data,
+                 std::size_t n_params, bool converged) {
+  FitResult r;
+  r.family = family;
+  const double ll = dist->log_likelihood(data);
+  if (!std::isfinite(ll)) return failed(family);
+  r.distribution = std::move(dist);
+  r.log_likelihood = ll;
+  r.bic = bic_score(ll, n_params, data.size());
+  r.aic = aic_score(ll, n_params);
+  r.converged = converged;
+  return r;
+}
+
+/// Optimize a family with Nelder–Mead in an unconstrained space.
+/// `make` constructs the distribution from the unconstrained vector and may
+/// throw; such points are treated as infinitely bad.
+FitResult fit_numeric(Family family, const std::vector<double>& data,
+                      const std::vector<std::vector<double>>& starts,
+                      const std::function<DistributionPtr(const std::vector<double>&)>& make,
+                      std::size_t n_params) {
+  const auto objective = [&](const std::vector<double>& x) -> double {
+    try {
+      const DistributionPtr dist = make(x);
+      const double ll = dist->log_likelihood(data);
+      if (!std::isfinite(ll)) return std::numeric_limits<double>::infinity();
+      return -ll;
+    } catch (const std::exception&) {
+      return std::numeric_limits<double>::infinity();
+    }
+  };
+
+  double best_value = std::numeric_limits<double>::infinity();
+  std::vector<double> best_x;
+  bool best_converged = false;
+  for (const auto& start : starts) {
+    if (!std::isfinite(objective(start))) continue;
+    const OptimizeResult r = nelder_mead(objective, start);
+    if (std::isfinite(r.value) && r.value < best_value) {
+      best_value = r.value;
+      best_x = r.x;
+      best_converged = r.converged;
+    }
+  }
+  if (best_x.empty()) return failed(family);
+  try {
+    return finish(family, make(best_x), data, n_params, best_converged);
+  } catch (const std::exception&) {
+    return failed(family);
+  }
+}
+
+}  // namespace
+
+FitResult fit_mle(Family family, const std::vector<double>& data) {
+  if (data.size() < 2) return failed(family);
+  const DataSummary s = summarize(data);
+  const double sd = std::max(s.stddev, 1e-12 * (std::fabs(s.mean) + 1.0));
+
+  switch (family) {
+    case Family::kNormal: {
+      // ML sigma uses the n denominator.
+      double ssq = 0.0;
+      for (double x : data) ssq += (x - s.mean) * (x - s.mean);
+      const double sigma = std::sqrt(std::max(ssq / static_cast<double>(s.n), 1e-300));
+      return finish(family, std::make_unique<Normal>(s.mean, sigma), data, 2, true);
+    }
+    case Family::kLogNormal: {
+      if (!s.all_positive) return failed(family);
+      std::vector<double> logs;
+      logs.reserve(s.n);
+      for (double x : data) logs.push_back(std::log(x));
+      const double mu = mean(logs);
+      double ssq = 0.0;
+      for (double lx : logs) ssq += (lx - mu) * (lx - mu);
+      const double sigma = std::sqrt(std::max(ssq / static_cast<double>(s.n), 1e-300));
+      return finish(family, std::make_unique<LogNormal>(mu, sigma), data, 2, true);
+    }
+    case Family::kUniform: {
+      if (s.max <= s.min) return failed(family);
+      // Widen a hair so the extreme order statistics have positive density.
+      const double pad = (s.max - s.min) * 1e-9;
+      return finish(family, std::make_unique<Uniform>(s.min - pad, s.max + pad), data, 2, true);
+    }
+    case Family::kExponential: {
+      if (!s.all_nonnegative || s.mean <= 0.0) return failed(family);
+      return finish(family, std::make_unique<Exponential>(s.mean), data, 1, true);
+    }
+    case Family::kLogistic: {
+      const double s0 = sd * std::sqrt(3.0) / M_PI;
+      return fit_numeric(
+          family, data, {{s.mean, std::log(s0)}},
+          [](const std::vector<double>& x) -> DistributionPtr {
+            return std::make_unique<Logistic>(x[0], std::exp(x[1]));
+          },
+          2);
+    }
+    case Family::kHalfNormal: {
+      if (!s.all_nonnegative) return failed(family);
+      double ssq = 0.0;
+      for (double x : data) ssq += x * x;
+      const double sigma = std::sqrt(std::max(ssq / static_cast<double>(s.n), 1e-300));
+      return finish(family, std::make_unique<HalfNormal>(sigma), data, 1, true);
+    }
+    case Family::kWeibull: {
+      if (!s.all_positive) return failed(family);
+      const double k0 = std::clamp(1.283 / std::max(s.log_stddev, 1e-6), 0.05, 50.0);
+      const double lambda0 = std::exp(s.log_mean + 0.5772 / k0);
+      return fit_numeric(
+          family, data, {{std::log(lambda0), std::log(k0)}},
+          [](const std::vector<double>& x) -> DistributionPtr {
+            return std::make_unique<Weibull>(std::exp(x[0]), std::exp(x[1]));
+          },
+          2);
+    }
+    case Family::kGamma: {
+      if (!s.all_positive) return failed(family);
+      const double k0 = std::clamp((s.mean / sd) * (s.mean / sd), 1e-3, 1e6);
+      const double theta0 = std::max(s.mean / k0, 1e-300);
+      return fit_numeric(
+          family, data, {{std::log(k0), std::log(theta0)}},
+          [](const std::vector<double>& x) -> DistributionPtr {
+            return std::make_unique<Gamma>(std::exp(x[0]), std::exp(x[1]));
+          },
+          2);
+    }
+    case Family::kRayleigh: {
+      if (!s.all_nonnegative) return failed(family);
+      double ssq = 0.0;
+      for (double x : data) ssq += x * x;
+      const double sigma = std::sqrt(std::max(ssq / (2.0 * static_cast<double>(s.n)), 1e-300));
+      return finish(family, std::make_unique<Rayleigh>(sigma), data, 1, true);
+    }
+    case Family::kBirnbaumSaunders: {
+      if (!s.all_positive) return failed(family);
+      double harmonic_sum = 0.0;
+      for (double x : data) harmonic_sum += 1.0 / x;
+      const double r = static_cast<double>(s.n) / harmonic_sum;  // harmonic mean
+      const double beta0 = std::sqrt(s.mean * r);
+      const double gamma0 =
+          std::sqrt(std::max(2.0 * (std::sqrt(s.mean / r) - 1.0), 1e-4));
+      return fit_numeric(
+          family, data, {{std::log(beta0), std::log(gamma0)}},
+          [](const std::vector<double>& x) -> DistributionPtr {
+            return std::make_unique<BirnbaumSaunders>(std::exp(x[0]), std::exp(x[1]));
+          },
+          2);
+    }
+    case Family::kInverseGaussian: {
+      if (!s.all_positive) return failed(family);
+      double inv_sum = 0.0;
+      for (double x : data) inv_sum += 1.0 / x - 1.0 / s.mean;
+      if (inv_sum <= 0.0) return failed(family);
+      const double lambda = static_cast<double>(s.n) / inv_sum;
+      return finish(family, std::make_unique<InverseGaussian>(s.mean, lambda), data, 2, true);
+    }
+    case Family::kNakagami: {
+      if (!s.all_positive) return failed(family);
+      std::vector<double> squares;
+      squares.reserve(s.n);
+      for (double x : data) squares.push_back(x * x);
+      const double omega0 = mean(squares);
+      const double var_sq = variance(squares);
+      const double m0 = std::clamp(var_sq > 0.0 ? omega0 * omega0 / var_sq : 1.0, 0.5, 1e4);
+      return fit_numeric(
+          family, data, {{std::log(m0), std::log(omega0)}},
+          [](const std::vector<double>& x) -> DistributionPtr {
+            return std::make_unique<Nakagami>(std::max(std::exp(x[0]), 0.5), std::exp(x[1]));
+          },
+          2);
+    }
+    case Family::kLogLogistic: {
+      if (!s.all_positive) return failed(family);
+      const double beta0 = std::clamp(M_PI / (std::sqrt(3.0) * std::max(s.log_stddev, 1e-6)),
+                                      0.05, 100.0);
+      return fit_numeric(
+          family, data, {{s.log_mean, std::log(beta0)}},
+          [](const std::vector<double>& x) -> DistributionPtr {
+            return std::make_unique<LogLogistic>(std::exp(x[0]), std::exp(x[1]));
+          },
+          2);
+    }
+    case Family::kGev: {
+      const double sigma0 = sd * std::sqrt(6.0) / M_PI;
+      const double mu0 = s.mean - 0.5772 * sigma0;
+      std::vector<std::vector<double>> starts;
+      for (double k0 : {-0.4, -0.15, 0.01, 0.2, 0.5}) {
+        starts.push_back({k0, std::log(sigma0), mu0});
+      }
+      return fit_numeric(
+          family, data, starts,
+          [](const std::vector<double>& x) -> DistributionPtr {
+            // k <= -1 makes the MLE degenerate (unbounded likelihood at the
+            // support boundary); restrict to the regular region, as Matlab's
+            // gevfit does.
+            if (x[0] <= -0.99) throw std::invalid_argument("GEV: k out of range");
+            return std::make_unique<Gev>(x[0], std::exp(x[1]), x[2]);
+          },
+          3);
+    }
+    case Family::kGumbel: {
+      const double beta0 = sd * std::sqrt(6.0) / M_PI;
+      const double mu0 = s.mean - 0.5772 * beta0;
+      return fit_numeric(
+          family, data, {{mu0, std::log(beta0)}},
+          [](const std::vector<double>& x) -> DistributionPtr {
+            return std::make_unique<Gumbel>(x[0], std::exp(x[1]));
+          },
+          2);
+    }
+    case Family::kPareto: {
+      if (!s.all_positive) return failed(family);
+      const double xm = s.min;
+      double log_ratio_sum = 0.0;
+      for (double x : data) log_ratio_sum += std::log(x / xm);
+      if (log_ratio_sum <= 0.0) return failed(family);
+      const double alpha = static_cast<double>(s.n) / log_ratio_sum;
+      // Shrink xm slightly so the minimum sample has positive density.
+      return finish(family, std::make_unique<Pareto>(xm * (1.0 - 1e-9), alpha), data, 2, true);
+    }
+    case Family::kGeneralizedPareto: {
+      // Threshold pinned just below the sample minimum (Matlab fixes it at
+      // 0); fit shape and scale.
+      const double theta = s.min - 1e-9 * (std::fabs(s.min) + 1.0);
+      const double excess_mean = s.mean - theta;
+      std::vector<std::vector<double>> starts;
+      for (double k0 : {-0.3, 0.01, 0.5}) {
+        starts.push_back({k0, std::log(std::max(excess_mean, 1e-12))});
+      }
+      return fit_numeric(
+          family, data, starts,
+          [theta](const std::vector<double>& x) -> DistributionPtr {
+            // Same regularity restriction as GEV: k <= -1 is degenerate.
+            if (x[0] <= -0.99) throw std::invalid_argument("GP: k out of range");
+            return std::make_unique<GeneralizedPareto>(x[0], std::exp(x[1]), theta);
+          },
+          2);
+    }
+    case Family::kBurr: {
+      if (!s.all_positive) return failed(family);
+      std::vector<std::vector<double>> starts;
+      for (double c0 : {0.5, 2.0, 8.0}) {
+        starts.push_back({std::log(std::max(s.median, 1e-12)), std::log(c0), 0.0});
+      }
+      return fit_numeric(
+          family, data, starts,
+          [](const std::vector<double>& x) -> DistributionPtr {
+            return std::make_unique<Burr>(std::exp(x[0]), std::exp(x[1]), std::exp(x[2]));
+          },
+          3);
+    }
+  }
+  return failed(family);
+}
+
+ModelSelection fit_best(const std::vector<double>& data, const std::vector<Family>& families) {
+  ModelSelection selection;
+  for (Family family : families) {
+    FitResult r = fit_mle(family, data);
+    if (r.ok()) selection.candidates.push_back(std::move(r));
+  }
+  std::sort(selection.candidates.begin(), selection.candidates.end(),
+            [](const FitResult& a, const FitResult& b) { return a.bic < b.bic; });
+  if (!selection.candidates.empty()) {
+    selection.best.family = selection.candidates.front().family;
+    selection.best.distribution = selection.candidates.front().distribution->clone();
+    selection.best.log_likelihood = selection.candidates.front().log_likelihood;
+    selection.best.bic = selection.candidates.front().bic;
+    selection.best.aic = selection.candidates.front().aic;
+    selection.best.converged = selection.candidates.front().converged;
+  }
+  return selection;
+}
+
+}  // namespace aequus::stats

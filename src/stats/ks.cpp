@@ -1,0 +1,68 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special.hpp"
+
+namespace aequus::stats {
+
+KsResult ks_test(const std::vector<double>& data, const Distribution& dist) {
+  KsResult result;
+  if (data.empty()) return result;
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = dist.cdf(sorted[i]);
+    const double ecdf_hi = static_cast<double>(i + 1) / n;
+    const double ecdf_lo = static_cast<double>(i) / n;
+    d = std::max(d, std::max(std::fabs(ecdf_hi - f), std::fabs(f - ecdf_lo)));
+  }
+  result.statistic = d;
+  // Asymptotic p-value with the standard finite-n correction.
+  const double sqrt_n = std::sqrt(n);
+  result.p_value = kolmogorov_q((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return result;
+}
+
+double anderson_darling(const std::vector<double>& data, const Distribution& dist) {
+  if (data.empty()) return 0.0;
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const auto nd = static_cast<double>(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Clamp away from the exact 0/1 endpoints to keep the logs finite for
+    // samples sitting numerically on the support boundary.
+    constexpr double kEps = 1e-300;
+    const double fi = std::clamp(dist.cdf(sorted[i]), kEps, 1.0 - 1e-16);
+    const double fj = std::clamp(dist.cdf(sorted[n - 1 - i]), kEps, 1.0 - 1e-16);
+    sum += (2.0 * static_cast<double>(i) + 1.0) * (std::log(fi) + std::log1p(-fj));
+  }
+  return -nd - sum / nd;
+}
+
+double ks_two_sample(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::vector<double> sa = a;
+  std::vector<double> sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const auto na = static_cast<double>(sa.size());
+  const auto nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na - static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+}  // namespace aequus::stats

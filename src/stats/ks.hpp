@@ -1,0 +1,34 @@
+// Kolmogorov–Smirnov goodness-of-fit testing.
+//
+// Tables II and III of the paper report the KS statistic of each fitted
+// distribution against its data set ("the corresponding Kolmogorov-Smirnov
+// goodness of fit values"); this module computes the one-sample statistic
+// D_n = sup_x |F_n(x) - F(x)| and its asymptotic p-value.
+#pragma once
+
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace aequus::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< D_n
+  double p_value = 1.0;    ///< asymptotic P(K > sqrt(n) * D_n)
+};
+
+/// One-sample KS test of `data` against `dist`. Requires non-empty data.
+[[nodiscard]] KsResult ks_test(const std::vector<double>& data, const Distribution& dist);
+
+/// Two-sample KS statistic between two samples.
+[[nodiscard]] double ks_two_sample(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Anderson–Darling statistic A^2 of `data` against `dist`: a
+/// tail-sensitive alternative to KS, useful for the heavy-tailed duration
+/// families. Larger is worse; values below ~2.5 indicate a good fit for
+/// fully specified distributions. Returns +inf when a sample falls where
+/// the model assigns zero probability. Requires non-empty data.
+[[nodiscard]] double anderson_darling(const std::vector<double>& data,
+                                      const Distribution& dist);
+
+}  // namespace aequus::stats

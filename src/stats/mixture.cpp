@@ -1,0 +1,73 @@
+#include "stats/mixture.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace aequus::stats {
+
+Mixture::Mixture(std::vector<Component> components) : components_(std::move(components)) {
+  double total = 0.0;
+  for (const auto& c : components_) {
+    if (!c.distribution) throw std::invalid_argument("Mixture: null component");
+    if (c.weight < 0.0) throw std::invalid_argument("Mixture: negative weight");
+    total += c.weight;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Mixture: weights must sum to > 0");
+  for (auto& c : components_) c.weight /= total;
+}
+
+std::vector<Param> Mixture::params() const {
+  std::vector<Param> out;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    out.push_back({util::format("w%zu", i + 1), components_[i].weight});
+    for (const auto& p : components_[i].distribution->params()) {
+      out.push_back({util::format("%s%zu", p.name.c_str(), i + 1), p.value});
+    }
+  }
+  return out;
+}
+
+double Mixture::pdf(double x) const {
+  double total = 0.0;
+  for (const auto& c : components_) total += c.weight * c.distribution->pdf(x);
+  return total;
+}
+
+double Mixture::cdf(double x) const {
+  double total = 0.0;
+  for (const auto& c : components_) total += c.weight * c.distribution->cdf(x);
+  return total;
+}
+
+double Mixture::sample(util::Rng& rng) const {
+  std::vector<double> weights;
+  weights.reserve(components_.size());
+  for (const auto& c : components_) weights.push_back(c.weight);
+  const std::size_t index = rng.weighted_index(weights);
+  return components_[index].distribution->sample(rng);
+}
+
+double Mixture::support_lo() const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const auto& c : components_) lo = std::min(lo, c.distribution->support_lo());
+  return lo;
+}
+
+double Mixture::support_hi() const {
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& c : components_) hi = std::max(hi, c.distribution->support_hi());
+  return hi;
+}
+
+DistributionPtr Mixture::clone() const {
+  std::vector<Component> copy;
+  copy.reserve(components_.size());
+  for (const auto& c : components_) {
+    copy.push_back({c.distribution->clone(), c.weight});
+  }
+  return std::make_unique<Mixture>(std::move(copy));
+}
+
+}  // namespace aequus::stats

@@ -1,0 +1,45 @@
+// Weighted mixture (composite) distribution.
+//
+// Implements Equation (1) of the paper: the U65 job-arrival model is a
+// mixture of four per-phase distributions, each weighted by the fraction
+// of jobs falling in that phase of the trace:
+//
+//   PDF_U65(x) = sum_n (phase_n_usage / total_usage) * PDF_pn(x)
+#pragma once
+
+#include "stats/distribution.hpp"
+
+namespace aequus::stats {
+
+/// Mixture of component distributions with nonnegative weights.
+/// Weights are normalized to sum to 1 at construction.
+class Mixture final : public Distribution {
+ public:
+  struct Component {
+    DistributionPtr distribution;
+    double weight;
+  };
+
+  /// Requires at least one component with positive weight.
+  explicit Mixture(std::vector<Component> components);
+
+  [[nodiscard]] std::string family() const override { return "Mixture"; }
+  [[nodiscard]] std::vector<Param> params() const override;
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double sample(util::Rng& rng) const override;
+  [[nodiscard]] double support_lo() const override;
+  [[nodiscard]] double support_hi() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+
+  [[nodiscard]] std::size_t component_count() const noexcept { return components_.size(); }
+  [[nodiscard]] const Distribution& component(std::size_t i) const {
+    return *components_.at(i).distribution;
+  }
+  [[nodiscard]] double weight(std::size_t i) const { return components_.at(i).weight; }
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace aequus::stats

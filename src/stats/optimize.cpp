@@ -1,0 +1,123 @@
+#include "stats/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace aequus::stats {
+
+OptimizeResult nelder_mead(const std::function<double(const std::vector<double>&)>& objective,
+                           std::vector<double> start, const NelderMeadOptions& options) {
+  const std::size_t n = start.size();
+  OptimizeResult result;
+  if (n == 0) {
+    result.x = std::move(start);
+    result.value = objective(result.x);
+    result.converged = true;
+    return result;
+  }
+
+  constexpr double alpha = 1.0;   // reflection
+  constexpr double gamma = 2.0;   // expansion
+  constexpr double rho = 0.5;     // contraction
+  constexpr double sigma = 0.5;   // shrink
+
+  // Build the initial simplex around the start point.
+  std::vector<std::vector<double>> simplex(n + 1, start);
+  for (std::size_t i = 0; i < n; ++i) {
+    double step = options.initial_step * std::max(std::fabs(start[i]), 1.0);
+    if (step == 0.0) step = options.initial_step;
+    simplex[i + 1][i] += step;
+  }
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) values[i] = objective(simplex[i]);
+
+  const auto order = [&] {
+    std::vector<std::size_t> idx(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    std::vector<std::vector<double>> new_simplex(n + 1);
+    std::vector<double> new_values(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+      new_simplex[i] = std::move(simplex[idx[i]]);
+      new_values[i] = values[idx[i]];
+    }
+    simplex = std::move(new_simplex);
+    values = std::move(new_values);
+  };
+
+  int iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    order();
+
+    // Convergence: spread of function values across the simplex.
+    const double spread = std::fabs(values[n] - values[0]);
+    const double scale = std::fabs(values[0]) + std::fabs(values[n]) + 1e-30;
+    if (std::isfinite(values[0]) && spread <= options.tolerance * scale) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    const auto blend = [&](const std::vector<double>& from, double factor) {
+      std::vector<double> out(n);
+      for (std::size_t d = 0; d < n; ++d) out[d] = centroid[d] + factor * (from[d] - centroid[d]);
+      return out;
+    };
+
+    const std::vector<double> reflected = blend(simplex[n], -alpha);
+    const double reflected_value = objective(reflected);
+
+    if (reflected_value < values[0]) {
+      const std::vector<double> expanded = blend(simplex[n], -alpha * gamma);
+      const double expanded_value = objective(expanded);
+      if (expanded_value < reflected_value) {
+        simplex[n] = expanded;
+        values[n] = expanded_value;
+      } else {
+        simplex[n] = reflected;
+        values[n] = reflected_value;
+      }
+      continue;
+    }
+    if (reflected_value < values[n - 1]) {
+      simplex[n] = reflected;
+      values[n] = reflected_value;
+      continue;
+    }
+
+    // Contraction (outside if reflected is better than worst, else inside).
+    const bool outside = reflected_value < values[n];
+    const std::vector<double> contracted =
+        outside ? blend(reflected, rho) : blend(simplex[n], rho);
+    const double contracted_value = objective(contracted);
+    if (contracted_value < std::min(reflected_value, values[n])) {
+      simplex[n] = contracted;
+      values[n] = contracted_value;
+      continue;
+    }
+
+    // Shrink toward the best vertex.
+    for (std::size_t i = 1; i <= n; ++i) {
+      for (std::size_t d = 0; d < n; ++d) {
+        simplex[i][d] = simplex[0][d] + sigma * (simplex[i][d] - simplex[0][d]);
+      }
+      values[i] = objective(simplex[i]);
+    }
+  }
+
+  order();
+  result.x = simplex[0];
+  result.value = values[0];
+  result.iterations = iteration;
+  return result;
+}
+
+}  // namespace aequus::stats

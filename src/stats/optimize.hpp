@@ -1,0 +1,33 @@
+// Derivative-free minimization (Nelder–Mead) used by the MLE fitter.
+//
+// The fitter transforms constrained distribution parameters (e.g. sigma > 0)
+// to an unconstrained space and minimizes the negative log-likelihood; the
+// simplex method is robust to the noisy, cliff-edged likelihood surfaces of
+// bounded-support families like GEV.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace aequus::stats {
+
+struct OptimizeResult {
+  std::vector<double> x;    ///< best point found
+  double value = 0.0;       ///< objective at x
+  int iterations = 0;       ///< simplex iterations used
+  bool converged = false;   ///< simplex diameter fell below tolerance
+};
+
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  double tolerance = 1e-9;        ///< relative spread of simplex values
+  double initial_step = 0.25;     ///< per-dimension initial simplex offset
+};
+
+/// Minimize `objective` starting from `start`. The objective may return
+/// +inf for infeasible points; the simplex contracts away from them.
+[[nodiscard]] OptimizeResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> start, const NelderMeadOptions& options = {});
+
+}  // namespace aequus::stats

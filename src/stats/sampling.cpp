@@ -1,0 +1,26 @@
+#include "stats/sampling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aequus::stats {
+
+BoundedSampler::BoundedSampler(const Distribution& dist, double lo, double hi)
+    : dist_(dist), lo_(lo), hi_(hi), p_lo_(dist.cdf(lo)), p_hi_(dist.cdf(hi)) {
+  if (!(lo < hi)) throw std::invalid_argument("BoundedSampler: lo must be < hi");
+  if (!(p_lo_ < p_hi_)) {
+    throw std::invalid_argument("BoundedSampler: no probability mass in [lo, hi]");
+  }
+}
+
+double BoundedSampler::sample(util::Rng& rng) const {
+  return at(rng.uniform());
+}
+
+double BoundedSampler::at(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  const double p = p_lo_ + u * (p_hi_ - p_lo_);
+  return std::clamp(dist_.icdf(p), lo_, hi_);
+}
+
+}  // namespace aequus::stats

@@ -1,0 +1,43 @@
+// Range-rescaled inverse-CDF sampling.
+//
+// From the paper (§IV-2): "When creating synthetic traces the inverse CDF
+// (ICDF) is used to model arrival time as a function of probability ...
+// To ensure that all samples are within the intended range, the
+// distribution of random values [0,1] is therefore re-scaled to fit within
+// the desired time frame. For example, in the case of U65, the effective
+// range [7.451e-3, 9.946e-1] is used to ensure all generated values are
+// within the same calendar year."
+#pragma once
+
+#include "stats/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace aequus::stats {
+
+/// Samples a distribution restricted to values in [lo, hi] by drawing the
+/// uniform deviate from the effective probability range [cdf(lo), cdf(hi)].
+class BoundedSampler {
+ public:
+  /// Requires lo < hi and cdf(lo) < cdf(hi) (nonzero mass in the window).
+  BoundedSampler(const Distribution& dist, double lo, double hi);
+
+  /// Draw one sample, guaranteed inside [lo, hi].
+  [[nodiscard]] double sample(util::Rng& rng) const;
+
+  /// Deterministic sample at probability `u` in [0, 1], mapped through the
+  /// effective range (u = 0 gives lo, u = 1 gives hi).
+  [[nodiscard]] double at(double u) const;
+
+  /// The effective probability range [cdf(lo), cdf(hi)] the paper quotes.
+  [[nodiscard]] double effective_lo() const noexcept { return p_lo_; }
+  [[nodiscard]] double effective_hi() const noexcept { return p_hi_; }
+
+ private:
+  const Distribution& dist_;
+  double lo_;
+  double hi_;
+  double p_lo_;
+  double p_hi_;
+};
+
+}  // namespace aequus::stats

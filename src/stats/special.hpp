@@ -1,0 +1,30 @@
+// Special mathematical functions needed by the distribution families:
+// regularized incomplete gamma, inverse normal CDF, and the asymptotic
+// Kolmogorov distribution. Implementations follow the classic series /
+// continued-fraction formulations (Abramowitz & Stegun; Press et al.).
+#pragma once
+
+namespace aequus::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), a > 0, x >= 0.
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double regularized_gamma_q(double a, double x);
+
+/// Standard normal CDF Φ(z).
+[[nodiscard]] double normal_cdf(double z);
+
+/// Standard normal PDF φ(z).
+[[nodiscard]] double normal_pdf(double z);
+
+/// Inverse of the standard normal CDF. Accepts p in (0, 1); returns ±inf at
+/// the boundaries. Acklam's rational approximation refined with one Halley
+/// step, giving ~1e-15 relative accuracy.
+[[nodiscard]] double normal_icdf(double p);
+
+/// Kolmogorov distribution survival function: P(K > x) for the asymptotic
+/// distribution of sqrt(n) * D_n. Used to derive KS test p-values.
+[[nodiscard]] double kolmogorov_q(double x);
+
+}  // namespace aequus::stats

@@ -1,0 +1,76 @@
+#include "testbed/config.hpp"
+
+#include <stdexcept>
+
+#include "core/projection.hpp"
+
+namespace aequus::testbed {
+
+workload::Scenario scenario_from_json(const json::Value& spec) {
+  const std::string name = spec.get_string("scenario", "baseline");
+  const auto jobs = static_cast<std::size_t>(spec.get_number("jobs", 43200));
+  const auto seed = static_cast<std::uint64_t>(spec.get_number("seed", 2012));
+  if (name == "baseline") return workload::baseline_scenario(seed, jobs);
+  if (name == "nonoptimal-policy") return workload::nonoptimal_policy_scenario(seed, jobs);
+  if (name == "bursty") return workload::bursty_scenario(seed, jobs);
+  throw std::invalid_argument("unknown scenario: " + name);
+}
+
+ExperimentConfig experiment_config_from_json(const json::Value& spec) {
+  ExperimentConfig config;
+
+  const std::string dispatch = spec.get_string("dispatch", "stochastic");
+  if (dispatch == "stochastic") config.dispatch = DispatchPolicy::kStochastic;
+  else if (dispatch == "round-robin") config.dispatch = DispatchPolicy::kRoundRobin;
+  else throw std::invalid_argument("unknown dispatch policy: " + dispatch);
+
+  if (const auto timings = spec.find("timings")) {
+    const auto& t = timings->get();
+    config.timings.service_update_interval =
+        t.get_number("service_update_interval", config.timings.service_update_interval);
+    config.timings.client_cache_ttl =
+        t.get_number("client_cache_ttl", config.timings.client_cache_ttl);
+    config.timings.reprioritize_interval =
+        t.get_number("reprioritize_interval", config.timings.reprioritize_interval);
+    config.timings.uss_bin_width =
+        t.get_number("uss_bin_width", config.timings.uss_bin_width);
+    config.timings.uss_retention =
+        t.get_number("uss_retention", config.timings.uss_retention);
+  }
+  if (const auto fairshare = spec.find("fairshare")) {
+    const auto& f = fairshare->get();
+    if (const auto decay = f.find("decay")) {
+      config.fairshare.decay = core::Decay::from_json(decay->get()).config();
+    }
+    if (const auto algorithm = f.find("algorithm")) {
+      config.fairshare.algorithm = core::fairshare_config_from_json(algorithm->get());
+    }
+    if (const auto projection = f.find("projection")) {
+      config.fairshare.projection = core::projection_config_from_json(projection->get());
+    }
+  }
+  config.bus_remote_latency = spec.get_number("bus_remote_latency", config.bus_remote_latency);
+  config.sample_interval = spec.get_number("sample_interval", config.sample_interval);
+  config.seed = static_cast<std::uint64_t>(spec.get_number("seed_rng", config.seed));
+  config.record_per_site = spec.get_bool("record_per_site", config.record_per_site);
+  config.drain_seconds = spec.get_number("drain_seconds", config.drain_seconds);
+
+  if (const auto sites = spec.find("sites")) {
+    for (const auto& [index_text, overrides] : sites->get().as_object()) {
+      const int index = std::atoi(index_text.c_str());
+      SiteSpec site;
+      site.participation.contributes = overrides.get_bool("contributes", true);
+      site.participation.reads_global = overrides.get_bool("reads_global", true);
+      const std::string rm = overrides.get_string("rm", "slurm");
+      if (rm == "slurm") site.rm = RmKind::kSlurm;
+      else if (rm == "maui") site.rm = RmKind::kMaui;
+      else throw std::invalid_argument("unknown rm kind: " + rm);
+      site.hosts = static_cast<int>(overrides.get_number("hosts", 0));
+      site.cores_per_host = static_cast<int>(overrides.get_number("cores_per_host", 0));
+      config.site_overrides[index] = site;
+    }
+  }
+  return config;
+}
+
+}  // namespace aequus::testbed

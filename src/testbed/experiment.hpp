@@ -1,0 +1,104 @@
+// The multi-cluster experiment runner (§IV-A).
+//
+// Reproduces the paper's testbed: N clusters of virtual hosts, each with
+// its own Aequus installation and RM, a submission host that parses the
+// input workload and dispatches jobs to the clusters (stochastic or
+// round-robin — "evaluated without any noticeable difference"), and a
+// unified name-resolution endpoint co-hosted on the submission host.
+//
+// During the run the experiment samples, at a fixed interval:
+//   - per-user cumulative usage share (the figures' "usage share");
+//   - per-user global fairshare priority, as seen by the first site's FCS;
+//   - optionally the per-site priority of every user (partial
+//     participation analysis).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/service_bus.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/metrics.hpp"
+#include "testbed/site.hpp"
+#include "util/rng.hpp"
+#include "util/timeseries.hpp"
+#include "workload/scenarios.hpp"
+
+namespace aequus::testbed {
+
+enum class DispatchPolicy { kStochastic, kRoundRobin };
+
+struct ExperimentConfig {
+  DispatchPolicy dispatch = DispatchPolicy::kStochastic;
+  SiteTimings timings{};
+  SiteFairshare fairshare{};
+  double bus_remote_latency = 0.1;   ///< inter-site hop [s] (delay I)
+  double sample_interval = 60.0;     ///< measurement cadence [s]
+  std::uint64_t seed = 7;
+  bool record_per_site = false;      ///< per-site priority series
+  /// Per-site overrides keyed by site index (participation, RM kind).
+  std::map<int, SiteSpec> site_overrides;
+  /// Extra simulated time after the last submission (drain phase).
+  double drain_seconds = 1800.0;
+};
+
+struct ExperimentResult {
+  util::SeriesSet usage_shares;   ///< per user: cumulative usage share
+  util::SeriesSet priorities;     ///< per user: global fairshare factor
+  util::SeriesSet per_site;       ///< "site/user" series when enabled
+  util::SeriesSet utilization;    ///< "total": fraction of cores busy
+  /// Per-user scheduler-level priorities of jobs at their start time (the
+  /// values the RM actually sorted by; includes non-fairshare factors).
+  util::SeriesSet start_priorities;
+  /// Per-user queue wait of each job, recorded at its start time.
+  util::SeriesSet waits;
+  std::map<std::string, double> final_usage_share;
+  double mean_utilization = 0.0;
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  double makespan = 0.0;
+  SubmissionRates rates;
+  net::BusStats bus;
+
+  /// Convergence of priorities to the balance point 0.5, judged over
+  /// [0, until] (pass the scenario duration to exclude the drain tail).
+  [[nodiscard]] double priority_convergence_time(
+      double epsilon = 0.05,
+      double until = std::numeric_limits<double>::infinity()) const;
+};
+
+/// Build-and-run harness. One Experiment instance runs one scenario.
+class Experiment {
+ public:
+  Experiment(const workload::Scenario& scenario, ExperimentConfig config = {});
+
+  /// Run to completion (all jobs drained) and collect measurements.
+  [[nodiscard]] ExperimentResult run();
+
+  /// Access sites after construction (pre-run customization in tests).
+  [[nodiscard]] std::vector<std::unique_ptr<ClusterSite>>& sites() noexcept { return sites_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] net::ServiceBus& bus() noexcept { return bus_; }
+
+ private:
+  void install_policy();
+  void bind_name_resolver();
+  void schedule_submissions();
+  void schedule_sampling(ExperimentResult& result);
+
+  const workload::Scenario& scenario_;
+  ExperimentConfig config_;
+  sim::Simulator simulator_;
+  net::ServiceBus bus_;
+  std::vector<std::unique_ptr<ClusterSite>> sites_;
+  util::Rng rng_;
+  std::size_t round_robin_next_ = 0;
+  std::map<std::string, double> completed_usage_;  ///< grid user -> core-s
+  double total_completed_usage_ = 0.0;
+  std::uint64_t completed_jobs_ = 0;
+  std::vector<sim::EventHandle> tasks_;
+};
+
+}  // namespace aequus::testbed

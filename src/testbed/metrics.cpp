@@ -1,0 +1,51 @@
+#include "testbed/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aequus::testbed {
+
+double convergence_time(const util::SeriesSet& series,
+                        const std::map<std::string, double>& targets, double epsilon,
+                        double until) {
+  double converged_at = -1.0;
+  bool first = true;
+  for (const auto& [name, target] : targets) {
+    if (!series.contains(name)) return -1.0;
+    const util::Series& s = series.all().at(name);
+    // Last sample index within the evaluation window.
+    std::size_t end = s.size();
+    while (end > 0 && s.times()[end - 1] > until) --end;
+    if (end == 0) return -1.0;
+    // Walk backwards: find the last sample outside the band.
+    double series_converged = s.times().front();
+    for (std::size_t i = end; i-- > 0;) {
+      if (std::fabs(s.values()[i] - target) > epsilon) {
+        if (i + 1 >= end) return -1.0;  // window ends out of balance
+        series_converged = s.times()[i + 1];
+        break;
+      }
+    }
+    if (first || series_converged > converged_at) converged_at = series_converged;
+    first = false;
+  }
+  return converged_at;
+}
+
+SubmissionRates submission_rates(const std::vector<double>& submit_times) {
+  SubmissionRates rates;
+  if (submit_times.empty()) return rates;
+  const auto [lo_it, hi_it] = std::minmax_element(submit_times.begin(), submit_times.end());
+  const double span_minutes = std::max((*hi_it - *lo_it) / 60.0, 1.0 / 60.0);
+  rates.sustained_per_minute = static_cast<double>(submit_times.size()) / span_minutes;
+
+  std::map<long, int> per_minute;
+  for (double t : submit_times) ++per_minute[static_cast<long>(std::floor(t / 60.0))];
+  for (const auto& [minute, count] : per_minute) {
+    (void)minute;
+    rates.peak_per_minute = std::max(rates.peak_per_minute, static_cast<double>(count));
+  }
+  return rates;
+}
+
+}  // namespace aequus::testbed

@@ -1,0 +1,31 @@
+// Experiment measurement helpers: convergence detection and submission
+// rate statistics.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/timeseries.hpp"
+
+namespace aequus::testbed {
+
+/// Earliest time t such that every series stays within `epsilon` of its
+/// target for all samples in [t, until]. Samples after `until` are
+/// ignored (used to judge convergence over the active submission window,
+/// excluding the drain tail). Returns -1 when balance is never reached
+/// (or data is missing).
+[[nodiscard]] double convergence_time(
+    const util::SeriesSet& series, const std::map<std::string, double>& targets,
+    double epsilon, double until = std::numeric_limits<double>::infinity());
+
+struct SubmissionRates {
+  double sustained_per_minute = 0.0;  ///< total jobs / active span
+  double peak_per_minute = 0.0;       ///< max jobs in any one minute
+};
+
+/// Per-minute submission rate statistics over raw submit timestamps.
+[[nodiscard]] SubmissionRates submission_rates(const std::vector<double>& submit_times);
+
+}  // namespace aequus::testbed

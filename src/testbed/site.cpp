@@ -1,0 +1,85 @@
+#include "testbed/site.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "maui/patches.hpp"
+#include "slurm/aequus_plugins.hpp"
+
+namespace aequus::testbed {
+
+namespace {
+constexpr const char* kAccountPrefix = "acct_";
+}
+
+std::string system_account_for(const std::string& grid_user) {
+  std::string lowered = grid_user;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return kAccountPrefix + lowered;
+}
+
+std::optional<std::string> grid_user_for(const std::string& system_account) {
+  const std::string prefix = kAccountPrefix;
+  if (system_account.size() <= prefix.size() ||
+      system_account.compare(0, prefix.size(), prefix) != 0) {
+    return std::nullopt;
+  }
+  std::string grid = system_account.substr(prefix.size());
+  // The testbed convention capitalizes the leading 'U' of user names.
+  if (!grid.empty() && grid.front() == 'u') grid.front() = 'U';
+  return grid;
+}
+
+ClusterSite::ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const SiteSpec& spec,
+                         const SiteTimings& timings, const SiteFairshare& fairshare)
+    : spec_(spec) {
+  services::InstallationConfig installation_config;
+  installation_config.uss.bin_width = timings.uss_bin_width;
+  installation_config.uss.retention = timings.uss_retention;
+  installation_config.ums.update_interval = timings.service_update_interval;
+  installation_config.ums.decay = fairshare.decay;
+  installation_config.ums.read_remote = spec.participation.reads_global;
+  installation_config.fcs.update_interval = timings.service_update_interval;
+  installation_config.fcs.algorithm = fairshare.algorithm;
+  installation_config.fcs.projection = fairshare.projection;
+  installation_ = std::make_unique<services::Installation>(simulator, bus, spec.name,
+                                                           installation_config);
+
+  bus.set_site_contributes(spec.name, spec.participation.contributes);
+
+  client::ClientConfig client_config;
+  client_config.site = spec.name;
+  client_config.cluster = spec.name;
+  client_config.fairshare_cache_ttl = timings.client_cache_ttl;
+  client_ = std::make_unique<client::AequusClient>(simulator, bus, client_config);
+
+  rms::Cluster cluster(spec.name, spec.hosts, spec.cores_per_host);
+  rms::SchedulerConfig scheduler_config;
+  scheduler_config.reprioritize_interval = timings.reprioritize_interval;
+
+  if (spec.rm == RmKind::kSlurm) {
+    auto controller = std::make_unique<slurm::SlurmController>(
+        simulator, std::move(cluster),
+        slurm::make_aequus_priority_plugin(*client_, fairshare.slurm_weights),
+        scheduler_config);
+    controller->add_jobcomp_plugin(std::make_unique<slurm::AequusJobCompPlugin>(*client_));
+    rm_ = std::move(controller);
+  } else {
+    auto scheduler = std::make_unique<maui::MauiScheduler>(simulator, std::move(cluster),
+                                                           maui::MauiWeights{},
+                                                           scheduler_config);
+    maui::apply_aequus_patches(*scheduler, *client_);
+    rm_ = std::move(scheduler);
+  }
+}
+
+void ClusterSite::set_policy(core::PolicyTree policy) {
+  installation_->set_policy(std::move(policy));
+}
+
+void ClusterSite::set_peer_sites(const std::vector<std::string>& sites) {
+  installation_->set_peer_sites(sites);
+}
+
+}  // namespace aequus::testbed

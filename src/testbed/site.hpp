@@ -1,0 +1,95 @@
+// One emulated cluster site: a local resource manager (SLURM- or
+// Maui-flavoured) integrated with a full Aequus installation through
+// libaequus (Fig. 2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "libaequus/client.hpp"
+#include "maui/maui_scheduler.hpp"
+#include "rms/scheduler.hpp"
+#include "services/installation.hpp"
+#include "slurm/aequus_plugins.hpp"
+#include "slurm/controller.hpp"
+
+namespace aequus::testbed {
+
+enum class RmKind { kSlurm, kMaui };
+
+struct SiteParticipation {
+  bool contributes = true;   ///< usage data may leave the site
+  bool reads_global = true;  ///< UMS considers remote sites' data
+};
+
+struct SiteSpec {
+  std::string name;
+  int hosts = 40;            ///< virtual hosts (paper testbed: 40 per cluster)
+  int cores_per_host = 1;
+  RmKind rm = RmKind::kSlurm;
+  SiteParticipation participation{};
+};
+
+struct SiteTimings {
+  double service_update_interval = 30.0;  ///< USS/UMS/FCS cadence (delay II)
+  double client_cache_ttl = 30.0;         ///< libaequus cache (delay III)
+  double reprioritize_interval = 30.0;    ///< RM sweep (delay IV)
+  /// USS histogram interval. Coarse relative to the service cadences but
+  /// fine relative to the decay half-life, so it bounds the exchanged
+  /// histogram sizes without affecting the fairshare values.
+  double uss_bin_width = 600.0;
+  double uss_retention = 0.0;             ///< 0 = unlimited history
+};
+
+struct SiteFairshare {
+  /// Usage decay. Production-style default: a 24-hour half-life, long
+  /// relative to the 6-hour tests (so in-test priorities reflect nearly
+  /// cumulative usage) yet short enough that multi-day runs forget.
+  core::DecayConfig decay{core::DecayKind::kExponentialHalfLife, 86400.0, 7200.0};
+  core::FairshareConfig algorithm{};
+  core::ProjectionConfig projection{};
+  /// Factor weights for the SLURM multifactor plugin. The paper's tests
+  /// use fairshare only; nonzero age/size weights reproduce the
+  /// "smoothing effect" of combining fairshare with other factors.
+  slurm::MultifactorWeights slurm_weights{};
+};
+
+/// A fully wired site. Construction binds all services to the bus and
+/// applies the participation flags.
+class ClusterSite {
+ public:
+  ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const SiteSpec& spec,
+              const SiteTimings& timings, const SiteFairshare& fairshare);
+
+  [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
+  [[nodiscard]] const SiteSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] rms::SchedulerBase& rm() noexcept { return *rm_; }
+  [[nodiscard]] const rms::SchedulerBase& rm() const noexcept { return *rm_; }
+  [[nodiscard]] services::Installation& aequus() noexcept { return *installation_; }
+  [[nodiscard]] client::AequusClient& client() noexcept { return *client_; }
+
+  /// Install the site policy through the PDS.
+  void set_policy(core::PolicyTree policy);
+
+  /// Configure the USS peers this site's UMS polls.
+  void set_peer_sites(const std::vector<std::string>& sites);
+
+  /// Submit a job to the local RM.
+  rms::JobId submit(rms::Job job) { return rm_->submit(std::move(job)); }
+
+ private:
+  SiteSpec spec_;
+  std::unique_ptr<services::Installation> installation_;
+  std::unique_ptr<client::AequusClient> client_;
+  std::unique_ptr<rms::SchedulerBase> rm_;
+};
+
+/// Deterministic grid-user -> system-account mapping used by the testbed
+/// submission host ("U65" -> "acct_u65"). Sites invert it through the
+/// shared name-resolution endpoint.
+[[nodiscard]] std::string system_account_for(const std::string& grid_user);
+
+/// Invert system_account_for; empty optional for non-testbed accounts.
+[[nodiscard]] std::optional<std::string> grid_user_for(const std::string& system_account);
+
+}  // namespace aequus::testbed

@@ -1,0 +1,51 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace aequus::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  set_sink(nullptr);
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+    return;
+  }
+  sink_ = [this](LogLevel level, std::string_view component, std::string_view message) {
+    if (clock_) {
+      std::fprintf(stderr, "[%12.3f] %-5s %s: %.*s\n", clock_(),
+                   std::string(to_string(level)).c_str(), std::string(component).c_str(),
+                   static_cast<int>(message.size()), message.data());
+    } else {
+      std::fprintf(stderr, "%-5s %s: %.*s\n", std::string(to_string(level)).c_str(),
+                   std::string(component).c_str(), static_cast<int>(message.size()),
+                   message.data());
+    }
+  };
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  if (!enabled(level)) return;
+  sink_(level, component, message);
+}
+
+}  // namespace aequus::util

@@ -1,0 +1,82 @@
+// Minimal structured logging.
+//
+// The library is a simulation substrate: logging defaults to warnings only
+// so that benches stay quiet, but experiments can raise verbosity to trace
+// scheduler and service activity. Output goes to a configurable sink
+// (stderr by default) and is timestamped with the *simulated* clock when a
+// clock source is registered.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace aequus::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Human-readable name for a level ("TRACE", "DEBUG", ...).
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-wide logger configuration. Not thread-safe by design: the
+/// simulator is single-threaded and deterministic.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component, std::string_view message)>;
+  using ClockSource = std::function<double()>;
+
+  /// Global instance used by the AEQ_LOG macros.
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Replace the output sink. Passing nullptr restores the stderr sink.
+  void set_sink(Sink sink);
+
+  /// Register a simulated-clock source used to timestamp messages.
+  void set_clock(ClockSource clock) { clock_ = std::move(clock); }
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  ClockSource clock_;
+};
+
+namespace detail {
+/// Builds a message with ostream formatting and submits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().log(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace aequus::util
+
+#define AEQ_LOG(level, component)                                      \
+  if (!::aequus::util::Logger::instance().enabled(level)) {           \
+  } else                                                               \
+    ::aequus::util::detail::LogLine(level, component)
+
+#define AEQ_TRACE(component) AEQ_LOG(::aequus::util::LogLevel::kTrace, component)
+#define AEQ_DEBUG(component) AEQ_LOG(::aequus::util::LogLevel::kDebug, component)
+#define AEQ_INFO(component) AEQ_LOG(::aequus::util::LogLevel::kInfo, component)
+#define AEQ_WARN(component) AEQ_LOG(::aequus::util::LogLevel::kWarn, component)
+#define AEQ_ERROR(component) AEQ_LOG(::aequus::util::LogLevel::kError, component)

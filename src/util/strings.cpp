@@ -1,0 +1,81 @@
+#include "util/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cmath>
+
+namespace aequus::util {
+
+std::vector<std::string> split(std::string_view input, char delimiter) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      return out;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_nonempty(std::string_view input, char delimiter) {
+  std::vector<std::string> out;
+  for (auto& part : split(input, delimiter)) {
+    if (!part.empty()) out.push_back(std::move(part));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view input) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+  };
+  std::size_t begin = 0;
+  std::size_t end = input.size();
+  while (begin < end && is_space(input[begin])) ++begin;
+  while (end > begin && is_space(input[end - 1])) --end;
+  return input.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view delimiter) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delimiter;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view value, std::string_view prefix) noexcept {
+  return value.size() >= prefix.size() && value.substr(0, prefix.size()) == prefix;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string format_duration(double seconds) {
+  const bool negative = seconds < 0;
+  double remaining = std::fabs(seconds);
+  const auto hours = static_cast<long>(remaining / 3600.0);
+  remaining -= static_cast<double>(hours) * 3600.0;
+  const auto minutes = static_cast<long>(remaining / 60.0);
+  remaining -= static_cast<double>(minutes) * 60.0;
+  return format("%s%ldh %02ldm %04.1fs", negative ? "-" : "", hours, minutes, remaining);
+}
+
+}  // namespace aequus::util

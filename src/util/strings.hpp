@@ -1,0 +1,32 @@
+// Small string utilities shared across modules (path parsing in policy
+// trees, CSV-ish trace IO, identity names).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aequus::util {
+
+/// Split `input` on `delimiter`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view input, char delimiter);
+
+/// Split on `delimiter`, discarding empty fields (useful for '/'-paths).
+[[nodiscard]] std::vector<std::string> split_nonempty(std::string_view input, char delimiter);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view input) noexcept;
+
+/// Join parts with `delimiter`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view delimiter);
+
+/// True if `value` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view value, std::string_view prefix) noexcept;
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Render seconds of simulated time as "HHh MMm SSs" for reports.
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace aequus::util

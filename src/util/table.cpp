@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace aequus::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() {
+  rows_.push_back(Row{{}, true});
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  const auto render_separator = [&widths]() {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line.append(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  const auto render_cells = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += ' ';
+      line += cell;
+      line.append(widths[i] - cell.size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_separator();
+  out += render_cells(header_);
+  out += render_separator();
+  for (const auto& row : rows_) {
+    out += row.separator ? render_separator() : render_cells(row.cells);
+  }
+  out += render_separator();
+  return out;
+}
+
+}  // namespace aequus::util

@@ -1,0 +1,40 @@
+// ASCII table rendering used by the benchmark harnesses to print the
+// paper's tables (Table I–III) and figure data series in a readable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aequus::util {
+
+/// Column-aligned ASCII table builder.
+///
+/// Usage:
+///   Table t({"User", "Median(s)", "Distribution", "KS"});
+///   t.add_row({"U65 (p1)", "2", "GEV(...)", "0.06"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator at the current position.
+  void add_separator();
+
+  /// Render with box-drawing in plain ASCII.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace aequus::util

@@ -1,0 +1,127 @@
+#include "util/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.hpp"
+
+namespace aequus::util {
+
+void Series::add(double time, double value) {
+  times_.push_back(time);
+  values_.push_back(value);
+}
+
+double Series::value_at(double time, double fallback) const noexcept {
+  const auto it = std::upper_bound(times_.begin(), times_.end(), time);
+  if (it == times_.begin()) return fallback;
+  return values_[static_cast<std::size_t>(it - times_.begin()) - 1];
+}
+
+double Series::mean_in(double t0, double t1, double fallback) const noexcept {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] >= t0 && times_[i] <= t1) {
+      sum += values_[i];
+      ++count;
+    }
+  }
+  return count == 0 ? fallback : sum / static_cast<double>(count);
+}
+
+double Series::max_deviation_in(double t0, double t1, double target) const noexcept {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] >= t0 && times_[i] <= t1) {
+      worst = std::max(worst, std::fabs(values_[i] - target));
+    }
+  }
+  return worst;
+}
+
+std::string SeriesSet::render_chart(const std::string& title, int width, int height,
+                                    double y_min, double y_max) const {
+  if (series_.empty()) return title + ": (no data)\n";
+
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = -std::numeric_limits<double>::infinity();
+  double v_max = -std::numeric_limits<double>::infinity();
+  for (const auto& [name, s] : series_) {
+    if (s.empty()) continue;
+    t_min = std::min(t_min, s.times().front());
+    t_max = std::max(t_max, s.times().back());
+    v_max = std::max(v_max, *std::max_element(s.values().begin(), s.values().end()));
+  }
+  if (!std::isfinite(t_min)) return title + ": (no data)\n";
+  if (y_max <= y_min) y_max = std::max(v_max * 1.05, y_min + 1e-9);
+  if (t_max <= t_min) t_max = t_min + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  char marker = 'a';
+  std::string legend;
+  for (const auto& [name, s] : series_) {
+    for (int col = 0; col < width; ++col) {
+      const double t = t_min + (t_max - t_min) * (static_cast<double>(col) + 0.5) /
+                                   static_cast<double>(width);
+      const double v = s.value_at(t, std::numeric_limits<double>::quiet_NaN());
+      if (!std::isfinite(v)) continue;
+      const double frac = (v - y_min) / (y_max - y_min);
+      int row = static_cast<int>(std::lround((1.0 - frac) * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      auto& cell = grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+      cell = (cell == ' ' || cell == marker) ? marker : '*';
+    }
+    legend += format("  %c = %s", marker, name.c_str());
+    marker = marker == 'z' ? 'A' : static_cast<char>(marker + 1);
+  }
+
+  std::string out = title + "\n";
+  for (int row = 0; row < height; ++row) {
+    const double frac = 1.0 - static_cast<double>(row) / (height - 1);
+    const double v = y_min + frac * (y_max - y_min);
+    out += format("%8.3f |", v);
+    out += grid[static_cast<std::size_t>(row)];
+    out += '\n';
+  }
+  out += "         +";
+  out.append(static_cast<std::size_t>(width), '-');
+  out += '\n';
+  out += format("          t = [%.1f, %.1f]%s\n", t_min, t_max, legend.c_str());
+  return out;
+}
+
+std::string SeriesSet::render_table(const std::string& title, int samples) const {
+  if (series_.empty()) return title + ": (no data)\n";
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = -std::numeric_limits<double>::infinity();
+  for (const auto& [name, s] : series_) {
+    if (s.empty()) continue;
+    t_min = std::min(t_min, s.times().front());
+    t_max = std::max(t_max, s.times().back());
+  }
+  if (!std::isfinite(t_min)) return title + ": (no data)\n";
+
+  std::string out = title + "\n";
+  std::string header = format("%10s", "t");
+  for (const auto& [name, s] : series_) {
+    (void)s;
+    header += format(" %12s", name.c_str());
+  }
+  out += header + '\n';
+  for (int i = 0; i < samples; ++i) {
+    const double t =
+        t_min + (t_max - t_min) * static_cast<double>(i) / std::max(1, samples - 1);
+    std::string line = format("%10.1f", t);
+    for (const auto& [name, s] : series_) {
+      (void)name;
+      line += format(" %12.4f", s.value_at(t, 0.0));
+    }
+    out += line + '\n';
+  }
+  return out;
+}
+
+}  // namespace aequus::util

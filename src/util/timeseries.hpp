@@ -1,0 +1,59 @@
+// Time-series recording and rendering.
+//
+// Experiments record per-user usage shares and priorities against the
+// simulated clock; benches render them as terminal line charts so every
+// figure in the paper has a direct textual analogue in bench output.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aequus::util {
+
+/// A single named series of (time, value) samples, appended in time order.
+class Series {
+ public:
+  void add(double time, double value);
+
+  [[nodiscard]] const std::vector<double>& times() const noexcept { return times_; }
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+  [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return times_.empty(); }
+
+  /// Last value at or before `time`; `fallback` if none.
+  [[nodiscard]] double value_at(double time, double fallback = 0.0) const noexcept;
+
+  /// Mean of values with time in [t0, t1]. Returns `fallback` when empty.
+  [[nodiscard]] double mean_in(double t0, double t1, double fallback = 0.0) const noexcept;
+
+  /// Max absolute difference from `target` over times in [t0, t1].
+  [[nodiscard]] double max_deviation_in(double t0, double t1, double target) const noexcept;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// A bundle of named series sharing one x-axis (simulated time).
+class SeriesSet {
+ public:
+  /// Get-or-create the series called `name`.
+  Series& series(const std::string& name) { return series_[name]; }
+  [[nodiscard]] const std::map<std::string, Series>& all() const noexcept { return series_; }
+  [[nodiscard]] bool contains(const std::string& name) const { return series_.count(name) > 0; }
+
+  /// Render all series as an ASCII chart: `height` rows, `width` columns,
+  /// one letter per series, with a legend and y-axis labels.
+  [[nodiscard]] std::string render_chart(const std::string& title, int width = 90,
+                                         int height = 18, double y_min = 0.0,
+                                         double y_max = -1.0) const;
+
+  /// Render sampled values at `samples` evenly spaced times as a table.
+  [[nodiscard]] std::string render_table(const std::string& title, int samples = 12) const;
+
+ private:
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace aequus::util

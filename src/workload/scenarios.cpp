@@ -1,0 +1,73 @@
+#include "workload/scenarios.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "workload/generator.hpp"
+#include "workload/national_model.hpp"
+
+namespace aequus::workload {
+
+namespace {
+
+Scenario build(const NationalGridModel& model, const std::string& name, std::uint64_t seed,
+               std::size_t total_jobs) {
+  Scenario scenario;
+  scenario.name = name;
+  scenario.duration_seconds = model.window_seconds();
+
+  GeneratorConfig config;
+  config.total_jobs = total_jobs;
+  config.seed = seed;
+  config.target_total_usage =
+      scenario.target_load * scenario.capacity_core_seconds();
+  scenario.trace = generate_trace(model, config);
+
+  // Walltime cap + per-user rescale: clamping the compressed heavy tails
+  // would otherwise shift usage shares and deflate the load.
+  if (scenario.max_job_duration > 0.0) {
+    std::map<std::string, double> targets;
+    for (const auto& user : model.users()) {
+      targets[user.name] = config.target_total_usage * user.usage_fraction;
+    }
+    enforce_walltime_cap(scenario.trace, targets, scenario.max_job_duration);
+  }
+
+  scenario.usage_shares = model.usage_shares();
+  scenario.policy_shares = model.usage_shares();  // balanced by default
+  return scenario;
+}
+
+}  // namespace
+
+Scenario baseline_scenario(std::uint64_t seed, std::size_t total_jobs) {
+  const auto model = NationalGridModel::paper_2012(21600.0);
+  return build(model, "baseline", seed, total_jobs);
+}
+
+Scenario nonoptimal_policy_scenario(std::uint64_t seed, std::size_t total_jobs) {
+  const auto model = NationalGridModel::paper_2012(21600.0);
+  Scenario scenario = build(model, "nonoptimal-policy", seed, total_jobs);
+  scenario.policy_shares = {{kU65, 0.70}, {kU30, 0.20}, {kU3, 0.08}, {kUoth, 0.02}};
+  return scenario;
+}
+
+Scenario bursty_scenario(std::uint64_t seed, std::size_t total_jobs) {
+  const auto model = NationalGridModel::bursty_2012(21600.0);
+  return build(model, "bursty", seed, total_jobs);
+}
+
+Scenario scaled_scenario(const Scenario& base, double factor) {
+  Scenario scenario;
+  scenario.name = base.name + "-x" + std::to_string(static_cast<int>(factor));
+  scenario.trace = scale_trace(base.trace, factor, factor);
+  scenario.policy_shares = base.policy_shares;
+  scenario.usage_shares = base.usage_shares;
+  scenario.duration_seconds = base.duration_seconds * factor;
+  scenario.cluster_count = base.cluster_count;
+  scenario.hosts_per_cluster = base.hosts_per_cluster;
+  scenario.target_load = base.target_load;
+  return scenario;
+}
+
+}  // namespace aequus::workload

@@ -1,0 +1,108 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+
+namespace aequus::workload {
+
+Trace::Trace(std::vector<TraceRecord> records) : records_(std::move(records)) {}
+
+void Trace::add(TraceRecord record) {
+  records_.push_back(std::move(record));
+}
+
+void Trace::sort_by_submit() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) { return a.submit < b.submit; });
+}
+
+double Trace::total_usage() const noexcept {
+  double total = 0.0;
+  for (const auto& r : records_) total += r.usage();
+  return total;
+}
+
+std::pair<double, double> Trace::timespan() const noexcept {
+  if (records_.empty()) return {0.0, 0.0};
+  double lo = records_.front().submit;
+  double hi = lo;
+  for (const auto& r : records_) {
+    lo = std::min(lo, r.submit);
+    hi = std::max(hi, r.submit + r.duration);
+  }
+  return {lo, hi};
+}
+
+std::map<std::string, UserStats> Trace::user_stats() const {
+  std::map<std::string, UserStats> stats;
+  double total_usage_value = 0.0;
+  for (const auto& r : records_) {
+    auto& s = stats[r.user];
+    ++s.jobs;
+    s.usage += r.usage();
+    total_usage_value += r.usage();
+  }
+  const auto total_jobs = static_cast<double>(records_.size());
+  for (auto& [user, s] : stats) {
+    (void)user;
+    s.job_fraction = total_jobs > 0 ? static_cast<double>(s.jobs) / total_jobs : 0.0;
+    s.usage_fraction = total_usage_value > 0 ? s.usage / total_usage_value : 0.0;
+  }
+  return stats;
+}
+
+std::vector<double> Trace::arrival_times(const std::string& user) const {
+  std::vector<double> out;
+  for (const auto& r : records_) {
+    if (user.empty() || r.user == user) out.push_back(r.submit);
+  }
+  return out;
+}
+
+std::vector<double> Trace::interarrival_times(const std::string& user) const {
+  std::vector<double> arrivals = arrival_times(user);
+  std::sort(arrivals.begin(), arrivals.end());
+  std::vector<double> gaps;
+  if (arrivals.size() < 2) return gaps;
+  gaps.reserve(arrivals.size() - 1);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(arrivals[i] - arrivals[i - 1]);
+  }
+  return gaps;
+}
+
+std::vector<double> Trace::durations(const std::string& user) const {
+  std::vector<double> out;
+  for (const auto& r : records_) {
+    if (user.empty() || r.user == user) out.push_back(r.duration);
+  }
+  return out;
+}
+
+std::pair<Trace, FilterReport> filter_for_modeling(const Trace& input) {
+  Trace cleaned;
+  FilterReport report;
+  double removed_usage = 0.0;
+  for (const auto& r : input.records()) {
+    if (r.admin) {
+      ++report.removed_admin;
+      removed_usage += r.usage();
+      continue;
+    }
+    if (r.duration <= 0.0) {
+      ++report.removed_zero_duration;
+      removed_usage += r.usage();
+      continue;
+    }
+    cleaned.add(r);
+  }
+  const std::size_t removed = report.removed_admin + report.removed_zero_duration;
+  if (!input.empty()) {
+    report.removed_job_fraction =
+        static_cast<double>(removed) / static_cast<double>(input.size());
+  }
+  const double total = input.total_usage();
+  if (total > 0.0) report.removed_usage_fraction = removed_usage / total;
+  return {std::move(cleaned), report};
+}
+
+}  // namespace aequus::workload

@@ -1,0 +1,90 @@
+// Job trace representation and the pre-modeling filters from §IV-1.
+//
+// A trace is the unit of exchange between the workload models and the
+// testbed: the statistical models are fitted *from* traces and the
+// synthetic workloads are emitted *as* traces that the submission host
+// replays against the clusters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aequus::workload {
+
+/// One job record. Times are seconds on the trace's own clock; jobs are
+/// single-core bag-of-task entries unless `cores` says otherwise (the 2012
+/// national trace is exclusively single-processor, §IV-3).
+struct TraceRecord {
+  std::string user;     ///< grid user identity owning the job
+  double submit = 0.0;  ///< submission time [s]
+  double duration = 0.0;///< wall-clock duration [s]
+  int cores = 1;        ///< processors used
+  bool admin = false;   ///< submitted by admins / automated monitoring
+
+  /// Core-seconds consumed.
+  [[nodiscard]] double usage() const noexcept { return duration * cores; }
+};
+
+/// Per-user aggregate over a trace.
+struct UserStats {
+  std::size_t jobs = 0;
+  double usage = 0.0;         ///< total core-seconds
+  double job_fraction = 0.0;  ///< share of job count
+  double usage_fraction = 0.0;///< share of total usage
+};
+
+/// An ordered collection of job records.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceRecord> records);
+
+  void add(TraceRecord record);
+
+  /// Sort records by submission time (stable).
+  void sort_by_submit();
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] std::vector<TraceRecord>& records() noexcept { return records_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// Total core-seconds across all records.
+  [[nodiscard]] double total_usage() const noexcept;
+
+  /// Timespan [first submit, last submit + its duration]; {0,0} when empty.
+  [[nodiscard]] std::pair<double, double> timespan() const noexcept;
+
+  /// Per-user aggregates with job/usage fractions.
+  [[nodiscard]] std::map<std::string, UserStats> user_stats() const;
+
+  /// Submission times of jobs owned by `user` (all users if empty).
+  [[nodiscard]] std::vector<double> arrival_times(const std::string& user = "") const;
+
+  /// Inter-arrival gaps of jobs owned by `user` (sorted arrivals).
+  [[nodiscard]] std::vector<double> interarrival_times(const std::string& user = "") const;
+
+  /// Durations of jobs owned by `user` (all users if empty).
+  [[nodiscard]] std::vector<double> durations(const std::string& user = "") const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Result of the pre-modeling cleanup.
+struct FilterReport {
+  std::size_t removed_admin = 0;
+  std::size_t removed_zero_duration = 0;
+  double removed_job_fraction = 0.0;    ///< paper: ~15 % of job count
+  double removed_usage_fraction = 0.0;  ///< paper: ~1.5 % of usage
+};
+
+/// Apply the paper's filters: drop admin/monitoring jobs (Feitelson's
+/// advice) and zero-duration jobs (cancelled/failed outliers). Returns the
+/// cleaned trace and a report of what was removed.
+[[nodiscard]] std::pair<Trace, FilterReport> filter_for_modeling(const Trace& input);
+
+}  // namespace aequus::workload

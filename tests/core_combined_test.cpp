@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/combined.hpp"
+
+namespace aequus::core {
+namespace {
+
+JobAttributes job_with(double wait, int cores = 1, double qos = 0.0) {
+  JobAttributes job;
+  job.wait_time = wait;
+  job.cores = cores;
+  job.qos = qos;
+  return job;
+}
+
+TEST(VectorFactors, AgeRampsFromMinusOneToOne) {
+  const VectorFactor age = age_factor(100.0);
+  EXPECT_DOUBLE_EQ(age.value(job_with(0.0)), -1.0);
+  EXPECT_DOUBLE_EQ(age.value(job_with(50.0)), 0.0);
+  EXPECT_DOUBLE_EQ(age.value(job_with(100.0)), 1.0);
+  EXPECT_DOUBLE_EQ(age.value(job_with(500.0)), 1.0);  // saturates
+  EXPECT_DOUBLE_EQ(age_factor(0.0).value(job_with(50.0)), 0.0);
+}
+
+TEST(VectorFactors, SmallJobPrefersFewCores) {
+  const VectorFactor size = small_job_factor(9);
+  EXPECT_DOUBLE_EQ(size.value(job_with(0.0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(size.value(job_with(0.0, 5)), 0.0);
+  EXPECT_DOUBLE_EQ(size.value(job_with(0.0, 9)), -1.0);
+  EXPECT_DOUBLE_EQ(size.value(job_with(0.0, 100)), -1.0);
+  EXPECT_DOUBLE_EQ(small_job_factor(1).value(job_with(0.0, 1)), 0.0);
+}
+
+TEST(VectorFactors, QosMapsUnitRange) {
+  const VectorFactor qos = qos_factor();
+  EXPECT_DOUBLE_EQ(qos.value(job_with(0, 1, 0.0)), -1.0);
+  EXPECT_DOUBLE_EQ(qos.value(job_with(0, 1, 0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(qos.value(job_with(0, 1, 1.0)), 1.0);
+}
+
+TEST(CombinedVectors, AppendPutsFactorsAfterFairshare) {
+  CombinedVectorPriority combiner({age_factor(100.0)}, MergeOrder::kAppend);
+  const FairshareVector fairshare({0.3, -0.2});
+  const FairshareVector combined = combiner.combine(fairshare, job_with(50.0));
+  ASSERT_EQ(combined.depth(), 3u);
+  EXPECT_DOUBLE_EQ(combined.values()[0], 0.3);
+  EXPECT_DOUBLE_EQ(combined.values()[1], -0.2);
+  EXPECT_DOUBLE_EQ(combined.values()[2], 0.0);
+}
+
+TEST(CombinedVectors, PrependPutsFactorsFirst) {
+  CombinedVectorPriority combiner({age_factor(100.0)}, MergeOrder::kPrepend);
+  const FairshareVector combined =
+      combiner.combine(FairshareVector({0.3}), job_with(100.0));
+  ASSERT_EQ(combined.depth(), 2u);
+  EXPECT_DOUBLE_EQ(combined.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(combined.values()[1], 0.3);
+}
+
+TEST(CombinedVectors, AppendFairshareDominates) {
+  // Better fairshare beats ancient age when factors are appended.
+  CombinedVectorPriority combiner({age_factor(100.0)}, MergeOrder::kAppend);
+  const FairshareVector good_fairshare({0.5});
+  const FairshareVector bad_fairshare({-0.5});
+  const auto fresh_good = combiner.combine(good_fairshare, job_with(0.0));
+  const auto old_bad = combiner.combine(bad_fairshare, job_with(1e9));
+  EXPECT_EQ(fresh_good.compare(old_bad), std::strong_ordering::greater);
+}
+
+TEST(CombinedVectors, AppendFactorsBreakFairshareTies) {
+  CombinedVectorPriority combiner({age_factor(100.0)}, MergeOrder::kAppend);
+  const FairshareVector same({0.25});
+  const auto older = combiner.combine(same, job_with(80.0));
+  const auto newer = combiner.combine(same, job_with(10.0));
+  EXPECT_EQ(older.compare(newer), std::strong_ordering::greater);
+}
+
+TEST(CombinedVectors, PrependAgeDominatesFairshare) {
+  CombinedVectorPriority combiner({age_factor(100.0)}, MergeOrder::kPrepend);
+  const auto old_bad = combiner.combine(FairshareVector({-0.5}), job_with(100.0));
+  const auto fresh_good = combiner.combine(FairshareVector({0.5}), job_with(0.0));
+  EXPECT_EQ(old_bad.compare(fresh_good), std::strong_ordering::greater);
+}
+
+TEST(CombinedVectors, MultipleFactorsKeepDeclarationOrder) {
+  CombinedVectorPriority combiner({age_factor(100.0), small_job_factor(9)},
+                                  MergeOrder::kAppend);
+  const auto combined = combiner.combine(FairshareVector({0.0}), job_with(100.0, 9));
+  ASSERT_EQ(combined.depth(), 3u);
+  EXPECT_DOUBLE_EQ(combined.values()[1], 1.0);   // age
+  EXPECT_DOUBLE_EQ(combined.values()[2], -1.0);  // size
+}
+
+TEST(CombinedVectors, RankIsRankSpacedAndOrderAligned) {
+  CombinedVectorPriority combiner({age_factor(100.0)}, MergeOrder::kAppend);
+  std::vector<std::pair<JobAttributes, FairshareVector>> jobs;
+  jobs.emplace_back(job_with(0.0), FairshareVector({-0.5}));  // worst
+  jobs.emplace_back(job_with(0.0), FairshareVector({0.5}));   // best
+  jobs.emplace_back(job_with(0.0), FairshareVector({0.0}));   // middle
+  const auto ranks = combiner.rank(jobs);
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ranks[1], 0.75);
+  EXPECT_DOUBLE_EQ(ranks[2], 0.50);
+  EXPECT_DOUBLE_EQ(ranks[0], 0.25);
+}
+
+TEST(CombinedVectors, RankEmptyBatch) {
+  CombinedVectorPriority combiner({}, MergeOrder::kAppend);
+  EXPECT_TRUE(combiner.rank({}).empty());
+}
+
+TEST(CombinedVectors, RetainsUnlimitedPrecision) {
+  // A 1e-12 fairshare difference still decides the order — the property
+  // scalar projections lose (Table I).
+  CombinedVectorPriority combiner({age_factor(100.0)}, MergeOrder::kAppend);
+  const auto a = combiner.combine(FairshareVector({0.5 + 1e-12}), job_with(0.0));
+  const auto b = combiner.combine(FairshareVector({0.5}), job_with(99.0));
+  EXPECT_EQ(a.compare(b), std::strong_ordering::greater);
+}
+
+}  // namespace
+}  // namespace aequus::core

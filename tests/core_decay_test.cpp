@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "core/decay.hpp"
+
+namespace aequus::core {
+namespace {
+
+TEST(DecayModel, NoDecayWeighsEverythingOne) {
+  const Decay decay(DecayConfig{DecayKind::kNone, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(decay.weight(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(decay.weight(1e9), 1.0);
+}
+
+TEST(DecayModel, HalfLifeHalvesAtHalfLife) {
+  const Decay decay(DecayConfig{DecayKind::kExponentialHalfLife, 100.0, 0.0});
+  EXPECT_DOUBLE_EQ(decay.weight(0.0), 1.0);
+  EXPECT_NEAR(decay.weight(100.0), 0.5, 1e-12);
+  EXPECT_NEAR(decay.weight(200.0), 0.25, 1e-12);
+  EXPECT_NEAR(decay.weight(300.0), 0.125, 1e-12);
+}
+
+TEST(DecayModel, SlidingWindowIsStep) {
+  const Decay decay(DecayConfig{DecayKind::kSlidingWindow, 0.0, 50.0});
+  EXPECT_DOUBLE_EQ(decay.weight(49.9), 1.0);
+  EXPECT_DOUBLE_EQ(decay.weight(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(decay.weight(50.1), 0.0);
+}
+
+TEST(DecayModel, LinearRampsToZero) {
+  const Decay decay(DecayConfig{DecayKind::kLinear, 0.0, 100.0});
+  EXPECT_DOUBLE_EQ(decay.weight(0.0), 1.0);
+  EXPECT_NEAR(decay.weight(25.0), 0.75, 1e-12);
+  EXPECT_NEAR(decay.weight(75.0), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(decay.weight(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(decay.weight(150.0), 0.0);
+}
+
+TEST(DecayModel, FutureAgesWeighOne) {
+  const Decay decay(DecayConfig{DecayKind::kExponentialHalfLife, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(decay.weight(-5.0), 1.0);
+}
+
+TEST(DecayModel, DecayedTotalWeightsBins) {
+  const Decay decay(DecayConfig{DecayKind::kExponentialHalfLife, 100.0, 0.0});
+  const std::vector<std::pair<double, double>> bins = {{0.0, 8.0}, {100.0, 4.0}, {200.0, 2.0}};
+  // At now = 200: ages 200, 100, 0 -> weights 0.25, 0.5, 1.
+  EXPECT_NEAR(decay.decayed_total(bins, 200.0), 8.0 * 0.25 + 4.0 * 0.5 + 2.0, 1e-12);
+}
+
+TEST(DecayModel, DecayedTotalEmptyIsZero) {
+  const Decay decay;
+  EXPECT_DOUBLE_EQ(decay.decayed_total({}, 100.0), 0.0);
+}
+
+TEST(DecayModel, ValidatesConfig) {
+  EXPECT_THROW(Decay(DecayConfig{DecayKind::kExponentialHalfLife, 0.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Decay(DecayConfig{DecayKind::kSlidingWindow, 1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Decay(DecayConfig{DecayKind::kLinear, 1.0, -5.0}), std::invalid_argument);
+}
+
+TEST(DecayModel, JsonRoundTrip) {
+  const Decay original(DecayConfig{DecayKind::kLinear, 123.0, 456.0});
+  const Decay restored = Decay::from_json(original.to_json());
+  EXPECT_EQ(restored.config().kind, DecayKind::kLinear);
+  EXPECT_DOUBLE_EQ(restored.config().window, 456.0);
+  EXPECT_THROW((void)Decay::from_json(json::parse(R"({"kind":"bogus"})")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aequus::core

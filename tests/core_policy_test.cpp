@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/policy.hpp"
+
+namespace aequus::core {
+namespace {
+
+TEST(Paths, SplitAndJoin) {
+  EXPECT_EQ(split_path("/a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_path("a//b/"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_path("/").empty());
+  EXPECT_EQ(join_path({"a", "b"}), "/a/b");
+  EXPECT_EQ(join_path({}), "/");
+}
+
+TEST(PolicyTreeModel, SetShareCreatesIntermediateNodes) {
+  PolicyTree tree;
+  tree.set_share("/grid/projA/alice", 2.0);
+  EXPECT_TRUE(tree.contains("/grid"));
+  EXPECT_TRUE(tree.contains("/grid/projA"));
+  EXPECT_DOUBLE_EQ(tree.find("/grid/projA/alice")->share, 2.0);
+  EXPECT_EQ(tree.depth(), 3);
+  EXPECT_EQ(tree.node_count(), 3u);
+}
+
+TEST(PolicyTreeModel, NormalizedShareAmongSiblings) {
+  PolicyTree tree;
+  tree.set_share("/a", 1.0);
+  tree.set_share("/b", 3.0);
+  EXPECT_DOUBLE_EQ(*tree.normalized_share("/a"), 0.25);
+  EXPECT_DOUBLE_EQ(*tree.normalized_share("/b"), 0.75);
+  EXPECT_DOUBLE_EQ(*tree.normalized_share("/"), 1.0);
+  EXPECT_FALSE(tree.normalized_share("/missing").has_value());
+}
+
+TEST(PolicyTreeModel, NegativeSharesTreatedAsZero) {
+  PolicyTree tree;
+  tree.set_share("/a", -1.0);
+  tree.set_share("/b", 2.0);
+  EXPECT_DOUBLE_EQ(*tree.normalized_share("/a"), 0.0);
+  EXPECT_DOUBLE_EQ(*tree.normalized_share("/b"), 1.0);
+}
+
+TEST(PolicyTreeModel, LeafPathsDepthFirst) {
+  PolicyTree tree;
+  tree.set_share("/g/p1/u1", 1.0);
+  tree.set_share("/g/p1/u2", 1.0);
+  tree.set_share("/g/p2", 1.0);
+  tree.set_share("/local", 1.0);
+  const auto leaves = tree.leaf_paths();
+  EXPECT_EQ(leaves, (std::vector<std::string>{"/g/p1/u1", "/g/p1/u2", "/g/p2", "/local"}));
+}
+
+TEST(PolicyTreeModel, EmptyTreeHasNoLeaves) {
+  PolicyTree tree;
+  EXPECT_TRUE(tree.leaf_paths().empty());
+  EXPECT_EQ(tree.depth(), 0);
+}
+
+TEST(PolicyTreeModel, RemoveSubtree) {
+  PolicyTree tree;
+  tree.set_share("/g/u1", 1.0);
+  tree.set_share("/g/u2", 1.0);
+  tree.remove("/g/u1");
+  EXPECT_FALSE(tree.contains("/g/u1"));
+  EXPECT_TRUE(tree.contains("/g/u2"));
+  tree.remove("/missing/deeper");  // no-op
+  tree.remove("/g");
+  EXPECT_TRUE(tree.leaf_paths().empty());
+}
+
+TEST(PolicyTreeModel, MountGraftsSubPolicy) {
+  // A site hands 30% to a grid whose subdivision is managed elsewhere.
+  PolicyTree site;
+  site.set_share("/local", 7.0);
+
+  PolicyTree grid;
+  grid.set_share("/projA", 1.0);
+  grid.set_share("/projB", 2.0);
+
+  site.mount("/grid", grid, 3.0);
+  EXPECT_TRUE(site.find("/grid")->mounted);
+  EXPECT_DOUBLE_EQ(*site.normalized_share("/grid"), 0.3);
+  EXPECT_DOUBLE_EQ(*site.normalized_share("/local"), 0.7);
+  EXPECT_DOUBLE_EQ(*site.normalized_share("/grid/projB"), 2.0 / 3.0);
+  EXPECT_EQ(site.leaf_paths(),
+            (std::vector<std::string>{"/local", "/grid/projA", "/grid/projB"}));
+}
+
+TEST(PolicyTreeModel, RemountReplacesPreviousSubtree) {
+  PolicyTree site;
+  PolicyTree v1;
+  v1.set_share("/old", 1.0);
+  site.mount("/grid", v1, 1.0);
+  PolicyTree v2;
+  v2.set_share("/new", 1.0);
+  site.mount("/grid", v2, 1.0);
+  EXPECT_FALSE(site.contains("/grid/old"));
+  EXPECT_TRUE(site.contains("/grid/new"));
+}
+
+TEST(PolicyTreeModel, JsonRoundTrip) {
+  PolicyTree tree;
+  tree.set_share("/g/p/u", 2.5);
+  tree.set_share("/g/q", 0.5);
+  PolicyTree sub;
+  sub.set_share("/x", 1.0);
+  tree.mount("/m", sub, 4.0);
+
+  const PolicyTree restored = PolicyTree::from_json(tree.to_json());
+  EXPECT_EQ(restored.leaf_paths(), tree.leaf_paths());
+  EXPECT_DOUBLE_EQ(restored.find("/g/p/u")->share, 2.5);
+  EXPECT_TRUE(restored.find("/m")->mounted);
+  EXPECT_DOUBLE_EQ(*restored.normalized_share("/m"), *tree.normalized_share("/m"));
+}
+
+TEST(PolicyTreeModel, SetShareRejectsEmptyPath) {
+  PolicyTree tree;
+  EXPECT_THROW(tree.set_share("", 1.0), std::invalid_argument);
+  EXPECT_THROW(tree.set_share("/", 1.0), std::invalid_argument);
+}
+
+TEST(PolicyTreeModel, UpdateExistingShare) {
+  PolicyTree tree;
+  tree.set_share("/a", 1.0);
+  tree.set_share("/a", 5.0);
+  EXPECT_DOUBLE_EQ(tree.find("/a")->share, 5.0);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace aequus::core

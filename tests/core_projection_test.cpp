@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/projection.hpp"
+
+namespace aequus::core {
+namespace {
+
+FairshareTree make_tree(const std::map<std::string, double>& shares,
+                        const std::map<std::string, double>& usage_amounts,
+                        double k = 0.5) {
+  PolicyTree policy;
+  for (const auto& [path, share] : shares) policy.set_share(path, share);
+  UsageTree usage;
+  for (const auto& [path, amount] : usage_amounts) usage.add(path, amount);
+  return FairshareAlgorithm(FairshareConfig{k, kDefaultResolution}).compute(policy, usage);
+}
+
+TEST(ProjectionNames, ToString) {
+  EXPECT_EQ(to_string(ProjectionKind::kDictionaryOrdering), "dictionary");
+  EXPECT_EQ(to_string(ProjectionKind::kBitwiseVector), "bitwise");
+  EXPECT_EQ(to_string(ProjectionKind::kPercental), "percental");
+}
+
+TEST(DictionaryProjection, PaperExampleSpacing) {
+  // "three vectors would result in the numerical values 0.75, 0.50, and
+  // 0.25, according to sorting order."
+  const FairshareTree tree = make_tree({{"/a", 1.0}, {"/b", 1.0}, {"/c", 1.0}},
+                                       {{"/a", 10.0}, {"/b", 50.0}, {"/c", 100.0}});
+  const auto values = project(tree, {ProjectionKind::kDictionaryOrdering, 8});
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values.at("/a"), 0.75);  // least usage -> best rank
+  EXPECT_DOUBLE_EQ(values.at("/b"), 0.50);
+  EXPECT_DOUBLE_EQ(values.at("/c"), 0.25);
+}
+
+TEST(DictionaryProjection, OrderMatchesVectorComparison) {
+  const FairshareTree tree =
+      make_tree({{"/g/u1", 1.0}, {"/g/u2", 1.0}, {"/h/u3", 2.0}, {"/h/u4", 1.0}},
+                {{"/g/u1", 40.0}, {"/g/u2", 10.0}, {"/h/u3", 30.0}, {"/h/u4", 5.0}});
+  const auto values = project(tree, {ProjectionKind::kDictionaryOrdering, 8});
+  for (const auto& a : tree.user_paths()) {
+    for (const auto& b : tree.user_paths()) {
+      if (tree.vector_for(a)->compare(*tree.vector_for(b)) == std::strong_ordering::greater) {
+        EXPECT_GT(values.at(a), values.at(b)) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(BitwiseProjection, PreservesOrderWithinDepth) {
+  const FairshareTree tree = make_tree({{"/a", 1.0}, {"/b", 1.0}, {"/c", 1.0}},
+                                       {{"/a", 10.0}, {"/b", 50.0}, {"/c", 100.0}});
+  const auto values = project(tree, {ProjectionKind::kBitwiseVector, 8});
+  EXPECT_GT(values.at("/a"), values.at("/b"));
+  EXPECT_GT(values.at("/b"), values.at("/c"));
+  for (const auto& [path, v] : values) {
+    (void)path;
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(BitwiseProjection, FiniteDepthTruncates) {
+  // With 26 bits per level only two levels fit into a double's mantissa;
+  // a difference at level 3 is invisible (Table I: no infinite depth).
+  PolicyTree policy;
+  policy.set_share("/a/b/c1", 1.0);
+  policy.set_share("/a/b/c2", 1.0);
+  UsageTree usage;
+  usage.add("/a/b/c1", 100.0);
+  const FairshareTree tree = FairshareAlgorithm().compute(policy, usage);
+  const auto values = project(tree, {ProjectionKind::kBitwiseVector, 26});
+  EXPECT_DOUBLE_EQ(values.at("/a/b/c1"), values.at("/a/b/c2"));
+  // Dictionary ordering keeps the distinction (infinite depth).
+  const auto dict = project(tree, {ProjectionKind::kDictionaryOrdering, 8});
+  EXPECT_NE(dict.at("/a/b/c1"), dict.at("/a/b/c2"));
+}
+
+TEST(BitwiseProjection, FinitePrecisionQuantizes) {
+  // 1-bit elements cannot distinguish two mildly different usages on the
+  // same side of balance (Table I: no infinite precision).
+  const FairshareTree tree =
+      make_tree({{"/a", 1.0}, {"/b", 1.0}, {"/c", 1.0}},
+                {{"/a", 10.0}, {"/b", 12.0}, {"/c", 1000.0}});
+  const auto values = project(tree, {ProjectionKind::kBitwiseVector, 1});
+  EXPECT_DOUBLE_EQ(values.at("/a"), values.at("/b"));
+}
+
+TEST(PercentalProjection, PaperMaximumForIdleUser) {
+  // U3 with share 0.12 and zero usage: (0.12 - 0 + 1) / 2 = 0.56.
+  const FairshareTree tree =
+      make_tree({{"/U65", 0.47}, {"/U30", 0.385}, {"/U3", 0.12}, {"/Uoth", 0.025}},
+                {{"/U65", 470.0}, {"/U30", 385.0}, {"/Uoth", 25.0}});
+  // Usage shares renormalize over active users; U3 idle.
+  const double u3 = percental_value(tree, "/U3");
+  EXPECT_NEAR(u3, 0.56, 1e-9);
+}
+
+TEST(PercentalProjection, BalanceGivesHalf) {
+  const FairshareTree tree = make_tree({{"/a", 0.6}, {"/b", 0.4}},
+                                       {{"/a", 60.0}, {"/b", 40.0}});
+  EXPECT_NEAR(percental_value(tree, "/a"), 0.5, 1e-12);
+  EXPECT_NEAR(percental_value(tree, "/b"), 0.5, 1e-12);
+}
+
+TEST(PercentalProjection, ProportionalToDeviation) {
+  const FairshareTree tree = make_tree({{"/a", 0.5}, {"/b", 0.5}},
+                                       {{"/a", 30.0}, {"/b", 70.0}});
+  const auto values = project(tree, {ProjectionKind::kPercental, 8});
+  // a under-used by 0.2, b over-used by 0.2: symmetric around 0.5.
+  EXPECT_NEAR(values.at("/a"), 0.6, 1e-12);
+  EXPECT_NEAR(values.at("/b"), 0.4, 1e-12);
+}
+
+TEST(PercentalProjection, MultiplicativeDownPaths) {
+  PolicyTree policy;
+  policy.set_share("/p", 0.2);
+  policy.set_share("/q", 0.8);
+  policy.set_share("/p/u", 0.25);
+  policy.set_share("/p/v", 0.75);
+  policy.set_share("/q/w", 1.0);
+  UsageTree usage;
+  usage.add("/q/w", 100.0);
+  const FairshareTree tree = FairshareAlgorithm().compute(policy, usage);
+  // /p/u: target 0.2 * 0.25 = 0.05, usage 0 -> (0.05 + 1)/2 = 0.525.
+  EXPECT_NEAR(percental_value(tree, "/p/u"), 0.525, 1e-12);
+  EXPECT_EQ(percental_value(tree, "/missing"), 0.5);
+}
+
+TEST(PercentalProjection, LacksSubgroupIsolation) {
+  // Table I: percental does NOT provide subgroup isolation — a usage
+  // change confined to group /b moves the value of a user in group /a
+  // (via the group-level usage shares), even when /a's internal balance
+  // is untouched.
+  const auto tree1 = make_tree({{"/a/u1", 1.0}, {"/a/u2", 1.0}, {"/b/u3", 1.0}, {"/b/u4", 1.0}},
+                               {{"/a/u1", 10.0}, {"/a/u2", 10.0}, {"/b/u3", 10.0}, {"/b/u4", 10.0}});
+  const auto tree2 = make_tree({{"/a/u1", 1.0}, {"/a/u2", 1.0}, {"/b/u3", 1.0}, {"/b/u4", 1.0}},
+                               {{"/a/u1", 10.0}, {"/a/u2", 10.0}, {"/b/u3", 500.0}, {"/b/u4", 10.0}});
+  EXPECT_NE(percental_value(tree1, "/a/u1"), percental_value(tree2, "/a/u1"));
+  // Dictionary ordering preserves the relative rank of u1 vs u2.
+  const auto dict1 = project(tree1, {ProjectionKind::kDictionaryOrdering, 8});
+  const auto dict2 = project(tree2, {ProjectionKind::kDictionaryOrdering, 8});
+  EXPECT_EQ(dict1.at("/a/u1") == dict1.at("/a/u2"), dict2.at("/a/u1") == dict2.at("/a/u2"));
+}
+
+TEST(AllProjections, ValuesAlwaysInUnitRange) {
+  const auto tree = make_tree(
+      {{"/x", 0.9}, {"/y", 0.05}, {"/z", 0.05}},
+      {{"/x", 1.0}, {"/y", 900.0}, {"/z", 1.0}});
+  for (const auto kind : {ProjectionKind::kDictionaryOrdering,
+                          ProjectionKind::kBitwiseVector, ProjectionKind::kPercental}) {
+    const auto values = project(tree, {kind, 8});
+    for (const auto& [path, v] : values) {
+      EXPECT_GE(v, 0.0) << to_string(kind) << " " << path;
+      EXPECT_LE(v, 1.0) << to_string(kind) << " " << path;
+    }
+  }
+}
+
+TEST(AllProjections, SingleUserTree) {
+  const auto tree = make_tree({{"/only", 1.0}}, {{"/only", 5.0}});
+  EXPECT_DOUBLE_EQ(project(tree, {ProjectionKind::kDictionaryOrdering, 8}).at("/only"), 0.5);
+  EXPECT_NEAR(project(tree, {ProjectionKind::kPercental, 8}).at("/only"), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace aequus::core

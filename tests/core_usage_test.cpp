@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/usage.hpp"
+
+namespace aequus::core {
+namespace {
+
+TEST(UsageTreeModel, AddAndQuerySubtrees) {
+  UsageTree tree;
+  tree.add("/g/p/u1", 10.0);
+  tree.add("/g/p/u2", 30.0);
+  tree.add("/g/q", 60.0);
+  EXPECT_DOUBLE_EQ(tree.usage("/g/p/u1"), 10.0);
+  EXPECT_DOUBLE_EQ(tree.usage("/g/p"), 40.0);
+  EXPECT_DOUBLE_EQ(tree.usage("/g"), 100.0);
+  EXPECT_DOUBLE_EQ(tree.usage("/"), 100.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 100.0);
+  EXPECT_DOUBLE_EQ(tree.usage("/missing"), 0.0);
+}
+
+TEST(UsageTreeModel, AddAccumulates) {
+  UsageTree tree;
+  tree.add("/u", 5.0);
+  tree.add("/u", 7.0);
+  EXPECT_DOUBLE_EQ(tree.usage("/u"), 12.0);
+}
+
+TEST(UsageTreeModel, PrefixDoesNotLeakAcrossSiblingNames) {
+  UsageTree tree;
+  tree.add("/ab", 1.0);
+  tree.add("/abc", 2.0);
+  EXPECT_DOUBLE_EQ(tree.usage("/ab"), 1.0);  // "/abc" is not inside "/ab"
+}
+
+TEST(UsageTreeModel, NormalizedUsageAmongSiblings) {
+  UsageTree tree;
+  tree.add("/g/u1", 25.0);
+  tree.add("/g/u2", 75.0);
+  EXPECT_DOUBLE_EQ(tree.normalized_usage("/g/u1"), 0.25);
+  EXPECT_DOUBLE_EQ(tree.normalized_usage("/g/u2"), 0.75);
+  EXPECT_DOUBLE_EQ(tree.normalized_usage("/g"), 1.0);
+  EXPECT_DOUBLE_EQ(tree.normalized_usage("/g/unknown"), 0.0);
+}
+
+TEST(UsageTreeModel, NormalizedUsageOfIdleGroupIsZero) {
+  UsageTree tree;
+  EXPECT_DOUBLE_EQ(tree.normalized_usage("/g/u1"), 0.0);
+  EXPECT_DOUBLE_EQ(tree.normalized_usage("/"), 0.0);
+}
+
+TEST(UsageTreeModel, MergeAddsLeaves) {
+  UsageTree a;
+  a.add("/u1", 10.0);
+  UsageTree b;
+  b.add("/u1", 5.0);
+  b.add("/u2", 20.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.usage("/u1"), 15.0);
+  EXPECT_DOUBLE_EQ(a.usage("/u2"), 20.0);
+}
+
+TEST(UsageTreeModel, ScaleMultipliesEverything) {
+  UsageTree tree;
+  tree.add("/u1", 10.0);
+  tree.add("/u2", 20.0);
+  tree.scale(0.5);
+  EXPECT_DOUBLE_EQ(tree.total(), 15.0);
+  EXPECT_THROW(tree.scale(-1.0), std::invalid_argument);
+}
+
+TEST(UsageTreeModel, RejectsNegativeAmounts) {
+  UsageTree tree;
+  EXPECT_THROW(tree.add("/u", -1.0), std::invalid_argument);
+}
+
+TEST(UsageTreeModel, ZeroAmountIsNoop) {
+  UsageTree tree;
+  tree.add("/u", 0.0);
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(UsageTreeModel, PathsAreCanonicalized) {
+  UsageTree tree;
+  tree.add("u", 1.0);
+  tree.add("/u/", 2.0);
+  tree.add("//u", 3.0);
+  EXPECT_DOUBLE_EQ(tree.usage("/u"), 6.0);
+  EXPECT_EQ(tree.leaves().size(), 1u);
+}
+
+TEST(UsageTreeModel, JsonRoundTrip) {
+  UsageTree tree;
+  tree.add("/g/u1", 12.5);
+  tree.add("/g/u2", 7.5);
+  const UsageTree restored = UsageTree::from_json(tree.to_json());
+  EXPECT_DOUBLE_EQ(restored.usage("/g/u1"), 12.5);
+  EXPECT_DOUBLE_EQ(restored.total(), 20.0);
+}
+
+TEST(UsageTreeModel, ClearEmptiesTree) {
+  UsageTree tree;
+  tree.add("/u", 1.0);
+  tree.clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace aequus::core

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace aequus::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("-1e3").as_number(), -1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_TRUE(v.at("a").at(2).at("b").as_bool());
+  EXPECT_EQ(v.at("c").as_string(), "x");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"q\"\\")").as_string(), "a\nb\t\"q\"\\");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const Value v = parse("  { \"a\" :\n[ 1 ,\t2 ] } ");
+  EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(parse("[]").size(), 0u);
+  EXPECT_EQ(parse("{}").size(), 0u);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("{"), std::runtime_error);
+  EXPECT_THROW(parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse("tru"), std::runtime_error);
+  EXPECT_THROW(parse("1 2"), std::runtime_error);
+  EXPECT_THROW(parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(JsonParse, TryParseReturnsNulloptOnError) {
+  EXPECT_FALSE(try_parse("{bad}").has_value());
+  EXPECT_TRUE(try_parse("{}").has_value());
+}
+
+TEST(JsonDump, RoundTripsThroughText) {
+  const Value original = parse(R"({"x": [1, "two", null, false], "y": {"z": 0.5}})");
+  const Value reparsed = parse(original.dump());
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(JsonDump, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(Value(42.0).dump(), "42");
+  EXPECT_EQ(Value(2.5).dump(), "2.5");
+}
+
+TEST(JsonDump, EscapesSpecialCharacters) {
+  EXPECT_EQ(Value("a\"b\nc").dump(), R"("a\"b\nc")");
+}
+
+TEST(JsonDump, PrettyContainsNewlines) {
+  const Value v = parse(R"({"a": 1})");
+  EXPECT_NE(v.pretty().find('\n'), std::string::npos);
+  EXPECT_EQ(parse(v.pretty()), v);
+}
+
+TEST(JsonAccess, TypedGettersWithDefaults) {
+  const Value v = parse(R"({"s": "str", "n": 4, "b": true})");
+  EXPECT_EQ(v.get_string("s"), "str");
+  EXPECT_EQ(v.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(v.get_string("n", "dflt"), "dflt");  // wrong type -> default
+  EXPECT_DOUBLE_EQ(v.get_number("n"), 4.0);
+  EXPECT_DOUBLE_EQ(v.get_number("b", -1.0), -1.0);
+  EXPECT_TRUE(v.get_bool("b"));
+  EXPECT_TRUE(v.get_bool("missing", true));
+}
+
+TEST(JsonAccess, AsIntRounds) {
+  EXPECT_EQ(parse("2.7").as_int(), 3);
+  EXPECT_EQ(parse("-2.7").as_int(), -3);
+}
+
+TEST(JsonAccess, ThrowsOnTypeMismatch) {
+  const Value v = parse("[1]");
+  EXPECT_THROW((void)v.as_object(), std::runtime_error);
+  EXPECT_THROW((void)v.at("key"), std::runtime_error);
+  EXPECT_THROW((void)v.at(5), std::runtime_error);
+  EXPECT_THROW((void)parse("3").size(), std::runtime_error);
+}
+
+TEST(JsonAccess, FindReturnsNulloptForMissingKey) {
+  const Value v = parse(R"({"a": 1})");
+  EXPECT_TRUE(v.find("a").has_value());
+  EXPECT_FALSE(v.find("b").has_value());
+}
+
+TEST(JsonBuild, ProgrammaticConstruction) {
+  Object obj;
+  obj["list"] = Array{Value(1), Value("two")};
+  obj["flag"] = true;
+  const Value v(std::move(obj));
+  EXPECT_EQ(v.dump(), R"({"flag":true,"list":[1,"two"]})");
+}
+
+}  // namespace
+}  // namespace aequus::json

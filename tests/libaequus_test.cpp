@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "libaequus/c_api.hpp"
+#include "libaequus/client.hpp"
+#include "services/installation.hpp"
+
+namespace aequus::client {
+namespace {
+
+core::PolicyTree flat_policy(const std::map<std::string, double>& shares) {
+  core::PolicyTree policy;
+  for (const auto& [user, share] : shares) policy.set_share("/" + user, share);
+  return policy;
+}
+
+class LibaequusTest : public ::testing::Test {
+ protected:
+  LibaequusTest() : site(simulator, bus, "site0") {
+    site.set_policy(flat_policy({{"alice", 0.5}, {"bob", 0.5}}));
+    site.irs().add_mapping("site0", "acct_alice", "alice");
+  }
+
+  ClientConfig config() const {
+    ClientConfig c;
+    c.site = "site0";
+    c.cluster = "site0";
+    c.fairshare_cache_ttl = 30.0;
+    c.identity_cache_ttl = 100.0;
+    return c;
+  }
+
+  sim::Simulator simulator;
+  net::ServiceBus bus{simulator};
+  services::Installation site;
+};
+
+TEST_F(LibaequusTest, FairshareDefaultsToBalanceBeforeFirstRefresh) {
+  AequusClient client(simulator, bus, config());
+  EXPECT_DOUBLE_EQ(client.fairshare_factor("alice"), 0.5);
+  EXPECT_EQ(client.stats().fairshare_lookups, 1u);
+}
+
+TEST_F(LibaequusTest, FairshareTableRefreshesFromFcs) {
+  AequusClient client(simulator, bus, config());
+  site.uss().report("alice", 300.0);
+  simulator.run_until(120.0);
+  EXPECT_LT(client.fairshare_factor("alice"), 0.5);
+  EXPECT_GT(client.fairshare_factor("bob"), 0.5);
+  EXPECT_GE(client.stats().fairshare_refreshes, 2u);
+}
+
+TEST_F(LibaequusTest, CacheDelayBoundsStaleness) {
+  // A usage burst is not visible to the RM before one service update plus
+  // one client TTL; it is visible after both have elapsed.
+  AequusClient client(simulator, bus, config());
+  simulator.run_until(65.0);  // table warm, balanced
+  const double before = client.fairshare_factor("alice");
+  site.uss().report("alice", 1000.0);
+  simulator.run_until(66.0);  // < update interval: still stale
+  EXPECT_DOUBLE_EQ(client.fairshare_factor("alice"), before);
+  simulator.run_until(200.0);  // > UMS + FCS + client TTL
+  EXPECT_LT(client.fairshare_factor("alice"), before);
+}
+
+TEST_F(LibaequusTest, IdentityResolutionCachesHits) {
+  AequusClient client(simulator, bus, config());
+  EXPECT_EQ(client.resolve_identity("acct_alice"), "alice");
+  EXPECT_EQ(client.resolve_identity("acct_alice"), "alice");
+  EXPECT_EQ(client.stats().identity_misses, 1u);
+  EXPECT_EQ(client.stats().identity_hits, 1u);
+}
+
+TEST_F(LibaequusTest, IdentityCacheExpiresAfterTtl) {
+  AequusClient client(simulator, bus, config());
+  EXPECT_EQ(client.resolve_identity("acct_alice"), "alice");
+  simulator.run_until(150.0);  // past the 100 s identity TTL
+  EXPECT_EQ(client.resolve_identity("acct_alice"), "alice");
+  EXPECT_EQ(client.stats().identity_misses, 2u);
+}
+
+TEST_F(LibaequusTest, UnresolvableIdentityReturnsNullopt) {
+  AequusClient client(simulator, bus, config());
+  EXPECT_FALSE(client.resolve_identity("acct_nobody").has_value());
+}
+
+TEST_F(LibaequusTest, ReportUsageReachesUss) {
+  AequusClient client(simulator, bus, config());
+  client.report_usage("alice", 123.0);
+  simulator.run_until(1.0);
+  EXPECT_DOUBLE_EQ(site.uss().total_for("alice"), 123.0);
+  EXPECT_EQ(client.stats().usage_reports, 1u);
+}
+
+TEST_F(LibaequusTest, ReportSystemUsageResolvesFirst) {
+  AequusClient client(simulator, bus, config());
+  EXPECT_TRUE(client.report_system_usage("acct_alice", 50.0));
+  EXPECT_FALSE(client.report_system_usage("acct_ghost", 50.0));
+  simulator.run_until(1.0);
+  EXPECT_DOUBLE_EQ(site.uss().total_for("alice"), 50.0);
+}
+
+TEST_F(LibaequusTest, NonPositiveUsageIgnored) {
+  AequusClient client(simulator, bus, config());
+  client.report_usage("alice", 0.0);
+  client.report_usage("alice", -10.0);
+  simulator.run_until(1.0);
+  EXPECT_EQ(client.stats().usage_reports, 0u);
+}
+
+TEST_F(LibaequusTest, CApiLifecycleAndLookups) {
+  aequus_handle* handle = aequus_create(&simulator, &bus, "site0", "site0", 30.0, 100.0);
+  ASSERT_NE(handle, nullptr);
+
+  site.uss().report("alice", 300.0);
+  simulator.run_until(120.0);
+  const double alice = aequus_fairshare_factor(handle, "alice");
+  const double bob = aequus_fairshare_factor(handle, "bob");
+  EXPECT_LT(alice, bob);
+
+  char buffer[64];
+  EXPECT_EQ(aequus_resolve_identity(handle, "acct_alice", buffer, sizeof buffer), 0);
+  EXPECT_STREQ(buffer, "alice");
+  EXPECT_EQ(aequus_resolve_identity(handle, "acct_ghost", buffer, sizeof buffer), -1);
+
+  EXPECT_EQ(aequus_report_usage(handle, "alice", 10.0), 0);
+  EXPECT_EQ(aequus_report_system_usage(handle, "acct_alice", 10.0), 0);
+  EXPECT_EQ(aequus_report_system_usage(handle, "acct_ghost", 10.0), -1);
+
+  aequus_destroy(handle);
+}
+
+TEST_F(LibaequusTest, CApiRejectsBadArguments) {
+  EXPECT_EQ(aequus_create(nullptr, &bus, "s", "c", 1.0, 1.0), nullptr);
+  EXPECT_EQ(aequus_fairshare_factor(nullptr, "x"), -1.0);
+  char tiny[2];
+  aequus_handle* handle = aequus_create(&simulator, &bus, "site0", "site0", 30.0, 100.0);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(aequus_resolve_identity(handle, "acct_alice", tiny, sizeof tiny), -1);
+  aequus_destroy(handle);
+  aequus_destroy(nullptr);  // safe no-op
+}
+
+}  // namespace
+}  // namespace aequus::client

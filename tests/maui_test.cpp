@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "maui/patches.hpp"
+#include "services/installation.hpp"
+
+namespace aequus::maui {
+namespace {
+
+rms::Job make_job(const std::string& user, double duration, int cores = 1) {
+  rms::Job job;
+  job.system_user = user;
+  job.duration = duration;
+  job.cores = cores;
+  return job;
+}
+
+TEST(MauiComponents, QueueTimeSaturates) {
+  sim::Simulator simulator;
+  MauiWeights weights;
+  weights.max_queue_time = 100.0;
+  MauiScheduler scheduler(simulator, rms::Cluster("c", 1, 1), weights);
+  rms::Job job = make_job("u", 1.0);
+  job.submit_time = 0.0;
+  EXPECT_DOUBLE_EQ(scheduler.queue_time_component(job, 50.0), 0.5);
+  EXPECT_DOUBLE_EQ(scheduler.queue_time_component(job, 500.0), 1.0);
+}
+
+TEST(MauiComponents, ResourceComponentNormalizesProcs) {
+  sim::Simulator simulator;
+  MauiWeights weights;
+  weights.max_procs = 10;
+  MauiScheduler scheduler(simulator, rms::Cluster("c", 1, 1), weights);
+  EXPECT_DOUBLE_EQ(scheduler.resource_component(make_job("u", 1.0, 5)), 0.5);
+  EXPECT_DOUBLE_EQ(scheduler.resource_component(make_job("u", 1.0, 99)), 1.0);
+}
+
+TEST(MauiComponents, CredentialDefaultsToZero) {
+  sim::Simulator simulator;
+  MauiScheduler scheduler(simulator, rms::Cluster("c", 1, 1));
+  EXPECT_DOUBLE_EQ(scheduler.credential_component(make_job("u", 1.0)), 0.0);
+  scheduler.set_user_credential("u", 0.8);
+  EXPECT_DOUBLE_EQ(scheduler.credential_component(make_job("u", 1.0)), 0.8);
+  scheduler.set_user_credential("v", 5.0);  // clamped
+  EXPECT_DOUBLE_EQ(scheduler.credential_component(make_job("v", 1.0)), 1.0);
+}
+
+TEST(MauiComponents, UnpatchedFairshareUsesLocalHistory) {
+  sim::Simulator simulator;
+  MauiScheduler scheduler(simulator, rms::Cluster("c", 2, 1),
+                          MauiWeights{}, rms::SchedulerConfig{},
+                          core::DecayConfig{core::DecayKind::kNone, 1.0, 1.0});
+  scheduler.set_local_share("a", 0.5);
+  scheduler.set_local_share("b", 0.5);
+  scheduler.submit(make_job("a", 10.0));
+  simulator.run_all();
+  // a consumed everything locally: below balance; b above.
+  EXPECT_LT(scheduler.fairshare_component(make_job("a", 1.0), simulator.now()), 0.5);
+  EXPECT_GT(scheduler.fairshare_component(make_job("b", 1.0), simulator.now()), 0.5);
+}
+
+TEST(MauiComponents, PatchReplacesFairshareCalculation) {
+  sim::Simulator simulator;
+  MauiScheduler scheduler(simulator, rms::Cluster("c", 1, 1));
+  scheduler.patch_fairshare([](const rms::Job&, double) { return 0.9; });
+  EXPECT_DOUBLE_EQ(scheduler.fairshare_component(make_job("anyone", 1.0), 0.0), 0.9);
+}
+
+TEST(MauiComponents, CompletionHookInjected) {
+  sim::Simulator simulator;
+  MauiScheduler scheduler(simulator, rms::Cluster("c", 1, 1));
+  int hook_calls = 0;
+  double reported_usage = 0.0;
+  scheduler.patch_completion([&](const rms::Job& job, double) {
+    ++hook_calls;
+    reported_usage += job.usage();
+  });
+  scheduler.submit(make_job("u", 25.0));
+  simulator.run_all();
+  EXPECT_EQ(hook_calls, 1);
+  EXPECT_DOUBLE_EQ(reported_usage, 25.0);
+}
+
+TEST(MauiComponents, PriorityCombinesWeightedComponents) {
+  sim::Simulator simulator;
+  MauiWeights weights;
+  weights.service = 1.0;
+  weights.fairshare = 2.0;
+  weights.resources = 0.0;
+  weights.credential = 4.0;
+  weights.max_queue_time = 100.0;
+  MauiScheduler scheduler(simulator, rms::Cluster("c", 4, 1), weights);
+  scheduler.patch_fairshare([](const rms::Job&, double) { return 0.5; });
+  scheduler.set_user_credential("u", 0.25);
+  // Indirect check through scheduling order: u's static priority beats v's.
+  scheduler.submit(make_job("filler", 10.0, 4));
+  scheduler.submit(make_job("v", 5.0));
+  scheduler.submit(make_job("u", 5.0));
+  std::vector<std::string> order;
+  scheduler.add_completion_listener(
+      [&](const rms::Job& job) { order.push_back(job.system_user); });
+  simulator.run_all();
+  EXPECT_EQ(order[1], "u");
+}
+
+TEST(MauiAequusPatches, EndToEndWithInstallation) {
+  sim::Simulator simulator;
+  net::ServiceBus bus(simulator);
+  services::Installation site(simulator, bus, "site0");
+  core::PolicyTree policy;
+  policy.set_share("/alice", 0.5);
+  policy.set_share("/bob", 0.5);
+  site.set_policy(std::move(policy));
+  site.irs().add_mapping("site0", "acct_alice", "alice");
+  site.irs().add_mapping("site0", "acct_bob", "bob");
+
+  client::ClientConfig config;
+  config.site = "site0";
+  config.cluster = "site0";
+  client::AequusClient client(simulator, bus, config);
+
+  MauiScheduler scheduler(simulator, rms::Cluster("site0", 2, 1));
+  apply_aequus_patches(scheduler, client);
+
+  scheduler.submit(make_job("acct_alice", 200.0));
+  simulator.run_until(400.0);
+
+  // The patched completion hook reported alice's usage to the USS...
+  EXPECT_DOUBLE_EQ(site.uss().total_for("alice"), 200.0);
+  // ...and the patched fairshare path sees the resulting imbalance.
+  EXPECT_LT(scheduler.fairshare_component(make_job("acct_alice", 1.0), simulator.now()),
+            scheduler.fairshare_component(make_job("acct_bob", 1.0), simulator.now()));
+}
+
+TEST(MauiAequusPatches, UnresolvableUserGetsBalanceFactor) {
+  sim::Simulator simulator;
+  net::ServiceBus bus(simulator);
+  services::Installation site(simulator, bus, "site0");
+  client::ClientConfig config;
+  config.site = "site0";
+  config.cluster = "site0";
+  client::AequusClient client(simulator, bus, config);
+  MauiScheduler scheduler(simulator, rms::Cluster("site0", 1, 1));
+  apply_aequus_patches(scheduler, client);
+  EXPECT_DOUBLE_EQ(scheduler.fairshare_component(make_job("acct_ghost", 1.0), 0.0), 0.5);
+}
+
+}  // namespace
+}  // namespace aequus::maui

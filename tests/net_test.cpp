@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "net/service_bus.hpp"
+
+namespace aequus::net {
+namespace {
+
+json::Value echo_handler(const json::Value& request) {
+  json::Object reply;
+  reply["echo"] = request.get_string("msg");
+  return json::Value(std::move(reply));
+}
+
+class ServiceBusTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator;
+  ServiceBus bus{simulator};
+};
+
+TEST_F(ServiceBusTest, SiteOfExtractsPrefix) {
+  EXPECT_EQ(ServiceBus::site_of("siteA.uss"), "siteA");
+  EXPECT_EQ(ServiceBus::site_of("bare"), "bare");
+}
+
+TEST_F(ServiceBusTest, RequestDeliversAfterRoundTripLatency) {
+  bus.set_remote_latency(1.0);
+  bus.bind("b.svc", echo_handler);
+  double replied_at = -1.0;
+  std::string echoed;
+  bus.request("a", "b.svc", json::Value(json::Object{{"msg", json::Value("hi")}}),
+              [&](const json::Value& reply) {
+                replied_at = simulator.now();
+                echoed = reply.get_string("echo");
+              });
+  simulator.run_all();
+  EXPECT_DOUBLE_EQ(replied_at, 2.0);  // forward + return hop
+  EXPECT_EQ(echoed, "hi");
+}
+
+TEST_F(ServiceBusTest, LocalRequestsUseLocalLatency) {
+  bus.set_local_latency(0.25);
+  bus.bind("a.svc", echo_handler);
+  double replied_at = -1.0;
+  bus.request("a", "a.svc", json::Value(json::Object{}),
+              [&](const json::Value&) { replied_at = simulator.now(); });
+  simulator.run_all();
+  EXPECT_DOUBLE_EQ(replied_at, 0.5);
+}
+
+TEST_F(ServiceBusTest, SendIsOneWay) {
+  int received = 0;
+  bus.bind("b.svc", [&](const json::Value&) {
+    ++received;
+    return json::Value();
+  });
+  bus.send("a", "b.svc", json::Value(json::Object{}));
+  simulator.run_all();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(bus.stats().one_way, 1u);
+}
+
+TEST_F(ServiceBusTest, UnboundAddressCountsDrop) {
+  bool replied = false;
+  bus.request("a", "nowhere.svc", json::Value(json::Object{}),
+              [&](const json::Value&) { replied = true; });
+  simulator.run_all();
+  EXPECT_FALSE(replied);
+  EXPECT_EQ(bus.stats().dropped_unbound, 1u);
+}
+
+TEST_F(ServiceBusTest, NonContributingSiteDataSendsDropped) {
+  bus.bind("b.svc", echo_handler);
+  bus.set_site_contributes("a", false);
+  bus.send("a", "b.svc", json::Value(json::Object{}));
+  simulator.run_all();
+  EXPECT_EQ(bus.stats().dropped_participation, 1u);
+}
+
+TEST_F(ServiceBusTest, NonContributingSiteCanStillReadRemoteData) {
+  // §IV-A-4: the read-only site reads global usage data without
+  // contributing — its outgoing queries and the inbound replies flow.
+  bus.bind("b.svc", echo_handler);
+  bus.set_site_contributes("a", false);
+  bool delivered = false;
+  bus.request("a", "b.svc", json::Value(json::Object{}),
+              [&](const json::Value&) { delivered = true; });
+  simulator.run_all();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(bus.stats().dropped_participation, 0u);
+}
+
+TEST_F(ServiceBusTest, NonContributingSiteReplyDropped) {
+  // A non-contributing site receives requests but its data never leaves:
+  // the reply leg is dropped (§IV-A-4 read-only site seen from outside).
+  bus.bind("b.svc", echo_handler);
+  bus.set_site_contributes("b", false);
+  bool replied = false;
+  bus.request("a", "b.svc", json::Value(json::Object{}),
+              [&](const json::Value&) { replied = true; });
+  simulator.run_all();
+  EXPECT_FALSE(replied);
+  EXPECT_EQ(bus.stats().dropped_participation, 1u);
+}
+
+TEST_F(ServiceBusTest, NonContributingSiteLocalTrafficFlows) {
+  bus.bind("a.svc", echo_handler);
+  bus.set_site_contributes("a", false);
+  bool replied = false;
+  bus.request("a", "a.svc", json::Value(json::Object{}),
+              [&](const json::Value&) { replied = true; });
+  simulator.run_all();
+  EXPECT_TRUE(replied);
+}
+
+TEST_F(ServiceBusTest, NonReceivingSiteInboundDataDropped) {
+  bus.bind("b.svc", echo_handler);
+  bus.set_site_receives("b", false);
+  // One-way data messages to b are dropped...
+  int received = 0;
+  bus.bind("b.sink", [&](const json::Value&) {
+    ++received;
+    return json::Value();
+  });
+  bus.send("a", "b.sink", json::Value(json::Object{}));
+  simulator.run_all();
+  EXPECT_EQ(received, 0);
+  // ...and replies *to* a non-receiving requester are dropped too.
+  bus.bind("c.svc", echo_handler);
+  bool replied = false;
+  bus.request("b", "c.svc", json::Value(json::Object{}),
+              [&](const json::Value&) { replied = true; });
+  simulator.run_all();
+  EXPECT_FALSE(replied);
+}
+
+TEST_F(ServiceBusTest, ParticipationFlagsCanBeRestored) {
+  bus.bind("b.svc", echo_handler);
+  bus.set_site_contributes("a", false);
+  bus.set_site_contributes("a", true);
+  bool replied = false;
+  bus.request("a", "b.svc", json::Value(json::Object{}),
+              [&](const json::Value&) { replied = true; });
+  simulator.run_all();
+  EXPECT_TRUE(replied);
+}
+
+TEST_F(ServiceBusTest, CallIsSynchronous) {
+  bus.bind("a.svc", echo_handler);
+  const json::Value reply =
+      bus.call("a.svc", json::Value(json::Object{{"msg", json::Value("now")}}));
+  EXPECT_EQ(reply.get_string("echo"), "now");
+  EXPECT_THROW((void)bus.call("missing.svc", json::Value()), std::runtime_error);
+}
+
+TEST_F(ServiceBusTest, UnbindRemovesEndpoint) {
+  bus.bind("a.svc", echo_handler);
+  EXPECT_TRUE(bus.bound("a.svc"));
+  bus.unbind("a.svc");
+  EXPECT_FALSE(bus.bound("a.svc"));
+}
+
+TEST_F(ServiceBusTest, PayloadBytesAccumulate) {
+  bus.bind("b.svc", echo_handler);
+  bus.request("a", "b.svc", json::Value(json::Object{{"msg", json::Value("12345")}}),
+              nullptr);
+  simulator.run_all();
+  EXPECT_GT(bus.stats().payload_bytes, 10u);
+}
+
+TEST_F(ServiceBusTest, LossInjectionDropsSomeInterSiteTraffic) {
+  bus.bind("b.svc", echo_handler);
+  bus.set_loss_rate(0.5, 42);
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    bus.request("a", "b.svc", json::Value(json::Object{}),
+                [&](const json::Value&) { ++delivered; });
+  }
+  simulator.run_all();
+  // Each request needs both legs to survive: expected ~25% delivery.
+  EXPECT_GT(delivered, 20);
+  EXPECT_LT(delivered, 90);
+  EXPECT_GT(bus.stats().dropped_loss, 100u);
+}
+
+TEST_F(ServiceBusTest, LossInjectionSparesIntraSiteTraffic) {
+  bus.bind("a.svc", echo_handler);
+  bus.set_loss_rate(1.0);
+  int delivered = 0;
+  for (int i = 0; i < 20; ++i) {
+    bus.request("a", "a.svc", json::Value(json::Object{}),
+                [&](const json::Value&) { ++delivered; });
+  }
+  simulator.run_all();
+  EXPECT_EQ(delivered, 20);
+  EXPECT_EQ(bus.stats().dropped_loss, 0u);
+}
+
+TEST_F(ServiceBusTest, LossRateZeroDisablesInjection) {
+  bus.bind("b.svc", echo_handler);
+  bus.set_loss_rate(0.9, 1);
+  bus.set_loss_rate(0.0);
+  int delivered = 0;
+  for (int i = 0; i < 20; ++i) {
+    bus.request("a", "b.svc", json::Value(json::Object{}),
+                [&](const json::Value&) { ++delivered; });
+  }
+  simulator.run_all();
+  EXPECT_EQ(delivered, 20);
+}
+
+TEST_F(ServiceBusTest, LossInjectionIsDeterministicPerSeed) {
+  const auto run_with_seed = [&](std::uint64_t seed) {
+    sim::Simulator local_sim;
+    ServiceBus local_bus(local_sim);
+    local_bus.bind("b.svc", echo_handler);
+    local_bus.set_loss_rate(0.5, seed);
+    int delivered = 0;
+    for (int i = 0; i < 100; ++i) {
+      local_bus.request("a", "b.svc", json::Value(json::Object{}),
+                        [&](const json::Value&) { ++delivered; });
+    }
+    local_sim.run_all();
+    return delivered;
+  };
+  EXPECT_EQ(run_with_seed(7), run_with_seed(7));
+}
+
+TEST_F(ServiceBusTest, RebindReplacesHandlerForNewTraffic) {
+  bus.bind("b.svc", echo_handler);
+  bus.bind("b.svc", [](const json::Value&) {
+    return json::Value(json::Object{{"echo", json::Value("replaced")}});
+  });
+  std::string echoed;
+  bus.request("a", "b.svc", json::Value(json::Object{{"msg", json::Value("x")}}),
+              [&](const json::Value& reply) { echoed = reply.get_string("echo"); });
+  simulator.run_all();
+  EXPECT_EQ(echoed, "replaced");
+}
+
+}  // namespace
+}  // namespace aequus::net

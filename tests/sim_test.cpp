@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace aequus::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30.0, [&] { order.push_back(3); });
+  s.schedule_at(10.0, [&] { order.push_back(1); });
+  s.schedule_at(20.0, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 30.0);
+}
+
+TEST(Simulator, SameTimeEventsFireInScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(7.0, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  double fired_at = -1.0;
+  s.schedule_at(10.0, [&] {
+    s.schedule_after(5.0, [&] { fired_at = s.now(); });
+  });
+  s.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator s;
+  s.schedule_at(10.0, [] {});
+  s.run_all();
+  double fired_at = -1.0;
+  s.schedule_at(5.0, [&] { fired_at = s.now(); });
+  s.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(Simulator, NegativeDelayClampsToZero) {
+  Simulator s;
+  double fired_at = -1.0;
+  s.schedule_after(-3.0, [&] { fired_at = s.now(); });
+  s.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 0.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  EventHandle handle = s.schedule_at(5.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.active());
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtLimit) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(10.0, [&] { ++count; });
+  s.schedule_at(20.0, [&] { ++count; });
+  s.run_until(15.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 15.0);
+  s.run_until(25.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PeriodicFiresAtFixedCadence) {
+  Simulator s;
+  std::vector<double> times;
+  s.schedule_periodic(10.0, 10.0, [&] { times.push_back(s.now()); });
+  s.run_until(45.0);
+  EXPECT_EQ(times, (std::vector<double>{10.0, 20.0, 30.0, 40.0}));
+}
+
+TEST(Simulator, PeriodicCancelStopsFutureFirings) {
+  Simulator s;
+  int count = 0;
+  EventHandle handle = s.schedule_periodic(1.0, 1.0, [&] { ++count; });
+  s.run_until(3.5);
+  handle.cancel();
+  s.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicCanCancelItself) {
+  Simulator s;
+  int count = 0;
+  EventHandle handle;
+  handle = s.schedule_periodic(1.0, 1.0, [&] {
+    if (++count == 2) handle.cancel();
+  });
+  s.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PeriodicRejectsNonPositivePeriod) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_periodic(0.0, 0.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(Simulator, EventsScheduledDuringExecutionRun) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(1.0, recurse);
+  };
+  s.schedule_at(0.0, recurse);
+  s.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 4.0);
+}
+
+}  // namespace
+}  // namespace aequus::sim

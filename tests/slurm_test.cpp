@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "services/installation.hpp"
+#include "slurm/aequus_plugins.hpp"
+#include "slurm/controller.hpp"
+#include "slurm/local_fairshare.hpp"
+
+namespace aequus::slurm {
+namespace {
+
+rms::Job make_job(const std::string& user, double duration, int cores = 1) {
+  rms::Job job;
+  job.system_user = user;
+  job.duration = duration;
+  job.cores = cores;
+  return job;
+}
+
+TEST(PluginRegistryModel, RegistersAndCreatesByName) {
+  PluginRegistry registry;
+  registry.register_priority("priority/test", [] {
+    return std::make_unique<MultifactorPriorityPlugin>(
+        MultifactorWeights{}, [](const rms::Job&, double) { return 0.5; });
+  });
+  EXPECT_EQ(registry.priority_plugin_names(),
+            (std::vector<std::string>{"priority/test"}));
+  const auto plugin = registry.create_priority("priority/test");
+  EXPECT_EQ(plugin->name(), "priority/multifactor");
+  EXPECT_THROW((void)registry.create_priority("missing"), std::out_of_range);
+  EXPECT_THROW((void)registry.create_jobcomp("missing"), std::out_of_range);
+}
+
+TEST(Multifactor, FairshareOnlyConfiguration) {
+  MultifactorWeights weights;
+  weights.fairshare = 1.0;
+  MultifactorPriorityPlugin plugin(weights, [](const rms::Job&, double) { return 0.7; });
+  const rms::Job job = make_job("u", 10.0);
+  EXPECT_DOUBLE_EQ(plugin.priority(job, 0.0), 0.7);
+}
+
+TEST(Multifactor, WeightsCombineLinearly) {
+  MultifactorWeights weights;
+  weights.fairshare = 2.0;
+  weights.age = 1.0;
+  weights.max_age = 100.0;
+  weights.job_size = 4.0;
+  weights.max_cores = 8;
+  MultifactorPriorityPlugin plugin(weights, [](const rms::Job&, double) { return 0.5; });
+  rms::Job job = make_job("u", 10.0, 2);
+  job.submit_time = 0.0;
+  // At t=50: age factor 0.5, fairshare 0.5, size 0.25.
+  EXPECT_DOUBLE_EQ(plugin.priority(job, 50.0), 2.0 * 0.5 + 1.0 * 0.5 + 4.0 * 0.25);
+}
+
+TEST(Multifactor, AgeFactorSaturates) {
+  MultifactorWeights weights;
+  weights.max_age = 10.0;
+  MultifactorPriorityPlugin plugin(weights, [](const rms::Job&, double) { return 0.0; });
+  rms::Job job = make_job("u", 1.0);
+  job.submit_time = 0.0;
+  EXPECT_DOUBLE_EQ(plugin.age_factor(job, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(plugin.age_factor(job, 100.0), 1.0);
+}
+
+TEST(Multifactor, FairshareFactorClamped) {
+  MultifactorPriorityPlugin plugin(MultifactorWeights{},
+                                   [](const rms::Job&, double) { return 3.0; });
+  EXPECT_DOUBLE_EQ(plugin.fairshare_factor(make_job("u", 1.0), 0.0), 1.0);
+  MultifactorPriorityPlugin negative(MultifactorWeights{},
+                                     [](const rms::Job&, double) { return -3.0; });
+  EXPECT_DOUBLE_EQ(negative.fairshare_factor(make_job("u", 1.0), 0.0), 0.0);
+}
+
+TEST(Multifactor, RequiresFairshareSource) {
+  EXPECT_THROW(MultifactorPriorityPlugin(MultifactorWeights{}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(LocalFairshareModel, BalancedAtConfiguredShares) {
+  LocalFairshare fs(core::DecayConfig{core::DecayKind::kNone, 1.0, 1.0});
+  fs.set_share("a", 0.5);
+  fs.set_share("b", 0.5);
+  fs.record_usage("a", 100.0, 0.0);
+  fs.record_usage("b", 100.0, 0.0);
+  EXPECT_NEAR(fs.factor("a", 10.0), 0.5, 1e-12);
+  EXPECT_NEAR(fs.factor("b", 10.0), 0.5, 1e-12);
+}
+
+TEST(LocalFairshareModel, OverUserPenalized) {
+  LocalFairshare fs(core::DecayConfig{core::DecayKind::kNone, 1.0, 1.0});
+  fs.set_share("a", 0.5);
+  fs.set_share("b", 0.5);
+  fs.record_usage("a", 300.0, 0.0);
+  fs.record_usage("b", 100.0, 0.0);
+  EXPECT_LT(fs.factor("a", 10.0), 0.5);
+  EXPECT_GT(fs.factor("b", 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(fs.usage_share("a", 10.0), 0.75);
+}
+
+TEST(LocalFairshareModel, DecayForgivesOldUsage) {
+  LocalFairshare fs(core::DecayConfig{core::DecayKind::kExponentialHalfLife, 100.0, 0.0});
+  fs.set_share("a", 0.5);
+  fs.set_share("b", 0.5);
+  fs.record_usage("a", 100.0, 0.0);
+  fs.record_usage("b", 100.0, 1000.0);
+  // At t=1000, a's usage has decayed by 2^-10; b dominates.
+  EXPECT_GT(fs.factor("a", 1000.0), fs.factor("b", 1000.0));
+}
+
+TEST(LocalFairshareModel, UnknownUserIdleSystem) {
+  LocalFairshare fs;
+  EXPECT_DOUBLE_EQ(fs.factor("ghost", 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(fs.normalized_share("ghost"), 0.0);
+}
+
+TEST(SlurmControllerModel, RequiresPriorityPlugin) {
+  sim::Simulator simulator;
+  EXPECT_THROW(SlurmController(simulator, rms::Cluster("c", 1, 1), nullptr),
+               std::invalid_argument);
+}
+
+TEST(SlurmControllerModel, SchedulesByPluginPriority) {
+  sim::Simulator simulator;
+  auto plugin = std::make_unique<MultifactorPriorityPlugin>(
+      MultifactorWeights{}, [](const rms::Job& job, double) {
+        return job.system_user == "vip" ? 0.9 : 0.1;
+      });
+  SlurmController controller(simulator, rms::Cluster("c", 1, 1), std::move(plugin));
+  controller.submit(make_job("filler", 5.0));
+  controller.submit(make_job("pleb", 5.0));
+  controller.submit(make_job("vip", 5.0));
+  std::vector<std::string> order;
+  controller.add_completion_listener(
+      [&](const rms::Job& job) { order.push_back(job.system_user); });
+  simulator.run_all();
+  EXPECT_EQ(order[1], "vip");
+  EXPECT_EQ(order[2], "pleb");
+}
+
+class AequusIntegration : public ::testing::Test {
+ protected:
+  AequusIntegration() : site(simulator, bus, "site0") {
+    core::PolicyTree policy;
+    policy.set_share("/alice", 0.5);
+    policy.set_share("/bob", 0.5);
+    site.set_policy(std::move(policy));
+    site.irs().add_mapping("site0", "acct_alice", "alice");
+    site.irs().add_mapping("site0", "acct_bob", "bob");
+
+    client::ClientConfig config;
+    config.site = "site0";
+    config.cluster = "site0";
+    client = std::make_unique<client::AequusClient>(simulator, bus, config);
+  }
+
+  sim::Simulator simulator;
+  net::ServiceBus bus{simulator};
+  services::Installation site;
+  std::unique_ptr<client::AequusClient> client;
+};
+
+TEST_F(AequusIntegration, JobCompPluginReportsThroughIrs) {
+  AequusJobCompPlugin plugin(*client);
+  rms::Job job = make_job("acct_alice", 100.0);
+  plugin.job_complete(job, 0.0);
+  simulator.run_until(1.0);
+  EXPECT_DOUBLE_EQ(site.uss().total_for("alice"), 100.0);
+  EXPECT_EQ(plugin.reported(), 1u);
+
+  rms::Job ghost = make_job("acct_ghost", 10.0);
+  plugin.job_complete(ghost, 0.0);
+  EXPECT_EQ(plugin.dropped(), 1u);
+}
+
+TEST_F(AequusIntegration, JobCompPluginPrefersKnownGridUser) {
+  AequusJobCompPlugin plugin(*client);
+  rms::Job job = make_job("acct_whatever", 60.0);
+  job.grid_user = "bob";
+  plugin.job_complete(job, 0.0);
+  simulator.run_until(1.0);
+  EXPECT_DOUBLE_EQ(site.uss().total_for("bob"), 60.0);
+}
+
+TEST_F(AequusIntegration, FairshareSourceResolvesSystemUsers) {
+  const FairshareSource source = aequus_fairshare_source(*client);
+  site.uss().report("alice", 500.0);
+  simulator.run_until(120.0);
+  const double alice = source(make_job("acct_alice", 1.0), simulator.now());
+  const double bob = source(make_job("acct_bob", 1.0), simulator.now());
+  const double ghost = source(make_job("acct_ghost", 1.0), simulator.now());
+  EXPECT_LT(alice, 0.5);
+  EXPECT_GT(bob, 0.5);
+  EXPECT_DOUBLE_EQ(ghost, 0.5);
+}
+
+TEST_F(AequusIntegration, FullSlurmLoopConvergesTowardsShares) {
+  auto controller = std::make_unique<SlurmController>(
+      simulator, rms::Cluster("site0", 4, 1),
+      make_aequus_priority_plugin(*client));
+  controller->add_jobcomp_plugin(std::make_unique<AequusJobCompPlugin>(*client));
+
+  // alice floods the queue; bob trickles. With global fairshare bob's jobs
+  // should never starve.
+  for (int i = 0; i < 120; ++i) {
+    const double at = i * 10.0;
+    simulator.schedule_at(at, [&, i] {
+      controller->submit(make_job("acct_alice", 80.0));
+      if (i % 4 == 0) controller->submit(make_job("acct_bob", 80.0));
+    });
+  }
+  double bob_wait = 0.0;
+  double alice_wait = 0.0;
+  controller->add_completion_listener([&](const rms::Job& job) {
+    const double wait = job.start_time - job.submit_time;
+    if (job.system_user == "acct_bob") bob_wait += wait;
+    else alice_wait += wait;
+  });
+  simulator.run_until(40000.0);
+  EXPECT_EQ(controller->stats().completed, controller->stats().submitted);
+  // bob (under his share) must on average wait less than alice.
+  EXPECT_LT(bob_wait / 30.0, alice_wait / 120.0);
+}
+
+}  // namespace
+}  // namespace aequus::slurm

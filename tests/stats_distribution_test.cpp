@@ -1,0 +1,227 @@
+// Parameterized property tests over all 18 distribution families:
+// CDF monotonicity and limits, pdf nonnegativity, icdf/cdf round trips,
+// sampling inside the support, and sample-CDF agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "stats/families.hpp"
+#include "stats/mixture.hpp"
+
+namespace aequus::stats {
+namespace {
+
+struct FamilyCase {
+  const char* label;
+  std::shared_ptr<const Distribution> dist;  // shared: gtest copies params
+};
+
+FamilyCase make_case(const char* label, DistributionPtr d) {
+  return {label, std::shared_ptr<const Distribution>(std::move(d))};
+}
+
+std::vector<FamilyCase> all_cases() {
+  std::vector<FamilyCase> cases;
+  cases.push_back(make_case("Normal", std::make_unique<Normal>(3.0, 2.0)));
+  cases.push_back(make_case("LogNormal", std::make_unique<LogNormal>(1.0, 0.8)));
+  cases.push_back(make_case("Uniform", std::make_unique<Uniform>(-2.0, 5.0)));
+  cases.push_back(make_case("Exponential", std::make_unique<Exponential>(4.0)));
+  cases.push_back(make_case("Logistic", std::make_unique<Logistic>(1.0, 2.0)));
+  cases.push_back(make_case("HalfNormal", std::make_unique<HalfNormal>(1.5)));
+  cases.push_back(make_case("Weibull", std::make_unique<Weibull>(5.49e4, 0.637)));
+  cases.push_back(make_case("Gamma", std::make_unique<Gamma>(2.5, 3.0)));
+  cases.push_back(make_case("Rayleigh", std::make_unique<Rayleigh>(2.0)));
+  cases.push_back(make_case("BirnbaumSaunders",
+                            std::make_unique<BirnbaumSaunders>(1.76e4, 3.53)));
+  cases.push_back(make_case("InverseGaussian", std::make_unique<InverseGaussian>(2.0, 5.0)));
+  cases.push_back(make_case("Nakagami", std::make_unique<Nakagami>(1.2, 4.0)));
+  cases.push_back(make_case("LogLogistic", std::make_unique<LogLogistic>(3.0, 2.5)));
+  cases.push_back(make_case("GEV.neg_k", std::make_unique<Gev>(-0.386, 19.5, 100.0)));
+  cases.push_back(make_case("GEV.pos_k", std::make_unique<Gev>(0.195, 29.1, 50.0)));
+  cases.push_back(make_case("GEV.zero_k", std::make_unique<Gev>(0.0, 10.0, 0.0)));
+  cases.push_back(make_case("Gumbel", std::make_unique<Gumbel>(5.0, 2.0)));
+  cases.push_back(make_case("Pareto", std::make_unique<Pareto>(1.0, 2.5)));
+  cases.push_back(
+      make_case("GeneralizedPareto", std::make_unique<GeneralizedPareto>(0.2, 2.0, 1.0)));
+  cases.push_back(make_case("Burr", std::make_unique<Burr>(207.0, 11.0, 0.02)));
+  {
+    std::vector<Mixture::Component> components;
+    components.push_back({std::make_unique<Normal>(-3.0, 1.0), 0.3});
+    components.push_back({std::make_unique<Normal>(4.0, 2.0), 0.7});
+    cases.push_back(make_case("Mixture", std::make_unique<Mixture>(std::move(components))));
+  }
+  return cases;
+}
+
+class DistributionProperty : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(DistributionProperty, CdfIsMonotoneFromZeroToOne) {
+  const auto& d = *GetParam().dist;
+  // Probe the central 98% of the distribution.
+  double previous = -0.001;
+  for (int i = 1; i <= 99; ++i) {
+    const double x = d.icdf(i / 100.0);
+    const double c = d.cdf(x);
+    EXPECT_GE(c, previous - 1e-9) << "at quantile " << i;
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    previous = c;
+  }
+}
+
+TEST_P(DistributionProperty, PdfNonnegativeInsideSupport) {
+  const auto& d = *GetParam().dist;
+  for (int i = 1; i <= 99; ++i) {
+    const double x = d.icdf(i / 100.0);
+    EXPECT_GE(d.pdf(x), 0.0) << "at quantile " << i;
+  }
+}
+
+TEST_P(DistributionProperty, IcdfInvertsCdf) {
+  const auto& d = *GetParam().dist;
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = d.icdf(p);
+    EXPECT_NEAR(d.cdf(x), p, 1e-6) << "p=" << p;
+  }
+}
+
+TEST_P(DistributionProperty, LogPdfMatchesPdf) {
+  const auto& d = *GetParam().dist;
+  for (double p : {0.1, 0.5, 0.9}) {
+    const double x = d.icdf(p);
+    const double pdf = d.pdf(x);
+    if (pdf > 0.0) {
+      EXPECT_NEAR(d.log_pdf(x), std::log(pdf), 1e-8) << "p=" << p;
+    }
+  }
+}
+
+TEST_P(DistributionProperty, SamplesStayInsideSupport) {
+  const auto& d = *GetParam().dist;
+  util::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_TRUE(std::isfinite(x));
+    EXPECT_GE(x, d.support_lo() - 1e-9);
+    EXPECT_LE(x, d.support_hi() + 1e-9);
+  }
+}
+
+TEST_P(DistributionProperty, SampleQuantilesMatchTheoreticalCdf) {
+  const auto& d = *GetParam().dist;
+  util::Rng rng(123);
+  const int n = 8000;
+  const double median = d.icdf(0.5);
+  const double q90 = d.icdf(0.9);
+  int below_median = 0;
+  int below_q90 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    if (x <= median) ++below_median;
+    if (x <= q90) ++below_q90;
+  }
+  EXPECT_NEAR(static_cast<double>(below_median) / n, 0.5, 0.03);
+  EXPECT_NEAR(static_cast<double>(below_q90) / n, 0.9, 0.03);
+}
+
+TEST_P(DistributionProperty, CloneIsEquivalent) {
+  const auto& d = *GetParam().dist;
+  const DistributionPtr copy = d.clone();
+  EXPECT_EQ(copy->family(), d.family());
+  EXPECT_EQ(copy->n_params(), d.n_params());
+  for (double p : {0.2, 0.5, 0.8}) {
+    EXPECT_DOUBLE_EQ(copy->icdf(p), d.icdf(p));
+  }
+}
+
+TEST_P(DistributionProperty, DescribeNamesEveryParameter) {
+  const auto& d = *GetParam().dist;
+  const std::string text = d.describe();
+  EXPECT_NE(text.find(d.family()), std::string::npos);
+  for (const auto& p : d.params()) {
+    EXPECT_NE(text.find(p.name), std::string::npos) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DistributionProperty,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<FamilyCase>& info) {
+                           std::string name = info.param.label;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(DistributionValidation, ConstructorsRejectBadParameters) {
+  EXPECT_THROW(Normal(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(LogNormal(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(Uniform(2.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Weibull(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Gamma(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Gev(0.1, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Burr(1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BirnbaumSaunders(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Nakagami(0.3, 1.0), std::invalid_argument);
+}
+
+TEST(GevSupport, BoundedAboveForNegativeShape) {
+  const Gev d(-0.5, 2.0, 10.0);
+  EXPECT_DOUBLE_EQ(d.support_hi(), 10.0 + 2.0 / 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(d.support_hi() + 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.pdf(d.support_hi() + 1.0), 0.0);
+}
+
+TEST(GevSupport, BoundedBelowForPositiveShape) {
+  const Gev d(0.5, 2.0, 10.0);
+  EXPECT_DOUBLE_EQ(d.support_lo(), 10.0 - 2.0 / 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(d.support_lo() - 1.0), 0.0);
+}
+
+TEST(BurrShape, PaperParametersHaveShortMedian) {
+  // Burr(207, 11, 0.02): median = 207 * (2^{50} - 1)^{1/11} ~ 4.8e3 s,
+  // the "considerably shorter" U3 durations.
+  const Burr d(207.0, 11.0, 0.02);
+  EXPECT_NEAR(d.icdf(0.5), 207.0 * std::pow(std::pow(2.0, 50.0) - 1.0, 1.0 / 11.0), 1.0);
+}
+
+TEST(MixtureModel, WeightsNormalizedAndCdfBlends) {
+  std::vector<Mixture::Component> components;
+  components.push_back({std::make_unique<Uniform>(0.0, 1.0), 2.0});
+  components.push_back({std::make_unique<Uniform>(10.0, 11.0), 6.0});
+  const Mixture m(std::move(components));
+  EXPECT_DOUBLE_EQ(m.weight(0), 0.25);
+  EXPECT_DOUBLE_EQ(m.weight(1), 0.75);
+  EXPECT_NEAR(m.cdf(5.0), 0.25, 1e-12);
+  EXPECT_NEAR(m.cdf(20.0), 1.0, 1e-12);
+}
+
+TEST(MixtureModel, RejectsDegenerateInput) {
+  EXPECT_THROW(Mixture(std::vector<Mixture::Component>{}), std::invalid_argument);
+  std::vector<Mixture::Component> zero_weight;
+  zero_weight.push_back({std::make_unique<Normal>(0.0, 1.0), 0.0});
+  EXPECT_THROW(Mixture(std::move(zero_weight)), std::invalid_argument);
+}
+
+TEST(MixtureModel, SamplesFromBothComponents) {
+  std::vector<Mixture::Component> components;
+  components.push_back({std::make_unique<Uniform>(0.0, 1.0), 0.5});
+  components.push_back({std::make_unique<Uniform>(10.0, 11.0), 0.5});
+  const Mixture m(std::move(components));
+  util::Rng rng(5);
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = m.sample(rng);
+    if (x < 5.0) ++low;
+    else ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / 2000.0, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(high) / 2000.0, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace aequus::stats

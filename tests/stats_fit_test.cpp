@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/families.hpp"
+#include "stats/fit.hpp"
+#include "stats/ks.hpp"
+
+namespace aequus::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> data;
+  data.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) data.push_back(d.sample(rng));
+  return data;
+}
+
+double param(const FitResult& fit, const std::string& name) {
+  for (const auto& p : fit.distribution->params()) {
+    if (p.name == name) return p.value;
+  }
+  ADD_FAILURE() << "missing param " << name;
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+TEST(FitMle, EighteenFamiliesRegistered) {
+  EXPECT_EQ(all_families().size(), 18u);
+}
+
+TEST(FitMle, NormalClosedForm) {
+  const auto data = draw(Normal(5.0, 2.0), 4000, 1);
+  const FitResult fit = fit_mle(Family::kNormal, data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(param(fit, "mu"), 5.0, 0.1);
+  EXPECT_NEAR(param(fit, "sigma"), 2.0, 0.1);
+}
+
+TEST(FitMle, LogNormalClosedForm) {
+  const auto data = draw(LogNormal(1.5, 0.6), 4000, 2);
+  const FitResult fit = fit_mle(Family::kLogNormal, data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(param(fit, "mu"), 1.5, 0.05);
+  EXPECT_NEAR(param(fit, "sigma"), 0.6, 0.05);
+}
+
+TEST(FitMle, ExponentialClosedForm) {
+  const auto data = draw(Exponential(3.0), 4000, 3);
+  const FitResult fit = fit_mle(Family::kExponential, data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(param(fit, "mu"), 3.0, 0.15);
+}
+
+TEST(FitMle, WeibullRecoversPaperDurationShape) {
+  // The U30 duration model: Weibull(5.49e4, 0.637).
+  const auto data = draw(Weibull(5.49e4, 0.637), 4000, 4);
+  const FitResult fit = fit_mle(Family::kWeibull, data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(param(fit, "k"), 0.637, 0.05);
+  EXPECT_NEAR(param(fit, "lambda") / 5.49e4, 1.0, 0.1);
+}
+
+TEST(FitMle, GevRecoversNegativeShape) {
+  const auto data = draw(Gev(-0.386, 19.5, 100.0), 4000, 5);
+  const FitResult fit = fit_mle(Family::kGev, data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(param(fit, "k"), -0.386, 0.08);
+  EXPECT_NEAR(param(fit, "sigma"), 19.5, 2.0);
+  EXPECT_NEAR(param(fit, "mu"), 100.0, 2.0);
+}
+
+TEST(FitMle, GevRecoversPositiveShape) {
+  const auto data = draw(Gev(0.195, 29.1, 50.0), 4000, 6);
+  const FitResult fit = fit_mle(Family::kGev, data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(param(fit, "k"), 0.195, 0.08);
+}
+
+TEST(FitMle, BirnbaumSaundersRecoversParameters) {
+  const auto data = draw(BirnbaumSaunders(1.76e4, 3.53), 4000, 7);
+  const FitResult fit = fit_mle(Family::kBirnbaumSaunders, data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(param(fit, "beta") / 1.76e4, 1.0, 0.15);
+  EXPECT_NEAR(param(fit, "gamma"), 3.53, 0.3);
+}
+
+TEST(FitMle, BurrFitsBurrData) {
+  const auto data = draw(Burr(2.0, 3.0, 1.5), 3000, 8);
+  const FitResult fit = fit_mle(Family::kBurr, data);
+  ASSERT_TRUE(fit.ok());
+  const KsResult ks = ks_test(data, *fit.distribution);
+  EXPECT_LT(ks.statistic, 0.03);
+}
+
+TEST(FitMle, ParetoClosedForm) {
+  const auto data = draw(Pareto(2.0, 3.0), 4000, 9);
+  const FitResult fit = fit_mle(Family::kPareto, data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(param(fit, "xm"), 2.0, 0.02);
+  EXPECT_NEAR(param(fit, "alpha"), 3.0, 0.2);
+}
+
+TEST(FitMle, RayleighClosedForm) {
+  const auto data = draw(Rayleigh(4.0), 4000, 10);
+  const FitResult fit = fit_mle(Family::kRayleigh, data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(param(fit, "sigma"), 4.0, 0.1);
+}
+
+TEST(FitMle, UniformBoundsData) {
+  const auto data = draw(Uniform(-1.0, 3.0), 2000, 11);
+  const FitResult fit = fit_mle(Family::kUniform, data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(param(fit, "a"), -1.0, 0.05);
+  EXPECT_NEAR(param(fit, "b"), 3.0, 0.05);
+}
+
+TEST(FitMle, PositiveFamiliesRejectNonPositiveData) {
+  const std::vector<double> with_zero = {0.0, 1.0, 2.0, 3.0};
+  EXPECT_FALSE(fit_mle(Family::kLogNormal, with_zero).ok());
+  EXPECT_FALSE(fit_mle(Family::kWeibull, with_zero).ok());
+  EXPECT_FALSE(fit_mle(Family::kBurr, with_zero).ok());
+  EXPECT_FALSE(fit_mle(Family::kPareto, with_zero).ok());
+  // GEV handles any real data, including zeros.
+  const auto gev = fit_mle(Family::kGev, {0.0, 1.0, 2.0, 3.0, 1.5, 2.5, 0.5, 1.2});
+  EXPECT_TRUE(gev.ok());
+}
+
+TEST(FitMle, TinySamplesRejected) {
+  EXPECT_FALSE(fit_mle(Family::kNormal, {}).ok());
+  EXPECT_FALSE(fit_mle(Family::kNormal, {1.0}).ok());
+}
+
+TEST(InformationCriteria, Formulas) {
+  EXPECT_DOUBLE_EQ(bic_score(-100.0, 3, 1000), 3.0 * std::log(1000.0) + 200.0);
+  EXPECT_DOUBLE_EQ(aic_score(-100.0, 3), 206.0);
+}
+
+TEST(FitBest, SelectsGevForGevData) {
+  const auto data = draw(Gev(-0.35, 20.0, 100.0), 3000, 12);
+  const ModelSelection selection = fit_best(data);
+  ASSERT_TRUE(selection.best.ok());
+  EXPECT_EQ(to_string(selection.best.family), "GEV");
+  EXPECT_GE(selection.candidates.size(), 5u);
+  // Candidates must be sorted by BIC.
+  for (std::size_t i = 1; i < selection.candidates.size(); ++i) {
+    EXPECT_LE(selection.candidates[i - 1].bic, selection.candidates[i].bic);
+  }
+}
+
+TEST(FitBest, SelectsHeavyTailFamilyForWeibullData) {
+  const auto data = draw(Weibull(100.0, 0.637), 3000, 13);
+  const ModelSelection selection = fit_best(data);
+  ASSERT_TRUE(selection.best.ok());
+  // Weibull should win or at least be within a whisker of the winner.
+  double weibull_bic = 1e300;
+  for (const auto& c : selection.candidates) {
+    if (c.family == Family::kWeibull) weibull_bic = c.bic;
+  }
+  EXPECT_LT(weibull_bic - selection.best.bic, 20.0);
+}
+
+TEST(FitBest, KsOfWinnerIsSmall) {
+  const auto data = draw(BirnbaumSaunders(1000.0, 2.0), 2000, 14);
+  const ModelSelection selection = fit_best(data);
+  ASSERT_TRUE(selection.best.ok());
+  const KsResult ks = ks_test(data, *selection.best.distribution);
+  EXPECT_LT(ks.statistic, 0.05);
+}
+
+TEST(KsTest, DetectsWrongModel) {
+  const auto data = draw(Exponential(1.0), 2000, 15);
+  const Normal wrong(0.0, 1.0);
+  const KsResult ks = ks_test(data, wrong);
+  EXPECT_GT(ks.statistic, 0.2);
+  EXPECT_LT(ks.p_value, 0.001);
+}
+
+TEST(KsTest, CorrectModelHasHighPValue) {
+  const Exponential model(1.0);
+  const auto data = draw(model, 500, 16);
+  const KsResult ks = ks_test(data, model);
+  EXPECT_LT(ks.statistic, 0.08);
+  EXPECT_GT(ks.p_value, 0.01);
+}
+
+TEST(AndersonDarling, SmallForCorrectModel) {
+  const Weibull model(100.0, 1.5);
+  const auto data = draw(model, 2000, 21);
+  EXPECT_LT(anderson_darling(data, model), 2.5);
+}
+
+TEST(AndersonDarling, LargeForWrongModel) {
+  const auto data = draw(Exponential(1.0), 2000, 22);
+  const Normal wrong(0.0, 1.0);
+  EXPECT_GT(anderson_darling(data, wrong), 100.0);
+}
+
+TEST(AndersonDarling, OrdersModelsLikeFitQuality) {
+  const BirnbaumSaunders truth(1000.0, 2.0);
+  const auto data = draw(truth, 2000, 23);
+  const FitResult right = fit_mle(Family::kBirnbaumSaunders, data);
+  const FitResult rough = fit_mle(Family::kExponential, data);
+  ASSERT_TRUE(right.ok());
+  ASSERT_TRUE(rough.ok());
+  EXPECT_LT(anderson_darling(data, *right.distribution),
+            anderson_darling(data, *rough.distribution));
+}
+
+TEST(AndersonDarling, EmptyDataIsZero) {
+  EXPECT_DOUBLE_EQ(anderson_darling({}, Normal(0.0, 1.0)), 0.0);
+}
+
+TEST(FitMle, GevShapeConstrainedAboveMinusOne) {
+  // Data with a heavy point mass at an upper bound used to drive the GEV
+  // MLE into the degenerate k <= -1 region; the fit must stay regular.
+  std::vector<double> data;
+  util::Rng rng(24);
+  for (int i = 0; i < 500; ++i) data.push_back(rng.uniform(0.0, 100.0));
+  for (int i = 0; i < 500; ++i) data.push_back(100.0);  // clamp spike
+  const FitResult fit = fit_mle(Family::kGev, data);
+  if (fit.ok()) {
+    EXPECT_GT(param(fit, "k"), -1.0);
+  }
+}
+
+TEST(KsTwoSample, IdenticalSamplesGiveZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ks_two_sample(a, a), 0.0);
+}
+
+TEST(KsTwoSample, DisjointSamplesGiveOne) {
+  EXPECT_DOUBLE_EQ(ks_two_sample({1.0, 2.0}, {10.0, 11.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace aequus::stats

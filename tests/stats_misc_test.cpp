@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/autocorr.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/families.hpp"
+#include "stats/optimize.hpp"
+#include "stats/sampling.hpp"
+
+namespace aequus::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceStddev) {
+  const std::vector<double> data = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(data), 5.0);
+  EXPECT_NEAR(variance(data), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(data), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(coefficient_of_variation(data), std::sqrt(32.0 / 7.0) / 5.0, 1e-12);
+}
+
+TEST(Descriptive, EmptyAndDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({0.0, 0.0}), 0.0);
+}
+
+TEST(Descriptive, MedianEvenAndOdd) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> data = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(data, 1.0), 10.0);
+}
+
+TEST(Descriptive, SkewnessSign) {
+  EXPECT_GT(skewness({1.0, 1.0, 1.0, 1.0, 10.0}), 0.0);
+  EXPECT_LT(skewness({-10.0, 1.0, 1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(HistogramModel, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(9.9);
+  h.add(-5.0);   // clamps into first bin
+  h.add(100.0);  // clamps into last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+}
+
+TEST(HistogramModel, DensityIntegratesToOne) {
+  Histogram h(0.0, 4.0, 4);
+  for (double x : {0.5, 1.5, 2.5, 3.5, 1.0, 2.0}) h.add(x);
+  const auto density = h.density();
+  double integral = 0.0;
+  for (double d : density) integral += d * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(HistogramModel, WeightedAdds) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.5, 2.5);
+  EXPECT_DOUBLE_EQ(h.total(), 2.5);
+}
+
+TEST(HistogramModel, RenderSmoke) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 50; ++i) h.add(i % 10);
+  EXPECT_NE(h.render("demo").find("demo"), std::string::npos);
+}
+
+TEST(EmpiricalCdfModel, StepsAtOrderStatistics) {
+  EmpiricalCdf ecdf({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(ecdf(0.5), 0.0);
+  EXPECT_NEAR(ecdf(1.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ecdf(2.5), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ecdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.order_statistic(0), 1.0);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> series = {1.0, 2.0, 3.0, 4.0};
+  const auto acf = autocorrelation(series, 2);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> series;
+  for (int i = 0; i < 200; ++i) series.push_back(std::sin(2.0 * M_PI * i / 20.0));
+  const auto acf = autocorrelation(series, 50);
+  EXPECT_GT(acf[20], 0.8);
+  EXPECT_LT(acf[10], 0.0);
+}
+
+TEST(Autocorrelation, DetectPeriodicityFindsDominantLag) {
+  std::vector<double> series;
+  for (int i = 0; i < 300; ++i) series.push_back(std::sin(2.0 * M_PI * i / 25.0));
+  const PeriodicityResult r = detect_periodicity(series, 100);
+  EXPECT_TRUE(r.found);
+  EXPECT_NEAR(static_cast<double>(r.lag), 25.0, 1.0);
+  EXPECT_GT(r.strength, 0.8);
+}
+
+TEST(Autocorrelation, WhiteNoiseHasNoPeriodicity) {
+  util::Rng rng(77);
+  std::vector<double> series;
+  for (int i = 0; i < 500; ++i) series.push_back(rng.normal());
+  const PeriodicityResult r = detect_periodicity(series, 100, 2, 0.3);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZeroPastLagZero) {
+  const std::vector<double> series(50, 3.0);
+  const auto acf = autocorrelation(series, 10);
+  for (std::size_t lag = 1; lag < acf.size(); ++lag) EXPECT_DOUBLE_EQ(acf[lag], 0.0);
+}
+
+TEST(BoundedSamplerModel, SamplesStayInWindow) {
+  const Normal d(0.0, 1.0);
+  const BoundedSampler sampler(d, -1.0, 2.0);
+  util::Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = sampler.sample(rng);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 2.0);
+  }
+}
+
+TEST(BoundedSamplerModel, EffectiveRangeMatchesCdf) {
+  // The paper quotes the U65 effective range [7.451e-3, 9.946e-1]; the
+  // invariant is effective bounds == cdf at the window edges.
+  const Normal d(0.0, 1.0);
+  const BoundedSampler sampler(d, -1.0, 2.0);
+  EXPECT_DOUBLE_EQ(sampler.effective_lo(), d.cdf(-1.0));
+  EXPECT_DOUBLE_EQ(sampler.effective_hi(), d.cdf(2.0));
+}
+
+TEST(BoundedSamplerModel, EndpointsMapToWindowEdges) {
+  const Exponential d(10.0);
+  const BoundedSampler sampler(d, 1.0, 5.0);
+  EXPECT_NEAR(sampler.at(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(sampler.at(1.0), 5.0, 1e-9);
+}
+
+TEST(BoundedSamplerModel, RejectsEmptyWindows) {
+  const Uniform d(0.0, 1.0);
+  EXPECT_THROW(BoundedSampler(d, 0.8, 0.2), std::invalid_argument);
+  EXPECT_THROW(BoundedSampler(d, 5.0, 6.0), std::invalid_argument);  // no mass
+}
+
+TEST(NelderMead, MinimizesQuadraticBowl) {
+  const auto objective = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const OptimizeResult r = nelder_mead(objective, {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(r.value, 0.0, 1e-7);
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  const auto objective = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions options;
+  options.max_iterations = 5000;
+  const OptimizeResult r = nelder_mead(objective, {-1.0, 1.0}, options);
+  EXPECT_NEAR(r.x[0], 1.0, 0.01);
+  EXPECT_NEAR(r.x[1], 1.0, 0.02);
+}
+
+TEST(NelderMead, HandlesInfeasibleRegions) {
+  const auto objective = [](const std::vector<double>& x) {
+    if (x[0] <= 0.0) return std::numeric_limits<double>::infinity();
+    return (std::log(x[0]) - 1.0) * (std::log(x[0]) - 1.0);
+  };
+  const OptimizeResult r = nelder_mead(objective, {0.5});
+  EXPECT_NEAR(r.x[0], std::exp(1.0), 0.01);
+}
+
+TEST(NelderMead, ZeroDimensionalInput) {
+  const OptimizeResult r = nelder_mead([](const std::vector<double>&) { return 7.0; }, {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.value, 7.0);
+}
+
+}  // namespace
+}  // namespace aequus::stats

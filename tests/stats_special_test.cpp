@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/special.hpp"
+
+namespace aequus::stats {
+namespace {
+
+TEST(RegularizedGamma, KnownValues) {
+  // P(1, x) = 1 - e^{-x}
+  EXPECT_NEAR(regularized_gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(regularized_gamma_p(1.0, 2.5), 1.0 - std::exp(-2.5), 1e-12);
+  // P(0.5, x) = erf(sqrt(x))
+  EXPECT_NEAR(regularized_gamma_p(0.5, 0.49), std::erf(0.7), 1e-10);
+  EXPECT_NEAR(regularized_gamma_p(0.5, 4.0), std::erf(2.0), 1e-10);
+}
+
+TEST(RegularizedGamma, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(2.0, 0.0), 1.0);
+  EXPECT_NEAR(regularized_gamma_p(3.0, 1e6), 1.0, 1e-12);
+  EXPECT_TRUE(std::isnan(regularized_gamma_p(-1.0, 1.0)));
+  EXPECT_TRUE(std::isnan(regularized_gamma_p(1.0, -1.0)));
+}
+
+TEST(RegularizedGamma, PPlusQIsOne) {
+  for (double a : {0.3, 1.0, 2.7, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 30.0, 80.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGamma, MonotoneInX) {
+  double previous = -1.0;
+  for (double x = 0.0; x <= 20.0; x += 0.5) {
+    const double p = regularized_gamma_p(4.0, x);
+    EXPECT_GE(p, previous);
+    previous = p;
+  }
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-10);
+}
+
+TEST(NormalPdf, PeakAndSymmetry) {
+  EXPECT_NEAR(normal_pdf(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-15);
+  EXPECT_DOUBLE_EQ(normal_pdf(1.3), normal_pdf(-1.3));
+}
+
+TEST(NormalIcdf, InvertsCdf) {
+  for (double p : {1e-10, 1e-5, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-6}) {
+    const double z = normal_icdf(p);
+    EXPECT_NEAR(normal_cdf(z), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalIcdf, BoundariesGiveInfinity) {
+  EXPECT_TRUE(std::isinf(normal_icdf(0.0)));
+  EXPECT_TRUE(std::isinf(normal_icdf(1.0)));
+  EXPECT_LT(normal_icdf(0.0), 0.0);
+  EXPECT_GT(normal_icdf(1.0), 0.0);
+}
+
+TEST(NormalIcdf, KnownQuantiles) {
+  EXPECT_NEAR(normal_icdf(0.5), 0.0, 1e-14);
+  EXPECT_NEAR(normal_icdf(0.975), 1.959963984540054, 1e-10);
+}
+
+TEST(KolmogorovQ, KnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  // Q(1.3581) ~= 0.05 (the classic 5% critical value)
+  EXPECT_NEAR(kolmogorov_q(1.3581), 0.05, 1e-3);
+  EXPECT_NEAR(kolmogorov_q(1.2238), 0.10, 1e-3);
+  EXPECT_LT(kolmogorov_q(3.0), 1e-6);
+}
+
+TEST(KolmogorovQ, MonotoneDecreasing) {
+  double previous = 1.1;
+  for (double x = 0.3; x < 3.0; x += 0.1) {
+    const double q = kolmogorov_q(x);
+    EXPECT_LE(q, previous);
+    previous = q;
+  }
+}
+
+}  // namespace
+}  // namespace aequus::stats

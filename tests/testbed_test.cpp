@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "testbed/experiment.hpp"
+
+namespace aequus::testbed {
+namespace {
+
+workload::Scenario small_scenario(std::uint64_t seed = 1, std::size_t jobs = 600) {
+  // A scaled-down baseline (fewer jobs, two clusters) that keeps tests fast
+  // while exercising the full stack.
+  workload::Scenario s = workload::baseline_scenario(seed, jobs);
+  s.cluster_count = 2;
+  s.hosts_per_cluster = 8;
+  // Rescale load to the smaller capacity.
+  const double target = s.target_load * s.capacity_core_seconds();
+  const double current = s.trace.total_usage();
+  for (auto& r : s.trace.records()) r.duration *= target / current;
+  return s;
+}
+
+TEST(AccountMapping, RoundTrips) {
+  EXPECT_EQ(system_account_for("U65"), "acct_u65");
+  EXPECT_EQ(grid_user_for("acct_u65"), "U65");
+  EXPECT_EQ(grid_user_for("acct_uoth"), "Uoth");
+  EXPECT_FALSE(grid_user_for("random").has_value());
+  EXPECT_FALSE(grid_user_for("acct_").has_value());
+}
+
+TEST(Metrics, ConvergenceTimeFindsStablePoint) {
+  util::SeriesSet set;
+  auto& s = set.series("u");
+  s.add(0.0, 0.9);
+  s.add(10.0, 0.6);
+  s.add(20.0, 0.52);
+  s.add(30.0, 0.49);
+  s.add(40.0, 0.51);
+  EXPECT_DOUBLE_EQ(convergence_time(set, {{"u", 0.5}}, 0.05), 20.0);
+  EXPECT_DOUBLE_EQ(convergence_time(set, {{"u", 0.5}}, 0.5), 0.0);
+  // Never converges within a hair-thin band.
+  EXPECT_DOUBLE_EQ(convergence_time(set, {{"u", 0.5}}, 0.001), -1.0);
+  // Missing series.
+  EXPECT_DOUBLE_EQ(convergence_time(set, {{"v", 0.5}}, 0.5), -1.0);
+}
+
+TEST(Metrics, SubmissionRates) {
+  std::vector<double> submits;
+  for (int i = 0; i < 120; ++i) submits.push_back(i);            // 60/min for 2 min
+  for (int i = 0; i < 100; ++i) submits.push_back(30.0 + i * 0.1);  // burst in minute 0
+  const SubmissionRates rates = submission_rates(submits);
+  EXPECT_GT(rates.peak_per_minute, rates.sustained_per_minute);
+  EXPECT_DOUBLE_EQ(submission_rates({}).peak_per_minute, 0.0);
+}
+
+TEST(ExperimentRun, CompletesAllJobsAndTracksSeries) {
+  const auto scenario = small_scenario();
+  ExperimentConfig config;
+  config.sample_interval = 120.0;
+  Experiment experiment(scenario, config);
+  const ExperimentResult result = experiment.run();
+
+  EXPECT_EQ(result.jobs_completed, scenario.trace.size());
+  EXPECT_EQ(result.jobs_submitted, scenario.trace.size());
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GT(result.mean_utilization, 0.3);
+
+  // All four users have priority and usage-share series.
+  for (const auto& user : {"U65", "U30", "U3", "Uoth"}) {
+    EXPECT_TRUE(result.priorities.contains(user)) << user;
+    EXPECT_TRUE(result.usage_shares.contains(user)) << user;
+  }
+  // Final usage shares sum to 1.
+  double total = 0.0;
+  for (const auto& [user, share] : result.final_usage_share) {
+    (void)user;
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ExperimentRun, UsageSharesApproachScenarioShares) {
+  const auto scenario = small_scenario(2, 800);
+  ExperimentConfig config;
+  Experiment experiment(scenario, config);
+  const ExperimentResult result = experiment.run();
+  EXPECT_NEAR(result.final_usage_share.at("U65"), scenario.usage_shares.at("U65"), 0.1);
+  EXPECT_NEAR(result.final_usage_share.at("U30"), scenario.usage_shares.at("U30"), 0.1);
+}
+
+TEST(ExperimentRun, RoundRobinAndStochasticBothComplete) {
+  const auto scenario = small_scenario(3, 300);
+  for (const auto policy : {DispatchPolicy::kRoundRobin, DispatchPolicy::kStochastic}) {
+    ExperimentConfig config;
+    config.dispatch = policy;
+    Experiment experiment(scenario, config);
+    const ExperimentResult result = experiment.run();
+    EXPECT_EQ(result.jobs_completed, scenario.trace.size());
+  }
+}
+
+TEST(ExperimentRun, PerSiteSeriesWhenEnabled) {
+  const auto scenario = small_scenario(4, 200);
+  ExperimentConfig config;
+  config.record_per_site = true;
+  Experiment experiment(scenario, config);
+  const ExperimentResult result = experiment.run();
+  EXPECT_TRUE(result.per_site.contains("site0/U65"));
+  EXPECT_TRUE(result.per_site.contains("site1/U30"));
+}
+
+TEST(ExperimentRun, MauiSiteInteroperatesWithSlurmSites) {
+  const auto scenario = small_scenario(5, 300);
+  ExperimentConfig config;
+  SiteSpec maui_site;
+  maui_site.rm = RmKind::kMaui;
+  config.site_overrides[1] = maui_site;
+  Experiment experiment(scenario, config);
+  const ExperimentResult result = experiment.run();
+  EXPECT_EQ(result.jobs_completed, scenario.trace.size());
+}
+
+TEST(ExperimentRun, BusCarriesTraffic) {
+  const auto scenario = small_scenario(6, 200);
+  Experiment experiment(scenario, {});
+  const ExperimentResult result = experiment.run();
+  EXPECT_GT(result.bus.requests, 0u);
+  EXPECT_GT(result.bus.payload_bytes, 0u);
+}
+
+TEST(ExperimentRun, NonContributingSiteDropsTraffic) {
+  const auto scenario = small_scenario(7, 200);
+  ExperimentConfig config;
+  SiteSpec silent;
+  silent.participation.contributes = false;
+  config.site_overrides[1] = silent;
+  Experiment experiment(scenario, config);
+  const ExperimentResult result = experiment.run();
+  EXPECT_GT(result.bus.dropped_participation, 0u);
+  EXPECT_EQ(result.jobs_completed, scenario.trace.size());
+}
+
+TEST(ExperimentRun, DeterministicAcrossRuns) {
+  const auto scenario = small_scenario(8, 300);
+  ExperimentConfig config;
+  Experiment a(scenario, config);
+  const ExperimentResult ra = a.run();
+  Experiment b(scenario, config);
+  const ExperimentResult rb = b.run();
+  EXPECT_EQ(ra.jobs_completed, rb.jobs_completed);
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(ra.final_usage_share, rb.final_usage_share);
+}
+
+}  // namespace
+}  // namespace aequus::testbed

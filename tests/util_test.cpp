@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timeseries.hpp"
+
+namespace aequus::util {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexNegativeWeightsTreatedAsZero) {
+  Rng rng(29);
+  const std::vector<double> weights = {-5.0, 1.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weighted_index(weights), 1u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  EXPECT_NE(a(), child());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitNonemptyDropsEmptyFields) {
+  const auto parts = split_nonempty("/a//b/", '/');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello\t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, JoinConcatenatesWithDelimiter) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("site0.uss", "site0"));
+  EXPECT_FALSE(starts_with("si", "site"));
+}
+
+TEST(Strings, FormatProducesPrintfOutput) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Strings, FormatDuration) {
+  EXPECT_EQ(format_duration(3723.5), "1h 02m 03.5s");
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"A", "B"});
+  t.add_row({"1", "22"});
+  t.add_row({"333"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1   | 22 |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 |    |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Series, ValueAtUsesLastSampleBefore) {
+  Series s;
+  s.add(10.0, 1.0);
+  s.add(20.0, 2.0);
+  EXPECT_EQ(s.value_at(5.0, -1.0), -1.0);
+  EXPECT_EQ(s.value_at(10.0), 1.0);
+  EXPECT_EQ(s.value_at(15.0), 1.0);
+  EXPECT_EQ(s.value_at(25.0), 2.0);
+}
+
+TEST(Series, MeanInWindow) {
+  Series s;
+  for (int i = 0; i < 10; ++i) s.add(i, i);
+  EXPECT_DOUBLE_EQ(s.mean_in(2, 4), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_in(100, 200, -7.0), -7.0);
+}
+
+TEST(Series, MaxDeviation) {
+  Series s;
+  s.add(0.0, 0.4);
+  s.add(1.0, 0.7);
+  s.add(2.0, 0.5);
+  EXPECT_NEAR(s.max_deviation_in(0.0, 2.0, 0.5), 0.2, 1e-12);
+}
+
+TEST(SeriesSet, RenderChartAndTableSmoke) {
+  SeriesSet set;
+  set.series("a").add(0.0, 0.1);
+  set.series("a").add(10.0, 0.9);
+  set.series("b").add(5.0, 0.5);
+  const std::string chart = set.render_chart("title", 40, 8);
+  EXPECT_NE(chart.find("title"), std::string::npos);
+  EXPECT_NE(chart.find("a = a"), std::string::npos);
+  const std::string table = set.render_table("tbl", 4);
+  EXPECT_NE(table.find("tbl"), std::string::npos);
+}
+
+TEST(SeriesSet, EmptyRendersPlaceholder) {
+  SeriesSet set;
+  EXPECT_NE(set.render_chart("t").find("no data"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aequus::util

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/generator.hpp"
+#include "workload/national_model.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/trace.hpp"
+
+namespace aequus::workload {
+namespace {
+
+TEST(TraceModel, AggregatesAndTimespan) {
+  Trace trace;
+  trace.add({"a", 10.0, 5.0, 2, false});
+  trace.add({"b", 0.0, 100.0, 1, false});
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.total_usage(), 110.0);
+  const auto [lo, hi] = trace.timespan();
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 100.0);
+}
+
+TEST(TraceModel, UserStatsFractions) {
+  Trace trace;
+  trace.add({"a", 0.0, 30.0, 1, false});
+  trace.add({"a", 1.0, 30.0, 1, false});
+  trace.add({"b", 2.0, 40.0, 1, false});
+  const auto stats = trace.user_stats();
+  EXPECT_EQ(stats.at("a").jobs, 2u);
+  EXPECT_NEAR(stats.at("a").job_fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.at("a").usage_fraction, 0.6, 1e-12);
+  EXPECT_NEAR(stats.at("b").usage_fraction, 0.4, 1e-12);
+}
+
+TEST(TraceModel, InterarrivalTimes) {
+  Trace trace;
+  trace.add({"a", 5.0, 1.0, 1, false});
+  trace.add({"a", 2.0, 1.0, 1, false});
+  trace.add({"a", 9.0, 1.0, 1, false});
+  const auto gaps = trace.interarrival_times("a");
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 3.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 4.0);
+}
+
+TEST(TraceModel, SortIsStableOnSubmitTime) {
+  Trace trace;
+  trace.add({"late", 10.0, 1.0, 1, false});
+  trace.add({"first", 1.0, 1.0, 1, false});
+  trace.sort_by_submit();
+  EXPECT_EQ(trace.records().front().user, "first");
+}
+
+TEST(FilterForModeling, RemovesAdminAndZeroDuration) {
+  Trace trace;
+  trace.add({"a", 0.0, 10.0, 1, false});
+  trace.add({"sysadmin", 1.0, 10.0, 1, true});
+  trace.add({"a", 2.0, 0.0, 1, false});
+  trace.add({"b", 3.0, 20.0, 1, false});
+  const auto [cleaned, report] = filter_for_modeling(trace);
+  EXPECT_EQ(cleaned.size(), 2u);
+  EXPECT_EQ(report.removed_admin, 1u);
+  EXPECT_EQ(report.removed_zero_duration, 1u);
+  EXPECT_NEAR(report.removed_job_fraction, 0.5, 1e-12);
+  EXPECT_NEAR(report.removed_usage_fraction, 10.0 / 40.0, 1e-12);
+}
+
+TEST(NationalModel, PaperUserMix) {
+  const auto model = NationalGridModel::paper_2012();
+  ASSERT_EQ(model.users().size(), 4u);
+  EXPECT_NEAR(model.user(kU65).job_fraction, 0.8103, 1e-9);
+  EXPECT_NEAR(model.user(kU30).usage_fraction, 0.3049, 1e-9);
+  EXPECT_NEAR(model.user(kU3).job_fraction, 0.0947, 1e-9);
+  EXPECT_NEAR(model.user(kUoth).usage_fraction, 0.0140, 1e-9);
+  double job_total = 0.0;
+  for (const auto& u : model.users()) job_total += u.job_fraction;
+  EXPECT_NEAR(job_total, 1.0, 0.01);
+}
+
+TEST(NationalModel, U65HasFourPhasesSummingToOne) {
+  const auto model = NationalGridModel::paper_2012();
+  ASSERT_EQ(model.u65_phases().size(), 4u);
+  double weight = 0.0;
+  for (const auto& phase : model.u65_phases()) weight += phase.weight;
+  EXPECT_NEAR(weight, 1.0, 1e-9);
+  // Phase boundaries tile the window.
+  EXPECT_DOUBLE_EQ(model.u65_phases().front().boundary_lo, 0.0);
+  EXPECT_DOUBLE_EQ(model.u65_phases().back().boundary_hi, model.window_seconds());
+}
+
+TEST(NationalModel, CompositeEquationOne) {
+  const auto model = NationalGridModel::paper_2012();
+  const auto composite = model.u65_composite();
+  EXPECT_EQ(composite.component_count(), 4u);
+  // Mixture pdf = weighted sum of phase pdfs at an arbitrary point.
+  const double x = 0.3 * model.window_seconds();
+  double expected = 0.0;
+  for (const auto& phase : model.u65_phases()) {
+    expected += phase.weight * phase.dist->pdf(x);
+  }
+  EXPECT_NEAR(composite.pdf(x), expected, 1e-15);
+}
+
+TEST(NationalModel, ScalesToArbitraryWindows) {
+  const auto model = NationalGridModel::paper_2012(21600.0);
+  EXPECT_DOUBLE_EQ(model.window_seconds(), 21600.0);
+  EXPECT_THROW(NationalGridModel::paper_2012(0.0), std::invalid_argument);
+  EXPECT_THROW((void)model.user("nobody"), std::out_of_range);
+}
+
+TEST(NationalModel, BurstyVariantMix) {
+  const auto model = NationalGridModel::bursty_2012(21600.0);
+  EXPECT_NEAR(model.user(kU65).job_fraction, 0.455, 1e-9);
+  EXPECT_NEAR(model.user(kU3).job_fraction, 0.455, 1e-9);
+  EXPECT_NEAR(model.user(kU3).usage_fraction, 0.12, 1e-9);
+  EXPECT_NEAR(model.user(kU30).usage_fraction, 0.385, 1e-9);
+  // The U3 burst is located after one third of the window.
+  const auto& u3 = model.user(kU3);
+  EXPECT_GT(u3.arrival->icdf(0.2), model.window_seconds() / 3.0);
+}
+
+TEST(Generator, JobCountsFollowFractions) {
+  const auto model = NationalGridModel::paper_2012(21600.0);
+  GeneratorConfig config;
+  config.total_jobs = 10000;
+  config.seed = 1;
+  const Trace trace = generate_trace(model, config);
+  const auto stats = trace.user_stats();
+  EXPECT_NEAR(stats.at(kU65).job_fraction, 0.8103, 0.01);
+  EXPECT_NEAR(stats.at(kU3).job_fraction, 0.0947, 0.01);
+}
+
+TEST(Generator, ArrivalsInsideWindowAndSorted) {
+  const auto model = NationalGridModel::paper_2012(21600.0);
+  GeneratorConfig config;
+  config.total_jobs = 5000;
+  const Trace trace = generate_trace(model, config);
+  double previous = -1.0;
+  for (const auto& r : trace.records()) {
+    EXPECT_GE(r.submit, 0.0);
+    EXPECT_LE(r.submit, 21600.0);
+    EXPECT_GE(r.submit, previous);
+    previous = r.submit;
+    EXPECT_GT(r.duration, 0.0);
+    EXPECT_EQ(r.cores, 1);
+  }
+}
+
+TEST(Generator, LoadScalingHitsTargetUsageAndShares) {
+  const auto model = NationalGridModel::paper_2012(21600.0);
+  GeneratorConfig config;
+  config.total_jobs = 20000;
+  config.target_total_usage = 4.9248e6;  // 95% of 240 cores x 6 h
+  const Trace trace = generate_trace(model, config);
+  EXPECT_NEAR(trace.total_usage(), 4.9248e6, 1.0);
+  const auto stats = trace.user_stats();
+  EXPECT_NEAR(stats.at(kU65).usage_fraction, 0.6525, 0.01);
+  EXPECT_NEAR(stats.at(kU30).usage_fraction, 0.3049, 0.01);
+  EXPECT_NEAR(stats.at(kU3).usage_fraction, 0.0286, 0.005);
+}
+
+TEST(Generator, InjectsAdminAndZeroDurationJobs) {
+  const auto model = NationalGridModel::paper_2012(21600.0);
+  GeneratorConfig config;
+  config.total_jobs = 2000;
+  config.admin_job_fraction = 0.10;
+  config.zero_duration_fraction = 0.05;
+  const Trace trace = generate_trace(model, config);
+  const auto [cleaned, report] = filter_for_modeling(trace);
+  EXPECT_EQ(report.removed_admin, 200u);
+  EXPECT_EQ(report.removed_zero_duration, 100u);
+  EXPECT_LT(report.removed_usage_fraction, 0.05);
+  EXPECT_NEAR(static_cast<double>(cleaned.size() + 300u), trace.size(), 0.5);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const auto model = NationalGridModel::paper_2012(21600.0);
+  GeneratorConfig config;
+  config.total_jobs = 500;
+  config.seed = 99;
+  const Trace a = generate_trace(model, config);
+  const Trace b = generate_trace(model, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records()[i].submit, b.records()[i].submit);
+    EXPECT_DOUBLE_EQ(a.records()[i].duration, b.records()[i].duration);
+  }
+}
+
+TEST(Generator, ScaleTraceMultipliesTimes) {
+  Trace trace;
+  trace.add({"a", 10.0, 5.0, 1, false});
+  const Trace scaled = scale_trace(trace, 10.0, 10.0);
+  EXPECT_DOUBLE_EQ(scaled.records()[0].submit, 100.0);
+  EXPECT_DOUBLE_EQ(scaled.records()[0].duration, 50.0);
+}
+
+TEST(Scenarios, BaselineMatchesPaperSizing) {
+  const Scenario s = baseline_scenario(1, 4000);
+  EXPECT_EQ(s.cluster_count, 6);
+  EXPECT_EQ(s.hosts_per_cluster, 40);
+  EXPECT_EQ(s.total_hosts(), 240);
+  EXPECT_DOUBLE_EQ(s.duration_seconds, 21600.0);
+  EXPECT_NEAR(s.trace.total_usage(), 0.95 * s.capacity_core_seconds(), 1.0);
+  // Policy == realized usage shares in the baseline.
+  EXPECT_EQ(s.policy_shares, s.usage_shares);
+}
+
+TEST(Scenarios, NonoptimalPolicyUsesSkewedShares) {
+  const Scenario s = nonoptimal_policy_scenario(1, 2000);
+  EXPECT_DOUBLE_EQ(s.policy_shares.at(kU65), 0.70);
+  EXPECT_DOUBLE_EQ(s.policy_shares.at(kU30), 0.20);
+  EXPECT_DOUBLE_EQ(s.policy_shares.at(kU3), 0.08);
+  EXPECT_DOUBLE_EQ(s.policy_shares.at(kUoth), 0.02);
+  // Workload itself is unchanged from the baseline model.
+  EXPECT_NE(s.policy_shares, s.usage_shares);
+}
+
+TEST(Scenarios, BurstyRatesPeakAboveBaseline) {
+  const Scenario baseline = baseline_scenario(1, 4000);
+  const Scenario bursty = bursty_scenario(1, 4000);
+  // Count max jobs per minute in each.
+  const auto peak = [](const Scenario& s) {
+    std::map<long, int> per_minute;
+    for (const auto& r : s.trace.records()) {
+      ++per_minute[static_cast<long>(r.submit / 60.0)];
+    }
+    int best = 0;
+    for (const auto& [minute, count] : per_minute) {
+      (void)minute;
+      best = std::max(best, count);
+    }
+    return best;
+  };
+  EXPECT_GT(peak(bursty), peak(baseline));
+}
+
+TEST(Scenarios, ScaledScenarioStretchesTimeAndDuration) {
+  const Scenario base = baseline_scenario(1, 1000);
+  const Scenario scaled = scaled_scenario(base, 10.0);
+  EXPECT_DOUBLE_EQ(scaled.duration_seconds, 216000.0);
+  EXPECT_EQ(scaled.trace.size(), base.trace.size());
+  EXPECT_NEAR(scaled.trace.total_usage(), 10.0 * base.trace.total_usage(), 1e-6);
+}
+
+}  // namespace
+}  // namespace aequus::workload
