@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_bursty.dir/bench_fig13_bursty.cpp.o"
+  "CMakeFiles/bench_fig13_bursty.dir/bench_fig13_bursty.cpp.o.d"
+  "bench_fig13_bursty"
+  "bench_fig13_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_participation.dir/bench_partial_participation.cpp.o"
+  "CMakeFiles/bench_partial_participation.dir/bench_partial_participation.cpp.o.d"
+  "bench_partial_participation"
+  "bench_partial_participation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_projections.dir/bench_table1_projections.cpp.o"
+  "CMakeFiles/bench_table1_projections.dir/bench_table1_projections.cpp.o.d"
+  "bench_table1_projections"
+  "bench_table1_projections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_projections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_job_duration.dir/bench_table3_job_duration.cpp.o"
+  "CMakeFiles/bench_table3_job_duration.dir/bench_table3_job_duration.cpp.o.d"
+  "bench_table3_job_duration"
+  "bench_table3_job_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_job_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/national_grid.dir/national_grid.cpp.o"
+  "CMakeFiles/national_grid.dir/national_grid.cpp.o.d"
+  "national_grid"
+  "national_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/national_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

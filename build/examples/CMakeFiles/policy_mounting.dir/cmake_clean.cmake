@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_mounting.dir/policy_mounting.cpp.o"
+  "CMakeFiles/policy_mounting.dir/policy_mounting.cpp.o.d"
+  "policy_mounting"
+  "policy_mounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_mounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slurm_vs_maui.dir/slurm_vs_maui.cpp.o"
+  "CMakeFiles/slurm_vs_maui.dir/slurm_vs_maui.cpp.o.d"
+  "slurm_vs_maui"
+  "slurm_vs_maui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slurm_vs_maui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for slurm_vs_maui.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("stats")
+subdirs("workload")
+subdirs("sim")
+subdirs("net")
+subdirs("core")
+subdirs("services")
+subdirs("libaequus")
+subdirs("rms")
+subdirs("slurm")
+subdirs("maui")
+subdirs("testbed")

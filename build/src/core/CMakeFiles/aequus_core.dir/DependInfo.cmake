@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combined.cpp" "src/core/CMakeFiles/aequus_core.dir/combined.cpp.o" "gcc" "src/core/CMakeFiles/aequus_core.dir/combined.cpp.o.d"
+  "/root/repo/src/core/decay.cpp" "src/core/CMakeFiles/aequus_core.dir/decay.cpp.o" "gcc" "src/core/CMakeFiles/aequus_core.dir/decay.cpp.o.d"
+  "/root/repo/src/core/fairshare.cpp" "src/core/CMakeFiles/aequus_core.dir/fairshare.cpp.o" "gcc" "src/core/CMakeFiles/aequus_core.dir/fairshare.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/aequus_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/aequus_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/projection.cpp" "src/core/CMakeFiles/aequus_core.dir/projection.cpp.o" "gcc" "src/core/CMakeFiles/aequus_core.dir/projection.cpp.o.d"
+  "/root/repo/src/core/usage.cpp" "src/core/CMakeFiles/aequus_core.dir/usage.cpp.o" "gcc" "src/core/CMakeFiles/aequus_core.dir/usage.cpp.o.d"
+  "/root/repo/src/core/vector.cpp" "src/core/CMakeFiles/aequus_core.dir/vector.cpp.o" "gcc" "src/core/CMakeFiles/aequus_core.dir/vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/json/CMakeFiles/aequus_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aequus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_core.dir/combined.cpp.o"
+  "CMakeFiles/aequus_core.dir/combined.cpp.o.d"
+  "CMakeFiles/aequus_core.dir/decay.cpp.o"
+  "CMakeFiles/aequus_core.dir/decay.cpp.o.d"
+  "CMakeFiles/aequus_core.dir/fairshare.cpp.o"
+  "CMakeFiles/aequus_core.dir/fairshare.cpp.o.d"
+  "CMakeFiles/aequus_core.dir/policy.cpp.o"
+  "CMakeFiles/aequus_core.dir/policy.cpp.o.d"
+  "CMakeFiles/aequus_core.dir/projection.cpp.o"
+  "CMakeFiles/aequus_core.dir/projection.cpp.o.d"
+  "CMakeFiles/aequus_core.dir/usage.cpp.o"
+  "CMakeFiles/aequus_core.dir/usage.cpp.o.d"
+  "CMakeFiles/aequus_core.dir/vector.cpp.o"
+  "CMakeFiles/aequus_core.dir/vector.cpp.o.d"
+  "libaequus_core.a"
+  "libaequus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

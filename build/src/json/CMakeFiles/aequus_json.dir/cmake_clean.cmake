@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_json.dir/json.cpp.o"
+  "CMakeFiles/aequus_json.dir/json.cpp.o.d"
+  "libaequus_json.a"
+  "libaequus_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libaequus/c_api.cpp" "src/libaequus/CMakeFiles/aequus_libaequus.dir/c_api.cpp.o" "gcc" "src/libaequus/CMakeFiles/aequus_libaequus.dir/c_api.cpp.o.d"
+  "/root/repo/src/libaequus/client.cpp" "src/libaequus/CMakeFiles/aequus_libaequus.dir/client.cpp.o" "gcc" "src/libaequus/CMakeFiles/aequus_libaequus.dir/client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/aequus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aequus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/aequus_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aequus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

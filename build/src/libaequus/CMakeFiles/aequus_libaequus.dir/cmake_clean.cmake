@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_libaequus.dir/c_api.cpp.o"
+  "CMakeFiles/aequus_libaequus.dir/c_api.cpp.o.d"
+  "CMakeFiles/aequus_libaequus.dir/client.cpp.o"
+  "CMakeFiles/aequus_libaequus.dir/client.cpp.o.d"
+  "libaequus_libaequus.a"
+  "libaequus_libaequus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_libaequus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

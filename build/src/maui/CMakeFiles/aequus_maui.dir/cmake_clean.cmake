@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_maui.dir/maui_scheduler.cpp.o"
+  "CMakeFiles/aequus_maui.dir/maui_scheduler.cpp.o.d"
+  "CMakeFiles/aequus_maui.dir/patches.cpp.o"
+  "CMakeFiles/aequus_maui.dir/patches.cpp.o.d"
+  "libaequus_maui.a"
+  "libaequus_maui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_maui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

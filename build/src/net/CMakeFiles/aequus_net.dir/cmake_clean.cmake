@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_net.dir/service_bus.cpp.o"
+  "CMakeFiles/aequus_net.dir/service_bus.cpp.o.d"
+  "libaequus_net.a"
+  "libaequus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

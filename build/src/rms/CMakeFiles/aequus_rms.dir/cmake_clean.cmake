@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_rms.dir/cluster.cpp.o"
+  "CMakeFiles/aequus_rms.dir/cluster.cpp.o.d"
+  "CMakeFiles/aequus_rms.dir/job.cpp.o"
+  "CMakeFiles/aequus_rms.dir/job.cpp.o.d"
+  "CMakeFiles/aequus_rms.dir/scheduler.cpp.o"
+  "CMakeFiles/aequus_rms.dir/scheduler.cpp.o.d"
+  "libaequus_rms.a"
+  "libaequus_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

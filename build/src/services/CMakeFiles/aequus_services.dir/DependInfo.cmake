@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/config.cpp" "src/services/CMakeFiles/aequus_services.dir/config.cpp.o" "gcc" "src/services/CMakeFiles/aequus_services.dir/config.cpp.o.d"
+  "/root/repo/src/services/fcs.cpp" "src/services/CMakeFiles/aequus_services.dir/fcs.cpp.o" "gcc" "src/services/CMakeFiles/aequus_services.dir/fcs.cpp.o.d"
+  "/root/repo/src/services/installation.cpp" "src/services/CMakeFiles/aequus_services.dir/installation.cpp.o" "gcc" "src/services/CMakeFiles/aequus_services.dir/installation.cpp.o.d"
+  "/root/repo/src/services/irs.cpp" "src/services/CMakeFiles/aequus_services.dir/irs.cpp.o" "gcc" "src/services/CMakeFiles/aequus_services.dir/irs.cpp.o.d"
+  "/root/repo/src/services/pds.cpp" "src/services/CMakeFiles/aequus_services.dir/pds.cpp.o" "gcc" "src/services/CMakeFiles/aequus_services.dir/pds.cpp.o.d"
+  "/root/repo/src/services/ums.cpp" "src/services/CMakeFiles/aequus_services.dir/ums.cpp.o" "gcc" "src/services/CMakeFiles/aequus_services.dir/ums.cpp.o.d"
+  "/root/repo/src/services/uss.cpp" "src/services/CMakeFiles/aequus_services.dir/uss.cpp.o" "gcc" "src/services/CMakeFiles/aequus_services.dir/uss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aequus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aequus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aequus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/aequus_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aequus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

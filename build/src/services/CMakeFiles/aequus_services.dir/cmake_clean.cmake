@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_services.dir/config.cpp.o"
+  "CMakeFiles/aequus_services.dir/config.cpp.o.d"
+  "CMakeFiles/aequus_services.dir/fcs.cpp.o"
+  "CMakeFiles/aequus_services.dir/fcs.cpp.o.d"
+  "CMakeFiles/aequus_services.dir/installation.cpp.o"
+  "CMakeFiles/aequus_services.dir/installation.cpp.o.d"
+  "CMakeFiles/aequus_services.dir/irs.cpp.o"
+  "CMakeFiles/aequus_services.dir/irs.cpp.o.d"
+  "CMakeFiles/aequus_services.dir/pds.cpp.o"
+  "CMakeFiles/aequus_services.dir/pds.cpp.o.d"
+  "CMakeFiles/aequus_services.dir/ums.cpp.o"
+  "CMakeFiles/aequus_services.dir/ums.cpp.o.d"
+  "CMakeFiles/aequus_services.dir/uss.cpp.o"
+  "CMakeFiles/aequus_services.dir/uss.cpp.o.d"
+  "libaequus_services.a"
+  "libaequus_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

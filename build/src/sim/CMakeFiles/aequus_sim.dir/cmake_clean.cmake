@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_sim.dir/simulator.cpp.o"
+  "CMakeFiles/aequus_sim.dir/simulator.cpp.o.d"
+  "libaequus_sim.a"
+  "libaequus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slurm/aequus_plugins.cpp" "src/slurm/CMakeFiles/aequus_slurm.dir/aequus_plugins.cpp.o" "gcc" "src/slurm/CMakeFiles/aequus_slurm.dir/aequus_plugins.cpp.o.d"
+  "/root/repo/src/slurm/controller.cpp" "src/slurm/CMakeFiles/aequus_slurm.dir/controller.cpp.o" "gcc" "src/slurm/CMakeFiles/aequus_slurm.dir/controller.cpp.o.d"
+  "/root/repo/src/slurm/local_fairshare.cpp" "src/slurm/CMakeFiles/aequus_slurm.dir/local_fairshare.cpp.o" "gcc" "src/slurm/CMakeFiles/aequus_slurm.dir/local_fairshare.cpp.o.d"
+  "/root/repo/src/slurm/multifactor.cpp" "src/slurm/CMakeFiles/aequus_slurm.dir/multifactor.cpp.o" "gcc" "src/slurm/CMakeFiles/aequus_slurm.dir/multifactor.cpp.o.d"
+  "/root/repo/src/slurm/plugin.cpp" "src/slurm/CMakeFiles/aequus_slurm.dir/plugin.cpp.o" "gcc" "src/slurm/CMakeFiles/aequus_slurm.dir/plugin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rms/CMakeFiles/aequus_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/libaequus/CMakeFiles/aequus_libaequus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aequus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aequus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aequus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/aequus_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_slurm.dir/aequus_plugins.cpp.o"
+  "CMakeFiles/aequus_slurm.dir/aequus_plugins.cpp.o.d"
+  "CMakeFiles/aequus_slurm.dir/controller.cpp.o"
+  "CMakeFiles/aequus_slurm.dir/controller.cpp.o.d"
+  "CMakeFiles/aequus_slurm.dir/local_fairshare.cpp.o"
+  "CMakeFiles/aequus_slurm.dir/local_fairshare.cpp.o.d"
+  "CMakeFiles/aequus_slurm.dir/multifactor.cpp.o"
+  "CMakeFiles/aequus_slurm.dir/multifactor.cpp.o.d"
+  "CMakeFiles/aequus_slurm.dir/plugin.cpp.o"
+  "CMakeFiles/aequus_slurm.dir/plugin.cpp.o.d"
+  "libaequus_slurm.a"
+  "libaequus_slurm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_slurm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorr.cpp" "src/stats/CMakeFiles/aequus_stats.dir/autocorr.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/autocorr.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/aequus_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distribution.cpp" "src/stats/CMakeFiles/aequus_stats.dir/distribution.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/distribution.cpp.o.d"
+  "/root/repo/src/stats/families_basic.cpp" "src/stats/CMakeFiles/aequus_stats.dir/families_basic.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/families_basic.cpp.o.d"
+  "/root/repo/src/stats/families_extreme.cpp" "src/stats/CMakeFiles/aequus_stats.dir/families_extreme.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/families_extreme.cpp.o.d"
+  "/root/repo/src/stats/families_positive.cpp" "src/stats/CMakeFiles/aequus_stats.dir/families_positive.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/families_positive.cpp.o.d"
+  "/root/repo/src/stats/fit.cpp" "src/stats/CMakeFiles/aequus_stats.dir/fit.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/fit.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/stats/CMakeFiles/aequus_stats.dir/ks.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/ks.cpp.o.d"
+  "/root/repo/src/stats/mixture.cpp" "src/stats/CMakeFiles/aequus_stats.dir/mixture.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/mixture.cpp.o.d"
+  "/root/repo/src/stats/optimize.cpp" "src/stats/CMakeFiles/aequus_stats.dir/optimize.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/optimize.cpp.o.d"
+  "/root/repo/src/stats/sampling.cpp" "src/stats/CMakeFiles/aequus_stats.dir/sampling.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/sampling.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/aequus_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/aequus_stats.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aequus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_stats.dir/autocorr.cpp.o"
+  "CMakeFiles/aequus_stats.dir/autocorr.cpp.o.d"
+  "CMakeFiles/aequus_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/aequus_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/aequus_stats.dir/distribution.cpp.o"
+  "CMakeFiles/aequus_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/aequus_stats.dir/families_basic.cpp.o"
+  "CMakeFiles/aequus_stats.dir/families_basic.cpp.o.d"
+  "CMakeFiles/aequus_stats.dir/families_extreme.cpp.o"
+  "CMakeFiles/aequus_stats.dir/families_extreme.cpp.o.d"
+  "CMakeFiles/aequus_stats.dir/families_positive.cpp.o"
+  "CMakeFiles/aequus_stats.dir/families_positive.cpp.o.d"
+  "CMakeFiles/aequus_stats.dir/fit.cpp.o"
+  "CMakeFiles/aequus_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/aequus_stats.dir/ks.cpp.o"
+  "CMakeFiles/aequus_stats.dir/ks.cpp.o.d"
+  "CMakeFiles/aequus_stats.dir/mixture.cpp.o"
+  "CMakeFiles/aequus_stats.dir/mixture.cpp.o.d"
+  "CMakeFiles/aequus_stats.dir/optimize.cpp.o"
+  "CMakeFiles/aequus_stats.dir/optimize.cpp.o.d"
+  "CMakeFiles/aequus_stats.dir/sampling.cpp.o"
+  "CMakeFiles/aequus_stats.dir/sampling.cpp.o.d"
+  "CMakeFiles/aequus_stats.dir/special.cpp.o"
+  "CMakeFiles/aequus_stats.dir/special.cpp.o.d"
+  "libaequus_stats.a"
+  "libaequus_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_testbed.dir/config.cpp.o"
+  "CMakeFiles/aequus_testbed.dir/config.cpp.o.d"
+  "CMakeFiles/aequus_testbed.dir/experiment.cpp.o"
+  "CMakeFiles/aequus_testbed.dir/experiment.cpp.o.d"
+  "CMakeFiles/aequus_testbed.dir/metrics.cpp.o"
+  "CMakeFiles/aequus_testbed.dir/metrics.cpp.o.d"
+  "CMakeFiles/aequus_testbed.dir/site.cpp.o"
+  "CMakeFiles/aequus_testbed.dir/site.cpp.o.d"
+  "libaequus_testbed.a"
+  "libaequus_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_util.dir/logging.cpp.o"
+  "CMakeFiles/aequus_util.dir/logging.cpp.o.d"
+  "CMakeFiles/aequus_util.dir/rng.cpp.o"
+  "CMakeFiles/aequus_util.dir/rng.cpp.o.d"
+  "CMakeFiles/aequus_util.dir/strings.cpp.o"
+  "CMakeFiles/aequus_util.dir/strings.cpp.o.d"
+  "CMakeFiles/aequus_util.dir/table.cpp.o"
+  "CMakeFiles/aequus_util.dir/table.cpp.o.d"
+  "CMakeFiles/aequus_util.dir/timeseries.cpp.o"
+  "CMakeFiles/aequus_util.dir/timeseries.cpp.o.d"
+  "libaequus_util.a"
+  "libaequus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_workload.dir/generator.cpp.o"
+  "CMakeFiles/aequus_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/aequus_workload.dir/national_model.cpp.o"
+  "CMakeFiles/aequus_workload.dir/national_model.cpp.o.d"
+  "CMakeFiles/aequus_workload.dir/scenarios.cpp.o"
+  "CMakeFiles/aequus_workload.dir/scenarios.cpp.o.d"
+  "CMakeFiles/aequus_workload.dir/trace.cpp.o"
+  "CMakeFiles/aequus_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/aequus_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/aequus_workload.dir/trace_io.cpp.o.d"
+  "libaequus_workload.a"
+  "libaequus_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

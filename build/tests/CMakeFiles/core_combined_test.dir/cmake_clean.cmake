@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_combined_test.dir/core_combined_test.cpp.o"
+  "CMakeFiles/core_combined_test.dir/core_combined_test.cpp.o.d"
+  "core_combined_test"
+  "core_combined_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_combined_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

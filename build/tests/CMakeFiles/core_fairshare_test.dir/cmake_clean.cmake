@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fairshare_test.dir/core_fairshare_test.cpp.o"
+  "CMakeFiles/core_fairshare_test.dir/core_fairshare_test.cpp.o.d"
+  "core_fairshare_test"
+  "core_fairshare_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fairshare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

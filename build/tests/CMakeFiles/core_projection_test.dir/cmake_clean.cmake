@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_projection_test.dir/core_projection_test.cpp.o"
+  "CMakeFiles/core_projection_test.dir/core_projection_test.cpp.o.d"
+  "core_projection_test"
+  "core_projection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_usage_test.dir/core_usage_test.cpp.o"
+  "CMakeFiles/core_usage_test.dir/core_usage_test.cpp.o.d"
+  "core_usage_test"
+  "core_usage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_usage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libaequus_test.dir/libaequus_test.cpp.o"
+  "CMakeFiles/libaequus_test.dir/libaequus_test.cpp.o.d"
+  "libaequus_test"
+  "libaequus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libaequus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

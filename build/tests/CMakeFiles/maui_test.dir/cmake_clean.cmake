@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maui_test.dir/maui_test.cpp.o"
+  "CMakeFiles/maui_test.dir/maui_test.cpp.o.d"
+  "maui_test"
+  "maui_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maui_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

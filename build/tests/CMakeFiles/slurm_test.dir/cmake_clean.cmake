@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slurm_test.dir/slurm_test.cpp.o"
+  "CMakeFiles/slurm_test.dir/slurm_test.cpp.o.d"
+  "slurm_test"
+  "slurm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slurm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_distribution_test.dir/stats_distribution_test.cpp.o"
+  "CMakeFiles/stats_distribution_test.dir/stats_distribution_test.cpp.o.d"
+  "stats_distribution_test"
+  "stats_distribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

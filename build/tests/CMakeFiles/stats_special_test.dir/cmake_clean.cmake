@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_special_test.dir/stats_special_test.cpp.o"
+  "CMakeFiles/stats_special_test.dir/stats_special_test.cpp.o.d"
+  "stats_special_test"
+  "stats_special_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_special_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
