@@ -1,0 +1,144 @@
+// Fault recovery: time-to-reconvergence of the replicated usage views as
+// a function of inter-site message loss.
+//
+// Each run injects a hard ten-minute outage of site1 one third into the
+// run, on top of a swept base loss rate. At every sampling tick the bench
+// records the worst pairwise relative disagreement between the UMS usage
+// views of the fully participating sites; the reconvergence time is how
+// long after the outage ends that disagreement takes to drop (and stay)
+// below the tolerance. The paper's premise — decentralized exchange
+// tolerates degraded networks by serving stale-but-sane data — predicts
+// graceful growth with loss, not a cliff.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "common.hpp"
+#include "testing/invariants.hpp"
+
+using namespace aequus;
+
+namespace {
+
+// Worst pairwise relative per-leaf disagreement across sites' UMS views.
+double view_divergence(testbed::Experiment& experiment) {
+  auto& sites = experiment.sites();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      const auto& leaves_a = sites[i]->aequus().ums().usage_tree().leaves();
+      const auto& leaves_b = sites[j]->aequus().ums().usage_tree().leaves();
+      const double scale = std::max({sites[i]->aequus().ums().usage_tree().total(),
+                                     sites[j]->aequus().ums().usage_tree().total(), 1e-9});
+      std::set<std::string> keys;
+      for (const auto& [path, amount] : leaves_a) (void)amount, keys.insert(path);
+      for (const auto& [path, amount] : leaves_b) (void)amount, keys.insert(path);
+      for (const auto& path : keys) {
+        const auto it_a = leaves_a.find(path);
+        const auto it_b = leaves_b.find(path);
+        const double va = it_a != leaves_a.end() ? it_a->second : 0.0;
+        const double vb = it_b != leaves_b.end() ? it_b->second : 0.0;
+        worst = std::max(worst, std::fabs(va - vb) / scale);
+      }
+    }
+  }
+  return worst;
+}
+
+struct SweepRow {
+  double loss_rate = 0.0;
+  double peak_divergence = 0.0;      ///< worst disagreement during the run
+  double reconverged_at = -1.0;      ///< first tick after which div stays < tol
+  double recovery_seconds = -1.0;    ///< reconverged_at - outage end
+  std::uint64_t dropped = 0;
+  std::uint64_t retries = 0;         ///< libaequus backoff retries, all sites
+  bool invariants_ok = false;
+  std::uint64_t completed = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner("Fault recovery: reconvergence time vs message loss",
+                      "fault-injection harness; extends §IV-A failure analysis");
+
+  const std::size_t jobs = bench::jobs_from_argv(argc, argv, 2000);
+  const double tolerance = 0.02;
+  const std::vector<double> loss_rates = {0.0, 0.10, 0.25, 0.40};
+
+  std::printf("%zu jobs, 3 sites, 10-minute outage of site1 at t=7200 s,\n", jobs);
+  std::printf("reconvergence = max pairwise UMS view divergence < %.0f%%\n\n",
+              100.0 * tolerance);
+
+  std::vector<SweepRow> rows;
+  for (const double loss : loss_rates) {
+    workload::Scenario scenario = workload::baseline_scenario(2012, jobs);
+    scenario.cluster_count = 3;
+    scenario.hosts_per_cluster = 8;
+    bench::rescale_to_capacity(scenario);
+
+    testbed::ExperimentConfig config;
+    config.faults.loss_rate = loss;
+    config.faults.seed = 1914;
+    const net::OutageWindow outage{"site1", 7200.0, 7800.0};
+    config.faults.outages.push_back(outage);
+
+    testbed::Experiment experiment(scenario, config);
+    testing::InvariantChecker checker(experiment);
+    util::Series divergence;
+    experiment.add_tick_hook(
+        [&](double now) { divergence.add(now, view_divergence(experiment)); });
+
+    std::printf("running loss=%.0f%% ...\n", 100.0 * loss);
+    const testbed::ExperimentResult result = experiment.run();
+    checker.check_reconvergence();
+
+    SweepRow row;
+    row.loss_rate = loss;
+    row.dropped = result.bus.dropped_loss + result.bus.dropped_outage;
+    row.completed = result.jobs_completed;
+    row.invariants_ok = checker.ok();
+    for (auto& site : experiment.sites()) {
+      row.retries += site->client().stats().refresh_retries;
+    }
+    // Peak divergence, and the earliest tick after which the divergence
+    // never rises above the tolerance again.
+    for (std::size_t i = 0; i < divergence.size(); ++i) {
+      row.peak_divergence = std::max(row.peak_divergence, divergence.values()[i]);
+    }
+    for (std::size_t i = divergence.size(); i-- > 0;) {
+      if (divergence.values()[i] > tolerance) {
+        if (i + 1 < divergence.size()) row.reconverged_at = divergence.times()[i + 1];
+        break;
+      }
+      row.reconverged_at = divergence.times()[i];
+    }
+    if (row.reconverged_at >= 0.0) {
+      row.recovery_seconds = std::max(0.0, row.reconverged_at - outage.end);
+    }
+    rows.push_back(row);
+  }
+
+  std::printf("\n%8s %10s %14s %12s %10s %9s %6s\n", "loss", "peak div", "reconverged",
+              "recovery", "dropped", "retries", "inv");
+  for (const auto& row : rows) {
+    std::printf("%7.0f%% %9.1f%% %12.0f s %10.0f s %10llu %9llu %6s\n",
+                100.0 * row.loss_rate, 100.0 * row.peak_divergence, row.reconverged_at,
+                row.recovery_seconds, static_cast<unsigned long long>(row.dropped),
+                static_cast<unsigned long long>(row.retries),
+                row.invariants_ok ? "ok" : "FAIL");
+  }
+
+  std::printf("\nreading: the outage dominates peak divergence; higher loss delays\n");
+  std::printf("the cleanup polls, stretching recovery roughly with 1/(1-loss)^2\n");
+  std::printf("(both poll legs must survive) rather than collapsing the system.\n");
+
+  // Exit nonzero if any run failed its invariants or lost jobs — this
+  // bench doubles as a long-form fault soak.
+  for (const auto& row : rows) {
+    if (!row.invariants_ok || row.completed == 0) return 1;
+  }
+  return 0;
+}

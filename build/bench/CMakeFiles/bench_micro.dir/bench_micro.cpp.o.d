@@ -184,6 +184,11 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/bench/common.hpp /root/repo/src/testbed/experiment.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -213,20 +218,14 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/net/service_bus.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/json/json.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/util/rng.hpp /root/repo/src/sim/simulator.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/testbed/metrics.hpp \
- /root/repo/src/util/timeseries.hpp /root/repo/src/testbed/site.hpp \
- /root/repo/src/libaequus/client.hpp \
+ /root/repo/src/net/service_bus.hpp /root/repo/src/json/json.hpp \
+ /usr/include/c++/12/optional /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/util/rng.hpp \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/testbed/metrics.hpp /root/repo/src/util/timeseries.hpp \
+ /root/repo/src/testbed/site.hpp /root/repo/src/libaequus/client.hpp \
  /root/repo/src/maui/maui_scheduler.hpp /root/repo/src/rms/scheduler.hpp \
  /root/repo/src/rms/cluster.hpp /root/repo/src/rms/job.hpp \
  /root/repo/src/slurm/local_fairshare.hpp /root/repo/src/core/decay.hpp \

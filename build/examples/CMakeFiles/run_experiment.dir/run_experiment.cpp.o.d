@@ -210,15 +210,17 @@ examples/CMakeFiles/run_experiment.dir/run_experiment.cpp.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/testbed/experiment.hpp /root/repo/src/net/service_bus.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/testbed/experiment.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/net/service_bus.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/rng.hpp \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
@@ -227,8 +229,7 @@ examples/CMakeFiles/run_experiment.dir/run_experiment.cpp.o: \
  /root/repo/src/libaequus/client.hpp \
  /root/repo/src/maui/maui_scheduler.hpp /root/repo/src/rms/scheduler.hpp \
  /root/repo/src/rms/cluster.hpp /root/repo/src/rms/job.hpp \
- /root/repo/src/slurm/local_fairshare.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/decay.hpp \
+ /root/repo/src/slurm/local_fairshare.hpp /root/repo/src/core/decay.hpp \
  /root/repo/src/services/installation.hpp /root/repo/src/services/fcs.hpp \
  /root/repo/src/core/fairshare.hpp /root/repo/src/core/policy.hpp \
  /root/repo/src/core/usage.hpp /root/repo/src/core/vector.hpp \

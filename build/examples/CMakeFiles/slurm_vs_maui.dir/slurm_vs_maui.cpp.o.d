@@ -144,7 +144,8 @@ examples/CMakeFiles/slurm_vs_maui.dir/slurm_vs_maui.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/json/json.hpp \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/json/json.hpp \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -221,8 +222,7 @@ examples/CMakeFiles/slurm_vs_maui.dir/slurm_vs_maui.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/maui/maui_scheduler.hpp /root/repo/src/rms/scheduler.hpp \
  /root/repo/src/rms/cluster.hpp /root/repo/src/rms/job.hpp \
- /root/repo/src/slurm/local_fairshare.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/decay.hpp \
+ /root/repo/src/slurm/local_fairshare.hpp /root/repo/src/core/decay.hpp \
  /root/repo/src/services/installation.hpp /root/repo/src/services/fcs.hpp \
  /root/repo/src/core/fairshare.hpp /root/repo/src/core/policy.hpp \
  /root/repo/src/core/usage.hpp /root/repo/src/core/vector.hpp \

@@ -17,3 +17,4 @@ subdirs("rms")
 subdirs("slurm")
 subdirs("maui")
 subdirs("testbed")
+subdirs("testing")

@@ -213,7 +213,8 @@ src/testbed/CMakeFiles/aequus_testbed.dir/site.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/json/json.hpp \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/json/json.hpp \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/util/rng.hpp /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
@@ -221,8 +222,7 @@ src/testbed/CMakeFiles/aequus_testbed.dir/site.cpp.o: \
  /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/maui/maui_scheduler.hpp /root/repo/src/rms/scheduler.hpp \
  /root/repo/src/rms/cluster.hpp /root/repo/src/rms/job.hpp \
- /root/repo/src/slurm/local_fairshare.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/decay.hpp \
+ /root/repo/src/slurm/local_fairshare.hpp /root/repo/src/core/decay.hpp \
  /root/repo/src/services/installation.hpp /root/repo/src/services/fcs.hpp \
  /root/repo/src/core/fairshare.hpp /root/repo/src/core/policy.hpp \
  /root/repo/src/core/usage.hpp /root/repo/src/core/vector.hpp \

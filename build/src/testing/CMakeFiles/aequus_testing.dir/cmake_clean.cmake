@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aequus_testing.dir/determinism.cpp.o"
+  "CMakeFiles/aequus_testing.dir/determinism.cpp.o.d"
+  "CMakeFiles/aequus_testing.dir/generators.cpp.o"
+  "CMakeFiles/aequus_testing.dir/generators.cpp.o.d"
+  "CMakeFiles/aequus_testing.dir/invariants.cpp.o"
+  "CMakeFiles/aequus_testing.dir/invariants.cpp.o.d"
+  "CMakeFiles/aequus_testing.dir/property.cpp.o"
+  "CMakeFiles/aequus_testing.dir/property.cpp.o.d"
+  "libaequus_testing.a"
+  "libaequus_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aequus_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaequus_testing.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/determinism_test.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/determinism_test.dir/determinism_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testing/CMakeFiles/aequus_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/aequus_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/aequus_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/maui/CMakeFiles/aequus_maui.dir/DependInfo.cmake"
+  "/root/repo/build/src/slurm/CMakeFiles/aequus_slurm.dir/DependInfo.cmake"
+  "/root/repo/build/src/libaequus/CMakeFiles/aequus_libaequus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/aequus_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aequus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aequus_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aequus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aequus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aequus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/aequus_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aequus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

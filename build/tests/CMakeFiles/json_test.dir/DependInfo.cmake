@@ -14,6 +14,18 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/json/CMakeFiles/aequus_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/testing/CMakeFiles/aequus_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/aequus_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/aequus_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/maui/CMakeFiles/aequus_maui.dir/DependInfo.cmake"
+  "/root/repo/build/src/slurm/CMakeFiles/aequus_slurm.dir/DependInfo.cmake"
+  "/root/repo/build/src/libaequus/CMakeFiles/aequus_libaequus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/aequus_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aequus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aequus_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aequus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aequus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aequus_core.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/aequus_util.dir/DependInfo.cmake"
   )
 

@@ -293,4 +293,9 @@ tests/CMakeFiles/json_test.dir/json_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/json/json.hpp
+ /root/repo/src/json/json.hpp /root/repo/src/testing/generators.hpp \
+ /root/repo/src/net/service_bus.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/testing/property.hpp

@@ -124,6 +124,9 @@ void write_escaped(std::string& out, const std::string& s) {
 }
 
 void write_number(std::string& out, double d) {
+  // JSON has no NaN/inf literals; emitting "nan" would produce a document
+  // the parser itself rejects. Fail at the source instead.
+  if (!std::isfinite(d)) throw std::domain_error("json: cannot serialize non-finite number");
   if (d == std::llround(d) && std::fabs(d) < 1e15) {
     out += util::format("%lld", static_cast<long long>(std::llround(d)));
   } else {

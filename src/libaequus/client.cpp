@@ -1,5 +1,8 @@
 #include "libaequus/client.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/logging.hpp"
 
 namespace aequus::client {
@@ -14,24 +17,80 @@ AequusClient::AequusClient(sim::Simulator& simulator, net::ServiceBus& bus, Clie
 
 AequusClient::~AequusClient() {
   refresh_task_.cancel();
+  timeout_task_.cancel();
+  retry_task_.cancel();
+}
+
+bool AequusClient::stale(double max_age) const noexcept {
+  if (last_refresh_time_ < 0.0) return true;
+  return simulator_.now() - last_refresh_time_ > max_age;
+}
+
+double AequusClient::backoff_delay(int attempt) const noexcept {
+  const double delay =
+      config_.backoff_base * std::pow(config_.backoff_multiplier, attempt);
+  return std::clamp(delay, 0.0, config_.backoff_max);
 }
 
 void AequusClient::refresh_fairshare_table() {
+  // A new cycle supersedes any in-flight attempt or pending retry.
+  timeout_task_.cancel();
+  retry_task_.cancel();
+  start_refresh(0);
+}
+
+void AequusClient::start_refresh(int attempt) {
+  const std::uint64_t generation = ++refresh_generation_;
+  if (config_.request_timeout > 0.0) {
+    timeout_task_ = simulator_.schedule_after(
+        config_.request_timeout, [this, generation, attempt] {
+          if (generation != refresh_generation_) return;
+          ++stats_.refresh_timeouts;
+          refresh_attempt_failed(attempt);
+        });
+  }
   json::Object request;
   request["op"] = "table";
-  bus_.request(config_.site, config_.site + ".fcs", json::Value(std::move(request)),
-               [this](const json::Value& reply) {
-                 try {
-                   const auto users = reply.find("users");
-                   if (!users) return;
-                   for (const auto& [user, value] : users->get().as_object()) {
-                     fairshare_table_[user] = value.as_number();
-                   }
-                   ++stats_.fairshare_refreshes;
-                 } catch (const std::exception& e) {
-                   AEQ_WARN("libaequus") << "bad fairshare table reply: " << e.what();
-                 }
-               });
+  bus_.request(
+      config_.site, config_.site + ".fcs", json::Value(std::move(request)),
+      [this, generation](const json::Value& reply) {
+        if (generation != refresh_generation_) return;  // superseded or timed out
+        timeout_task_.cancel();
+        ++refresh_generation_;  // retire this attempt (duplicates become stale)
+        try {
+          const auto users = reply.find("users");
+          if (!users) return;
+          for (const auto& [user, value] : users->get().as_object()) {
+            fairshare_table_[user] = value.as_number();
+          }
+          ++stats_.fairshare_refreshes;
+          last_refresh_time_ = simulator_.now();
+        } catch (const std::exception& e) {
+          AEQ_WARN("libaequus") << "bad fairshare table reply: " << e.what();
+        }
+      },
+      [this, generation, attempt](const json::Value& error) {
+        if (generation != refresh_generation_) return;
+        timeout_task_.cancel();
+        ++stats_.refresh_errors;
+        AEQ_DEBUG("libaequus") << config_.site << ": fairshare refresh bounced: "
+                               << error.get_string("error", "unknown");
+        refresh_attempt_failed(attempt);
+      });
+}
+
+void AequusClient::refresh_attempt_failed(int attempt) {
+  ++refresh_generation_;  // a late reply to the failed attempt is stale
+  if (attempt >= config_.max_retries) {
+    ++stats_.refresh_failures;
+    AEQ_DEBUG("libaequus") << config_.site
+                           << ": fairshare refresh retries exhausted; serving stale table";
+    return;  // stale-cache fallback until the next periodic cycle
+  }
+  retry_task_ = simulator_.schedule_after(backoff_delay(attempt), [this, attempt] {
+    ++stats_.refresh_retries;
+    start_refresh(attempt + 1);
+  });
 }
 
 double AequusClient::fairshare_factor(const std::string& grid_user) {
@@ -54,8 +113,16 @@ std::optional<std::string> AequusClient::resolve_identity(const std::string& sys
   request["cluster"] = config_.cluster;
   // The IRS is co-located with the installation; the paper resolves
   // identities synchronously during the fairshare calculation process.
-  const json::Value reply =
-      bus_.call(config_.site + ".irs", json::Value(std::move(request)));
+  // A crashed IRS must not take the scheduler down with it: fall back to
+  // "unresolvable" and let the caller drop or retry the record.
+  json::Value reply;
+  try {
+    reply = bus_.call(config_.site + ".irs", json::Value(std::move(request)));
+  } catch (const std::exception& e) {
+    ++stats_.identity_failures;
+    AEQ_DEBUG("libaequus") << config_.site << ": identity lookup failed: " << e.what();
+    return std::nullopt;
+  }
   if (reply.get_bool("unknown", false)) return std::nullopt;
   const std::string grid_user = reply.get_string("grid_user");
   if (grid_user.empty()) return std::nullopt;

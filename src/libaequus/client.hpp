@@ -14,6 +14,15 @@
 // table (cache delay III of §IV-A-2), identity lookups hit a TTL cache in
 // front of the site IRS, and usage reports are one-way messages to the
 // site USS (reporting delay I).
+//
+// Failure handling: a table refresh that receives no reply within
+// `request_timeout` is retried with bounded exponential backoff
+// (`backoff_base * backoff_multiplier^attempt`, capped at `backoff_max`,
+// at most `max_retries` retries). An unbound FCS (service crashed) bounces
+// immediately and follows the same backoff path. When all retries are
+// exhausted the client keeps serving the stale cached table — schedulers
+// degrade to cached or local fairshare instead of hanging — and tries
+// again at the next periodic refresh.
 #pragma once
 
 #include <cstdint>
@@ -31,14 +40,24 @@ struct ClientConfig {
   std::string cluster;               ///< local cluster name (IRS context)
   double fairshare_cache_ttl = 30.0; ///< seconds between table refreshes
   double identity_cache_ttl = 600.0; ///< seconds an identity stays cached
+  double request_timeout = 5.0;      ///< seconds before a refresh is presumed lost
+  int max_retries = 4;               ///< retry budget per refresh cycle
+  double backoff_base = 1.0;         ///< first retry delay [s]
+  double backoff_multiplier = 2.0;   ///< exponential backoff factor
+  double backoff_max = 30.0;         ///< ceiling on a single backoff delay [s]
 };
 
 struct ClientStats {
   std::uint64_t fairshare_lookups = 0;
   std::uint64_t fairshare_refreshes = 0;
+  std::uint64_t usage_reports = 0;
   std::uint64_t identity_hits = 0;
   std::uint64_t identity_misses = 0;
-  std::uint64_t usage_reports = 0;
+  std::uint64_t identity_failures = 0;  ///< IRS unreachable; lookup failed soft
+  std::uint64_t refresh_timeouts = 0;   ///< refresh replies that never arrived
+  std::uint64_t refresh_retries = 0;    ///< backoff retries issued
+  std::uint64_t refresh_errors = 0;     ///< unbound bounces from the bus
+  std::uint64_t refresh_failures = 0;   ///< retry budget exhausted (stale fallback)
 };
 
 class AequusClient {
@@ -50,11 +69,13 @@ class AequusClient {
 
   /// Global fairshare factor in [0, 1] for a grid user. Served from the
   /// cached FCS table; 0.5 (the balance point) until the first refresh
-  /// lands or for users Aequus does not know.
+  /// lands or for users Aequus does not know. Never blocks: under faults
+  /// this degrades to the last successfully fetched (stale) table.
   [[nodiscard]] double fairshare_factor(const std::string& grid_user);
 
   /// Reverse-map a system user to its grid identity via the site IRS,
-  /// caching results for `identity_cache_ttl` seconds.
+  /// caching results for `identity_cache_ttl` seconds. An unreachable IRS
+  /// is a soft failure (nullopt), never an exception into the scheduler.
   [[nodiscard]] std::optional<std::string> resolve_identity(const std::string& system_user);
 
   /// Report `usage` core-seconds consumed by `grid_user` to the site USS.
@@ -68,10 +89,26 @@ class AequusClient {
   [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ClientConfig& config() const noexcept { return config_; }
 
-  /// Force a synchronous-style refresh request (normally timer-driven).
+  /// Simulated time of the last successful table refresh; negative until
+  /// one lands.
+  [[nodiscard]] double last_refresh_time() const noexcept { return last_refresh_time_; }
+
+  /// True when the cached table is older than `max_age` seconds (always
+  /// true before the first successful refresh).
+  [[nodiscard]] bool stale(double max_age) const noexcept;
+
+  /// Force a fresh refresh cycle (normally timer-driven). Cancels any
+  /// in-flight attempt or pending backoff retry.
   void refresh_fairshare_table();
 
  private:
+  /// Issue attempt number `attempt` of the current refresh cycle.
+  void start_refresh(int attempt);
+  /// Handle a lost/bounced attempt: back off and retry, or give up and
+  /// serve stale until the next periodic cycle.
+  void refresh_attempt_failed(int attempt);
+  [[nodiscard]] double backoff_delay(int attempt) const noexcept;
+
   sim::Simulator& simulator_;
   net::ServiceBus& bus_;
   ClientConfig config_;
@@ -83,6 +120,12 @@ class AequusClient {
   std::map<std::string, CachedIdentity> identity_cache_;
   ClientStats stats_;
   sim::EventHandle refresh_task_;
+  sim::EventHandle timeout_task_;
+  sim::EventHandle retry_task_;
+  /// Identifies the outstanding refresh attempt; replies and timeouts
+  /// carrying another generation are stale and ignored.
+  std::uint64_t refresh_generation_ = 0;
+  double last_refresh_time_ = -1.0;
 };
 
 }  // namespace aequus::client

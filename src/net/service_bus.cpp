@@ -8,6 +8,30 @@
 
 namespace aequus::net {
 
+bool FaultPlan::active() const noexcept {
+  return loss_rate > 0.0 || duplicate_rate > 0.0 || latency_jitter > 0.0 ||
+         !link_loss.empty() || !outages.empty();
+}
+
+bool FaultPlan::site_down(const std::string& site, double now) const noexcept {
+  for (const auto& window : outages) {
+    if (window.site == site && now >= window.start && now < window.end) return true;
+  }
+  return false;
+}
+
+double FaultPlan::last_outage_end() const noexcept {
+  double latest = 0.0;
+  for (const auto& window : outages) latest = std::max(latest, window.end);
+  return latest;
+}
+
+double FaultPlan::loss_for(const std::string& from_site,
+                           const std::string& to_site) const noexcept {
+  const auto it = link_loss.find({from_site, to_site});
+  return it != link_loss.end() ? it->second : loss_rate;
+}
+
 ServiceBus::ServiceBus(sim::Simulator& simulator) : simulator_(simulator) {}
 
 void ServiceBus::bind(const std::string& address, Handler handler) {
@@ -51,24 +75,75 @@ bool ServiceBus::allowed(const std::string& from_site, const std::string& to_sit
   return site_contributes(from_site) && site_receives(to_site);
 }
 
+void ServiceBus::set_fault_plan(FaultPlan plan) {
+  plan.loss_rate = std::clamp(plan.loss_rate, 0.0, 1.0);
+  plan.duplicate_rate = std::clamp(plan.duplicate_rate, 0.0, 1.0);
+  plan.latency_jitter = std::max(plan.latency_jitter, 0.0);
+  for (auto& [link, rate] : plan.link_loss) {
+    (void)link;
+    rate = std::clamp(rate, 0.0, 1.0);
+  }
+  plan_ = std::move(plan);
+  fault_rng_ = util::Rng(plan_.seed);
+}
+
 void ServiceBus::set_loss_rate(double rate, std::uint64_t seed) {
-  loss_rate_ = std::clamp(rate, 0.0, 1.0);
-  loss_rng_ = util::Rng(seed);
+  FaultPlan plan;
+  plan.loss_rate = rate;
+  plan.seed = seed;
+  set_fault_plan(std::move(plan));
 }
 
 bool ServiceBus::lose(const std::string& from_site, const std::string& to_site) {
-  if (loss_rate_ <= 0.0 || from_site == to_site) return false;
-  if (!loss_rng_.bernoulli(loss_rate_)) return false;
+  if (from_site == to_site) return false;
+  const double rate = plan_.loss_for(from_site, to_site);
+  if (rate <= 0.0) return false;
+  if (!fault_rng_.bernoulli(rate)) return false;
   ++stats_.dropped_loss;
   return true;
+}
+
+bool ServiceBus::outage(const std::string& from_site, const std::string& to_site) {
+  if (plan_.outages.empty()) return false;
+  const double now = simulator_.now();
+  return plan_.site_down(from_site, now) || plan_.site_down(to_site, now);
+}
+
+bool ServiceBus::duplicate(const std::string& from_site, const std::string& to_site) {
+  if (from_site == to_site || plan_.duplicate_rate <= 0.0) return false;
+  return fault_rng_.bernoulli(plan_.duplicate_rate);
 }
 
 double ServiceBus::latency(const std::string& from_site, const std::string& to_site) const {
   return from_site == to_site ? local_latency_ : remote_latency_;
 }
 
+double ServiceBus::leg_latency(const std::string& from_site, const std::string& to_site) {
+  double hop = latency(from_site, to_site);
+  if (from_site != to_site && plan_.latency_jitter > 0.0) {
+    hop += fault_rng_.uniform(0.0, plan_.latency_jitter);
+  }
+  return hop;
+}
+
+bool ServiceBus::deliver(const std::string& from_site, const std::string& to_site,
+                         std::function<void()> action) {
+  if (outage(from_site, to_site)) {
+    ++stats_.dropped_outage;
+    return false;
+  }
+  if (lose(from_site, to_site)) return false;
+  const bool twice = duplicate(from_site, to_site);
+  simulator_.schedule_after(leg_latency(from_site, to_site), action);
+  if (twice) {
+    ++stats_.duplicated;
+    simulator_.schedule_after(leg_latency(from_site, to_site), std::move(action));
+  }
+  return true;
+}
+
 void ServiceBus::request(const std::string& from_site, const std::string& address,
-                         json::Value payload, ReplyCallback on_reply) {
+                         json::Value payload, ReplyCallback on_reply, ErrorCallback on_error) {
   ++stats_.requests;
   stats_.payload_bytes += payload.dump().size();
   const std::string to_site = site_of(address);
@@ -79,29 +154,40 @@ void ServiceBus::request(const std::string& from_site, const std::string& addres
   if (it == endpoints_.end()) {
     ++stats_.dropped_unbound;
     AEQ_DEBUG("bus") << "request to unbound address " << address;
+    // Structural failures bounce reliably (the transport knows nobody
+    // listens); injected loss and outages stay silent so callers can only
+    // detect them by timeout.
+    if (on_error) {
+      ++stats_.unbound_bounces;
+      json::Object envelope;
+      envelope["error"] = "unbound";
+      envelope["address"] = address;
+      simulator_.schedule_after(
+          latency(from_site, to_site),
+          [error = json::Value(std::move(envelope)), on_error = std::move(on_error)] {
+            on_error(error);
+          });
+    }
     return;
   }
-  if (lose(from_site, to_site)) return;  // query leg lost
-  const double hop = latency(from_site, to_site);
   // Copy the handler so a later re-bind does not affect in-flight traffic.
-  simulator_.schedule_after(
-      hop, [this, handler = it->second, payload = std::move(payload), hop, from_site,
-            to_site, on_reply = std::move(on_reply)]() mutable {
-        json::Value reply = handler(payload);
-        // The reply carries the responder's data: it is subject to the
-        // responder's contribution flag (a non-contributing site answers
-        // local requests but its data never leaves the site, §IV-A-4).
-        if (!allowed(to_site, from_site)) {
-          ++stats_.dropped_participation;
-          return;
-        }
-        if (lose(to_site, from_site)) return;  // reply leg lost
-        stats_.payload_bytes += reply.dump().size();
-        simulator_.schedule_after(
-            hop, [reply = std::move(reply), on_reply = std::move(on_reply)] {
-              if (on_reply) on_reply(reply);
-            });
-      });
+  deliver(from_site, to_site,
+          [this, handler = it->second, payload = std::move(payload), from_site, to_site,
+           on_reply = std::move(on_reply)]() mutable {
+            json::Value reply = handler(payload);
+            // The reply carries the responder's data: it is subject to the
+            // responder's contribution flag (a non-contributing site answers
+            // local requests but its data never leaves the site, §IV-A-4).
+            if (!allowed(to_site, from_site)) {
+              ++stats_.dropped_participation;
+              return;
+            }
+            stats_.payload_bytes += reply.dump().size();
+            deliver(to_site, from_site,
+                    [reply = std::move(reply), on_reply = std::move(on_reply)] {
+                      if (on_reply) on_reply(reply);
+                    });
+          });
 }
 
 void ServiceBus::send(const std::string& from_site, const std::string& address,
@@ -119,11 +205,9 @@ void ServiceBus::send(const std::string& from_site, const std::string& address,
     AEQ_DEBUG("bus") << "send to unbound address " << address;
     return;
   }
-  if (lose(from_site, to_site)) return;
-  simulator_.schedule_after(latency(from_site, to_site),
-                            [handler = it->second, payload = std::move(payload)] {
-                              (void)handler(payload);
-                            });
+  deliver(from_site, to_site, [handler = it->second, payload = std::move(payload)] {
+    (void)handler(payload);
+  });
 }
 
 json::Value ServiceBus::call(const std::string& address, const json::Value& payload) {

@@ -9,6 +9,13 @@
 // inter-site traffic dropped; a site that does not *receive* has inbound
 // inter-site traffic dropped. Intra-site traffic always flows.
 //
+// On top of the participation model sits a deterministic fault-injection
+// layer (FaultPlan): per-link message loss, message duplication, latency
+// jitter, and scheduled site outage windows during which every message leg
+// touching the site (including intra-site traffic — the site is down, not
+// merely partitioned) is dropped. All randomness is drawn from one seeded
+// stream, so a faulty run replays bit-identically from its seed.
+//
 // Message volume counters support evaluating the "compact form" usage
 // exchange (bytes on the wire per experiment).
 #pragma once
@@ -18,6 +25,8 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "json/json.hpp"
 #include "util/rng.hpp"
@@ -32,7 +41,48 @@ struct BusStats {
   std::uint64_t dropped_participation = 0;  ///< blocked by participation flags
   std::uint64_t dropped_unbound = 0;        ///< no endpoint at address
   std::uint64_t dropped_loss = 0;           ///< lost to injected failures
+  std::uint64_t dropped_outage = 0;         ///< blocked by a site outage window
+  std::uint64_t duplicated = 0;             ///< extra deliveries injected
+  std::uint64_t unbound_bounces = 0;        ///< error envelopes delivered
   std::uint64_t payload_bytes = 0;          ///< serialized payload volume
+};
+
+/// One scheduled site failure: the site is unreachable (and its services
+/// are down) for simulated times in [start, end).
+struct OutageWindow {
+  std::string site;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Deterministic fault-injection schedule for a whole experiment. All
+/// probabilities apply per message *leg* (the query and reply of a request
+/// roll independently). Loss, duplication, and jitter affect inter-site
+/// legs only; outages take the whole site down, intra-site traffic
+/// included.
+struct FaultPlan {
+  double loss_rate = 0.0;       ///< default per-leg inter-site loss probability
+  double duplicate_rate = 0.0;  ///< per delivered inter-site leg
+  double latency_jitter = 0.0;  ///< max uniform extra latency per inter-site leg [s]
+  /// Per-link loss overrides keyed by (from_site, to_site); fall back to
+  /// `loss_rate` when a link has no entry.
+  std::map<std::pair<std::string, std::string>, double> link_loss;
+  std::vector<OutageWindow> outages;
+  std::uint64_t seed = 0x10ad;
+
+  [[nodiscard]] bool active() const noexcept;
+
+  /// True when `site` is inside one of its outage windows at `now`.
+  [[nodiscard]] bool site_down(const std::string& site, double now) const noexcept;
+
+  /// End of the latest outage window (0 when there are none). Useful for
+  /// judging reconvergence "once faults clear"; note that loss/duplication
+  /// rates never clear — only outages do.
+  [[nodiscard]] double last_outage_end() const noexcept;
+
+  /// Loss probability for one directed inter-site link.
+  [[nodiscard]] double loss_for(const std::string& from_site,
+                                const std::string& to_site) const noexcept;
 };
 
 /// In-process message fabric running on the shared Simulator.
@@ -40,6 +90,11 @@ class ServiceBus {
  public:
   using Handler = std::function<json::Value(const json::Value&)>;
   using ReplyCallback = std::function<void(const json::Value&)>;
+  /// Receives a JSON error envelope ({"error":"unbound","address":...})
+  /// when a request cannot be delivered for a *structural* reason the
+  /// network would report (no endpoint bound). Injected loss and outages
+  /// are silent — distinguishing the two is the caller's job (timeouts).
+  using ErrorCallback = std::function<void(const json::Value&)>;
 
   explicit ServiceBus(sim::Simulator& simulator);
 
@@ -53,10 +108,11 @@ class ServiceBus {
   /// latency; `on_reply` runs after the return latency. The query leg
   /// always flows; the *reply* carries the responder's data and is
   /// dropped when the responder does not contribute or the requester does
-  /// not receive. If dropped (or the address is unbound) `on_reply` never
-  /// fires.
+  /// not receive. If the address is unbound, `on_error` (when provided)
+  /// receives an error envelope after one hop of latency; if a leg is
+  /// lost or a site is down, neither callback ever fires.
   void request(const std::string& from_site, const std::string& address, json::Value payload,
-               ReplyCallback on_reply);
+               ReplyCallback on_reply, ErrorCallback on_error = nullptr);
 
   /// Fire-and-forget data message (e.g. a usage report): dropped across
   /// sites when the sender does not contribute or the receiver does not
@@ -80,9 +136,15 @@ class ServiceBus {
   [[nodiscard]] bool site_contributes(const std::string& site) const;
   [[nodiscard]] bool site_receives(const std::string& site) const;
 
-  /// Failure injection: drop each *inter-site* message leg independently
-  /// with probability `rate` (deterministic given `seed`). Intra-site
-  /// traffic is unaffected. rate = 0 disables (default).
+  /// Install a fault-injection schedule (replaces any previous plan and
+  /// reseeds the fault stream from plan.seed).
+  void set_fault_plan(FaultPlan plan);
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return plan_; }
+
+  /// Failure injection shorthand kept for existing call sites: drop each
+  /// *inter-site* message leg independently with probability `rate`
+  /// (deterministic given `seed`). Intra-site traffic is unaffected.
+  /// rate = 0 disables (default). Resets any per-link overrides.
   void set_loss_rate(double rate, std::uint64_t seed = 0x10ad);
 
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
@@ -95,6 +157,16 @@ class ServiceBus {
   [[nodiscard]] double latency(const std::string& from_site, const std::string& to_site) const;
   /// True when an inter-site leg should be dropped by failure injection.
   [[nodiscard]] bool lose(const std::string& from_site, const std::string& to_site);
+  /// True when either endpoint site is inside an outage window now.
+  [[nodiscard]] bool outage(const std::string& from_site, const std::string& to_site);
+  /// True when a delivered inter-site leg should also be duplicated.
+  [[nodiscard]] bool duplicate(const std::string& from_site, const std::string& to_site);
+  /// Per-leg latency including jitter (consumes randomness when jitter on).
+  [[nodiscard]] double leg_latency(const std::string& from_site, const std::string& to_site);
+  /// Deliver `action` over one leg, applying outage/loss/duplication/jitter.
+  /// Returns false when the leg was dropped.
+  bool deliver(const std::string& from_site, const std::string& to_site,
+               std::function<void()> action);
 
   sim::Simulator& simulator_;
   std::map<std::string, Handler> endpoints_;
@@ -102,8 +174,8 @@ class ServiceBus {
   std::map<std::string, bool> receives_;
   double local_latency_ = 0.01;
   double remote_latency_ = 0.10;
-  double loss_rate_ = 0.0;
-  util::Rng loss_rng_{0x10ad};
+  FaultPlan plan_;
+  util::Rng fault_rng_{0x10ad};
   BusStats stats_;
 };
 

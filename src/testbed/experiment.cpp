@@ -19,6 +19,7 @@ double ExperimentResult::priority_convergence_time(double epsilon, double until)
 Experiment::Experiment(const workload::Scenario& scenario, ExperimentConfig config)
     : scenario_(scenario), config_(std::move(config)), bus_(simulator_), rng_(config_.seed) {
   bus_.set_remote_latency(config_.bus_remote_latency);
+  if (config_.faults.active()) bus_.set_fault_plan(config_.faults);
 
   std::vector<std::string> site_names;
   for (int i = 0; i < scenario_.cluster_count; ++i) {
@@ -128,6 +129,7 @@ void Experiment::schedule_sampling(ExperimentResult& result) {
         }
         result.utilization.series("total").add(
             now, total > 0 ? static_cast<double>(busy) / total : 0.0);
+        for (const auto& hook : tick_hooks_) hook(now);
       }));
 }
 

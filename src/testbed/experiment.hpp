@@ -13,6 +13,8 @@
 //     participation analysis).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -42,6 +44,9 @@ struct ExperimentConfig {
   std::map<int, SiteSpec> site_overrides;
   /// Extra simulated time after the last submission (drain phase).
   double drain_seconds = 1800.0;
+  /// Deterministic fault-injection schedule installed on the bus before
+  /// the run (loss, duplication, jitter, site outage windows).
+  net::FaultPlan faults{};
 };
 
 struct ExperimentResult {
@@ -81,6 +86,23 @@ class Experiment {
   [[nodiscard]] std::vector<std::unique_ptr<ClusterSite>>& sites() noexcept { return sites_; }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
   [[nodiscard]] net::ServiceBus& bus() noexcept { return bus_; }
+  [[nodiscard]] const workload::Scenario& scenario() const noexcept { return scenario_; }
+  [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
+
+  /// Live progress counters, valid during and after run() (used by
+  /// invariant checkers hooked into the sampling tick).
+  [[nodiscard]] std::uint64_t completed_jobs() const noexcept { return completed_jobs_; }
+  [[nodiscard]] double total_completed_usage() const noexcept { return total_completed_usage_; }
+  [[nodiscard]] const std::map<std::string, double>& completed_usage() const noexcept {
+    return completed_usage_;
+  }
+
+  /// Register a callback invoked at every sampling tick (after the
+  /// built-in measurements), with the current simulated time. Must be
+  /// called before run().
+  void add_tick_hook(std::function<void(double)> hook) {
+    tick_hooks_.push_back(std::move(hook));
+  }
 
  private:
   void install_policy();
@@ -99,6 +121,7 @@ class Experiment {
   double total_completed_usage_ = 0.0;
   std::uint64_t completed_jobs_ = 0;
   std::vector<sim::EventHandle> tasks_;
+  std::vector<std::function<void(double)>> tick_hooks_;
 };
 
 }  // namespace aequus::testbed

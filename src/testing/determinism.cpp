@@ -1,0 +1,70 @@
+#include "testing/determinism.hpp"
+
+#include "util/strings.hpp"
+
+namespace aequus::testing {
+
+std::string fingerprint(const net::BusStats& stats) {
+  std::string out;
+  out += util::format("requests=%llu\n", static_cast<unsigned long long>(stats.requests));
+  out += util::format("one_way=%llu\n", static_cast<unsigned long long>(stats.one_way));
+  out += util::format("dropped_participation=%llu\n",
+                      static_cast<unsigned long long>(stats.dropped_participation));
+  out += util::format("dropped_unbound=%llu\n",
+                      static_cast<unsigned long long>(stats.dropped_unbound));
+  out += util::format("dropped_loss=%llu\n",
+                      static_cast<unsigned long long>(stats.dropped_loss));
+  out += util::format("dropped_outage=%llu\n",
+                      static_cast<unsigned long long>(stats.dropped_outage));
+  out += util::format("duplicated=%llu\n", static_cast<unsigned long long>(stats.duplicated));
+  out += util::format("unbound_bounces=%llu\n",
+                      static_cast<unsigned long long>(stats.unbound_bounces));
+  out += util::format("payload_bytes=%llu\n",
+                      static_cast<unsigned long long>(stats.payload_bytes));
+  return out;
+}
+
+std::string fingerprint(const util::SeriesSet& series) {
+  std::string out;
+  for (const auto& [name, one] : series.all()) {
+    out += name;
+    out += ':';
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      out += util::format(" (%.17g,%.17g)", one.times()[i], one.values()[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string fingerprint(const testbed::ExperimentResult& result) {
+  std::string out;
+  out += util::format("jobs_submitted=%llu\n",
+                      static_cast<unsigned long long>(result.jobs_submitted));
+  out += util::format("jobs_completed=%llu\n",
+                      static_cast<unsigned long long>(result.jobs_completed));
+  out += util::format("makespan=%.17g\n", result.makespan);
+  out += util::format("mean_utilization=%.17g\n", result.mean_utilization);
+  out += util::format("rates=(%.17g,%.17g)\n", result.rates.sustained_per_minute,
+                      result.rates.peak_per_minute);
+  for (const auto& [user, share] : result.final_usage_share) {
+    out += util::format("final_share[%s]=%.17g\n", user.c_str(), share);
+  }
+  out += "[bus]\n";
+  out += fingerprint(result.bus);
+  out += "[usage_shares]\n";
+  out += fingerprint(result.usage_shares);
+  out += "[priorities]\n";
+  out += fingerprint(result.priorities);
+  out += "[per_site]\n";
+  out += fingerprint(result.per_site);
+  out += "[utilization]\n";
+  out += fingerprint(result.utilization);
+  out += "[start_priorities]\n";
+  out += fingerprint(result.start_priorities);
+  out += "[waits]\n";
+  out += fingerprint(result.waits);
+  return out;
+}
+
+}  // namespace aequus::testing

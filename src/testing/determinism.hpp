@@ -1,0 +1,30 @@
+// Canonical fingerprints for golden determinism assertions.
+//
+// A fingerprint is a byte-exact textual rendering of a result object:
+// every counter and every sample, doubles printed with %.17g so any
+// floating-point divergence — even one ULP, even in one sample of one
+// series — changes the string. Two runs of the same scenario with the
+// same seed must produce identical fingerprints; runs with different
+// seeds must not (if they did, the seed would not actually be feeding
+// the randomness).
+#pragma once
+
+#include <string>
+
+#include "net/service_bus.hpp"
+#include "testbed/experiment.hpp"
+#include "util/timeseries.hpp"
+
+namespace aequus::testing {
+
+/// All BusStats counters, in declaration order, as "name=value" lines.
+[[nodiscard]] std::string fingerprint(const net::BusStats& stats);
+
+/// Every sample of every series in the set, %.17g.
+[[nodiscard]] std::string fingerprint(const util::SeriesSet& series);
+
+/// The whole experiment result: counters, final shares, bus stats, and
+/// every recorded series.
+[[nodiscard]] std::string fingerprint(const testbed::ExperimentResult& result);
+
+}  // namespace aequus::testing

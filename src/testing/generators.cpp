@@ -1,0 +1,109 @@
+#include "testing/generators.hpp"
+
+#include <algorithm>
+
+namespace aequus::testing {
+
+namespace {
+
+// Fragments chosen to stress the serializer: every escape class, embedded
+// quotes/backslashes, and multi-byte UTF-8 sequences that must pass
+// through byte-exact.
+const std::vector<std::string>& string_fragments() {
+  static const std::vector<std::string> kFragments = {
+      "plain", "with space", "\"quoted\"", "back\\slash", "tab\there",
+      "new\nline", "ret\rurn", "bell\b", "feed\f", "\x01\x1f",
+      "éclair",  // é, 2-byte UTF-8
+      "λ-calc",  // λ, 2-byte UTF-8
+      "→",       // →, 3-byte UTF-8
+      "", "/slash/", "0123456789",
+  };
+  return kFragments;
+}
+
+double random_number(util::Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0: return static_cast<double>(rng.uniform_int(-1000000, 1000000));
+    case 1: return rng.uniform(-1.0, 1.0);
+    case 2: return rng.uniform(-1e15, 1e15);
+    default: return rng.normal(0.0, 1e-6);  // subnormal-adjacent magnitudes
+  }
+}
+
+}  // namespace
+
+std::string random_json_string(util::Rng& rng) {
+  const auto& fragments = string_fragments();
+  std::string out;
+  const int pieces = static_cast<int>(rng.uniform_int(0, 3));
+  for (int i = 0; i < pieces; ++i) {
+    out += fragments[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(fragments.size()) - 1))];
+  }
+  return out;
+}
+
+json::Value random_json(util::Rng& rng, int max_depth) {
+  // Composite kinds only while depth remains; scalars otherwise.
+  const std::int64_t kind = rng.uniform_int(0, max_depth > 0 ? 5 : 3);
+  switch (kind) {
+    case 0: return json::Value(nullptr);
+    case 1: return json::Value(rng.bernoulli(0.5));
+    case 2: return json::Value(random_number(rng));
+    case 3: return json::Value(random_json_string(rng));
+    case 4: {
+      json::Array array;
+      const int n = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < n; ++i) array.push_back(random_json(rng, max_depth - 1));
+      return json::Value(std::move(array));
+    }
+    default: {
+      json::Object object;
+      const int n = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < n; ++i) {
+        object[random_json_string(rng)] = random_json(rng, max_depth - 1);
+      }
+      return json::Value(std::move(object));
+    }
+  }
+}
+
+net::FaultPlan random_fault_plan(util::Rng& rng, const std::vector<std::string>& sites,
+                                 double horizon, const FaultPlanBounds& bounds) {
+  net::FaultPlan plan;
+  plan.seed = rng();
+  plan.loss_rate = rng.uniform(0.0, bounds.max_loss_rate);
+  plan.duplicate_rate = rng.uniform(0.0, bounds.max_duplicate_rate);
+  plan.latency_jitter = rng.uniform(0.0, bounds.max_latency_jitter);
+
+  // A few directed links get their own (possibly harsher) loss rate.
+  if (sites.size() >= 2) {
+    const int overrides = static_cast<int>(rng.uniform_int(0, 2));
+    for (int i = 0; i < overrides; ++i) {
+      const auto from = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1));
+      auto to = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1));
+      if (to == from) to = (to + 1) % sites.size();
+      plan.link_loss[{sites[from], sites[to]}] =
+          rng.uniform(0.0, std::min(1.0, 2.0 * bounds.max_loss_rate));
+    }
+  }
+
+  if (!sites.empty()) {
+    const int outages = static_cast<int>(rng.uniform_int(0, bounds.max_outages));
+    for (int i = 0; i < outages; ++i) {
+      net::OutageWindow window;
+      window.site = sites[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1))];
+      window.start = rng.uniform(0.0, bounds.latest_outage_start * horizon);
+      window.end =
+          window.start + rng.uniform(0.0, bounds.max_outage_fraction * horizon);
+      window.end = std::min(window.end, horizon);
+      plan.outages.push_back(std::move(window));
+    }
+  }
+  return plan;
+}
+
+}  // namespace aequus::testing

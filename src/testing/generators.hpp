@@ -1,0 +1,49 @@
+// Seeded random scenario and value generators for property tests.
+//
+// Everything here is a pure function of the Rng state passed in, so a
+// generated input replays exactly from the seed that produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "net/service_bus.hpp"
+#include "util/rng.hpp"
+
+namespace aequus::testing {
+
+/// Random JSON document: scalars, arrays, and objects nested up to
+/// `max_depth`, with strings drawn from an alphabet that exercises
+/// escaping (quotes, backslashes, control characters) and multi-byte
+/// UTF-8. Numbers are always finite — the serializer rejects NaN/inf.
+[[nodiscard]] json::Value random_json(util::Rng& rng, int max_depth = 4);
+
+/// Random string from the escape-heavy alphabet used by random_json.
+[[nodiscard]] std::string random_json_string(util::Rng& rng);
+
+/// Knobs bounding random_fault_plan(); defaults produce survivable but
+/// decidedly hostile networks.
+struct FaultPlanBounds {
+  double max_loss_rate = 0.30;
+  double max_duplicate_rate = 0.10;
+  double max_latency_jitter = 0.05;  ///< seconds
+  int max_outages = 2;
+  /// Outage windows start within [0, latest_outage_start] * horizon and
+  /// last at most max_outage_fraction * horizon.
+  double latest_outage_start = 0.5;
+  double max_outage_fraction = 0.2;
+};
+
+/// Random deterministic fault schedule for `sites` over a run of
+/// `horizon` simulated seconds: a base loss rate, a few per-link loss
+/// overrides, duplication, jitter, and up to `max_outages` site outage
+/// windows that all end before the horizon (so reconvergence is
+/// observable). The plan's own seed is derived from `rng`.
+[[nodiscard]] net::FaultPlan random_fault_plan(util::Rng& rng,
+                                               const std::vector<std::string>& sites,
+                                               double horizon,
+                                               const FaultPlanBounds& bounds = {});
+
+}  // namespace aequus::testing

@@ -1,0 +1,63 @@
+#include "testing/property.hpp"
+
+#include <cstdlib>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace aequus::testing {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw PropertyFailure(message);
+}
+
+std::string PropertyOutcome::summary() const {
+  if (passed) {
+    return util::format("property '%s': %d trials passed", name.c_str(), trials);
+  }
+  return util::format(
+      "property '%s' FAILED at seed %llu after %d trials: %s "
+      "(replay with AEQUUS_PROPERTY_SEED=%llu)",
+      name.c_str(), static_cast<unsigned long long>(failing_seed), trials, failure.c_str(),
+      static_cast<unsigned long long>(failing_seed));
+}
+
+PropertyOutcome replay_property(std::string name, std::uint64_t seed,
+                                const std::function<void(std::uint64_t)>& trial) {
+  PropertyOutcome outcome;
+  outcome.name = std::move(name);
+  outcome.trials = 1;
+  try {
+    trial(seed);
+  } catch (const std::exception& e) {
+    outcome.passed = false;
+    outcome.failing_seed = seed;
+    outcome.failure = e.what();
+  }
+  return outcome;
+}
+
+PropertyOutcome run_property(std::string name, int trials, std::uint64_t base_seed,
+                             const std::function<void(std::uint64_t)>& trial) {
+  if (const char* replay = std::getenv("AEQUUS_PROPERTY_SEED")) {
+    return replay_property(std::move(name), std::strtoull(replay, nullptr, 0), trial);
+  }
+  PropertyOutcome outcome;
+  outcome.name = std::move(name);
+  std::uint64_t state = base_seed;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t seed = util::splitmix64(state);
+    ++outcome.trials;
+    try {
+      trial(seed);
+    } catch (const std::exception& e) {
+      outcome.passed = false;
+      outcome.failing_seed = seed;
+      outcome.failure = e.what();
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace aequus::testing

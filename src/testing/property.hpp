@@ -1,0 +1,52 @@
+// Seeded property-test runner.
+//
+// The repo's single-threaded determinism makes every randomized check
+// replayable from one 64-bit seed: a property is a callable that builds a
+// random input from the seed, exercises the system, and *throws* on
+// violation. run_property() derives N trial seeds from a base seed
+// (splitmix64, so nearby bases give uncorrelated streams) and reports the
+// exact failing seed, which replay_property() — or the
+// AEQUUS_PROPERTY_SEED environment variable — reproduces bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace aequus::testing {
+
+/// Thrown by trials (directly or via require()) to signal a violation.
+class PropertyFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throw PropertyFailure(message) unless `condition` holds.
+void require(bool condition, const std::string& message);
+
+/// Outcome of a property run; `summary()` is the line to print (and, on
+/// failure, contains the replay instructions).
+struct PropertyOutcome {
+  std::string name;
+  int trials = 0;              ///< trials actually executed
+  bool passed = true;
+  std::uint64_t failing_seed = 0;
+  std::string failure;         ///< what() of the failing trial
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run `trial(seed)` for `trials` seeds derived from `base_seed`. Stops at
+/// the first failure (any std::exception) and records the failing seed.
+/// When the AEQUUS_PROPERTY_SEED environment variable is set, only that
+/// seed runs — the replay path for a reported failure.
+[[nodiscard]] PropertyOutcome run_property(std::string name, int trials,
+                                           std::uint64_t base_seed,
+                                           const std::function<void(std::uint64_t)>& trial);
+
+/// Re-run a single reported seed; returns the outcome of that one trial.
+[[nodiscard]] PropertyOutcome replay_property(std::string name, std::uint64_t seed,
+                                              const std::function<void(std::uint64_t)>& trial);
+
+}  // namespace aequus::testing

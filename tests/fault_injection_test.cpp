@@ -1,0 +1,187 @@
+// End-to-end fault injection: a lossy network plus a scheduled site
+// outage must not deadlock the testbed, must not lose jobs, must keep the
+// system invariants at every sampling tick, and the replicated usage
+// views must reconverge once the outage clears. Also exercises the
+// libaequus retry/backoff/stale-fallback path directly against a dying
+// installation.
+#include <gtest/gtest.h>
+
+#include "services/installation.hpp"
+#include "testbed/experiment.hpp"
+#include "testing/invariants.hpp"
+#include "workload/scenarios.hpp"
+
+namespace aequus {
+namespace {
+
+workload::Scenario small_scenario(std::uint64_t seed, std::size_t jobs, int clusters) {
+  workload::Scenario scenario = workload::baseline_scenario(seed, jobs);
+  scenario.cluster_count = clusters;
+  scenario.hosts_per_cluster = 8;
+  const double target = scenario.target_load * scenario.capacity_core_seconds();
+  const double current = scenario.trace.total_usage();
+  for (auto& r : scenario.trace.records()) r.duration *= target / current;
+  return scenario;
+}
+
+TEST(FaultInjection, LossyNetworkWithSiteOutageKeepsInvariants) {
+  // 20% inter-site loss for the whole run, plus site1 hard-down for ten
+  // minutes in the first half. The acceptance scenario of the harness.
+  workload::Scenario scenario = small_scenario(23, 400, 3);
+
+  testbed::ExperimentConfig config;
+  config.faults.loss_rate = 0.2;
+  config.faults.seed = 99;
+  config.faults.outages.push_back({"site1", 1200.0, 1800.0});
+
+  testbed::Experiment experiment(scenario, config);
+  testing::InvariantChecker checker(experiment);
+  const testbed::ExperimentResult result = experiment.run();
+
+  // No deadlock, nothing lost: every submitted job ran to completion.
+  EXPECT_EQ(result.jobs_submitted, scenario.trace.size());
+  EXPECT_EQ(result.jobs_completed, scenario.trace.size());
+
+  // The faults actually bit.
+  EXPECT_GT(result.bus.dropped_loss, 0u);
+  EXPECT_GT(result.bus.dropped_outage, 0u);
+
+  // Per-tick invariants held throughout...
+  EXPECT_GT(checker.checks_run(), 10u);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+
+  // ...and after the drain the replicated views agree again.
+  checker.check_reconvergence();
+  EXPECT_TRUE(checker.ok()) << checker.report();
+
+  // The outage starved site1's own client of its FCS: the retry path ran.
+  const auto& stats = experiment.sites()[1]->client().stats();
+  EXPECT_GT(stats.refresh_timeouts, 0u);
+  EXPECT_GT(stats.refresh_retries, 0u);
+}
+
+TEST(FaultInjection, LosslessRunConservesUsageExactly) {
+  workload::Scenario scenario = small_scenario(29, 200, 2);
+  testbed::Experiment experiment(scenario, {});
+  testing::InvariantChecker checker(experiment);
+  const testbed::ExperimentResult result = experiment.run();
+  EXPECT_EQ(result.jobs_completed, scenario.trace.size());
+  checker.check_reconvergence();
+  checker.check_conservation_final();
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(FaultInjection, ClientTimesOutBacksOffAndServesStaleTable) {
+  sim::Simulator simulator;
+  net::ServiceBus bus(simulator);
+  services::Installation site(simulator, bus, "siteA");
+  core::PolicyTree policy;
+  policy.set_share("/alice", 0.7);
+  policy.set_share("/bob", 0.3);
+  site.set_policy(std::move(policy));
+  site.set_peer_sites({"siteA"});
+  site.uss().report("alice", 1000.0);
+
+  client::ClientConfig config;
+  config.site = "siteA";
+  config.cluster = "siteA";
+  config.fairshare_cache_ttl = 30.0;
+  config.request_timeout = 5.0;
+  config.max_retries = 2;
+  config.backoff_base = 1.0;
+  client::AequusClient client(simulator, bus, config);
+
+  // siteA dies for [100, 300): every refresh in that window is dropped.
+  net::FaultPlan plan;
+  plan.outages.push_back({"siteA", 100.0, 300.0});
+  bus.set_fault_plan(plan);
+
+  // Past the t=90 refresh round trip, before the outage starts at 100.
+  simulator.run_until(95.0);
+  ASSERT_GE(client.last_refresh_time(), 0.0);  // a refresh landed pre-outage
+  const double pre_outage_refresh = client.last_refresh_time();
+  const double cached_factor = client.fairshare_factor("alice");
+  EXPECT_LT(cached_factor, 0.5);  // alice is the over-user
+
+  simulator.run_until(290.0);
+  const auto& stats = client.stats();
+  EXPECT_GT(stats.refresh_timeouts, 0u);
+  EXPECT_GT(stats.refresh_retries, 0u);
+  EXPECT_GT(stats.refresh_failures, 0u);  // budgets exhausted, stale fallback
+  EXPECT_DOUBLE_EQ(client.last_refresh_time(), pre_outage_refresh);
+  // Stale but sane: lookups never hang or throw, they serve the old table.
+  EXPECT_DOUBLE_EQ(client.fairshare_factor("alice"), cached_factor);
+  EXPECT_TRUE(client.stale(60.0));
+
+  // Outage clears; the periodic cycle recovers on its own.
+  simulator.run_until(400.0);
+  EXPECT_GT(client.last_refresh_time(), 300.0);
+  EXPECT_FALSE(client.stale(60.0));
+}
+
+TEST(FaultInjection, UnboundFcsBouncesIntoSameBackoffPath) {
+  sim::Simulator simulator;
+  net::ServiceBus bus(simulator);
+  client::ClientConfig config;
+  config.site = "ghost";
+  config.cluster = "ghost";
+  config.max_retries = 1;
+  client::AequusClient client(simulator, bus, config);
+  simulator.run_until(120.0);
+  const auto& stats = client.stats();
+  // No FCS was ever bound: every attempt bounces (fast error, no timeout)
+  // and the retry budget is spent on each cycle.
+  EXPECT_GT(stats.refresh_errors, 0u);
+  EXPECT_GT(stats.refresh_failures, 0u);
+  EXPECT_EQ(stats.refresh_timeouts, 0u);
+  // The client still answers with the balance-point default.
+  EXPECT_DOUBLE_EQ(client.fairshare_factor("anyone"), 0.5);
+}
+
+TEST(FaultInjection, RepliesAfterTimeoutAreIgnoredAsStale) {
+  // A timeout shorter than the bus round trip: every reply arrives after
+  // its generation was retired, so it must be discarded — the table never
+  // updates, no reply is applied twice, and nothing crashes.
+  sim::Simulator simulator;
+  net::ServiceBus bus(simulator);
+  services::Installation site(simulator, bus, "siteB");
+  core::PolicyTree policy;
+  policy.set_share("/alice", 1.0);
+  site.set_policy(std::move(policy));
+  site.set_peer_sites({"siteB"});
+
+  client::ClientConfig config;
+  config.site = "siteB";
+  config.cluster = "siteB";
+  config.request_timeout = 0.005;  // < 2 * local_latency (0.01)
+  config.max_retries = 1;
+  client::AequusClient client(simulator, bus, config);
+  simulator.run_until(100.0);
+
+  const auto& stats = client.stats();
+  EXPECT_GT(stats.refresh_timeouts, 0u);
+  EXPECT_EQ(stats.fairshare_refreshes, 0u);       // no reply ever accepted
+  EXPECT_DOUBLE_EQ(client.last_refresh_time(), -1.0);
+  EXPECT_DOUBLE_EQ(client.fairshare_factor("alice"), 0.5);  // default served
+}
+
+TEST(FaultInjection, FullDuplicationRunStaysConsistent) {
+  // Every inter-site leg delivered twice: UMS polls see doubled replies,
+  // USS peers get doubled queries. The experiment must still complete and
+  // keep the structural invariants (conservation's upper bound is
+  // naturally exempt under duplication).
+  workload::Scenario scenario = small_scenario(31, 200, 2);
+  testbed::ExperimentConfig config;
+  config.faults.duplicate_rate = 1.0;
+  config.faults.seed = 4;
+  testbed::Experiment experiment(scenario, config);
+  testing::InvariantChecker checker(experiment);
+  const testbed::ExperimentResult result = experiment.run();
+  EXPECT_EQ(result.jobs_completed, scenario.trace.size());
+  EXPECT_GT(result.bus.duplicated, 0u);
+  checker.check_reconvergence();
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+}  // namespace
+}  // namespace aequus

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "json/json.hpp"
+#include "testing/generators.hpp"
+#include "testing/property.hpp"
+#include "util/rng.hpp"
 
 namespace aequus::json {
 namespace {
@@ -108,6 +114,66 @@ TEST(JsonBuild, ProgrammaticConstruction) {
   obj["flag"] = true;
   const Value v(std::move(obj));
   EXPECT_EQ(v.dump(), R"({"flag":true,"list":[1,"two"]})");
+}
+
+TEST(JsonDump, RejectsNonFiniteNumbers) {
+  EXPECT_THROW((void)Value(std::numeric_limits<double>::quiet_NaN()).dump(),
+               std::domain_error);
+  EXPECT_THROW((void)Value(std::numeric_limits<double>::infinity()).dump(),
+               std::domain_error);
+  EXPECT_THROW((void)Value(-std::numeric_limits<double>::infinity()).dump(),
+               std::domain_error);
+  // Also when buried inside a container.
+  Object obj;
+  obj["x"] = Value(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW((void)Value(std::move(obj)).dump(), std::domain_error);
+}
+
+TEST(JsonParse, RejectsNonFiniteTokens) {
+  EXPECT_THROW(parse("nan"), std::runtime_error);
+  EXPECT_THROW(parse("inf"), std::runtime_error);
+  EXPECT_THROW(parse("-inf"), std::runtime_error);
+  EXPECT_THROW(parse("Infinity"), std::runtime_error);
+}
+
+TEST(JsonDump, DeeplyNestedStructuresRoundTrip) {
+  Value v(1.0);
+  for (int i = 0; i < 64; ++i) {
+    Object obj;
+    obj["nest"] = std::move(v);
+    Array arr;
+    arr.push_back(Value(std::move(obj)));
+    v = Value(std::move(arr));
+  }
+  EXPECT_EQ(parse(v.dump()), v);
+  EXPECT_EQ(parse(v.pretty()), v);
+}
+
+TEST(JsonDump, Utf8AndEscapesRoundTrip) {
+  // Multi-byte UTF-8 passes through byte-exact; \uXXXX escapes decode to
+  // the same bytes on the way back in.
+  const std::string original = "é λ → \"q\" \\ \n \t \x01";
+  const Value v(original);
+  EXPECT_EQ(parse(v.dump()).as_string(), original);
+  EXPECT_EQ(parse("\"\\u00e9 \\u03bb \\u2192\"").as_string(), "é λ →");
+}
+
+TEST(JsonProperty, RandomDocumentsRoundTripThroughText) {
+  // 500 seeded documents: dump -> parse -> dump must be a fixed point and
+  // compare equal. A failure reports the seed; replay it alone with
+  // AEQUUS_PROPERTY_SEED=<seed>.
+  const auto outcome = aequus::testing::run_property(
+      "json-round-trip", 500, 0x150, [](std::uint64_t seed) {
+        util::Rng rng(seed);
+        const Value original = aequus::testing::random_json(rng, 5);
+        const std::string text = original.dump();
+        const Value reparsed = parse(text);
+        aequus::testing::require(reparsed == original, "reparse != original");
+        aequus::testing::require(reparsed.dump() == text, "dump not a fixed point");
+        aequus::testing::require(parse(original.pretty()) == original,
+                                 "pretty round trip failed");
+      });
+  EXPECT_TRUE(outcome.passed) << outcome.summary();
 }
 
 }  // namespace

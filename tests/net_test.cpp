@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 #include "net/service_bus.hpp"
 
 namespace aequus::net {
@@ -223,6 +226,153 @@ TEST_F(ServiceBusTest, LossInjectionIsDeterministicPerSeed) {
     return delivered;
   };
   EXPECT_EQ(run_with_seed(7), run_with_seed(7));
+}
+
+TEST_F(ServiceBusTest, UnboundRequestDeliversErrorEnvelope) {
+  bus.set_remote_latency(1.0);
+  bool replied = false;
+  double bounced_at = -1.0;
+  json::Value envelope;
+  bus.request(
+      "a", "nowhere.svc", json::Value(json::Object{}),
+      [&](const json::Value&) { replied = true; },
+      [&](const json::Value& error) {
+        bounced_at = simulator.now();
+        envelope = error;
+      });
+  simulator.run_all();
+  EXPECT_FALSE(replied);  // the reply path stays silent
+  EXPECT_DOUBLE_EQ(bounced_at, 1.0);  // one hop, like an ICMP unreachable
+  EXPECT_EQ(envelope.get_string("error"), "unbound");
+  EXPECT_EQ(envelope.get_string("address"), "nowhere.svc");
+  EXPECT_EQ(bus.stats().dropped_unbound, 1u);
+  EXPECT_EQ(bus.stats().unbound_bounces, 1u);
+}
+
+TEST_F(ServiceBusTest, OutageWindowDropsAllTrafficWhileActive) {
+  bus.set_remote_latency(0.1);
+  bus.bind("b.svc", echo_handler);
+  FaultPlan plan;
+  plan.outages.push_back({"b", 10.0, 20.0});
+  bus.set_fault_plan(plan);
+
+  int delivered = 0;
+  const auto probe = [&] {
+    bus.request("a", "b.svc", json::Value(json::Object{}),
+                [&](const json::Value&) { ++delivered; });
+  };
+  simulator.schedule_at(5.0, probe);    // before the window: flows
+  simulator.schedule_at(15.0, probe);   // inside: dropped
+  simulator.schedule_at(19.99, probe);  // still inside: dropped
+  simulator.schedule_at(20.0, probe);   // window is [start, end): flows
+  simulator.run_all();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(bus.stats().dropped_outage, 2u);
+}
+
+TEST_F(ServiceBusTest, OutageTakesDownIntraSiteTraffic) {
+  // An outage means the site is down, not merely partitioned: even local
+  // messages die, unlike loss injection which spares them.
+  bus.bind("b.svc", echo_handler);
+  FaultPlan plan;
+  plan.outages.push_back({"b", 0.0, 100.0});
+  bus.set_fault_plan(plan);
+  bool replied = false;
+  bus.request("b", "b.svc", json::Value(json::Object{}),
+              [&](const json::Value&) { replied = true; });
+  simulator.run_all();
+  EXPECT_FALSE(replied);
+  EXPECT_GE(bus.stats().dropped_outage, 1u);
+}
+
+TEST_F(ServiceBusTest, DuplicationDeliversSomeMessagesTwice) {
+  int received = 0;
+  bus.bind("b.sink", [&](const json::Value&) {
+    ++received;
+    return json::Value();
+  });
+  FaultPlan plan;
+  plan.duplicate_rate = 0.5;
+  plan.seed = 11;
+  bus.set_fault_plan(plan);
+  for (int i = 0; i < 100; ++i) bus.send("a", "b.sink", json::Value(json::Object{}));
+  simulator.run_all();
+  EXPECT_GT(received, 100);
+  EXPECT_EQ(static_cast<std::uint64_t>(received),
+            100u + bus.stats().duplicated);
+}
+
+TEST_F(ServiceBusTest, LatencyJitterDelaysDelivery) {
+  bus.set_remote_latency(1.0);
+  bus.bind("b.svc", echo_handler);
+  FaultPlan plan;
+  plan.latency_jitter = 0.5;
+  plan.seed = 3;
+  bus.set_fault_plan(plan);
+  std::vector<double> reply_times;
+  for (int i = 0; i < 50; ++i) {
+    bus.request("a", "b.svc", json::Value(json::Object{}),
+                [&](const json::Value&) { reply_times.push_back(simulator.now()); });
+  }
+  simulator.run_all();
+  ASSERT_EQ(reply_times.size(), 50u);
+  bool any_jittered = false;
+  for (const double t : reply_times) {
+    EXPECT_GE(t, 2.0);        // never earlier than the nominal round trip
+    EXPECT_LE(t, 3.0 + 1e-9); // at most two legs of max jitter
+    if (t > 2.0 + 1e-9) any_jittered = true;
+  }
+  EXPECT_TRUE(any_jittered);
+}
+
+TEST_F(ServiceBusTest, PerLinkLossOverridesDefaultRate) {
+  bus.bind("b.svc", echo_handler);
+  bus.bind("c.svc", echo_handler);
+  FaultPlan plan;
+  plan.loss_rate = 0.0;
+  plan.link_loss[{"a", "b"}] = 1.0;  // a->b always lost; b->a (reply) unaffected
+  plan.seed = 5;
+  bus.set_fault_plan(plan);
+  int to_b = 0;
+  int to_c = 0;
+  for (int i = 0; i < 20; ++i) {
+    bus.request("a", "b.svc", json::Value(json::Object{}),
+                [&](const json::Value&) { ++to_b; });
+    bus.request("a", "c.svc", json::Value(json::Object{}),
+                [&](const json::Value&) { ++to_c; });
+  }
+  simulator.run_all();
+  EXPECT_EQ(to_b, 0);
+  EXPECT_EQ(to_c, 20);
+}
+
+TEST_F(ServiceBusTest, FaultPlanIsDeterministicPerSeed) {
+  const auto run_with_seed = [&](std::uint64_t seed) {
+    sim::Simulator local_sim;
+    ServiceBus local_bus(local_sim);
+    local_bus.bind("b.svc", echo_handler);
+    FaultPlan plan;
+    plan.loss_rate = 0.3;
+    plan.duplicate_rate = 0.2;
+    plan.latency_jitter = 0.05;
+    plan.seed = seed;
+    local_bus.set_fault_plan(plan);
+    int delivered = 0;
+    double last_reply = 0.0;
+    for (int i = 0; i < 100; ++i) {
+      local_bus.request("a", "b.svc", json::Value(json::Object{}),
+                        [&](const json::Value& reply) {
+                          ++delivered;
+                          last_reply = local_sim.now();
+                          (void)reply;
+                        });
+    }
+    local_sim.run_all();
+    return std::make_tuple(delivered, last_reply, local_bus.stats().dropped_loss,
+                           local_bus.stats().duplicated);
+  };
+  EXPECT_EQ(run_with_seed(9), run_with_seed(9));
+  EXPECT_NE(run_with_seed(9), run_with_seed(10));
 }
 
 TEST_F(ServiceBusTest, RebindReplacesHandlerForNewTraffic) {

@@ -119,6 +119,75 @@ TEST(Simulator, PeriodicRejectsNonPositivePeriod) {
   EXPECT_THROW(s.schedule_periodic(0.0, 0.0, [] {}), std::invalid_argument);
 }
 
+TEST(Simulator, DestroyedHandleDoesNotCancel) {
+  // EventHandle is a cancellation token, not an RAII guard: letting it go
+  // out of scope must leave the event armed.
+  Simulator s;
+  bool fired = false;
+  { EventHandle handle = s.schedule_at(5.0, [&] { fired = true; }); }
+  s.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, DestroyedPeriodicHandleKeepsFiring) {
+  Simulator s;
+  int count = 0;
+  { EventHandle handle = s.schedule_periodic(1.0, 1.0, [&] { ++count; }); }
+  s.run_until(4.5);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, PeriodicCancelBetweenFiringsTakesEffectImmediately) {
+  // Cancel lands between the 2nd and 3rd firings (at t=2.5), scheduled as
+  // an event so the cancellation itself happens in virtual time.
+  Simulator s;
+  int count = 0;
+  EventHandle handle = s.schedule_periodic(1.0, 1.0, [&] { ++count; });
+  s.schedule_at(2.5, [&] { handle.cancel(); });
+  s.run_until(10.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(handle.active());
+}
+
+TEST(Simulator, CancelledEventStillDrainsFromQueue) {
+  Simulator s;
+  EventHandle handle = s.schedule_at(5.0, [] {});
+  handle.cancel();
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_EQ(s.pending(), 0u);
+  // A cancelled event is skipped, not executed.
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(Simulator, TieBreakHoldsAcrossMixedScheduleCalls) {
+  // (time, insertion-seq) ordering must hold regardless of which schedule
+  // API inserted the event and in which relative time order.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(10.0, [&] { order.push_back(0); });
+  s.schedule_after(10.0, [&] { order.push_back(1); });
+  s.schedule_at(10.0, [&] { order.push_back(2); });
+  s.schedule_periodic(10.0, 100.0, [&] { order.push_back(3); });
+  s.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Simulator, TieBreakAppliesToEventsScheduledMidFiring) {
+  // An event scheduled *during* a t=5 firing for t=5 runs after every
+  // pre-existing t=5 event (it got a later insertion sequence).
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(5.0, [&] {
+    order.push_back(0);
+    s.schedule_after(0.0, [&] { order.push_back(9); });
+  });
+  s.schedule_at(5.0, [&] { order.push_back(1); });
+  s.schedule_at(5.0, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+}
+
 TEST(Simulator, StepReturnsFalseWhenEmpty) {
   Simulator s;
   EXPECT_FALSE(s.step());
