@@ -9,14 +9,21 @@
 // below the tolerance. The paper's premise — decentralized exchange
 // tolerates degraded networks by serving stale-but-sane data — predicts
 // graceful growth with loss, not a cliff.
+//
+// The loss rates form the variants of one parallel sweep (default 2
+// replications per rate, each with a re-derived fault seed, so the
+// recovery times carry confidence intervals over loss realizations).
+// Emits BENCH_fault_recovery.json.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "common.hpp"
 #include "testing/invariants.hpp"
+#include "util/timeseries.hpp"
 
 using namespace aequus;
 
@@ -47,98 +54,108 @@ double view_divergence(testbed::Experiment& experiment) {
   return worst;
 }
 
-struct SweepRow {
-  double loss_rate = 0.0;
-  double peak_divergence = 0.0;      ///< worst disagreement during the run
-  double reconverged_at = -1.0;      ///< first tick after which div stays < tol
-  double recovery_seconds = -1.0;    ///< reconverged_at - outage end
-  std::uint64_t dropped = 0;
-  std::uint64_t retries = 0;         ///< libaequus backoff retries, all sites
-  bool invariants_ok = false;
-  std::uint64_t completed = 0;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::print_banner("Fault recovery: reconvergence time vs message loss",
                       "fault-injection harness; extends §IV-A failure analysis");
 
-  const std::size_t jobs = bench::jobs_from_argv(argc, argv, 2000);
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, 2000, 2);
   const double tolerance = 0.02;
   const std::vector<double> loss_rates = {0.0, 0.10, 0.25, 0.40};
+  const net::OutageWindow outage{"site1", 7200.0, 7800.0};
 
-  std::printf("%zu jobs, 3 sites, 10-minute outage of site1 at t=7200 s,\n", jobs);
+  std::printf("%zu jobs, 3 sites, 10-minute outage of site1 at t=%.0f s,\n", args.jobs,
+              outage.start);
   std::printf("reconvergence = max pairwise UMS view divergence < %.0f%%\n\n",
               100.0 * tolerance);
 
-  std::vector<SweepRow> rows;
+  std::vector<testbed::SweepVariant> variants;
   for (const double loss : loss_rates) {
-    workload::Scenario scenario = workload::baseline_scenario(2012, jobs);
+    workload::Scenario scenario = workload::baseline_scenario(2012, args.jobs);
     scenario.cluster_count = 3;
     scenario.hosts_per_cluster = 8;
     bench::rescale_to_capacity(scenario);
 
-    testbed::ExperimentConfig config;
-    config.faults.loss_rate = loss;
-    config.faults.seed = 1914;
-    const net::OutageWindow outage{"site1", 7200.0, 7800.0};
-    config.faults.outages.push_back(outage);
+    testbed::SweepVariant variant;
+    variant.name = util::format("loss_%02.0f", 100.0 * loss);
+    variant.scenario = std::move(scenario);
+    variant.config.faults.loss_rate = loss;
+    variant.config.faults.seed = 1914;  // re-derived per replication
+    variant.config.faults.outages.push_back(outage);
+    variants.push_back(std::move(variant));
+  }
 
-    testbed::Experiment experiment(scenario, config);
-    testing::InvariantChecker checker(experiment);
-    util::Series divergence;
-    experiment.add_tick_hook(
-        [&](double now) { divergence.add(now, view_divergence(experiment)); });
+  testbed::SweepSpec spec = bench::make_sweep(std::move(variants), args);
 
-    std::printf("running loss=%.0f%% ...\n", 100.0 * loss);
-    const testbed::ExperimentResult result = experiment.run();
+  // Per-task observers, addressed by task index so concurrent tasks never
+  // share state: an invariant checker and the divergence tick series.
+  std::vector<std::unique_ptr<testing::InvariantChecker>> checkers(spec.task_count());
+  std::vector<util::Series> divergences(spec.task_count());
+  spec.on_setup = [&](testbed::Experiment& experiment, std::size_t task_index) {
+    checkers[task_index] = std::make_unique<testing::InvariantChecker>(experiment);
+    divergences[task_index] = util::Series{};  // the serial reference sweep reruns tasks
+    experiment.add_tick_hook([&experiment, &divergences, task_index](double now) {
+      divergences[task_index].add(now, view_divergence(experiment));
+    });
+  };
+  spec.on_teardown = [&](testbed::Experiment& experiment, testbed::SweepTaskResult& slot) {
+    testing::InvariantChecker& checker = *checkers[slot.task_index];
     checker.check_reconvergence();
+    slot.metrics["invariants_ok"] = checker.ok() ? 1.0 : 0.0;
 
-    SweepRow row;
-    row.loss_rate = loss;
-    row.dropped = result.bus.dropped_loss + result.bus.dropped_outage;
-    row.completed = result.jobs_completed;
-    row.invariants_ok = checker.ok();
-    for (auto& site : experiment.sites()) {
-      row.retries += site->client().stats().refresh_retries;
-    }
+    std::uint64_t retries = 0;
+    for (auto& site : experiment.sites()) retries += site->client().stats().refresh_retries;
+    slot.metrics["refresh_retries"] = static_cast<double>(retries);
+
     // Peak divergence, and the earliest tick after which the divergence
     // never rises above the tolerance again.
+    const util::Series& divergence = divergences[slot.task_index];
+    double peak = 0.0;
+    double reconverged_at = -1.0;
     for (std::size_t i = 0; i < divergence.size(); ++i) {
-      row.peak_divergence = std::max(row.peak_divergence, divergence.values()[i]);
+      peak = std::max(peak, divergence.values()[i]);
     }
     for (std::size_t i = divergence.size(); i-- > 0;) {
       if (divergence.values()[i] > tolerance) {
-        if (i + 1 < divergence.size()) row.reconverged_at = divergence.times()[i + 1];
+        if (i + 1 < divergence.size()) reconverged_at = divergence.times()[i + 1];
         break;
       }
-      row.reconverged_at = divergence.times()[i];
+      reconverged_at = divergence.times()[i];
     }
-    if (row.reconverged_at >= 0.0) {
-      row.recovery_seconds = std::max(0.0, row.reconverged_at - outage.end);
-    }
-    rows.push_back(row);
-  }
+    slot.metrics["peak_divergence"] = peak;
+    slot.metrics["reconverged_at_s"] = reconverged_at;
+    slot.metrics["recovery_s"] =
+        reconverged_at >= 0.0 ? std::max(0.0, reconverged_at - outage.end) : -1.0;
+  };
 
-  std::printf("\n%8s %10s %14s %12s %10s %9s %6s\n", "loss", "peak div", "reconverged",
+  const bench::SweepRun sweep = bench::run_sweep_with_reference(spec, args);
+
+  std::printf("\n%8s %12s %14s %14s %10s %9s %6s\n", "loss", "peak div", "reconverged",
               "recovery", "dropped", "retries", "inv");
-  for (const auto& row : rows) {
-    std::printf("%7.0f%% %9.1f%% %12.0f s %10.0f s %10llu %9llu %6s\n",
-                100.0 * row.loss_rate, 100.0 * row.peak_divergence, row.reconverged_at,
-                row.recovery_seconds, static_cast<unsigned long long>(row.dropped),
-                static_cast<unsigned long long>(row.retries),
-                row.invariants_ok ? "ok" : "FAIL");
+  for (std::size_t v = 0; v < loss_rates.size(); ++v) {
+    const auto& aggregate = sweep.result.aggregates.at(spec.variants[v].name);
+    std::printf("%7.0f%% %10.1f%%  %11.0f s  %7.0f+-%.0f s %10.0f %9.0f %6s\n",
+                100.0 * loss_rates[v], 100.0 * aggregate.at("peak_divergence").mean,
+                aggregate.at("reconverged_at_s").mean, aggregate.at("recovery_s").mean,
+                aggregate.at("recovery_s").ci95_half, aggregate.at("bus_dropped").mean,
+                aggregate.at("refresh_retries").mean,
+                aggregate.at("invariants_ok").min >= 1.0 ? "ok" : "FAIL");
   }
 
   std::printf("\nreading: the outage dominates peak divergence; higher loss delays\n");
   std::printf("the cleanup polls, stretching recovery roughly with 1/(1-loss)^2\n");
-  std::printf("(both poll legs must survive) rather than collapsing the system.\n");
+  std::printf("(both poll legs must survive) rather than collapsing the system.\n\n");
+
+  bench::print_aggregates(sweep.result);
+  bench::write_bench_json("fault_recovery", args, spec, sweep.result, sweep.extra);
 
   // Exit nonzero if any run failed its invariants or lost jobs — this
   // bench doubles as a long-form fault soak.
-  for (const auto& row : rows) {
-    if (!row.invariants_ok || row.completed == 0) return 1;
+  for (const auto& [variant, metrics] : sweep.result.aggregates) {
+    (void)variant;
+    if (metrics.at("invariants_ok").min < 1.0) return 1;
+    if (metrics.at("jobs_completed").min <= 0.0) return 1;
   }
   return 0;
 }

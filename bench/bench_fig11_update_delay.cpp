@@ -6,6 +6,10 @@
 // measures a 10-15 % shorter convergence time (as a fraction of the run),
 // ruling update delay out as a significant error source for the
 // compressed tests.
+//
+// Both variants run as one parallel sweep (default 3 replications each)
+// so the convergence fractions carry confidence intervals. Emits
+// BENCH_fig11_update_delay.json.
 #include <cstdio>
 
 #include "common.hpp"
@@ -18,8 +22,8 @@ int main(int argc, char** argv) {
 
   // A lighter default than 43,200 jobs: the x10 run simulates 60 hours of
   // service chatter, so this bench uses a 12k-job baseline by default.
-  const std::size_t jobs = bench::jobs_from_argv(argc, argv, 12000);
-  const workload::Scenario base = workload::baseline_scenario(2012, jobs);
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, 12000, 3);
+  const workload::Scenario base = workload::baseline_scenario(2012, args.jobs);
   const workload::Scenario scaled = workload::scaled_scenario(base, 10.0);
 
   testbed::ExperimentConfig config;  // identical delays for both runs
@@ -36,35 +40,41 @@ int main(int argc, char** argv) {
   config.fairshare.decay =
       core::DecayConfig{core::DecayKind::kExponentialHalfLife, 7.0 * 86400.0, 0.0};
 
-  std::printf("running baseline (%zu jobs over %.0f s)...\n", base.trace.size(),
-              base.duration_seconds);
-  const testbed::ExperimentResult base_result = bench::run_scenario(base, config);
-  std::printf("running x10 scale-up (%zu jobs over %.0f s, same delays)...\n\n",
-              scaled.trace.size(), scaled.duration_seconds);
   testbed::ExperimentConfig scaled_config = config;
   scaled_config.sample_interval = config.sample_interval * 10.0;
   scaled_config.drain_seconds = 18000.0;
-  const testbed::ExperimentResult scaled_result = bench::run_scenario(scaled, scaled_config);
 
-  const double epsilon = 0.08;
-  const double base_convergence = base_result.priority_convergence_time(epsilon, base.duration_seconds);
-  const double scaled_convergence = scaled_result.priority_convergence_time(epsilon, scaled.duration_seconds);
-  const double base_fraction = base_convergence / base.duration_seconds;
-  const double scaled_fraction = scaled_convergence / scaled.duration_seconds;
+  testbed::SweepSpec spec =
+      bench::make_sweep({{"baseline", base, config}, {"x10", scaled, scaled_config}}, args);
+  spec.convergence_epsilon = 0.08;
+  std::printf("baseline: %zu jobs over %.0f s; x10: %zu jobs over %.0f s, same delays\n",
+              base.trace.size(), base.duration_seconds, scaled.trace.size(),
+              scaled.duration_seconds);
+  const bench::SweepRun sweep = bench::run_sweep_with_reference(spec, args);
 
-  std::printf("convergence to balance +-%.2f (priorities):\n", epsilon);
-  std::printf("  baseline: %8.0f s = %5.1f%% of the run\n", base_convergence,
-              100.0 * base_fraction);
-  std::printf("  x10 run : %8.0f s = %5.1f%% of the run\n", scaled_convergence,
-              100.0 * scaled_fraction);
-  if (base_convergence >= 0 && scaled_convergence >= 0 && base_fraction > 0) {
+  const auto& base_convergence = sweep.result.aggregates.at("baseline").at("convergence_time_s");
+  const auto& scaled_convergence = sweep.result.aggregates.at("x10").at("convergence_time_s");
+  const double base_fraction = base_convergence.mean / base.duration_seconds;
+  const double scaled_fraction = scaled_convergence.mean / scaled.duration_seconds;
+
+  std::printf("convergence to balance +-%.2f (priorities, mean +- 95%% CI over %zu reps):\n",
+              spec.convergence_epsilon, base_convergence.count);
+  std::printf("  baseline: %8.0f +- %5.0f s = %5.1f%% of the run\n", base_convergence.mean,
+              base_convergence.ci95_half, 100.0 * base_fraction);
+  std::printf("  x10 run : %8.0f +- %5.0f s = %5.1f%% of the run\n", scaled_convergence.mean,
+              scaled_convergence.ci95_half, 100.0 * scaled_fraction);
+  if (base_convergence.mean >= 0 && scaled_convergence.mean >= 0 && base_fraction > 0) {
     std::printf("  relative convergence time shortened by %.1f%% (paper: 10-15%%)\n",
                 100.0 * (1.0 - scaled_fraction / base_fraction));
   }
 
   std::printf("\nmean utilization: baseline %.1f%%, x10 %.1f%%\n",
-              100.0 * base_result.mean_utilization, 100.0 * scaled_result.mean_utilization);
+              100.0 * sweep.result.aggregates.at("baseline").at("mean_utilization").mean,
+              100.0 * sweep.result.aggregates.at("x10").at("mean_utilization").mean);
   std::printf("conclusion check: update delays are a modest, not dominant, error\n"
-              "source for the time-compressed tests.\n");
+              "source for the time-compressed tests.\n\n");
+
+  bench::print_aggregates(sweep.result);
+  bench::write_bench_json("fig11_update_delay", args, spec, sweep.result, sweep.extra);
   return 0;
 }

@@ -7,6 +7,11 @@
 //     and with more fluctuation;
 //   - the local-only site's data acts as noise for the others without a
 //     noticeable impact on global prioritization.
+//
+// The partial configuration and the all-participating control run as one
+// parallel sweep (default 2 replications each); the global-impact
+// comparison uses the aggregate convergence times. Emits
+// BENCH_partial_participation.json.
 #include <cmath>
 #include <cstdio>
 
@@ -52,8 +57,8 @@ int main(int argc, char** argv) {
   bench::print_banner("Partial cluster participation",
                       "Espling et al., IPPS'14, Section IV-A test 4");
 
-  const std::size_t jobs = bench::jobs_from_argv(argc, argv, bench::kTestbedJobs);
-  const workload::Scenario scenario = workload::baseline_scenario(2012, jobs);
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, bench::kTestbedJobs, 2);
+  const workload::Scenario scenario = workload::baseline_scenario(2012, args.jobs);
 
   testbed::ExperimentConfig config;
   config.record_per_site = true;
@@ -66,7 +71,14 @@ int main(int argc, char** argv) {
 
   std::printf("site4: reads global, does not contribute; site5: contributes, "
               "prioritizes on local data only; site0-3 fully participate\n\n");
-  const testbed::ExperimentResult result = bench::run_scenario(scenario, config);
+  const testbed::SweepSpec spec = bench::make_sweep(
+      {{"partial", scenario, config}, {"control", scenario, testbed::ExperimentConfig{}}},
+      args);
+  const bench::SweepRun sweep = bench::run_sweep_with_reference(spec, args);
+
+  // Per-site shape analysis on the first partial replication (the
+  // aggregate table below covers all of them).
+  const testbed::ExperimentResult& result = sweep.result.tasks.front().result;
 
   // The local-only site prioritizes on its ~1/6 sample of the workload:
   // it converges to the same levels, but "at a slower pace and with more
@@ -120,18 +132,22 @@ int main(int argc, char** argv) {
               local_only_late.mean_gap < 0.08 ? "yes" : "NO");
   (void)local_only_early;
 
-  // Global impact: compare fully-participating sites' convergence with an
-  // all-participating control run.
-  const testbed::ExperimentResult control =
-      bench::run_scenario(scenario, testbed::ExperimentConfig{});
-  const double with_noise = result.priority_convergence_time(0.05, scenario.duration_seconds);
-  const double without_noise = control.priority_convergence_time(0.05, scenario.duration_seconds);
-  std::printf("  global convergence with vs without the partial sites: %.0f s vs %.0f s\n",
-              with_noise, without_noise);
+  // Global impact: compare fully-participating sites' convergence against
+  // the all-participating control, now with CIs over the replications.
+  const auto& with_noise = sweep.result.aggregates.at("partial").at("convergence_time_s");
+  const auto& without_noise = sweep.result.aggregates.at("control").at("convergence_time_s");
+  std::printf("  global convergence with vs without the partial sites: "
+              "%.0f +- %.0f s vs %.0f +- %.0f s\n",
+              with_noise.mean, with_noise.ci95_half, without_noise.mean,
+              without_noise.ci95_half);
   std::printf("  (paper: the local-only site's noise has no noticeable impact)\n");
-  std::printf("\njobs completed: %llu/%llu, bus messages dropped by participation: %llu\n",
+  std::printf("\njobs completed (replication 0): %llu/%llu, bus messages dropped by "
+              "participation: %llu\n\n",
               static_cast<unsigned long long>(result.jobs_completed),
               static_cast<unsigned long long>(result.jobs_submitted),
               static_cast<unsigned long long>(result.bus.dropped_participation));
+
+  bench::print_aggregates(sweep.result);
+  bench::write_bench_json("partial_participation", args, spec, sweep.result, sweep.extra);
   return 0;
 }

@@ -3,7 +3,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 
+#include "json/json.hpp"
+#include "testing/determinism.hpp"
 #include "util/rng.hpp"
 
 namespace aequus::bench {
@@ -14,6 +19,144 @@ std::size_t jobs_from_argv(int argc, char** argv, std::size_t fallback) {
     if (parsed > 0) return static_cast<std::size_t>(parsed);
   }
   return fallback;
+}
+
+BenchArgs parse_bench_args(int argc, char** argv, std::size_t fallback_jobs,
+                           std::size_t fallback_replications) {
+  BenchArgs args;
+  args.jobs = fallback_jobs;
+  args.replications = fallback_replications;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : "0"; };
+    if (std::strcmp(arg, "--threads") == 0) {
+      args.threads = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (std::strcmp(arg, "--reps") == 0) {
+      const long parsed = std::strtol(value(), nullptr, 10);
+      if (parsed > 0) args.replications = static_cast<std::size_t>(parsed);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      args.root_seed = std::strtoull(value(), nullptr, 0);
+    } else if (std::strcmp(arg, "--json-dir") == 0) {
+      args.json_dir = value();
+    } else if (std::strcmp(arg, "--no-serial-reference") == 0) {
+      args.serial_reference = false;
+    } else if (arg[0] != '-') {
+      const long parsed = std::strtol(arg, nullptr, 10);
+      if (parsed > 0) args.jobs = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "warning: unknown option '%s' ignored\n", arg);
+    }
+  }
+  return args;
+}
+
+testbed::SweepSpec make_sweep(std::vector<testbed::SweepVariant> variants,
+                              const BenchArgs& args) {
+  testbed::SweepSpec spec;
+  spec.variants = std::move(variants);
+  spec.replications = args.replications > 0 ? args.replications : 1;
+  spec.root_seed = args.root_seed;
+  spec.threads = args.threads;
+  testing::attach_fingerprints(spec);
+  return spec;
+}
+
+SweepRun run_sweep_with_reference(const testbed::SweepSpec& spec, const BenchArgs& args) {
+  SweepRun run;
+  const int threads = testbed::resolve_thread_count(spec.threads);
+  std::printf("sweep: %zu variant(s) x %zu replication(s) on %d thread(s)...\n",
+              spec.variants.size(), spec.replications, threads);
+  run.result = testbed::run_sweep(spec);
+  std::printf("sweep done in %.2f s wall\n", run.result.wall_seconds);
+  if (args.serial_reference && run.result.threads_used > 1) {
+    testbed::SweepSpec serial = spec;
+    serial.threads = 1;
+    serial.keep_results = false;  // the reference only contributes wall time
+    std::printf("serial reference sweep (--threads 1)...\n");
+    const testbed::SweepResult reference = testbed::run_sweep(serial);
+    std::printf("serial reference done in %.2f s wall\n", reference.wall_seconds);
+    run.extra["serial_wall_seconds"] = reference.wall_seconds;
+    if (run.result.wall_seconds > 0.0) {
+      run.extra["speedup_vs_serial"] = reference.wall_seconds / run.result.wall_seconds;
+      std::printf("speedup vs serial at %d threads: %.2fx\n\n", run.result.threads_used,
+                  run.extra["speedup_vs_serial"]);
+    }
+  }
+  return run;
+}
+
+void print_aggregates(const testbed::SweepResult& result) {
+  for (const auto& [variant, metrics] : result.aggregates) {
+    std::printf("variant %s (n=%zu):\n", variant.c_str(),
+                metrics.empty() ? 0 : metrics.begin()->second.count);
+    for (const auto& [metric, summary] : metrics) {
+      std::printf("  %-24s %12.4f +- %-10.4f [%.4f, %.4f]\n", metric.c_str(), summary.mean,
+                  summary.ci95_half, summary.min, summary.max);
+    }
+  }
+  std::printf("\n");
+}
+
+void write_bench_json(const std::string& bench_name, const BenchArgs& args,
+                      const testbed::SweepSpec& spec, const testbed::SweepResult& result,
+                      const std::map<std::string, double>& extra) {
+  json::Object root;
+  root["bench"] = bench_name;
+  root["schema_version"] = 1;
+  root["jobs"] = args.jobs;
+  root["threads"] = result.threads_used;
+  root["replications"] = spec.replications;
+  root["root_seed"] = util::format("0x%llx", static_cast<unsigned long long>(spec.root_seed));
+  root["wall_seconds"] = result.wall_seconds;
+
+  json::Object extras;
+  for (const auto& [key, value] : extra) extras[key] = value;
+  root["extra"] = json::Value(std::move(extras));
+
+  json::Object variants;
+  for (const auto& [variant, metrics] : result.aggregates) {
+    json::Object metric_obj;
+    for (const auto& [metric, summary] : metrics) {
+      json::Object s;
+      s["count"] = summary.count;
+      s["mean"] = summary.mean;
+      s["stddev"] = summary.stddev;
+      s["ci95_half"] = summary.ci95_half;
+      s["min"] = summary.min;
+      s["max"] = summary.max;
+      metric_obj[metric] = json::Value(std::move(s));
+    }
+    json::Object variant_obj;
+    variant_obj["metrics"] = json::Value(std::move(metric_obj));
+    variants[variant] = json::Value(std::move(variant_obj));
+  }
+  root["variants"] = json::Value(std::move(variants));
+
+  json::Array tasks;
+  for (const auto& task : result.tasks) {
+    json::Object t;
+    t["variant"] = spec.variants[task.variant_index].name;
+    t["replication"] = task.replication;
+    t["seed"] = util::format("0x%llx", static_cast<unsigned long long>(task.seed));
+    t["wall_seconds"] = task.wall_seconds;
+    if (!task.fingerprint.empty()) {
+      t["fingerprint_hash"] = util::format(
+          "0x%016llx", static_cast<unsigned long long>(util::fnv1a64(task.fingerprint)));
+    }
+    tasks.push_back(json::Value(std::move(t)));
+  }
+  root["tasks"] = json::Value(std::move(tasks));
+
+  const std::string path = args.json_dir + "/BENCH_" + bench_name + ".json";
+  std::error_code ec;
+  std::filesystem::create_directories(args.json_dir, ec);  // best effort; open reports failure
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << json::Value(std::move(root)).pretty() << "\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 workload::Trace raw_year_trace(std::size_t jobs, std::uint64_t seed) {

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "testbed/experiment.hpp"
+#include "testbed/sweep.hpp"
 #include "util/strings.hpp"
 #include "workload/generator.hpp"
 #include "workload/national_model.hpp"
@@ -28,6 +30,51 @@ inline constexpr std::size_t kFitSubsample = 3000;
 
 /// Parse an optional job-count override from argv.
 [[nodiscard]] std::size_t jobs_from_argv(int argc, char** argv, std::size_t fallback);
+
+/// Command-line options shared by the sweep-capable benches:
+///   bench [jobs] [--threads N] [--reps N] [--seed S] [--json-dir DIR]
+///         [--no-serial-reference]
+/// `--threads 0` (the default) defers to AEQUUS_THREADS, then to the
+/// hardware. Unknown flags warn and are skipped.
+struct BenchArgs {
+  std::size_t jobs = 0;
+  int threads = 0;               ///< 0 = auto (AEQUUS_THREADS / hardware)
+  std::size_t replications = 0;  ///< 0 = bench default
+  std::uint64_t root_seed = 2014;
+  std::string json_dir = ".";
+  /// Re-run the sweep single-threaded to report speedup_vs_serial in the
+  /// JSON (skipped automatically when the sweep resolves to one thread).
+  bool serial_reference = true;
+};
+[[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv, std::size_t fallback_jobs,
+                                         std::size_t fallback_replications);
+
+/// A SweepSpec preset for benches: thread/seed overrides applied from the
+/// CLI and determinism fingerprints attached (hashes land in the JSON).
+[[nodiscard]] testbed::SweepSpec make_sweep(std::vector<testbed::SweepVariant> variants,
+                                            const BenchArgs& args);
+
+/// Run `spec`, printing a one-line progress note, and — unless disabled —
+/// a single-threaded reference sweep of the same spec to measure speedup.
+/// `extra` entries (e.g. serial wall time, speedup) are merged into the
+/// report written by write_bench_json().
+struct SweepRun {
+  testbed::SweepResult result;
+  std::map<std::string, double> extra;  ///< serial_wall_seconds, speedup_vs_serial
+};
+[[nodiscard]] SweepRun run_sweep_with_reference(const testbed::SweepSpec& spec,
+                                                const BenchArgs& args);
+
+/// Render the per-variant aggregate table (mean +- 95 % CI per metric).
+void print_aggregates(const testbed::SweepResult& result);
+
+/// Write BENCH_<name>.json into args.json_dir: threads, wall time, the
+/// per-variant aggregates (mean/stddev/CI/min/max per metric), per-task
+/// seeds + fingerprint hashes, and any `extra` scalars. This is the
+/// machine-readable perf trajectory consumed by tools/bench_gate.py.
+void write_bench_json(const std::string& bench_name, const BenchArgs& args,
+                      const testbed::SweepSpec& spec, const testbed::SweepResult& result,
+                      const std::map<std::string, double>& extra = {});
 
 /// The raw "historical" year trace: paper user mix plus injected
 /// admin/monitoring (~15 % of records) and zero-duration jobs, matching

@@ -67,4 +67,10 @@ std::string fingerprint(const testbed::ExperimentResult& result) {
   return out;
 }
 
+void attach_fingerprints(testbed::SweepSpec& spec) {
+  spec.fingerprinter = [](const testbed::ExperimentResult& result) {
+    return fingerprint(result);
+  };
+}
+
 }  // namespace aequus::testing

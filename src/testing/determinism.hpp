@@ -13,6 +13,7 @@
 
 #include "net/service_bus.hpp"
 #include "testbed/experiment.hpp"
+#include "testbed/sweep.hpp"
 #include "util/timeseries.hpp"
 
 namespace aequus::testing {
@@ -26,5 +27,11 @@ namespace aequus::testing {
 /// The whole experiment result: counters, final shares, bus stats, and
 /// every recorded series.
 [[nodiscard]] std::string fingerprint(const testbed::ExperimentResult& result);
+
+/// Make every task of `spec` carry the determinism fingerprint of its
+/// result. Lives here (not in the sweep engine) because the testbed
+/// library cannot depend on this one; the sweep takes the fingerprinter
+/// as an injected function for exactly this reason.
+void attach_fingerprints(testbed::SweepSpec& spec);
 
 }  // namespace aequus::testing

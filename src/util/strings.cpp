@@ -78,4 +78,13 @@ std::string format_duration(double seconds) {
   return format("%s%ldh %02ldm %04.1fs", negative ? "-" : "", hours, minutes, remaining);
 }
 
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 }  // namespace aequus::util

@@ -2,6 +2,7 @@
 // trees, CSV-ish trace IO, identity names).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,5 +29,9 @@ namespace aequus::util {
 
 /// Render seconds of simulated time as "HHh MMm SSs" for reports.
 [[nodiscard]] std::string format_duration(double seconds);
+
+/// FNV-1a 64-bit hash; used to abbreviate determinism fingerprints (which
+/// can run to megabytes) in machine-readable bench reports.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data) noexcept;
 
 }  // namespace aequus::util

@@ -1,0 +1,59 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace aequus::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    if (shutdown_) throw std::runtime_error("ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain-on-shutdown: exit only once the queue is empty.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();  // packaged_task captures exceptions into the future
+    {
+      std::unique_lock lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace aequus::util

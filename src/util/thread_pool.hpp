@@ -1,0 +1,70 @@
+// Fixed-size worker pool for embarrassingly parallel sweeps.
+//
+// Deliberately minimal: one FIFO queue, a fixed number of workers, no
+// work stealing and no priorities. The evaluation pipeline parallelizes
+// over whole experiments — coarse tasks of seconds each — so a single
+// mutex-guarded queue is nowhere near contention and keeps the execution
+// order (and therefore the set of tasks each worker runs) easy to reason
+// about. Determinism of the *results* never depends on the pool: tasks
+// must be pure functions of their inputs that write to disjoint slots.
+//
+// Shutdown semantics: the destructor drains the queue. Tasks already
+// submitted all run to completion and their futures become ready; only
+// submission of new tasks is refused after shutdown begins.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace aequus::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a nullary callable; tasks start in FIFO submission order.
+  /// The future reports the task's return value, or rethrows whatever the
+  /// task threw. Throws std::runtime_error if the pool is shutting down.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& task) {
+    using R = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    post([packaged] { (*packaged)(); });
+    return future;
+  }
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void post(std::function<void()> task);
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t running_ = 0;  ///< tasks currently executing
+  bool shutdown_ = false;
+};
+
+}  // namespace aequus::util

@@ -1,0 +1,263 @@
+// The parallel experiment-sweep engine and its thread pool.
+//
+// The golden test is the contract the whole evaluation pipeline rests
+// on: a sweep's per-task results — down to the determinism fingerprint
+// of every sample of every series — are identical whether the sweep runs
+// on one thread or eight, and so are the aggregates. Everything else
+// (seed derivation, summary statistics, pool semantics) supports that.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "testbed/sweep.hpp"
+#include "testing/determinism.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/scenarios.hpp"
+
+namespace aequus::testbed {
+namespace {
+
+// --- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPool, TasksStartInSubmissionOrderAndResultsMatch) {
+  util::ThreadPool pool(1);  // one worker serializes execution
+  std::vector<int> started;
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([i, &started] {
+      started.push_back(i);  // single worker: no synchronization needed
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(futures[i].get(), i * i);
+  ASSERT_EQ(started.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(started[i], i) << "FIFO order violated";
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuturesAndPoolSurvives) {
+  util::ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("task exploded"); });
+  EXPECT_THROW(
+      {
+        try {
+          (void)bad.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task exploded");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The worker that ran the throwing task keeps serving.
+  auto good = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(good.get(), 42);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  std::vector<std::future<int>> futures;
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 12; ++i) {
+      futures.push_back(pool.submit([i, &completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ++completed;
+        return i;
+      }));
+    }
+    // Destruction begins with most tasks still queued; all must run.
+  }
+  EXPECT_EQ(completed.load(), 12);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_EQ(futures[i].get(), i);
+  }
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilAllWorkFinished) {
+  util::ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([&completed] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ++completed;
+    }));
+  }
+  pool.wait_idle();
+  EXPECT_EQ(completed.load(), 20);
+  for (auto& f : futures) f.get();
+}
+
+TEST(ThreadPool, ZeroThreadRequestClampsToOneWorker) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+// --- Seed derivation and summaries --------------------------------------
+
+TEST(SweepSeeds, StableAndDistinct) {
+  // Pure function of (root, index): same inputs, same seed, every time.
+  EXPECT_EQ(sweep_task_seed(2014, 0), sweep_task_seed(2014, 0));
+  EXPECT_EQ(sweep_task_seed(2014, 41), sweep_task_seed(2014, 41));
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 4096; ++i) seen.insert(sweep_task_seed(2014, i));
+  EXPECT_EQ(seen.size(), 4096u) << "task seeds collide";
+  EXPECT_NE(sweep_task_seed(1, 0), sweep_task_seed(2, 0)) << "root seed ignored";
+}
+
+TEST(SweepSeeds, MatchesTheSplitmixStream) {
+  // The O(1) formula must equal draining the splitmix stream serially —
+  // that is what makes the schedule provably irrelevant to the seeds.
+  std::uint64_t state = 99;
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(util::splitmix64(state), sweep_task_seed(99, i)) << "index " << i;
+  }
+}
+
+TEST(SweepSummary, MeanStddevAndConfidenceInterval) {
+  const MetricSummary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944487358056, 1e-12);
+  EXPECT_NEAR(s.ci95_half, 3.182 * 1.2909944487358056 / 2.0, 1e-9);  // t(3) = 3.182
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+
+  const MetricSummary single = summarize({5.0});
+  EXPECT_EQ(single.count, 1u);
+  EXPECT_DOUBLE_EQ(single.mean, 5.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(single.ci95_half, 0.0);
+
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(SweepThreads, ResolutionOrder) {
+  unsetenv("AEQUUS_THREADS");
+  EXPECT_EQ(resolve_thread_count(3), 3);  // explicit request wins
+  EXPECT_GE(resolve_thread_count(0), 1);  // hardware fallback
+  setenv("AEQUUS_THREADS", "5", 1);
+  EXPECT_EQ(resolve_thread_count(0), 5);
+  EXPECT_EQ(resolve_thread_count(2), 2);  // request still beats the env
+  setenv("AEQUUS_THREADS", "junk", 1);
+  EXPECT_GE(resolve_thread_count(0), 1);
+  unsetenv("AEQUUS_THREADS");
+}
+
+// --- The golden determinism test ----------------------------------------
+
+workload::Scenario small_scenario(std::uint64_t seed, std::size_t jobs) {
+  workload::Scenario scenario = workload::baseline_scenario(seed, jobs);
+  scenario.cluster_count = 2;
+  scenario.hosts_per_cluster = 6;
+  const double target = scenario.target_load * scenario.capacity_core_seconds();
+  const double current = scenario.trace.total_usage();
+  for (auto& record : scenario.trace.records()) record.duration *= target / current;
+  return scenario;
+}
+
+SweepSpec golden_spec(int threads) {
+  SweepSpec spec;
+  SweepVariant fast;
+  fast.name = "fast-updates";
+  fast.scenario = small_scenario(11, 90);
+  fast.config.timings.service_update_interval = 60.0;
+  spec.variants.push_back(std::move(fast));
+  SweepVariant slow;
+  slow.name = "slow-updates";
+  slow.scenario = small_scenario(11, 90);
+  slow.config.timings.service_update_interval = 300.0;
+  spec.variants.push_back(std::move(slow));
+  spec.replications = 4;
+  spec.root_seed = 0x601d;
+  spec.threads = threads;
+  testing::attach_fingerprints(spec);
+  return spec;
+}
+
+TEST(SweepGolden, SerialAndEightThreadSweepsAreBitIdentical) {
+  const SweepResult serial = run_sweep(golden_spec(1));
+  const SweepResult parallel = run_sweep(golden_spec(8));
+  EXPECT_EQ(serial.threads_used, 1);
+  EXPECT_EQ(parallel.threads_used, 8);
+
+  // 2 scenarios (config variants) x 4 replications.
+  ASSERT_EQ(serial.tasks.size(), 8u);
+  ASSERT_EQ(parallel.tasks.size(), 8u);
+
+  for (std::size_t i = 0; i < serial.tasks.size(); ++i) {
+    EXPECT_EQ(serial.tasks[i].task_index, i);
+    EXPECT_EQ(serial.tasks[i].seed, parallel.tasks[i].seed);
+    ASSERT_FALSE(serial.tasks[i].fingerprint.empty());
+    // The heart of the PR: bit-identical determinism fingerprints — every
+    // counter and every sample of every series — across thread counts.
+    EXPECT_EQ(serial.tasks[i].fingerprint, parallel.tasks[i].fingerprint)
+        << "task " << i << " diverged between 1 and 8 threads";
+  }
+
+  // Aggregates merged in task-index order: identical down to the bit.
+  ASSERT_EQ(serial.aggregates.size(), parallel.aggregates.size());
+  for (const auto& [variant, metrics] : serial.aggregates) {
+    const auto& other = parallel.aggregates.at(variant);
+    ASSERT_EQ(metrics.size(), other.size());
+    for (const auto& [metric, summary] : metrics) {
+      const MetricSummary& o = other.at(metric);
+      EXPECT_EQ(summary.count, o.count) << variant << "." << metric;
+      EXPECT_EQ(summary.mean, o.mean) << variant << "." << metric;
+      EXPECT_EQ(summary.stddev, o.stddev) << variant << "." << metric;
+      EXPECT_EQ(summary.ci95_half, o.ci95_half) << variant << "." << metric;
+      EXPECT_EQ(summary.min, o.min) << variant << "." << metric;
+      EXPECT_EQ(summary.max, o.max) << variant << "." << metric;
+    }
+  }
+
+  // The seed must actually feed the randomness: replications of the same
+  // variant are distinct experiments, not copies.
+  std::set<std::string> distinct;
+  for (std::size_t i = 0; i < 4; ++i) distinct.insert(serial.tasks[i].fingerprint);
+  EXPECT_GT(distinct.size(), 1u) << "replications produced identical runs";
+
+  // Scalar metrics came along for every task. (The scenario generator
+  // rounds per-user job counts, so 90 requested jobs may become 91.)
+  for (const auto& task : serial.tasks) {
+    EXPECT_GT(task.metrics.count("mean_utilization"), 0u);
+    EXPECT_GT(task.metrics.count("convergence_time_s"), 0u);
+    EXPECT_NEAR(task.metrics.at("jobs_submitted"), 90.0, 4.0);
+    EXPECT_EQ(task.metrics.at("jobs_submitted"), task.metrics.at("jobs_completed"));
+  }
+}
+
+TEST(Sweep, TaskFailuresPropagateToTheCaller) {
+  SweepSpec spec = golden_spec(2);
+  spec.replications = 1;
+  spec.on_setup = [](Experiment&, std::size_t index) {
+    if (index == 1) throw std::runtime_error("hook rejected task");
+  };
+  EXPECT_THROW((void)run_sweep(spec), std::runtime_error);
+}
+
+TEST(Sweep, TasksOfSelectsOneVariantInReplicationOrder) {
+  SweepSpec spec = golden_spec(4);
+  spec.replications = 2;
+  spec.fingerprinter = nullptr;  // not needed here
+  spec.keep_results = false;
+  const SweepResult result = run_sweep(spec);
+  const auto selected = result.tasks_of(1);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0]->variant_index, 1u);
+  EXPECT_EQ(selected[0]->replication, 0u);
+  EXPECT_EQ(selected[1]->replication, 1u);
+  // keep_results=false leaves the heavy per-task results empty.
+  EXPECT_EQ(selected[0]->result.jobs_submitted, 0u);
+  EXPECT_GT(selected[0]->metrics.at("jobs_completed"), 0.0);
+}
+
+}  // namespace
+}  // namespace aequus::testbed

@@ -42,6 +42,74 @@ TEST(Metrics, ConvergenceTimeFindsStablePoint) {
   EXPECT_DOUBLE_EQ(convergence_time(set, {{"v", 0.5}}, 0.5), -1.0);
 }
 
+TEST(Metrics, ConvergenceWithEmptySeries) {
+  // A series that exists but holds no samples cannot converge.
+  util::SeriesSet set;
+  (void)set.series("u");  // created, never fed
+  EXPECT_DOUBLE_EQ(convergence_time(set, {{"u", 0.5}}, 0.05), -1.0);
+  // An empty target map converges vacuously... at no particular time; the
+  // implementation reports -1 (no data, no verdict).
+  util::SeriesSet empty;
+  EXPECT_DOUBLE_EQ(convergence_time(empty, {}, 0.05), -1.0);
+}
+
+TEST(Metrics, ConvergenceWithSingleSample) {
+  util::SeriesSet in_band;
+  in_band.series("u").add(30.0, 0.52);
+  // One sample inside the band: converged from that sample onwards.
+  EXPECT_DOUBLE_EQ(convergence_time(in_band, {{"u", 0.5}}, 0.05), 30.0);
+
+  util::SeriesSet out_of_band;
+  out_of_band.series("u").add(30.0, 0.8);
+  EXPECT_DOUBLE_EQ(convergence_time(out_of_band, {{"u", 0.5}}, 0.05), -1.0);
+
+  // A single sample after `until` leaves no evaluable window.
+  EXPECT_DOUBLE_EQ(convergence_time(in_band, {{"u", 0.5}}, 0.05, 10.0), -1.0);
+}
+
+TEST(Metrics, NeverConvergingSeries) {
+  util::SeriesSet set;
+  auto& s = set.series("u");
+  for (int i = 0; i < 50; ++i) s.add(10.0 * i, i % 2 == 0 ? 0.9 : 0.1);  // oscillates
+  EXPECT_DOUBLE_EQ(convergence_time(set, {{"u", 0.5}}, 0.05), -1.0);
+
+  // Ends out of balance: in-band middle stretch does not count.
+  util::SeriesSet relapse;
+  auto& r = relapse.series("u");
+  r.add(0.0, 0.9);
+  r.add(10.0, 0.5);
+  r.add(20.0, 0.5);
+  r.add(30.0, 0.9);
+  EXPECT_DOUBLE_EQ(convergence_time(relapse, {{"u", 0.5}}, 0.05), -1.0);
+  // ...unless `until` cuts the relapse off the evaluation window.
+  EXPECT_DOUBLE_EQ(convergence_time(relapse, {{"u", 0.5}}, 0.05, 20.0), 10.0);
+}
+
+TEST(Metrics, ConvergenceExactlyAtTheLastSample) {
+  util::SeriesSet set;
+  auto& s = set.series("u");
+  s.add(0.0, 0.9);
+  s.add(10.0, 0.8);
+  s.add(20.0, 0.51);  // only the final sample is in band
+  EXPECT_DOUBLE_EQ(convergence_time(set, {{"u", 0.5}}, 0.05), 20.0);
+
+  // Boundary math: a deviation of exactly epsilon counts as in band
+  // (values chosen exactly representable in binary so no roundoff creeps in).
+  util::SeriesSet exact;
+  exact.series("u").add(0.0, 0.9);
+  exact.series("u").add(10.0, 0.5625);
+  EXPECT_DOUBLE_EQ(convergence_time(exact, {{"u", 0.5}}, 0.0625), 10.0);
+
+  // With several series, convergence is when the *last* one settles.
+  util::SeriesSet multi;
+  multi.series("a").add(0.0, 0.9);
+  multi.series("a").add(10.0, 0.5);
+  multi.series("b").add(0.0, 0.9);
+  multi.series("b").add(10.0, 0.9);
+  multi.series("b").add(20.0, 0.5);
+  EXPECT_DOUBLE_EQ(convergence_time(multi, {{"a", 0.5}, {"b", 0.5}}, 0.05), 20.0);
+}
+
 TEST(Metrics, SubmissionRates) {
   std::vector<double> submits;
   for (int i = 0; i < 120; ++i) submits.push_back(i);            // 60/min for 2 min

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a machine-readable bench report (the BENCH_<name>.json files the
+sweep-capable benches emit) against a checked-in baseline, metric by
+metric, with a relative tolerance. Two modes:
+
+  # run a bench, then compare its emitted report
+  bench_gate.py --bench ./build/bench/bench_fig10_baseline \
+      --bench-args "800 --reps 2 --threads 2 --no-serial-reference" \
+      --out-dir ./build/bench-gate \
+      --baseline tools/bench_baselines/BENCH_fig10_baseline.json
+
+  # compare an already-emitted report
+  bench_gate.py --compare BENCH_fig10_baseline.json \
+      --baseline tools/bench_baselines/BENCH_fig10_baseline.json
+
+The gated quantity is each variant's aggregate *mean* per metric; the
+sweep's metrics are deterministic for a fixed (jobs, replications, seed)
+triple and independent of the thread count, so the tolerance (default
+15 %) only needs to absorb cross-platform floating-point drift. Run
+configuration (jobs, replications, root seed, variant names) must match
+the baseline exactly — comparing different configurations is refused, not
+fudged. Wall-clock fields are reported but never gated: they depend on
+the machine, not the code's correctness.
+
+Exit codes: 0 pass, 1 regression or mismatch, 77 skipped (missing
+baseline/report — wired to ctest's SKIP_RETURN_CODE), 2 usage error.
+
+Refresh a baseline intentionally with:
+  ./build/bench/bench_fig10_baseline 800 --reps 2 --no-serial-reference \
+      --json-dir tools/bench_baselines
+"""
+
+import argparse
+import json
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP = 77
+
+# Fields compared exactly (run configuration, not measurements).
+CONFIG_KEYS = ("bench", "jobs", "replications", "root_seed")
+
+
+def load(path: Path, role: str):
+    if not path.is_file():
+        print(f"SKIP: {role} {path} not found")
+        sys.exit(SKIP)
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def compare(emitted: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Returns a list of human-readable failures (empty = gate passes)."""
+    failures = []
+    for key in CONFIG_KEYS:
+        if emitted.get(key) != baseline.get(key):
+            failures.append(
+                f"config mismatch: {key} = {emitted.get(key)!r}, "
+                f"baseline has {baseline.get(key)!r}"
+            )
+    if failures:
+        return failures  # different run shape; metric diffs would be noise
+
+    base_variants = baseline.get("variants", {})
+    new_variants = emitted.get("variants", {})
+    if set(base_variants) != set(new_variants):
+        return [
+            f"variant set changed: {sorted(new_variants)} vs baseline {sorted(base_variants)}"
+        ]
+
+    for variant, payload in sorted(base_variants.items()):
+        for metric, summary in sorted(payload.get("metrics", {}).items()):
+            expected = summary.get("mean")
+            actual = new_variants[variant].get("metrics", {}).get(metric, {}).get("mean")
+            if actual is None:
+                failures.append(f"{variant}.{metric}: missing from emitted report")
+                continue
+            # Near-zero baselines get an absolute band of `tolerance`
+            # itself (a metric that was ~0 staying ~0), everything else a
+            # relative one.
+            scale = abs(expected) if abs(expected) > 1e-9 else 1.0
+            if abs(actual - expected) > tolerance * scale:
+                failures.append(
+                    f"{variant}.{metric}: {actual:.6g} deviates from baseline "
+                    f"{expected:.6g} by more than {tolerance:.0%}"
+                )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", type=Path, help="bench binary to run first")
+    parser.add_argument("--bench-args", default="", help="arguments for --bench (one string)")
+    parser.add_argument("--out-dir", type=Path, default=Path("."),
+                        help="where the bench writes its BENCH_*.json")
+    parser.add_argument("--compare", type=Path,
+                        help="already-emitted report (instead of --bench)")
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    args = parser.parse_args()
+    if bool(args.bench) == bool(args.compare):
+        parser.error("exactly one of --bench / --compare is required")
+
+    baseline = load(args.baseline, "baseline")
+
+    if args.bench:
+        if not args.bench.is_file():
+            print(f"SKIP: bench binary {args.bench} not found")
+            return SKIP
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        command = [str(args.bench), *shlex.split(args.bench_args),
+                   "--json-dir", str(args.out_dir)]
+        print("+", " ".join(command), flush=True)
+        proc = subprocess.run(command)
+        if proc.returncode != 0:
+            print(f"FAIL: bench exited with {proc.returncode}")
+            return 1
+        report_path = args.out_dir / args.baseline.name
+    else:
+        report_path = args.compare
+
+    emitted = load(report_path, "report")
+    failures = compare(emitted, baseline, args.tolerance)
+
+    wall = emitted.get("wall_seconds")
+    threads = emitted.get("threads")
+    print(f"report: {report_path} (threads={threads}, wall={wall:.2f}s)"
+          if isinstance(wall, float) else f"report: {report_path}")
+    if failures:
+        print(f"FAIL: {len(failures)} metric(s) outside +-{args.tolerance:.0%}:")
+        for failure in failures:
+            print("  -", failure)
+        return 1
+    metric_count = sum(len(v.get("metrics", {})) for v in baseline.get("variants", {}).values())
+    print(f"PASS: {metric_count} metric means within +-{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
