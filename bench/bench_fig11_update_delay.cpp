@@ -52,29 +52,40 @@ int main(int argc, char** argv) {
               scaled.duration_seconds);
   const bench::SweepRun sweep = bench::run_sweep_with_reference(spec, args);
 
-  const auto& base_convergence = sweep.result.aggregates.at("baseline").at("convergence_time_s");
-  const auto& scaled_convergence = sweep.result.aggregates.at("x10").at("convergence_time_s");
-  const double base_fraction = base_convergence.mean / base.duration_seconds;
-  const double scaled_fraction = scaled_convergence.mean / scaled.duration_seconds;
+  // Headline numbers come from the merged metrics snapshots: every
+  // Experiment records "experiment.convergence_time_s" into its registry,
+  // run_sweep merges the per-task snapshots in task-index order, and the
+  // gauge mean equals the aggregate-table mean bit for bit (same sums,
+  // same order). The aggregates still supply the CIs.
+  const obs::Snapshot& base_obs = sweep.result.obs.at("baseline");
+  const obs::Snapshot& scaled_obs = sweep.result.obs.at("x10");
+  const obs::GaugeValue base_convergence = base_obs.gauge("experiment.convergence_time_s");
+  const obs::GaugeValue scaled_convergence = scaled_obs.gauge("experiment.convergence_time_s");
+  const double base_fraction = base_convergence.mean() / base.duration_seconds;
+  const double scaled_fraction = scaled_convergence.mean() / scaled.duration_seconds;
 
-  std::printf("convergence to balance +-%.2f (priorities, mean +- 95%% CI over %zu reps):\n",
-              spec.convergence_epsilon, base_convergence.count);
-  std::printf("  baseline: %8.0f +- %5.0f s = %5.1f%% of the run\n", base_convergence.mean,
-              base_convergence.ci95_half, 100.0 * base_fraction);
-  std::printf("  x10 run : %8.0f +- %5.0f s = %5.1f%% of the run\n", scaled_convergence.mean,
-              scaled_convergence.ci95_half, 100.0 * scaled_fraction);
-  if (base_convergence.mean >= 0 && scaled_convergence.mean >= 0 && base_fraction > 0) {
+  std::printf("convergence to balance +-%.2f (priorities, mean +- 95%% CI over %llu reps):\n",
+              spec.convergence_epsilon,
+              static_cast<unsigned long long>(base_convergence.samples));
+  std::printf("  baseline: %8.0f +- %5.0f s = %5.1f%% of the run\n", base_convergence.mean(),
+              sweep.result.aggregates.at("baseline").at("convergence_time_s").ci95_half,
+              100.0 * base_fraction);
+  std::printf("  x10 run : %8.0f +- %5.0f s = %5.1f%% of the run\n", scaled_convergence.mean(),
+              sweep.result.aggregates.at("x10").at("convergence_time_s").ci95_half,
+              100.0 * scaled_fraction);
+  if (base_convergence.mean() >= 0 && scaled_convergence.mean() >= 0 && base_fraction > 0) {
     std::printf("  relative convergence time shortened by %.1f%% (paper: 10-15%%)\n",
                 100.0 * (1.0 - scaled_fraction / base_fraction));
   }
 
   std::printf("\nmean utilization: baseline %.1f%%, x10 %.1f%%\n",
-              100.0 * sweep.result.aggregates.at("baseline").at("mean_utilization").mean,
-              100.0 * sweep.result.aggregates.at("x10").at("mean_utilization").mean);
+              100.0 * base_obs.gauge("experiment.mean_utilization").mean(),
+              100.0 * scaled_obs.gauge("experiment.mean_utilization").mean());
   std::printf("conclusion check: update delays are a modest, not dominant, error\n"
               "source for the time-compressed tests.\n\n");
 
   bench::print_aggregates(sweep.result);
+  bench::report_observability(args, sweep.result);
   bench::write_bench_json("fig11_update_delay", args, spec, sweep.result, sweep.extra);
   return 0;
 }

@@ -141,13 +141,17 @@ int main(int argc, char** argv) {
               with_noise.mean, with_noise.ci95_half, without_noise.mean,
               without_noise.ci95_half);
   std::printf("  (paper: the local-only site's noise has no noticeable impact)\n");
+  // Bus drop count straight from the task's metrics snapshot — the same
+  // registry the ServiceBus counts into (BusStats is a façade over it).
   std::printf("\njobs completed (replication 0): %llu/%llu, bus messages dropped by "
               "participation: %llu\n\n",
               static_cast<unsigned long long>(result.jobs_completed),
               static_cast<unsigned long long>(result.jobs_submitted),
-              static_cast<unsigned long long>(result.bus.dropped_participation));
+              static_cast<unsigned long long>(
+                  sweep.result.tasks.front().obs.counter("bus.dropped_participation")));
 
   bench::print_aggregates(sweep.result);
+  bench::report_observability(args, sweep.result);
   bench::write_bench_json("partial_participation", args, spec, sweep.result, sweep.extra);
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +9,7 @@
 #include <fstream>
 
 #include "json/json.hpp"
+#include "obs/trace.hpp"
 #include "testing/determinism.hpp"
 #include "util/rng.hpp"
 
@@ -40,6 +42,10 @@ BenchArgs parse_bench_args(int argc, char** argv, std::size_t fallback_jobs,
       args.json_dir = value();
     } else if (std::strcmp(arg, "--no-serial-reference") == 0) {
       args.serial_reference = false;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      args.trace_path = value();
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      args.print_metrics = true;
     } else if (arg[0] != '-') {
       const long parsed = std::strtol(arg, nullptr, 10);
       if (parsed > 0) args.jobs = static_cast<std::size_t>(parsed);
@@ -58,6 +64,13 @@ testbed::SweepSpec make_sweep(std::vector<testbed::SweepVariant> variants,
   spec.root_seed = args.root_seed;
   spec.threads = args.threads;
   testing::attach_fingerprints(spec);
+  if (!args.trace_path.empty()) {
+    // Trace one representative task; tracing every replication would
+    // multiply the buffer for no analytical gain.
+    spec.on_setup = [](testbed::Experiment& experiment, std::size_t task_index) {
+      if (task_index == 0) experiment.tracer().enable();
+    };
+  }
   return spec;
 }
 
@@ -83,6 +96,43 @@ SweepRun run_sweep_with_reference(const testbed::SweepSpec& spec, const BenchArg
     }
   }
   return run;
+}
+
+void report_observability(const BenchArgs& args, const testbed::SweepResult& result) {
+  if (!args.trace_path.empty()) {
+    const auto traced = std::find_if(result.tasks.begin(), result.tasks.end(),
+                                     [](const auto& task) { return !task.result.trace.empty(); });
+    if (traced == result.tasks.end()) {
+      std::fprintf(stderr, "warning: no trace events collected (keep_results off?)\n");
+    } else {
+      std::ofstream out(args.trace_path);
+      if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n", args.trace_path.c_str());
+      } else {
+        obs::write_jsonl(out, traced->result.trace);
+        std::printf("wrote %zu trace events to %s\n", traced->result.trace.size(),
+                    args.trace_path.c_str());
+      }
+    }
+  }
+  if (args.print_metrics) {
+    for (const auto& [variant, snapshot] : result.obs) {
+      std::printf("metrics %s:\n", variant.c_str());
+      for (const auto& [key, value] : snapshot.counters) {
+        std::printf("  %-40s %llu\n", key.c_str(), static_cast<unsigned long long>(value));
+      }
+      for (const auto& [key, gauge] : snapshot.gauges) {
+        std::printf("  %-40s last=%.6g mean=%.6g (n=%llu)\n", key.c_str(), gauge.last,
+                    gauge.mean(), static_cast<unsigned long long>(gauge.samples));
+      }
+      for (const auto& [key, histogram] : snapshot.histograms) {
+        std::printf("  %-40s n=%llu mean=%.6g [%.6g, %.6g]\n", key.c_str(),
+                    static_cast<unsigned long long>(histogram.count), histogram.mean(),
+                    histogram.min, histogram.max);
+      }
+    }
+    std::printf("\n");
+  }
 }
 
 void print_aggregates(const testbed::SweepResult& result) {

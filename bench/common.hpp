@@ -33,7 +33,7 @@ inline constexpr std::size_t kFitSubsample = 3000;
 
 /// Command-line options shared by the sweep-capable benches:
 ///   bench [jobs] [--threads N] [--reps N] [--seed S] [--json-dir DIR]
-///         [--no-serial-reference]
+///         [--no-serial-reference] [--trace FILE] [--metrics]
 /// `--threads 0` (the default) defers to AEQUUS_THREADS, then to the
 /// hardware. Unknown flags warn and are skipped.
 struct BenchArgs {
@@ -45,6 +45,11 @@ struct BenchArgs {
   /// Re-run the sweep single-threaded to report speedup_vs_serial in the
   /// JSON (skipped automatically when the sweep resolves to one thread).
   bool serial_reference = true;
+  /// --trace FILE: enable the tracer on the sweep's first task and write
+  /// its event stream to FILE as JSON-lines.
+  std::string trace_path;
+  /// --metrics: print the merged per-variant metrics snapshots.
+  bool print_metrics = false;
 };
 [[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv, std::size_t fallback_jobs,
                                          std::size_t fallback_replications);
@@ -64,6 +69,11 @@ struct SweepRun {
 };
 [[nodiscard]] SweepRun run_sweep_with_reference(const testbed::SweepSpec& spec,
                                                 const BenchArgs& args);
+
+/// Honour --trace / --metrics on a finished sweep: write the first task's
+/// trace events to args.trace_path (JSON-lines) and/or print the merged
+/// per-variant metrics snapshots. No-op when neither flag was given.
+void report_observability(const BenchArgs& args, const testbed::SweepResult& result);
 
 /// Render the per-variant aggregate table (mean +- 95 % CI per metric).
 void print_aggregates(const testbed::SweepResult& result);

@@ -1,5 +1,6 @@
 #include "core/decay.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -31,10 +32,21 @@ double Decay::weight(double age) const noexcept {
 }
 
 double Decay::decayed_total(const std::vector<std::pair<double, double>>& bins,
-                            double now) const noexcept {
-  double total = 0.0;
-  for (const auto& [time, amount] : bins) total += amount * weight(now - time);
-  return total;
+                            double now) const {
+  // Weights clamp at 1 for future-dated bins (age <= 0, e.g. clock skew
+  // between sites), and the sum is evaluated in (time, amount) order so
+  // the result is independent of the order bins arrive in: floating-point
+  // addition does not commute across orderings, and callers merge
+  // histograms from several sources.
+  const auto sorted_sum = [this, now](const std::vector<std::pair<double, double>>& sorted) {
+    double total = 0.0;
+    for (const auto& [time, amount] : sorted) total += amount * weight(now - time);
+    return total;
+  };
+  if (std::is_sorted(bins.begin(), bins.end())) return sorted_sum(bins);
+  std::vector<std::pair<double, double>> sorted = bins;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_sum(sorted);
 }
 
 json::Value Decay::to_json() const {

@@ -36,8 +36,10 @@ class Decay {
   [[nodiscard]] double weight(double age) const noexcept;
 
   /// Weighted sum of (bin_time, amount) pairs evaluated at time `now`.
+  /// Order-independent: unsorted bins are summed in (time, amount) order
+  /// (already-sorted input takes an allocation-free fast path).
   [[nodiscard]] double decayed_total(const std::vector<std::pair<double, double>>& bins,
-                                     double now) const noexcept;
+                                     double now) const;
 
   [[nodiscard]] const DecayConfig& config() const noexcept { return config_; }
 

@@ -1,9 +1,11 @@
 #include "json/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <system_error>
 
 #include "util/strings.hpp"
 
@@ -130,7 +132,15 @@ void write_number(std::string& out, double d) {
   if (d == std::llround(d) && std::fabs(d) < 1e15) {
     out += util::format("%lld", static_cast<long long>(std::llround(d)));
   } else {
-    out += util::format("%.17g", d);
+    // std::to_chars, not printf "%g": the latter renders the decimal
+    // separator per LC_NUMERIC, and a comma-decimal locale (de_DE) would
+    // corrupt every serialized number. 17 significant digits round-trip
+    // any double exactly.
+    char buffer[32];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), d, std::chars_format::general, 17);
+    if (ec != std::errc()) throw std::runtime_error("json: number formatting failed");
+    out.append(buffer, end);
   }
 }
 }  // namespace
@@ -362,10 +372,15 @@ class Parser {
       }
     }
     if (pos_ == start) fail("expected value", start);
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("malformed number", start);
+    // std::from_chars, not strtod: strtod honours LC_NUMERIC, so under a
+    // comma-decimal locale it would stop at the '.' and mis-parse "1.5"
+    // as 1. from_chars always uses the C-locale grammar.
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || end != token.data() + token.size()) {
+      fail("malformed number", start);
+    }
     return Value(value);
   }
 

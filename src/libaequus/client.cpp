@@ -7,8 +7,22 @@
 
 namespace aequus::client {
 
-AequusClient::AequusClient(sim::Simulator& simulator, net::ServiceBus& bus, ClientConfig config)
-    : simulator_(simulator), bus_(bus), config_(std::move(config)) {
+AequusClient::AequusClient(sim::Simulator& simulator, net::ServiceBus& bus, ClientConfig config,
+                           obs::Observability obs)
+    : simulator_(simulator), bus_(bus), config_(std::move(config)), obs_(obs) {
+  if (obs_.registry != nullptr) {
+    const std::string prefix = config_.site + ".client.";
+    metrics_.fairshare_lookups = &obs_.registry->counter(prefix + "fairshare_lookups");
+    metrics_.fairshare_refreshes = &obs_.registry->counter(prefix + "fairshare_refreshes");
+    metrics_.usage_reports = &obs_.registry->counter(prefix + "usage_reports");
+    metrics_.identity_hits = &obs_.registry->counter(prefix + "identity_hits");
+    metrics_.identity_misses = &obs_.registry->counter(prefix + "identity_misses");
+    metrics_.identity_failures = &obs_.registry->counter(prefix + "identity_failures");
+    metrics_.refresh_timeouts = &obs_.registry->counter(prefix + "refresh_timeouts");
+    metrics_.refresh_retries = &obs_.registry->counter(prefix + "refresh_retries");
+    metrics_.refresh_errors = &obs_.registry->counter(prefix + "refresh_errors");
+    metrics_.refresh_failures = &obs_.registry->counter(prefix + "refresh_failures");
+  }
   refresh_fairshare_table();
   refresh_task_ =
       simulator_.schedule_periodic(config_.fairshare_cache_ttl, config_.fairshare_cache_ttl,
@@ -19,6 +33,13 @@ AequusClient::~AequusClient() {
   refresh_task_.cancel();
   timeout_task_.cancel();
   retry_task_.cancel();
+}
+
+void AequusClient::trace(obs::EventKind kind, std::string detail, double value,
+                         std::uint64_t id) {
+  if (obs_.tracer == nullptr || !obs_.tracer->enabled()) return;
+  obs_.tracer->record(simulator_.now(), kind, config_.site, "client", std::move(detail), value,
+                      id);
 }
 
 bool AequusClient::stale(double max_age) const noexcept {
@@ -41,11 +62,16 @@ void AequusClient::refresh_fairshare_table() {
 
 void AequusClient::start_refresh(int attempt) {
   const std::uint64_t generation = ++refresh_generation_;
+  const std::uint64_t rpc_id =
+      obs_.tracer != nullptr && obs_.tracer->enabled() ? obs_.tracer->next_id() : 0;
+  const double sent_at = simulator_.now();
+  trace(obs::EventKind::kRpcBegin, "fcs.table", static_cast<double>(attempt), rpc_id);
   if (config_.request_timeout > 0.0) {
     timeout_task_ = simulator_.schedule_after(
         config_.request_timeout, [this, generation, attempt] {
           if (generation != refresh_generation_) return;
           ++stats_.refresh_timeouts;
+          obs::bump(metrics_.refresh_timeouts);
           refresh_attempt_failed(attempt);
         });
   }
@@ -53,7 +79,7 @@ void AequusClient::start_refresh(int attempt) {
   request["op"] = "table";
   bus_.request(
       config_.site, config_.site + ".fcs", json::Value(std::move(request)),
-      [this, generation](const json::Value& reply) {
+      [this, generation, sent_at, rpc_id](const json::Value& reply) {
         if (generation != refresh_generation_) return;  // superseded or timed out
         timeout_task_.cancel();
         ++refresh_generation_;  // retire this attempt (duplicates become stale)
@@ -64,6 +90,8 @@ void AequusClient::start_refresh(int attempt) {
             fairshare_table_[user] = value.as_number();
           }
           ++stats_.fairshare_refreshes;
+          obs::bump(metrics_.fairshare_refreshes);
+          trace(obs::EventKind::kRpcEnd, "fcs.table", simulator_.now() - sent_at, rpc_id);
           last_refresh_time_ = simulator_.now();
         } catch (const std::exception& e) {
           AEQ_WARN("libaequus") << "bad fairshare table reply: " << e.what();
@@ -73,6 +101,7 @@ void AequusClient::start_refresh(int attempt) {
         if (generation != refresh_generation_) return;
         timeout_task_.cancel();
         ++stats_.refresh_errors;
+        obs::bump(metrics_.refresh_errors);
         AEQ_DEBUG("libaequus") << config_.site << ": fairshare refresh bounced: "
                                << error.get_string("error", "unknown");
         refresh_attempt_failed(attempt);
@@ -83,18 +112,23 @@ void AequusClient::refresh_attempt_failed(int attempt) {
   ++refresh_generation_;  // a late reply to the failed attempt is stale
   if (attempt >= config_.max_retries) {
     ++stats_.refresh_failures;
+    obs::bump(metrics_.refresh_failures);
+    trace(obs::EventKind::kCacheStaleFallback, "fairshare_table",
+          last_refresh_time_ >= 0.0 ? simulator_.now() - last_refresh_time_ : -1.0);
     AEQ_DEBUG("libaequus") << config_.site
                            << ": fairshare refresh retries exhausted; serving stale table";
     return;  // stale-cache fallback until the next periodic cycle
   }
   retry_task_ = simulator_.schedule_after(backoff_delay(attempt), [this, attempt] {
     ++stats_.refresh_retries;
+    obs::bump(metrics_.refresh_retries);
     start_refresh(attempt + 1);
   });
 }
 
 double AequusClient::fairshare_factor(const std::string& grid_user) {
   ++stats_.fairshare_lookups;
+  obs::bump(metrics_.fairshare_lookups);
   const auto it = fairshare_table_.find(grid_user);
   return it != fairshare_table_.end() ? it->second : 0.5;
 }
@@ -104,9 +138,13 @@ std::optional<std::string> AequusClient::resolve_identity(const std::string& sys
   const auto it = identity_cache_.find(system_user);
   if (it != identity_cache_.end() && it->second.expires > now) {
     ++stats_.identity_hits;
+    obs::bump(metrics_.identity_hits);
+    trace(obs::EventKind::kCacheHit, "identity:" + system_user);
     return it->second.grid_user;
   }
   ++stats_.identity_misses;
+  obs::bump(metrics_.identity_misses);
+  trace(obs::EventKind::kCacheMiss, "identity:" + system_user);
   json::Object request;
   request["op"] = "resolve";
   request["system_user"] = system_user;
@@ -120,6 +158,7 @@ std::optional<std::string> AequusClient::resolve_identity(const std::string& sys
     reply = bus_.call(config_.site + ".irs", json::Value(std::move(request)));
   } catch (const std::exception& e) {
     ++stats_.identity_failures;
+    obs::bump(metrics_.identity_failures);
     AEQ_DEBUG("libaequus") << config_.site << ": identity lookup failed: " << e.what();
     return std::nullopt;
   }
@@ -133,6 +172,7 @@ std::optional<std::string> AequusClient::resolve_identity(const std::string& sys
 void AequusClient::report_usage(const std::string& grid_user, double usage) {
   if (usage <= 0.0) return;
   ++stats_.usage_reports;
+  obs::bump(metrics_.usage_reports);
   json::Object record;
   record["op"] = "report";
   record["user"] = grid_user;

@@ -31,6 +31,8 @@
 #include <string>
 
 #include "net/service_bus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace aequus::client {
@@ -62,7 +64,8 @@ struct ClientStats {
 
 class AequusClient {
  public:
-  AequusClient(sim::Simulator& simulator, net::ServiceBus& bus, ClientConfig config);
+  AequusClient(sim::Simulator& simulator, net::ServiceBus& bus, ClientConfig config,
+               obs::Observability obs = {});
   ~AequusClient();
   AequusClient(const AequusClient&) = delete;
   AequusClient& operator=(const AequusClient&) = delete;
@@ -102,16 +105,35 @@ class AequusClient {
   void refresh_fairshare_table();
 
  private:
+  /// Registry-backed mirrors of ClientStats ("<site>.client.*"), null
+  /// when no observability is attached.
+  struct Metrics {
+    obs::Counter* fairshare_lookups = nullptr;
+    obs::Counter* fairshare_refreshes = nullptr;
+    obs::Counter* usage_reports = nullptr;
+    obs::Counter* identity_hits = nullptr;
+    obs::Counter* identity_misses = nullptr;
+    obs::Counter* identity_failures = nullptr;
+    obs::Counter* refresh_timeouts = nullptr;
+    obs::Counter* refresh_retries = nullptr;
+    obs::Counter* refresh_errors = nullptr;
+    obs::Counter* refresh_failures = nullptr;
+  };
+
   /// Issue attempt number `attempt` of the current refresh cycle.
   void start_refresh(int attempt);
   /// Handle a lost/bounced attempt: back off and retry, or give up and
   /// serve stale until the next periodic cycle.
   void refresh_attempt_failed(int attempt);
   [[nodiscard]] double backoff_delay(int attempt) const noexcept;
+  void trace(obs::EventKind kind, std::string detail, double value = 0.0,
+             std::uint64_t id = 0);
 
   sim::Simulator& simulator_;
   net::ServiceBus& bus_;
   ClientConfig config_;
+  obs::Observability obs_;
+  Metrics metrics_;
   std::map<std::string, double> fairshare_table_;
   struct CachedIdentity {
     std::string grid_user;

@@ -32,10 +32,67 @@ double FaultPlan::loss_for(const std::string& from_site,
   return it != link_loss.end() ? it->second : loss_rate;
 }
 
-ServiceBus::ServiceBus(sim::Simulator& simulator) : simulator_(simulator) {}
+ServiceBus::ServiceBus(sim::Simulator& simulator) : simulator_(simulator) {
+  register_metrics();
+}
+
+void ServiceBus::register_metrics() {
+  metrics_.requests = &registry_->counter("bus.requests");
+  metrics_.one_way = &registry_->counter("bus.one_way");
+  metrics_.dropped_participation = &registry_->counter("bus.dropped_participation");
+  metrics_.dropped_unbound = &registry_->counter("bus.dropped_unbound");
+  metrics_.dropped_loss = &registry_->counter("bus.dropped_loss");
+  metrics_.dropped_outage = &registry_->counter("bus.dropped_outage");
+  metrics_.duplicated = &registry_->counter("bus.duplicated");
+  metrics_.unbound_bounces = &registry_->counter("bus.unbound_bounces");
+  metrics_.payload_bytes = &registry_->counter("bus.payload_bytes");
+}
+
+void ServiceBus::attach_observability(obs::Observability obs) {
+  if (obs.registry != nullptr && obs.registry != registry_) {
+    registry_ = obs.registry;
+    register_metrics();
+    for (auto& [address, metrics] : endpoint_metrics_) {
+      metrics.requests = &registry_->counter("rpc." + address + ".requests");
+      metrics.latency = &registry_->histogram("rpc." + address + ".latency_s");
+    }
+  }
+  tracer_ = obs.tracer;
+}
+
+ServiceBus::EndpointMetrics& ServiceBus::endpoint_metrics(const std::string& address) {
+  const auto it = endpoint_metrics_.find(address);
+  if (it != endpoint_metrics_.end()) return it->second;
+  EndpointMetrics metrics;
+  metrics.requests = &registry_->counter("rpc." + address + ".requests");
+  metrics.latency = &registry_->histogram("rpc." + address + ".latency_s");
+  return endpoint_metrics_.emplace(address, metrics).first->second;
+}
+
+void ServiceBus::trace(obs::EventKind kind, const std::string& site,
+                       const std::string& component, std::string detail, double value,
+                       std::uint64_t id) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  tracer_->record(simulator_.now(), kind, site, component, std::move(detail), value, id);
+}
+
+BusStats ServiceBus::stats() const noexcept {
+  BusStats stats;
+  stats.requests = metrics_.requests->value();
+  stats.one_way = metrics_.one_way->value();
+  stats.dropped_participation = metrics_.dropped_participation->value();
+  stats.dropped_unbound = metrics_.dropped_unbound->value();
+  stats.dropped_loss = metrics_.dropped_loss->value();
+  stats.dropped_outage = metrics_.dropped_outage->value();
+  stats.duplicated = metrics_.duplicated->value();
+  stats.unbound_bounces = metrics_.unbound_bounces->value();
+  stats.payload_bytes = metrics_.payload_bytes->value();
+  return stats;
+}
 
 void ServiceBus::bind(const std::string& address, Handler handler) {
   endpoints_[address] = std::move(handler);
+  (void)endpoint_metrics(address);  // register rpc.<address>.* up front
 }
 
 void ServiceBus::unbind(const std::string& address) {
@@ -99,7 +156,7 @@ bool ServiceBus::lose(const std::string& from_site, const std::string& to_site) 
   const double rate = plan_.loss_for(from_site, to_site);
   if (rate <= 0.0) return false;
   if (!fault_rng_.bernoulli(rate)) return false;
-  ++stats_.dropped_loss;
+  metrics_.dropped_loss->inc();
   return true;
 }
 
@@ -127,64 +184,95 @@ double ServiceBus::leg_latency(const std::string& from_site, const std::string& 
 }
 
 bool ServiceBus::deliver(const std::string& from_site, const std::string& to_site,
-                         std::function<void()> action) {
+                         const std::string& what, std::function<void()> action) {
   if (outage(from_site, to_site)) {
-    ++stats_.dropped_outage;
+    metrics_.dropped_outage->inc();
+    trace(obs::EventKind::kMessageDrop, from_site, "bus", "outage:" + what);
     return false;
   }
-  if (lose(from_site, to_site)) return false;
+  if (lose(from_site, to_site)) {
+    trace(obs::EventKind::kMessageDrop, from_site, "bus", "loss:" + what);
+    return false;
+  }
   const bool twice = duplicate(from_site, to_site);
   simulator_.schedule_after(leg_latency(from_site, to_site), action);
   if (twice) {
-    ++stats_.duplicated;
+    metrics_.duplicated->inc();
     simulator_.schedule_after(leg_latency(from_site, to_site), std::move(action));
   }
   return true;
 }
 
+void ServiceBus::bounce_unbound(const std::string& address, const std::string& from_site,
+                                const std::string& to_site, ErrorCallback on_error) {
+  metrics_.dropped_unbound->inc();
+  AEQ_DEBUG("bus") << "request to unbound address " << address;
+  trace(obs::EventKind::kMessageDrop, to_site, "bus", "unbound:" + address);
+  // Structural failures bounce reliably (the transport knows nobody
+  // listens); injected loss and outages stay silent so callers can only
+  // detect them by timeout.
+  if (on_error) {
+    metrics_.unbound_bounces->inc();
+    json::Object envelope;
+    envelope["error"] = "unbound";
+    envelope["address"] = address;
+    simulator_.schedule_after(
+        latency(to_site, from_site),
+        [error = json::Value(std::move(envelope)), on_error = std::move(on_error)] {
+          on_error(error);
+        });
+  }
+}
+
 void ServiceBus::request(const std::string& from_site, const std::string& address,
                          json::Value payload, ReplyCallback on_reply, ErrorCallback on_error) {
-  ++stats_.requests;
-  stats_.payload_bytes += payload.dump().size();
+  metrics_.requests->inc();
+  metrics_.payload_bytes->inc(payload.dump().size());
+  EndpointMetrics& rpc = endpoint_metrics(address);
+  rpc.requests->inc();
   const std::string to_site = site_of(address);
+  const std::uint64_t rpc_id =
+      tracer_ != nullptr && tracer_->enabled() ? tracer_->next_id() : 0;
+  trace(obs::EventKind::kRpcBegin, from_site, "bus", address, 0.0, rpc_id);
   // The forward leg is a query (metadata), not data: it always flows, so a
   // non-contributing site can still *read* global state (§IV-A-4). The
   // reply leg carries the responder's data and is gated below.
-  const auto it = endpoints_.find(address);
-  if (it == endpoints_.end()) {
-    ++stats_.dropped_unbound;
-    AEQ_DEBUG("bus") << "request to unbound address " << address;
-    // Structural failures bounce reliably (the transport knows nobody
-    // listens); injected loss and outages stay silent so callers can only
-    // detect them by timeout.
-    if (on_error) {
-      ++stats_.unbound_bounces;
-      json::Object envelope;
-      envelope["error"] = "unbound";
-      envelope["address"] = address;
-      simulator_.schedule_after(
-          latency(from_site, to_site),
-          [error = json::Value(std::move(envelope)), on_error = std::move(on_error)] {
-            on_error(error);
-          });
-    }
+  if (endpoints_.find(address) == endpoints_.end()) {
+    // Unbound at send time: the transport rejects immediately, so the
+    // bounce costs one hop instead of a round trip.
+    bounce_unbound(address, from_site, to_site, std::move(on_error));
     return;
   }
-  // Copy the handler so a later re-bind does not affect in-flight traffic.
-  deliver(from_site, to_site,
-          [this, handler = it->second, payload = std::move(payload), from_site, to_site,
-           on_reply = std::move(on_reply)]() mutable {
-            json::Value reply = handler(payload);
+  const double sent_at = simulator_.now();
+  // The handler is resolved on arrival: an unbind while the query is in
+  // flight bounces, a re-bind routes to the new handler.
+  deliver(from_site, to_site, address,
+          [this, address, latency = rpc.latency, payload = std::move(payload), from_site,
+           to_site, sent_at, rpc_id, on_reply = std::move(on_reply),
+           on_error = std::move(on_error)]() mutable {
+            const auto it = endpoints_.find(address);
+            if (it == endpoints_.end()) {
+              bounce_unbound(address, from_site, to_site, std::move(on_error));
+              return;
+            }
+            trace(obs::EventKind::kMessageDeliver, to_site, "bus", address, 0.0, rpc_id);
+            json::Value reply = it->second(payload);
             // The reply carries the responder's data: it is subject to the
             // responder's contribution flag (a non-contributing site answers
             // local requests but its data never leaves the site, §IV-A-4).
             if (!allowed(to_site, from_site)) {
-              ++stats_.dropped_participation;
+              metrics_.dropped_participation->inc();
+              trace(obs::EventKind::kMessageDrop, to_site, "bus",
+                    "participation:" + address, 0.0, rpc_id);
               return;
             }
-            stats_.payload_bytes += reply.dump().size();
-            deliver(to_site, from_site,
-                    [reply = std::move(reply), on_reply = std::move(on_reply)] {
+            metrics_.payload_bytes->inc(reply.dump().size());
+            deliver(to_site, from_site, address + ":reply",
+                    [this, latency, address, from_site, sent_at, rpc_id,
+                     reply = std::move(reply), on_reply = std::move(on_reply)] {
+                      latency->record(simulator_.now() - sent_at);
+                      trace(obs::EventKind::kRpcEnd, from_site, "bus", address,
+                            simulator_.now() - sent_at, rpc_id);
                       if (on_reply) on_reply(reply);
                     });
           });
@@ -192,22 +280,35 @@ void ServiceBus::request(const std::string& from_site, const std::string& addres
 
 void ServiceBus::send(const std::string& from_site, const std::string& address,
                       json::Value payload) {
-  ++stats_.one_way;
-  stats_.payload_bytes += payload.dump().size();
+  metrics_.one_way->inc();
+  metrics_.payload_bytes->inc(payload.dump().size());
   const std::string to_site = site_of(address);
+  trace(obs::EventKind::kMessageSend, from_site, "bus", address);
   if (!allowed(from_site, to_site)) {
-    ++stats_.dropped_participation;
+    metrics_.dropped_participation->inc();
+    trace(obs::EventKind::kMessageDrop, from_site, "bus", "participation:" + address);
     return;
   }
-  const auto it = endpoints_.find(address);
-  if (it == endpoints_.end()) {
-    ++stats_.dropped_unbound;
+  if (endpoints_.find(address) == endpoints_.end()) {
+    metrics_.dropped_unbound->inc();
     AEQ_DEBUG("bus") << "send to unbound address " << address;
+    trace(obs::EventKind::kMessageDrop, to_site, "bus", "unbound:" + address);
     return;
   }
-  deliver(from_site, to_site, [handler = it->second, payload = std::move(payload)] {
-    (void)handler(payload);
-  });
+  deliver(from_site, to_site, address,
+          [this, address, to_site, payload = std::move(payload)] {
+            const auto it = endpoints_.find(address);
+            if (it == endpoints_.end()) {
+              // Unbound while in flight: one-way data has no reply channel,
+              // so the message just counts as dropped.
+              metrics_.dropped_unbound->inc();
+              AEQ_DEBUG("bus") << "in-flight send to unbound address " << address;
+              trace(obs::EventKind::kMessageDrop, to_site, "bus", "unbound:" + address);
+              return;
+            }
+            trace(obs::EventKind::kMessageDeliver, to_site, "bus", address);
+            (void)it->second(payload);
+          });
 }
 
 json::Value ServiceBus::call(const std::string& address, const json::Value& payload) {

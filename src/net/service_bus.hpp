@@ -16,8 +16,19 @@
 // merely partitioned) is dropped. All randomness is drawn from one seeded
 // stream, so a faulty run replays bit-identically from its seed.
 //
-// Message volume counters support evaluating the "compact form" usage
-// exchange (bytes on the wire per experiment).
+// The destination handler is resolved when a message *arrives*, not when
+// it is sent: unbinding an address while traffic is in flight counts the
+// arrival as `dropped_unbound` (requests additionally bounce an error
+// envelope), and re-binding routes in-flight traffic to the new handler —
+// matching a real transport, where the sender cannot pin the remote
+// implementation it observed at send time.
+//
+// Traffic counters are backed by an obs::Registry (the bus owns a private
+// one until an experiment attaches its own via attach_observability);
+// BusStats remains as a plain-struct façade assembled from the registry
+// so existing call sites keep working. Message volume counters support
+// evaluating the "compact form" usage exchange (bytes on the wire per
+// experiment).
 #pragma once
 
 #include <cstdint>
@@ -29,12 +40,15 @@
 #include <vector>
 
 #include "json/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace aequus::net {
 
-/// Traffic counters, exposed for experiments.
+/// Traffic counters, exposed for experiments. Assembled on demand from
+/// the bus's metrics registry (see ServiceBus::stats).
 struct BusStats {
   std::uint64_t requests = 0;
   std::uint64_t one_way = 0;
@@ -98,10 +112,24 @@ class ServiceBus {
 
   explicit ServiceBus(sim::Simulator& simulator);
 
+  /// Route counters/traces into an experiment-owned registry/tracer.
+  /// Replaces the bus-private registry for *subsequent* recording; attach
+  /// before traffic flows (pre-attach counts stay in the private
+  /// registry). Null members fall back to the private registry / no
+  /// tracing.
+  void attach_observability(obs::Observability obs);
+
+  /// The registry currently backing the counters (private one by default).
+  [[nodiscard]] obs::Registry& registry() noexcept { return *registry_; }
+
   /// Register the handler for `address` ("<site>.<service>"). Re-binding
-  /// replaces the previous handler.
+  /// replaces the previous handler — including for traffic already in
+  /// flight, which resolves its handler on arrival.
   void bind(const std::string& address, Handler handler);
 
+  /// Remove the handler. Traffic already in flight to `address` arrives
+  /// at an empty slot: it counts as dropped_unbound, and requests bounce
+  /// an error envelope back to the caller.
   void unbind(const std::string& address);
 
   /// Asynchronous request/response. The handler runs after the forward
@@ -109,7 +137,8 @@ class ServiceBus {
   /// always flows; the *reply* carries the responder's data and is
   /// dropped when the responder does not contribute or the requester does
   /// not receive. If the address is unbound, `on_error` (when provided)
-  /// receives an error envelope after one hop of latency; if a leg is
+  /// receives an error envelope — after one hop when unbound at send
+  /// time, after the full round trip when unbound in flight; if a leg is
   /// lost or a site is down, neither callback ever fires.
   void request(const std::string& from_site, const std::string& address, json::Value payload,
                ReplyCallback on_reply, ErrorCallback on_error = nullptr);
@@ -147,12 +176,42 @@ class ServiceBus {
   /// rate = 0 disables (default). Resets any per-link overrides.
   void set_loss_rate(double rate, std::uint64_t seed = 0x10ad);
 
-  [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
+  /// Counter façade assembled from the metrics registry.
+  [[nodiscard]] BusStats stats() const noexcept;
 
   /// Site prefix of an address ("siteA.uss" -> "siteA").
   [[nodiscard]] static std::string site_of(std::string_view address);
 
  private:
+  /// Registry-backed bus counters, cached as stable pointers so the hot
+  /// path is a single increment.
+  struct Metrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* one_way = nullptr;
+    obs::Counter* dropped_participation = nullptr;
+    obs::Counter* dropped_unbound = nullptr;
+    obs::Counter* dropped_loss = nullptr;
+    obs::Counter* dropped_outage = nullptr;
+    obs::Counter* duplicated = nullptr;
+    obs::Counter* unbound_bounces = nullptr;
+    obs::Counter* payload_bytes = nullptr;
+  };
+  /// Per-endpoint RPC metrics ("rpc.<address>.*"), registered on first
+  /// bind/request of the address.
+  struct EndpointMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+
+  void register_metrics();
+  [[nodiscard]] EndpointMetrics& endpoint_metrics(const std::string& address);
+  void trace(obs::EventKind kind, const std::string& site, const std::string& component,
+             std::string detail = {}, double value = 0.0, std::uint64_t id = 0);
+  /// Count an unbound arrival and, for requests, bounce the error
+  /// envelope back over the return leg.
+  void bounce_unbound(const std::string& address, const std::string& from_site,
+                      const std::string& to_site, ErrorCallback on_error);
+
   [[nodiscard]] bool allowed(const std::string& from_site, const std::string& to_site) const;
   [[nodiscard]] double latency(const std::string& from_site, const std::string& to_site) const;
   /// True when an inter-site leg should be dropped by failure injection.
@@ -164,8 +223,8 @@ class ServiceBus {
   /// Per-leg latency including jitter (consumes randomness when jitter on).
   [[nodiscard]] double leg_latency(const std::string& from_site, const std::string& to_site);
   /// Deliver `action` over one leg, applying outage/loss/duplication/jitter.
-  /// Returns false when the leg was dropped.
-  bool deliver(const std::string& from_site, const std::string& to_site,
+  /// `what` labels the leg in trace output. Returns false when dropped.
+  bool deliver(const std::string& from_site, const std::string& to_site, const std::string& what,
                std::function<void()> action);
 
   sim::Simulator& simulator_;
@@ -176,7 +235,11 @@ class ServiceBus {
   double remote_latency_ = 0.10;
   FaultPlan plan_;
   util::Rng fault_rng_{0x10ad};
-  BusStats stats_;
+  obs::Registry own_registry_;
+  obs::Registry* registry_ = &own_registry_;
+  obs::Tracer* tracer_ = nullptr;
+  Metrics metrics_;
+  std::map<std::string, EndpointMetrics> endpoint_metrics_;
 };
 
 }  // namespace aequus::net

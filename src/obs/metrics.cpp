@@ -1,0 +1,155 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aequus::obs {
+
+Histogram::Histogram(HistogramSpec spec) {
+  if (spec.buckets < 1) spec.buckets = 1;
+  if (!(spec.first_bound > 0.0)) spec.first_bound = 1e-3;
+  if (!(spec.growth > 1.0)) spec.growth = 2.0;
+  bounds_.reserve(static_cast<std::size_t>(spec.buckets));
+  double bound = spec.first_bound;
+  for (int i = 0; i < spec.buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= spec.growth;
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) noexcept {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& [key, value] : other.counters) counters[key] += value;
+  for (const auto& [key, value] : other.gauges) {
+    GaugeValue& mine = gauges[key];
+    mine.last = value.samples > 0 ? value.last : mine.last;
+    mine.sum += value.sum;
+    mine.samples += value.samples;
+  }
+  for (const auto& [key, value] : other.histograms) {
+    auto [it, inserted] = histograms.try_emplace(key, value);
+    if (inserted) continue;
+    HistogramValue& mine = it->second;
+    if (mine.bounds != value.bounds) {
+      // Mismatched layouts cannot be merged bucket-wise; keep the scalar
+      // aggregates correct and drop per-bucket resolution.
+      mine.bounds.clear();
+      mine.counts.clear();
+    } else {
+      for (std::size_t i = 0; i < mine.counts.size(); ++i) mine.counts[i] += value.counts[i];
+    }
+    if (value.count > 0) {
+      mine.min = mine.count > 0 ? std::min(mine.min, value.min) : value.min;
+      mine.max = mine.count > 0 ? std::max(mine.max, value.max) : value.max;
+    }
+    mine.count += value.count;
+    mine.sum += value.sum;
+  }
+}
+
+std::uint64_t Snapshot::counter(const std::string& key) const noexcept {
+  const auto it = counters.find(key);
+  return it != counters.end() ? it->second : 0;
+}
+
+GaugeValue Snapshot::gauge(const std::string& key) const noexcept {
+  const auto it = gauges.find(key);
+  return it != gauges.end() ? it->second : GaugeValue{};
+}
+
+json::Value Snapshot::to_json() const {
+  json::Object root;
+  json::Object counter_obj;
+  for (const auto& [key, value] : counters) counter_obj[key] = value;
+  root["counters"] = json::Value(std::move(counter_obj));
+
+  json::Object gauge_obj;
+  for (const auto& [key, value] : gauges) {
+    json::Object g;
+    g["last"] = value.last;
+    g["sum"] = value.sum;
+    g["samples"] = value.samples;
+    g["mean"] = value.mean();
+    gauge_obj[key] = json::Value(std::move(g));
+  }
+  root["gauges"] = json::Value(std::move(gauge_obj));
+
+  json::Object histogram_obj;
+  for (const auto& [key, value] : histograms) {
+    json::Object h;
+    json::Array bounds;
+    for (double b : value.bounds) bounds.push_back(b);
+    json::Array counts;
+    for (std::uint64_t c : value.counts) counts.push_back(c);
+    h["bounds"] = json::Value(std::move(bounds));
+    h["counts"] = json::Value(std::move(counts));
+    h["count"] = value.count;
+    h["sum"] = value.sum;
+    h["min"] = value.min;
+    h["max"] = value.max;
+    h["mean"] = value.mean();
+    histogram_obj[key] = json::Value(std::move(h));
+  }
+  root["histograms"] = json::Value(std::move(histogram_obj));
+  return json::Value(std::move(root));
+}
+
+Counter& Registry::counter(const std::string& key) {
+  const auto it = counter_index_.find(key);
+  if (it != counter_index_.end()) return counters_[it->second];
+  counter_index_.emplace(key, counters_.size());
+  return counters_.emplace_back();
+}
+
+Gauge& Registry::gauge(const std::string& key) {
+  const auto it = gauge_index_.find(key);
+  if (it != gauge_index_.end()) return gauges_[it->second];
+  gauge_index_.emplace(key, gauges_.size());
+  return gauges_.emplace_back();
+}
+
+Histogram& Registry::histogram(const std::string& key, HistogramSpec spec) {
+  const auto it = histogram_index_.find(key);
+  if (it != histogram_index_.end()) return histograms_[it->second];
+  histogram_index_.emplace(key, histograms_.size());
+  return histograms_.emplace_back(spec);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  for (const auto& [key, index] : counter_index_) {
+    snap.counters.emplace(key, counters_[index].value());
+  }
+  for (const auto& [key, index] : gauge_index_) {
+    const Gauge& gauge = gauges_[index];
+    snap.gauges.emplace(key, GaugeValue{gauge.last(), gauge.sum(), gauge.samples()});
+  }
+  for (const auto& [key, index] : histogram_index_) {
+    const Histogram& histogram = histograms_[index];
+    HistogramValue value;
+    value.bounds = histogram.bounds();
+    value.counts = histogram.counts();
+    value.count = histogram.count();
+    value.sum = histogram.sum();
+    value.min = histogram.min();
+    value.max = histogram.max();
+    snap.histograms.emplace(key, std::move(value));
+  }
+  return snap;
+}
+
+}  // namespace aequus::obs

@@ -1,0 +1,199 @@
+// Observability: metrics registry (§ DESIGN.md 6d).
+//
+// The paper evaluates Aequus by measuring it — update propagation delay
+// (Fig. 11), message volume for the compact usage form, fairshare
+// convergence across six sites — so the reproduction needs a uniform way
+// to observe those quantities instead of per-bench ad-hoc counters.
+//
+// A Registry owns three metric kinds, all keyed by a flat dotted string
+// ("<site>.<service>.<name>", or a plain name for experiment-global
+// metrics):
+//   - Counter:   monotonically increasing uint64 (requests, drops, bytes);
+//   - Gauge:     last double value plus (sum, samples) so replications can
+//                be merged into a deterministic mean;
+//   - Histogram: fixed log-scale buckets (bounds = first_bound * growth^i,
+//                plus an overflow bucket) with count/sum/min/max.
+//
+// Hot-path contract: registration (the first lookup of a key) may
+// allocate; afterwards components hold plain pointers and recording is
+// O(1) with no allocation — counters and gauges are single stores,
+// histograms a bounded binary search over precomputed bounds. Handles
+// stay valid for the Registry's lifetime (deque storage, no relocation).
+//
+// A Snapshot is the copyable, mergeable export form: run_sweep merges
+// per-task snapshots in task-index order, which makes the merged values
+// bit-identical across thread counts (the same guarantee the sweep
+// aggregates give). Everything serializes to JSON via json::.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace aequus::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value metric that also accumulates (sum, samples) so merged
+/// replications expose a deterministic mean.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    last_ = v;
+    sum_ += v;
+    ++samples_;
+  }
+  [[nodiscard]] double last() const noexcept { return last_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  double last_ = 0.0;
+  double sum_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Log-scale bucket layout: bucket i covers (bounds[i-1], bounds[i]] with
+/// bounds[i] = first_bound * growth^i; one extra bucket catches overflow.
+/// The layout is fixed at registration so recording never allocates.
+struct HistogramSpec {
+  double first_bound = 1e-3;  ///< upper bound of the first bucket
+  double growth = 2.0;        ///< bound ratio between adjacent buckets
+  int buckets = 24;           ///< bounded buckets (excluding overflow)
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramSpec spec = {});
+
+  /// O(log buckets), allocation-free.
+  void record(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Copyable export of a Gauge.
+struct GaugeValue {
+  double last = 0.0;
+  double sum = 0.0;
+  std::uint64_t samples = 0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return samples > 0 ? sum / static_cast<double>(samples) : 0.0;
+  }
+};
+
+/// Copyable export of a Histogram.
+struct HistogramValue {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Copyable, mergeable snapshot of a Registry. Merge semantics: counters
+/// and histogram buckets/sums add; gauges add (sum, samples) and keep the
+/// other snapshot's last value, so `gauge(key).mean()` over merged
+/// replications equals the task-index-order arithmetic mean.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, HistogramValue> histograms;
+
+  /// Fold `other` into this snapshot. Deterministic: merging the same
+  /// snapshots in the same order yields bit-identical results.
+  void merge(const Snapshot& other);
+
+  /// Counter value, 0 when the key was never registered.
+  [[nodiscard]] std::uint64_t counter(const std::string& key) const noexcept;
+  /// Gauge export, zeros when the key was never registered.
+  [[nodiscard]] GaugeValue gauge(const std::string& key) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// Owner of all metrics of one experiment (or one bus, in isolation).
+/// Lookup by key registers on first use and returns the same object on
+/// every subsequent call. Not thread-safe by design: each sweep task owns
+/// its own registry (same contract as the Simulator).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& key);
+  [[nodiscard]] Gauge& gauge(const std::string& key);
+  /// `spec` is honoured only by the registering (first) call.
+  [[nodiscard]] Histogram& histogram(const std::string& key, HistogramSpec spec = {});
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] json::Value to_json() const { return snapshot().to_json(); }
+
+ private:
+  // deque storage: references handed to components never relocate.
+  std::map<std::string, std::size_t> counter_index_;
+  std::map<std::string, std::size_t> gauge_index_;
+  std::map<std::string, std::size_t> histogram_index_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+/// Optional observability hookup threaded through components. Null
+/// members disable the corresponding recording (checked per call site).
+struct Observability {
+  Registry* registry = nullptr;
+  class Tracer* tracer = nullptr;
+};
+
+/// Increment an optional counter handle (no-op when observability is not
+/// attached and the handle is null).
+inline void bump(Counter* counter, std::uint64_t n = 1) noexcept {
+  if (counter != nullptr) counter->inc(n);
+}
+
+}  // namespace aequus::obs

@@ -1,0 +1,37 @@
+#include "obs/trace.hpp"
+
+namespace aequus::obs {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kMessageSend: return "message_send";
+    case EventKind::kMessageDeliver: return "message_deliver";
+    case EventKind::kMessageDrop: return "message_drop";
+    case EventKind::kRpcBegin: return "rpc_begin";
+    case EventKind::kRpcEnd: return "rpc_end";
+    case EventKind::kCacheHit: return "cache_hit";
+    case EventKind::kCacheMiss: return "cache_miss";
+    case EventKind::kCacheStaleFallback: return "cache_stale_fallback";
+    case EventKind::kSchedulerDecision: return "scheduler_decision";
+    case EventKind::kUsageUpdateApplied: return "usage_update_applied";
+  }
+  return "unknown";
+}
+
+json::Value TraceEvent::to_json() const {
+  json::Object obj;
+  obj["t"] = time;
+  obj["kind"] = to_string(kind);
+  if (!site.empty()) obj["site"] = site;
+  obj["component"] = component;
+  if (!detail.empty()) obj["detail"] = detail;
+  obj["value"] = value;
+  if (id != 0) obj["id"] = id;
+  return json::Value(std::move(obj));
+}
+
+void write_jsonl(std::ostream& out, const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& event : events) out << event.to_json().dump() << "\n";
+}
+
+}  // namespace aequus::obs

@@ -1,0 +1,77 @@
+// Observability: structured trace-event stream (§ DESIGN.md 6d).
+//
+// A Tracer collects typed events with simulated timestamps. It starts
+// disabled — `record()` is then a single branch, so instrumented code can
+// call it unconditionally without measurable cost — and buffers events in
+// memory when enabled. Events export to JSON-lines (one json:: object per
+// line) for offline analysis, keeping the repo free of new dependencies.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace aequus::obs {
+
+/// The event taxonomy mirrors the layers the paper measures: bus traffic,
+/// RPC round-trips, the client cache, scheduler decisions, and the usage
+/// pipeline whose propagation delay Fig. 11 plots.
+enum class EventKind : std::uint8_t {
+  kMessageSend,         ///< bus accepted an envelope for delivery
+  kMessageDeliver,      ///< envelope handed to the destination handler
+  kMessageDrop,         ///< envelope dropped (loss, outage, unbound, ...)
+  kRpcBegin,            ///< client issued a request expecting a reply
+  kRpcEnd,              ///< reply (or timeout) observed; value = latency s
+  kCacheHit,            ///< client served a lookup from fresh cache
+  kCacheMiss,           ///< lookup had no usable cached entry
+  kCacheStaleFallback,  ///< refresh failed; stale entry served instead
+  kSchedulerDecision,   ///< RM dispatched a job; value = priority
+  kUsageUpdateApplied,  ///< usage/fairshare state rebuilt from new data
+};
+
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+struct TraceEvent {
+  double time = 0.0;      ///< simulated seconds
+  EventKind kind = EventKind::kMessageSend;
+  std::string site;       ///< originating site ("" = cross-site / global)
+  std::string component;  ///< service/bus/client/rm identifier
+  std::string detail;     ///< kind-specific detail (op, address, reason)
+  double value = 0.0;     ///< kind-specific scalar (latency, priority, ...)
+  std::uint64_t id = 0;   ///< correlates paired events (rpc begin/end)
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+class Tracer {
+ public:
+  void enable(bool on = true) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(double time, EventKind kind, std::string site, std::string component,
+              std::string detail = {}, double value = 0.0, std::uint64_t id = 0) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{time, kind, std::move(site), std::move(component),
+                                 std::move(detail), value, id});
+  }
+
+  /// Fresh id for correlating paired events (monotonic per tracer).
+  [[nodiscard]] std::uint64_t next_id() noexcept { return ++last_id_; }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::vector<TraceEvent> take() noexcept { return std::move(events_); }
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::uint64_t last_id_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// Write events as JSON-lines: one compact object per line.
+void write_jsonl(std::ostream& out, const std::vector<TraceEvent>& events);
+
+}  // namespace aequus::obs

@@ -31,6 +31,7 @@ JobId SchedulerBase::submit(Job job) {
   const JobId id = job.id;
   pending_.push_back(std::move(job));
   ++stats_.submitted;
+  obs::bump(submitted_counter_);
   schedule_pass();
   ensure_reprioritize_scheduled();
   return id;
@@ -38,6 +39,20 @@ JobId SchedulerBase::submit(Job job) {
 
 void SchedulerBase::add_completion_listener(CompletionListener listener) {
   listeners_.push_back(std::move(listener));
+}
+
+void SchedulerBase::attach_observability(obs::Observability obs, const std::string& site) {
+  obs_ = obs;
+  obs_site_ = site;
+  if (obs_.registry != nullptr) {
+    const std::string prefix = "rm." + site + ".";
+    submitted_counter_ = &obs_.registry->counter(prefix + "submitted");
+    started_counter_ = &obs_.registry->counter(prefix + "started");
+    completed_counter_ = &obs_.registry->counter(prefix + "completed");
+    // Queue waits span sub-second dispatches to multi-hour backlogs.
+    wait_histogram_ = &obs_.registry->histogram(prefix + "wait_s",
+                                                obs::HistogramSpec{0.1, 2.0, 24});
+  }
 }
 
 void SchedulerBase::reschedule() {
@@ -48,9 +63,12 @@ void SchedulerBase::reschedule() {
 
 void SchedulerBase::schedule_pass() {
   if (pending_.empty()) return;
-  // Highest priority first; FIFO (submit order == id order) breaks ties.
+  // Highest priority first; ties dispatch FIFO by submit time, then by
+  // job id so externally assigned ids cannot jump jobs submitted earlier
+  // in the same instant.
   std::stable_sort(pending_.begin(), pending_.end(), [](const Job& a, const Job& b) {
     if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
     return a.id < b.id;
   });
   std::deque<Job> still_pending;
@@ -81,6 +99,12 @@ void SchedulerBase::start_job(Job job) {
   ++running_;
   ++stats_.started;
   stats_.total_wait_time += now - job.submit_time;
+  obs::bump(started_counter_);
+  if (wait_histogram_ != nullptr) wait_histogram_->record(now - job.submit_time);
+  if (obs_.tracer != nullptr && obs_.tracer->enabled()) {
+    obs_.tracer->record(now, obs::EventKind::kSchedulerDecision, obs_site_, cluster_.name(),
+                        job.system_user, job.priority, job.id);
+  }
   AEQ_TRACE("rms") << cluster_.name() << " start job " << job.id << " user "
                    << job.system_user;
   simulator_.schedule_at(job.end_time,
@@ -94,6 +118,7 @@ void SchedulerBase::finish_job(Job job) {
   job.end_time = now;
   --running_;
   ++stats_.completed;
+  obs::bump(completed_counter_);
   local_usage_[job.system_user] += job.usage();
   on_job_completed(job);
   for (const auto& listener : listeners_) listener(job);

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rms/cluster.hpp"
 #include "rms/job.hpp"
 #include "sim/simulator.hpp"
@@ -57,6 +59,11 @@ class SchedulerBase {
   /// Register a completion callback (e.g. the Aequus jobcomp plugin).
   void add_completion_listener(CompletionListener listener);
 
+  /// Route scheduler counters ("rm.<site>.*"), the queue-wait histogram,
+  /// and per-decision trace events into an experiment registry/tracer.
+  /// `site` labels the metrics (the cluster's site name).
+  void attach_observability(obs::Observability obs, const std::string& site);
+
   [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
   [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t pending_count() const noexcept { return pending_.size(); }
@@ -88,6 +95,12 @@ class SchedulerBase {
   sim::Simulator& simulator_;
   Cluster cluster_;
   SchedulerConfig config_;
+  obs::Observability obs_;
+  std::string obs_site_;
+  obs::Counter* submitted_counter_ = nullptr;
+  obs::Counter* started_counter_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  obs::Histogram* wait_histogram_ = nullptr;
   std::deque<Job> pending_;
   std::size_t running_ = 0;
   JobId next_id_ = 1;

@@ -4,12 +4,15 @@
 
 namespace aequus::services {
 
-Fcs::Fcs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, FcsConfig config)
+Fcs::Fcs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, FcsConfig config,
+         obs::Observability obs)
     : simulator_(simulator),
       bus_(bus),
       site_(std::move(site)),
       address_(site_ + ".fcs"),
       config_(config),
+      telemetry_(obs, simulator, site_, "fcs", {"fairshare", "table", "tree", "configure"}),
+      recalculations_(telemetry_.counter("recalculations")),
       algorithm_(config.algorithm) {
   bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
   update_task_ = simulator_.schedule_periodic(config_.update_interval, config_.update_interval,
@@ -57,6 +60,9 @@ void Fcs::recalculate() {
     if (!segments.empty()) user_table_[segments.back()] = value;
   }
   ++calculations_;
+  bump(recalculations_);
+  telemetry_.trace(obs::EventKind::kUsageUpdateApplied, "recalculate",
+                   static_cast<double>(table_.size()));
 }
 
 void Fcs::set_projection(core::ProjectionConfig projection) {
@@ -77,6 +83,7 @@ double Fcs::factor_for(const std::string& grid_user) const {
 
 json::Value Fcs::handle(const json::Value& request) {
   const std::string op = request.get_string("op");
+  telemetry_.hit(op);
   if (op == "fairshare") {
     const std::string user = request.get_string("user");
     json::Object reply;

@@ -28,6 +28,7 @@
 #include "core/fairshare.hpp"
 #include "core/projection.hpp"
 #include "net/service_bus.hpp"
+#include "services/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace aequus::services {
@@ -40,7 +41,8 @@ struct FcsConfig {
 
 class Fcs {
  public:
-  Fcs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, FcsConfig config = {});
+  Fcs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, FcsConfig config = {},
+      obs::Observability obs = {});
   ~Fcs();
   Fcs(const Fcs&) = delete;
   Fcs& operator=(const Fcs&) = delete;
@@ -78,6 +80,8 @@ class Fcs {
   std::string site_;
   std::string address_;
   FcsConfig config_;
+  ServiceTelemetry telemetry_;
+  obs::Counter* recalculations_ = nullptr;
   core::FairshareAlgorithm algorithm_;
   core::PolicyTree policy_;
   core::UsageTree usage_;

@@ -3,13 +3,13 @@
 namespace aequus::services {
 
 Installation::Installation(sim::Simulator& simulator, net::ServiceBus& bus, std::string site,
-                           InstallationConfig config)
+                           InstallationConfig config, obs::Observability obs)
     : site_(std::move(site)) {
-  uss_ = std::make_unique<Uss>(simulator, bus, site_, config.uss);
-  ums_ = std::make_unique<Ums>(simulator, bus, site_, config.ums);
-  pds_ = std::make_unique<Pds>(simulator, bus, site_);
-  fcs_ = std::make_unique<Fcs>(simulator, bus, site_, config.fcs);
-  irs_ = std::make_unique<Irs>(simulator, bus, site_);
+  uss_ = std::make_unique<Uss>(simulator, bus, site_, config.uss, obs);
+  ums_ = std::make_unique<Ums>(simulator, bus, site_, config.ums, obs);
+  pds_ = std::make_unique<Pds>(simulator, bus, site_, obs);
+  fcs_ = std::make_unique<Fcs>(simulator, bus, site_, config.fcs, obs);
+  irs_ = std::make_unique<Irs>(simulator, bus, site_, obs);
 }
 
 void Installation::set_peer_sites(const std::vector<std::string>& sites) {

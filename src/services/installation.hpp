@@ -27,7 +27,7 @@ struct InstallationConfig {
 class Installation {
  public:
   Installation(sim::Simulator& simulator, net::ServiceBus& bus, std::string site,
-               InstallationConfig config = {});
+               InstallationConfig config = {}, obs::Observability obs = {});
 
   [[nodiscard]] const std::string& site() const noexcept { return site_; }
   [[nodiscard]] Uss& uss() noexcept { return *uss_; }

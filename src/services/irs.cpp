@@ -4,8 +4,13 @@
 
 namespace aequus::services {
 
-Irs::Irs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site)
-    : simulator_(simulator), bus_(bus), site_(std::move(site)), address_(site_ + ".irs") {
+Irs::Irs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site,
+         obs::Observability obs)
+    : simulator_(simulator),
+      bus_(bus),
+      site_(std::move(site)),
+      address_(site_ + ".irs"),
+      telemetry_(obs, simulator, site_, "irs", {"resolve", "store"}) {
   bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
 }
 
@@ -51,6 +56,7 @@ std::optional<std::string> Irs::resolve(const std::string& cluster,
 
 json::Value Irs::handle(const json::Value& request) {
   const std::string op = request.get_string("op");
+  telemetry_.hit(op);
   if (op == "resolve") {
     const auto grid_user =
         resolve(request.get_string("cluster"), request.get_string("system_user"));

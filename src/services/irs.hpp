@@ -26,13 +26,15 @@
 #include <string>
 
 #include "net/service_bus.hpp"
+#include "services/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace aequus::services {
 
 class Irs {
  public:
-  Irs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site);
+  Irs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site,
+      obs::Observability obs = {});
   ~Irs();
   Irs(const Irs&) = delete;
   Irs& operator=(const Irs&) = delete;
@@ -62,6 +64,7 @@ class Irs {
   net::ServiceBus& bus_;
   std::string site_;
   std::string address_;
+  ServiceTelemetry telemetry_;
   std::string endpoint_address_;
   std::map<std::string, std::string> table_;
   std::uint64_t lookups_ = 0;

@@ -4,8 +4,13 @@
 
 namespace aequus::services {
 
-Pds::Pds(sim::Simulator& simulator, net::ServiceBus& bus, std::string site)
-    : simulator_(simulator), bus_(bus), site_(std::move(site)), address_(site_ + ".pds") {
+Pds::Pds(sim::Simulator& simulator, net::ServiceBus& bus, std::string site,
+         obs::Observability obs)
+    : simulator_(simulator),
+      bus_(bus),
+      site_(std::move(site)),
+      address_(site_ + ".pds"),
+      telemetry_(obs, simulator, site_, "pds", {"policy"}) {
   bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
 }
 
@@ -46,6 +51,7 @@ void Pds::refresh_mount(const Mount& mount) {
 
 json::Value Pds::handle(const json::Value& request) {
   const std::string op = request.get_string("op");
+  telemetry_.hit(op);
   if (op == "policy") {
     return policy_.to_json();
   }

@@ -18,13 +18,15 @@
 
 #include "core/policy.hpp"
 #include "net/service_bus.hpp"
+#include "services/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace aequus::services {
 
 class Pds {
  public:
-  Pds(sim::Simulator& simulator, net::ServiceBus& bus, std::string site);
+  Pds(sim::Simulator& simulator, net::ServiceBus& bus, std::string site,
+      obs::Observability obs = {});
   ~Pds();
   Pds(const Pds&) = delete;
   Pds& operator=(const Pds&) = delete;
@@ -59,6 +61,7 @@ class Pds {
   net::ServiceBus& bus_;
   std::string site_;
   std::string address_;
+  ServiceTelemetry telemetry_;
   core::PolicyTree policy_;
   std::vector<Mount> mounts_;
   std::vector<sim::EventHandle> refresh_tasks_;

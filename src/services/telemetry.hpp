@@ -1,0 +1,72 @@
+// Shared per-service observability hookup (§ DESIGN.md 6d).
+//
+// Each service owns one ServiceTelemetry constructed with the op names it
+// serves. Counters live under "<site>.<service>." in the experiment's
+// obs::Registry: a total `requests` count plus one `ops.<op>` counter per
+// declared op (`ops.other` catches protocol errors). Registration happens
+// once at construction; the request hot path is two pointer increments
+// and a small map lookup, no allocation. Default-constructed (no
+// registry attached) every call is a cheap no-op, so services record
+// unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace aequus::services {
+
+class ServiceTelemetry {
+ public:
+  ServiceTelemetry() = default;
+  ServiceTelemetry(obs::Observability obs, sim::Simulator& simulator, std::string site,
+                   std::string service, std::initializer_list<const char*> ops)
+      : obs_(obs), simulator_(&simulator), site_(std::move(site)), service_(std::move(service)) {
+    if (obs_.registry == nullptr) return;
+    const std::string prefix = site_ + "." + service_;
+    requests_ = &obs_.registry->counter(prefix + ".requests");
+    other_ = &obs_.registry->counter(prefix + ".ops.other");
+    for (const char* op : ops) {
+      ops_.emplace(op, &obs_.registry->counter(prefix + ".ops." + op));
+    }
+  }
+
+  /// Count one handled request, attributed to `op`.
+  void hit(const std::string& op) {
+    if (requests_ == nullptr) return;
+    requests_->inc();
+    const auto it = ops_.find(op);
+    (it != ops_.end() ? it->second : other_)->inc();
+  }
+
+  /// Extra service-specific counter under the service prefix, registered
+  /// on first use (call once at setup, then cache, for hot paths).
+  [[nodiscard]] obs::Counter* counter(const std::string& name) {
+    if (obs_.registry == nullptr) return nullptr;
+    return &obs_.registry->counter(site_ + "." + service_ + "." + name);
+  }
+
+  /// Emit a trace event attributed to this service (no-op when tracing
+  /// is off).
+  void trace(obs::EventKind kind, std::string detail, double value = 0.0) {
+    if (obs_.tracer == nullptr || !obs_.tracer->enabled() || simulator_ == nullptr) return;
+    obs_.tracer->record(simulator_->now(), kind, site_, service_, std::move(detail), value);
+  }
+
+ private:
+  obs::Observability obs_;
+  sim::Simulator* simulator_ = nullptr;
+  std::string site_;
+  std::string service_;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* other_ = nullptr;
+  std::map<std::string, obs::Counter*> ops_;
+};
+
+}  // namespace aequus::services

@@ -4,12 +4,15 @@
 
 namespace aequus::services {
 
-Ums::Ums(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UmsConfig config)
+Ums::Ums(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UmsConfig config,
+         obs::Observability obs)
     : simulator_(simulator),
       bus_(bus),
       site_(std::move(site)),
       address_(site_ + ".ums"),
       config_(config),
+      telemetry_(obs, simulator, site_, "ums", {"usage"}),
+      rebuilds_(telemetry_.counter("rebuilds")),
       decay_(config.decay) {
   bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
   poll_task_ = simulator_.schedule_periodic(config_.update_interval, config_.update_interval,
@@ -96,10 +99,14 @@ void Ums::rebuild() {
     }
   }
   tree_ = std::move(tree);
+  bump(rebuilds_);
+  telemetry_.trace(obs::EventKind::kUsageUpdateApplied, "rebuild",
+                   static_cast<double>(tree_.total()));
 }
 
 json::Value Ums::handle(const json::Value& request) {
   const std::string op = request.get_string("op");
+  telemetry_.hit(op);
   if (op == "usage") {
     return tree_.to_json();
   }

@@ -29,6 +29,7 @@
 #include "core/policy.hpp"
 #include "core/usage.hpp"
 #include "net/service_bus.hpp"
+#include "services/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace aequus::services {
@@ -41,7 +42,8 @@ struct UmsConfig {
 
 class Ums {
  public:
-  Ums(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UmsConfig config = {});
+  Ums(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UmsConfig config = {},
+      obs::Observability obs = {});
   ~Ums();
   Ums(const Ums&) = delete;
   Ums& operator=(const Ums&) = delete;
@@ -69,6 +71,8 @@ class Ums {
   std::string site_;
   std::string address_;
   UmsConfig config_;
+  ServiceTelemetry telemetry_;
+  obs::Counter* rebuilds_ = nullptr;
   core::Decay decay_;
   std::vector<std::string> peers_;
   /// source USS address -> user -> (bin time, amount) pairs

@@ -4,12 +4,14 @@
 
 namespace aequus::services {
 
-Uss::Uss(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UssConfig config)
+Uss::Uss(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UssConfig config,
+         obs::Observability obs)
     : simulator_(simulator),
       bus_(bus),
       site_(std::move(site)),
       address_(site_ + ".uss"),
-      config_(config) {
+      config_(config),
+      telemetry_(obs, simulator, site_, "uss", {"report", "histograms"}) {
   bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
 }
 
@@ -63,6 +65,7 @@ json::Value Uss::histograms_json() const {
 
 json::Value Uss::handle(const json::Value& request) {
   const std::string op = request.get_string("op");
+  telemetry_.hit(op);
   if (op == "report") {
     report(request.get_string("user"), request.get_number("usage"));
     return json::Value(json::Object{{"ok", json::Value(true)}});

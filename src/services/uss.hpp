@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/service_bus.hpp"
+#include "services/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace aequus::services {
@@ -34,7 +35,8 @@ struct UssConfig {
 
 class Uss {
  public:
-  Uss(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UssConfig config = {});
+  Uss(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, UssConfig config = {},
+      obs::Observability obs = {});
   ~Uss();
   Uss(const Uss&) = delete;
   Uss& operator=(const Uss&) = delete;
@@ -65,6 +67,7 @@ class Uss {
   std::string site_;
   std::string address_;
   UssConfig config_;
+  ServiceTelemetry telemetry_;
   std::map<std::string, std::vector<std::pair<double, double>>> histograms_;
   std::uint64_t reports_ = 0;
 };

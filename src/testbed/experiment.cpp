@@ -20,6 +20,11 @@ Experiment::Experiment(const workload::Scenario& scenario, ExperimentConfig conf
     : scenario_(scenario), config_(std::move(config)), bus_(simulator_), rng_(config_.seed) {
   bus_.set_remote_latency(config_.bus_remote_latency);
   if (config_.faults.active()) bus_.set_fault_plan(config_.faults);
+  // Attach before any site binds so every endpoint registers its metrics
+  // in the experiment registry (handles must never be re-registered after
+  // traffic starts flowing).
+  const obs::Observability observability{&registry_, &tracer_};
+  bus_.attach_observability(observability);
 
   std::vector<std::string> site_names;
   for (int i = 0; i < scenario_.cluster_count; ++i) {
@@ -37,7 +42,7 @@ Experiment::Experiment(const workload::Scenario& scenario, ExperimentConfig conf
     }
     site_names.push_back(spec.name);
     sites_.push_back(std::make_unique<ClusterSite>(simulator_, bus_, spec, config_.timings,
-                                                   config_.fairshare));
+                                                   config_.fairshare, observability));
   }
   for (auto& site : sites_) site->set_peer_sites(site_names);
 
@@ -189,6 +194,21 @@ ExperimentResult Experiment::run() {
   result.mean_utilization = utilization_sum / static_cast<double>(sites_.size());
   result.rates = submission_rates(scenario_.trace.arrival_times());
   result.bus = bus_.stats();
+
+  // Headline metrics land in the registry so benches can derive their
+  // numbers from the snapshot (same values as the sweep's scalar metrics:
+  // identical inputs, identical arithmetic, bit-identical results).
+  registry_.counter("experiment.jobs_submitted").inc(result.jobs_submitted);
+  registry_.counter("experiment.jobs_completed").inc(result.jobs_completed);
+  registry_.gauge("experiment.makespan_s").set(result.makespan);
+  registry_.gauge("experiment.mean_utilization").set(result.mean_utilization);
+  const double convergence =
+      result.priority_convergence_time(config_.convergence_epsilon, scenario_.duration_seconds);
+  registry_.gauge("experiment.convergence_time_s").set(convergence);
+  registry_.gauge("experiment.converged").set(convergence >= 0.0 ? 1.0 : 0.0);
+
+  result.obs = registry_.snapshot();
+  result.trace = tracer_.take();
   return result;
 }
 

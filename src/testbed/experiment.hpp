@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "net/service_bus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/metrics.hpp"
 #include "testbed/site.hpp"
@@ -38,6 +40,9 @@ struct ExperimentConfig {
   SiteFairshare fairshare{};
   double bus_remote_latency = 0.1;   ///< inter-site hop [s] (delay I)
   double sample_interval = 60.0;     ///< measurement cadence [s]
+  /// Balance-band half-width for the "experiment.convergence_time_s"
+  /// gauge (must match the sweep's epsilon for identical values).
+  double convergence_epsilon = 0.05;
   std::uint64_t seed = 7;
   bool record_per_site = false;      ///< per-site priority series
   /// Per-site overrides keyed by site index (participation, RM kind).
@@ -66,6 +71,11 @@ struct ExperimentResult {
   double makespan = 0.0;
   SubmissionRates rates;
   net::BusStats bus;
+  /// Full metrics snapshot of the experiment's registry (bus, services,
+  /// clients, RMs, plus the "experiment.*" headline metrics).
+  obs::Snapshot obs;
+  /// Trace events, non-empty only when the tracer was enabled pre-run.
+  std::vector<obs::TraceEvent> trace;
 
   /// Convergence of priorities to the balance point 0.5, judged over
   /// [0, until] (pass the scenario duration to exclude the drain tail).
@@ -86,6 +96,10 @@ class Experiment {
   [[nodiscard]] std::vector<std::unique_ptr<ClusterSite>>& sites() noexcept { return sites_; }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
   [[nodiscard]] net::ServiceBus& bus() noexcept { return bus_; }
+  /// The experiment-wide metrics registry every component records into.
+  [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+  /// Shared tracer; disabled by default — enable() before run() to collect.
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
   [[nodiscard]] const workload::Scenario& scenario() const noexcept { return scenario_; }
   [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
 
@@ -113,6 +127,10 @@ class Experiment {
   const workload::Scenario& scenario_;
   ExperimentConfig config_;
   sim::Simulator simulator_;
+  // Registry and tracer outlive the bus and sites (declared first so they
+  // destruct last): components hold raw metric handles until teardown.
+  obs::Registry registry_;
+  obs::Tracer tracer_;
   net::ServiceBus bus_;
   std::vector<std::unique_ptr<ClusterSite>> sites_;
   util::Rng rng_;

@@ -32,7 +32,8 @@ std::optional<std::string> grid_user_for(const std::string& system_account) {
 }
 
 ClusterSite::ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const SiteSpec& spec,
-                         const SiteTimings& timings, const SiteFairshare& fairshare)
+                         const SiteTimings& timings, const SiteFairshare& fairshare,
+                         obs::Observability obs)
     : spec_(spec) {
   services::InstallationConfig installation_config;
   installation_config.uss.bin_width = timings.uss_bin_width;
@@ -44,7 +45,7 @@ ClusterSite::ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const 
   installation_config.fcs.algorithm = fairshare.algorithm;
   installation_config.fcs.projection = fairshare.projection;
   installation_ = std::make_unique<services::Installation>(simulator, bus, spec.name,
-                                                           installation_config);
+                                                           installation_config, obs);
 
   bus.set_site_contributes(spec.name, spec.participation.contributes);
 
@@ -52,7 +53,7 @@ ClusterSite::ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const 
   client_config.site = spec.name;
   client_config.cluster = spec.name;
   client_config.fairshare_cache_ttl = timings.client_cache_ttl;
-  client_ = std::make_unique<client::AequusClient>(simulator, bus, client_config);
+  client_ = std::make_unique<client::AequusClient>(simulator, bus, client_config, obs);
 
   rms::Cluster cluster(spec.name, spec.hosts, spec.cores_per_host);
   rms::SchedulerConfig scheduler_config;
@@ -72,6 +73,7 @@ ClusterSite::ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const 
     maui::apply_aequus_patches(*scheduler, *client_);
     rm_ = std::move(scheduler);
   }
+  rm_->attach_observability(obs, spec.name);
 }
 
 void ClusterSite::set_policy(core::PolicyTree policy) {

@@ -59,7 +59,8 @@ struct SiteFairshare {
 class ClusterSite {
  public:
   ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const SiteSpec& spec,
-              const SiteTimings& timings, const SiteFairshare& fairshare);
+              const SiteTimings& timings, const SiteFairshare& fairshare,
+              obs::Observability obs = {});
 
   [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
   [[nodiscard]] const SiteSpec& spec() const noexcept { return spec_; }

@@ -177,6 +177,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
         ExperimentConfig config = variant.config;  // task-local copy
         config.seed = slot.seed;
+        config.convergence_epsilon = spec.convergence_epsilon;
         if (spec.reseed_faults && config.faults.active()) {
           std::uint64_t fault_state = slot.seed ^ kFaultSeedSalt;
           config.faults.seed = util::splitmix64(fault_state);
@@ -190,6 +191,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
         if (spec.fingerprinter) slot.fingerprint = spec.fingerprinter(result);
         slot.metrics = scalar_metrics(result, variant.scenario, spec.convergence_epsilon);
+        slot.obs = result.obs;  // survives even when the result is dropped
         if (spec.keep_results) slot.result = std::move(result);
         if (spec.on_teardown) spec.on_teardown(experiment, slot);
       }));
@@ -207,6 +209,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
     for (const auto& [metric, value] : task.metrics) {
       samples[variant_name][metric].push_back(value);
     }
+    out.obs[variant_name].merge(task.obs);
   }
   for (const auto& [variant_name, metrics] : samples) {
     for (const auto& [metric, values] : metrics) {

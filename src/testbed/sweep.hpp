@@ -54,6 +54,9 @@ struct SweepSpec {
   /// the schedule and stay fixed.
   bool reseed_faults = true;
   /// Epsilon for the convergence_time_s metric (balance band half-width).
+  /// Forwarded into every task's ExperimentConfig so the registry's
+  /// "experiment.convergence_time_s" gauge is bit-identical to the scalar
+  /// metric (same function, same inputs).
   double convergence_epsilon = 0.05;
   /// When set, each task's result is rendered to a determinism
   /// fingerprint (inject testing::fingerprint via
@@ -92,6 +95,9 @@ struct SweepTaskResult {
   double wall_seconds = 0.0;  ///< host wall clock, excluded from metrics
   std::string fingerprint;    ///< empty unless a fingerprinter is set
   std::map<std::string, double> metrics;
+  /// Metrics snapshot of the task's registry; kept even when
+  /// keep_results is false (small next to an ExperimentResult).
+  obs::Snapshot obs;
   ExperimentResult result;    ///< empty unless spec.keep_results
 };
 
@@ -99,6 +105,9 @@ struct SweepResult {
   std::vector<SweepTaskResult> tasks;  ///< task-index order, all tasks
   /// aggregates[variant name][metric name], merged in task-index order.
   std::map<std::string, std::map<std::string, MetricSummary>> aggregates;
+  /// obs[variant name]: per-task snapshots merged in task-index order, so
+  /// counters/sums are bit-identical across thread counts.
+  std::map<std::string, obs::Snapshot> obs;
   double wall_seconds = 0.0;
   int threads_used = 1;
 

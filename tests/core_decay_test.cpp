@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "core/decay.hpp"
+#include "testing/property.hpp"
+#include "util/rng.hpp"
 
 namespace aequus::core {
 namespace {
@@ -50,6 +55,44 @@ TEST(DecayModel, DecayedTotalWeightsBins) {
 TEST(DecayModel, DecayedTotalEmptyIsZero) {
   const Decay decay;
   EXPECT_DOUBLE_EQ(decay.decayed_total({}, 100.0), 0.0);
+}
+
+TEST(DecayModel, DecayedTotalClampsFutureBins) {
+  // Regression: future-dated bins (clock skew between sites) must weigh
+  // exactly 1, not extrapolate the decay curve past age zero.
+  const Decay decay(DecayConfig{DecayKind::kExponentialHalfLife, 100.0, 0.0});
+  const std::vector<std::pair<double, double>> bins = {{500.0, 4.0}};  // 300 s "ahead"
+  EXPECT_DOUBLE_EQ(decay.decayed_total(bins, 200.0), 4.0);
+}
+
+TEST(DecayModel, DecayedTotalIsOrderIndependent) {
+  // Regression: the sum used to run in arrival order, so two sites
+  // merging the same histograms in different orders computed different
+  // fairshare inputs (floating-point addition does not commute across
+  // orderings). The property: any shuffle yields the bit-identical total.
+  const auto outcome = testing::run_property(
+      "decayed_total_shuffle_invariant", 50, 0xdecau, [](std::uint64_t seed) {
+        util::Rng rng(seed);
+        const Decay decay(DecayConfig{DecayKind::kExponentialHalfLife,
+                                      rng.uniform(50.0, 5000.0), 0.0});
+        std::vector<std::pair<double, double>> bins;
+        const int count = static_cast<int>(rng.uniform_int(2, 40));
+        for (int i = 0; i < count; ++i) {
+          // Include duplicates and future-dated bins on purpose.
+          bins.emplace_back(rng.uniform_int(0, 10) * 1000.0, rng.uniform(0.0, 100.0));
+        }
+        const double now = rng.uniform(0.0, 8000.0);
+        const double reference = decay.decayed_total(bins, now);
+        std::vector<std::pair<double, double>> shuffled = bins;
+        for (std::size_t i = shuffled.size(); i > 1; --i) {
+          const auto j = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+          std::swap(shuffled[i - 1], shuffled[j]);
+        }
+        testing::require(decay.decayed_total(shuffled, now) == reference,
+                         "shuffled bins changed the decayed total");
+      });
+  EXPECT_TRUE(outcome.passed) << outcome.summary();
 }
 
 TEST(DecayModel, ValidatesConfig) {

@@ -1,0 +1,90 @@
+// Locale-independence regression for the JSON layer.
+//
+// JSON's number grammar is locale-free ('.' decimal separator), but the
+// parser used to lean on strtod and the writer on printf "%.17g" — both
+// honour LC_NUMERIC, so a comma-decimal locale (de_DE) mis-parsed "1.5"
+// as 1 and serialized 1.5 as "1,5", corrupting every document written
+// while such a locale was active (e.g. set by an embedding application).
+// The implementation now uses std::from_chars/std::to_chars, which are
+// locale-independent by specification; this test pins that down by
+// running the round trip under an actual comma-decimal locale.
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdlib>
+#include <string>
+
+#include "json/json.hpp"
+
+namespace aequus::json {
+namespace {
+
+/// Activate any comma-decimal locale. Minimal containers ship none, so as
+/// a fallback compile one with localedef(1) into a scratch directory and
+/// point LOCPATH at it. Returns false when neither route works.
+bool activate_comma_locale() {
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) return true;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string dir = ::testing::TempDir() + "aequus-locale";
+  const std::string command = "mkdir -p '" + dir + "' && localedef -i de_DE -f UTF-8 '" +
+                              dir + "/de_DE.UTF-8' >/dev/null 2>&1";
+  // localedef exits nonzero on mere warnings; only the setlocale below
+  // decides whether the compiled locale is usable.
+  (void)std::system(command.c_str());
+  ::setenv("LOCPATH", dir.c_str(), 1);
+  return std::setlocale(LC_ALL, "de_DE.UTF-8") != nullptr;
+#else
+  return false;
+#endif
+}
+
+class JsonLocaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!activate_comma_locale()) {
+      GTEST_SKIP() << "no comma-decimal locale available (setlocale and localedef failed)";
+    }
+    // The premise of the whole test: the decimal separator is now ','.
+    ASSERT_STREQ(std::localeconv()->decimal_point, ",");
+  }
+
+  void TearDown() override { std::setlocale(LC_ALL, "C"); }
+};
+
+TEST_F(JsonLocaleTest, WritesDotDecimalSeparator) {
+  json::Object obj;
+  obj["x"] = 1.5;
+  const std::string text = json::Value(std::move(obj)).dump();
+  EXPECT_NE(text.find("1.5"), std::string::npos) << text;
+  EXPECT_EQ(text.find(','), std::string::npos) << text;
+}
+
+TEST_F(JsonLocaleTest, ParsesDotDecimalNumbers) {
+  const json::Value parsed = json::parse("[1.5, 2.75e-3, -0.125]");
+  EXPECT_DOUBLE_EQ(parsed.at(0).as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(parsed.at(1).as_number(), 2.75e-3);
+  EXPECT_DOUBLE_EQ(parsed.at(2).as_number(), -0.125);
+}
+
+TEST_F(JsonLocaleTest, NumbersRoundTripBitExactly) {
+  const double values[] = {0.1, 1.0 / 3.0, 6.02214076e23, -2.5e-17, 1234.5678};
+  for (const double value : values) {
+    json::Object obj;
+    obj["v"] = value;
+    const std::string text = json::Value(std::move(obj)).dump();
+    const double restored = json::parse(text).at("v").as_number();
+    EXPECT_EQ(restored, value) << text;
+  }
+}
+
+TEST_F(JsonLocaleTest, MalformedNumbersStillRejected) {
+  // from_chars must consume the whole token; a comma is not a decimal
+  // separator even under the comma locale.
+  EXPECT_THROW((void)json::parse("1,5"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("[1.5.5]"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aequus::json

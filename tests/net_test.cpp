@@ -375,6 +375,72 @@ TEST_F(ServiceBusTest, FaultPlanIsDeterministicPerSeed) {
   EXPECT_NE(run_with_seed(9), run_with_seed(10));
 }
 
+TEST_F(ServiceBusTest, UnbindBetweenSendAndDeliveryDropsMessage) {
+  // Regression: the bus used to copy the handler into the delivery event,
+  // so a message in flight when its endpoint unbound still invoked the
+  // stale handler (a use-after-free once the service object died). The
+  // handler is now resolved on arrival.
+  bus.set_remote_latency(1.0);
+  int received = 0;
+  bus.bind("b.sink", [&](const json::Value&) {
+    ++received;
+    return json::Value();
+  });
+  bus.send("a", "b.sink", json::Value(json::Object{}));
+  bus.unbind("b.sink");  // the message is already in flight
+  simulator.run_all();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus.stats().dropped_unbound, 1u);
+}
+
+TEST_F(ServiceBusTest, UnbindBetweenRequestAndDeliveryBouncesAfterRoundTrip) {
+  bus.set_remote_latency(1.0);
+  bus.bind("b.svc", echo_handler);
+  bool replied = false;
+  double bounced_at = -1.0;
+  json::Value envelope;
+  bus.request(
+      "a", "b.svc", json::Value(json::Object{}),
+      [&](const json::Value&) { replied = true; },
+      [&](const json::Value& error) {
+        bounced_at = simulator.now();
+        envelope = error;
+      });
+  bus.unbind("b.svc");  // the query is already in flight
+  simulator.run_all();
+  EXPECT_FALSE(replied);
+  // Unlike unbound-at-send (one hop), the far end discovers the missing
+  // endpoint on arrival: the bounce costs a full round trip.
+  EXPECT_DOUBLE_EQ(bounced_at, 2.0);
+  EXPECT_EQ(envelope.get_string("error"), "unbound");
+  EXPECT_EQ(bus.stats().dropped_unbound, 1u);
+  EXPECT_EQ(bus.stats().unbound_bounces, 1u);
+}
+
+TEST_F(ServiceBusTest, RebindWhileRequestInFlightRoutesToNewHandler) {
+  bus.set_remote_latency(1.0);
+  bus.bind("b.svc", echo_handler);
+  std::string echoed;
+  bus.request("a", "b.svc", json::Value(json::Object{{"msg", json::Value("x")}}),
+              [&](const json::Value& reply) { echoed = reply.get_string("echo"); });
+  bus.bind("b.svc", [](const json::Value&) {
+    return json::Value(json::Object{{"echo", json::Value("successor")}});
+  });
+  simulator.run_all();
+  EXPECT_EQ(echoed, "successor");
+}
+
+TEST_F(ServiceBusTest, StatsAreAFacadeOverTheMetricsRegistry) {
+  bus.bind("b.svc", echo_handler);
+  bus.request("a", "b.svc", json::Value(json::Object{}), nullptr);
+  bus.send("a", "b.svc", json::Value(json::Object{}));
+  simulator.run_all();
+  EXPECT_EQ(bus.stats().requests, bus.registry().counter("bus.requests").value());
+  EXPECT_EQ(bus.stats().one_way, bus.registry().counter("bus.one_way").value());
+  EXPECT_EQ(bus.registry().counter("rpc.b.svc.requests").value(), 1u);
+  EXPECT_EQ(bus.registry().histogram("rpc.b.svc.latency_s").count(), 1u);
+}
+
 TEST_F(ServiceBusTest, RebindReplacesHandlerForNewTraffic) {
   bus.bind("b.svc", echo_handler);
   bus.bind("b.svc", [](const json::Value&) {

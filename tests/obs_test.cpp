@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace aequus::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  Counter counter;
+  counter.inc();
+  counter.inc(4);
+  EXPECT_EQ(counter.value(), 5u);
+  bump(&counter, 2);
+  bump(nullptr);  // null handle = observability not attached
+  EXPECT_EQ(counter.value(), 7u);
+}
+
+TEST(Metrics, GaugeTracksLastAndMean) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.samples(), 0u);
+  gauge.set(2.0);
+  gauge.set(4.0);
+  EXPECT_DOUBLE_EQ(gauge.last(), 4.0);
+  EXPECT_DOUBLE_EQ(gauge.sum(), 6.0);
+  EXPECT_EQ(gauge.samples(), 2u);
+}
+
+TEST(Metrics, HistogramBucketsLogScale) {
+  Histogram histogram(HistogramSpec{1.0, 2.0, 3});  // bounds 1, 2, 4 + overflow
+  ASSERT_EQ(histogram.bounds().size(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.bounds()[2], 4.0);
+  histogram.record(0.5);  // bucket 0 (< 1)
+  histogram.record(1.5);  // bucket 1
+  histogram.record(3.0);  // bucket 2
+  histogram.record(4.0);  // overflow (bounds are exclusive upper edges)
+  ASSERT_EQ(histogram.counts().size(), 4u);
+  EXPECT_EQ(histogram.counts()[0], 1u);
+  EXPECT_EQ(histogram.counts()[1], 1u);
+  EXPECT_EQ(histogram.counts()[2], 1u);
+  EXPECT_EQ(histogram.counts()[3], 1u);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 4.0);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 9.0);
+}
+
+TEST(Metrics, EmptyHistogramReportsZeros) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+}
+
+TEST(Metrics, RegistryReturnsSameHandleForSameKey) {
+  Registry registry;
+  Counter& counter = registry.counter("a.requests");
+  EXPECT_EQ(&registry.counter("a.requests"), &counter);
+  EXPECT_NE(&registry.counter("b.requests"), &counter);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Metrics, RegistryHandlesSurviveFurtherRegistrations) {
+  // The deque storage contract: pointers handed out early stay valid no
+  // matter how many metrics register afterwards.
+  Registry registry;
+  Counter* first = &registry.counter("first");
+  for (int i = 0; i < 1000; ++i) {
+    (void)registry.counter("filler." + std::to_string(i));
+  }
+  first->inc();
+  EXPECT_EQ(registry.counter("first").value(), 1u);
+}
+
+TEST(Metrics, SnapshotExportsAllKinds) {
+  Registry registry;
+  registry.counter("c").inc(3);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").record(0.01);
+  const Snapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("c"), 3u);
+  EXPECT_EQ(snapshot.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(snapshot.gauge("g").last, 1.5);
+  EXPECT_EQ(snapshot.histograms.at("h").count, 1u);
+  EXPECT_FALSE(snapshot.empty());
+  EXPECT_TRUE(Snapshot{}.empty());
+}
+
+TEST(Metrics, SnapshotMergeAddsCountersAndHistograms) {
+  Registry a;
+  a.counter("c").inc(2);
+  a.histogram("h").record(1.0);
+  Registry b;
+  b.counter("c").inc(5);
+  b.counter("only_b").inc(1);
+  b.histogram("h").record(2.0);
+
+  Snapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counter("c"), 7u);
+  EXPECT_EQ(merged.counter("only_b"), 1u);
+  EXPECT_EQ(merged.histograms.at("h").count, 2u);
+  EXPECT_DOUBLE_EQ(merged.histograms.at("h").sum, 3.0);
+}
+
+TEST(Metrics, SnapshotMergeGaugeMeanIsTaskOrderMean) {
+  // The sweep merges per-task snapshots in task-index order; the merged
+  // gauge mean must equal the plain arithmetic mean over the tasks.
+  Registry tasks[3];
+  const double values[3] = {10.0, 20.0, 60.0};
+  for (int i = 0; i < 3; ++i) tasks[i].gauge("g").set(values[i]);
+  Snapshot merged;
+  for (auto& task : tasks) merged.merge(task.snapshot());
+  EXPECT_DOUBLE_EQ(merged.gauge("g").mean(), (10.0 + 20.0 + 60.0) / 3.0);
+  EXPECT_DOUBLE_EQ(merged.gauge("g").last, 60.0);  // last task's last value
+  EXPECT_EQ(merged.gauge("g").samples, 3u);
+}
+
+TEST(Metrics, SnapshotMergeIsDeterministic) {
+  const auto build = [] {
+    Registry registry;
+    registry.counter("c").inc(1);
+    registry.gauge("g").set(0.1);
+    registry.histogram("h").record(0.25);
+    return registry.snapshot();
+  };
+  Snapshot left;
+  left.merge(build());
+  left.merge(build());
+  Snapshot right;
+  right.merge(build());
+  right.merge(build());
+  EXPECT_EQ(left.counter("c"), right.counter("c"));
+  EXPECT_DOUBLE_EQ(left.gauge("g").sum, right.gauge("g").sum);
+  EXPECT_EQ(left.histograms.at("h").counts, right.histograms.at("h").counts);
+}
+
+TEST(Metrics, SnapshotToJsonRoundTripsThroughParser) {
+  Registry registry;
+  registry.counter("bus.requests").inc(42);
+  registry.gauge("experiment.converged").set(1.0);
+  registry.histogram("h").record(0.005);
+  const json::Value parsed = json::parse(registry.to_json().dump());
+  EXPECT_EQ(parsed.at("counters").at("bus.requests").as_int(), 42);
+  EXPECT_DOUBLE_EQ(parsed.at("gauges").at("experiment.converged").at("last").as_number(), 1.0);
+  EXPECT_EQ(parsed.at("histograms").at("h").at("count").as_int(), 1);
+}
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  tracer.record(1.0, EventKind::kMessageSend, "a", "bus");
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Trace, EnabledTracerBuffersEventsAndTakeDrains) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(1.0, EventKind::kRpcBegin, "a", "bus", "b.svc", 0.0, tracer.next_id());
+  tracer.record(2.0, EventKind::kRpcEnd, "a", "bus", "b.svc", 1.0, 1);
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].id, 1u);
+  const auto drained = [&] {
+    Tracer moved = std::move(tracer);
+    return moved.take();
+  }();
+  EXPECT_EQ(drained.size(), 2u);
+}
+
+TEST(Trace, EventKindNamesAreStable) {
+  EXPECT_STREQ(to_string(EventKind::kMessageSend), "message_send");
+  EXPECT_STREQ(to_string(EventKind::kSchedulerDecision), "scheduler_decision");
+  EXPECT_STREQ(to_string(EventKind::kUsageUpdateApplied), "usage_update_applied");
+}
+
+TEST(Trace, JsonlIsOneParsableObjectPerLine) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(0.5, EventKind::kCacheHit, "site0", "client", "identity:U65");
+  tracer.record(1.5, EventKind::kSchedulerDecision, "site0", "cluster", "acct_u65", 0.7, 9);
+  std::ostringstream out;
+  write_jsonl(out, tracer.events());
+  std::istringstream in(out.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    const json::Value event = json::parse(line);
+    EXPECT_EQ(event.get_string("site"), "site0");
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+}  // namespace
+}  // namespace aequus::obs

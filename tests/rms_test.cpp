@@ -172,6 +172,57 @@ TEST(SchedulerModel, ReprioritizationReordersQueue) {
   EXPECT_EQ(order[2], "a");
 }
 
+TEST(SchedulerModel, EqualPrioritiesDispatchInSubmitTimeOrder) {
+  // Regression: the dispatch sort used to compare priorities only, so a
+  // tie kept whatever order an *earlier* pass left the queue in — a job
+  // that once outranked another stayed ahead after their priorities
+  // equalized. Ties now dispatch FIFO by submit time.
+  sim::Simulator simulator;
+  SchedulerConfig config;
+  config.reprioritize_interval = 1.0;  // frequent sweeps pick up the change
+  TestScheduler scheduler(simulator, Cluster("c", 1, 1), config);
+  std::vector<std::string> finished;
+  scheduler.add_completion_listener(
+      [&](const Job& job) { finished.push_back(job.system_user); });
+
+  scheduler.submit(make_job("hog", 10.0));  // occupies the only core
+  simulator.schedule_at(1.0, [&] { scheduler.submit(make_job("early", 1.0)); });
+  simulator.schedule_at(2.0, [&] {
+    scheduler.priorities["late"] = 5.0;  // outranks "early" for now
+    scheduler.submit(make_job("late", 1.0));
+  });
+  // Before anything dispatches, the priorities equalize.
+  simulator.schedule_at(3.0, [&] { scheduler.priorities["late"] = 0.0; });
+
+  simulator.run_all();
+  ASSERT_EQ(finished.size(), 3u);
+  EXPECT_EQ(finished[1], "early");
+  EXPECT_EQ(finished[2], "late");
+}
+
+TEST(SchedulerModel, EqualPrioritiesAndSubmitTimesDispatchByJobId) {
+  // Externally assigned ids (SLURM-style) can arrive out of order within
+  // one submission instant; the id is the final tie-break, so the lower
+  // id dispatches first regardless of queue insertion order.
+  sim::Simulator simulator;
+  TestScheduler scheduler(simulator, Cluster("c", 1, 1));
+  std::vector<JobId> finished;
+  scheduler.add_completion_listener([&](const Job& job) { finished.push_back(job.id); });
+
+  scheduler.submit(make_job("hog", 10.0));  // id 1, starts immediately
+  Job high_id = make_job("u", 1.0);
+  high_id.id = 100;
+  Job low_id = make_job("v", 1.0);
+  low_id.id = 50;
+  scheduler.submit(std::move(high_id));  // inserted first...
+  scheduler.submit(std::move(low_id));   // ...but the lower id wins the tie
+
+  simulator.run_all();
+  ASSERT_EQ(finished.size(), 3u);
+  EXPECT_EQ(finished[1], 50u);
+  EXPECT_EQ(finished[2], 100u);
+}
+
 TEST(SchedulerModel, WaitTimeAccounting) {
   sim::Simulator simulator;
   TestScheduler scheduler(simulator, Cluster("c", 1, 1));

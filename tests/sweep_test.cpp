@@ -218,6 +218,37 @@ TEST(SweepGolden, SerialAndEightThreadSweepsAreBitIdentical) {
     }
   }
 
+  // The merged per-variant metrics snapshots obey the same contract:
+  // counters, gauge sums, and histogram buckets bit-identical across
+  // thread counts (they merge in task-index order).
+  ASSERT_EQ(serial.obs.size(), parallel.obs.size());
+  for (const auto& [variant, snapshot] : serial.obs) {
+    const obs::Snapshot& o = parallel.obs.at(variant);
+    EXPECT_EQ(snapshot.counters, o.counters) << variant;
+    ASSERT_EQ(snapshot.gauges.size(), o.gauges.size()) << variant;
+    for (const auto& [key, gauge] : snapshot.gauges) {
+      EXPECT_EQ(gauge.sum, o.gauges.at(key).sum) << variant << "." << key;
+      EXPECT_EQ(gauge.samples, o.gauges.at(key).samples) << variant << "." << key;
+    }
+    ASSERT_EQ(snapshot.histograms.size(), o.histograms.size()) << variant;
+    for (const auto& [key, histogram] : snapshot.histograms) {
+      EXPECT_EQ(histogram.counts, o.histograms.at(key).counts) << variant << "." << key;
+      EXPECT_EQ(histogram.sum, o.histograms.at(key).sum) << variant << "." << key;
+    }
+    EXPECT_GT(snapshot.counter("bus.requests"), 0u) << variant;
+  }
+
+  // The registry-recorded headline gauges equal the scalar metrics bit
+  // for bit — the benches derive their numbers from the snapshots.
+  for (const auto& task : serial.tasks) {
+    EXPECT_EQ(task.obs.gauge("experiment.convergence_time_s").last,
+              task.metrics.at("convergence_time_s"));
+    EXPECT_EQ(task.obs.gauge("experiment.mean_utilization").last,
+              task.metrics.at("mean_utilization"));
+    EXPECT_EQ(static_cast<double>(task.obs.counter("experiment.jobs_completed")),
+              task.metrics.at("jobs_completed"));
+  }
+
   // The seed must actually feed the randomness: replications of the same
   // variant are distinct experiments, not copies.
   std::set<std::string> distinct;
@@ -254,9 +285,11 @@ TEST(Sweep, TasksOfSelectsOneVariantInReplicationOrder) {
   EXPECT_EQ(selected[0]->variant_index, 1u);
   EXPECT_EQ(selected[0]->replication, 0u);
   EXPECT_EQ(selected[1]->replication, 1u);
-  // keep_results=false leaves the heavy per-task results empty.
+  // keep_results=false leaves the heavy per-task results empty, but the
+  // compact metrics snapshot survives.
   EXPECT_EQ(selected[0]->result.jobs_submitted, 0u);
   EXPECT_GT(selected[0]->metrics.at("jobs_completed"), 0.0);
+  EXPECT_GT(selected[0]->obs.counter("bus.requests"), 0u);
 }
 
 }  // namespace

@@ -53,7 +53,8 @@ def load(path: Path, role: str):
         return json.load(fh)
 
 
-def compare(emitted: dict, baseline: dict, tolerance: float) -> list[str]:
+def compare(emitted: dict, baseline: dict, tolerance: float,
+            abs_epsilon: float = 1e-6) -> list[str]:
     """Returns a list of human-readable failures (empty = gate passes)."""
     failures = []
     for key in CONFIG_KEYS:
@@ -79,16 +80,59 @@ def compare(emitted: dict, baseline: dict, tolerance: float) -> list[str]:
             if actual is None:
                 failures.append(f"{variant}.{metric}: missing from emitted report")
                 continue
-            # Near-zero baselines get an absolute band of `tolerance`
-            # itself (a metric that was ~0 staying ~0), everything else a
-            # relative one.
-            scale = abs(expected) if abs(expected) > 1e-9 else 1.0
-            if abs(actual - expected) > tolerance * scale:
+            # The allowed band is relative with an absolute floor: a purely
+            # relative band collapses for near-zero baselines (a mean of
+            # 1e-8 would only admit +-1.5e-9 of float noise), so deviations
+            # within abs_epsilon always pass.
+            band = max(tolerance * abs(expected), abs_epsilon)
+            if abs(actual - expected) > band:
                 failures.append(
                     f"{variant}.{metric}: {actual:.6g} deviates from baseline "
-                    f"{expected:.6g} by more than {tolerance:.0%}"
+                    f"{expected:.6g} by more than {tolerance:.0%} (band {band:.6g})"
                 )
     return failures
+
+
+def self_test() -> int:
+    """Unit cases for compare(), runnable without any bench artifacts."""
+
+    def report(metrics: dict, **config):
+        base = {"bench": "t", "jobs": 100, "replications": 2, "root_seed": "0x7de"}
+        base.update(config)
+        base["variants"] = {
+            "v": {"metrics": {name: {"mean": mean} for name, mean in metrics.items()}}
+        }
+        return base
+
+    cases = [
+        ("zero baseline stays zero",
+         report({"drops": 0.0}), report({"drops": 0.0}), 0),
+        ("near-zero baseline absorbs float noise via the absolute floor",
+         report({"err": 1e-8}), report({"err": 2e-8}), 0),
+        ("relative band passes a small drift",
+         report({"makespan": 100.0}), report({"makespan": 110.0}), 0),
+        ("relative band rejects a real regression",
+         report({"makespan": 100.0}), report({"makespan": 130.0}), 1),
+        ("absolute floor does not mask a regression on a large metric",
+         report({"makespan": 100.0}), report({"makespan": 84.0}), 1),
+        ("missing metric is a failure",
+         report({"makespan": 100.0, "gone": 1.0}), report({"makespan": 100.0}), 1),
+        ("config mismatch is refused before metric diffs",
+         report({"makespan": 100.0}), report({"makespan": 100.0}, jobs=200), 1),
+    ]
+    failed = 0
+    for name, baseline, emitted, expected_failures in cases:
+        failures = compare(emitted, baseline, tolerance=0.15)
+        ok = len(failures) == expected_failures
+        print(f"  {'ok  ' if ok else 'FAIL'} {name}")
+        if not ok:
+            print(f"       expected {expected_failures} failure(s), got: {failures}")
+            failed += 1
+    if failed:
+        print(f"SELF-TEST FAIL: {failed}/{len(cases)} case(s)")
+        return 1
+    print(f"SELF-TEST PASS: {len(cases)} case(s)")
+    return 0
 
 
 def main() -> int:
@@ -99,9 +143,17 @@ def main() -> int:
                         help="where the bench writes its BENCH_*.json")
     parser.add_argument("--compare", type=Path,
                         help="already-emitted report (instead of --bench)")
-    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--baseline", type=Path)
     parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument("--abs-epsilon", type=float, default=1e-6,
+                        help="absolute floor of the allowed band (near-zero baselines)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's own unit cases and exit")
     args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.baseline is None:
+        parser.error("--baseline is required (unless --self-test)")
     if bool(args.bench) == bool(args.compare):
         parser.error("exactly one of --bench / --compare is required")
 
@@ -124,7 +176,7 @@ def main() -> int:
         report_path = args.compare
 
     emitted = load(report_path, "report")
-    failures = compare(emitted, baseline, args.tolerance)
+    failures = compare(emitted, baseline, args.tolerance, args.abs_epsilon)
 
     wall = emitted.get("wall_seconds")
     threads = emitted.get("threads")
