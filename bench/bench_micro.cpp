@@ -5,10 +5,13 @@
 // trace generation.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "common.hpp"
 #include "core/projection.hpp"
 #include "json/json.hpp"
 #include "libaequus/client.hpp"
+#include "obs/trace.hpp"
 #include "services/installation.hpp"
 #include "stats/families.hpp"
 #include "stats/fit.hpp"
@@ -133,6 +136,48 @@ void BM_TraceGeneration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(jobs));
 }
 BENCHMARK(BM_TraceGeneration)->Arg(1000)->Arg(10000);
+
+void BM_TracerDisabledRecord(benchmark::State& state) {
+  obs::Tracer tracer;  // default-constructed: tracing off
+  double t = 0.0;
+  for (auto _ : state) {
+    tracer.record(t += 1.0, obs::EventKind::kMessageSend, "site0", "bus", "rpc:site0.fcs");
+    benchmark::DoNotOptimize(&tracer);
+  }
+  // Micro-assert pinning the disabled fast path: a disabled record() is a
+  // single branch, so nothing may have been buffered or interned — a
+  // regression here taxes every bus message of every untraced run.
+  if (tracer.event_count() != 0 || tracer.interned_count() != 0) std::abort();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerDisabledRecord);
+
+void BM_TracerEnabledRecord(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.enable();
+  tracer.set_capacity(1u << 16);  // steady-state ring rotation, no growth
+  double t = 0.0;
+  for (auto _ : state) {
+    tracer.record(t += 1.0, obs::EventKind::kMessageSend, "site0", "bus", "rpc:site0.fcs");
+  }
+  benchmark::DoNotOptimize(tracer.event_count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerEnabledRecord);
+
+void BM_TracerSpanRoundTrip(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.enable();
+  tracer.set_capacity(1u << 16);
+  double t = 0.0;
+  for (auto _ : state) {
+    const obs::SpanContext span = tracer.begin_span(t, "site0", "bus", "rpc:site0.fcs");
+    tracer.end_span(t + 0.5, span, "site0", "bus", "ok");
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerSpanRoundTrip);
 
 void BM_KsTest(benchmark::State& state) {
   util::Rng rng(3);

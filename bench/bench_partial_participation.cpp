@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   const testbed::SweepSpec spec = bench::make_sweep(
       {{"partial", scenario, config}, {"control", scenario, testbed::ExperimentConfig{}}},
       args);
-  const bench::SweepRun sweep = bench::run_sweep_with_reference(spec, args);
+  bench::SweepRun sweep = bench::run_sweep_with_reference(spec, args);
 
   // Per-site shape analysis on the first partial replication (the
   // aggregate table below covers all of them).
@@ -152,6 +152,10 @@ int main(int argc, char** argv) {
 
   bench::print_aggregates(sweep.result);
   bench::report_observability(args, sweep.result);
+  // With --trace: the non-participating sites show up as broken chains
+  // (participation drops leave the rpc span open); the hop tables contrast
+  // the partial and control variants' update pipelines directly.
+  sweep.extra.merge(bench::report_trace_analysis(args, spec, sweep.result));
   bench::write_bench_json("partial_participation", args, spec, sweep.result, sweep.extra);
   return 0;
 }

@@ -4,6 +4,14 @@
 // minute. During these tests, the traces contain a total load of 95 % of
 // the theoretical maximum ... total utilization varies between 93 % and
 // 97 %."
+//
+// All three tests run as one parallel sweep so the rates and utilization
+// carry confidence intervals, and the run emits BENCH_throughput.json —
+// the report the bench-gate regression test compares against its
+// checked-in baseline. Since the sweep's metrics are byte-for-byte
+// independent of whether tracing is compiled in and disabled, that gate
+// doubles as the "disabled tracing changes nothing" assertion.
+#include <algorithm>
 #include <cstdio>
 
 #include "common.hpp"
@@ -15,33 +23,43 @@ int main(int argc, char** argv) {
   bench::print_banner("Throughput and utilization across tests",
                       "Espling et al., IPPS'14, Section IV-A");
 
-  const std::size_t jobs = bench::jobs_from_argv(argc, argv, bench::kTestbedJobs);
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, bench::kTestbedJobs, 2);
+
+  testbed::SweepSpec spec = bench::make_sweep(
+      {{"baseline", workload::baseline_scenario(2012, args.jobs), testbed::ExperimentConfig{}},
+       {"nonoptimal_policy", workload::nonoptimal_policy_scenario(2012, args.jobs),
+        testbed::ExperimentConfig{}},
+       {"bursty", workload::bursty_scenario(2012, args.jobs), testbed::ExperimentConfig{}}},
+      args);
+  bench::SweepRun sweep = bench::run_sweep_with_reference(spec, args);
 
   util::Table table({"Test", "Jobs", "Sustained (jobs/min)", "Peak (jobs/min)",
                      "Utilization", "Completed"});
   double utilization_lo = 1.0;
   double utilization_hi = 0.0;
-
-  const auto run = [&](const char* name, const workload::Scenario& scenario) {
-    const testbed::ExperimentResult result = bench::run_scenario(scenario);
-    utilization_lo = std::min(utilization_lo, result.mean_utilization);
-    utilization_hi = std::max(utilization_hi, result.mean_utilization);
-    table.add_row({name, util::format("%zu", scenario.trace.size()),
-                   util::format("%.0f", result.rates.sustained_per_minute),
-                   util::format("%.0f", result.rates.peak_per_minute),
-                   util::format("%.1f%%", 100.0 * result.mean_utilization),
-                   util::format("%llu/%llu",
-                                static_cast<unsigned long long>(result.jobs_completed),
-                                static_cast<unsigned long long>(result.jobs_submitted))});
-  };
-
-  run("baseline", workload::baseline_scenario(2012, jobs));
-  run("non-optimal policy", workload::nonoptimal_policy_scenario(2012, jobs));
-  run("bursty", workload::bursty_scenario(2012, jobs));
+  for (const auto& variant : spec.variants) {
+    const auto& metrics = sweep.result.aggregates.at(variant.name);
+    const double utilization = metrics.at("mean_utilization").mean;
+    utilization_lo = std::min(utilization_lo, utilization);
+    utilization_hi = std::max(utilization_hi, utilization);
+    table.add_row({variant.name, util::format("%zu", variant.scenario.trace.size()),
+                   util::format("%.0f +- %.0f", metrics.at("sustained_rate_per_min").mean,
+                                metrics.at("sustained_rate_per_min").ci95_half),
+                   util::format("%.0f +- %.0f", metrics.at("peak_rate_per_min").mean,
+                                metrics.at("peak_rate_per_min").ci95_half),
+                   util::format("%.1f%%", 100.0 * utilization),
+                   util::format("%.0f/%.0f", metrics.at("jobs_completed").mean,
+                                metrics.at("jobs_submitted").mean)});
+  }
 
   std::printf("%s\n", table.render().c_str());
   std::printf("utilization band across tests: %.1f%% - %.1f%% (paper: 93-97%%)\n",
               100.0 * utilization_lo, 100.0 * utilization_hi);
-  std::printf("paper anchors: sustained ~120 jobs/min; bursty peak 472 jobs/min.\n");
+  std::printf("paper anchors: sustained ~120 jobs/min; bursty peak 472 jobs/min.\n\n");
+
+  bench::print_aggregates(sweep.result);
+  bench::report_observability(args, sweep.result);
+  sweep.extra.merge(bench::report_trace_analysis(args, spec, sweep.result));
+  bench::write_bench_json("throughput", args, spec, sweep.result, sweep.extra);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "json/json.hpp"
+#include "obs/span_analysis.hpp"
 #include "obs/trace.hpp"
 #include "testing/determinism.hpp"
 #include "util/rng.hpp"
@@ -44,6 +45,8 @@ BenchArgs parse_bench_args(int argc, char** argv, std::size_t fallback_jobs,
       args.serial_reference = false;
     } else if (std::strcmp(arg, "--trace") == 0) {
       args.trace_path = value();
+    } else if (std::strcmp(arg, "--trace-cap") == 0) {
+      args.trace_cap = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
     } else if (std::strcmp(arg, "--metrics") == 0) {
       args.print_metrics = true;
     } else if (arg[0] != '-') {
@@ -65,10 +68,19 @@ testbed::SweepSpec make_sweep(std::vector<testbed::SweepVariant> variants,
   spec.threads = args.threads;
   testing::attach_fingerprints(spec);
   if (!args.trace_path.empty()) {
-    // Trace one representative task; tracing every replication would
-    // multiply the buffer for no analytical gain.
-    spec.on_setup = [](testbed::Experiment& experiment, std::size_t task_index) {
-      if (task_index == 0) experiment.tracer().enable();
+    // Trace each variant's first replication (tasks are variant-major, so
+    // that is task_index % replications == 0); tracing every replication
+    // would multiply the buffers for no analytical gain. The ring cap
+    // bounds memory on long runs — evictions show up as
+    // trace.dropped_events and as unmatched ends in the analysis.
+    const std::size_t replications = spec.replications;
+    const std::size_t cap = args.trace_cap;
+    spec.on_setup = [replications, cap](testbed::Experiment& experiment,
+                                        std::size_t task_index) {
+      if (task_index % replications == 0) {
+        experiment.tracer().set_capacity(cap);
+        experiment.tracer().enable();
+      }
     };
   }
   return spec;
@@ -135,6 +147,67 @@ void report_observability(const BenchArgs& args, const testbed::SweepResult& res
   }
 }
 
+std::map<std::string, double> report_trace_analysis(const BenchArgs& args,
+                                                    const testbed::SweepSpec& spec,
+                                                    const testbed::SweepResult& result) {
+  std::map<std::string, double> extra;
+  if (args.trace_path.empty()) return extra;
+  for (std::size_t variant_index = 0; variant_index < spec.variants.size(); ++variant_index) {
+    const std::string& variant = spec.variants[variant_index].name;
+    const testbed::SweepTaskResult* traced = nullptr;
+    for (const auto* task : result.tasks_of(variant_index)) {
+      if (!task->result.trace.empty()) {
+        traced = task;
+        break;
+      }
+    }
+    if (traced == nullptr) continue;
+    const obs::TraceAnalysis analysis = obs::analyze_spans(traced->result.trace);
+    std::printf("per-hop delay decomposition, variant %s (replication %zu, %zu spans):\n",
+                variant.c_str(), traced->replication, analysis.spans.size());
+    std::size_t complete_chains = 0;
+    for (const auto& [chain, stats] : analysis.chains) {
+      complete_chains += stats.complete;
+      if (stats.complete == 0 && stats.broken == 0) continue;
+      std::printf("  chain %-20s %7zu complete %5zu broken   mean %10.4f s\n", chain.c_str(),
+                  stats.complete, stats.broken, stats.mean_duration());
+      double hop_sum = 0.0;
+      for (const auto& [hop, self] : stats.hop_self_time) {
+        hop_sum += self;
+        const double share =
+            stats.total_duration > 0.0 ? 100.0 * self / stats.total_duration : 0.0;
+        std::printf("    %-24s %7zu spans  %12.4f s self  %5.1f%%\n", hop.c_str(),
+                    stats.hop_spans.count(hop) ? stats.hop_spans.at(hop) : 0, self, share);
+      }
+      // Strict-partition identity: the hop rows repartition the summed
+      // complete-chain durations, so they must add back up (within float
+      // accumulation error). A violation means the analyzer and tracer
+      // disagree about the span tree — worth shouting about.
+      const double tolerance = 1e-6 * std::max(1.0, stats.total_duration);
+      if (std::fabs(hop_sum - stats.total_duration) > tolerance) {
+        std::fprintf(stderr,
+                     "warning: variant %s chain %s: hop self times sum to %.9f s "
+                     "but complete chains total %.9f s\n",
+                     variant.c_str(), chain.c_str(), hop_sum, stats.total_duration);
+      }
+      extra["trace." + variant + "." + chain + ".mean_s"] = stats.mean_duration();
+    }
+    if (analysis.orphan_spans > 0 || analysis.retry_storms > 0 ||
+        analysis.duplicate_ends > 0 || analysis.unmatched_ends > 0) {
+      std::printf("  anomalies: %zu orphan spans, %zu retry storms, %zu duplicate ends, "
+                  "%zu unmatched ends\n",
+                  analysis.orphan_spans, analysis.retry_storms, analysis.duplicate_ends,
+                  analysis.unmatched_ends);
+    }
+    extra["trace." + variant + ".complete_chains"] = static_cast<double>(complete_chains);
+    extra["trace." + variant + ".broken_chains"] = static_cast<double>(analysis.broken_chains);
+    extra["trace." + variant + ".dropped_events"] =
+        static_cast<double>(traced->obs.counter("trace.dropped_events"));
+  }
+  if (!extra.empty()) std::printf("\n");
+  return extra;
+}
+
 void print_aggregates(const testbed::SweepResult& result) {
   for (const auto& [variant, metrics] : result.aggregates) {
     std::printf("variant %s (n=%zu):\n", variant.c_str(),
@@ -178,6 +251,13 @@ void write_bench_json(const std::string& bench_name, const BenchArgs& args,
     }
     json::Object variant_obj;
     variant_obj["metrics"] = json::Value(std::move(metric_obj));
+    // Merged metrics snapshot, histogram bucket layouts included — the
+    // source of truth tools/trace_analyze --report and bench_gate.py read
+    // histogram bounds from.
+    const auto obs_it = result.obs.find(variant);
+    if (obs_it != result.obs.end() && !obs_it->second.empty()) {
+      variant_obj["obs"] = obs_it->second.to_json();
+    }
     variants[variant] = json::Value(std::move(variant_obj));
   }
   root["variants"] = json::Value(std::move(variants));

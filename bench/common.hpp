@@ -33,7 +33,7 @@ inline constexpr std::size_t kFitSubsample = 3000;
 
 /// Command-line options shared by the sweep-capable benches:
 ///   bench [jobs] [--threads N] [--reps N] [--seed S] [--json-dir DIR]
-///         [--no-serial-reference] [--trace FILE] [--metrics]
+///         [--no-serial-reference] [--trace FILE] [--trace-cap N] [--metrics]
 /// `--threads 0` (the default) defers to AEQUUS_THREADS, then to the
 /// hardware. Unknown flags warn and are skipped.
 struct BenchArgs {
@@ -45,9 +45,12 @@ struct BenchArgs {
   /// Re-run the sweep single-threaded to report speedup_vs_serial in the
   /// JSON (skipped automatically when the sweep resolves to one thread).
   bool serial_reference = true;
-  /// --trace FILE: enable the tracer on the sweep's first task and write
-  /// its event stream to FILE as JSON-lines.
+  /// --trace FILE: enable the tracer on each variant's first replication
+  /// and write the first task's event stream to FILE as JSON-lines.
   std::string trace_path;
+  /// --trace-cap N: tracer ring-buffer capacity for traced tasks (events;
+  /// 0 = unbounded). Evictions land in the trace.dropped_events counter.
+  std::size_t trace_cap = 1u << 19;
   /// --metrics: print the merged per-variant metrics snapshots.
   bool print_metrics = false;
 };
@@ -74,6 +77,18 @@ struct SweepRun {
 /// trace events to args.trace_path (JSON-lines) and/or print the merged
 /// per-variant metrics snapshots. No-op when neither flag was given.
 void report_observability(const BenchArgs& args, const testbed::SweepResult& result);
+
+/// Per-hop delay decomposition from the causal span trees (tracing on,
+/// i.e. --trace given): for each variant's traced replication, rebuild
+/// the span trees with obs::analyze_spans and print, per chain, the
+/// strict per-hop self-time partition — the hop rows sum to the summed
+/// complete-chain durations (verified here to float tolerance, flagged
+/// loudly otherwise). Returns extra scalars for write_bench_json():
+///   trace.<variant>.complete_chains / broken_chains / dropped_events
+///   trace.<variant>.<chain>.mean_s  (mean complete-chain duration)
+/// No-op (empty map) without --trace.
+[[nodiscard]] std::map<std::string, double> report_trace_analysis(
+    const BenchArgs& args, const testbed::SweepSpec& spec, const testbed::SweepResult& result);
 
 /// Render the per-variant aggregate table (mean +- 95 % CI per metric).
 void print_aggregates(const testbed::SweepResult& result);

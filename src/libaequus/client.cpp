@@ -53,19 +53,38 @@ double AequusClient::backoff_delay(int attempt) const noexcept {
   return std::clamp(delay, 0.0, config_.backoff_max);
 }
 
+void AequusClient::end_client_span(obs::SpanContext& span, std::string detail,
+                                   double value) {
+  if (span.valid() && obs_.tracer != nullptr) {
+    obs_.tracer->end_span(simulator_.now(), span, config_.site, "client",
+                          std::move(detail), value);
+  }
+  span = obs::SpanContext{};
+}
+
 void AequusClient::refresh_fairshare_table() {
   // A new cycle supersedes any in-flight attempt or pending retry.
   timeout_task_.cancel();
   retry_task_.cancel();
+  end_client_span(attempt_span_, "superseded");
+  end_client_span(refresh_span_, "superseded");
+  if (tracing()) {
+    refresh_span_ =
+        obs_.tracer->begin_span(simulator_.now(), config_.site, "client", "refresh");
+  }
   start_refresh(0);
 }
 
 void AequusClient::start_refresh(int attempt) {
   const std::uint64_t generation = ++refresh_generation_;
-  const std::uint64_t rpc_id =
-      obs_.tracer != nullptr && obs_.tracer->enabled() ? obs_.tracer->next_id() : 0;
   const double sent_at = simulator_.now();
-  trace(obs::EventKind::kRpcBegin, "fcs.table", static_cast<double>(attempt), rpc_id);
+  if (tracing()) {
+    attempt_span_ = obs_.tracer->begin_child(sent_at, refresh_span_, config_.site, "client",
+                                             "attempt:" + std::to_string(attempt));
+  }
+  // The bus request below inherits the attempt span, so each retry's rpc
+  // (and its retransmitted legs) hangs under its own "attempt:<n>" child.
+  obs::SpanScope span_scope(obs_.tracer, attempt_span_);
   if (config_.request_timeout > 0.0) {
     timeout_task_ = simulator_.schedule_after(
         config_.request_timeout, [this, generation, attempt] {
@@ -79,7 +98,7 @@ void AequusClient::start_refresh(int attempt) {
   request["op"] = "table";
   bus_.request(
       config_.site, config_.site + ".fcs", json::Value(std::move(request)),
-      [this, generation, sent_at, rpc_id](const json::Value& reply) {
+      [this, generation, sent_at](const json::Value& reply) {
         if (generation != refresh_generation_) return;  // superseded or timed out
         timeout_task_.cancel();
         ++refresh_generation_;  // retire this attempt (duplicates become stale)
@@ -91,8 +110,10 @@ void AequusClient::start_refresh(int attempt) {
           }
           ++stats_.fairshare_refreshes;
           obs::bump(metrics_.fairshare_refreshes);
-          trace(obs::EventKind::kRpcEnd, "fcs.table", simulator_.now() - sent_at, rpc_id);
           last_refresh_time_ = simulator_.now();
+          const double elapsed = simulator_.now() - sent_at;
+          end_client_span(attempt_span_, "ok", elapsed);
+          end_client_span(refresh_span_, "ok", elapsed);
         } catch (const std::exception& e) {
           AEQ_WARN("libaequus") << "bad fairshare table reply: " << e.what();
         }
@@ -110,11 +131,16 @@ void AequusClient::start_refresh(int attempt) {
 
 void AequusClient::refresh_attempt_failed(int attempt) {
   ++refresh_generation_;  // a late reply to the failed attempt is stale
+  end_client_span(attempt_span_, "failed");
   if (attempt >= config_.max_retries) {
     ++stats_.refresh_failures;
     obs::bump(metrics_.refresh_failures);
-    trace(obs::EventKind::kCacheStaleFallback, "fairshare_table",
-          last_refresh_time_ >= 0.0 ? simulator_.now() - last_refresh_time_ : -1.0);
+    {
+      obs::SpanScope scope(obs_.tracer, refresh_span_);
+      trace(obs::EventKind::kCacheStaleFallback, "fairshare_table",
+            last_refresh_time_ >= 0.0 ? simulator_.now() - last_refresh_time_ : -1.0);
+    }
+    end_client_span(refresh_span_, "stale_fallback");
     AEQ_DEBUG("libaequus") << config_.site
                            << ": fairshare refresh retries exhausted; serving stale table";
     return;  // stale-cache fallback until the next periodic cycle
@@ -173,11 +199,18 @@ void AequusClient::report_usage(const std::string& grid_user, double usage) {
   if (usage <= 0.0) return;
   ++stats_.usage_reports;
   obs::bump(metrics_.usage_reports);
+  obs::SpanContext span;
+  if (tracing()) {
+    span = obs_.tracer->begin_span(simulator_.now(), config_.site, "client",
+                                   "report_usage:" + grid_user);
+  }
+  obs::SpanScope scope(obs_.tracer, span);
   json::Object record;
   record["op"] = "report";
   record["user"] = grid_user;
   record["usage"] = usage;
   bus_.send(config_.site, config_.site + ".uss", json::Value(std::move(record)));
+  end_client_span(span, {}, usage);
 }
 
 bool AequusClient::report_system_usage(const std::string& system_user, double usage) {

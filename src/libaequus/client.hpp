@@ -92,6 +92,10 @@ class AequusClient {
   [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ClientConfig& config() const noexcept { return config_; }
 
+  /// The observability hookup the client records into; completion plugins
+  /// use it to open their own spans around client calls.
+  [[nodiscard]] const obs::Observability& observability() const noexcept { return obs_; }
+
   /// Simulated time of the last successful table refresh; negative until
   /// one lands.
   [[nodiscard]] double last_refresh_time() const noexcept { return last_refresh_time_; }
@@ -128,6 +132,11 @@ class AequusClient {
   [[nodiscard]] double backoff_delay(int attempt) const noexcept;
   void trace(obs::EventKind kind, std::string detail, double value = 0.0,
              std::uint64_t id = 0);
+  [[nodiscard]] bool tracing() const noexcept {
+    return obs_.tracer != nullptr && obs_.tracer->enabled();
+  }
+  /// Close `span` (when open) with `detail` and invalidate the handle.
+  void end_client_span(obs::SpanContext& span, std::string detail, double value = 0.0);
 
   sim::Simulator& simulator_;
   net::ServiceBus& bus_;
@@ -148,6 +157,11 @@ class AequusClient {
   /// carrying another generation are stale and ignored.
   std::uint64_t refresh_generation_ = 0;
   double last_refresh_time_ = -1.0;
+  /// Causal spans for the current refresh cycle: one "refresh" root per
+  /// cycle with one "attempt:<n>" child per try, so retry storms and
+  /// stale-cache fallbacks are visible as tree shapes in the trace.
+  obs::SpanContext refresh_span_;
+  obs::SpanContext attempt_span_;
 };
 
 }  // namespace aequus::client

@@ -11,11 +11,20 @@ void apply_aequus_patches(MauiScheduler& scheduler, client::AequusClient& client
     return client.fairshare_factor(*grid_user);
   });
   scheduler.patch_completion([&client](const rms::Job& job, double now) {
-    (void)now;
+    // Patch hop of the jobcomp chain (Maui's completion callback).
+    obs::Tracer* tracer = client.observability().tracer;
+    obs::SpanContext span;
+    if (tracer != nullptr && tracer->enabled()) {
+      span = tracer->begin_span(now, client.config().site, "maui", "jobcomp_patch");
+    }
+    obs::SpanScope scope(tracer, span);
     if (!job.grid_user.empty()) {
       client.report_usage(job.grid_user, job.usage());
     } else {
       (void)client.report_system_usage(job.system_user, job.usage());
+    }
+    if (span.valid() && tracer != nullptr) {
+      tracer->end_span(now, span, client.config().site, "maui");
     }
   });
 }

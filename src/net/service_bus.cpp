@@ -109,6 +109,12 @@ std::string ServiceBus::site_of(std::string_view address) {
   return std::string(address.substr(0, dot));
 }
 
+std::string ServiceBus::service_of(std::string_view address) {
+  const std::size_t dot = address.find('.');
+  if (dot == std::string_view::npos) return std::string(address);
+  return std::string(address.substr(dot + 1));
+}
+
 void ServiceBus::set_site_contributes(const std::string& site, bool contributes) {
   contributes_[site] = contributes;
 }
@@ -183,31 +189,56 @@ double ServiceBus::leg_latency(const std::string& from_site, const std::string& 
   return hop;
 }
 
+void ServiceBus::drop_leg(const obs::SpanContext& leg, const std::string& site,
+                          std::string reason) {
+  obs::SpanScope scope(tracer_, leg);
+  trace(obs::EventKind::kMessageDrop, site, "bus", std::move(reason));
+  if (tracing() && leg.valid()) {
+    tracer_->end_span(simulator_.now(), leg, site, "bus", "dropped");
+  }
+}
+
 bool ServiceBus::deliver(const std::string& from_site, const std::string& to_site,
-                         const std::string& what, std::function<void()> action) {
+                         const std::string& what, const obs::SpanContext& leg,
+                         std::function<void()> action) {
   if (outage(from_site, to_site)) {
     metrics_.dropped_outage->inc();
-    trace(obs::EventKind::kMessageDrop, from_site, "bus", "outage:" + what);
+    drop_leg(leg, from_site, "outage:" + what);
     return false;
   }
   if (lose(from_site, to_site)) {
-    trace(obs::EventKind::kMessageDrop, from_site, "bus", "loss:" + what);
+    drop_leg(leg, from_site, "loss:" + what);
     return false;
   }
   const bool twice = duplicate(from_site, to_site);
-  simulator_.schedule_after(leg_latency(from_site, to_site), action);
+  // Close the leg span on arrival: leg duration is pure wire time, so the
+  // analyzer can split every chain into queueing (bus legs) vs handling.
+  // A duplicated leg ends its span twice; the analyzer counts the second
+  // end as `duplicate_ends` and keeps the first.
+  auto arrive = [this, leg, to_site, action = std::move(action)] {
+    if (tracing() && leg.valid()) {
+      tracer_->end_span(simulator_.now(), leg, to_site, "bus");
+    }
+    action();
+  };
+  simulator_.schedule_after(leg_latency(from_site, to_site), arrive);
   if (twice) {
     metrics_.duplicated->inc();
-    simulator_.schedule_after(leg_latency(from_site, to_site), std::move(action));
+    simulator_.schedule_after(leg_latency(from_site, to_site), std::move(arrive));
   }
   return true;
 }
 
 void ServiceBus::bounce_unbound(const std::string& address, const std::string& from_site,
-                                const std::string& to_site, ErrorCallback on_error) {
+                                const std::string& to_site, ErrorCallback on_error,
+                                const obs::SpanContext& rpc_span,
+                                const obs::SpanContext& caller) {
   metrics_.dropped_unbound->inc();
   AEQ_DEBUG("bus") << "request to unbound address " << address;
-  trace(obs::EventKind::kMessageDrop, to_site, "bus", "unbound:" + address);
+  {
+    obs::SpanScope scope(tracer_, rpc_span);
+    trace(obs::EventKind::kMessageDrop, to_site, "bus", "unbound:" + address);
+  }
   // Structural failures bounce reliably (the transport knows nobody
   // listens); injected loss and outages stay silent so callers can only
   // detect them by timeout.
@@ -218,10 +249,17 @@ void ServiceBus::bounce_unbound(const std::string& address, const std::string& f
     envelope["address"] = address;
     simulator_.schedule_after(
         latency(to_site, from_site),
-        [error = json::Value(std::move(envelope)), on_error = std::move(on_error)] {
+        [this, from_site, rpc_span, caller, error = json::Value(std::move(envelope)),
+         on_error = std::move(on_error)] {
+          if (tracing() && rpc_span.valid()) {
+            tracer_->end_span(simulator_.now(), rpc_span, from_site, "bus", "unbound");
+          }
+          obs::SpanScope scope(tracer_, caller);
           on_error(error);
         });
   }
+  // Without an error callback the rpc span stays open: the caller can only
+  // notice by timeout, which the analyzer reports as a broken chain.
 }
 
 void ServiceBus::request(const std::string& from_site, const std::string& address,
@@ -231,48 +269,82 @@ void ServiceBus::request(const std::string& from_site, const std::string& addres
   EndpointMetrics& rpc = endpoint_metrics(address);
   rpc.requests->inc();
   const std::string to_site = site_of(address);
-  const std::uint64_t rpc_id =
-      tracer_ != nullptr && tracer_->enabled() ? tracer_->next_id() : 0;
-  trace(obs::EventKind::kRpcBegin, from_site, "bus", address, 0.0, rpc_id);
+  // Causal context: the rpc span is a child of whatever span was ambient
+  // at the call site; the caller's context is restored around the
+  // continuations so work triggered by the reply stays in the caller's
+  // tree. The span context travels in the envelope only — never in the
+  // JSON payload — so payload_bytes is identical with tracing on or off.
+  const obs::SpanContext caller = tracing() ? tracer_->current() : obs::SpanContext{};
+  const obs::SpanContext rpc_span =
+      tracing() ? tracer_->begin_child(simulator_.now(), caller, from_site, "bus",
+                                       "rpc:" + address)
+                : obs::SpanContext{};
   // The forward leg is a query (metadata), not data: it always flows, so a
   // non-contributing site can still *read* global state (§IV-A-4). The
   // reply leg carries the responder's data and is gated below.
   if (endpoints_.find(address) == endpoints_.end()) {
     // Unbound at send time: the transport rejects immediately, so the
     // bounce costs one hop instead of a round trip.
-    bounce_unbound(address, from_site, to_site, std::move(on_error));
+    bounce_unbound(address, from_site, to_site, std::move(on_error), rpc_span, caller);
     return;
   }
   const double sent_at = simulator_.now();
+  const obs::SpanContext query_leg =
+      tracing() ? tracer_->begin_child(sent_at, rpc_span, from_site, "bus",
+                                       "query:" + address)
+                : obs::SpanContext{};
   // The handler is resolved on arrival: an unbind while the query is in
   // flight bounces, a re-bind routes to the new handler.
-  deliver(from_site, to_site, address,
+  deliver(from_site, to_site, address, query_leg,
           [this, address, latency = rpc.latency, payload = std::move(payload), from_site,
-           to_site, sent_at, rpc_id, on_reply = std::move(on_reply),
+           to_site, sent_at, rpc_span, caller, on_reply = std::move(on_reply),
            on_error = std::move(on_error)]() mutable {
             const auto it = endpoints_.find(address);
             if (it == endpoints_.end()) {
-              bounce_unbound(address, from_site, to_site, std::move(on_error));
+              bounce_unbound(address, from_site, to_site, std::move(on_error), rpc_span,
+                             caller);
               return;
             }
-            trace(obs::EventKind::kMessageDeliver, to_site, "bus", address, 0.0, rpc_id);
-            json::Value reply = it->second(payload);
+            json::Value reply;
+            {
+              const obs::SpanContext handle =
+                  tracing() ? tracer_->begin_child(simulator_.now(), rpc_span, to_site,
+                                                   service_of(address), "handle:" + address)
+                            : obs::SpanContext{};
+              obs::SpanScope scope(tracer_, handle);
+              trace(obs::EventKind::kMessageDeliver, to_site, "bus", address);
+              reply = it->second(payload);
+              if (tracing() && handle.valid()) {
+                tracer_->end_span(simulator_.now(), handle, to_site, service_of(address));
+              }
+            }
             // The reply carries the responder's data: it is subject to the
             // responder's contribution flag (a non-contributing site answers
             // local requests but its data never leaves the site, §IV-A-4).
             if (!allowed(to_site, from_site)) {
               metrics_.dropped_participation->inc();
+              // The rpc span stays open: the caller never hears back, and
+              // the analyzer flags the chain as broken.
+              obs::SpanScope scope(tracer_, rpc_span);
               trace(obs::EventKind::kMessageDrop, to_site, "bus",
-                    "participation:" + address, 0.0, rpc_id);
+                    "participation:" + address);
               return;
             }
             metrics_.payload_bytes->inc(reply.dump().size());
-            deliver(to_site, from_site, address + ":reply",
-                    [this, latency, address, from_site, sent_at, rpc_id,
+            const obs::SpanContext reply_leg =
+                tracing() ? tracer_->begin_child(simulator_.now(), rpc_span, to_site,
+                                                 "bus", "reply:" + address)
+                          : obs::SpanContext{};
+            deliver(to_site, from_site, address + ":reply", reply_leg,
+                    [this, latency, address, from_site, sent_at, rpc_span, caller,
                      reply = std::move(reply), on_reply = std::move(on_reply)] {
-                      latency->record(simulator_.now() - sent_at);
-                      trace(obs::EventKind::kRpcEnd, from_site, "bus", address,
-                            simulator_.now() - sent_at, rpc_id);
+                      const double elapsed = simulator_.now() - sent_at;
+                      latency->record(elapsed);
+                      if (tracing() && rpc_span.valid()) {
+                        tracer_->end_span(simulator_.now(), rpc_span, from_site, "bus",
+                                          address, elapsed);
+                      }
+                      obs::SpanScope scope(tracer_, caller);
                       if (on_reply) on_reply(reply);
                     });
           });
@@ -283,7 +355,14 @@ void ServiceBus::send(const std::string& from_site, const std::string& address,
   metrics_.one_way->inc();
   metrics_.payload_bytes->inc(payload.dump().size());
   const std::string to_site = site_of(address);
+  const obs::SpanContext send_span =
+      tracing() ? tracer_->begin_span(simulator_.now(), from_site, "bus",
+                                      "send:" + address)
+                : obs::SpanContext{};
+  obs::SpanScope scope(tracer_, send_span);
   trace(obs::EventKind::kMessageSend, from_site, "bus", address);
+  // Drops leave the send span open: the data never arrived, and the
+  // analyzer reports the enclosing chain as broken.
   if (!allowed(from_site, to_site)) {
     metrics_.dropped_participation->inc();
     trace(obs::EventKind::kMessageDrop, from_site, "bus", "participation:" + address);
@@ -295,19 +374,37 @@ void ServiceBus::send(const std::string& from_site, const std::string& address,
     trace(obs::EventKind::kMessageDrop, to_site, "bus", "unbound:" + address);
     return;
   }
-  deliver(from_site, to_site, address,
-          [this, address, to_site, payload = std::move(payload)] {
+  const obs::SpanContext data_leg =
+      tracing() ? tracer_->begin_child(simulator_.now(), send_span, from_site, "bus",
+                                       "data:" + address)
+                : obs::SpanContext{};
+  deliver(from_site, to_site, address, data_leg,
+          [this, address, to_site, send_span, payload = std::move(payload)] {
             const auto it = endpoints_.find(address);
             if (it == endpoints_.end()) {
               // Unbound while in flight: one-way data has no reply channel,
               // so the message just counts as dropped.
               metrics_.dropped_unbound->inc();
               AEQ_DEBUG("bus") << "in-flight send to unbound address " << address;
+              obs::SpanScope scope(tracer_, send_span);
               trace(obs::EventKind::kMessageDrop, to_site, "bus", "unbound:" + address);
               return;
             }
-            trace(obs::EventKind::kMessageDeliver, to_site, "bus", address);
-            (void)it->second(payload);
+            {
+              const obs::SpanContext handle =
+                  tracing() ? tracer_->begin_child(simulator_.now(), send_span, to_site,
+                                                   service_of(address), "handle:" + address)
+                            : obs::SpanContext{};
+              obs::SpanScope scope(tracer_, handle);
+              trace(obs::EventKind::kMessageDeliver, to_site, "bus", address);
+              (void)it->second(payload);
+              if (tracing() && handle.valid()) {
+                tracer_->end_span(simulator_.now(), handle, to_site, service_of(address));
+              }
+            }
+            if (tracing() && send_span.valid()) {
+              tracer_->end_span(simulator_.now(), send_span, to_site, "bus");
+            }
           });
 }
 
@@ -316,7 +413,17 @@ json::Value ServiceBus::call(const std::string& address, const json::Value& payl
   if (it == endpoints_.end()) {
     throw std::runtime_error("ServiceBus::call: unbound address " + address);
   }
-  return it->second(payload);
+  const std::string to_site = site_of(address);
+  const obs::SpanContext span =
+      tracing() ? tracer_->begin_span(simulator_.now(), to_site,
+                                      service_of(address), "call:" + address)
+                : obs::SpanContext{};
+  obs::SpanScope scope(tracer_, span);
+  json::Value reply = it->second(payload);
+  if (tracing() && span.valid()) {
+    tracer_->end_span(simulator_.now(), span, to_site, service_of(address));
+  }
+  return reply;
 }
 
 }  // namespace aequus::net

@@ -182,6 +182,9 @@ class ServiceBus {
   /// Site prefix of an address ("siteA.uss" -> "siteA").
   [[nodiscard]] static std::string site_of(std::string_view address);
 
+  /// Service suffix of an address ("siteA.uss" -> "uss").
+  [[nodiscard]] static std::string service_of(std::string_view address);
+
  private:
   /// Registry-backed bus counters, cached as stable pointers so the hot
   /// path is a single increment.
@@ -205,12 +208,20 @@ class ServiceBus {
 
   void register_metrics();
   [[nodiscard]] EndpointMetrics& endpoint_metrics(const std::string& address);
+  [[nodiscard]] bool tracing() const noexcept {
+    return tracer_ != nullptr && tracer_->enabled();
+  }
   void trace(obs::EventKind kind, const std::string& site, const std::string& component,
              std::string detail = {}, double value = 0.0, std::uint64_t id = 0);
+  /// Record a drop event under `leg` and close the leg span ("dropped").
+  void drop_leg(const obs::SpanContext& leg, const std::string& site, std::string reason);
   /// Count an unbound arrival and, for requests, bounce the error
-  /// envelope back over the return leg.
+  /// envelope back over the return leg. Closes `rpc_span` ("unbound")
+  /// when the bounce is delivered; leaves it open otherwise (the caller
+  /// can only detect the loss by timeout — a broken chain).
   void bounce_unbound(const std::string& address, const std::string& from_site,
-                      const std::string& to_site, ErrorCallback on_error);
+                      const std::string& to_site, ErrorCallback on_error,
+                      const obs::SpanContext& rpc_span, const obs::SpanContext& caller);
 
   [[nodiscard]] bool allowed(const std::string& from_site, const std::string& to_site) const;
   [[nodiscard]] double latency(const std::string& from_site, const std::string& to_site) const;
@@ -223,9 +234,11 @@ class ServiceBus {
   /// Per-leg latency including jitter (consumes randomness when jitter on).
   [[nodiscard]] double leg_latency(const std::string& from_site, const std::string& to_site);
   /// Deliver `action` over one leg, applying outage/loss/duplication/jitter.
-  /// `what` labels the leg in trace output. Returns false when dropped.
+  /// `what` labels the leg in trace output; `leg` is the leg's span (the
+  /// invalid context when tracing is off), closed on arrival or drop.
+  /// Returns false when dropped.
   bool deliver(const std::string& from_site, const std::string& to_site, const std::string& what,
-               std::function<void()> action);
+               const obs::SpanContext& leg, std::function<void()> action);
 
   sim::Simulator& simulator_;
   std::map<std::string, Handler> endpoints_;

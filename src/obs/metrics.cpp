@@ -9,6 +9,7 @@ Histogram::Histogram(HistogramSpec spec) {
   if (spec.buckets < 1) spec.buckets = 1;
   if (!(spec.first_bound > 0.0)) spec.first_bound = 1e-3;
   if (!(spec.growth > 1.0)) spec.growth = 2.0;
+  spec_ = spec;
   bounds_.reserve(static_cast<std::size_t>(spec.buckets));
   double bound = spec.first_bound;
   for (int i = 0; i < spec.buckets; ++i) {
@@ -46,9 +47,11 @@ void Snapshot::merge(const Snapshot& other) {
     HistogramValue& mine = it->second;
     if (mine.bounds != value.bounds) {
       // Mismatched layouts cannot be merged bucket-wise; keep the scalar
-      // aggregates correct and drop per-bucket resolution.
+      // aggregates correct and drop per-bucket resolution (and the spec —
+      // no single layout describes the merged data).
       mine.bounds.clear();
       mine.counts.clear();
+      mine.spec = HistogramSpec{0.0, 0.0, 0};
     } else {
       for (std::size_t i = 0; i < mine.counts.size(); ++i) mine.counts[i] += value.counts[i];
     }
@@ -91,6 +94,13 @@ json::Value Snapshot::to_json() const {
   json::Object histogram_obj;
   for (const auto& [key, value] : histograms) {
     json::Object h;
+    if (value.spec.buckets > 0) {
+      json::Object spec;
+      spec["first_bound"] = value.spec.first_bound;
+      spec["growth"] = value.spec.growth;
+      spec["buckets"] = value.spec.buckets;
+      h["spec"] = json::Value(std::move(spec));
+    }
     json::Array bounds;
     for (double b : value.bounds) bounds.push_back(b);
     json::Array counts;
@@ -141,6 +151,7 @@ Snapshot Registry::snapshot() const {
   for (const auto& [key, index] : histogram_index_) {
     const Histogram& histogram = histograms_[index];
     HistogramValue value;
+    value.spec = histogram.spec();
     value.bounds = histogram.bounds();
     value.counts = histogram.counts();
     value.count = histogram.count();

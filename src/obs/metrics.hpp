@@ -81,6 +81,9 @@ class Histogram {
   /// O(log buckets), allocation-free.
   void record(double value) noexcept;
 
+  /// The normalized layout spec the bounds were derived from (exported in
+  /// snapshots so report consumers never re-derive the log-scale layout).
+  [[nodiscard]] const HistogramSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
   /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
   [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
@@ -93,6 +96,7 @@ class Histogram {
   }
 
  private:
+  HistogramSpec spec_;
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t count_ = 0;
@@ -112,8 +116,10 @@ struct GaugeValue {
   }
 };
 
-/// Copyable export of a Histogram.
+/// Copyable export of a Histogram. `spec.buckets == 0` marks an unknown
+/// layout (snapshots with mismatched layouts were merged).
 struct HistogramValue {
+  HistogramSpec spec{0.0, 0.0, 0};
   std::vector<double> bounds;
   std::vector<std::uint64_t> counts;
   std::uint64_t count = 0;

@@ -1,0 +1,226 @@
+#include "obs/span_analysis.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace aequus::obs {
+namespace {
+
+bool is_blank(const std::string& line) noexcept {
+  return std::all_of(line.begin(), line.end(),
+                     [](unsigned char c) { return std::isspace(c) != 0; });
+}
+
+/// Walk one tree, partitioning [lo, hi] among the span and its children.
+/// Children windows are disjoint (overlapping siblings split at the
+/// overlap, earlier sibling wins) so self times sum to the root duration.
+void accumulate_hops(const std::vector<SpanNode>& spans, std::size_t index, double lo,
+                     double hi, ChainStats& stats) {
+  const SpanNode& span = spans[index];
+  const double window_lo = std::clamp(span.start, lo, hi);
+  const double window_hi = std::clamp(span.end, window_lo, hi);
+  double child_total = 0.0;
+  double cursor = window_lo;
+  for (const std::size_t child_index : span.children) {
+    const SpanNode& child = spans[child_index];
+    const double child_lo = std::clamp(std::max(child.start, cursor), window_lo, window_hi);
+    const double child_hi = std::clamp(child.end, child_lo, window_hi);
+    accumulate_hops(spans, child_index, child_lo, child_hi, stats);
+    child_total += child_hi - child_lo;
+    cursor = std::max(cursor, child_hi);
+  }
+  const std::string key = hop_key(span);
+  stats.hop_self_time[key] += (window_hi - window_lo) - child_total;
+  stats.hop_spans[key] += 1;
+}
+
+struct TreeScan {
+  bool all_closed = true;
+  std::size_t attempts = 0;
+};
+
+void scan_tree(const std::vector<SpanNode>& spans, std::size_t index, TreeScan& scan) {
+  const SpanNode& span = spans[index];
+  if (!span.closed()) scan.all_closed = false;
+  if (span_name_stem(span.name) == "attempt") ++scan.attempts;
+  for (const std::size_t child : span.children) scan_tree(spans, child, scan);
+}
+
+}  // namespace
+
+std::string_view span_name_stem(std::string_view name) noexcept {
+  const std::size_t colon = name.find(':');
+  return colon == std::string_view::npos ? name : name.substr(0, colon);
+}
+
+std::string hop_key(const SpanNode& span) {
+  std::string key = span.component;
+  key += '/';
+  key += span_name_stem(span.name);
+  return key;
+}
+
+std::vector<std::size_t> TraceAnalysis::critical_path(std::size_t root_index) const {
+  std::vector<std::size_t> path;
+  if (root_index >= spans.size()) return path;
+  std::size_t current = root_index;
+  path.push_back(current);
+  while (true) {
+    std::size_t best = kNoSpan;
+    double best_end = 0.0;
+    for (const std::size_t child : spans[current].children) {
+      if (!spans[child].closed()) continue;
+      if (best == kNoSpan || spans[child].end >= best_end) {
+        best = child;
+        best_end = spans[child].end;
+      }
+    }
+    if (best == kNoSpan) break;
+    path.push_back(best);
+    current = best;
+  }
+  return path;
+}
+
+double TraceAnalysis::self_time(std::size_t index) const {
+  if (index >= spans.size()) return 0.0;
+  const SpanNode& span = spans[index];
+  if (!span.closed()) return 0.0;
+  double covered = 0.0;
+  double cursor = span.start;
+  for (const std::size_t child_index : span.children) {
+    const SpanNode& child = spans[child_index];
+    if (!child.closed()) continue;
+    const double lo = std::clamp(std::max(child.start, cursor), span.start, span.end);
+    const double hi = std::clamp(child.end, lo, span.end);
+    covered += hi - lo;
+    cursor = std::max(cursor, hi);
+  }
+  return span.duration() - covered;
+}
+
+TraceAnalysis analyze_spans(const std::vector<TraceEvent>& events,
+                            const AnalyzeOptions& options) {
+  TraceAnalysis analysis;
+  analysis.total_events = events.size();
+  std::unordered_map<std::uint64_t, std::size_t> by_span_id;
+  by_span_id.reserve(events.size() / 2 + 1);
+
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::kSpanBegin) {
+      ++analysis.span_events;
+      if (by_span_id.count(event.span.span_id) > 0) continue;  // malformed duplicate begin
+      SpanNode node;
+      node.context = event.span;
+      node.start = event.time;
+      node.site = event.site;
+      node.component = event.component;
+      node.name = event.detail;
+      by_span_id.emplace(event.span.span_id, analysis.spans.size());
+      analysis.spans.push_back(std::move(node));
+      continue;
+    }
+    if (event.kind == EventKind::kSpanEnd) {
+      ++analysis.span_events;
+      const auto it = by_span_id.find(event.span.span_id);
+      if (it == by_span_id.end()) {
+        ++analysis.unmatched_ends;  // begin evicted by the ring (or never traced)
+        continue;
+      }
+      SpanNode& node = analysis.spans[it->second];
+      if (node.closed()) {
+        ++analysis.duplicate_ends;  // bus duplication delivered the end twice
+        continue;
+      }
+      node.end = std::max(event.time, node.start);
+      node.end_detail = event.detail;
+      node.end_value = event.value;
+      continue;
+    }
+    // Point event: attribute to its ambient span when it has one.
+    if (!event.span.valid()) {
+      ++analysis.contextless_events;
+      continue;
+    }
+    const auto it = by_span_id.find(event.span.span_id);
+    if (it != by_span_id.end() && event.kind == EventKind::kMessageDrop) {
+      ++analysis.spans[it->second].drop_events;
+      ++analysis.drop_events;
+    }
+  }
+
+  // Link parents; spans whose parent never appeared are orphans and act
+  // as roots of partial trees.
+  for (std::size_t i = 0; i < analysis.spans.size(); ++i) {
+    SpanNode& node = analysis.spans[i];
+    if (!node.closed()) ++analysis.open_spans;
+    if (node.context.parent_span_id == 0) continue;
+    const auto it = by_span_id.find(node.context.parent_span_id);
+    if (it == by_span_id.end()) {
+      node.orphan = true;
+      ++analysis.orphan_spans;
+      continue;
+    }
+    node.parent = it->second;
+    analysis.spans[it->second].children.push_back(i);
+  }
+  for (std::size_t i = 0; i < analysis.spans.size(); ++i) {
+    if (analysis.spans[i].parent == kNoSpan) analysis.roots.push_back(i);
+  }
+
+  for (const std::size_t root : analysis.roots) {
+    const SpanNode& span = analysis.spans[root];
+    ChainStats& stats = analysis.chains[hop_key(span)];
+    TreeScan scan;
+    scan_tree(analysis.spans, root, scan);
+    const std::size_t retries = scan.attempts > 1 ? scan.attempts - 1 : 0;
+    stats.retries += retries;
+    if (retries >= options.retry_storm_threshold) {
+      ++stats.retry_storms;
+      ++analysis.retry_storms;
+    }
+    if (!scan.all_closed || span.orphan) {
+      ++stats.broken;
+      ++analysis.broken_chains;
+      continue;
+    }
+    ++stats.complete;
+    const double duration = span.duration();
+    stats.total_duration += duration;
+    if (stats.slowest_root == kNoSpan || duration > stats.max_duration) {
+      stats.slowest_root = root;
+    }
+    stats.max_duration = std::max(stats.max_duration, duration);
+    accumulate_hops(analysis.spans, root, span.start, span.end, stats);
+  }
+  return analysis;
+}
+
+std::vector<TraceEvent> read_trace_jsonl(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || is_blank(line)) continue;
+    const json::Value value = json::parse(line);
+    TraceEvent event;
+    event.time = value.get_number("t");
+    const std::string kind_name = value.get_string("kind");
+    if (!event_kind_from_string(kind_name, event.kind)) {
+      throw std::runtime_error("read_trace_jsonl: unknown event kind: " + kind_name);
+    }
+    event.site = value.get_string("site");
+    event.component = value.get_string("component");
+    event.detail = value.get_string("detail");
+    event.value = value.get_number("value");
+    event.id = static_cast<std::uint64_t>(value.get_number("id"));
+    event.span.trace_id = static_cast<std::uint64_t>(value.get_number("trace"));
+    event.span.span_id = static_cast<std::uint64_t>(value.get_number("span"));
+    event.span.parent_span_id = static_cast<std::uint64_t>(value.get_number("parent"));
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace aequus::obs

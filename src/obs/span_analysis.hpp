@@ -1,0 +1,120 @@
+// Offline span-tree reconstruction and critical-path analysis
+// (§ DESIGN.md 6e).
+//
+// Consumes the Tracer's event stream (in memory or re-read from JSONL),
+// rebuilds the causal span trees, and derives per-chain statistics:
+//
+//   - per-hop latency/queueing breakdown: each span's *self time* is its
+//     share of the chain after handing disjoint sub-windows to its
+//     children (overlapping siblings split at the overlap, so the
+//     decomposition is a strict partition). Summing self times over a
+//     complete tree therefore reproduces the root's duration exactly —
+//     the identity the fig11 bench's per-hop tables rely on;
+//   - the critical path: from the root, repeatedly descend into the child
+//     that finishes last (the one that determined the parent's end);
+//   - anomalies: orphan spans (parent never seen — ring eviction or a
+//     lost begin), broken chains (spans opened but never closed — drops,
+//     outages, participation filtering), retry storms (attempt fan-out
+//     beyond a threshold), duplicate span ends (bus duplication).
+//
+// Hops and chains are keyed by "component/name-stem", where the stem is
+// the span name up to the first ':' ("rpc:site0.fcs" -> "bus/rpc"); chain
+// keys use the root span ("rm/jobcomp", "client/refresh", "ums/update").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace aequus::obs {
+
+inline constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+/// One reconstructed span. Indices refer into TraceAnalysis::spans.
+struct SpanNode {
+  SpanContext context;
+  double start = 0.0;
+  double end = -1.0;  ///< < start until a kSpanEnd arrives (open span)
+  std::string site;
+  std::string component;
+  std::string name;        ///< begin-event detail
+  std::string end_detail;  ///< end-event detail ("ok", "superseded", ...)
+  double end_value = 0.0;
+  std::size_t parent = kNoSpan;
+  std::vector<std::size_t> children;  ///< begin-event order
+  bool orphan = false;                ///< parent id never appeared
+  std::size_t drop_events = 0;        ///< kMessageDrop events under this span
+
+  [[nodiscard]] bool closed() const noexcept { return end >= start; }
+  [[nodiscard]] double duration() const noexcept { return closed() ? end - start : 0.0; }
+};
+
+/// Aggregate over all trees sharing one root key ("rm/jobcomp", ...).
+struct ChainStats {
+  std::size_t complete = 0;  ///< root + every descendant closed, non-orphan
+  std::size_t broken = 0;    ///< at least one span never closed
+  std::size_t retries = 0;   ///< "attempt" spans beyond the first, any tree
+  std::size_t retry_storms = 0;  ///< trees with >= threshold retries
+  double total_duration = 0.0;   ///< summed complete-chain durations [s]
+  double max_duration = 0.0;
+  std::size_t slowest_root = kNoSpan;  ///< root index of the slowest complete chain
+  /// Per-hop strict partition of the complete chains' durations; values
+  /// sum to total_duration exactly (within float addition error).
+  std::map<std::string, double> hop_self_time;
+  std::map<std::string, std::size_t> hop_spans;
+
+  [[nodiscard]] double mean_duration() const noexcept {
+    return complete > 0 ? total_duration / static_cast<double>(complete) : 0.0;
+  }
+};
+
+struct AnalyzeOptions {
+  std::size_t retry_storm_threshold = 3;  ///< retries per tree that flag a storm
+};
+
+struct TraceAnalysis {
+  std::vector<SpanNode> spans;        ///< kSpanBegin order (deterministic)
+  std::vector<std::size_t> roots;     ///< spans with no in-trace parent
+  std::map<std::string, ChainStats> chains;  ///< keyed by root "component/stem"
+
+  std::size_t total_events = 0;
+  std::size_t span_events = 0;        ///< kSpanBegin + kSpanEnd events
+  std::size_t contextless_events = 0; ///< point events outside any span
+  std::size_t orphan_spans = 0;
+  std::size_t open_spans = 0;         ///< begun but never ended
+  std::size_t broken_chains = 0;
+  std::size_t retry_storms = 0;
+  std::size_t duplicate_ends = 0;     ///< extra kSpanEnd for a closed span
+  std::size_t unmatched_ends = 0;     ///< kSpanEnd with no begin in buffer
+  std::size_t drop_events = 0;        ///< kMessageDrop events under spans
+
+  /// Critical path from `root_index`: the chain of closed descendants that
+  /// determined the root's end time, root first.
+  [[nodiscard]] std::vector<std::size_t> critical_path(std::size_t root_index) const;
+
+  /// Self time of one span against its own full interval (no sibling
+  /// splitting); the per-chain tables use the partitioned variant instead.
+  [[nodiscard]] double self_time(std::size_t index) const;
+};
+
+/// Span name / chain key stem: the name up to the first ':'.
+[[nodiscard]] std::string_view span_name_stem(std::string_view name) noexcept;
+
+/// Hop key of a span: "component/stem".
+[[nodiscard]] std::string hop_key(const SpanNode& span);
+
+/// Rebuild span trees and chain statistics from an event stream.
+[[nodiscard]] TraceAnalysis analyze_spans(const std::vector<TraceEvent>& events,
+                                          const AnalyzeOptions& options = {});
+
+/// Parse a write_jsonl stream back into events (blank lines skipped;
+/// throws std::runtime_error on malformed JSON or unknown event kinds).
+[[nodiscard]] std::vector<TraceEvent> read_trace_jsonl(std::istream& in);
+
+}  // namespace aequus::obs

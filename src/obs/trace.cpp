@@ -1,6 +1,23 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace aequus::obs {
+namespace {
+
+// Stateless splitmix64 step, inlined here so aequus_obs stays dependency
+// free (util links nothing back into obs, but the five lines are cheaper
+// than the edge).
+std::uint64_t splitmix64_step(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 const char* to_string(EventKind kind) noexcept {
   switch (kind) {
@@ -14,8 +31,21 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kCacheStaleFallback: return "cache_stale_fallback";
     case EventKind::kSchedulerDecision: return "scheduler_decision";
     case EventKind::kUsageUpdateApplied: return "usage_update_applied";
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
   }
   return "unknown";
+}
+
+bool event_kind_from_string(std::string_view name, EventKind& out) noexcept {
+  for (int i = 0; i <= static_cast<int>(EventKind::kSpanEnd); ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    if (name == to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
 }
 
 json::Value TraceEvent::to_json() const {
@@ -27,7 +57,103 @@ json::Value TraceEvent::to_json() const {
   if (!detail.empty()) obj["detail"] = detail;
   obj["value"] = value;
   if (id != 0) obj["id"] = id;
+  if (span.trace_id != 0) obj["trace"] = span.trace_id;
+  if (span.span_id != 0) obj["span"] = span.span_id;
+  if (span.parent_span_id != 0) obj["parent"] = span.parent_span_id;
   return json::Value(std::move(obj));
+}
+
+std::uint64_t Tracer::mint_trace_id() noexcept {
+  // Masked to 48 bits: a JSON double carries the id exactly, and per-task
+  // traces hold far too few trees for birthday collisions to matter.
+  const std::uint64_t id = splitmix64_step(trace_seed_state_) & 0xffffffffffffULL;
+  return id != 0 ? id : 1;
+}
+
+SpanContext Tracer::begin_child(double time, const SpanContext& parent, std::string_view site,
+                                std::string_view component, std::string name) {
+  if (!enabled_) return {};
+  SpanContext span;
+  if (parent.valid()) {
+    span.trace_id = parent.trace_id;
+    span.parent_span_id = parent.span_id;
+  } else {
+    span.trace_id = mint_trace_id();
+  }
+  span.span_id = ++last_span_id_;
+  push(RawEvent{time, EventKind::kSpanBegin, intern(site), intern(component), std::move(name),
+                0.0, 0, span});
+  return span;
+}
+
+void Tracer::end_span(double time, const SpanContext& span, std::string_view site,
+                      std::string_view component, std::string detail, double value) {
+  if (!enabled_ || !span.valid()) return;
+  push(RawEvent{time, EventKind::kSpanEnd, intern(site), intern(component), std::move(detail),
+                value, 0, span});
+}
+
+std::uint32_t Tracer::intern(std::string_view text) {
+  const auto it = intern_index_.find(text);
+  if (it != intern_index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(interned_.size());
+  interned_.emplace_back(text);
+  intern_index_.emplace(interned_.back(), id);
+  return id;
+}
+
+void Tracer::push(RawEvent event) {
+  if (capacity_ > 0 && events_.size() >= capacity_) {
+    events_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+    bump(dropped_counter_);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void Tracer::set_capacity(std::size_t cap) {
+  if (head_ != 0) {
+    // Normalize ring order so the vector is oldest-first again.
+    std::rotate(events_.begin(),
+                events_.begin() + static_cast<std::ptrdiff_t>(head_), events_.end());
+    head_ = 0;
+  }
+  capacity_ = cap;
+  if (capacity_ > 0 && events_.size() > capacity_) {
+    const std::size_t surplus = events_.size() - capacity_;
+    events_.erase(events_.begin(), events_.begin() + static_cast<std::ptrdiff_t>(surplus));
+    dropped_ += surplus;
+    bump(dropped_counter_, surplus);
+  }
+}
+
+TraceEvent Tracer::materialize(const RawEvent& raw) const {
+  TraceEvent event;
+  event.time = raw.time;
+  event.kind = raw.kind;
+  event.site = interned_[raw.site];
+  event.component = interned_[raw.component];
+  event.detail = raw.detail;
+  event.value = raw.value;
+  event.id = raw.id;
+  event.span = raw.span;
+  return event;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  const std::size_t n = events_.size();
+  for (std::size_t i = 0; i < n; ++i) out.push_back(materialize(events_[(head_ + i) % n]));
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::take() {
+  std::vector<TraceEvent> out = events();
+  clear();
+  return out;
 }
 
 void write_jsonl(std::ostream& out, const std::vector<TraceEvent>& events) {

@@ -1,18 +1,45 @@
-// Observability: structured trace-event stream (§ DESIGN.md 6d).
+// Observability: structured trace-event stream with causal spans
+// (§ DESIGN.md 6d/6e).
 //
 // A Tracer collects typed events with simulated timestamps. It starts
 // disabled — `record()` is then a single branch, so instrumented code can
 // call it unconditionally without measurable cost — and buffers events in
 // memory when enabled. Events export to JSON-lines (one json:: object per
 // line) for offline analysis, keeping the repo free of new dependencies.
+//
+// Causal spans: a SpanContext (trace_id, span_id, parent_span_id) names a
+// node in a cross-site span tree. `begin_span` mints a child of the
+// ambient "current" span (or a new trace root when there is none) and the
+// RAII SpanScope establishes the ambient span around synchronous work —
+// every plain `record()` call then stamps the ambient context onto its
+// event, so existing instrumentation joins the tree without signature
+// changes. The simulation is single-threaded per task, which makes the
+// ambient-context model exact (it plays the role a thread-local plays in
+// production tracers).
+//
+// Determinism contract: span_ids are a per-tracer monotonic counter and
+// trace_ids come from a splitmix64 stream seeded via `seed_trace_ids`
+// (the sweep seeds it with the task's splitmix seed), so the same task
+// produces bit-identical span trees at any sweep thread count. trace_ids
+// are masked to 48 bits so they survive a JSON double round trip exactly.
+//
+// Memory bound: `set_capacity(n)` turns the buffer into a ring that keeps
+// the newest n events; overwritten events count into `dropped()` and into
+// an optional registry counter ("trace.dropped_events" when attached by
+// the Experiment). Site/component strings are interned — the hot path
+// stores two integer ids — and the disabled path neither interns nor
+// buffers.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "json/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace aequus::obs {
 
@@ -30,9 +57,25 @@ enum class EventKind : std::uint8_t {
   kCacheStaleFallback,  ///< refresh failed; stale entry served instead
   kSchedulerDecision,   ///< RM dispatched a job; value = priority
   kUsageUpdateApplied,  ///< usage/fairshare state rebuilt from new data
+  kSpanBegin,           ///< causal span opened; detail = span name
+  kSpanEnd,             ///< causal span closed; value = kind-specific scalar
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// Reverse of to_string; returns false when `name` is not a known kind.
+[[nodiscard]] bool event_kind_from_string(std::string_view name, EventKind& out) noexcept;
+
+/// A node name in a causal span tree. span_id == 0 means "no span": the
+/// default-constructed context is the invalid/absent value throughout.
+struct SpanContext {
+  std::uint64_t trace_id = 0;        ///< tree identity (seeded splitmix stream)
+  std::uint64_t span_id = 0;         ///< node identity (monotonic per tracer)
+  std::uint64_t parent_span_id = 0;  ///< 0 for trace roots
+
+  [[nodiscard]] bool valid() const noexcept { return span_id != 0; }
+  bool operator==(const SpanContext&) const = default;
+};
 
 struct TraceEvent {
   double time = 0.0;      ///< simulated seconds
@@ -42,6 +85,10 @@ struct TraceEvent {
   std::string detail;     ///< kind-specific detail (op, address, reason)
   double value = 0.0;     ///< kind-specific scalar (latency, priority, ...)
   std::uint64_t id = 0;   ///< correlates paired events (rpc begin/end)
+  /// Causal context: for kSpanBegin/kSpanEnd the span itself, for every
+  /// other kind the ambient span the event happened under (invalid when
+  /// recorded outside any span).
+  SpanContext span;
 
   [[nodiscard]] json::Value to_json() const;
 };
@@ -51,24 +98,128 @@ class Tracer {
   void enable(bool on = true) noexcept { enabled_ = on; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
-  void record(double time, EventKind kind, std::string site, std::string component,
+  /// Record one point event, stamped with the ambient span context. The
+  /// disabled path is a single branch: no interning, no buffering.
+  void record(double time, EventKind kind, std::string_view site, std::string_view component,
               std::string detail = {}, double value = 0.0, std::uint64_t id = 0) {
     if (!enabled_) return;
-    events_.push_back(TraceEvent{time, kind, std::move(site), std::move(component),
-                                 std::move(detail), value, id});
+    push(RawEvent{time, kind, intern(site), intern(component), std::move(detail), value, id,
+                  current_});
   }
 
   /// Fresh id for correlating paired events (monotonic per tracer).
   [[nodiscard]] std::uint64_t next_id() noexcept { return ++last_id_; }
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
-  [[nodiscard]] std::vector<TraceEvent> take() noexcept { return std::move(events_); }
-  void clear() noexcept { events_.clear(); }
+  // --- causal spans -------------------------------------------------------
+
+  /// Seed the trace_id stream (call before recording; the Experiment seeds
+  /// from its task seed so trees are bit-identical at any thread count).
+  void seed_trace_ids(std::uint64_t seed) noexcept { trace_seed_state_ = seed; }
+
+  /// Open a span as a child of `parent` (a new trace root when `parent` is
+  /// invalid). Records a kSpanBegin event carrying the new context; does
+  /// not change the ambient span (use SpanScope). Returns the invalid
+  /// context when disabled.
+  SpanContext begin_child(double time, const SpanContext& parent, std::string_view site,
+                          std::string_view component, std::string name);
+
+  /// Open a span as a child of the ambient span (see begin_child).
+  SpanContext begin_span(double time, std::string_view site, std::string_view component,
+                         std::string name) {
+    return begin_child(time, current_, site, component, std::move(name));
+  }
+
+  /// Close `span` (kSpanEnd). No-op for the invalid context, so call
+  /// sites need no enabled() checks of their own.
+  void end_span(double time, const SpanContext& span, std::string_view site,
+                std::string_view component, std::string detail = {}, double value = 0.0);
+
+  /// The ambient span that plain record() calls attach to.
+  [[nodiscard]] const SpanContext& current() const noexcept { return current_; }
+  void set_current(const SpanContext& span) noexcept { current_ = span; }
+
+  // --- memory bound -------------------------------------------------------
+
+  /// Cap the buffer at `cap` events (0 = unbounded, the default). The ring
+  /// keeps the newest events; older ones count as dropped. Shrinking below
+  /// the current size drops the oldest surplus immediately.
+  void set_capacity(std::size_t cap);
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Events overwritten/evicted by the ring so far.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Mirror drops into a registry counter (e.g. "trace.dropped_events").
+  void set_dropped_counter(Counter* counter) noexcept { dropped_counter_ = counter; }
+
+  // --- export -------------------------------------------------------------
+
+  [[nodiscard]] std::size_t event_count() const noexcept { return events_.size(); }
+  /// Distinct site/component strings interned so far (0 while disabled —
+  /// the single-branch claim bench_micro pins).
+  [[nodiscard]] std::size_t interned_count() const noexcept { return interned_.size(); }
+
+  /// Materialize buffered events (oldest first) with resolved strings.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Materialize and clear the buffer (interning and ids are kept).
+  [[nodiscard]] std::vector<TraceEvent> take();
+  void clear() noexcept {
+    events_.clear();
+    head_ = 0;
+  }
 
  private:
+  /// Interned storage form of one event; strings resolve on export.
+  struct RawEvent {
+    double time;
+    EventKind kind;
+    std::uint32_t site;
+    std::uint32_t component;
+    std::string detail;
+    double value;
+    std::uint64_t id;
+    SpanContext span;
+  };
+
+  [[nodiscard]] std::uint32_t intern(std::string_view text);
+  void push(RawEvent event);
+  [[nodiscard]] TraceEvent materialize(const RawEvent& raw) const;
+  [[nodiscard]] std::uint64_t mint_trace_id() noexcept;
+
   bool enabled_ = false;
   std::uint64_t last_id_ = 0;
-  std::vector<TraceEvent> events_;
+  std::uint64_t last_span_id_ = 0;
+  std::uint64_t trace_seed_state_ = 0x5eedULL;
+  SpanContext current_;
+  std::vector<RawEvent> events_;
+  std::size_t head_ = 0;       ///< oldest slot once the ring has wrapped
+  std::size_t capacity_ = 0;   ///< 0 = unbounded
+  std::uint64_t dropped_ = 0;
+  Counter* dropped_counter_ = nullptr;
+  std::map<std::string, std::uint32_t, std::less<>> intern_index_;
+  std::vector<std::string> interned_;
+};
+
+/// RAII ambient-span switch: makes `span` the tracer's current span for
+/// the scope's lifetime and restores the previous one on exit. Null or
+/// disabled tracers make this a no-op, so call sites need no checks.
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, const SpanContext& span) noexcept : tracer_(tracer) {
+    if (tracer_ == nullptr || !tracer_->enabled()) {
+      tracer_ = nullptr;
+      return;
+    }
+    saved_ = tracer_->current();
+    tracer_->set_current(span);
+  }
+  ~SpanScope() {
+    if (tracer_ != nullptr) tracer_->set_current(saved_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  SpanContext saved_;
 };
 
 /// Write events as JSON-lines: one compact object per line.

@@ -57,8 +57,19 @@ void SchedulerBase::attach_observability(obs::Observability obs, const std::stri
 
 void SchedulerBase::reschedule() {
   const double now = simulator_.now();
+  // Root span of the periodic priority sweep: fairshare lookups the sweep
+  // performs (client cache hits/misses, IRS calls) nest under it.
+  obs::SpanContext span;
+  if (obs_.tracer != nullptr && obs_.tracer->enabled()) {
+    span = obs_.tracer->begin_span(now, obs_site_, "rm", "reprioritize:" + cluster_.name());
+  }
+  obs::SpanScope scope(obs_.tracer, span);
   for (auto& job : pending_) job.priority = compute_priority(job, now);
   schedule_pass();
+  if (span.valid() && obs_.tracer != nullptr) {
+    obs_.tracer->end_span(simulator_.now(), span, obs_site_, "rm", {},
+                          static_cast<double>(pending_.size()));
+  }
 }
 
 void SchedulerBase::schedule_pass() {
@@ -120,9 +131,24 @@ void SchedulerBase::finish_job(Job job) {
   ++stats_.completed;
   obs::bump(completed_counter_);
   local_usage_[job.system_user] += job.usage();
-  on_job_completed(job);
-  for (const auto& listener : listeners_) listener(job);
-  schedule_pass();
+  // Root span of the usage propagation chain: everything the completion
+  // triggers — jobcomp plugins, identity resolution, the usage report
+  // send, the follow-up scheduling pass — nests under it, so one job
+  // completion yields one trace tree the analyzer can walk end to end.
+  obs::SpanContext span;
+  if (obs_.tracer != nullptr && obs_.tracer->enabled()) {
+    span = obs_.tracer->begin_span(now, obs_site_, "rm", "jobcomp:" + cluster_.name());
+  }
+  {
+    obs::SpanScope scope(obs_.tracer, span);
+    on_job_completed(job);
+    for (const auto& listener : listeners_) listener(job);
+    schedule_pass();
+  }
+  if (span.valid() && obs_.tracer != nullptr) {
+    obs_.tracer->end_span(simulator_.now(), span, obs_site_, "rm", job.system_user,
+                          static_cast<double>(job.id));
+  }
 }
 
 }  // namespace aequus::rms

@@ -24,11 +24,28 @@ Fcs::~Fcs() {
   bus_.unbind(address_);
 }
 
+void Fcs::update_reply_done(std::uint64_t cycle) {
+  if (cycle != update_cycles_ || update_pending_ == 0) return;  // superseded (or duplicate)
+  if (--update_pending_ == 0) {
+    telemetry_.end_span(update_span_, "complete");
+    update_span_ = obs::SpanContext{};
+  }
+}
+
 void Fcs::update_now() {
+  ++update_cycles_;
+  if (update_span_.valid()) {
+    telemetry_.end_span(update_span_, "superseded");
+  }
+  update_span_ = telemetry_.begin_span("update");
+  obs::SpanScope span_scope(telemetry_.tracer(), update_span_);
+  const std::uint64_t cycle = update_cycles_;
+  update_pending_ = 2;  // policy reply + usage reply
+
   json::Object policy_request;
   policy_request["op"] = "policy";
   bus_.request(site_, site_ + ".pds", json::Value(std::move(policy_request)),
-               [this](const json::Value& reply) {
+               [this, cycle](const json::Value& reply) {
                  try {
                    policy_ = core::PolicyTree::from_json(reply);
                    have_policy_ = true;
@@ -36,17 +53,19 @@ void Fcs::update_now() {
                  } catch (const std::exception& e) {
                    AEQ_WARN("fcs") << site_ << ": bad policy reply: " << e.what();
                  }
+                 update_reply_done(cycle);
                });
   json::Object usage_request;
   usage_request["op"] = "usage";
   bus_.request(site_, site_ + ".ums", json::Value(std::move(usage_request)),
-               [this](const json::Value& reply) {
+               [this, cycle](const json::Value& reply) {
                  try {
                    usage_ = core::UsageTree::from_json(reply);
                    recalculate();
                  } catch (const std::exception& e) {
                    AEQ_WARN("fcs") << site_ << ": bad usage reply: " << e.what();
                  }
+                 update_reply_done(cycle);
                });
 }
 

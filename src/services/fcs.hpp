@@ -74,6 +74,9 @@ class Fcs {
  private:
   json::Value handle(const json::Value& request);
   void recalculate();
+  /// Count one reply of update cycle `cycle`; closes the cycle's span when
+  /// both the policy and usage replies have landed.
+  void update_reply_done(std::uint64_t cycle);
 
   sim::Simulator& simulator_;
   net::ServiceBus& bus_;
@@ -91,6 +94,11 @@ class Fcs {
   std::map<std::string, double> user_table_;   ///< leaf name -> factor
   std::uint64_t calculations_ = 0;
   sim::EventHandle update_task_;
+  /// Span of the in-flight update cycle; closed "complete" when both
+  /// replies landed, or "superseded" when the next cycle starts first.
+  obs::SpanContext update_span_;
+  std::uint64_t update_cycles_ = 0;
+  std::size_t update_pending_ = 0;
 };
 
 }  // namespace aequus::services

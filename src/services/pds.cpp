@@ -34,17 +34,22 @@ void Pds::mount_remote(const std::string& path, const std::string& remote_pds_ad
 }
 
 void Pds::refresh_mount(const Mount& mount) {
+  const obs::SpanContext span =
+      telemetry_.begin_span("mount_refresh:" + mount.remote_address);
+  obs::SpanScope span_scope(telemetry_.tracer(), span);
   json::Object request;
   request["op"] = "policy";
   bus_.request(site_, mount.remote_address, json::Value(std::move(request)),
-               [this, mount](const json::Value& reply) {
+               [this, mount, span](const json::Value& reply) {
                  try {
                    const core::PolicyTree remote = core::PolicyTree::from_json(reply);
                    policy_.mount(mount.path, remote, mount.share);
                    ++mounts_applied_;
+                   telemetry_.end_span(span, "complete");
                  } catch (const std::exception& e) {
                    AEQ_WARN("pds") << site_ << ": bad remote policy from "
                                    << mount.remote_address << ": " << e.what();
+                   telemetry_.end_span(span, "bad_reply");
                  }
                });
 }

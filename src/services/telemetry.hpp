@@ -55,8 +55,29 @@ class ServiceTelemetry {
   /// Emit a trace event attributed to this service (no-op when tracing
   /// is off).
   void trace(obs::EventKind kind, std::string detail, double value = 0.0) {
-    if (obs_.tracer == nullptr || !obs_.tracer->enabled() || simulator_ == nullptr) return;
+    if (!tracing()) return;
     obs_.tracer->record(simulator_->now(), kind, site_, service_, std::move(detail), value);
+  }
+
+  /// The tracer behind this telemetry (null when none is attached); used
+  /// with obs::SpanScope to make a service span ambient.
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return obs_.tracer; }
+
+  [[nodiscard]] bool tracing() const noexcept {
+    return obs_.tracer != nullptr && obs_.tracer->enabled() && simulator_ != nullptr;
+  }
+
+  /// Open a span attributed to this service, child of the ambient span
+  /// (root when none). Invalid context when tracing is off.
+  [[nodiscard]] obs::SpanContext begin_span(std::string name) {
+    if (!tracing()) return {};
+    return obs_.tracer->begin_span(simulator_->now(), site_, service_, std::move(name));
+  }
+
+  /// Close a span opened by begin_span (no-op for the invalid context).
+  void end_span(const obs::SpanContext& span, std::string detail = {}, double value = 0.0) {
+    if (!tracing()) return;
+    obs_.tracer->end_span(simulator_->now(), span, site_, service_, std::move(detail), value);
   }
 
  private:

@@ -28,21 +28,22 @@ void Ums::set_peers(std::vector<std::string> uss_addresses) {
   peers_ = std::move(uss_addresses);
 }
 
+void Ums::poll_reply_done(std::uint64_t cycle) {
+  if (cycle != polls_ || poll_pending_ == 0) return;  // superseded (or duplicate)
+  if (--poll_pending_ == 0) {
+    telemetry_.end_span(poll_span_, "complete");
+    poll_span_ = obs::SpanContext{};
+  }
+}
+
 void Ums::update_now() {
   ++polls_;
-  // Refresh the site policy (user -> leaf path mapping).
-  json::Object policy_request;
-  policy_request["op"] = "policy";
-  bus_.request(site_, site_ + ".pds", json::Value(std::move(policy_request)),
-               [this](const json::Value& reply) {
-                 try {
-                   site_policy_ = core::PolicyTree::from_json(reply);
-                   have_policy_ = true;
-                   rebuild();
-                 } catch (const std::exception& e) {
-                   AEQ_WARN("ums") << site_ << ": bad policy reply: " << e.what();
-                 }
-               });
+  if (poll_span_.valid()) {
+    telemetry_.end_span(poll_span_, "superseded");
+  }
+  poll_span_ = telemetry_.begin_span("update");
+  obs::SpanScope span_scope(telemetry_.tracer(), poll_span_);
+  const std::uint64_t cycle = polls_;
 
   // Poll the local USS plus (optionally) remote peers.
   std::vector<std::string> targets = {site_ + ".uss"};
@@ -51,13 +52,31 @@ void Ums::update_now() {
       if (peer != targets.front()) targets.push_back(peer);
     }
   }
+  poll_pending_ = 1 + targets.size();  // policy reply + one per target
+
+  // Refresh the site policy (user -> leaf path mapping).
+  json::Object policy_request;
+  policy_request["op"] = "policy";
+  bus_.request(site_, site_ + ".pds", json::Value(std::move(policy_request)),
+               [this, cycle](const json::Value& reply) {
+                 try {
+                   site_policy_ = core::PolicyTree::from_json(reply);
+                   have_policy_ = true;
+                   rebuild();
+                 } catch (const std::exception& e) {
+                   AEQ_WARN("ums") << site_ << ": bad policy reply: " << e.what();
+                 }
+                 poll_reply_done(cycle);
+               });
+
   for (const auto& target : targets) {
     json::Object request;
     request["op"] = "histograms";
     bus_.request(site_, target, json::Value(std::move(request)),
-                 [this, target](const json::Value& reply) {
+                 [this, cycle, target](const json::Value& reply) {
                    ingest(target, reply);
                    rebuild();
+                   poll_reply_done(cycle);
                  });
   }
 }

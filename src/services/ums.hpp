@@ -65,6 +65,9 @@ class Ums {
   json::Value handle(const json::Value& request);
   void ingest(const std::string& source, const json::Value& histograms);
   void rebuild();
+  /// Count one reply of poll cycle `cycle`; closes the cycle's span when
+  /// the last expected reply (or its duplicate-filtered first copy) lands.
+  void poll_reply_done(std::uint64_t cycle);
 
   sim::Simulator& simulator_;
   net::ServiceBus& bus_;
@@ -82,6 +85,11 @@ class Ums {
   core::UsageTree tree_;
   std::uint64_t polls_ = 0;
   sim::EventHandle poll_task_;
+  /// Span of the in-flight poll cycle; closed "complete" when all replies
+  /// landed, or "superseded" when the next cycle starts first (lost
+  /// replies then surface as the cycle's open rpc children).
+  obs::SpanContext poll_span_;
+  std::size_t poll_pending_ = 0;
 };
 
 }  // namespace aequus::services

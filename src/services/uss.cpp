@@ -67,7 +67,12 @@ json::Value Uss::handle(const json::Value& request) {
   const std::string op = request.get_string("op");
   telemetry_.hit(op);
   if (op == "report") {
-    report(request.get_string("user"), request.get_number("usage"));
+    const std::string user = request.get_string("user");
+    const double usage = request.get_number("usage");
+    report(user, usage);
+    // Point event inside the bus's handle span: marks where a usage record
+    // entered the store on the propagation chain.
+    telemetry_.trace(obs::EventKind::kUsageUpdateApplied, "report:" + user, usage);
     return json::Value(json::Object{{"ok", json::Value(true)}});
   }
   if (op == "histograms") {

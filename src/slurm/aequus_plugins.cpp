@@ -17,7 +17,14 @@ FairshareSource aequus_fairshare_source(client::AequusClient& client) {
 AequusJobCompPlugin::AequusJobCompPlugin(client::AequusClient& client) : client_(client) {}
 
 void AequusJobCompPlugin::job_complete(const rms::Job& job, double now) {
-  (void)now;
+  // Plugin hop of the jobcomp chain: separates time spent in the RM's
+  // completion hook from the client/bus hops below it.
+  obs::Tracer* tracer = client_.observability().tracer;
+  obs::SpanContext span;
+  if (tracer != nullptr && tracer->enabled()) {
+    span = tracer->begin_span(now, client_.config().site, "slurm", "jobcomp_plugin");
+  }
+  obs::SpanScope scope(tracer, span);
   bool ok = false;
   if (!job.grid_user.empty()) {
     client_.report_usage(job.grid_user, job.usage());
@@ -29,6 +36,9 @@ void AequusJobCompPlugin::job_complete(const rms::Job& job, double now) {
     ++reported_;
   } else {
     ++dropped_;
+  }
+  if (span.valid() && tracer != nullptr) {
+    tracer->end_span(now, span, client_.config().site, "slurm", ok ? "reported" : "dropped");
   }
 }
 

@@ -20,6 +20,12 @@ Experiment::Experiment(const workload::Scenario& scenario, ExperimentConfig conf
     : scenario_(scenario), config_(std::move(config)), bus_(simulator_), rng_(config_.seed) {
   bus_.set_remote_latency(config_.bus_remote_latency);
   if (config_.faults.active()) bus_.set_fault_plan(config_.faults);
+  // Trace ids derive from the experiment seed, so span trees are
+  // bit-identical for the same (scenario, seed) at any sweep thread
+  // count. The drop counter is registered unconditionally to keep the
+  // snapshot key set uniform across traced and untraced tasks.
+  tracer_.seed_trace_ids(config_.seed);
+  tracer_.set_dropped_counter(&registry_.counter("trace.dropped_events"));
   // Attach before any site binds so every endpoint registers its metrics
   // in the experiment registry (handles must never be re-registered after
   // traffic starts flowing).

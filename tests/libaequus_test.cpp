@@ -2,6 +2,7 @@
 
 #include "libaequus/c_api.hpp"
 #include "libaequus/client.hpp"
+#include "obs/span_analysis.hpp"
 #include "services/installation.hpp"
 
 namespace aequus::client {
@@ -105,6 +106,74 @@ TEST_F(LibaequusTest, NonPositiveUsageIgnored) {
   client.report_usage("alice", -10.0);
   simulator.run_until(1.0);
   EXPECT_EQ(client.stats().usage_reports, 0u);
+}
+
+TEST_F(LibaequusTest, RefreshRetriesBecomeChildSpansOfTheRefreshRoot) {
+  obs::Registry registry;
+  obs::Tracer tracer;
+  tracer.seed_trace_ids(7);
+  tracer.enable();
+  bus.attach_observability(obs::Observability{&registry, &tracer});
+  ClientConfig c = config();
+  c.site = "site9";  // no FCS bound there: every refresh attempt bounces
+  AequusClient client(simulator, bus, c, obs::Observability{&registry, &tracer});
+  simulator.run_until(20.0);  // initial attempt + the full 1+2+4+8 s backoff ladder
+
+  EXPECT_EQ(client.stats().refresh_retries, 4u);
+  EXPECT_EQ(client.stats().refresh_failures, 1u);
+
+  const obs::TraceAnalysis analysis = obs::analyze_spans(tracer.events());
+
+  // One refresh cycle = one "refresh" root whose children are the
+  // attempts; the retry ladder is a tree shape, not a flat event soup.
+  std::size_t root = obs::kNoSpan;
+  for (const std::size_t index : analysis.roots) {
+    if (analysis.spans[index].name == "refresh") root = index;
+  }
+  ASSERT_NE(root, obs::kNoSpan);
+  const obs::SpanNode& refresh = analysis.spans[root];
+  EXPECT_EQ(refresh.end_detail, "stale_fallback");
+  ASSERT_EQ(refresh.children.size(), 5u);  // attempt:0 .. attempt:4
+  for (std::size_t i = 0; i < refresh.children.size(); ++i) {
+    const obs::SpanNode& attempt = analysis.spans[refresh.children[i]];
+    EXPECT_EQ(attempt.parent, root);
+    EXPECT_EQ(attempt.name, "attempt:" + std::to_string(i));
+    EXPECT_EQ(attempt.end_detail, "failed");
+    // Each attempt wraps its own bus rpc, closed by the unbound bounce.
+    ASSERT_EQ(attempt.children.size(), 1u);
+    const obs::SpanNode& rpc = analysis.spans[attempt.children[0]];
+    EXPECT_EQ(rpc.name, "rpc:site9.fcs");
+    EXPECT_EQ(rpc.end_detail, "unbound");
+  }
+
+  // The analyzer counts the ladder as retries and, at the default
+  // threshold of 3, flags the tree as a retry storm.
+  const obs::ChainStats& chain = analysis.chains.at("client/refresh");
+  EXPECT_EQ(chain.retries, 4u);
+  EXPECT_EQ(chain.retry_storms, 1u);
+  EXPECT_EQ(analysis.retry_storms, 1u);
+}
+
+TEST_F(LibaequusTest, SuccessfulRefreshClosesAttemptAndRootOk) {
+  obs::Registry registry;
+  obs::Tracer tracer;
+  tracer.seed_trace_ids(8);
+  tracer.enable();
+  bus.attach_observability(obs::Observability{&registry, &tracer});
+  AequusClient client(simulator, bus, config(), obs::Observability{&registry, &tracer});
+  simulator.run_until(5.0);  // first refresh against the bound site0 FCS
+
+  const obs::TraceAnalysis analysis = obs::analyze_spans(tracer.events());
+  const obs::ChainStats& chain = analysis.chains.at("client/refresh");
+  EXPECT_GE(chain.complete, 1u);
+  EXPECT_EQ(chain.retries, 0u);
+  EXPECT_EQ(analysis.broken_chains, 0u);
+  bool saw_ok_cycle = false;
+  for (const std::size_t index : analysis.roots) {
+    const obs::SpanNode& span = analysis.spans[index];
+    if (span.name == "refresh" && span.end_detail == "ok") saw_ok_cycle = true;
+  }
+  EXPECT_TRUE(saw_ok_cycle);
 }
 
 TEST_F(LibaequusTest, CApiLifecycleAndLookups) {

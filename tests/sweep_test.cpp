@@ -15,6 +15,9 @@
 #include <thread>
 #include <vector>
 
+#include <sstream>
+
+#include "obs/trace.hpp"
 #include "testbed/sweep.hpp"
 #include "testing/determinism.hpp"
 #include "util/thread_pool.hpp"
@@ -262,6 +265,50 @@ TEST(SweepGolden, SerialAndEightThreadSweepsAreBitIdentical) {
     EXPECT_GT(task.metrics.count("convergence_time_s"), 0u);
     EXPECT_NEAR(task.metrics.at("jobs_submitted"), 90.0, 4.0);
     EXPECT_EQ(task.metrics.at("jobs_submitted"), task.metrics.at("jobs_completed"));
+  }
+}
+
+TEST(SweepGolden, SpanTreesAreBitIdenticalAcrossThreadCounts) {
+  // Trace ids derive from the task seeds and span ids are per-tracer
+  // monotonic counters, so the full JSONL serialization of every task's
+  // span trees — ids, timestamps, nesting — must be byte-identical
+  // between a serial and an eight-thread sweep.
+  const auto traced_spec = [](int threads) {
+    SweepSpec spec = golden_spec(threads);
+    spec.replications = 2;
+    spec.on_setup = [](Experiment& experiment, std::size_t) {
+      experiment.tracer().enable();
+    };
+    return spec;
+  };
+  const SweepResult serial = run_sweep(traced_spec(1));
+  const SweepResult parallel = run_sweep(traced_spec(8));
+  ASSERT_EQ(serial.tasks.size(), 4u);
+  ASSERT_EQ(parallel.tasks.size(), 4u);
+  for (std::size_t i = 0; i < serial.tasks.size(); ++i) {
+    const std::vector<obs::TraceEvent>& trace = serial.tasks[i].result.trace;
+    ASSERT_FALSE(trace.empty()) << "task " << i << " collected no events";
+    std::ostringstream a;
+    std::ostringstream b;
+    obs::write_jsonl(a, trace);
+    obs::write_jsonl(b, parallel.tasks[i].result.trace);
+    EXPECT_EQ(a.str(), b.str()) << "task " << i << " span trees diverged";
+  }
+
+  // Tracing must not perturb the experiments: the traced sweep's metric
+  // aggregates and snapshot counters equal an untraced run's bit for bit
+  // (the span contexts live in lambda captures, never in payloads).
+  SweepSpec untraced = golden_spec(1);
+  untraced.replications = 2;
+  const SweepResult plain = run_sweep(untraced);
+  for (const auto& [variant, metrics] : plain.aggregates) {
+    for (const auto& [metric, summary] : metrics) {
+      EXPECT_EQ(summary.mean, serial.aggregates.at(variant).at(metric).mean)
+          << variant << "." << metric;
+    }
+  }
+  for (const auto& [variant, snapshot] : plain.obs) {
+    EXPECT_EQ(snapshot.counters, serial.obs.at(variant).counters) << variant;
   }
 }
 

@@ -1,0 +1,252 @@
+// Causal span tracing: the Tracer's span API (parentage, ambient scope,
+// seeded determinism, the ring-buffer memory bound) and the offline
+// analyzer, both on hand-built trees and end-to-end on a full Experiment
+// — one job completion must yield one reconstructable span tree, faults
+// must surface as broken chains, and the per-hop self-time partition must
+// sum back to the chain totals exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "net/service_bus.hpp"
+#include "obs/span_analysis.hpp"
+#include "obs/trace.hpp"
+#include "testbed/experiment.hpp"
+#include "workload/scenarios.hpp"
+
+namespace aequus::obs {
+namespace {
+
+// --- Tracer span API -----------------------------------------------------
+
+TEST(TracerSpans, DisabledTracerBuffersAndInternsNothing) {
+  Tracer tracer;  // disabled by default
+  tracer.record(1.0, EventKind::kMessageSend, "site0", "bus", "detail");
+  const SpanContext span = tracer.begin_span(1.0, "site0", "bus", "rpc:x");
+  EXPECT_FALSE(span.valid());
+  tracer.end_span(2.0, span, "site0", "bus");
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.interned_count(), 0u);
+}
+
+TEST(TracerSpans, ParentageFollowsTheAmbientScope) {
+  Tracer tracer;
+  tracer.enable();
+  const SpanContext root = tracer.begin_span(0.0, "site0", "rm", "jobcomp");
+  EXPECT_TRUE(root.valid());
+  EXPECT_EQ(root.parent_span_id, 0u);
+
+  {
+    SpanScope scope(&tracer, root);
+    EXPECT_EQ(tracer.current(), root);
+    const SpanContext child = tracer.begin_span(0.1, "site0", "client", "report_usage:u");
+    EXPECT_EQ(child.parent_span_id, root.span_id);
+    EXPECT_EQ(child.trace_id, root.trace_id);
+    {
+      SpanScope inner(&tracer, child);
+      // Plain record() stamps the ambient context onto point events.
+      tracer.record(0.2, EventKind::kMessageSend, "site0", "bus", "data:x");
+      tracer.end_span(0.3, child, "site0", "client");
+    }
+    EXPECT_EQ(tracer.current(), root) << "inner scope did not restore";
+  }
+  EXPECT_FALSE(tracer.current().valid()) << "outer scope did not restore";
+
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);  // 2 begins + 1 point + 1 end
+  EXPECT_EQ(events[2].kind, EventKind::kMessageSend);
+  EXPECT_EQ(events[2].span.span_id, events[1].span.span_id)
+      << "point event not stamped with the ambient span";
+}
+
+TEST(TracerSpans, SeededTraceIdsAreDeterministicAndJsonSafe) {
+  const auto run = [](std::uint64_t seed) {
+    Tracer tracer;
+    tracer.seed_trace_ids(seed);
+    tracer.enable();
+    for (int i = 0; i < 8; ++i) {
+      const SpanContext span =
+          tracer.begin_span(i, "site0", "bus", "rpc:" + std::to_string(i));
+      tracer.end_span(i + 0.5, span, "site0", "bus", "ok");
+    }
+    std::ostringstream out;
+    write_jsonl(out, tracer.events());
+    return out.str();
+  };
+  EXPECT_EQ(run(42), run(42)) << "same seed must reproduce the byte stream";
+  EXPECT_NE(run(42), run(43));
+
+  Tracer tracer;
+  tracer.seed_trace_ids(0xffffffffffffffffULL);
+  tracer.enable();
+  for (int i = 0; i < 64; ++i) {
+    const SpanContext span = tracer.begin_span(i, "s", "c", "n");
+    // Trace ids are masked to 48 bits so a JSON double round trip (53-bit
+    // mantissa) cannot corrupt them.
+    EXPECT_LE(span.trace_id, 0xffffffffffffULL);
+    EXPECT_EQ(static_cast<std::uint64_t>(static_cast<double>(span.trace_id)), span.trace_id);
+  }
+}
+
+TEST(TracerSpans, RingCapEvictsOldestAndMirrorsDropsIntoTheRegistry) {
+  Registry registry;
+  Tracer tracer;
+  tracer.enable();
+  tracer.set_dropped_counter(&registry.counter("trace.dropped_events"));
+  tracer.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.record(i, EventKind::kMessageSend, "site0", "bus", std::to_string(i));
+  }
+  EXPECT_EQ(tracer.event_count(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(registry.snapshot().counter("trace.dropped_events"), 6u);
+
+  // Newest events survive, oldest first on export.
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().detail, "6");
+  EXPECT_EQ(events.back().detail, "9");
+
+  // Shrinking below the live size evicts the surplus immediately.
+  tracer.set_capacity(2);
+  EXPECT_EQ(tracer.event_count(), 2u);
+  EXPECT_EQ(tracer.dropped(), 8u);
+  EXPECT_EQ(tracer.events().front().detail, "8");
+}
+
+TEST(TracerSpans, JsonlRoundTripPreservesEveryField) {
+  Tracer tracer;
+  tracer.seed_trace_ids(11);
+  tracer.enable();
+  const SpanContext root = tracer.begin_span(1.5, "site0", "rm", "jobcomp:site0");
+  {
+    SpanScope scope(&tracer, root);
+    tracer.record(1.6, EventKind::kMessageDrop, "site0", "bus", "loss:data", 0.0, 3);
+  }
+  tracer.end_span(2.5, root, "site0", "rm", "done", 7.25);
+
+  const std::vector<TraceEvent> original = tracer.events();
+  std::ostringstream out;
+  write_jsonl(out, original);
+  std::istringstream in(out.str());
+  const std::vector<TraceEvent> reread = read_trace_jsonl(in);
+  ASSERT_EQ(reread.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reread[i].kind, original[i].kind) << i;
+    EXPECT_EQ(reread[i].time, original[i].time) << i;
+    EXPECT_EQ(reread[i].site, original[i].site) << i;
+    EXPECT_EQ(reread[i].component, original[i].component) << i;
+    EXPECT_EQ(reread[i].detail, original[i].detail) << i;
+    EXPECT_EQ(reread[i].value, original[i].value) << i;
+    EXPECT_EQ(reread[i].id, original[i].id) << i;
+    EXPECT_EQ(reread[i].span, original[i].span) << i;
+  }
+}
+
+// --- End-to-end: span trees out of a full Experiment ---------------------
+
+workload::Scenario tiny_scenario(std::uint64_t seed, std::size_t jobs) {
+  workload::Scenario scenario = workload::baseline_scenario(seed, jobs);
+  scenario.cluster_count = 2;
+  scenario.hosts_per_cluster = 6;
+  const double target = scenario.target_load * scenario.capacity_core_seconds();
+  const double current = scenario.trace.total_usage();
+  for (auto& record : scenario.trace.records()) record.duration *= target / current;
+  return scenario;
+}
+
+void expect_partition_identity(const TraceAnalysis& analysis) {
+  for (const auto& [key, chain] : analysis.chains) {
+    double hop_sum = 0.0;
+    for (const auto& [hop, self] : chain.hop_self_time) hop_sum += self;
+    EXPECT_NEAR(hop_sum, chain.total_duration, 1e-9 * std::max(1.0, chain.total_duration))
+        << "chain " << key << ": hop self times must repartition the total";
+  }
+}
+
+TEST(TraceEndToEnd, OneJobCompletionYieldsOneReconstructableTree) {
+  const workload::Scenario scenario = tiny_scenario(5, 60);
+  testbed::ExperimentConfig config;
+  config.seed = 0x7ace;
+  testbed::Experiment experiment(scenario, config);
+  experiment.tracer().enable();
+  const testbed::ExperimentResult result = experiment.run();
+  ASSERT_FALSE(result.trace.empty());
+
+  const TraceAnalysis analysis = analyze_spans(result.trace);
+  EXPECT_EQ(analysis.orphan_spans, 0u);  // unbounded buffer: nothing evicted
+
+  // The pipeline chains the tentpole is about, each with complete trees.
+  for (const char* key : {"rm/jobcomp", "rm/reprioritize", "client/refresh", "ums/update",
+                          "fcs/update"}) {
+    ASSERT_TRUE(analysis.chains.count(key)) << key;
+    EXPECT_GT(analysis.chains.at(key).complete, 0u) << key;
+  }
+  // Every completed job opened exactly one jobcomp root.
+  EXPECT_EQ(analysis.chains.at("rm/jobcomp").complete +
+                analysis.chains.at("rm/jobcomp").broken,
+            result.jobs_completed);
+
+  // A jobcomp tree reaches across layers: plugin hop, client report, bus
+  // legs, USS handle — reconstructable end to end from one root.
+  const ChainStats& jobcomp = analysis.chains.at("rm/jobcomp");
+  for (const char* hop : {"rm/jobcomp", "slurm/jobcomp_plugin", "client/report_usage",
+                          "bus/send", "bus/data", "uss/handle"}) {
+    EXPECT_GT(jobcomp.hop_spans.count(hop), 0u) << hop;
+  }
+
+  expect_partition_identity(analysis);
+}
+
+TEST(TraceEndToEnd, SeededFaultsSurfaceAsBrokenChainsAndDropEvents) {
+  const workload::Scenario scenario = tiny_scenario(5, 60);
+  testbed::ExperimentConfig config;
+  config.seed = 0x7ace;
+  config.faults.loss_rate = 0.30;  // inter-site legs only; jobs still finish
+  testbed::Experiment experiment(scenario, config);
+  experiment.tracer().enable();
+  const testbed::ExperimentResult result = experiment.run();
+
+  const TraceAnalysis analysis = analyze_spans(result.trace);
+  EXPECT_GT(analysis.drop_events, 0u);
+  EXPECT_GT(analysis.open_spans, 0u)
+      << "a dropped leg must leave its rpc span open, not silently closed";
+  EXPECT_GT(analysis.broken_chains, 0u);
+  // Losses hit the cross-site usage polls, so the UMS update chains break.
+  EXPECT_GT(analysis.chains.at("ums/update").broken, 0u);
+  // The partition identity is defined over complete chains and must
+  // survive fault injection untouched.
+  expect_partition_identity(analysis);
+}
+
+TEST(TraceEndToEnd, RingCapDropsLandInTheExperimentRegistry) {
+  const workload::Scenario scenario = tiny_scenario(5, 60);
+  testbed::ExperimentConfig config;
+  config.seed = 0x7ace;
+  testbed::Experiment experiment(scenario, config);
+  experiment.tracer().enable();
+  experiment.tracer().set_capacity(256);
+  const testbed::ExperimentResult result = experiment.run();
+  EXPECT_EQ(result.trace.size(), 256u);
+  EXPECT_GT(result.obs.counter("trace.dropped_events"), 0u);
+  EXPECT_EQ(result.obs.counter("trace.dropped_events"), experiment.tracer().dropped());
+}
+
+TEST(TraceEndToEnd, UntracedExperimentRegistersTheDropCounterAnyway) {
+  // Snapshot key sets must not depend on whether tracing was on — merged
+  // sweep snapshots would otherwise diverge between traced and untraced
+  // replications.
+  const workload::Scenario scenario = tiny_scenario(5, 60);
+  testbed::ExperimentConfig config;
+  config.seed = 0x7ace;
+  testbed::Experiment experiment(scenario, config);
+  const testbed::ExperimentResult result = experiment.run();
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_EQ(result.obs.counter("trace.dropped_events"), 0u);
+  EXPECT_EQ(result.obs.counters.count("trace.dropped_events"), 1u);
+}
+
+}  // namespace
+}  // namespace aequus::obs

@@ -53,6 +53,18 @@ def load(path: Path, role: str):
         return json.load(fh)
 
 
+def histogram_layouts(report: dict) -> dict:
+    """variant.histogram -> its bucket layout (spec + explicit bounds)."""
+    layouts = {}
+    for variant, payload in report.get("variants", {}).items():
+        for key, hist in payload.get("obs", {}).get("histograms", {}).items():
+            layouts[f"{variant}.{key}"] = {
+                "spec": hist.get("spec"),
+                "bounds": hist.get("bounds"),
+            }
+    return layouts
+
+
 def compare(emitted: dict, baseline: dict, tolerance: float,
             abs_epsilon: float = 1e-6) -> list[str]:
     """Returns a list of human-readable failures (empty = gate passes)."""
@@ -90,19 +102,45 @@ def compare(emitted: dict, baseline: dict, tolerance: float,
                     f"{variant}.{metric}: {actual:.6g} deviates from baseline "
                     f"{expected:.6g} by more than {tolerance:.0%} (band {band:.6g})"
                 )
+
+    # Histogram bucket layouts are configuration, not measurements: the
+    # bounds come from the HistogramSpec exported in each variant's "obs"
+    # snapshot, and a silent layout change would make historical bucket
+    # counts incomparable. Exact equality, no tolerance. Baselines that
+    # predate the obs section simply contribute no layouts here.
+    base_layouts = histogram_layouts(baseline)
+    new_layouts = histogram_layouts(emitted)
+    for key in sorted(base_layouts):
+        if key not in new_layouts:
+            failures.append(f"{key}: histogram missing from emitted report")
+            continue
+        if base_layouts[key]["spec"] != new_layouts[key]["spec"]:
+            failures.append(
+                f"{key}: histogram spec changed: {new_layouts[key]['spec']} "
+                f"vs baseline {base_layouts[key]['spec']}"
+            )
+        elif base_layouts[key]["bounds"] != new_layouts[key]["bounds"]:
+            failures.append(f"{key}: histogram bucket bounds changed")
     return failures
 
 
 def self_test() -> int:
     """Unit cases for compare(), runnable without any bench artifacts."""
 
-    def report(metrics: dict, **config):
+    def report(metrics: dict, histograms: dict | None = None, **config):
         base = {"bench": "t", "jobs": 100, "replications": 2, "root_seed": "0x7de"}
         base.update(config)
         base["variants"] = {
             "v": {"metrics": {name: {"mean": mean} for name, mean in metrics.items()}}
         }
+        if histograms is not None:
+            base["variants"]["v"]["obs"] = {"histograms": histograms}
         return base
+
+    hist = {"spec": {"first_bound": 0.1, "growth": 2, "buckets": 4},
+            "bounds": [0.1, 0.2, 0.4, 0.8], "counts": [1, 2, 3, 4]}
+    rebucketed = dict(hist, spec={"first_bound": 0.5, "growth": 2, "buckets": 4},
+                      bounds=[0.5, 1.0, 2.0, 4.0])
 
     cases = [
         ("zero baseline stays zero",
@@ -119,6 +157,17 @@ def self_test() -> int:
          report({"makespan": 100.0, "gone": 1.0}), report({"makespan": 100.0}), 1),
         ("config mismatch is refused before metric diffs",
          report({"makespan": 100.0}), report({"makespan": 100.0}, jobs=200), 1),
+        ("identical histogram layouts pass, counts ungated",
+         report({}, histograms={"wait_s": hist}),
+         report({}, histograms={"wait_s": dict(hist, counts=[9, 9, 9, 9])}), 0),
+        ("histogram spec change is a failure",
+         report({}, histograms={"wait_s": hist}),
+         report({}, histograms={"wait_s": rebucketed}), 1),
+        ("histogram missing from the emitted report is a failure",
+         report({}, histograms={"wait_s": hist}), report({}), 1),
+        ("baseline without an obs section gates nothing",
+         report({"makespan": 100.0}),
+         report({"makespan": 100.0}, histograms={"wait_s": hist}), 0),
     ]
     failed = 0
     for name, baseline, emitted, expected_failures in cases:

@@ -1,0 +1,507 @@
+// trace_analyze: offline critical-path analyzer for Aequus span traces.
+//
+// Reads a JSONL trace written by obs::write_jsonl (bench --trace runs or
+// Experiment results), rebuilds the causal span trees, and reports:
+//
+//   - per-chain statistics: complete vs broken trees, retries, retry
+//     storms, mean/max end-to-end duration;
+//   - per-hop breakdown: each hop's self time as a strict partition of
+//     the complete chains' durations (hop totals sum to the chain total);
+//   - the critical path of the slowest complete chain per chain key;
+//   - anomalies: orphan spans, open spans (chains broken by drops or
+//     outages), retry storms, duplicate span ends (bus duplication),
+//     unmatched ends (ring eviction).
+//
+// With --report BENCH.json it additionally prints the histogram layouts
+// the bench exported (satellite of the observability issue: bucket bounds
+// are read from the report's spec, never recomputed), cross-checking the
+// spec-derived bounds against the exported bounds array.
+//
+// --self-test runs built-in consistency checks on synthetic traces and
+// exits non-zero on any failure (wired as a ctest entry, label "trace").
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "obs/span_analysis.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+namespace json = aequus::json;
+
+using aequus::obs::AnalyzeOptions;
+using aequus::obs::ChainStats;
+using aequus::obs::EventKind;
+using aequus::obs::SpanContext;
+using aequus::obs::SpanNode;
+using aequus::obs::TraceAnalysis;
+using aequus::obs::TraceEvent;
+using aequus::obs::Tracer;
+using aequus::obs::analyze_spans;
+using aequus::obs::hop_key;
+using aequus::obs::kNoSpan;
+using aequus::obs::read_trace_jsonl;
+
+struct Options {
+  std::string trace_path;
+  std::string report_path;
+  bool chains = true;
+  bool hops = true;
+  bool critical = true;
+  bool anomalies = true;
+  bool json = false;
+  bool self_test = false;
+  std::size_t retry_storm_threshold = 3;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [options] TRACE.jsonl\n"
+            << "  --json                  emit the analysis as one JSON object\n"
+            << "  --no-chains             skip the per-chain table\n"
+            << "  --no-hops               skip the per-hop breakdown\n"
+            << "  --no-critical           skip the critical-path section\n"
+            << "  --no-anomalies          skip the anomaly section\n"
+            << "  --retry-storm-threshold N   retries per tree that flag a storm (default 3)\n"
+            << "  --report BENCH.json     print the report's histogram layouts\n"
+            << "  --self-test             run built-in consistency checks\n";
+  return 2;
+}
+
+json::Value chains_to_json(const TraceAnalysis& analysis) {
+  using aequus::json::Object;
+  using aequus::json::Value;
+  Object chains;
+  for (const auto& [key, stats] : analysis.chains) {
+    Object chain;
+    chain["complete"] = stats.complete;
+    chain["broken"] = stats.broken;
+    chain["retries"] = stats.retries;
+    chain["retry_storms"] = stats.retry_storms;
+    chain["total_duration_s"] = stats.total_duration;
+    chain["mean_duration_s"] = stats.mean_duration();
+    chain["max_duration_s"] = stats.max_duration;
+    Object hops;
+    for (const auto& [hop, self] : stats.hop_self_time) {
+      Object h;
+      h["self_time_s"] = self;
+      h["spans"] = stats.hop_spans.at(hop);
+      hops[hop] = Value(std::move(h));
+    }
+    chain["hops"] = Value(std::move(hops));
+    chains[key] = Value(std::move(chain));
+  }
+  return Value(std::move(chains));
+}
+
+json::Value analysis_to_json(const TraceAnalysis& analysis) {
+  using aequus::json::Object;
+  using aequus::json::Value;
+  Object root;
+  root["total_events"] = analysis.total_events;
+  root["span_events"] = analysis.span_events;
+  root["spans"] = analysis.spans.size();
+  root["trees"] = analysis.roots.size();
+  root["contextless_events"] = analysis.contextless_events;
+  root["orphan_spans"] = analysis.orphan_spans;
+  root["open_spans"] = analysis.open_spans;
+  root["broken_chains"] = analysis.broken_chains;
+  root["retry_storms"] = analysis.retry_storms;
+  root["duplicate_ends"] = analysis.duplicate_ends;
+  root["unmatched_ends"] = analysis.unmatched_ends;
+  root["drop_events"] = analysis.drop_events;
+  root["chains"] = chains_to_json(analysis);
+  return Value(std::move(root));
+}
+
+void print_summary(const TraceAnalysis& analysis) {
+  std::cout << "trace: " << analysis.total_events << " events, "
+            << analysis.spans.size() << " spans, " << analysis.roots.size()
+            << " trees, " << analysis.contextless_events << " contextless events\n";
+}
+
+void print_chains(const TraceAnalysis& analysis) {
+  std::cout << "\nchains (by root component/name):\n";
+  for (const auto& [key, stats] : analysis.chains) {
+    std::cout << "  " << key << ": " << stats.complete << " complete, " << stats.broken
+              << " broken";
+    if (stats.retries > 0) std::cout << ", " << stats.retries << " retries";
+    if (stats.retry_storms > 0) std::cout << ", " << stats.retry_storms << " storms";
+    if (stats.complete > 0) {
+      std::cout << "; mean " << stats.mean_duration() << " s, max " << stats.max_duration
+                << " s";
+    }
+    std::cout << "\n";
+  }
+}
+
+void print_hops(const TraceAnalysis& analysis) {
+  std::cout << "\nper-hop breakdown (self time over complete chains):\n";
+  for (const auto& [key, stats] : analysis.chains) {
+    if (stats.complete == 0) continue;
+    std::cout << "  " << key << " (total " << stats.total_duration << " s):\n";
+    for (const auto& [hop, self] : stats.hop_self_time) {
+      const double share =
+          stats.total_duration > 0.0 ? 100.0 * self / stats.total_duration : 0.0;
+      std::cout << "    " << hop << ": " << self << " s (" << share << "%, "
+                << stats.hop_spans.at(hop) << " spans)\n";
+    }
+  }
+}
+
+void print_critical(const TraceAnalysis& analysis) {
+  std::cout << "\ncritical path of the slowest complete chain per key:\n";
+  for (const auto& [key, stats] : analysis.chains) {
+    if (stats.slowest_root == kNoSpan) continue;
+    std::cout << "  " << key << " (" << stats.max_duration << " s):\n";
+    for (const std::size_t index : analysis.critical_path(stats.slowest_root)) {
+      const SpanNode& span = analysis.spans[index];
+      std::cout << "    " << span.site << " " << span.component << "/" << span.name
+                << " @" << span.start << " +" << span.duration() << " s (self "
+                << analysis.self_time(index) << " s)\n";
+    }
+  }
+}
+
+void print_anomalies(const TraceAnalysis& analysis) {
+  std::cout << "\nanomalies:\n"
+            << "  orphan spans:   " << analysis.orphan_spans << "\n"
+            << "  open spans:     " << analysis.open_spans << "\n"
+            << "  broken chains:  " << analysis.broken_chains << "\n"
+            << "  retry storms:   " << analysis.retry_storms << "\n"
+            << "  duplicate ends: " << analysis.duplicate_ends << "\n"
+            << "  unmatched ends: " << analysis.unmatched_ends << "\n"
+            << "  drops in spans: " << analysis.drop_events << "\n";
+}
+
+/// Print (and verify) the histogram layouts a bench report exported. The
+/// bounds are taken from the report's "spec" — the analyzer never invents
+/// a layout — and cross-checked against the exported bounds array.
+int report_histograms(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_analyze: cannot open report " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const aequus::json::Value report = aequus::json::parse(buffer.str());
+  const auto variants = report.find("variants");
+  if (!variants) {
+    std::cerr << "trace_analyze: no variants in " << path << "\n";
+    return 1;
+  }
+  int checked = 0;
+  for (const auto& [variant, body] : variants->get().as_object()) {
+    const auto obs = body.find("obs");
+    if (!obs) continue;
+    const auto histograms = obs->get().find("histograms");
+    if (!histograms) continue;
+    for (const auto& [key, hist] : histograms->get().as_object()) {
+      const auto spec = hist.find("spec");
+      if (!spec) continue;  // merged layouts drop their spec
+      const double first_bound = spec->get().get_number("first_bound");
+      const double growth = spec->get().get_number("growth");
+      const int buckets = static_cast<int>(spec->get().get_number("buckets"));
+      const auto bounds = hist.find("bounds");
+      std::cout << variant << " " << key << ": " << buckets << " buckets, bounds "
+                << first_bound << " x" << growth << ", count "
+                << hist.get_number("count") << ", mean " << hist.get_number("mean")
+                << " s\n";
+      // The exported bounds must be exactly the spec-derived layout.
+      if (bounds) {
+        double bound = first_bound;
+        const auto& array = bounds->get().as_array();
+        if (static_cast<int>(array.size()) != buckets) {
+          std::cerr << "trace_analyze: " << key << ": bounds/spec size mismatch\n";
+          return 1;
+        }
+        for (const auto& b : array) {
+          if (std::abs(b.as_number() - bound) > 1e-9 * bound) {
+            std::cerr << "trace_analyze: " << key << ": bounds diverge from spec\n";
+            return 1;
+          }
+          bound *= growth;
+        }
+      }
+      ++checked;
+    }
+  }
+  std::cout << checked << " histogram layouts verified against their specs\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --self-test: synthetic traces exercising every analyzer code path.
+
+int failures = 0;
+
+#define CHECK(cond)                                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::cerr << "self-test FAILED at " << __FILE__ << ":" << __LINE__     \
+                << ": " #cond "\n";                                          \
+      ++failures;                                                            \
+    }                                                                        \
+  } while (0)
+
+#define CHECK_NEAR(a, b, eps) CHECK(std::abs((a) - (b)) <= (eps))
+
+/// A complete jobcomp-like tree: hop self times must partition the root
+/// duration exactly (the telescoping identity the bench tables rely on).
+void self_test_complete_tree() {
+  Tracer tracer;
+  tracer.enable();
+  tracer.seed_trace_ids(7);
+  const SpanContext root = tracer.begin_span(0.0, "site0", "rm", "jobcomp:c0");
+  const SpanContext send = tracer.begin_child(0.1, root, "site0", "bus", "send:site0.uss");
+  const SpanContext leg = tracer.begin_child(0.1, send, "site0", "bus", "data:site0.uss");
+  tracer.end_span(0.11, leg, "site0", "bus");
+  const SpanContext handle =
+      tracer.begin_child(0.11, send, "site0", "uss", "handle:site0.uss");
+  tracer.end_span(0.12, handle, "site0", "uss");
+  tracer.end_span(0.12, send, "site0", "bus");
+  tracer.end_span(0.5, root, "site0", "rm");
+
+  const TraceAnalysis analysis = analyze_spans(tracer.events());
+  CHECK(analysis.spans.size() == 4);
+  CHECK(analysis.roots.size() == 1);
+  CHECK(analysis.broken_chains == 0);
+  const auto it = analysis.chains.find("rm/jobcomp");
+  CHECK(it != analysis.chains.end());
+  if (it == analysis.chains.end()) return;
+  const ChainStats& stats = it->second;
+  CHECK(stats.complete == 1);
+  double hop_total = 0.0;
+  for (const auto& [hop, self] : stats.hop_self_time) {
+    (void)hop;
+    hop_total += self;
+  }
+  CHECK_NEAR(hop_total, 0.5, 1e-12);          // telescoping identity
+  CHECK_NEAR(stats.total_duration, 0.5, 1e-12);
+  CHECK_NEAR(stats.hop_self_time.at("bus/data"), 0.01, 1e-12);
+  CHECK_NEAR(stats.hop_self_time.at("uss/handle"), 0.01, 1e-12);
+  // Critical path descends to the child that finished last.
+  const auto path = analysis.critical_path(analysis.roots.front());
+  CHECK(path.size() == 3);  // root -> send -> handle (ends at 0.12)
+  if (path.size() == 3) CHECK(analysis.spans[path.back()].component == "uss");
+}
+
+/// A child whose parent never appears is an orphan and roots its own
+/// (broken) partial tree.
+void self_test_orphan() {
+  Tracer tracer;
+  tracer.enable();
+  tracer.seed_trace_ids(7);
+  SpanContext ghost;
+  ghost.trace_id = 42;
+  ghost.span_id = 999;  // never begun in this trace
+  const SpanContext child = tracer.begin_child(1.0, ghost, "site1", "client", "refresh");
+  tracer.end_span(2.0, child, "site1", "client", "ok");
+
+  const TraceAnalysis analysis = analyze_spans(tracer.events());
+  CHECK(analysis.orphan_spans == 1);
+  CHECK(analysis.roots.size() == 1);
+  CHECK(analysis.broken_chains == 1);  // orphan trees count as broken
+}
+
+/// A span begun but never ended (dropped message) breaks its chain.
+void self_test_broken_chain() {
+  Tracer tracer;
+  tracer.enable();
+  tracer.seed_trace_ids(7);
+  const SpanContext root = tracer.begin_span(0.0, "site0", "bus", "send:site1.uss");
+  const SpanContext leg = tracer.begin_child(0.0, root, "site0", "bus", "data:site1.uss");
+  {
+    aequus::obs::SpanScope scope(&tracer, leg);
+    tracer.record(0.0, EventKind::kMessageDrop, "site0", "bus", "loss:site1.uss");
+  }
+  // Neither the leg nor the send span ever ends.
+  const TraceAnalysis analysis = analyze_spans(tracer.events());
+  CHECK(analysis.open_spans == 2);
+  CHECK(analysis.broken_chains == 1);
+  CHECK(analysis.drop_events == 1);
+  const auto it = analysis.chains.find("bus/send");
+  CHECK(it != analysis.chains.end() && it->second.broken == 1);
+}
+
+/// Four attempts under one refresh root = 3 retries = a storm at the
+/// default threshold.
+void self_test_retry_storm() {
+  Tracer tracer;
+  tracer.enable();
+  tracer.seed_trace_ids(7);
+  const SpanContext root = tracer.begin_span(0.0, "site0", "client", "refresh");
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const SpanContext a = tracer.begin_child(attempt * 1.0, root, "site0", "client",
+                                             "attempt:" + std::to_string(attempt));
+    tracer.end_span(attempt * 1.0 + 0.5, a, "site0", "client", "failed");
+  }
+  tracer.end_span(4.0, root, "site0", "client", "stale_fallback");
+
+  const TraceAnalysis analysis = analyze_spans(tracer.events());
+  const auto it = analysis.chains.find("client/refresh");
+  CHECK(it != analysis.chains.end());
+  if (it == analysis.chains.end()) return;
+  CHECK(it->second.retries == 3);
+  CHECK(it->second.retry_storms == 1);
+  CHECK(analysis.retry_storms == 1);
+  // Raising the threshold clears the storm flag.
+  AnalyzeOptions lax;
+  lax.retry_storm_threshold = 4;
+  CHECK(analyze_spans(tracer.events(), lax).retry_storms == 0);
+}
+
+/// A duplicated bus leg delivers the same span end twice; the first wins.
+void self_test_duplicate_end() {
+  Tracer tracer;
+  tracer.enable();
+  tracer.seed_trace_ids(7);
+  const SpanContext span = tracer.begin_span(0.0, "site0", "bus", "data:site1.uss");
+  tracer.end_span(1.0, span, "site1", "bus");
+  tracer.end_span(2.0, span, "site1", "bus");  // duplicate delivery
+
+  const TraceAnalysis analysis = analyze_spans(tracer.events());
+  CHECK(analysis.duplicate_ends == 1);
+  CHECK(analysis.spans.size() == 1);
+  CHECK_NEAR(analysis.spans[0].end, 1.0, 0.0);  // first end wins
+}
+
+/// write_jsonl -> read_trace_jsonl round-trips every span field.
+void self_test_jsonl_round_trip() {
+  Tracer tracer;
+  tracer.enable();
+  tracer.seed_trace_ids(0x5eed);
+  const SpanContext root = tracer.begin_span(0.25, "site0", "rm", "jobcomp:c0");
+  {
+    aequus::obs::SpanScope scope(&tracer, root);
+    tracer.record(0.3, EventKind::kCacheHit, "site0", "client", "identity:u1");
+  }
+  tracer.end_span(0.5, root, "site0", "rm", "u1", 17.0);
+
+  std::ostringstream out;
+  aequus::obs::write_jsonl(out, tracer.events());
+  std::istringstream in(out.str());
+  const std::vector<TraceEvent> parsed = read_trace_jsonl(in);
+  const std::vector<TraceEvent> original = tracer.events();
+  CHECK(parsed.size() == original.size());
+  if (parsed.size() != original.size()) return;
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    CHECK(parsed[i].time == original[i].time);
+    CHECK(parsed[i].kind == original[i].kind);
+    CHECK(parsed[i].site == original[i].site);
+    CHECK(parsed[i].component == original[i].component);
+    CHECK(parsed[i].detail == original[i].detail);
+    CHECK(parsed[i].value == original[i].value);
+    CHECK(parsed[i].span == original[i].span);
+  }
+  // 48-bit trace ids survive the double-typed JSON number representation.
+  CHECK(parsed[0].span.trace_id == original[0].span.trace_id);
+  CHECK(parsed[0].span.trace_id != 0);
+  CHECK(parsed[0].span.trace_id <= 0xffffffffffffULL);
+}
+
+/// The ring cap evicts oldest events; analysis degrades to unmatched ends
+/// instead of failing.
+void self_test_ring_eviction() {
+  Tracer tracer;
+  tracer.enable();
+  tracer.seed_trace_ids(7);
+  tracer.set_capacity(2);
+  const SpanContext span = tracer.begin_span(0.0, "site0", "bus", "send:a.b");
+  tracer.record(0.1, EventKind::kMessageSend, "site0", "bus", "a.b");
+  tracer.record(0.2, EventKind::kMessageDeliver, "site0", "bus", "a.b");  // evicts begin
+  tracer.end_span(0.3, span, "site0", "bus");
+  CHECK(tracer.dropped() == 2);
+  const TraceAnalysis analysis = analyze_spans(tracer.events());
+  CHECK(analysis.unmatched_ends == 1);
+  CHECK(analysis.spans.empty());
+}
+
+int run_self_test() {
+  self_test_complete_tree();
+  self_test_orphan();
+  self_test_broken_chain();
+  self_test_retry_storm();
+  self_test_duplicate_end();
+  self_test_jsonl_round_trip();
+  self_test_ring_eviction();
+  if (failures == 0) {
+    std::cout << "trace_analyze self-test: all checks passed\n";
+    return 0;
+  }
+  std::cerr << "trace_analyze self-test: " << failures << " check(s) failed\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--self-test") == 0) {
+      options.self_test = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json = true;
+    } else if (std::strcmp(arg, "--no-chains") == 0) {
+      options.chains = false;
+    } else if (std::strcmp(arg, "--no-hops") == 0) {
+      options.hops = false;
+    } else if (std::strcmp(arg, "--no-critical") == 0) {
+      options.critical = false;
+    } else if (std::strcmp(arg, "--no-anomalies") == 0) {
+      options.anomalies = false;
+    } else if (std::strcmp(arg, "--retry-storm-threshold") == 0 && i + 1 < argc) {
+      options.retry_storm_threshold = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(arg, "--report") == 0 && i + 1 < argc) {
+      options.report_path = argv[++i];
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      options.trace_path = arg;
+    }
+  }
+  if (options.self_test) return run_self_test();
+  if (!options.report_path.empty() && options.trace_path.empty()) {
+    return report_histograms(options.report_path);
+  }
+  if (options.trace_path.empty()) return usage(argv[0]);
+
+  std::ifstream in(options.trace_path);
+  if (!in) {
+    std::cerr << "trace_analyze: cannot open " << options.trace_path << "\n";
+    return 1;
+  }
+  std::vector<TraceEvent> events;
+  try {
+    events = read_trace_jsonl(in);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_analyze: " << e.what() << "\n";
+    return 1;
+  }
+  AnalyzeOptions analyze_options;
+  analyze_options.retry_storm_threshold = options.retry_storm_threshold;
+  const TraceAnalysis analysis = analyze_spans(events, analyze_options);
+
+  if (options.json) {
+    std::cout << analysis_to_json(analysis).pretty() << "\n";
+  } else {
+    print_summary(analysis);
+    if (options.chains) print_chains(analysis);
+    if (options.hops) print_hops(analysis);
+    if (options.critical) print_critical(analysis);
+    if (options.anomalies) print_anomalies(analysis);
+  }
+  if (!options.report_path.empty()) {
+    std::cout << "\n";
+    const int status = report_histograms(options.report_path);
+    if (status != 0) return status;
+  }
+  return 0;
+}
