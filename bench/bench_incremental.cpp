@@ -1,0 +1,219 @@
+// Incremental-engine speedup bench: per-delta cost of the stateful
+// FairshareEngine (dirty-path recompute + snapshot publish) against the
+// whole-tree FairshareAlgorithm::compute() it replaced, on the fig10
+// shape (six clusters x 40 users). Also measures the overhead of the
+// batch compute() wrapper — now a throwaway engine under the hood —
+// against a frozen copy of the original recursive annotate(), pinning
+// the "batch callers pay (almost) nothing for the rework" contract.
+//
+// All timings are min-over-rounds (--reps, default 5): the minimum is
+// the least noisy location statistic for a cold-cache-free micro timing.
+// Emits BENCH_incremental.json; the two ratio metrics are gated
+// one-sided by tools/bench_gate.py (speedup floor, overhead ceiling) —
+// ratios of wall times on the same machine are comparable across hosts
+// in a way the absolute microseconds are not.
+//
+//   bench_incremental [deltas] [--reps N] [--seed S] [--json-dir DIR]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "core/engine.hpp"
+#include "json/json.hpp"
+#include "util/rng.hpp"
+
+using namespace aequus;
+
+namespace {
+
+constexpr std::size_t kClusters = 6;
+constexpr std::size_t kUsersPerCluster = 40;
+
+// Frozen copy of the pre-engine recursive annotate() (the same reference
+// the engine differential test pins bit-identity against) — the honest
+// baseline for the wrapper-overhead ratio, since the live compute() now
+// routes through the engine itself.
+void reference_annotate(const core::FairshareAlgorithm& algorithm,
+                        const core::PolicyTree::Node& policy_node, const core::UsageTree& usage,
+                        std::vector<std::string>& prefix, core::FairshareTree::Node& out) {
+  out.name = policy_node.name;
+  double share_total = 0.0;
+  for (const auto& child : policy_node.children) share_total += std::max(child.share, 0.0);
+  double usage_total = 0.0;
+  std::vector<double> child_usage(policy_node.children.size(), 0.0);
+  for (std::size_t i = 0; i < policy_node.children.size(); ++i) {
+    prefix.push_back(policy_node.children[i].name);
+    child_usage[i] = usage.usage(core::join_path(prefix));
+    prefix.pop_back();
+    usage_total += child_usage[i];
+  }
+  out.children.resize(policy_node.children.size());
+  for (std::size_t i = 0; i < policy_node.children.size(); ++i) {
+    const auto& policy_child = policy_node.children[i];
+    auto& child_out = out.children[i];
+    child_out.policy_share =
+        share_total > 0.0 ? std::max(policy_child.share, 0.0) / share_total : 0.0;
+    child_out.usage_share = usage_total > 0.0 ? child_usage[i] / usage_total : 0.0;
+    child_out.distance =
+        algorithm.node_distance(child_out.policy_share, child_out.usage_share);
+    prefix.push_back(policy_child.name);
+    reference_annotate(algorithm, policy_child, usage, prefix, child_out);
+    prefix.pop_back();
+  }
+}
+
+std::string user_path(std::size_t cluster, std::size_t user) {
+  return "/grid/cluster" + std::to_string(cluster) + "/user" + std::to_string(user);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct Delta {
+  std::string path;
+  double amount = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner("Incremental engine: per-delta cost vs whole-tree recompute",
+                      "engine rework; fig10 tree shape (6 clusters x 40 users)");
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, 240, 5);
+  const std::size_t deltas = args.jobs;
+  const std::size_t rounds = args.replications;
+
+  core::PolicyTree policy;
+  util::Rng rng(args.root_seed);
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    for (std::size_t u = 0; u < kUsersPerCluster; ++u) {
+      policy.set_share(user_path(c, u), 1.0 + static_cast<double>(u % 7));
+    }
+  }
+  core::UsageTree initial_usage;
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    for (std::size_t u = 0; u < kUsersPerCluster; ++u) {
+      initial_usage.add(user_path(c, u), rng.uniform(1.0, 1000.0));
+    }
+  }
+  std::vector<Delta> stream(deltas);
+  for (auto& delta : stream) {
+    delta.path = user_path(static_cast<std::size_t>(rng.uniform_int(0, kClusters - 1)),
+                           static_cast<std::size_t>(rng.uniform_int(0, kUsersPerCluster - 1)));
+    delta.amount = rng.uniform(0.5, 50.0);
+  }
+  std::printf("tree: %zu leaves, %zu deltas/round, %zu rounds (min taken)\n\n",
+              kClusters * kUsersPerCluster, deltas, rounds);
+
+  const core::FairshareAlgorithm algorithm;
+  double sink = 0.0;  // consumed below so the loops cannot be elided
+
+  // 1) Whole-tree recompute per delta: what every FairshareTable update
+  //    cost before the engine.
+  double full_seconds = std::numeric_limits<double>::infinity();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    core::UsageTree usage = initial_usage;
+    const auto start = std::chrono::steady_clock::now();
+    for (const Delta& delta : stream) {
+      usage.add(delta.path, delta.amount);
+      sink += algorithm.compute(policy, usage).root().distance;
+    }
+    full_seconds = std::min(full_seconds, seconds_since(start));
+  }
+
+  // 2) Incremental: one apply_usage() + snapshot() per delta. kNone decay
+  //    keeps the two sides arithmetically identical per step.
+  double incremental_seconds = std::numeric_limits<double>::infinity();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    core::FairshareEngine engine({}, core::DecayConfig{core::DecayKind::kNone, 0.0, 0.0});
+    engine.set_policy(policy);
+    engine.set_usage(initial_usage);
+    (void)engine.snapshot();
+    const auto start = std::chrono::steady_clock::now();
+    for (const Delta& delta : stream) {
+      engine.apply_usage(delta.path, delta.amount, 0.0);
+      sink += engine.snapshot()->root().distance;
+    }
+    incremental_seconds = std::min(incremental_seconds, seconds_since(start));
+  }
+
+  // 3) Batch-wrapper overhead: compute() (throwaway engine) against the
+  //    frozen original recursion, both doing the identical one-shot job.
+  const std::size_t batch_iterations = std::max<std::size_t>(deltas / 4, 16);
+  double wrapper_seconds = std::numeric_limits<double>::infinity();
+  double reference_seconds = std::numeric_limits<double>::infinity();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch_iterations; ++i) {
+      sink += algorithm.compute(policy, initial_usage).root().distance;
+    }
+    wrapper_seconds = std::min(wrapper_seconds, seconds_since(start));
+
+    start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch_iterations; ++i) {
+      core::FairshareTree::Node root;
+      std::vector<std::string> prefix;
+      reference_annotate(algorithm, policy.root(), initial_usage, prefix, root);
+      sink += root.children.front().distance;
+    }
+    reference_seconds = std::min(reference_seconds, seconds_since(start));
+  }
+
+  const double full_us = 1e6 * full_seconds / static_cast<double>(deltas);
+  const double incremental_us = 1e6 * incremental_seconds / static_cast<double>(deltas);
+  const double speedup = full_us / incremental_us;
+  const double overhead = wrapper_seconds / reference_seconds;
+  std::printf("whole-tree recompute per delta: %9.2f us\n", full_us);
+  std::printf("incremental engine per delta:   %9.2f us\n", incremental_us);
+  std::printf("speedup (incremental vs full):  %9.2fx   (gate floor: 5x)\n", speedup);
+  std::printf("batch wrapper vs original:      %9.4fx   (gate ceiling: 1.02x)\n", overhead);
+  std::printf("(checksum %.6g)\n\n", sink);
+
+  json::Object metrics;
+  const auto metric = [&metrics](const std::string& name, double mean) {
+    json::Object summary;
+    summary["count"] = 1;
+    summary["mean"] = mean;
+    metrics[name] = json::Value(std::move(summary));
+  };
+  metric("full_recompute_us_per_delta", full_us);
+  metric("incremental_us_per_delta", incremental_us);
+  metric("speedup_incremental_vs_full", speedup);
+  metric("wrapper_overhead_vs_reference", overhead);
+
+  json::Object variant;
+  variant["metrics"] = json::Value(std::move(metrics));
+  json::Object variants;
+  variants["incremental"] = json::Value(std::move(variant));
+
+  json::Object root;
+  root["bench"] = std::string("incremental");
+  root["schema_version"] = 1;
+  root["jobs"] = deltas;
+  root["threads"] = 1;
+  root["replications"] = rounds;
+  root["root_seed"] = util::format("0x%llx", static_cast<unsigned long long>(args.root_seed));
+  root["wall_seconds"] = full_seconds + incremental_seconds + wrapper_seconds +
+                         reference_seconds;
+  root["variants"] = json::Value(std::move(variants));
+
+  const std::string path = args.json_dir + "/BENCH_incremental.json";
+  std::error_code ec;
+  std::filesystem::create_directories(args.json_dir, ec);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << json::Value(std::move(root)).pretty() << "\n";
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "common.hpp"
+#include "core/engine.hpp"
 #include "core/projection.hpp"
 #include "json/json.hpp"
 #include "libaequus/client.hpp"
@@ -49,6 +50,26 @@ void BM_FairshareTreeCompute(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * users);
 }
 BENCHMARK(BM_FairshareTreeCompute)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_FairshareEngineDelta(benchmark::State& state) {
+  // One usage delta + snapshot publish through the incremental engine —
+  // the per-update cost that replaced BM_FairshareTreeCompute's
+  // whole-tree recompute in the FCS pre-calculation loop.
+  const auto users = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  core::FairshareEngine engine({}, core::DecayConfig{core::DecayKind::kNone, 0.0, 0.0});
+  engine.set_policy(flat_policy(users));
+  engine.set_usage(usage_for(users, rng));
+  (void)engine.snapshot();
+  int i = 0;
+  for (auto _ : state) {
+    const int user = i++ % users;
+    engine.apply_usage(util::format("/group%d/user%d", user % 16, user), 1.0, 0.0);
+    benchmark::DoNotOptimize(engine.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations() * users);
+}
+BENCHMARK(BM_FairshareEngineDelta)->Arg(16)->Arg(256)->Arg(2048);
 
 void BM_Projection(benchmark::State& state) {
   const auto kind = static_cast<core::ProjectionKind>(state.range(0));

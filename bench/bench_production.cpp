@@ -101,8 +101,8 @@ RunStats run(const workload::Trace& trace, bool use_aequus) {
     }
     auto plugin = std::make_unique<slurm::MultifactorPriorityPlugin>(
         slurm::MultifactorWeights{},
-        [local_fairshare](const rms::Job& job, double now) {
-          return local_fairshare->factor(job.system_user, now);
+        [local_fairshare](const rms::PriorityContext& context) {
+          return local_fairshare->factor(context.job.system_user, context.now);
         });
     controller = std::make_unique<slurm::SlurmController>(
         simulator, std::move(cluster), std::move(plugin), scheduler_config);

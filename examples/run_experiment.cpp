@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const workload::Scenario scenario = testbed::scenario_from_json(spec);
-    const testbed::ExperimentConfig config = testbed::experiment_config_from_json(spec);
+    const auto scenario = json::decode<workload::Scenario>(spec);
+    const auto config = json::decode<testbed::ExperimentConfig>(spec);
 
     std::printf("scenario '%s': %zu jobs, %d clusters x %d hosts, %.1f h window\n",
                 scenario.name.c_str(), scenario.trace.size(), scenario.cluster_count,

@@ -62,10 +62,11 @@ int main() {
   bob_job.system_user = "b_account";
 
   const auto slurm_factor = [&](const rms::Job& job) {
-    return slurm::aequus_fairshare_source(client)(job, simulator.now());
+    return slurm::aequus_fairshare_source(client)(
+        rms::PriorityContext{job, simulator.now()});
   };
   const auto maui_factor = [&](const rms::Job& job) {
-    return maui_rm.fairshare_component(job, simulator.now());
+    return maui_rm.fairshare_component(rms::PriorityContext{job, simulator.now()});
   };
 
   std::printf("global fairshare factors after cross-cluster usage:\n");

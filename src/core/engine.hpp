@@ -1,0 +1,170 @@
+// Incremental fairshare engine: dirty-path recompute behind immutable
+// snapshots.
+//
+// The batch FairshareAlgorithm::compute() rebuilds the whole annotated
+// tree from scratch on every usage delta — the dominant cost of the FCS
+// pre-calculation loop once sweeps run in parallel. The engine keeps the
+// annotated tree *stateful* and recomputes only what a mutation can have
+// changed:
+//
+//   - a usage delta for one leaf marks exactly the root-to-leaf path
+//     dirty: the subtree sums along the path are stale, and every sibling
+//     group on the path renormalizes (a group's usage_total changed, so
+//     all its members' usage shares move) — but clean siblings' subtrees
+//     are never re-entered;
+//   - a policy swap diffs the new tree against the working tree and
+//     dirties only sibling groups whose membership, order, or raw shares
+//     changed;
+//   - decayed usage is memoized per leaf keyed by the decay epoch:
+//     advancing the epoch re-values only binned leaves, and leaves whose
+//     decayed value is bit-identical (idle users, kNone/sliding-window
+//     plateaus) stay clean, so an idle subtree costs zero.
+//
+// Reads never touch the working tree: snapshot() publishes an immutable,
+// generation-stamped FairshareSnapshot with copy-on-publish structural
+// sharing (unchanged subtrees are the *same* nodes as the previous
+// generation), and current() hands the latest one out as a shared_ptr
+// copy under a handoff mutex whose critical section is two refcount ops.
+// (std::atomic<std::shared_ptr> would make the handoff lock-free, but
+// GCC 12's _Sp_atomic spinlock trips ThreadSanitizer; readers grab one
+// snapshot per scheduling pass, so the mutex is never contended in
+// practice.) The engine is single-writer / many-reader.
+//
+// Bit-identity contract: for any sequence of mutations, the published
+// tree is bit-identical to FairshareAlgorithm::compute() over the
+// equivalent policy and (decayed) usage trees — the engine reproduces the
+// batch path's exact floating-point summation orders. compute() itself is
+// now a thin one-shot wrapper over this engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/decay.hpp"
+#include "core/fairshare.hpp"
+#include "core/policy.hpp"
+#include "core/snapshot.hpp"
+#include "core/usage.hpp"
+
+namespace aequus::core {
+
+class FairshareEngine {
+ public:
+  explicit FairshareEngine(FairshareConfig config = {}, DecayConfig decay = {});
+
+  /// Swap the policy tree; structurally diffed against the working tree
+  /// so unchanged sibling groups keep their annotations.
+  void set_policy(const PolicyTree& policy);
+
+  /// Add `amount` (> 0) core-seconds for the user leaf at `user_path`,
+  /// recorded in the time bin at `bin_time`. The leaf's effective value
+  /// is the decay-weighted sum of its bins at the current epoch.
+  /// Rejects negative or non-finite amounts; zero is a no-op.
+  void apply_usage(const std::string& user_path, double amount, double bin_time);
+
+  /// Replace the usage state wholesale with externally decayed per-leaf
+  /// values (the FCS path: the UMS has already applied decay). Leaves are
+  /// diffed bitwise, so a refresh that changes nothing dirties nothing.
+  /// Drops any binned state previously built via apply_usage().
+  void set_usage(const UsageTree& decayed);
+
+  /// Re-evaluate every binned leaf at decay epoch `now`. Leaves whose
+  /// decayed value is bit-identical stay clean.
+  void set_decay_epoch(double now);
+  [[nodiscard]] double decay_epoch() const noexcept { return epoch_; }
+
+  /// Swap the decay function; re-values all binned leaves at the current
+  /// epoch.
+  void set_decay(DecayConfig decay);
+
+  /// Swap the distance algorithm (k, resolution); the full tree is
+  /// re-annotated on the next publish. Throws like FairshareAlgorithm on
+  /// invalid configs.
+  void set_config(FairshareConfig config);
+  [[nodiscard]] const FairshareConfig& config() const noexcept {
+    return algorithm_.config();
+  }
+
+  /// Recompute everything marked dirty, publish a new generation if any
+  /// published value changed, and return the latest snapshot. Writer-side
+  /// only (not thread-safe against other mutators).
+  FairshareSnapshotPtr snapshot();
+
+  /// Latest published snapshot; safe from any thread concurrently with
+  /// the single writer. Null before the first snapshot() call.
+  [[nodiscard]] FairshareSnapshotPtr current() const {
+    const std::lock_guard<std::mutex> guard(publish_mutex_);
+    return published_;
+  }
+
+  /// Generation of the latest published snapshot (0 before the first).
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
+  /// One-shot batch computation through a throwaway engine; the
+  /// implementation behind FairshareAlgorithm::compute().
+  [[nodiscard]] static FairshareTree compute_once(const FairshareConfig& config,
+                                                  const PolicyTree& policy,
+                                                  const UsageTree& usage);
+
+ private:
+  /// Working-tree node. `subtree_usage` caches the decayed leaf sum of the
+  /// node's subtree in the batch path's exact summation order.
+  struct Node {
+    std::string name;
+    std::string path;  ///< canonical "/a/b"
+    double raw_share = 0.0;
+    double policy_share = 0.0;
+    double usage_share = 0.0;
+    double distance = 0.0;
+    double subtree_usage = 0.0;
+    bool sum_stale = true;       ///< cached subtree_usage is invalid
+    bool children_dirty = true;  ///< this node's child group must renormalize
+    bool needs_visit = false;    ///< some descendant group is dirty
+    bool value_changed = true;   ///< published values differ -> republish
+    std::vector<std::unique_ptr<Node>> children;
+    std::shared_ptr<const FairshareSnapshot::Node> published;
+
+    [[nodiscard]] Node* find_child(const std::string& child_name);
+  };
+
+  /// Decayed-total memo for one binned leaf.
+  struct BinnedLeaf {
+    std::vector<std::pair<double, double>> bins;  ///< (bin_time, amount)
+    double cached_epoch = 0.0;
+    double cached_value = 0.0;
+    bool cached = false;
+  };
+
+  /// Diff one policy sibling group; returns true when anything below
+  /// `node` (inclusive) was dirtied.
+  bool sync_policy(Node& node, const PolicyTree::Node& policy_node);
+  /// Mark the root-to-leaf path of `leaf_path` dirty.
+  void mark_leaf_dirty(const std::string& leaf_path);
+  /// Set a leaf's effective decayed value, dirtying its path on change.
+  void set_leaf_value(const std::string& leaf_path, double value);
+  /// Renormalize dirty sibling groups and refresh stale sums below `node`.
+  void refresh(Node& node);
+  /// Sum of leaf values inside `path`, in the batch path's scan order.
+  [[nodiscard]] double subtree_sum(const std::string& path) const;
+  /// Rebuild the published node for `node` where values changed, sharing
+  /// every untouched child. Returns true when the pointer changed.
+  bool publish_node(Node& node);
+
+  FairshareAlgorithm algorithm_;
+  Decay decay_;
+  double epoch_ = 0.0;
+  Node root_;
+  int depth_ = 0;
+  std::map<std::string, double> leaf_values_;    ///< decayed leaf usage (> 0 only)
+  std::map<std::string, BinnedLeaf> leaf_bins_;  ///< binned accounting + memo
+  std::uint64_t generation_ = 0;
+  bool force_republish_ = true;  ///< config change or first publish
+  mutable std::mutex publish_mutex_;  ///< guards only the published_ handoff
+  FairshareSnapshotPtr published_;
+};
+
+}  // namespace aequus::core

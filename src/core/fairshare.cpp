@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/engine.hpp"
+
 namespace aequus::core {
 
 const FairshareTree::Node* FairshareTree::Node::find_child(const std::string& child_name) const {
@@ -117,13 +119,6 @@ json::Value to_json(const FairshareConfig& config) {
   return json::Value(std::move(obj));
 }
 
-FairshareConfig fairshare_config_from_json(const json::Value& value) {
-  FairshareConfig config;
-  config.distance_weight_k = value.get_number("k", config.distance_weight_k);
-  config.resolution =
-      static_cast<int>(value.get_number("resolution", config.resolution));
-  return config;
-}
 
 FairshareAlgorithm::FairshareAlgorithm(FairshareConfig config) : config_(config) {
   if (config_.distance_weight_k < 0.0 || config_.distance_weight_k > 1.0) {
@@ -134,64 +129,45 @@ FairshareAlgorithm::FairshareAlgorithm(FairshareConfig config) : config_(config)
   }
 }
 
+namespace {
+/// Clamp a share into [0, 1]. NaN and negatives become 0 so that a
+/// corrupt share can never divide the relative distance into NaN (which
+/// the json serializer rejects); valid shares pass through with their
+/// exact bits.
+double canonical_share(double share) noexcept {
+  if (!(share > 0.0)) return 0.0;
+  return std::min(share, 1.0);
+}
+}  // namespace
+
 double FairshareAlgorithm::node_distance(double policy_share, double usage_share) const noexcept {
   const double k = config_.distance_weight_k;
-  const double absolute = policy_share - usage_share;
+  const double p = canonical_share(policy_share);
+  const double u = canonical_share(usage_share);
+  const double absolute = p - u;
   double relative = 0.0;
-  if (policy_share > 0.0) {
-    relative = std::clamp((policy_share - usage_share) / policy_share, -1.0, 1.0);
-  } else if (usage_share > 0.0) {
+  if (p > 0.0) {
+    relative = std::clamp((p - u) / p, -1.0, 1.0);
+  } else if (u > 0.0) {
     relative = -1.0;  // consuming with no allocation: maximal over-use
   }
   return k * relative + (1.0 - k) * absolute;
 }
 
-namespace {
-void annotate(const FairshareAlgorithm& algorithm, const PolicyTree::Node& policy_node,
-              const UsageTree& usage, std::vector<std::string>& prefix,
-              FairshareTree::Node& out) {
-  out.name = policy_node.name;
-  // Normalized shares of the children within this sibling group.
-  double share_total = 0.0;
-  for (const auto& child : policy_node.children) share_total += std::max(child.share, 0.0);
-  double usage_total = 0.0;
-  std::vector<double> child_usage(policy_node.children.size(), 0.0);
-  for (std::size_t i = 0; i < policy_node.children.size(); ++i) {
-    prefix.push_back(policy_node.children[i].name);
-    child_usage[i] = usage.usage(join_path(prefix));
-    prefix.pop_back();
-    usage_total += child_usage[i];
-  }
-
-  out.children.resize(policy_node.children.size());
-  for (std::size_t i = 0; i < policy_node.children.size(); ++i) {
-    const auto& policy_child = policy_node.children[i];
-    auto& child_out = out.children[i];
-    child_out.policy_share =
-        share_total > 0.0 ? std::max(policy_child.share, 0.0) / share_total : 0.0;
-    child_out.usage_share = usage_total > 0.0 ? child_usage[i] / usage_total : 0.0;
-    child_out.distance =
-        algorithm.node_distance(child_out.policy_share, child_out.usage_share);
-    prefix.push_back(policy_child.name);
-    annotate(algorithm, policy_child, usage, prefix, child_out);
-    prefix.pop_back();
-  }
-}
-}  // namespace
-
 FairshareTree FairshareAlgorithm::compute(const PolicyTree& policy,
                                           const UsageTree& usage) const {
-  FairshareTree tree;
-  tree.resolution_ = config_.resolution;
-  std::vector<std::string> prefix;
-  annotate(*this, policy.root(), usage, prefix, tree.root_);
-  // assign() instead of = "/": avoids GCC 12's -Wrestrict false positive
-  // on short-literal string assignment (PR105651).
-  tree.root_.name.assign(1, '/');
-  tree.root_.policy_share = 1.0;
-  tree.root_.usage_share = usage.empty() ? 0.0 : 1.0;
-  tree.root_.distance = 0.0;
-  return tree;
+  // One-shot wrapper over the incremental engine; bit-identical to the
+  // historical recursive annotate() (the engine reproduces its exact
+  // floating-point summation orders — pinned by the differential test).
+  return FairshareEngine::compute_once(config_, policy, usage);
 }
 
 }  // namespace aequus::core
+
+aequus::core::FairshareConfig aequus::json::Decoder<aequus::core::FairshareConfig>::decode(
+    const Value& value) {
+  aequus::core::FairshareConfig config;
+  config.distance_weight_k = value.get_number("k", config.distance_weight_k);
+  config.resolution = static_cast<int>(value.get_number("resolution", config.resolution));
+  return config;
+}

@@ -28,6 +28,7 @@
 #include "core/policy.hpp"
 #include "core/usage.hpp"
 #include "core/vector.hpp"
+#include "json/decode.hpp"
 
 namespace aequus::core {
 
@@ -38,7 +39,6 @@ struct FairshareConfig {
 
 /// Config wire format: {"k": 0.5, "resolution": 10000}.
 [[nodiscard]] json::Value to_json(const FairshareConfig& config);
-[[nodiscard]] FairshareConfig fairshare_config_from_json(const json::Value& value);
 
 /// Result of the fairshare calculation: the policy tree annotated with
 /// normalized shares, normalized usage, and per-node distances.
@@ -76,6 +76,7 @@ class FairshareTree {
 
  private:
   friend class FairshareAlgorithm;
+  friend class FairshareSnapshot;  // FairshareSnapshot::to_tree()
   Node root_;
   int resolution_ = kDefaultResolution;
 };
@@ -97,5 +98,21 @@ class FairshareAlgorithm {
  private:
   FairshareConfig config_{};
 };
+
+}  // namespace aequus::core
+
+/// json::decode<core::FairshareConfig> support.
+template <>
+struct aequus::json::Decoder<aequus::core::FairshareConfig> {
+  [[nodiscard]] static aequus::core::FairshareConfig decode(const Value& value);
+};
+
+namespace aequus::core {
+
+/// Deprecated spelling of json::decode<FairshareConfig>().
+[[deprecated("use json::decode<core::FairshareConfig>()")]] [[nodiscard]] inline FairshareConfig
+fairshare_config_from_json(const json::Value& value) {
+  return json::decode<FairshareConfig>(value);
+}
 
 }  // namespace aequus::core

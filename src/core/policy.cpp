@@ -1,6 +1,7 @@
 #include "core/policy.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/strings.hpp"
@@ -35,6 +36,9 @@ PolicyTree::PolicyTree() {
 }
 
 void PolicyTree::set_share(const std::string& path, double share) {
+  if (!std::isfinite(share)) {
+    throw std::invalid_argument("PolicyTree::set_share: share must be finite");
+  }
   const auto segments = split_path(path);
   if (segments.empty()) throw std::invalid_argument("PolicyTree::set_share: empty path");
   Node* node = &root_;

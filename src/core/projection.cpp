@@ -30,18 +30,15 @@ json::Value to_json(const ProjectionConfig& config) {
   return json::Value(std::move(obj));
 }
 
-ProjectionConfig projection_config_from_json(const json::Value& value) {
-  ProjectionConfig config;
-  config.kind = projection_kind_from_string(
-      value.get_string("kind", to_string(config.kind)));
-  config.bits_per_level =
-      static_cast<int>(value.get_number("bits_per_level", config.bits_per_level));
-  return config;
-}
-
 namespace {
 
-std::map<std::string, double> project_dictionary(const FairshareTree& tree) {
+// The projections only need user_paths()/vector_for()/depth()/root() and
+// a find_child()-capable node, so one template body serves both the batch
+// FairshareTree and the engine's FairshareSnapshot — identical arithmetic,
+// identical factors.
+
+template <typename Tree>
+std::map<std::string, double> project_dictionary(const Tree& tree) {
   struct Entry {
     std::string path;
     FairshareVector vector;
@@ -62,7 +59,8 @@ std::map<std::string, double> project_dictionary(const FairshareTree& tree) {
   return out;
 }
 
-std::map<std::string, double> project_bitwise(const FairshareTree& tree, int bits_per_level) {
+template <typename Tree>
+std::map<std::string, double> project_bitwise(const Tree& tree, int bits_per_level) {
   // A double's 52-bit mantissa bounds the usable depth: extra levels are
   // truncated (the "finite depth" trade-off of Table I).
   const int max_levels = std::max(1, 52 / std::max(bits_per_level, 1));
@@ -87,19 +85,10 @@ std::map<std::string, double> project_bitwise(const FairshareTree& tree, int bit
   return out;
 }
 
-std::map<std::string, double> project_percental(const FairshareTree& tree) {
-  std::map<std::string, double> out;
-  for (const auto& path : tree.user_paths()) {
-    out[path] = percental_value(tree, path);
-  }
-  return out;
-}
-
-}  // namespace
-
-double percental_value(const FairshareTree& tree, const std::string& path) {
+template <typename Tree>
+double percental_value_impl(const Tree& tree, const std::string& path) {
   const auto segments = split_path(path);
-  const FairshareTree::Node* node = &tree.root();
+  const auto* node = &tree.root();
   double target = 1.0;
   double usage = 1.0;
   for (const auto& segment : segments) {
@@ -111,8 +100,17 @@ double percental_value(const FairshareTree& tree, const std::string& path) {
   return std::clamp((target - usage + 1.0) / 2.0, 0.0, 1.0);
 }
 
-std::map<std::string, double> project(const FairshareTree& tree,
-                                      const ProjectionConfig& config) {
+template <typename Tree>
+std::map<std::string, double> project_percental(const Tree& tree) {
+  std::map<std::string, double> out;
+  for (const auto& path : tree.user_paths()) {
+    out[path] = percental_value_impl(tree, path);
+  }
+  return out;
+}
+
+template <typename Tree>
+std::map<std::string, double> project_impl(const Tree& tree, const ProjectionConfig& config) {
   switch (config.kind) {
     case ProjectionKind::kDictionaryOrdering: return project_dictionary(tree);
     case ProjectionKind::kBitwiseVector: return project_bitwise(tree, config.bits_per_level);
@@ -121,4 +119,34 @@ std::map<std::string, double> project(const FairshareTree& tree,
   return {};
 }
 
+}  // namespace
+
+double percental_value(const FairshareTree& tree, const std::string& path) {
+  return percental_value_impl(tree, path);
+}
+
+double percental_value(const FairshareSnapshot& snapshot, const std::string& path) {
+  return percental_value_impl(snapshot, path);
+}
+
+std::map<std::string, double> project(const FairshareTree& tree,
+                                      const ProjectionConfig& config) {
+  return project_impl(tree, config);
+}
+
+std::map<std::string, double> project(const FairshareSnapshot& snapshot,
+                                      const ProjectionConfig& config) {
+  return project_impl(snapshot, config);
+}
+
 }  // namespace aequus::core
+
+aequus::core::ProjectionConfig aequus::json::Decoder<aequus::core::ProjectionConfig>::decode(
+    const Value& value) {
+  aequus::core::ProjectionConfig config;
+  config.kind = aequus::core::projection_kind_from_string(
+      value.get_string("kind", aequus::core::to_string(config.kind)));
+  config.bits_per_level =
+      static_cast<int>(value.get_number("bits_per_level", config.bits_per_level));
+  return config;
+}

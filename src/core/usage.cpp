@@ -1,5 +1,6 @@
 #include "core/usage.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "core/policy.hpp"
@@ -22,7 +23,11 @@ bool in_subtree(const std::string& path, const std::string& prefix) {
 }  // namespace
 
 void UsageTree::add(const std::string& path, double amount) {
-  if (amount < 0.0) throw std::invalid_argument("UsageTree::add: negative amount");
+  // NaN/inf would poison subtree sums (and NaN even slips past the
+  // negative check), so reject both alongside negatives.
+  if (!std::isfinite(amount) || amount < 0.0) {
+    throw std::invalid_argument("UsageTree::add: amount must be finite and >= 0");
+  }
   if (amount == 0.0) return;
   leaves_[canonical(path)] += amount;
 }

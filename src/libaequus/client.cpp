@@ -108,6 +108,10 @@ void AequusClient::start_refresh(int attempt) {
           for (const auto& [user, value] : users->get().as_object()) {
             fairshare_table_[user] = value.as_number();
           }
+          snapshot_ = core::FairshareSnapshot::with_factors(
+              std::make_shared<core::FairshareSnapshot>(nullptr, ++snapshot_generation_,
+                                                        core::kDefaultResolution, 0),
+              {}, fairshare_table_);
           ++stats_.fairshare_refreshes;
           obs::bump(metrics_.fairshare_refreshes);
           last_refresh_time_ = simulator_.now();
@@ -155,8 +159,9 @@ void AequusClient::refresh_attempt_failed(int attempt) {
 double AequusClient::fairshare_factor(const std::string& grid_user) {
   ++stats_.fairshare_lookups;
   obs::bump(metrics_.fairshare_lookups);
-  const auto it = fairshare_table_.find(grid_user);
-  return it != fairshare_table_.end() ? it->second : 0.5;
+  // Served from the published snapshot: same values a snapshot() reader
+  // sees, 0.5 (balance) before the first refresh or for unknown users.
+  return snapshot_ != nullptr ? snapshot_->factor_for(grid_user) : 0.5;
 }
 
 std::optional<std::string> AequusClient::resolve_identity(const std::string& system_user) {

@@ -30,6 +30,7 @@
 #include <optional>
 #include <string>
 
+#include "core/snapshot.hpp"
 #include "net/service_bus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -75,6 +76,13 @@ class AequusClient {
   /// lands or for users Aequus does not know. Never blocks: under faults
   /// this degrades to the last successfully fetched (stale) table.
   [[nodiscard]] double fairshare_factor(const std::string& grid_user);
+
+  /// Immutable snapshot of the cached fairshare factors. The generation
+  /// is a local counter bumped per successful refresh, so a scheduler can
+  /// grab one snapshot per pass (and detect "nothing changed" cheaply)
+  /// instead of probing the client per job. Null until the first refresh
+  /// lands; readers hold the returned pointer, which never mutates.
+  [[nodiscard]] core::FairshareSnapshotPtr snapshot() const noexcept { return snapshot_; }
 
   /// Reverse-map a system user to its grid identity via the site IRS,
   /// caching results for `identity_cache_ttl` seconds. An unreachable IRS
@@ -144,6 +152,10 @@ class AequusClient {
   obs::Observability obs_;
   Metrics metrics_;
   std::map<std::string, double> fairshare_table_;
+  /// Latest published view of fairshare_table_; rebuilt after every
+  /// successful refresh, immutable once handed out.
+  core::FairshareSnapshotPtr snapshot_;
+  std::uint64_t snapshot_generation_ = 0;
   struct CachedIdentity {
     std::string grid_user;
     double expires;

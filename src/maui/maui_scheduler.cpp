@@ -34,15 +34,17 @@ double MauiScheduler::credential_component(const rms::Job& job) const {
   return it == credentials_.end() ? 0.0 : it->second;
 }
 
-double MauiScheduler::fairshare_component(const rms::Job& job, double now) const {
-  if (fairshare_hook_) return std::clamp(fairshare_hook_(job, now), 0.0, 1.0);
-  return local_fairshare_.factor(job.system_user, now);
+double MauiScheduler::fairshare_component(const rms::PriorityContext& context) const {
+  if (fairshare_hook_) return std::clamp(fairshare_hook_(context), 0.0, 1.0);
+  return local_fairshare_.factor(context.job.system_user, context.now);
 }
 
-double MauiScheduler::compute_priority(const rms::Job& job, double now) {
+double MauiScheduler::compute_priority(const rms::PriorityContext& context) {
+  const rms::Job& job = context.job;
+  const double now = context.now;
   double priority = 0.0;
   priority += weights_.service * queue_time_component(job, now);
-  priority += weights_.fairshare * fairshare_component(job, now);
+  priority += weights_.fairshare * fairshare_component(context);
   priority += weights_.resources * resource_component(job);
   priority += weights_.credential * credential_component(job);
   return priority;

@@ -36,8 +36,10 @@ struct MauiWeights {
 
 class MauiScheduler final : public rms::SchedulerBase {
  public:
-  /// The patch points. Both receive the job and the current time.
-  using FairshareHook = std::function<double(const rms::Job&, double now)>;
+  /// The patch points. The fairshare hook receives the scheduler's
+  /// PriorityContext (job, time, per-pass fairshare snapshot); the
+  /// completion hook receives the job and the current time.
+  using FairshareHook = std::function<double(const rms::PriorityContext& context)>;
   using CompletionHook = std::function<void(const rms::Job&, double now)>;
 
   MauiScheduler(sim::Simulator& simulator, rms::Cluster cluster, MauiWeights weights = {},
@@ -62,10 +64,10 @@ class MauiScheduler final : public rms::SchedulerBase {
   [[nodiscard]] double queue_time_component(const rms::Job& job, double now) const;
   [[nodiscard]] double resource_component(const rms::Job& job) const;
   [[nodiscard]] double credential_component(const rms::Job& job) const;
-  [[nodiscard]] double fairshare_component(const rms::Job& job, double now) const;
+  [[nodiscard]] double fairshare_component(const rms::PriorityContext& context) const;
 
  protected:
-  double compute_priority(const rms::Job& job, double now) override;
+  double compute_priority(const rms::PriorityContext& context) override;
   void on_job_completed(const rms::Job& job) override;
 
  private:

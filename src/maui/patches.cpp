@@ -3,12 +3,17 @@
 namespace aequus::maui {
 
 void apply_aequus_patches(MauiScheduler& scheduler, client::AequusClient& client) {
-  scheduler.patch_fairshare([&client](const rms::Job& job, double now) -> double {
-    (void)now;
-    if (!job.grid_user.empty()) return client.fairshare_factor(job.grid_user);
-    const auto grid_user = client.resolve_identity(job.system_user);
-    if (!grid_user) return 0.5;
-    return client.fairshare_factor(*grid_user);
+  scheduler.patch_fairshare([&client](const rms::PriorityContext& context) -> double {
+    std::string grid_user = context.job.grid_user;
+    if (grid_user.empty()) {
+      const auto resolved = client.resolve_identity(context.job.system_user);
+      if (!resolved) return 0.5;
+      grid_user = *resolved;
+    }
+    // Same preference order as the SLURM source: per-pass snapshot first,
+    // client cache fallback — identical values either way.
+    if (context.fairshare != nullptr) return context.fairshare->factor_for(grid_user);
+    return client.fairshare_factor(grid_user);
   });
   scheduler.patch_completion([&client](const rms::Job& job, double now) {
     // Patch hop of the jobcomp chain (Maui's completion callback).

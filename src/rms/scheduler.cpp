@@ -7,7 +7,17 @@
 namespace aequus::rms {
 
 SchedulerBase::SchedulerBase(sim::Simulator& simulator, Cluster cluster, SchedulerConfig config)
-    : simulator_(simulator), cluster_(std::move(cluster)), config_(config) {}
+    : simulator_(simulator), cluster_(std::move(cluster)), config_(config) {
+  site_label_ = cluster_.name();
+}
+
+void SchedulerBase::set_fairshare_provider(FairshareProvider provider) {
+  fairshare_provider_ = std::move(provider);
+}
+
+core::FairshareSnapshotPtr SchedulerBase::current_fairshare() const {
+  return fairshare_provider_ ? fairshare_provider_() : nullptr;
+}
 
 void SchedulerBase::ensure_reprioritize_scheduled() {
   // Periodic priority sweeps run only while jobs wait, so an idle
@@ -27,7 +37,8 @@ JobId SchedulerBase::submit(Job job) {
   else next_id_ = std::max(next_id_, job.id + 1);
   job.state = JobState::kPending;
   job.submit_time = simulator_.now();
-  job.priority = compute_priority(job, simulator_.now());
+  job.priority =
+      compute_priority(PriorityContext{job, simulator_.now(), current_fairshare(), site_label_});
   const JobId id = job.id;
   pending_.push_back(std::move(job));
   ++stats_.submitted;
@@ -44,6 +55,7 @@ void SchedulerBase::add_completion_listener(CompletionListener listener) {
 void SchedulerBase::attach_observability(obs::Observability obs, const std::string& site) {
   obs_ = obs;
   obs_site_ = site;
+  site_label_ = site;
   if (obs_.registry != nullptr) {
     const std::string prefix = "rm." + site + ".";
     submitted_counter_ = &obs_.registry->counter(prefix + "submitted");
@@ -64,7 +76,12 @@ void SchedulerBase::reschedule() {
     span = obs_.tracer->begin_span(now, obs_site_, "rm", "reprioritize:" + cluster_.name());
   }
   obs::SpanScope scope(obs_.tracer, span);
-  for (auto& job : pending_) job.priority = compute_priority(job, now);
+  // One snapshot for the whole sweep: every pending job is priced against
+  // the same fairshare generation.
+  const core::FairshareSnapshotPtr fairshare = current_fairshare();
+  for (auto& job : pending_) {
+    job.priority = compute_priority(PriorityContext{job, now, fairshare, site_label_});
+  }
   schedule_pass();
   if (span.valid() && obs_.tracer != nullptr) {
     obs_.tracer->end_span(simulator_.now(), span, obs_site_, "rm", {},

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/snapshot.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rms/cluster.hpp"
@@ -30,6 +31,20 @@
 #include "sim/simulator.hpp"
 
 namespace aequus::rms {
+
+/// Everything a priority policy may consult for one job. Passed instead
+/// of a bare (job, now) pair so new inputs extend the struct rather than
+/// every compute_priority signature in the plugin chain. The fairshare
+/// snapshot is grabbed once per scheduling pass (not per job), so a whole
+/// reprioritization sweep prices against one consistent generation.
+struct PriorityContext {
+  const Job& job;
+  double now = 0.0;
+  /// Immutable fairshare state for this pass; null when no provider is
+  /// wired or no data has arrived yet (policies fall back to 0.5).
+  core::FairshareSnapshotPtr fairshare{};
+  std::string site{};  ///< site label of the owning scheduler
+};
 
 struct SchedulerConfig {
   double reprioritize_interval = 30.0;  ///< seconds between priority sweeps
@@ -47,6 +62,7 @@ struct SchedulerStats {
 class SchedulerBase {
  public:
   using CompletionListener = std::function<void(const Job&)>;
+  using FairshareProvider = std::function<core::FairshareSnapshotPtr()>;
 
   SchedulerBase(sim::Simulator& simulator, Cluster cluster, SchedulerConfig config = {});
   virtual ~SchedulerBase() = default;
@@ -58,6 +74,10 @@ class SchedulerBase {
 
   /// Register a completion callback (e.g. the Aequus jobcomp plugin).
   void add_completion_listener(CompletionListener listener);
+
+  /// Source of fairshare snapshots for PriorityContext (e.g. the Aequus
+  /// client's snapshot()). Called once per scheduling pass.
+  void set_fairshare_provider(FairshareProvider provider);
 
   /// Route scheduler counters ("rm.<site>.*"), the queue-wait histogram,
   /// and per-decision trace events into an experiment registry/tracer.
@@ -80,8 +100,8 @@ class SchedulerBase {
   void reschedule();
 
  protected:
-  /// Priority of a pending job at time `now`; higher runs first.
-  [[nodiscard]] virtual double compute_priority(const Job& job, double now) = 0;
+  /// Priority of a pending job given its context; higher runs first.
+  [[nodiscard]] virtual double compute_priority(const PriorityContext& context) = 0;
 
   /// Hook invoked when a job finishes (before external listeners).
   virtual void on_job_completed(const Job& job) { (void)job; }
@@ -91,12 +111,15 @@ class SchedulerBase {
   void start_job(Job job);
   void finish_job(Job job);
   void ensure_reprioritize_scheduled();
+  [[nodiscard]] core::FairshareSnapshotPtr current_fairshare() const;
 
   sim::Simulator& simulator_;
   Cluster cluster_;
   SchedulerConfig config_;
   obs::Observability obs_;
   std::string obs_site_;
+  std::string site_label_;  ///< cluster name until attach_observability names the site
+  FairshareProvider fairshare_provider_;
   obs::Counter* submitted_counter_ = nullptr;
   obs::Counter* started_counter_ = nullptr;
   obs::Counter* completed_counter_ = nullptr;

@@ -1,9 +1,10 @@
 #include "services/config.hpp"
 
-namespace aequus::services {
-
-InstallationConfig installation_config_from_json(const json::Value& value) {
-  InstallationConfig config;
+aequus::services::InstallationConfig
+aequus::json::Decoder<aequus::services::InstallationConfig>::decode(const Value& value) {
+  namespace core = aequus::core;
+  namespace json = aequus::json;
+  aequus::services::InstallationConfig config;
   if (const auto uss = value.find("uss")) {
     config.uss.bin_width = uss->get().get_number("bin_width", config.uss.bin_width);
     config.uss.retention = uss->get().get_number("retention", config.uss.retention);
@@ -20,14 +21,16 @@ InstallationConfig installation_config_from_json(const json::Value& value) {
     config.fcs.update_interval =
         fcs->get().get_number("update_interval", config.fcs.update_interval);
     if (const auto algorithm = fcs->get().find("algorithm")) {
-      config.fcs.algorithm = core::fairshare_config_from_json(algorithm->get());
+      config.fcs.algorithm = json::decode<core::FairshareConfig>(algorithm->get());
     }
     if (const auto projection = fcs->get().find("projection")) {
-      config.fcs.projection = core::projection_config_from_json(projection->get());
+      config.fcs.projection = json::decode<core::ProjectionConfig>(projection->get());
     }
   }
   return config;
 }
+
+namespace aequus::services {
 
 json::Value to_json(const InstallationConfig& config) {
   json::Object uss;

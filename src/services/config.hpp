@@ -15,12 +15,28 @@
 // stay forward- and backward-compatible.
 #pragma once
 
+#include "json/decode.hpp"
 #include "json/json.hpp"
 #include "services/installation.hpp"
 
 namespace aequus::services {
 
-[[nodiscard]] InstallationConfig installation_config_from_json(const json::Value& value);
 [[nodiscard]] json::Value to_json(const InstallationConfig& config);
+
+}  // namespace aequus::services
+
+/// json::decode<services::InstallationConfig> support.
+template <>
+struct aequus::json::Decoder<aequus::services::InstallationConfig> {
+  [[nodiscard]] static aequus::services::InstallationConfig decode(const Value& value);
+};
+
+namespace aequus::services {
+
+/// Deprecated spelling of json::decode<InstallationConfig>().
+[[deprecated("use json::decode<services::InstallationConfig>()")]] [[nodiscard]] inline InstallationConfig
+installation_config_from_json(const json::Value& value) {
+  return json::decode<InstallationConfig>(value);
+}
 
 }  // namespace aequus::services

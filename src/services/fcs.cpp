@@ -11,9 +11,10 @@ Fcs::Fcs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, FcsC
       site_(std::move(site)),
       address_(site_ + ".fcs"),
       config_(config),
-      telemetry_(obs, simulator, site_, "fcs", {"fairshare", "table", "tree", "configure"}),
+      telemetry_(obs, simulator, site_, "fcs",
+                 {"fairshare", "table", "tree", "snapshot", "configure"}),
       recalculations_(telemetry_.counter("recalculations")),
-      algorithm_(config.algorithm) {
+      engine_(config.algorithm) {
   bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
   update_task_ = simulator_.schedule_periodic(config_.update_interval, config_.update_interval,
                                               [this] { update_now(); });
@@ -71,12 +72,21 @@ void Fcs::update_now() {
 
 void Fcs::recalculate() {
   if (!have_policy_) return;
-  tree_ = algorithm_.compute(policy_, usage_);
-  table_ = core::project(tree_, config_.projection);
-  user_table_.clear();
-  for (const auto& [path, value] : table_) {
-    const auto segments = core::split_path(path);
-    if (!segments.empty()) user_table_[segments.back()] = value;
+  // The engine diffs the fetched trees against its working state and
+  // recomputes only dirty paths; an update that changed nothing keeps the
+  // generation, and then the projection/table rebuild is skipped too.
+  engine_.set_policy(policy_);
+  engine_.set_usage(usage_);
+  const core::FairshareSnapshotPtr base = engine_.snapshot();
+  if (snapshot_ == nullptr || base->generation() != snapshot_->generation() || reproject_) {
+    table_ = core::project(*base, config_.projection);
+    user_table_.clear();
+    for (const auto& [path, value] : table_) {
+      const auto segments = core::split_path(path);
+      if (!segments.empty()) user_table_[segments.back()] = value;
+    }
+    snapshot_ = core::FairshareSnapshot::with_factors(base, table_, user_table_);
+    reproject_ = false;
   }
   ++calculations_;
   bump(recalculations_);
@@ -86,12 +96,13 @@ void Fcs::recalculate() {
 
 void Fcs::set_projection(core::ProjectionConfig projection) {
   config_.projection = projection;
+  reproject_ = true;
   recalculate();
 }
 
 void Fcs::set_algorithm(core::FairshareConfig algorithm) {
   config_.algorithm = algorithm;
-  algorithm_ = core::FairshareAlgorithm(algorithm);
+  engine_.set_config(algorithm);  // validates; forces a republish
   recalculate();
 }
 
@@ -107,35 +118,59 @@ json::Value Fcs::handle(const json::Value& request) {
     const std::string user = request.get_string("user");
     json::Object reply;
     reply["value"] = factor_for(user);
-    // Attach the vector when the user exists in the tree.
-    for (const auto& path : tree_.user_paths()) {
-      const auto segments = core::split_path(path);
-      if (!segments.empty() && segments.back() == user) {
-        if (const auto vector = tree_.vector_for(path)) {
-          reply["vector"] = vector->to_string();
+    if (snapshot_ != nullptr) {
+      // Attach the vector when the user exists in the tree.
+      for (const auto& path : snapshot_->user_paths()) {
+        const auto segments = core::split_path(path);
+        if (!segments.empty() && segments.back() == user) {
+          if (const auto vector = snapshot_->vector_for(path)) {
+            reply["vector"] = vector->to_string();
+          }
+          break;
         }
-        break;
       }
     }
     return json::Value(std::move(reply));
   }
   if (op == "table") {
+    // Opt-in generation short-circuit; the plain reply stays exactly
+    // {"users":{...}} so existing clients see byte-identical traffic.
+    if (const auto if_generation = request.find("if_generation")) {
+      const auto generation = static_cast<std::uint64_t>(if_generation->get().as_number());
+      json::Object reply;
+      reply["generation"] = static_cast<double>(engine_.generation());
+      if (snapshot_ != nullptr && generation == snapshot_->generation()) {
+        reply["unchanged"] = true;
+        return json::Value(std::move(reply));
+      }
+      json::Object users;
+      for (const auto& [user, value] : user_table_) users[user] = value;
+      reply["users"] = std::move(users);
+      return json::Value(std::move(reply));
+    }
     json::Object users;
     for (const auto& [user, value] : user_table_) users[user] = value;
     json::Object reply;
     reply["users"] = std::move(users);
     return json::Value(std::move(reply));
   }
+  if (op == "snapshot") {
+    if (snapshot_ == nullptr) return core::FairshareSnapshot{}.to_json(false);
+    return snapshot_->to_json(request.get_bool("tree", false));
+  }
   if (op == "tree") {
-    return tree_.to_json();
+    // Byte-compatible with the pre-engine reply, including the
+    // default-constructed tree served before the first calculation.
+    if (snapshot_ == nullptr) return core::FairshareTree{}.to_json();
+    return snapshot_->tree_to_json();
   }
   if (op == "configure") {
     try {
       if (const auto projection = request.find("projection")) {
-        set_projection(core::projection_config_from_json(projection->get()));
+        set_projection(json::decode<core::ProjectionConfig>(projection->get()));
       }
       if (const auto algorithm = request.find("algorithm")) {
-        set_algorithm(core::fairshare_config_from_json(algorithm->get()));
+        set_algorithm(json::decode<core::FairshareConfig>(algorithm->get()));
       }
       return json::Value(json::Object{{"ok", json::Value(true)}});
     } catch (const std::exception& e) {

@@ -17,16 +17,29 @@
 // Bus protocol (address "<site>.fcs"):
 //   {"op":"fairshare", "user":<grid id>} -> {"value":f, "vector":"...."}
 //   {"op":"table"} -> {"users": {"<user>": value, ...}}
+//   {"op":"table", "if_generation":g} -> {"generation":g, "unchanged":true}
+//       when nothing changed since generation g, else
+//       {"generation":g', "users":{...}} (opt-in extension; the plain
+//       "table" reply stays byte-identical for existing clients)
+//   {"op":"snapshot", "tree":bool} -> generation-stamped snapshot JSON
 //   {"op":"tree"}  -> full fairshare tree JSON
 //   {"op":"configure", "projection":{...}, "algorithm":{...}} -> {"ok":true}
+//
+// Since the incremental-engine rework the FCS no longer recomputes the
+// whole tree per update: it feeds the fetched policy/usage trees into a
+// core::FairshareEngine, which recomputes only dirty paths and publishes
+// an immutable generation-stamped FairshareSnapshot. Projection and table
+// rebuilds are skipped entirely when the generation did not move.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
 
+#include "core/engine.hpp"
 #include "core/fairshare.hpp"
 #include "core/projection.hpp"
+#include "core/snapshot.hpp"
 #include "net/service_bus.hpp"
 #include "services/telemetry.hpp"
 #include "sim/simulator.hpp"
@@ -47,8 +60,13 @@ class Fcs {
   Fcs(const Fcs&) = delete;
   Fcs& operator=(const Fcs&) = delete;
 
-  /// Latest pre-calculated fairshare tree.
-  [[nodiscard]] const core::FairshareTree& tree() const noexcept { return tree_; }
+  /// Latest published snapshot (annotated tree + projected factors);
+  /// null until the first calculation completes. Immutable: safe to hand
+  /// to plugins and sweep workers.
+  [[nodiscard]] core::FairshareSnapshotPtr snapshot() const noexcept { return snapshot_; }
+
+  /// Generation of the latest snapshot (0 before the first calculation).
+  [[nodiscard]] std::uint64_t generation() const noexcept { return engine_.generation(); }
 
   /// Latest projected per-user factors (policy leaf path -> [0, 1]).
   [[nodiscard]] const std::map<std::string, double>& table() const noexcept { return table_; }
@@ -85,11 +103,12 @@ class Fcs {
   FcsConfig config_;
   ServiceTelemetry telemetry_;
   obs::Counter* recalculations_ = nullptr;
-  core::FairshareAlgorithm algorithm_;
+  core::FairshareEngine engine_;
   core::PolicyTree policy_;
   core::UsageTree usage_;
   bool have_policy_ = false;
-  core::FairshareTree tree_;
+  bool reproject_ = false;  ///< projection changed: factors stale even at same generation
+  core::FairshareSnapshotPtr snapshot_;        ///< latest tree + factors
   std::map<std::string, double> table_;        ///< leaf path -> factor
   std::map<std::string, double> user_table_;   ///< leaf name -> factor
   std::uint64_t calculations_ = 0;

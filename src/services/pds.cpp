@@ -21,6 +21,7 @@ Pds::~Pds() {
 
 void Pds::set_policy(core::PolicyTree policy) {
   policy_ = std::move(policy);
+  ++version_;
 }
 
 void Pds::mount_remote(const std::string& path, const std::string& remote_pds_address,
@@ -45,6 +46,7 @@ void Pds::refresh_mount(const Mount& mount) {
                    const core::PolicyTree remote = core::PolicyTree::from_json(reply);
                    policy_.mount(mount.path, remote, mount.share);
                    ++mounts_applied_;
+                   ++version_;
                    telemetry_.end_span(span, "complete");
                  } catch (const std::exception& e) {
                    AEQ_WARN("pds") << site_ << ": bad remote policy from "
@@ -58,6 +60,19 @@ json::Value Pds::handle(const json::Value& request) {
   const std::string op = request.get_string("op");
   telemetry_.hit(op);
   if (op == "policy") {
+    // Opt-in version short-circuit; the plain reply stays byte-identical.
+    if (const auto if_version = request.find("if_version")) {
+      const auto version = static_cast<std::uint64_t>(if_version->get().as_number());
+      json::Object reply;
+      reply["version"] = static_cast<double>(version_);
+      if (version == version_) {
+        reply["unchanged"] = true;
+        return json::Value(std::move(reply));
+      }
+      json::Value tree = policy_.to_json();
+      for (auto& [key, value] : tree.as_object()) reply[key] = value;
+      return json::Value(std::move(reply));
+    }
     return policy_.to_json();
   }
   return json::Value(json::Object{{"error", json::Value("unknown op: " + op)}});

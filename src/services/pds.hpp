@@ -11,8 +11,13 @@
 //
 // Bus protocol (address "<site>.pds"):
 //   {"op":"policy"} -> policy tree JSON
+//   {"op":"policy", "if_version":v} -> {"version":v, "unchanged":true}
+//       when the policy has not changed since version v, else the policy
+//       tree JSON with a "version" field added (opt-in extension; the
+//       plain "policy" reply stays byte-identical)
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,6 +52,10 @@ class Pds {
   /// Number of successful remote mounts applied so far.
   [[nodiscard]] int mounts_applied() const noexcept { return mounts_applied_; }
 
+  /// Monotonic policy version; bumped by set_policy() and every applied
+  /// remote mount. Lets pollers (and the FCS) skip unchanged fetches.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
  private:
   struct Mount {
     std::string path;
@@ -66,6 +75,7 @@ class Pds {
   std::vector<Mount> mounts_;
   std::vector<sim::EventHandle> refresh_tasks_;
   int mounts_applied_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace aequus::services

@@ -3,14 +3,21 @@
 namespace aequus::slurm {
 
 FairshareSource aequus_fairshare_source(client::AequusClient& client) {
-  return [&client](const rms::Job& job, double now) -> double {
-    (void)now;  // the client's cached table already embodies staleness
+  return [&client](const rms::PriorityContext& context) -> double {
     // Prefer an already-known grid identity; otherwise resolve the system
     // account through the IRS.
-    if (!job.grid_user.empty()) return client.fairshare_factor(job.grid_user);
-    const auto grid_user = client.resolve_identity(job.system_user);
-    if (!grid_user) return 0.5;  // balance point for unresolvable accounts
-    return client.fairshare_factor(*grid_user);
+    std::string grid_user = context.job.grid_user;
+    if (grid_user.empty()) {
+      const auto resolved = client.resolve_identity(context.job.system_user);
+      if (!resolved) return 0.5;  // balance point for unresolvable accounts
+      grid_user = *resolved;
+    }
+    // Read the pass's snapshot when the scheduler supplied one — the same
+    // values as the client cache (the client publishes it), but one
+    // consistent generation for the whole sweep and no per-job client
+    // bookkeeping. Fall back to the client cache otherwise.
+    if (context.fairshare != nullptr) return context.fairshare->factor_for(grid_user);
+    return client.fairshare_factor(grid_user);
   };
 }
 
@@ -49,8 +56,8 @@ class AequusPriorityPlugin final : public PriorityPlugin {
       : inner_(weights, aequus_fairshare_source(client)) {}
 
   [[nodiscard]] std::string name() const override { return "priority/aequus"; }
-  [[nodiscard]] double priority(const rms::Job& job, double now) override {
-    return inner_.priority(job, now);
+  [[nodiscard]] double priority(const rms::PriorityContext& context) override {
+    return inner_.priority(context);
   }
 
  private:

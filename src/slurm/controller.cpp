@@ -18,8 +18,8 @@ void SlurmController::add_jobcomp_plugin(std::unique_ptr<JobCompPlugin> plugin) 
   jobcomp_.push_back(std::move(plugin));
 }
 
-double SlurmController::compute_priority(const rms::Job& job, double now) {
-  return priority_->priority(job, now);
+double SlurmController::compute_priority(const rms::PriorityContext& context) {
+  return priority_->priority(context);
 }
 
 void SlurmController::on_job_completed(const rms::Job& job) {

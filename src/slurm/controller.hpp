@@ -23,7 +23,7 @@ class SlurmController final : public rms::SchedulerBase {
   [[nodiscard]] const PriorityPlugin& priority_plugin() const noexcept { return *priority_; }
 
  protected:
-  double compute_priority(const rms::Job& job, double now) override;
+  double compute_priority(const rms::PriorityContext& context) override;
   void on_job_completed(const rms::Job& job) override;
 
  private:

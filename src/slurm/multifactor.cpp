@@ -23,14 +23,16 @@ double MultifactorPriorityPlugin::job_size_factor(const rms::Job& job) const {
   return std::clamp(static_cast<double>(job.cores) / weights_.max_cores, 0.0, 1.0);
 }
 
-double MultifactorPriorityPlugin::fairshare_factor(const rms::Job& job, double now) const {
-  return std::clamp(fairshare_(job, now), 0.0, 1.0);
+double MultifactorPriorityPlugin::fairshare_factor(const rms::PriorityContext& context) const {
+  return std::clamp(fairshare_(context), 0.0, 1.0);
 }
 
-double MultifactorPriorityPlugin::priority(const rms::Job& job, double now) {
+double MultifactorPriorityPlugin::priority(const rms::PriorityContext& context) {
+  const rms::Job& job = context.job;
+  const double now = context.now;
   double priority = 0.0;
   priority += weights_.age * age_factor(job, now);
-  priority += weights_.fairshare * fairshare_factor(job, now);
+  priority += weights_.fairshare * fairshare_factor(context);
   priority += weights_.job_size * job_size_factor(job);
   // Partition and QoS factors are constant in the single-partition,
   // single-QoS testbed; their weights still participate so ablations can

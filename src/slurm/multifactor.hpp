@@ -19,8 +19,10 @@
 
 namespace aequus::slurm {
 
-/// Produces the [0, 1] fairshare factor for a job.
-using FairshareSource = std::function<double(const rms::Job& job, double now)>;
+/// Produces the [0, 1] fairshare factor for a job; sources that integrate
+/// Aequus read context.fairshare (the per-pass snapshot) and fall back to
+/// the client cache when it is null.
+using FairshareSource = std::function<double(const rms::PriorityContext& context)>;
 
 struct MultifactorWeights {
   double age = 0.0;
@@ -39,14 +41,14 @@ class MultifactorPriorityPlugin final : public PriorityPlugin {
   MultifactorPriorityPlugin(MultifactorWeights weights, FairshareSource fairshare);
 
   [[nodiscard]] std::string name() const override { return "priority/multifactor"; }
-  [[nodiscard]] double priority(const rms::Job& job, double now) override;
+  [[nodiscard]] double priority(const rms::PriorityContext& context) override;
 
   /// Individual factors, exposed for tests and for the smoothing study
   /// ("other factors have a smoothing effect ... on the fluctuating
   /// behavior natural to fairshare").
   [[nodiscard]] double age_factor(const rms::Job& job, double now) const;
   [[nodiscard]] double job_size_factor(const rms::Job& job) const;
-  [[nodiscard]] double fairshare_factor(const rms::Job& job, double now) const;
+  [[nodiscard]] double fairshare_factor(const rms::PriorityContext& context) const;
 
   [[nodiscard]] const MultifactorWeights& weights() const noexcept { return weights_; }
 

@@ -15,15 +15,18 @@
 #include <vector>
 
 #include "rms/job.hpp"
+#include "rms/scheduler.hpp"
 
 namespace aequus::slurm {
 
 /// Computes the scheduling priority of a pending job (PriorityType=...).
+/// Receives the scheduler's PriorityContext, which carries the job, the
+/// decision time, and the per-pass fairshare snapshot.
 class PriorityPlugin {
  public:
   virtual ~PriorityPlugin() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  [[nodiscard]] virtual double priority(const rms::Job& job, double now) = 0;
+  [[nodiscard]] virtual double priority(const rms::PriorityContext& context) = 0;
 };
 
 /// Notified when a job completes (JobCompType=...).

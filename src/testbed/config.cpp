@@ -4,9 +4,9 @@
 
 #include "core/projection.hpp"
 
-namespace aequus::testbed {
-
-workload::Scenario scenario_from_json(const json::Value& spec) {
+aequus::workload::Scenario aequus::json::Decoder<aequus::workload::Scenario>::decode(
+    const Value& spec) {
+  namespace workload = aequus::workload;
   const std::string name = spec.get_string("scenario", "baseline");
   const auto jobs = static_cast<std::size_t>(spec.get_number("jobs", 43200));
   const auto seed = static_cast<std::uint64_t>(spec.get_number("seed", 2012));
@@ -16,7 +16,11 @@ workload::Scenario scenario_from_json(const json::Value& spec) {
   throw std::invalid_argument("unknown scenario: " + name);
 }
 
-ExperimentConfig experiment_config_from_json(const json::Value& spec) {
+aequus::testbed::ExperimentConfig aequus::json::Decoder<aequus::testbed::ExperimentConfig>::decode(
+    const Value& spec) {
+  namespace core = aequus::core;
+  namespace json = aequus::json;
+  using namespace aequus::testbed;
   ExperimentConfig config;
 
   const std::string dispatch = spec.get_string("dispatch", "stochastic");
@@ -43,10 +47,10 @@ ExperimentConfig experiment_config_from_json(const json::Value& spec) {
       config.fairshare.decay = core::Decay::from_json(decay->get()).config();
     }
     if (const auto algorithm = f.find("algorithm")) {
-      config.fairshare.algorithm = core::fairshare_config_from_json(algorithm->get());
+      config.fairshare.algorithm = json::decode<core::FairshareConfig>(algorithm->get());
     }
     if (const auto projection = f.find("projection")) {
-      config.fairshare.projection = core::projection_config_from_json(projection->get());
+      config.fairshare.projection = json::decode<core::ProjectionConfig>(projection->get());
     }
   }
   config.bus_remote_latency = spec.get_number("bus_remote_latency", config.bus_remote_latency);
@@ -72,5 +76,3 @@ ExperimentConfig experiment_config_from_json(const json::Value& spec) {
   }
   return config;
 }
-
-}  // namespace aequus::testbed

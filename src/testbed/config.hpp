@@ -17,17 +17,38 @@
 //   }
 #pragma once
 
+#include "json/decode.hpp"
 #include "json/json.hpp"
 #include "testbed/experiment.hpp"
 #include "workload/scenarios.hpp"
 
+/// json::decode<workload::Scenario> support: builds the scenario named by
+/// the spec ("baseline", "nonoptimal-policy", or "bursty"), honoring
+/// "jobs" and "seed". Throws on unknown names.
+template <>
+struct aequus::json::Decoder<aequus::workload::Scenario> {
+  [[nodiscard]] static aequus::workload::Scenario decode(const Value& spec);
+};
+
+/// json::decode<testbed::ExperimentConfig> support: builds the experiment
+/// configuration from the spec (all keys optional).
+template <>
+struct aequus::json::Decoder<aequus::testbed::ExperimentConfig> {
+  [[nodiscard]] static aequus::testbed::ExperimentConfig decode(const Value& spec);
+};
+
 namespace aequus::testbed {
 
-/// Build the scenario named by the spec ("baseline", "nonoptimal-policy",
-/// or "bursty"), honoring "jobs" and "seed". Throws on unknown names.
-[[nodiscard]] workload::Scenario scenario_from_json(const json::Value& spec);
+/// Deprecated spelling of json::decode<workload::Scenario>().
+[[deprecated("use json::decode<workload::Scenario>()")]] [[nodiscard]] inline workload::Scenario
+scenario_from_json(const json::Value& spec) {
+  return json::decode<workload::Scenario>(spec);
+}
 
-/// Build the experiment configuration from the spec (all keys optional).
-[[nodiscard]] ExperimentConfig experiment_config_from_json(const json::Value& spec);
+/// Deprecated spelling of json::decode<ExperimentConfig>().
+[[deprecated("use json::decode<testbed::ExperimentConfig>()")]] [[nodiscard]] inline ExperimentConfig
+experiment_config_from_json(const json::Value& spec) {
+  return json::decode<ExperimentConfig>(spec);
+}
 
 }  // namespace aequus::testbed

@@ -74,6 +74,10 @@ ClusterSite::ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const 
     rm_ = std::move(scheduler);
   }
   rm_->attach_observability(obs, spec.name);
+  // Each scheduling pass prices all jobs against one immutable snapshot
+  // of the client's fairshare cache (same values as per-job lookups — the
+  // client publishes the snapshot it serves lookups from).
+  rm_->set_fairshare_provider([client = client_.get()] { return client->snapshot(); });
 }
 
 void ClusterSite::set_policy(core::PolicyTree policy) {

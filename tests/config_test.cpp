@@ -9,13 +9,13 @@ namespace {
 TEST(CoreConfigJson, FairshareConfigRoundTrip) {
   core::FairshareConfig original{0.7, 5000};
   const core::FairshareConfig restored =
-      core::fairshare_config_from_json(core::to_json(original));
+      json::decode<core::FairshareConfig>(core::to_json(original));
   EXPECT_DOUBLE_EQ(restored.distance_weight_k, 0.7);
   EXPECT_EQ(restored.resolution, 5000);
 }
 
 TEST(CoreConfigJson, FairshareConfigDefaults) {
-  const core::FairshareConfig config = core::fairshare_config_from_json(json::parse("{}"));
+  const auto config = json::decode<core::FairshareConfig>(json::parse("{}"));
   EXPECT_DOUBLE_EQ(config.distance_weight_k, 0.5);
   EXPECT_EQ(config.resolution, core::kDefaultResolution);
 }
@@ -23,7 +23,7 @@ TEST(CoreConfigJson, FairshareConfigDefaults) {
 TEST(CoreConfigJson, ProjectionConfigRoundTrip) {
   core::ProjectionConfig original{core::ProjectionKind::kBitwiseVector, 12};
   const core::ProjectionConfig restored =
-      core::projection_config_from_json(core::to_json(original));
+      json::decode<core::ProjectionConfig>(core::to_json(original));
   EXPECT_EQ(restored.kind, core::ProjectionKind::kBitwiseVector);
   EXPECT_EQ(restored.bits_per_level, 12);
 }
@@ -47,8 +47,7 @@ TEST(InstallationConfigJson, ParsesAllSections) {
             "algorithm": {"k": 0.25},
             "projection": {"kind": "dictionary"}}
   })");
-  const services::InstallationConfig config =
-      services::installation_config_from_json(value);
+  const auto config = json::decode<services::InstallationConfig>(value);
   EXPECT_DOUBLE_EQ(config.uss.bin_width, 120.0);
   EXPECT_DOUBLE_EQ(config.uss.retention, 7200.0);
   EXPECT_DOUBLE_EQ(config.ums.update_interval, 45.0);
@@ -60,8 +59,7 @@ TEST(InstallationConfigJson, ParsesAllSections) {
 }
 
 TEST(InstallationConfigJson, EmptyDocumentKeepsDefaults) {
-  const services::InstallationConfig config =
-      services::installation_config_from_json(json::parse("{}"));
+  const auto config = json::decode<services::InstallationConfig>(json::parse("{}"));
   const services::InstallationConfig defaults;
   EXPECT_DOUBLE_EQ(config.uss.bin_width, defaults.uss.bin_width);
   EXPECT_DOUBLE_EQ(config.ums.update_interval, defaults.ums.update_interval);
@@ -73,8 +71,7 @@ TEST(InstallationConfigJson, RoundTripsThroughToJson) {
   original.uss.bin_width = 17.0;
   original.ums.read_remote = false;
   original.fcs.algorithm.distance_weight_k = 0.9;
-  const services::InstallationConfig restored =
-      services::installation_config_from_json(services::to_json(original));
+  const auto restored = json::decode<services::InstallationConfig>(services::to_json(original));
   EXPECT_DOUBLE_EQ(restored.uss.bin_width, 17.0);
   EXPECT_FALSE(restored.ums.read_remote);
   EXPECT_DOUBLE_EQ(restored.fcs.algorithm.distance_weight_k, 0.9);
@@ -82,16 +79,16 @@ TEST(InstallationConfigJson, RoundTripsThroughToJson) {
 
 TEST(ExperimentConfigJson, ScenarioSelection) {
   const auto baseline =
-      testbed::scenario_from_json(json::parse(R"({"scenario":"baseline","jobs":100})"));
+      json::decode<workload::Scenario>(json::parse(R"({"scenario":"baseline","jobs":100})"));
   EXPECT_EQ(baseline.name, "baseline");
   EXPECT_EQ(baseline.trace.size(), 100u);
   const auto bursty =
-      testbed::scenario_from_json(json::parse(R"({"scenario":"bursty","jobs":100})"));
+      json::decode<workload::Scenario>(json::parse(R"({"scenario":"bursty","jobs":100})"));
   EXPECT_EQ(bursty.name, "bursty");
-  const auto skewed = testbed::scenario_from_json(
+  const auto skewed = json::decode<workload::Scenario>(
       json::parse(R"({"scenario":"nonoptimal-policy","jobs":100})"));
   EXPECT_DOUBLE_EQ(skewed.policy_shares.at("U65"), 0.70);
-  EXPECT_THROW(testbed::scenario_from_json(json::parse(R"({"scenario":"x"})")),
+  EXPECT_THROW(json::decode<workload::Scenario>(json::parse(R"({"scenario":"x"})")),
                std::invalid_argument);
 }
 
@@ -109,7 +106,7 @@ TEST(ExperimentConfigJson, FullSpecParses) {
     "record_per_site": true,
     "sites": {"2": {"contributes": false, "rm": "maui", "hosts": 13}}
   })");
-  const testbed::ExperimentConfig config = testbed::experiment_config_from_json(spec);
+  const auto config = json::decode<testbed::ExperimentConfig>(spec);
   EXPECT_EQ(config.dispatch, testbed::DispatchPolicy::kRoundRobin);
   EXPECT_DOUBLE_EQ(config.timings.service_update_interval, 15.0);
   EXPECT_DOUBLE_EQ(config.timings.client_cache_ttl, 20.0);
@@ -131,11 +128,26 @@ TEST(ExperimentConfigJson, FullSpecParses) {
 
 TEST(ExperimentConfigJson, RejectsUnknownEnums) {
   EXPECT_THROW(
-      testbed::experiment_config_from_json(json::parse(R"({"dispatch":"magic"})")),
+      json::decode<testbed::ExperimentConfig>(json::parse(R"({"dispatch":"magic"})")),
       std::invalid_argument);
-  EXPECT_THROW(testbed::experiment_config_from_json(
+  EXPECT_THROW(json::decode<testbed::ExperimentConfig>(
                    json::parse(R"({"sites":{"0":{"rm":"pbs"}}})")),
                std::invalid_argument);
+}
+
+TEST(ConfigJsonCompat, DeprecatedForwardersStillDecode) {
+  // The legacy names must keep working (and agreeing with json::decode)
+  // until downstreams finish migrating.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const core::FairshareConfig via_legacy =
+      core::fairshare_config_from_json(json::parse(R"({"k":0.7})"));
+  const services::InstallationConfig installation =
+      services::installation_config_from_json(json::parse("{}"));
+#pragma GCC diagnostic pop
+  EXPECT_DOUBLE_EQ(via_legacy.distance_weight_k, 0.7);
+  EXPECT_DOUBLE_EQ(installation.uss.bin_width,
+                   services::InstallationConfig{}.uss.bin_width);
 }
 
 TEST(FcsRuntimeReconfiguration, ProjectionSwitchTakesEffectImmediately) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/fairshare.hpp"
 
 namespace aequus::core {
@@ -46,6 +49,30 @@ TEST(NodeDistance, ZeroPolicyShareWithUsageIsMaximalOverUse) {
   const FairshareAlgorithm algorithm;
   EXPECT_LT(algorithm.node_distance(0.0, 0.5), 0.0);
   EXPECT_DOUBLE_EQ(algorithm.node_distance(0.0, 0.0), 0.0);
+}
+
+TEST(NodeDistance, CorruptSharesClampInsteadOfPropagatingNaN) {
+  // Regression: a policy_share of 0 combined with usage used to divide
+  // 0/0 on the relative term; NaN then leaked into the tree and the json
+  // serializer rejected the FCS reply. Corrupt inputs now canonicalize to
+  // the [0, 1] domain before the distance formula runs.
+  const FairshareAlgorithm algorithm;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(std::isnan(algorithm.node_distance(0.0, 0.5)));
+  EXPECT_FALSE(std::isnan(algorithm.node_distance(nan, 0.5)));
+  EXPECT_FALSE(std::isnan(algorithm.node_distance(0.5, nan)));
+  EXPECT_FALSE(std::isnan(algorithm.node_distance(nan, nan)));
+  EXPECT_FALSE(std::isnan(algorithm.node_distance(inf, -inf)));
+  // NaN and negative shares behave exactly like zero...
+  EXPECT_DOUBLE_EQ(algorithm.node_distance(nan, 0.5),
+                   algorithm.node_distance(0.0, 0.5));
+  EXPECT_DOUBLE_EQ(algorithm.node_distance(-0.3, 0.5),
+                   algorithm.node_distance(0.0, 0.5));
+  // ...over-unity shares like one, and valid shares pass through bitwise.
+  EXPECT_DOUBLE_EQ(algorithm.node_distance(3.0, 0.5),
+                   algorithm.node_distance(1.0, 0.5));
+  EXPECT_DOUBLE_EQ(algorithm.node_distance(0.12, 0.0), 0.56);
 }
 
 TEST(FairshareAlgorithmConfig, Validation) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/policy.hpp"
 
 namespace aequus::core {
@@ -118,6 +120,16 @@ TEST(PolicyTreeModel, SetShareRejectsEmptyPath) {
   PolicyTree tree;
   EXPECT_THROW(tree.set_share("", 1.0), std::invalid_argument);
   EXPECT_THROW(tree.set_share("/", 1.0), std::invalid_argument);
+}
+
+TEST(PolicyTreeModel, SetShareRejectsNonFiniteShares) {
+  // Regression: a NaN share survived normalization and turned every
+  // sibling's policy_share into NaN downstream.
+  PolicyTree tree;
+  EXPECT_THROW(tree.set_share("/u", std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(tree.set_share("/u", std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
 }
 
 TEST(PolicyTreeModel, UpdateExistingShare) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/usage.hpp"
 
 namespace aequus::core {
@@ -71,6 +73,17 @@ TEST(UsageTreeModel, ScaleMultipliesEverything) {
 TEST(UsageTreeModel, RejectsNegativeAmounts) {
   UsageTree tree;
   EXPECT_THROW(tree.add("/u", -1.0), std::invalid_argument);
+}
+
+TEST(UsageTreeModel, RejectsNonFiniteAmounts) {
+  // Regression: NaN/inf usage used to poison every normalized share in
+  // the subtree; reject it at the recording boundary instead.
+  UsageTree tree;
+  EXPECT_THROW(tree.add("/u", std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(tree.add("/u", std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_TRUE(tree.empty());
 }
 
 TEST(UsageTreeModel, ZeroAmountIsNoop) {

@@ -1,0 +1,244 @@
+// Golden differential: the incremental FairshareEngine against a frozen
+// in-test copy of the original recursive batch annotate().
+//
+// The engine's contract is *bit-identity*: for any sequence of usage
+// deltas, decay-epoch advances (including rollovers that expire whole
+// leaves), policy swaps, and algorithm reconfigurations, the published
+// snapshot equals the historical whole-tree recompute double-for-double.
+// The reference below is a verbatim copy of the pre-engine annotate()
+// recursion, so a regression in either the engine or the compute_once()
+// wrapper breaks the three-way agreement
+//
+//   reference == FairshareAlgorithm::compute() == engine.snapshot()
+//
+// over seeded random delta streams. The same stream is validated with 1
+// and 8 concurrent sweep-reader threads hammering current() to pin the
+// snapshot immutability contract (readers must observe monotone
+// generations and internally consistent trees while the writer mutates).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/snapshot.hpp"
+
+namespace aequus::core {
+namespace {
+
+// --- Reference: frozen copy of the original batch annotate() ---------------
+
+void reference_annotate(const FairshareAlgorithm& algorithm, const PolicyTree::Node& policy_node,
+                        const UsageTree& usage, std::vector<std::string>& prefix,
+                        FairshareTree::Node& out) {
+  out.name = policy_node.name;
+  double share_total = 0.0;
+  for (const auto& child : policy_node.children) share_total += std::max(child.share, 0.0);
+  double usage_total = 0.0;
+  std::vector<double> child_usage(policy_node.children.size(), 0.0);
+  for (std::size_t i = 0; i < policy_node.children.size(); ++i) {
+    prefix.push_back(policy_node.children[i].name);
+    child_usage[i] = usage.usage(join_path(prefix));
+    prefix.pop_back();
+    usage_total += child_usage[i];
+  }
+  out.children.resize(policy_node.children.size());
+  for (std::size_t i = 0; i < policy_node.children.size(); ++i) {
+    const auto& policy_child = policy_node.children[i];
+    auto& child_out = out.children[i];
+    child_out.policy_share =
+        share_total > 0.0 ? std::max(policy_child.share, 0.0) / share_total : 0.0;
+    child_out.usage_share = usage_total > 0.0 ? child_usage[i] / usage_total : 0.0;
+    child_out.distance =
+        algorithm.node_distance(child_out.policy_share, child_out.usage_share);
+    prefix.push_back(policy_child.name);
+    reference_annotate(algorithm, policy_child, usage, prefix, child_out);
+    prefix.pop_back();
+  }
+}
+
+// --- Bitwise tree comparison ------------------------------------------------
+
+void expect_nodes_equal(const FairshareTree::Node& expected, const FairshareTree::Node& actual,
+                        const std::string& where, bool& ok) {
+  EXPECT_EQ(expected.name, actual.name) << where;
+  EXPECT_EQ(expected.policy_share, actual.policy_share) << where;
+  EXPECT_EQ(expected.usage_share, actual.usage_share) << where;
+  EXPECT_EQ(expected.distance, actual.distance) << where;
+  ok &= expected.name == actual.name && expected.policy_share == actual.policy_share &&
+        expected.usage_share == actual.usage_share && expected.distance == actual.distance;
+  ASSERT_EQ(expected.children.size(), actual.children.size()) << where;
+  for (std::size_t i = 0; i < expected.children.size(); ++i) {
+    expect_nodes_equal(expected.children[i], actual.children[i],
+                       where + "/" + expected.children[i].name, ok);
+  }
+}
+
+void expect_snapshot_equals(const FairshareSnapshot::Node& snapshot_node,
+                            const FairshareTree::Node& tree_node, const std::string& where,
+                            bool& ok) {
+  EXPECT_EQ(snapshot_node.name, tree_node.name) << where;
+  EXPECT_EQ(snapshot_node.policy_share, tree_node.policy_share) << where;
+  EXPECT_EQ(snapshot_node.usage_share, tree_node.usage_share) << where;
+  EXPECT_EQ(snapshot_node.distance, tree_node.distance) << where;
+  ok &= snapshot_node.name == tree_node.name &&
+        snapshot_node.policy_share == tree_node.policy_share &&
+        snapshot_node.usage_share == tree_node.usage_share &&
+        snapshot_node.distance == tree_node.distance;
+  ASSERT_EQ(snapshot_node.children.size(), tree_node.children.size()) << where;
+  for (std::size_t i = 0; i < tree_node.children.size(); ++i) {
+    expect_snapshot_equals(*snapshot_node.children[i], tree_node.children[i],
+                           where + "/" + tree_node.children[i].name, ok);
+  }
+}
+
+// --- The seeded delta-stream scenario ---------------------------------------
+
+struct Stream {
+  PolicyTree policy;
+  std::map<std::string, std::vector<std::pair<double, double>>> bins;
+  double epoch = 0.0;
+  DecayConfig decay{DecayKind::kExponentialHalfLife, 500.0, 1000.0};
+  FairshareConfig config{};
+
+  /// The engine-equivalent decayed UsageTree at the current epoch.
+  [[nodiscard]] UsageTree decayed_usage() const {
+    const Decay decay_fn(decay);
+    UsageTree usage;
+    for (const auto& [path, leaf_bins] : bins) {
+      const double value = decay_fn.decayed_total(leaf_bins, epoch);
+      if (value > 0.0) usage.add(path, value);
+    }
+    return usage;
+  }
+};
+
+std::string user_path(std::size_t cluster, std::size_t user) {
+  return "/grid/cluster" + std::to_string(cluster) + "/user" + std::to_string(user);
+}
+
+void run_differential(std::uint64_t seed, int reader_threads) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  Stream stream;
+  constexpr std::size_t kClusters = 4;
+  constexpr std::size_t kUsers = 6;
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    for (std::size_t u = 0; u < kUsers; ++u) {
+      stream.policy.set_share(user_path(c, u), 1.0 + unit(rng) * 4.0);
+    }
+  }
+  stream.policy.set_share("/local", 2.0);
+
+  FairshareEngine engine(stream.config, stream.decay);
+  engine.set_policy(stream.policy);
+
+  // Sweep readers: hammer current() while the writer mutates, asserting
+  // monotone generations and a finite root distance on every grab.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> reader_failed{false};
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<std::size_t>(reader_threads));
+  for (int t = 0; t < reader_threads; ++t) {
+    readers.emplace_back([&engine, &stop, &reader_failed] {
+      std::uint64_t last_generation = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const FairshareSnapshotPtr snapshot = engine.current();
+        if (snapshot == nullptr) continue;
+        if (snapshot->generation() < last_generation ||
+            !std::isfinite(snapshot->root().distance)) {
+          reader_failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        last_generation = snapshot->generation();
+      }
+    });
+  }
+
+  for (int step = 0; step < 400; ++step) {
+    const double action = unit(rng);
+    if (action < 0.55) {
+      // Usage delta for a random user (sometimes an unlisted path).
+      const std::string path = action < 0.05
+                                   ? "/outside/leaf" + std::to_string(step % 3)
+                                   : user_path(rng() % kClusters, rng() % kUsers);
+      const double amount = 0.5 + unit(rng) * 100.0;
+      const double bin_time = stream.epoch - unit(rng) * 800.0;
+      engine.apply_usage(path, amount, bin_time);
+      stream.bins[join_path(split_path(path))].emplace_back(bin_time, amount);
+    } else if (action < 0.75) {
+      // Epoch advance; occasionally a rollover far past the decay window
+      // that expires entire leaves.
+      stream.epoch += action < 0.6 ? 5000.0 : unit(rng) * 200.0;
+      engine.set_decay_epoch(stream.epoch);
+    } else if (action < 0.9) {
+      // Policy swap: re-weight one user, sometimes add/remove a leaf.
+      const std::string path = user_path(rng() % kClusters, rng() % kUsers);
+      if (action < 0.78 && stream.policy.contains(path)) {
+        stream.policy.remove(path);
+      } else {
+        stream.policy.set_share(path, 0.5 + unit(rng) * 5.0);
+      }
+      engine.set_policy(stream.policy);
+    } else if (action < 0.97) {
+      // Decay swap between families (forces full re-valuation).
+      stream.decay = action < 0.93
+                         ? DecayConfig{DecayKind::kSlidingWindow, 0.0, 2500.0}
+                         : DecayConfig{DecayKind::kExponentialHalfLife, 500.0, 1000.0};
+      engine.set_decay(stream.decay);
+    } else {
+      stream.config.distance_weight_k = 0.25 + 0.5 * unit(rng);
+      engine.set_config(stream.config);
+    }
+
+    if (step % 20 == 19) {
+      // Checkpoint: three-way bitwise agreement.
+      const UsageTree usage = stream.decayed_usage();
+      const FairshareAlgorithm algorithm(stream.config);
+      FairshareTree::Node reference_root;
+      std::vector<std::string> prefix;
+      reference_annotate(algorithm, stream.policy.root(), usage, prefix, reference_root);
+      reference_root.name.assign(1, '/');
+      reference_root.policy_share = 1.0;
+      reference_root.usage_share = usage.empty() ? 0.0 : 1.0;
+      reference_root.distance = 0.0;
+
+      const FairshareTree batch = algorithm.compute(stream.policy, usage);
+      bool ok = true;
+      expect_nodes_equal(reference_root, batch.root(), "[batch]", ok);
+
+      const FairshareSnapshotPtr snapshot = engine.snapshot();
+      ASSERT_NE(snapshot, nullptr);
+      expect_snapshot_equals(snapshot->root(), reference_root, "[engine]", ok);
+      if (!ok) {
+        stop.store(true);
+        for (auto& reader : readers) reader.join();
+        FAIL() << "bit-identity broke at seed " << seed << " step " << step;
+      }
+    }
+  }
+
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+  EXPECT_FALSE(reader_failed.load()) << "reader saw a non-monotone or corrupt snapshot";
+}
+
+TEST(EngineDifferential, BitIdenticalOverSeededStreamsSingleReader) {
+  for (const std::uint64_t seed : {0x5eed0001ULL, 0x5eed0002ULL, 0x5eed0003ULL}) {
+    run_differential(seed, 1);
+  }
+}
+
+TEST(EngineDifferential, BitIdenticalOverSeededStreamsEightReaders) {
+  run_differential(0x5eed0004ULL, 8);
+}
+
+}  // namespace
+}  // namespace aequus::core

@@ -48,9 +48,9 @@ TEST(SlurmMauiParity, SameAequusStateSamePriorities) {
 
   for (const auto* user : {"acct_alice", "acct_bob"}) {
     const rms::Job job = make_job(user);
-    const double slurm_priority = slurm_plugin->priority(job, simulator.now());
-    const double maui_priority =
-        maui_scheduler.fairshare_component(job, simulator.now());
+    const rms::PriorityContext context{job, simulator.now()};
+    const double slurm_priority = slurm_plugin->priority(context);
+    const double maui_priority = maui_scheduler.fairshare_component(context);
     EXPECT_DOUBLE_EQ(slurm_priority, maui_priority) << user;
   }
 }

@@ -54,15 +54,18 @@ TEST(MauiComponents, UnpatchedFairshareUsesLocalHistory) {
   scheduler.submit(make_job("a", 10.0));
   simulator.run_all();
   // a consumed everything locally: below balance; b above.
-  EXPECT_LT(scheduler.fairshare_component(make_job("a", 1.0), simulator.now()), 0.5);
-  EXPECT_GT(scheduler.fairshare_component(make_job("b", 1.0), simulator.now()), 0.5);
+  const rms::Job job_a = make_job("a", 1.0);
+  const rms::Job job_b = make_job("b", 1.0);
+  EXPECT_LT(scheduler.fairshare_component(rms::PriorityContext{job_a, simulator.now()}), 0.5);
+  EXPECT_GT(scheduler.fairshare_component(rms::PriorityContext{job_b, simulator.now()}), 0.5);
 }
 
 TEST(MauiComponents, PatchReplacesFairshareCalculation) {
   sim::Simulator simulator;
   MauiScheduler scheduler(simulator, rms::Cluster("c", 1, 1));
-  scheduler.patch_fairshare([](const rms::Job&, double) { return 0.9; });
-  EXPECT_DOUBLE_EQ(scheduler.fairshare_component(make_job("anyone", 1.0), 0.0), 0.9);
+  scheduler.patch_fairshare([](const rms::PriorityContext&) { return 0.9; });
+  const rms::Job anyone = make_job("anyone", 1.0);
+  EXPECT_DOUBLE_EQ(scheduler.fairshare_component(rms::PriorityContext{anyone, 0.0}), 0.9);
 }
 
 TEST(MauiComponents, CompletionHookInjected) {
@@ -89,7 +92,7 @@ TEST(MauiComponents, PriorityCombinesWeightedComponents) {
   weights.credential = 4.0;
   weights.max_queue_time = 100.0;
   MauiScheduler scheduler(simulator, rms::Cluster("c", 4, 1), weights);
-  scheduler.patch_fairshare([](const rms::Job&, double) { return 0.5; });
+  scheduler.patch_fairshare([](const rms::PriorityContext&) { return 0.5; });
   scheduler.set_user_credential("u", 0.25);
   // Indirect check through scheduling order: u's static priority beats v's.
   scheduler.submit(make_job("filler", 10.0, 4));
@@ -127,8 +130,10 @@ TEST(MauiAequusPatches, EndToEndWithInstallation) {
   // The patched completion hook reported alice's usage to the USS...
   EXPECT_DOUBLE_EQ(site.uss().total_for("alice"), 200.0);
   // ...and the patched fairshare path sees the resulting imbalance.
-  EXPECT_LT(scheduler.fairshare_component(make_job("acct_alice", 1.0), simulator.now()),
-            scheduler.fairshare_component(make_job("acct_bob", 1.0), simulator.now()));
+  const rms::Job alice_job = make_job("acct_alice", 1.0);
+  const rms::Job bob_job = make_job("acct_bob", 1.0);
+  EXPECT_LT(scheduler.fairshare_component(rms::PriorityContext{alice_job, simulator.now()}),
+            scheduler.fairshare_component(rms::PriorityContext{bob_job, simulator.now()}));
 }
 
 TEST(MauiAequusPatches, UnresolvableUserGetsBalanceFactor) {
@@ -141,7 +146,8 @@ TEST(MauiAequusPatches, UnresolvableUserGetsBalanceFactor) {
   client::AequusClient client(simulator, bus, config);
   MauiScheduler scheduler(simulator, rms::Cluster("site0", 1, 1));
   apply_aequus_patches(scheduler, client);
-  EXPECT_DOUBLE_EQ(scheduler.fairshare_component(make_job("acct_ghost", 1.0), 0.0), 0.5);
+  const rms::Job ghost = make_job("acct_ghost", 1.0);
+  EXPECT_DOUBLE_EQ(scheduler.fairshare_component(rms::PriorityContext{ghost, 0.0}), 0.5);
 }
 
 }  // namespace

@@ -52,9 +52,8 @@ class TestScheduler : public SchedulerBase {
   std::map<std::string, double> priorities;
 
  protected:
-  double compute_priority(const Job& job, double now) override {
-    (void)now;
-    const auto it = priorities.find(job.system_user);
+  double compute_priority(const PriorityContext& context) override {
+    const auto it = priorities.find(context.job.system_user);
     return it == priorities.end() ? 0.0 : it->second;
   }
 };

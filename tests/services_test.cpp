@@ -189,6 +189,90 @@ TEST_F(ServicesTest, FcsServesBusProtocol) {
   EXPECT_TRUE(tree.find("tree").has_value());
 }
 
+TEST_F(ServicesTest, FcsTableGenerationShortCircuit) {
+  Installation site(simulator, bus, "site0");
+  site.set_policy(flat_policy({{"alice", 1.0}, {"bob", 1.0}}));
+  site.uss().report("alice", 100.0);
+  simulator.run_until(100.0);
+
+  // The plain reply is byte-identical to the pre-engine protocol: no
+  // generation stamp unless the caller opts in.
+  const json::Value plain = bus.call("site0.fcs", json::parse(R"({"op":"table"})"));
+  EXPECT_FALSE(plain.find("generation").has_value());
+
+  // A stale generation gets the full table plus the current stamp.
+  const json::Value full =
+      bus.call("site0.fcs", json::parse(R"({"op":"table","if_generation":0})"));
+  const double generation = full.get_number("generation");
+  EXPECT_GT(generation, 0.0);
+  EXPECT_FALSE(full.find("unchanged").has_value());
+  EXPECT_EQ(full.at("users").size(), 2u);
+
+  // Replaying the current generation short-circuits: no user table at all.
+  json::Object repeat;
+  repeat["op"] = std::string("table");
+  repeat["if_generation"] = generation;
+  const json::Value unchanged = bus.call("site0.fcs", json::Value(std::move(repeat)));
+  EXPECT_TRUE(unchanged.get_bool("unchanged"));
+  EXPECT_DOUBLE_EQ(unchanged.get_number("generation"), generation);
+  EXPECT_FALSE(unchanged.find("users").has_value());
+}
+
+TEST_F(ServicesTest, FcsSnapshotOp) {
+  Installation site(simulator, bus, "site0");
+  site.set_policy(flat_policy({{"alice", 1.0}, {"bob", 1.0}}));
+
+  // Before the first calculation the FCS serves an empty snapshot.
+  const json::Value empty = bus.call("site0.fcs", json::parse(R"({"op":"snapshot"})"));
+  EXPECT_DOUBLE_EQ(empty.get_number("generation"), 0.0);
+  EXPECT_EQ(empty.at("users").size(), 0u);
+
+  site.uss().report("alice", 100.0);
+  simulator.run_until(100.0);
+
+  const json::Value flat = bus.call("site0.fcs", json::parse(R"({"op":"snapshot"})"));
+  EXPECT_GT(flat.get_number("generation"), 0.0);
+  EXPECT_EQ(flat.at("users").size(), 2u);
+  EXPECT_FALSE(flat.find("tree").has_value());  // tree only on request
+
+  const json::Value with_tree =
+      bus.call("site0.fcs", json::parse(R"({"op":"snapshot","tree":true})"));
+  EXPECT_TRUE(with_tree.find("tree").has_value());
+  EXPECT_DOUBLE_EQ(with_tree.get_number("generation"), flat.get_number("generation"));
+}
+
+TEST_F(ServicesTest, PdsPolicyVersionShortCircuit) {
+  Pds pds(simulator, bus, "site0");
+  pds.set_policy(flat_policy({{"alice", 1.0}}));
+
+  // Plain replies carry no version stamp (wire-identical to before).
+  const json::Value plain = bus.call("site0.pds", json::parse(R"({"op":"policy"})"));
+  EXPECT_FALSE(plain.find("version").has_value());
+
+  const json::Value full =
+      bus.call("site0.pds", json::parse(R"({"op":"policy","if_version":0})"));
+  const double version = full.get_number("version");
+  EXPECT_GT(version, 0.0);
+  EXPECT_TRUE(full.find("children").has_value());
+
+  json::Object repeat;
+  repeat["op"] = std::string("policy");
+  repeat["if_version"] = version;
+  const json::Value unchanged = bus.call("site0.pds", json::Value(std::move(repeat)));
+  EXPECT_TRUE(unchanged.get_bool("unchanged"));
+  EXPECT_FALSE(unchanged.find("children").has_value());
+
+  // A policy edit bumps the version and the short-circuit stops firing.
+  pds.set_policy(flat_policy({{"alice", 1.0}, {"bob", 1.0}}));
+  json::Object again;
+  again["op"] = std::string("policy");
+  again["if_version"] = version;
+  const json::Value refreshed = bus.call("site0.pds", json::Value(std::move(again)));
+  EXPECT_GT(refreshed.get_number("version"), version);
+  EXPECT_FALSE(refreshed.find("unchanged").has_value());
+  EXPECT_TRUE(refreshed.find("children").has_value());
+}
+
 TEST_F(ServicesTest, IrsLookupTableAndStoreOp) {
   Irs irs(simulator, bus, "site0");
   irs.add_mapping("clusterA", "acct_1", "GridUserOne");

@@ -20,7 +20,7 @@ TEST(PluginRegistryModel, RegistersAndCreatesByName) {
   PluginRegistry registry;
   registry.register_priority("priority/test", [] {
     return std::make_unique<MultifactorPriorityPlugin>(
-        MultifactorWeights{}, [](const rms::Job&, double) { return 0.5; });
+        MultifactorWeights{}, [](const rms::PriorityContext&) { return 0.5; });
   });
   EXPECT_EQ(registry.priority_plugin_names(),
             (std::vector<std::string>{"priority/test"}));
@@ -33,9 +33,9 @@ TEST(PluginRegistryModel, RegistersAndCreatesByName) {
 TEST(Multifactor, FairshareOnlyConfiguration) {
   MultifactorWeights weights;
   weights.fairshare = 1.0;
-  MultifactorPriorityPlugin plugin(weights, [](const rms::Job&, double) { return 0.7; });
+  MultifactorPriorityPlugin plugin(weights, [](const rms::PriorityContext&) { return 0.7; });
   const rms::Job job = make_job("u", 10.0);
-  EXPECT_DOUBLE_EQ(plugin.priority(job, 0.0), 0.7);
+  EXPECT_DOUBLE_EQ(plugin.priority(rms::PriorityContext{job, 0.0}), 0.7);
 }
 
 TEST(Multifactor, WeightsCombineLinearly) {
@@ -45,17 +45,18 @@ TEST(Multifactor, WeightsCombineLinearly) {
   weights.max_age = 100.0;
   weights.job_size = 4.0;
   weights.max_cores = 8;
-  MultifactorPriorityPlugin plugin(weights, [](const rms::Job&, double) { return 0.5; });
+  MultifactorPriorityPlugin plugin(weights, [](const rms::PriorityContext&) { return 0.5; });
   rms::Job job = make_job("u", 10.0, 2);
   job.submit_time = 0.0;
   // At t=50: age factor 0.5, fairshare 0.5, size 0.25.
-  EXPECT_DOUBLE_EQ(plugin.priority(job, 50.0), 2.0 * 0.5 + 1.0 * 0.5 + 4.0 * 0.25);
+  EXPECT_DOUBLE_EQ(plugin.priority(rms::PriorityContext{job, 50.0}),
+                   2.0 * 0.5 + 1.0 * 0.5 + 4.0 * 0.25);
 }
 
 TEST(Multifactor, AgeFactorSaturates) {
   MultifactorWeights weights;
   weights.max_age = 10.0;
-  MultifactorPriorityPlugin plugin(weights, [](const rms::Job&, double) { return 0.0; });
+  MultifactorPriorityPlugin plugin(weights, [](const rms::PriorityContext&) { return 0.0; });
   rms::Job job = make_job("u", 1.0);
   job.submit_time = 0.0;
   EXPECT_DOUBLE_EQ(plugin.age_factor(job, 5.0), 0.5);
@@ -64,11 +65,12 @@ TEST(Multifactor, AgeFactorSaturates) {
 
 TEST(Multifactor, FairshareFactorClamped) {
   MultifactorPriorityPlugin plugin(MultifactorWeights{},
-                                   [](const rms::Job&, double) { return 3.0; });
-  EXPECT_DOUBLE_EQ(plugin.fairshare_factor(make_job("u", 1.0), 0.0), 1.0);
+                                   [](const rms::PriorityContext&) { return 3.0; });
+  const rms::Job clamped = make_job("u", 1.0);
+  EXPECT_DOUBLE_EQ(plugin.fairshare_factor(rms::PriorityContext{clamped, 0.0}), 1.0);
   MultifactorPriorityPlugin negative(MultifactorWeights{},
-                                     [](const rms::Job&, double) { return -3.0; });
-  EXPECT_DOUBLE_EQ(negative.fairshare_factor(make_job("u", 1.0), 0.0), 0.0);
+                                     [](const rms::PriorityContext&) { return -3.0; });
+  EXPECT_DOUBLE_EQ(negative.fairshare_factor(rms::PriorityContext{clamped, 0.0}), 0.0);
 }
 
 TEST(Multifactor, RequiresFairshareSource) {
@@ -122,8 +124,8 @@ TEST(SlurmControllerModel, RequiresPriorityPlugin) {
 TEST(SlurmControllerModel, SchedulesByPluginPriority) {
   sim::Simulator simulator;
   auto plugin = std::make_unique<MultifactorPriorityPlugin>(
-      MultifactorWeights{}, [](const rms::Job& job, double) {
-        return job.system_user == "vip" ? 0.9 : 0.1;
+      MultifactorWeights{}, [](const rms::PriorityContext& context) {
+        return context.job.system_user == "vip" ? 0.9 : 0.1;
       });
   SlurmController controller(simulator, rms::Cluster("c", 1, 1), std::move(plugin));
   controller.submit(make_job("filler", 5.0));
@@ -185,9 +187,12 @@ TEST_F(AequusIntegration, FairshareSourceResolvesSystemUsers) {
   const FairshareSource source = aequus_fairshare_source(*client);
   site.uss().report("alice", 500.0);
   simulator.run_until(120.0);
-  const double alice = source(make_job("acct_alice", 1.0), simulator.now());
-  const double bob = source(make_job("acct_bob", 1.0), simulator.now());
-  const double ghost = source(make_job("acct_ghost", 1.0), simulator.now());
+  const rms::Job alice_job = make_job("acct_alice", 1.0);
+  const rms::Job bob_job = make_job("acct_bob", 1.0);
+  const rms::Job ghost_job = make_job("acct_ghost", 1.0);
+  const double alice = source(rms::PriorityContext{alice_job, simulator.now()});
+  const double bob = source(rms::PriorityContext{bob_job, simulator.now()});
+  const double ghost = source(rms::PriorityContext{ghost_job, simulator.now()});
   EXPECT_LT(alice, 0.5);
   EXPECT_GT(bob, 0.5);
   EXPECT_DOUBLE_EQ(ghost, 0.5);

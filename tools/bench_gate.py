@@ -24,6 +24,13 @@ the baseline exactly — comparing different configurations is refused, not
 fudged. Wall-clock fields are reported but never gated: they depend on
 the machine, not the code's correctness.
 
+A baseline metric entry may carry "floor" and/or "ceiling" instead of a
+mean, turning the gate one-sided: the emitted mean must stay >= floor
+and <= ceiling, with no relative band. This is how performance *ratios*
+(the incremental engine's speedup, the batch-wrapper overhead) are
+gated — only one direction is a regression, and the absolute
+microseconds they are derived from are machine-specific.
+
 Exit codes: 0 pass, 1 regression or mismatch, 77 skipped (missing
 baseline/report — wired to ctest's SKIP_RETURN_CODE), 2 usage error.
 
@@ -92,6 +99,23 @@ def compare(emitted: dict, baseline: dict, tolerance: float,
             if actual is None:
                 failures.append(f"{variant}.{metric}: missing from emitted report")
                 continue
+            # One-sided contracts: a baseline entry may carry "floor"
+            # and/or "ceiling" instead of a mean. These gate performance
+            # *ratios* (speedups, overheads) where only one direction is a
+            # regression and the machine-to-machine spread makes a
+            # two-sided band meaningless.
+            floor = summary.get("floor")
+            ceiling = summary.get("ceiling")
+            if floor is not None or ceiling is not None:
+                if floor is not None and actual < floor:
+                    failures.append(
+                        f"{variant}.{metric}: {actual:.6g} below floor {floor:.6g}"
+                    )
+                if ceiling is not None and actual > ceiling:
+                    failures.append(
+                        f"{variant}.{metric}: {actual:.6g} above ceiling {ceiling:.6g}"
+                    )
+                continue
             # The allowed band is relative with an absolute floor: a purely
             # relative band collapses for near-zero baselines (a mean of
             # 1e-8 would only admit +-1.5e-9 of float noise), so deviations
@@ -128,10 +152,13 @@ def self_test() -> int:
     """Unit cases for compare(), runnable without any bench artifacts."""
 
     def report(metrics: dict, histograms: dict | None = None, **config):
+        # A metric value may be a plain mean, or a dict of summary fields
+        # (for baselines carrying one-sided "floor"/"ceiling" contracts).
         base = {"bench": "t", "jobs": 100, "replications": 2, "root_seed": "0x7de"}
         base.update(config)
         base["variants"] = {
-            "v": {"metrics": {name: {"mean": mean} for name, mean in metrics.items()}}
+            "v": {"metrics": {name: (dict(spec) if isinstance(spec, dict) else {"mean": spec})
+                              for name, spec in metrics.items()}}
         }
         if histograms is not None:
             base["variants"]["v"]["obs"] = {"histograms": histograms}
@@ -168,6 +195,18 @@ def self_test() -> int:
         ("baseline without an obs section gates nothing",
          report({"makespan": 100.0}),
          report({"makespan": 100.0}, histograms={"wait_s": hist}), 0),
+        ("speedup above its floor passes",
+         report({"speedup": {"floor": 5.0}}), report({"speedup": 22.9}), 0),
+        ("speedup below its floor is a regression",
+         report({"speedup": {"floor": 5.0}}), report({"speedup": 3.1}), 1),
+        ("overhead under its ceiling passes",
+         report({"overhead": {"ceiling": 1.02}}), report({"overhead": 0.25}), 0),
+        ("overhead above its ceiling is a regression",
+         report({"overhead": {"ceiling": 1.02}}), report({"overhead": 1.5}), 1),
+        ("one-sided metric missing from the emitted report is a failure",
+         report({"speedup": {"floor": 5.0}}), report({}), 1),
+        ("floor and ceiling can bracket a ratio together",
+         report({"ratio": {"floor": 0.9, "ceiling": 1.1}}), report({"ratio": 2.0}), 1),
     ]
     failed = 0
     for name, baseline, emitted, expected_failures in cases:
