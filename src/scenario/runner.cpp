@@ -1,0 +1,235 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "testing/invariants.hpp"
+#include "util/strings.hpp"
+
+namespace aequus::scenario {
+
+namespace {
+
+/// Per-task gate bookkeeping, preallocated in disjoint slots so the
+/// worker threads never contend (the sweep's thread-safety contract).
+struct TaskGateState {
+  std::uint64_t checks = 0;
+  std::size_t tick_violations = 0;
+  std::size_t reconvergence_violations = 0;
+  std::size_t conservation_violations = 0;
+  bool conservation_checked = false;
+  std::string first_violation;  ///< "invariant @ t: detail" of the first one
+};
+
+std::string describe_first(const testing::InvariantChecker& checker) {
+  if (checker.violations().empty()) return {};
+  const auto& v = checker.violations().front();
+  return util::format("%s @ %.1fs: %s", v.invariant.c_str(), v.time, v.detail.c_str());
+}
+
+GateResult tally(const std::string& gate, const std::vector<TaskGateState>& states,
+                 std::size_t TaskGateState::* counter) {
+  GateResult result;
+  result.gate = gate;
+  std::size_t total = 0;
+  std::size_t failing_tasks = 0;
+  const std::string* first = nullptr;
+  for (const TaskGateState& state : states) {
+    const std::size_t count = state.*counter;
+    total += count;
+    if (count > 0) {
+      ++failing_tasks;
+      if (!first && !state.first_violation.empty()) first = &state.first_violation;
+    }
+  }
+  result.passed = total == 0;
+  result.detail =
+      result.passed
+          ? util::format("0 violations across %zu tasks", states.size())
+          : util::format("%zu violations in %zu/%zu tasks; first: %s", total, failing_tasks,
+                         states.size(), first ? first->c_str() : "(truncated)");
+  return result;
+}
+
+std::string abbreviate(const std::string& fingerprint) {
+  return util::format("%016llx",
+                      static_cast<unsigned long long>(util::fnv1a64(fingerprint)));
+}
+
+}  // namespace
+
+ScenarioReport run_scenario(const CompiledScenario& compiled, const RunOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  const GateSpec& gates = compiled.gates;
+  const std::size_t replications =
+      compiled.sweep.replications > 0 ? compiled.sweep.replications : 1;
+
+  testbed::SweepSpec spec = compiled.sweep;
+  if (options.threads > 0) spec.threads = options.threads;
+
+  const bool want_conservation = gates.conservation != "off";
+  const bool want_checker = gates.invariants || gates.reconvergence || want_conservation;
+
+  std::vector<std::unique_ptr<testing::InvariantChecker>> checkers(spec.task_count());
+  std::vector<TaskGateState> states(spec.task_count());
+  if (want_checker) {
+    testing::InvariantOptions invariant_options;
+    invariant_options.convergence_tolerance = gates.convergence_tolerance;
+    spec.on_setup = [&checkers, invariant_options](testbed::Experiment& experiment,
+                                                   std::size_t task_index) {
+      checkers[task_index] =
+          std::make_unique<testing::InvariantChecker>(experiment, invariant_options);
+    };
+    spec.on_teardown = [&](testbed::Experiment&, testbed::SweepTaskResult& slot) {
+      testing::InvariantChecker& checker = *checkers[slot.task_index];
+      TaskGateState& state = states[slot.task_index];
+      state.checks = checker.checks_run();
+      state.tick_violations = checker.violations().size();
+      if (gates.reconvergence) {
+        const std::size_t before = checker.violations().size();
+        checker.check_reconvergence();
+        state.reconvergence_violations = checker.violations().size() - before;
+      }
+      const std::size_t variant_index = slot.task_index / replications;
+      const bool lossless = variant_index < compiled.variants.size() &&
+                            compiled.variants[variant_index].lossless;
+      if (gates.conservation == "on" || (gates.conservation == "auto" && lossless)) {
+        const std::size_t before = checker.violations().size();
+        checker.check_conservation_final();
+        state.conservation_violations = checker.violations().size() - before;
+        state.conservation_checked = true;
+      }
+      state.first_violation = describe_first(checker);
+      checkers[slot.task_index].reset();  // the experiment dies with the task
+    };
+  }
+
+  ScenarioReport report;
+  report.name = compiled.name;
+  report.jobs = compiled.jobs;
+  report.tasks = spec.task_count();
+  report.sweep = testbed::run_sweep(spec);
+  report.threads = report.sweep.threads_used;
+  for (const auto& task : report.sweep.tasks) {
+    report.fingerprints.push_back(abbreviate(task.fingerprint));
+  }
+
+  if (gates.invariants) {
+    GateResult gate = tally("invariants", states, &TaskGateState::tick_violations);
+    std::uint64_t checks = 0;
+    for (const TaskGateState& state : states) checks += state.checks;
+    if (gate.passed) {
+      gate.detail = util::format("0 violations in %llu tick checks across %zu tasks",
+                                 static_cast<unsigned long long>(checks), states.size());
+    }
+    report.gates.push_back(std::move(gate));
+  }
+  if (gates.reconvergence) {
+    report.gates.push_back(
+        tally("reconvergence", states, &TaskGateState::reconvergence_violations));
+  }
+  if (want_conservation) {
+    GateResult gate =
+        tally("conservation", states, &TaskGateState::conservation_violations);
+    const bool any_checked =
+        std::any_of(states.begin(), states.end(),
+                    [](const TaskGateState& s) { return s.conservation_checked; });
+    if (!any_checked) gate.detail = "skipped: fault plan is lossy (conservation=auto)";
+    report.gates.push_back(std::move(gate));
+  }
+
+  if (gates.determinism && options.determinism) {
+    testbed::SweepSpec recheck = compiled.sweep;  // no hooks: fingerprints only
+    recheck.threads = report.sweep.threads_used == options.alternate_threads
+                          ? 1
+                          : options.alternate_threads;
+    const testbed::SweepResult rerun = testbed::run_sweep(recheck);
+    GateResult gate;
+    gate.gate = "determinism";
+    gate.passed = rerun.tasks.size() == report.sweep.tasks.size();
+    std::size_t mismatch = report.sweep.tasks.size();
+    for (std::size_t i = 0; gate.passed && i < rerun.tasks.size(); ++i) {
+      if (rerun.tasks[i].fingerprint != report.sweep.tasks[i].fingerprint) {
+        gate.passed = false;
+        mismatch = i;
+      }
+    }
+    gate.detail =
+        gate.passed
+            ? util::format("%zu fingerprints identical at %d vs %d threads",
+                           report.sweep.tasks.size(), report.sweep.threads_used,
+                           rerun.threads_used)
+            : util::format("fingerprint mismatch at task %zu (%d vs %d threads)", mismatch,
+                           report.sweep.threads_used, rerun.threads_used);
+    report.gates.push_back(std::move(gate));
+  }
+
+  for (const GateResult& gate : report.gates) report.passed = report.passed && gate.passed;
+  report.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return report;
+}
+
+json::Value report_to_json(const ScenarioReport& report) {
+  json::Object out;
+  out["name"] = report.name;
+  out["jobs"] = report.jobs;
+  out["tasks"] = report.tasks;
+  out["threads"] = report.threads;
+  out["wall_seconds"] = report.wall_seconds;
+  out["passed"] = report.passed;
+
+  json::Array gates;
+  for (const GateResult& gate : report.gates) {
+    json::Object entry;
+    entry["gate"] = gate.gate;
+    entry["passed"] = gate.passed;
+    entry["detail"] = gate.detail;
+    gates.push_back(json::Value(std::move(entry)));
+  }
+  out["gates"] = json::Value(std::move(gates));
+
+  json::Object variants;
+  for (const auto& [variant_name, metrics] : report.sweep.aggregates) {
+    json::Object metrics_json;
+    for (const auto& [metric, summary] : metrics) {
+      json::Object cell;
+      cell["count"] = summary.count;
+      cell["mean"] = summary.mean;
+      cell["stddev"] = summary.stddev;
+      cell["ci95_half"] = summary.ci95_half;
+      cell["min"] = summary.min;
+      cell["max"] = summary.max;
+      metrics_json[metric] = json::Value(std::move(cell));
+    }
+    json::Object variant_json;
+    variant_json["metrics"] = json::Value(std::move(metrics_json));
+    variants[variant_name] = json::Value(std::move(variant_json));
+  }
+  out["variants"] = json::Value(std::move(variants));
+
+  json::Array fingerprints;
+  for (const std::string& fp : report.fingerprints) fingerprints.push_back(json::Value(fp));
+  out["fingerprints"] = json::Value(std::move(fingerprints));
+  return json::Value(std::move(out));
+}
+
+json::Value catalog_report_json(const std::vector<ScenarioReport>& reports,
+                                double wall_seconds) {
+  json::Object out;
+  out["schema"] = "aequus-scenario-report-v1";
+  bool passed = true;
+  json::Array scenarios;
+  for (const ScenarioReport& report : reports) {
+    passed = passed && report.passed;
+    scenarios.push_back(report_to_json(report));
+  }
+  out["passed"] = passed;
+  out["wall_seconds"] = wall_seconds;
+  out["scenarios"] = json::Value(std::move(scenarios));
+  return json::Value(std::move(out));
+}
+
+}  // namespace aequus::scenario

@@ -1,0 +1,67 @@
+// Scenario execution with invariant gates.
+//
+// run_scenario() executes a compiled scenario's sweep with a per-task
+// testing::InvariantChecker attached and evaluates the gates the spec
+// selected: per-tick invariants, post-run reconvergence, final usage
+// conservation (lossless runs), and a determinism gate that re-runs the
+// whole sweep at a different thread count and requires bit-identical
+// per-task fingerprints. The outcome is a ScenarioReport that renders to
+// the machine-readable JSON consumed by tools/scenario_run and validated
+// by tools/bench_gate.py.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "scenario/compile.hpp"
+#include "testbed/sweep.hpp"
+
+namespace aequus::scenario {
+
+/// Execution knobs a runner (CLI or test) layers over the compiled spec.
+struct RunOptions {
+  int threads = 0;          ///< primary sweep threads; 0 = spec/auto
+  bool determinism = true;  ///< allow disabling the (costly) dual run
+  /// Thread count of the determinism re-run. If the primary run resolves
+  /// to this count, the re-run uses 1 thread instead (the comparison is
+  /// only meaningful across different schedules).
+  int alternate_threads = 8;
+};
+
+/// One evaluated gate: name, verdict, and a human-readable detail line.
+struct GateResult {
+  std::string gate;
+  bool passed = true;
+  std::string detail;
+};
+
+/// Everything a catalog run knows about one scenario's execution.
+struct ScenarioReport {
+  std::string name;
+  std::size_t jobs = 0;
+  std::size_t tasks = 0;
+  int threads = 1;
+  double wall_seconds = 0.0;
+  bool passed = true;
+  std::vector<GateResult> gates;
+  /// Abbreviated (fnv1a64, 16 hex chars) determinism fingerprint per
+  /// task, in task-index order. Full fingerprints run to megabytes.
+  std::vector<std::string> fingerprints;
+  testbed::SweepResult sweep;
+};
+
+/// Run the sweep, evaluate the spec's gates, and collect the report.
+[[nodiscard]] ScenarioReport run_scenario(const CompiledScenario& compiled,
+                                          const RunOptions& options = {});
+
+/// Render one report as a JSON object (schema: see catalog_report_json).
+[[nodiscard]] json::Value report_to_json(const ScenarioReport& report);
+
+/// Wrap per-scenario reports in the top-level report document:
+/// {"schema": "aequus-scenario-report-v1", "passed": ..., "wall_seconds":
+/// ..., "scenarios": [...]}.
+[[nodiscard]] json::Value catalog_report_json(const std::vector<ScenarioReport>& reports,
+                                              double wall_seconds);
+
+}  // namespace aequus::scenario

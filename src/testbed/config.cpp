@@ -59,6 +59,18 @@ aequus::testbed::ExperimentConfig aequus::json::Decoder<aequus::testbed::Experim
   config.record_per_site = spec.get_bool("record_per_site", config.record_per_site);
   config.drain_seconds = spec.get_number("drain_seconds", config.drain_seconds);
 
+  if (const auto offloads = spec.find("offloads")) {
+    for (const auto& entry : offloads->get().as_array()) {
+      OffloadRule rule;
+      rule.from_site = static_cast<int>(entry.get_number("from_site", -1));
+      rule.to_site = static_cast<int>(entry.get_number("to_site", 0));
+      rule.fraction = entry.get_number("fraction", 0.0);
+      rule.start = entry.get_number("start", 0.0);
+      rule.end = entry.get_number("end", rule.end);
+      config.offloads.push_back(rule);
+    }
+  }
+
   if (const auto sites = spec.find("sites")) {
     for (const auto& [index_text, overrides] : sites->get().as_object()) {
       const int index = std::atoi(index_text.c_str());

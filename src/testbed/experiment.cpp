@@ -26,6 +26,7 @@ Experiment::Experiment(const workload::Scenario& scenario, ExperimentConfig conf
   // snapshot key set uniform across traced and untraced tasks.
   tracer_.seed_trace_ids(config_.seed);
   tracer_.set_dropped_counter(&registry_.counter("trace.dropped_events"));
+  offload_counter_ = &registry_.counter("experiment.jobs_offloaded");
   // Attach before any site binds so every endpoint registers its metrics
   // in the experiment registry (handles must never be re-registered after
   // traffic starts flowing).
@@ -83,6 +84,18 @@ void Experiment::bind_name_resolver() {
   }
 }
 
+std::size_t Experiment::apply_offloads(std::size_t index, double now) {
+  for (const auto& rule : config_.offloads) {
+    if (rule.to_site < 0 || static_cast<std::size_t>(rule.to_site) >= sites_.size()) continue;
+    if (rule.from_site >= 0 && static_cast<std::size_t>(rule.from_site) != index) continue;
+    if (now < rule.start || now >= rule.end) continue;
+    if (rule.fraction < 1.0 && !rng_.bernoulli(rule.fraction)) continue;
+    offload_counter_->inc();
+    return static_cast<std::size_t>(rule.to_site);
+  }
+  return index;
+}
+
 void Experiment::schedule_submissions() {
   for (const auto& record : scenario_.trace.records()) {
     tasks_.push_back(simulator_.schedule_at(record.submit, [this, record] {
@@ -93,6 +106,7 @@ void Experiment::schedule_submissions() {
         index = static_cast<std::size_t>(
             rng_.uniform_int(0, static_cast<std::int64_t>(sites_.size()) - 1));
       }
+      if (!config_.offloads.empty()) index = apply_offloads(index, record.submit);
       rms::Job job;
       job.system_user = system_account_for(record.user);
       job.duration = record.duration;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -34,6 +35,21 @@ namespace aequus::testbed {
 
 enum class DispatchPolicy { kStochastic, kRoundRobin };
 
+/// Federated cross-site offloading (Pacholczyk-style): while the
+/// simulated time is in [start, end), a job the dispatch policy assigned
+/// to `from_site` is redirected to `to_site` with probability `fraction`.
+/// Rules are evaluated in order; the first matching rule that fires wins.
+/// The redirect draw only happens for a matching rule, so configurations
+/// without offload rules keep the legacy dispatch rng stream
+/// byte-identical.
+struct OffloadRule {
+  int from_site = -1;  ///< dispatch-chosen site index; -1 matches any site
+  int to_site = 0;
+  double fraction = 0.0;  ///< redirect probability per matching job
+  double start = 0.0;
+  double end = std::numeric_limits<double>::infinity();
+};
+
 struct ExperimentConfig {
   DispatchPolicy dispatch = DispatchPolicy::kStochastic;
   SiteTimings timings{};
@@ -52,6 +68,8 @@ struct ExperimentConfig {
   /// Deterministic fault-injection schedule installed on the bus before
   /// the run (loss, duplication, jitter, site outage windows).
   net::FaultPlan faults{};
+  /// Cross-site offload windows applied after dispatch site selection.
+  std::vector<OffloadRule> offloads;
 };
 
 struct ExperimentResult {
@@ -121,6 +139,8 @@ class Experiment {
  private:
   void install_policy();
   void bind_name_resolver();
+  /// First matching offload rule may redirect the dispatched site index.
+  [[nodiscard]] std::size_t apply_offloads(std::size_t index, double now);
   void schedule_submissions();
   void schedule_sampling(ExperimentResult& result);
 
@@ -134,6 +154,9 @@ class Experiment {
   net::ServiceBus bus_;
   std::vector<std::unique_ptr<ClusterSite>> sites_;
   util::Rng rng_;
+  /// Registered unconditionally (keeps the snapshot key set uniform
+  /// across offloaded and offload-free tasks of one sweep).
+  obs::Counter* offload_counter_ = nullptr;
   std::size_t round_robin_next_ = 0;
   std::map<std::string, double> completed_usage_;  ///< grid user -> core-s
   double total_completed_usage_ = 0.0;

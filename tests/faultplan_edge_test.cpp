@@ -1,0 +1,138 @@
+// FaultPlan edge cases: degenerate and overlapping fault schedules must
+// behave predictably — a zero-length outage never fires, overlapping
+// windows act as their union, an outage spanning the whole run still
+// drains to reconvergence afterwards, and loss + duplication stacked on
+// the same link keep the system invariants.
+#include <gtest/gtest.h>
+
+#include "net/service_bus.hpp"
+#include "testbed/experiment.hpp"
+#include "testing/invariants.hpp"
+#include "workload/scenarios.hpp"
+
+namespace aequus {
+namespace {
+
+workload::Scenario small_scenario(std::uint64_t seed, std::size_t jobs, int clusters) {
+  workload::Scenario scenario = workload::baseline_scenario(seed, jobs);
+  scenario.cluster_count = clusters;
+  scenario.hosts_per_cluster = 8;
+  const double target = scenario.target_load * scenario.capacity_core_seconds();
+  const double current = scenario.trace.total_usage();
+  for (auto& r : scenario.trace.records()) r.duration *= target / current;
+  return scenario;
+}
+
+// --- pure FaultPlan semantics -------------------------------------------
+
+TEST(FaultPlanEdge, ZeroLengthOutageNeverFires) {
+  net::FaultPlan plan;
+  plan.outages.push_back({"site0", 100.0, 100.0});
+  EXPECT_TRUE(plan.active()) << "a scheduled window still marks the plan active";
+  EXPECT_FALSE(plan.site_down("site0", 100.0)) << "[start, end) with start == end is empty";
+  EXPECT_FALSE(plan.site_down("site0", 99.999));
+  EXPECT_FALSE(plan.site_down("site0", 100.001));
+  EXPECT_DOUBLE_EQ(plan.last_outage_end(), 100.0);
+}
+
+TEST(FaultPlanEdge, WindowBoundsAreHalfOpen) {
+  net::FaultPlan plan;
+  plan.outages.push_back({"site1", 100.0, 200.0});
+  EXPECT_TRUE(plan.site_down("site1", 100.0)) << "start is inclusive";
+  EXPECT_TRUE(plan.site_down("site1", 199.999));
+  EXPECT_FALSE(plan.site_down("site1", 200.0)) << "end is exclusive";
+  EXPECT_FALSE(plan.site_down("site0", 150.0)) << "other sites unaffected";
+}
+
+TEST(FaultPlanEdge, OverlappingWindowsActAsUnion) {
+  net::FaultPlan plan;
+  plan.outages.push_back({"site0", 100.0, 300.0});
+  plan.outages.push_back({"site0", 200.0, 400.0});
+  for (double t : {100.0, 199.0, 250.0, 399.0}) EXPECT_TRUE(plan.site_down("site0", t));
+  EXPECT_FALSE(plan.site_down("site0", 400.0));
+  EXPECT_DOUBLE_EQ(plan.last_outage_end(), 400.0);
+}
+
+TEST(FaultPlanEdge, LinkLossOverridesFallBackToDefault) {
+  net::FaultPlan plan;
+  plan.loss_rate = 0.1;
+  plan.link_loss[{"site0", "site1"}] = 0.9;
+  EXPECT_DOUBLE_EQ(plan.loss_for("site0", "site1"), 0.9);
+  EXPECT_DOUBLE_EQ(plan.loss_for("site1", "site0"), 0.1) << "overrides are directed";
+  EXPECT_DOUBLE_EQ(plan.loss_for("site2", "site3"), 0.1);
+}
+
+// --- end-to-end edge cases ----------------------------------------------
+
+TEST(FaultPlanEdge, OverlappingOutagesKeepInvariantsAndReconverge) {
+  workload::Scenario scenario = small_scenario(31, 300, 3);
+  testbed::ExperimentConfig config;
+  // Two overlapping windows on site1 plus a disjoint one on site2.
+  config.faults.outages.push_back({"site1", 900.0, 2100.0});
+  config.faults.outages.push_back({"site1", 1500.0, 2700.0});
+  config.faults.outages.push_back({"site2", 3000.0, 3600.0});
+
+  testbed::Experiment experiment(scenario, config);
+  testing::InvariantChecker checker(experiment);
+  const testbed::ExperimentResult result = experiment.run();
+
+  EXPECT_EQ(result.jobs_completed, scenario.trace.size());
+  EXPECT_GT(result.bus.dropped_outage, 0u);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  checker.check_reconvergence();
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(FaultPlanEdge, OutageCoveringTheWholeRunStillDrainsToReconvergence) {
+  workload::Scenario scenario = small_scenario(37, 200, 2);
+  testbed::ExperimentConfig config;
+  // site1 is cut off from the bus for the entire submission window; only
+  // the drain phase (after last activity) lets its reports catch up.
+  config.faults.outages.push_back({"site1", 0.0, scenario.duration_seconds});
+  config.drain_seconds = 3600.0;
+
+  testbed::Experiment experiment(scenario, config);
+  testing::InvariantChecker checker(experiment);
+  const testbed::ExperimentResult result = experiment.run();
+
+  EXPECT_EQ(result.jobs_completed, scenario.trace.size())
+      << "an isolated site still runs its local jobs";
+  EXPECT_GT(result.bus.dropped_outage, 0u);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  checker.check_reconvergence();
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(FaultPlanEdge, DuplicationAndLossOnTheSameLinkKeepInvariants) {
+  workload::Scenario scenario = small_scenario(41, 300, 3);
+  testbed::ExperimentConfig config;
+  config.faults.loss_rate = 0.1;
+  config.faults.duplicate_rate = 0.3;
+  config.faults.link_loss[{"site0", "site1"}] = 0.5;  // stacked on the same link
+  config.faults.seed = 4242;
+
+  testbed::Experiment experiment(scenario, config);
+  testing::InvariantOptions options;
+  options.convergence_tolerance = 0.06;  // loss+dup widen the final spread
+  testing::InvariantChecker checker(experiment, options);
+  const testbed::ExperimentResult result = experiment.run();
+
+  EXPECT_EQ(result.jobs_completed, scenario.trace.size());
+  EXPECT_GT(result.bus.dropped_loss, 0u);
+  EXPECT_GT(result.bus.duplicated, 0u);
+  // Duplicated usage reports can over-record, so the per-tick
+  // usage-conservation bound is legitimately violable here; structural
+  // and ordering invariants are not.
+  for (const auto& violation : checker.violations()) {
+    EXPECT_EQ(violation.invariant, "usage-conservation")
+        << violation.invariant << " @ " << violation.time << ": " << violation.detail;
+  }
+  checker.check_reconvergence();
+  for (const auto& violation : checker.violations()) {
+    EXPECT_NE(violation.invariant, "view-reconvergence")
+        << "views must reagree despite loss+duplication: " << violation.detail;
+  }
+}
+
+}  // namespace
+}  // namespace aequus

@@ -1,0 +1,94 @@
+// Cross-site offload rules on the experiment dispatch path: a
+// fraction-1.0 rule redirects every matching job, a rule whose window
+// never opens leaves the run byte-identical to a rule-free run (the
+// redirect draw must not perturb the dispatch rng stream), and the
+// offload counter is part of every snapshot so sweep fingerprints stay
+// comparable across offloaded and offload-free variants.
+#include <gtest/gtest.h>
+
+#include "testbed/experiment.hpp"
+#include "testing/determinism.hpp"
+#include "testing/invariants.hpp"
+#include "workload/scenarios.hpp"
+
+namespace aequus::testbed {
+namespace {
+
+workload::Scenario small_scenario(std::uint64_t seed, std::size_t jobs) {
+  workload::Scenario scenario = workload::baseline_scenario(seed, jobs);
+  scenario.cluster_count = 3;
+  scenario.hosts_per_cluster = 8;
+  const double target = scenario.target_load * scenario.capacity_core_seconds();
+  const double current = scenario.trace.total_usage();
+  for (auto& r : scenario.trace.records()) r.duration *= target / current;
+  return scenario;
+}
+
+TEST(Offload, FractionOneRedirectsEveryJobToTheTarget) {
+  const workload::Scenario scenario = small_scenario(53, 200);
+  ExperimentConfig config;
+  config.offloads.push_back({/*from_site=*/-1, /*to_site=*/1, /*fraction=*/1.0});
+
+  Experiment experiment(scenario, config);
+  testing::InvariantChecker checker(experiment);
+  const ExperimentResult result = experiment.run();
+
+  EXPECT_EQ(result.jobs_completed, scenario.trace.size());
+  const auto it = result.obs.counters.find("experiment.jobs_offloaded");
+  ASSERT_NE(it, result.obs.counters.end());
+  // Jobs dispatch directly to site1 with probability 1/3; the other ~2/3
+  // get redirected by the rule.
+  EXPECT_GT(it->second, scenario.trace.size() / 2);
+  EXPECT_LE(it->second, scenario.trace.size());
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  checker.check_conservation_final();
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(Offload, ClosedWindowRuleKeepsTheRunByteIdentical) {
+  const workload::Scenario scenario = small_scenario(53, 150);
+
+  Experiment plain(scenario, ExperimentConfig{});
+  const std::string plain_fp = testing::fingerprint(plain.run());
+
+  ExperimentConfig config;
+  // Window [0, 0) never opens, so the rule can never fire — and it must
+  // not even consume rng, or the dispatch stream diverges.
+  config.offloads.push_back({/*from_site=*/-1, /*to_site=*/1, /*fraction=*/1.0,
+                             /*start=*/0.0, /*end=*/0.0});
+  Experiment gated(scenario, config);
+  const ExperimentResult gated_result = gated.run();
+
+  EXPECT_EQ(testing::fingerprint(gated_result), plain_fp)
+      << "a never-firing offload rule must not perturb the dispatch rng stream";
+  const auto it = gated_result.obs.counters.find("experiment.jobs_offloaded");
+  ASSERT_NE(it, gated_result.obs.counters.end());
+  EXPECT_EQ(it->second, 0u);
+}
+
+TEST(Offload, CounterIsPresentEvenWithoutRules) {
+  const workload::Scenario scenario = small_scenario(53, 60);
+  Experiment experiment(scenario, ExperimentConfig{});
+  const ExperimentResult result = experiment.run();
+  const auto it = result.obs.counters.find("experiment.jobs_offloaded");
+  ASSERT_NE(it, result.obs.counters.end())
+      << "counter must exist unconditionally to keep snapshot key sets uniform";
+  EXPECT_EQ(it->second, 0u);
+}
+
+TEST(Offload, FromSiteFilterOnlyRedirectsThatSitesJobs) {
+  const workload::Scenario scenario = small_scenario(59, 200);
+  ExperimentConfig config;
+  config.dispatch = DispatchPolicy::kRoundRobin;  // even spread across 3 sites
+  config.offloads.push_back({/*from_site=*/2, /*to_site=*/0, /*fraction=*/1.0});
+
+  Experiment experiment(scenario, config);
+  const ExperimentResult result = experiment.run();
+  const auto it = result.obs.counters.find("experiment.jobs_offloaded");
+  ASSERT_NE(it, result.obs.counters.end());
+  // Round-robin sends exactly every third job to site2; each is redirected.
+  EXPECT_EQ(it->second, scenario.trace.size() / 3);
+}
+
+}  // namespace
+}  // namespace aequus::testbed

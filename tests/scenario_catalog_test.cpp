@@ -1,0 +1,110 @@
+// The shipped scenario catalog, end to end at reduced scale.
+//
+// Every scenarios/*.json must decode, compile, and pass all of its
+// invariant gates — including the determinism gate, which re-runs each
+// sweep at a different thread count and requires bit-identical per-task
+// fingerprints. $AEQUUS_SCENARIO_SCALE compresses the run further in
+// sanitizer CI.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "scenario/catalog.hpp"
+#include "scenario/compile.hpp"
+#include "scenario/runner.hpp"
+
+namespace aequus::scenario {
+namespace {
+
+CompileOptions reduced() {
+  CompileOptions options;
+  options.jobs_scale = 0.005;  // 43,200 -> 216 jobs
+  options.max_jobs = 240;
+  options.time_scale = 0.1;  // six hours -> 36 minutes
+  apply_env_scale(options);
+  return options;
+}
+
+TEST(ScenarioCatalog, ShipsAtLeastEightSpecsWithUniqueMatchingNames) {
+  const std::vector<std::string> paths = list_catalog();
+  ASSERT_GE(paths.size(), 8u) << "catalog at " << catalog_dir() << " is missing specs";
+  std::set<std::string> names;
+  for (const std::string& path : paths) {
+    const ScenarioSpec spec = load_spec_file(path);
+    EXPECT_EQ(spec.name, std::filesystem::path(path).stem().string())
+        << "spec name must match its filename";
+    EXPECT_FALSE(spec.description.empty()) << spec.name << " needs a description";
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate name " << spec.name;
+  }
+}
+
+TEST(ScenarioCatalog, CoversTheModifierMatrix) {
+  // The catalog is only a regression net if the DSL features all appear.
+  bool phases = false, churn = false, offloads = false, outages = false, loss = false,
+       variants = false;
+  for (const std::string& path : list_catalog()) {
+    const ScenarioSpec spec = load_spec_file(path);
+    phases = phases || !spec.phases.empty();
+    churn = churn || !spec.churn.empty();
+    offloads = offloads || !spec.offloads.empty();
+    outages = outages || !spec.faults.outages.empty();
+    loss = loss || spec.faults.loss_rate > 0.0 || spec.faults.duplicate_rate > 0.0;
+    variants = variants || !spec.variants.empty();
+  }
+  EXPECT_TRUE(phases) << "no spec exercises phase schedules";
+  EXPECT_TRUE(churn) << "no spec exercises user churn";
+  EXPECT_TRUE(offloads) << "no spec exercises cross-site offloading";
+  EXPECT_TRUE(outages) << "no spec exercises site outages";
+  EXPECT_TRUE(loss) << "no spec exercises message loss/duplication";
+  EXPECT_TRUE(variants) << "no spec exercises sweep variants";
+}
+
+TEST(ScenarioCatalog, EverySpecPassesItsGatesAtReducedScale) {
+  const std::vector<std::string> paths = list_catalog();
+  ASSERT_FALSE(paths.empty());
+  const CompileOptions options = reduced();
+  for (const std::string& path : paths) {
+    const ScenarioSpec spec = load_spec_file(path);
+    const CompiledScenario compiled = compile(spec, options);
+    const ScenarioReport report = run_scenario(compiled);
+    EXPECT_TRUE(report.passed) << compiled.name << " failed its gates";
+    for (const GateResult& gate : report.gates) {
+      EXPECT_TRUE(gate.passed) << compiled.name << " gate '" << gate.gate
+                               << "': " << gate.detail;
+    }
+    // Determinism is the catalog's headline contract: unless a spec
+    // explicitly opted out, the dual-threaded gate must have run.
+    if (spec.gates.determinism) {
+      bool found = false;
+      for (const GateResult& gate : report.gates) found = found || gate.gate == "determinism";
+      EXPECT_TRUE(found) << compiled.name << " skipped the determinism gate";
+    }
+    EXPECT_EQ(report.fingerprints.size(), report.tasks);
+  }
+}
+
+TEST(ScenarioCatalog, ReportJsonCarriesTheSchema) {
+  const CompileOptions options = reduced();
+  const ScenarioSpec spec = load_spec_file(list_catalog().front());
+  const CompiledScenario compiled = compile(spec, options);
+  RunOptions run;
+  run.determinism = false;  // schema shape only; gates ran above
+  const ScenarioReport report = run_scenario(compiled, run);
+  const json::Value document = catalog_report_json({report}, report.wall_seconds);
+  EXPECT_EQ(document.at("schema").as_string(), "aequus-scenario-report-v1");
+  EXPECT_TRUE(document.at("passed").is_bool());
+  ASSERT_EQ(document.at("scenarios").size(), 1u);
+  const json::Value& entry = document.at("scenarios").at(0);
+  EXPECT_EQ(entry.at("name").as_string(), compiled.name);
+  EXPECT_TRUE(entry.at("gates").is_array());
+  EXPECT_TRUE(entry.at("variants").is_object());
+  EXPECT_EQ(entry.at("fingerprints").size(), report.tasks);
+  for (const auto& fp : entry.at("fingerprints").as_array()) {
+    EXPECT_EQ(fp.as_string().size(), 16u) << "fingerprints are fnv1a64 hex";
+  }
+}
+
+}  // namespace
+}  // namespace aequus::scenario

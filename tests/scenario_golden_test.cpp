@@ -1,0 +1,121 @@
+// Golden pinning: the catalog's fig10-13 DSL specs lower to *exactly*
+// the sweep the hand-coded benches build.
+//
+// Each test constructs the hand-coded side the way the bench mains do
+// (same generators, same config fields, same sweep shape), compiles the
+// shipped scenarios/*.json on the other side, runs both at a reduced job
+// count, and requires every per-task determinism fingerprint — every
+// sample of every series, %.17g — to be byte-identical. A DSL change
+// that perturbs lowering of the paper experiments cannot land silently.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/decay.hpp"
+#include "scenario/catalog.hpp"
+#include "scenario/compile.hpp"
+#include "testbed/sweep.hpp"
+#include "testing/determinism.hpp"
+#include "workload/scenarios.hpp"
+
+namespace aequus::scenario {
+namespace {
+
+constexpr std::size_t kJobs = 300;  ///< reduced from the paper's 43,200
+
+CompileOptions reduced() {
+  CompileOptions options;
+  options.max_jobs = kJobs;  // jobs_scale 1 then capped -> exactly kJobs
+  return options;
+}
+
+ScenarioSpec load_catalog_spec(const std::string& filename) {
+  const std::string path = (std::filesystem::path(catalog_dir()) / filename).string();
+  return load_spec_file(path);
+}
+
+/// Run both sweeps and compare per-task fingerprints byte for byte.
+void expect_identical(const testbed::SweepSpec& hand, const CompiledScenario& dsl) {
+  ASSERT_EQ(dsl.sweep.task_count(), hand.task_count());
+  const testbed::SweepResult hand_result = testbed::run_sweep(hand);
+  const testbed::SweepResult dsl_result = testbed::run_sweep(dsl.sweep);
+  ASSERT_EQ(dsl_result.tasks.size(), hand_result.tasks.size());
+  for (std::size_t i = 0; i < hand_result.tasks.size(); ++i) {
+    ASSERT_FALSE(hand_result.tasks[i].fingerprint.empty());
+    EXPECT_EQ(dsl_result.tasks[i].fingerprint, hand_result.tasks[i].fingerprint)
+        << "task " << i << " diverged from the hand-coded bench construction";
+    EXPECT_EQ(dsl_result.tasks[i].metrics, hand_result.tasks[i].metrics)
+        << "scalar metrics diverged at task " << i;
+  }
+}
+
+TEST(ScenarioGolden, Fig10BaselineMatchesHandCodedSweep) {
+  // Hand-coded side: bench_fig10_baseline's construction at 300 jobs.
+  testbed::SweepSpec hand;
+  hand.variants.push_back(
+      {"baseline", workload::baseline_scenario(2012, kJobs), testbed::ExperimentConfig{}});
+  hand.replications = 4;
+  hand.root_seed = 2014;
+  testing::attach_fingerprints(hand);
+
+  const CompiledScenario dsl = compile(load_catalog_spec("fig10_baseline.json"), reduced());
+  EXPECT_EQ(dsl.jobs, kJobs);
+  expect_identical(hand, dsl);
+}
+
+TEST(ScenarioGolden, Fig11UpdateDelayMatchesHandCodedSweep) {
+  // Hand-coded side: bench_fig11_update_delay's two-variant construction.
+  const workload::Scenario base = workload::baseline_scenario(2012, kJobs);
+  const workload::Scenario scaled = workload::scaled_scenario(base, 10.0);
+  testbed::ExperimentConfig config;
+  config.timings.service_update_interval = 600.0;
+  config.timings.client_cache_ttl = 600.0;
+  config.timings.reprioritize_interval = 60.0;
+  config.fairshare.decay =
+      core::DecayConfig{core::DecayKind::kExponentialHalfLife, 7.0 * 86400.0, 0.0};
+  testbed::ExperimentConfig scaled_config = config;
+  scaled_config.sample_interval = config.sample_interval * 10.0;
+  scaled_config.drain_seconds = 18000.0;
+
+  testbed::SweepSpec hand;
+  hand.variants.push_back({"baseline", base, config});
+  hand.variants.push_back({"x10", scaled, scaled_config});
+  hand.replications = 3;
+  hand.root_seed = 2014;
+  hand.convergence_epsilon = 0.08;
+  testing::attach_fingerprints(hand);
+
+  const CompiledScenario dsl = compile(load_catalog_spec("fig11_update_delay.json"), reduced());
+  ASSERT_EQ(dsl.variants.size(), 2u);
+  EXPECT_DOUBLE_EQ(dsl.variants[1].duration_seconds, scaled.duration_seconds);
+  expect_identical(hand, dsl);
+}
+
+TEST(ScenarioGolden, Fig12NonoptimalPolicyMatchesHandCodedRun) {
+  testbed::SweepSpec hand;
+  hand.variants.push_back({"nonoptimal", workload::nonoptimal_policy_scenario(2012, kJobs),
+                           testbed::ExperimentConfig{}});
+  hand.replications = 1;
+  hand.root_seed = 2014;
+  testing::attach_fingerprints(hand);
+
+  const CompiledScenario dsl =
+      compile(load_catalog_spec("fig12_nonoptimal_policy.json"), reduced());
+  expect_identical(hand, dsl);
+}
+
+TEST(ScenarioGolden, Fig13BurstyMatchesHandCodedRun) {
+  testbed::SweepSpec hand;
+  hand.variants.push_back(
+      {"bursty", workload::bursty_scenario(2012, kJobs), testbed::ExperimentConfig{}});
+  hand.replications = 1;
+  hand.root_seed = 2014;
+  testing::attach_fingerprints(hand);
+
+  const CompiledScenario dsl = compile(load_catalog_spec("fig13_bursty.json"), reduced());
+  expect_identical(hand, dsl);
+}
+
+}  // namespace
+}  // namespace aequus::scenario

@@ -15,6 +15,11 @@ metric, with a relative tolerance. Two modes:
   bench_gate.py --compare BENCH_fig10_baseline.json \
       --baseline tools/bench_baselines/BENCH_fig10_baseline.json
 
+A third mode schema-checks the JSON reports tools/scenario_run emits
+(aequus-scenario-report-v1) without gating any values:
+
+  bench_gate.py --validate-scenario-report ./build/scenario-report.json
+
 The gated quantity is each variant's aggregate *mean* per metric; the
 sweep's metrics are deterministic for a fixed (jobs, replications, seed)
 triple and independent of the thread count, so the tolerance (default
@@ -148,6 +153,101 @@ def compare(emitted: dict, baseline: dict, tolerance: float,
     return failures
 
 
+SCENARIO_SCHEMA = "aequus-scenario-report-v1"
+FINGERPRINT_HEX = set("0123456789abcdef")
+
+# Per-metric summary fields tools/scenario_run emits for every variant.
+SUMMARY_FIELDS = ("count", "mean", "stddev", "ci95_half", "min", "max")
+
+
+def validate_scenario_report(document) -> list[str]:
+    """Schema check for the reports tools/scenario_run emits.
+
+    Purely structural: gate *outcomes* are the scenario runner's job (and
+    its exit code); this guards the report contract downstream tooling
+    parses — schema tag, per-scenario gate entries, fingerprint shape,
+    and metric summaries.
+    """
+    errors = []
+    if not isinstance(document, dict):
+        return ["report root must be an object"]
+    if document.get("schema") != SCENARIO_SCHEMA:
+        errors.append(f"schema must be {SCENARIO_SCHEMA!r}, got {document.get('schema')!r}")
+    if not isinstance(document.get("passed"), bool):
+        errors.append("top-level 'passed' must be a bool")
+    if not isinstance(document.get("wall_seconds"), (int, float)):
+        errors.append("top-level 'wall_seconds' must be a number")
+    scenarios = document.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        errors.append("'scenarios' must be a non-empty array")
+        return errors
+
+    for i, entry in enumerate(scenarios):
+        where = f"scenarios[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: 'name' must be a non-empty string")
+        else:
+            where = f"scenarios[{i}] ({name})"
+        for field in ("jobs", "tasks", "threads"):
+            value = entry.get(field)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                errors.append(f"{where}: '{field}' must be a positive integer")
+        if not isinstance(entry.get("passed"), bool):
+            errors.append(f"{where}: 'passed' must be a bool")
+
+        gates = entry.get("gates")
+        if not isinstance(gates, list) or not gates:
+            errors.append(f"{where}: 'gates' must be a non-empty array")
+        else:
+            for j, gate in enumerate(gates):
+                if (not isinstance(gate, dict)
+                        or not isinstance(gate.get("gate"), str)
+                        or not isinstance(gate.get("passed"), bool)
+                        or not isinstance(gate.get("detail"), str)):
+                    errors.append(f"{where}: gates[{j}] needs gate/passed/detail")
+            if isinstance(entry.get("passed"), bool):
+                all_gates = all(g.get("passed") is True for g in gates if isinstance(g, dict))
+                if entry["passed"] != all_gates:
+                    errors.append(f"{where}: 'passed' disagrees with its gate results")
+
+        fingerprints = entry.get("fingerprints")
+        if not isinstance(fingerprints, list):
+            errors.append(f"{where}: 'fingerprints' must be an array")
+        else:
+            if isinstance(entry.get("tasks"), int) and len(fingerprints) != entry["tasks"]:
+                errors.append(
+                    f"{where}: {len(fingerprints)} fingerprint(s) for {entry['tasks']} task(s)")
+            for fp in fingerprints:
+                if (not isinstance(fp, str) or len(fp) != 16
+                        or not set(fp) <= FINGERPRINT_HEX):
+                    errors.append(f"{where}: fingerprint {fp!r} is not 16 hex chars")
+                    break
+
+        variants = entry.get("variants")
+        if not isinstance(variants, dict) or not variants:
+            errors.append(f"{where}: 'variants' must be a non-empty object")
+        else:
+            for vname, payload in sorted(variants.items()):
+                metrics = payload.get("metrics") if isinstance(payload, dict) else None
+                if not isinstance(metrics, dict):
+                    errors.append(f"{where}: variants[{vname!r}] needs a 'metrics' object")
+                    continue
+                for metric, summary in sorted(metrics.items()):
+                    missing = [f for f in SUMMARY_FIELDS
+                               if not isinstance(summary, dict)
+                               or not isinstance(summary.get(f), (int, float))]
+                    if missing:
+                        errors.append(
+                            f"{where}: variants[{vname!r}].metrics[{metric!r}] "
+                            f"missing numeric {'/'.join(missing)}")
+                        break
+    return errors
+
+
 def self_test() -> int:
     """Unit cases for compare(), runnable without any bench artifacts."""
 
@@ -216,10 +316,56 @@ def self_test() -> int:
         if not ok:
             print(f"       expected {expected_failures} failure(s), got: {failures}")
             failed += 1
+
+    # Scenario-report schema validator cases.
+    def scenario_report(**overrides):
+        entry = {
+            "name": "fig10_baseline", "jobs": 216, "tasks": 4, "threads": 1,
+            "wall_seconds": 1.5, "passed": True,
+            "gates": [{"gate": "invariants", "passed": True, "detail": "120 checks"}],
+            "variants": {"fig10_baseline": {"metrics": {"makespan": {
+                "count": 4.0, "mean": 21600.0, "stddev": 0.0,
+                "ci95_half": 0.0, "min": 21600.0, "max": 21600.0}}}},
+            "fingerprints": ["0123456789abcdef"] * 4,
+        }
+        entry.update({k: v for k, v in overrides.items() if k != "_doc"})
+        doc = {"schema": SCENARIO_SCHEMA, "passed": entry["passed"],
+               "wall_seconds": 1.5, "scenarios": [entry]}
+        doc.update(overrides.get("_doc", {}))
+        return doc
+
+    scenario_cases = [
+        ("well-formed scenario report validates", scenario_report(), True),
+        ("wrong schema tag is rejected",
+         scenario_report(_doc={"schema": "aequus-bench-v1"}), False),
+        ("non-array scenarios are rejected",
+         scenario_report(_doc={"scenarios": {}}), False),
+        ("gate entry without a detail is rejected",
+         scenario_report(gates=[{"gate": "invariants", "passed": True}]), False),
+        ("passed flag disagreeing with gates is rejected",
+         scenario_report(gates=[{"gate": "invariants", "passed": False,
+                                 "detail": "violation"}]), False),
+        ("fingerprint count must match the task count",
+         scenario_report(fingerprints=["0123456789abcdef"] * 3), False),
+        ("fingerprints must be 16 hex chars",
+         scenario_report(fingerprints=["xyz"] * 4), False),
+        ("metric summaries need all numeric fields",
+         scenario_report(variants={"v": {"metrics": {"m": {"mean": 1.0}}}}), False),
+        ("zero tasks is rejected", scenario_report(tasks=0, fingerprints=[]), False),
+    ]
+    for name, document, expected_ok in scenario_cases:
+        errors = validate_scenario_report(document)
+        ok = (not errors) == expected_ok
+        print(f"  {'ok  ' if ok else 'FAIL'} {name}")
+        if not ok:
+            print(f"       expected {'pass' if expected_ok else 'errors'}, got: {errors}")
+            failed += 1
+
+    total = len(cases) + len(scenario_cases)
     if failed:
-        print(f"SELF-TEST FAIL: {failed}/{len(cases)} case(s)")
+        print(f"SELF-TEST FAIL: {failed}/{total} case(s)")
         return 1
-    print(f"SELF-TEST PASS: {len(cases)} case(s)")
+    print(f"SELF-TEST PASS: {total} case(s)")
     return 0
 
 
@@ -237,9 +383,23 @@ def main() -> int:
                         help="absolute floor of the allowed band (near-zero baselines)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the gate's own unit cases and exit")
+    parser.add_argument("--validate-scenario-report", type=Path, metavar="FILE",
+                        help="schema-check a tools/scenario_run JSON report and exit")
     args = parser.parse_args()
     if args.self_test:
         return self_test()
+    if args.validate_scenario_report:
+        document = load(args.validate_scenario_report, "scenario report")
+        errors = validate_scenario_report(document)
+        if errors:
+            print(f"FAIL: {len(errors)} schema error(s) in {args.validate_scenario_report}:")
+            for error in errors:
+                print("  -", error)
+            return 1
+        count = len(document.get("scenarios", []))
+        print(f"PASS: {args.validate_scenario_report} is a valid {SCENARIO_SCHEMA} "
+              f"document ({count} scenario(s))")
+        return 0
     if args.baseline is None:
         parser.error("--baseline is required (unless --self-test)")
     if bool(args.bench) == bool(args.compare):

@@ -1,0 +1,182 @@
+// scenario_run: compile and execute declarative scenario specs with
+// invariant gates, emitting the aequus-scenario-report-v1 JSON document.
+//
+// Usage:
+//   scenario_run [options] [spec ...]
+//
+// Each spec is a path to a .json file or a bare catalog name
+// (`fig10_baseline` resolves to <catalog>/fig10_baseline.json). With no
+// specs the whole shipped catalog runs (scenarios/*.json; override the
+// directory with --catalog DIR or $AEQUUS_SCENARIO_DIR).
+//
+// Options:
+//   --list               list catalog specs and exit
+//   --catalog DIR        use DIR instead of the built-in catalog path
+//   --jobs-scale F       multiply every spec's job count by F
+//   --max-jobs N         cap the post-scale job count
+//   --time-scale F       extra time compression folded into variant scales
+//   --threads N          sweep threads for the primary run
+//   --reps N             override every spec's replication count
+//   --no-determinism     skip the dual-threaded determinism gate
+//   --json FILE          write the report document to FILE ("-" = stdout)
+//
+// $AEQUUS_SCENARIO_SCALE (a fraction) multiplies jobs-scale and
+// time-scale on top of the flags, so CI can compress a full catalog run
+// without touching the invocation.
+//
+// Exit status: 0 all gates passed, 1 a gate failed, 2 usage/spec error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/catalog.hpp"
+#include "scenario/runner.hpp"
+
+using namespace aequus;
+
+namespace {
+
+struct CliArgs {
+  std::vector<std::string> specs;
+  std::string catalog;
+  std::string json_path;
+  scenario::CompileOptions compile;
+  scenario::RunOptions run;
+  bool list = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--catalog DIR] [--jobs-scale F] [--max-jobs N]\n"
+               "          [--time-scale F] [--threads N] [--reps N] [--no-determinism]\n"
+               "          [--json FILE] [spec.json ...]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, CliArgs& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--list") args.list = true;
+    else if (arg == "--catalog") args.catalog = value();
+    else if (arg == "--jobs-scale") args.compile.jobs_scale = std::strtod(value(), nullptr);
+    else if (arg == "--max-jobs") {
+      args.compile.max_jobs = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--time-scale") {
+      args.compile.time_scale = std::strtod(value(), nullptr);
+    } else if (arg == "--threads") {
+      args.run.threads = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (arg == "--reps") {
+      args.compile.replications = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--no-determinism") {
+      args.run.determinism = false;
+    } else if (arg == "--json") {
+      args.json_path = value();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    } else {
+      args.specs.push_back(arg);
+    }
+  }
+  if (args.compile.jobs_scale <= 0.0 || args.compile.time_scale <= 0.0) {
+    std::fprintf(stderr, "--jobs-scale and --time-scale must be > 0\n");
+    return false;
+  }
+  return true;
+}
+
+/// A positional spec is a file path, or a bare catalog name resolved to
+/// <catalog>/<name>.json when no such file exists.
+std::string resolve_spec(const std::string& spec, const std::string& catalog) {
+  if (std::filesystem::exists(spec)) return spec;
+  const std::string dir = catalog.empty() ? scenario::catalog_dir() : catalog;
+  const std::filesystem::path named = std::filesystem::path(dir) / (spec + ".json");
+  if (std::filesystem::exists(named)) return named.string();
+  return spec;  // let load_spec_file produce the cannot-open error
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!parse_args(argc, argv, args)) return usage(argv[0]);
+
+  std::vector<std::string> paths;
+  paths.reserve(args.specs.size());
+  for (const std::string& spec : args.specs) {
+    paths.push_back(resolve_spec(spec, args.catalog));
+  }
+  if (paths.empty()) {
+    paths = scenario::list_catalog(args.catalog);
+    if (paths.empty()) {
+      std::fprintf(stderr, "no specs given and no catalog found at '%s'\n",
+                   (args.catalog.empty() ? scenario::catalog_dir() : args.catalog).c_str());
+      return 2;
+    }
+  }
+
+  if (args.list) {
+    for (const std::string& path : paths) {
+      try {
+        const scenario::ScenarioSpec spec = scenario::load_spec_file(path);
+        std::printf("%-24s %s\n", spec.name.c_str(), spec.description.c_str());
+      } catch (const scenario::SpecError& error) {
+        std::printf("%-24s INVALID: %s\n", path.c_str(), error.what());
+      }
+    }
+    return 0;
+  }
+
+  scenario::apply_env_scale(args.compile);
+
+  std::vector<scenario::ScenarioReport> reports;
+  double wall = 0.0;
+  for (const std::string& path : paths) {
+    try {
+      const scenario::ScenarioSpec spec = scenario::load_spec_file(path);
+      const scenario::CompiledScenario compiled = scenario::compile(spec, args.compile);
+      std::printf("== %s: %zu jobs x %zu task(s)...\n", compiled.name.c_str(), compiled.jobs,
+                  compiled.sweep.task_count());
+      std::fflush(stdout);
+      scenario::ScenarioReport report = scenario::run_scenario(compiled, args.run);
+      for (const scenario::GateResult& gate : report.gates) {
+        std::printf("   [%s] %-14s %s\n", gate.passed ? "PASS" : "FAIL", gate.gate.c_str(),
+                    gate.detail.c_str());
+      }
+      std::printf("   %s in %.2f s wall (%d threads)\n", report.passed ? "ok" : "FAILED",
+                  report.wall_seconds, report.threads);
+      wall += report.wall_seconds;
+      reports.push_back(std::move(report));
+    } catch (const scenario::SpecError& error) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), error.what());
+      return 2;
+    }
+  }
+
+  const json::Value document = scenario::catalog_report_json(reports, wall);
+  if (!args.json_path.empty()) {
+    if (args.json_path == "-") {
+      std::printf("%s\n", document.pretty().c_str());
+    } else {
+      std::ofstream out(args.json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", args.json_path.c_str());
+        return 2;
+      }
+      out << document.pretty() << "\n";
+      std::printf("report written to %s\n", args.json_path.c_str());
+    }
+  }
+
+  bool passed = true;
+  for (const scenario::ScenarioReport& report : reports) passed = passed && report.passed;
+  std::printf("%zu scenario(s), %s, %.2f s total\n", reports.size(),
+              passed ? "all gates passed" : "GATE FAILURES", wall);
+  return passed ? 0 : 1;
+}
