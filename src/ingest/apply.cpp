@@ -1,0 +1,50 @@
+#include "ingest/apply.hpp"
+
+namespace aequus::ingest {
+
+bool BatchApplier::admit(const std::string& source, std::uint64_t seq) {
+  if (seq == 0) return false;  // sequences start at 1
+  SourceState& state = sources_[source];
+  if (seq <= state.floor || state.beyond.count(seq) > 0) {
+    ++duplicates_;
+    return false;
+  }
+  state.beyond.insert(seq);
+  // Advance the contiguous floor through any gap the arrival just closed.
+  auto it = state.beyond.begin();
+  while (it != state.beyond.end() && *it == state.floor + 1) {
+    ++state.floor;
+    it = state.beyond.erase(it);
+  }
+  ++admitted_;
+  return true;
+}
+
+std::uint64_t BatchApplier::contiguous_floor(const std::string& source) const {
+  const auto it = sources_.find(source);
+  return it != sources_.end() ? it->second.floor : 0;
+}
+
+EngineSink::EngineSink(core::FairshareEngine& engine, PathResolver path_of)
+    : engine_(engine), path_of_(std::move(path_of)) {
+  if (!path_of_) {
+    path_of_ = [](const std::string& user) { return "/" + user; };
+  }
+}
+
+core::FairshareSnapshotPtr EngineSink::commit(const DeltaBatch& batch) {
+  if (!applier_.admit(batch.source, batch.seq)) {
+    ++stats_.duplicate_batches;
+    return nullptr;
+  }
+  for (const UsageDelta& delta : batch.deltas) {
+    engine_.apply_usage(path_of_(delta.user), delta.amount, delta.time);
+  }
+  stats_.applied_records += batch.deltas.size();
+  ++stats_.committed_batches;
+  // The transaction boundary: one publish per batch, however many
+  // records it carried.
+  return engine_.snapshot();
+}
+
+}  // namespace aequus::ingest

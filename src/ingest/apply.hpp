@@ -1,0 +1,82 @@
+// Receiver-side batch application: idempotency and engine transactions.
+//
+// The bus may duplicate inter-site legs (FaultPlan) and jitter can
+// reorder them, so batch application must be exactly-once per
+// (source, seq) regardless of delivery order or multiplicity. The
+// BatchApplier keeps, per source, the set of admitted sequence numbers
+// above a pruned floor: duplicates are rejected, late out-of-order
+// arrivals (seq n after n+1) are still admitted — rejecting them would
+// turn reordering into data loss.
+//
+// EngineSink is the FCS-side seam: it commits one admitted batch as a
+// single core::FairshareEngine transaction — N apply_usage() calls and
+// exactly one snapshot() publish — instead of N independent updates
+// each paying a snapshot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/engine.hpp"
+#include "ingest/delta.hpp"
+
+namespace aequus::ingest {
+
+/// Exactly-once admission of (source, seq) pairs.
+class BatchApplier {
+ public:
+  /// True when the pair was never seen before (caller applies the batch);
+  /// false for a duplicate delivery. Seen-sets are pruned below the
+  /// longest contiguous prefix, so memory stays proportional to the
+  /// reorder window, not the stream length.
+  bool admit(const std::string& source, std::uint64_t seq);
+
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t duplicates() const noexcept { return duplicates_; }
+  /// Highest contiguously-admitted sequence for a source (0 = none).
+  [[nodiscard]] std::uint64_t contiguous_floor(const std::string& source) const;
+
+ private:
+  struct SourceState {
+    std::uint64_t floor = 0;          ///< every seq <= floor was admitted
+    std::set<std::uint64_t> beyond;   ///< admitted seqs > floor (reorder gap)
+  };
+  std::map<std::string, SourceState> sources_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+/// Maps a grid user to its engine leaf path ("/user" by default; the FCS
+/// resolves through the site policy).
+using PathResolver = std::function<std::string(const std::string&)>;
+
+struct EngineSinkStats {
+  std::uint64_t committed_batches = 0;
+  std::uint64_t duplicate_batches = 0;
+  std::uint64_t applied_records = 0;
+};
+
+/// Commits admitted batches into a FairshareEngine, one transaction (and
+/// one snapshot generation at most) per batch.
+class EngineSink {
+ public:
+  explicit EngineSink(core::FairshareEngine& engine, PathResolver path_of = {});
+
+  /// Apply `batch` unless it is a duplicate. Returns the snapshot
+  /// published after the transaction (null for rejected duplicates).
+  core::FairshareSnapshotPtr commit(const DeltaBatch& batch);
+
+  [[nodiscard]] const EngineSinkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] BatchApplier& applier() noexcept { return applier_; }
+
+ private:
+  core::FairshareEngine& engine_;
+  PathResolver path_of_;
+  BatchApplier applier_;
+  EngineSinkStats stats_;
+};
+
+}  // namespace aequus::ingest

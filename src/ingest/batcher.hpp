@@ -1,0 +1,102 @@
+// The per-site delta log: bounded queue + coalescing batcher.
+//
+// RMs (through the client) append usage deltas; a periodic flush task
+// drains the queue, coalesces same-(user, bin) records, and ships one
+// sequence-numbered batch envelope per `max_batch_records` chunk to the
+// sink address (normally the local USS). The flush runs under its own
+// span, so the trace analyzer sees one bus hop per batch where the
+// per-RPC path produced one hop per job completion.
+//
+// Backpressure: with kBlockProducer a full queue triggers an immediate
+// synchronous flush (the producer stalls until the log drains — no
+// record is ever lost); with kDropOldest the oldest queued record is
+// evicted. Both are accounted in the obs registry:
+//   ingest.dropped_deltas            (global, trace.dropped_events style)
+//   <site>.ingest.dropped_deltas
+//   <site>.ingest.queue_depth        (gauge, sampled per append/flush)
+//   <site>.ingest.batches_shipped / records_shipped / backpressure_flushes
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ingest/queue.hpp"
+#include "net/service_bus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace aequus::ingest {
+
+/// Knobs for the batched ingestion path; `enabled` false keeps the
+/// legacy one-RPC-per-completion behavior byte-identical.
+struct IngestConfig {
+  bool enabled = false;
+  double batch_interval = 5.0;         ///< flush cadence [s]
+  std::size_t max_batch_records = 512; ///< coalesced records per envelope
+  std::size_t queue_capacity = 4096;   ///< bounded queue size
+  OverflowPolicy overflow = OverflowPolicy::kBlockProducer;
+  /// Coalescing granularity; must match the receiver's histogram
+  /// bin_width so merged records land in the bins their constituents
+  /// would have (the testbed plumbs uss_bin_width here).
+  double bin_width = 60.0;
+};
+
+/// Local accounting mirror of the registry counters (valid without
+/// observability attached).
+struct DeltaLogStats {
+  std::uint64_t appended = 0;            ///< deltas accepted into the queue
+  std::uint64_t dropped_deltas = 0;      ///< evicted by kDropOldest
+  std::uint64_t backpressure_flushes = 0;///< synchronous flushes forced by a full queue
+  std::uint64_t batches_shipped = 0;     ///< envelopes sent
+  std::uint64_t records_shipped = 0;     ///< coalesced records sent
+  std::uint64_t coalesced_records = 0;   ///< raw records merged away
+};
+
+class DeltaLog {
+ public:
+  DeltaLog(sim::Simulator& simulator, net::ServiceBus& bus, std::string site,
+           std::string sink_address, IngestConfig config, obs::Observability obs = {});
+  ~DeltaLog();
+  DeltaLog(const DeltaLog&) = delete;
+  DeltaLog& operator=(const DeltaLog&) = delete;
+
+  /// Append one usage record, stamped with the current simulated time.
+  void append(const std::string& user, double amount);
+
+  /// Append with an explicit record time (tests and replays).
+  void append_at(const std::string& user, double amount, double time);
+
+  /// Drain the queue now: coalesce and ship every queued record in
+  /// `max_batch_records` chunks (zero queued records ships nothing).
+  void flush_now();
+
+  [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
+  [[nodiscard]] const DeltaLogStats& stats() const noexcept { return stats_; }
+  /// Sequence number the next shipped batch will carry.
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  [[nodiscard]] const IngestConfig& config() const noexcept { return config_; }
+
+ private:
+  void ship(std::vector<UsageDelta> records);
+  void set_depth_gauge();
+
+  sim::Simulator& simulator_;
+  net::ServiceBus& bus_;
+  std::string site_;
+  std::string sink_;
+  IngestConfig config_;
+  obs::Observability obs_;
+  BoundedDeltaQueue queue_;
+  DeltaLogStats stats_;
+  std::uint64_t next_seq_ = 1;
+  sim::EventHandle flush_task_;
+  obs::Counter* dropped_global_ = nullptr;
+  obs::Counter* dropped_site_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* records_ = nullptr;
+  obs::Counter* backpressure_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
+};
+
+}  // namespace aequus::ingest

@@ -1,0 +1,84 @@
+#include "ingest/delta.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace aequus::ingest {
+
+namespace {
+
+/// Histogram bin a record time falls into (the USS uses the same floor).
+double bin_of(double time, double bin_width) {
+  if (bin_width <= 0.0) return time;
+  return std::floor(time / bin_width) * bin_width;
+}
+
+}  // namespace
+
+std::vector<UsageDelta> coalesce(const std::vector<UsageDelta>& deltas, double bin_width) {
+  std::vector<UsageDelta> merged;
+  merged.reserve(deltas.size());
+  // (user, bin) -> index into `merged`; first appearance fixes the order.
+  std::map<std::pair<std::string, double>, std::size_t> index;
+  for (const UsageDelta& delta : deltas) {
+    const auto key = std::make_pair(delta.user, bin_of(delta.time, bin_width));
+    const auto it = index.find(key);
+    if (it == index.end()) {
+      index.emplace(key, merged.size());
+      merged.push_back(delta);
+    } else {
+      merged[it->second].amount += delta.amount;
+    }
+  }
+  return merged;
+}
+
+double DeltaBatch::total() const noexcept {
+  double sum = 0.0;
+  for (const UsageDelta& delta : deltas) sum += delta.amount;
+  return sum;
+}
+
+json::Value DeltaBatch::to_json() const {
+  json::Array records;
+  records.reserve(deltas.size());
+  for (const UsageDelta& delta : deltas) {
+    records.push_back(json::Array{json::Value(delta.user), json::Value(delta.time),
+                                  json::Value(delta.amount)});
+  }
+  json::Object envelope;
+  envelope["op"] = kBatchOp;
+  envelope["source"] = source;
+  envelope["seq"] = static_cast<double>(seq);
+  envelope["deltas"] = std::move(records);
+  return json::Value(std::move(envelope));
+}
+
+DeltaBatch DeltaBatch::from_json(const json::Value& value) {
+  DeltaBatch batch;
+  if (value.get_string("op") != kBatchOp) {
+    throw std::invalid_argument("DeltaBatch: op is not " + std::string(kBatchOp));
+  }
+  batch.source = value.get_string("source");
+  if (batch.source.empty()) throw std::invalid_argument("DeltaBatch: missing source");
+  const double seq = value.get_number("seq", -1.0);
+  if (seq < 1.0) throw std::invalid_argument("DeltaBatch: bad seq");
+  batch.seq = static_cast<std::uint64_t>(seq);
+  const json::Value& records = value.at("deltas");
+  batch.deltas.reserve(records.size());
+  for (const json::Value& record : records.as_array()) {
+    if (record.size() != 3) throw std::invalid_argument("DeltaBatch: bad record arity");
+    UsageDelta delta;
+    delta.user = record.at(0).as_string();
+    delta.time = record.at(1).as_number();
+    delta.amount = record.at(2).as_number();
+    if (delta.user.empty()) throw std::invalid_argument("DeltaBatch: empty user");
+    if (!(delta.amount > 0.0)) throw std::invalid_argument("DeltaBatch: non-positive amount");
+    batch.deltas.push_back(std::move(delta));
+  }
+  return batch;
+}
+
+}  // namespace aequus::ingest

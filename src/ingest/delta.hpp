@@ -1,0 +1,70 @@
+// Streaming usage ingestion: the delta-log wire format (§ DESIGN.md 6g).
+//
+// Every job completion used to flow as one RPC through the client into
+// the site USS. For serving-scale completion rates (the Equinox problem)
+// that is one bus envelope per job; the paper's own update-interval
+// experiments (fig11) show fairness quality is robust to coalesced,
+// delayed usage propagation, so batching is safe by design.
+//
+// A UsageDelta is one usage record: (grid user, record time, amount).
+// The record time travels with the delta so the receiver bins by when
+// the usage *happened*, not when the batch arrived — a batch delayed by
+// its cadence must land in the same histogram bins the per-delta path
+// would have used, or batched and unbatched runs could never converge
+// to identical fairshare state.
+//
+// A DeltaBatch is the envelope: a source site, a per-source sequence
+// number (the idempotency key — the bus may duplicate inter-site legs),
+// and the coalesced records. Wire form, one compact array per record:
+//   {"op":"report_batch", "source":"siteA", "seq":7,
+//    "deltas":[["U1", 120.0, 40.0], ...]}          // [user, time, amount]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace aequus::ingest {
+
+/// Bus op naming the batch envelope (shared by USS and FCS seams).
+inline constexpr const char* kBatchOp = "report_batch";
+
+/// One usage record: `amount` core-seconds consumed by `user`, recorded
+/// at simulated time `time` (the receiver derives the histogram bin).
+struct UsageDelta {
+  std::string user;
+  double time = 0.0;
+  double amount = 0.0;
+};
+
+/// Merge same-(user, bin) deltas by summing amounts, preserving the
+/// first-appearance order of each key — application order stays
+/// deterministic and FIFO-shaped regardless of how much coalescing
+/// happened. `bin_width` <= 0 coalesces only records with bit-equal
+/// times. The merged record keeps the *first* record's time (the
+/// earliest, since producers append in time order), which lands in the
+/// same bin as every coalesced sibling by construction.
+[[nodiscard]] std::vector<UsageDelta> coalesce(const std::vector<UsageDelta>& deltas,
+                                               double bin_width);
+
+/// The batch envelope: records from one source site under one sequence
+/// number. Sequence numbers start at 1 and increase per shipped batch,
+/// so receivers can discard bus-duplicated deliveries.
+struct DeltaBatch {
+  std::string source;
+  std::uint64_t seq = 0;
+  std::vector<UsageDelta> deltas;
+
+  /// Sum of all record amounts (conservation bookkeeping).
+  [[nodiscard]] double total() const noexcept;
+
+  /// Full payload including {"op":"report_batch"}.
+  [[nodiscard]] json::Value to_json() const;
+
+  /// Strict decode; throws std::invalid_argument on a malformed envelope.
+  [[nodiscard]] static DeltaBatch from_json(const json::Value& value);
+};
+
+}  // namespace aequus::ingest

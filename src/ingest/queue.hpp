@@ -1,0 +1,83 @@
+// Bounded, deterministic delta queue with an explicit overflow policy.
+//
+// Producers (RM completion plugins via the client) append UsageDelta
+// records; the DeltaLog drains them on its flush cadence. The queue is
+// strictly FIFO and single-threaded (the simulator owns all execution),
+// so determinism comes for free; the bound and its overflow policy are
+// the interesting part:
+//
+//   kBlockProducer — a full queue refuses the append (kWouldBlock). The
+//     DeltaLog models the stalled producer by flushing synchronously and
+//     retrying, so no record is ever lost; the stall is accounted in
+//     `ingest.backpressure_flushes`.
+//   kDropOldest — a full queue evicts its oldest record to admit the new
+//     one, counted in `ingest.dropped_deltas` (the trace.dropped_events
+//     precedent: shed load visibly, never silently).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ingest/delta.hpp"
+
+namespace aequus::ingest {
+
+enum class OverflowPolicy {
+  kBlockProducer,  ///< full queue refuses appends (producer must flush)
+  kDropOldest,     ///< full queue evicts the oldest record
+};
+
+class BoundedDeltaQueue {
+ public:
+  enum class Append {
+    kAccepted,      ///< stored
+    kDroppedOldest, ///< stored; the oldest record was evicted to make room
+    kWouldBlock,    ///< refused (kBlockProducer and the queue is full)
+  };
+
+  explicit BoundedDeltaQueue(std::size_t capacity, OverflowPolicy policy)
+      : capacity_(capacity > 0 ? capacity : 1), policy_(policy) {}
+
+  Append push(UsageDelta delta) {
+    if (queue_.size() >= capacity_) {
+      if (policy_ == OverflowPolicy::kBlockProducer) return Append::kWouldBlock;
+      queue_.pop_front();
+      ++dropped_;
+      queue_.push_back(std::move(delta));
+      return Append::kDroppedOldest;
+    }
+    queue_.push_back(std::move(delta));
+    return Append::kAccepted;
+  }
+
+  /// Pop up to `max_records` oldest records (0 = everything).
+  [[nodiscard]] std::vector<UsageDelta> drain(std::size_t max_records = 0) {
+    const std::size_t take =
+        max_records == 0 ? queue_.size() : std::min(max_records, queue_.size());
+    std::vector<UsageDelta> out;
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] OverflowPolicy policy() const noexcept { return policy_; }
+  /// Records evicted by kDropOldest over the queue's lifetime.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  OverflowPolicy policy_;
+  std::deque<UsageDelta> queue_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace aequus::ingest

@@ -23,6 +23,10 @@ AequusClient::AequusClient(sim::Simulator& simulator, net::ServiceBus& bus, Clie
     metrics_.refresh_errors = &obs_.registry->counter(prefix + "refresh_errors");
     metrics_.refresh_failures = &obs_.registry->counter(prefix + "refresh_failures");
   }
+  if (config_.batching.enabled) {
+    delta_log_ = std::make_unique<ingest::DeltaLog>(simulator_, bus_, config_.site,
+                                                    config_.site + ".uss", config_.batching, obs_);
+  }
   refresh_fairshare_table();
   refresh_task_ =
       simulator_.schedule_periodic(config_.fairshare_cache_ttl, config_.fairshare_cache_ttl,
@@ -210,11 +214,17 @@ void AequusClient::report_usage(const std::string& grid_user, double usage) {
                                    "report_usage:" + grid_user);
   }
   obs::SpanScope scope(obs_.tracer, span);
-  json::Object record;
-  record["op"] = "report";
-  record["user"] = grid_user;
-  record["usage"] = usage;
-  bus_.send(config_.site, config_.site + ".uss", json::Value(std::move(record)));
+  if (delta_log_ != nullptr) {
+    // Batched path: the record joins the site's delta log and ships on
+    // cadence; the batch's own span covers the eventual bus send.
+    delta_log_->append(grid_user, usage);
+  } else {
+    json::Object record;
+    record["op"] = "report";
+    record["user"] = grid_user;
+    record["usage"] = usage;
+    bus_.send(config_.site, config_.site + ".uss", json::Value(std::move(record)));
+  }
   end_client_span(span, {}, usage);
 }
 

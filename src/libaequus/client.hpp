@@ -27,10 +27,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "core/snapshot.hpp"
+#include "ingest/batcher.hpp"
 #include "net/service_bus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -48,6 +50,12 @@ struct ClientConfig {
   double backoff_base = 1.0;         ///< first retry delay [s]
   double backoff_multiplier = 2.0;   ///< exponential backoff factor
   double backoff_max = 30.0;         ///< ceiling on a single backoff delay [s]
+  /// Batched usage ingestion (DESIGN.md §6g). Disabled by default: every
+  /// report is one immediate bus send, byte-identical to the legacy
+  /// path. Enabled, reports append to a bounded per-site delta log that
+  /// ships coalesced, sequence-numbered batches to the USS on
+  /// `batch_interval` cadence.
+  ingest::IngestConfig batching{};
 };
 
 struct ClientStats {
@@ -116,6 +124,9 @@ class AequusClient {
   /// in-flight attempt or pending backoff retry.
   void refresh_fairshare_table();
 
+  /// The batching delta log (null unless config.batching.enabled).
+  [[nodiscard]] ingest::DeltaLog* delta_log() noexcept { return delta_log_.get(); }
+
  private:
   /// Registry-backed mirrors of ClientStats ("<site>.client.*"), null
   /// when no observability is attached.
@@ -162,6 +173,8 @@ class AequusClient {
   };
   std::map<std::string, CachedIdentity> identity_cache_;
   ClientStats stats_;
+  /// Bounded delta log for batched ingestion; null when batching is off.
+  std::unique_ptr<ingest::DeltaLog> delta_log_;
   sim::EventHandle refresh_task_;
   sim::EventHandle timeout_task_;
   sim::EventHandle retry_task_;

@@ -46,6 +46,8 @@ void ServiceBus::register_metrics() {
   metrics_.duplicated = &registry_->counter("bus.duplicated");
   metrics_.unbound_bounces = &registry_->counter("bus.unbound_bounces");
   metrics_.payload_bytes = &registry_->counter("bus.payload_bytes");
+  metrics_.batches = &registry_->counter("bus.batches");
+  metrics_.batch_records = &registry_->counter("bus.batch_records");
 }
 
 void ServiceBus::attach_observability(obs::Observability obs) {
@@ -87,6 +89,8 @@ BusStats ServiceBus::stats() const noexcept {
   stats.duplicated = metrics_.duplicated->value();
   stats.unbound_bounces = metrics_.unbound_bounces->value();
   stats.payload_bytes = metrics_.payload_bytes->value();
+  stats.batches = metrics_.batches->value();
+  stats.batch_records = metrics_.batch_records->value();
   return stats;
 }
 
@@ -406,6 +410,16 @@ void ServiceBus::send(const std::string& from_site, const std::string& address,
               tracer_->end_span(simulator_.now(), send_span, to_site, "bus");
             }
           });
+}
+
+void ServiceBus::send_batch(const std::string& from_site, const std::string& address,
+                            json::Value payload, std::size_t record_count) {
+  // A batch is one data message on the wire; the extra counters record
+  // how many usage records it stands for. Delivery (participation,
+  // outage, loss, duplication, jitter) is exactly send()'s.
+  metrics_.batches->inc();
+  metrics_.batch_records->inc(record_count);
+  send(from_site, address, std::move(payload));
 }
 
 json::Value ServiceBus::call(const std::string& address, const json::Value& payload) {

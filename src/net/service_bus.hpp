@@ -59,6 +59,8 @@ struct BusStats {
   std::uint64_t duplicated = 0;             ///< extra deliveries injected
   std::uint64_t unbound_bounces = 0;        ///< error envelopes delivered
   std::uint64_t payload_bytes = 0;          ///< serialized payload volume
+  std::uint64_t batches = 0;                ///< coalesced batch envelopes sent
+  std::uint64_t batch_records = 0;          ///< usage records carried in batches
 };
 
 /// One scheduled site failure: the site is unreachable (and its services
@@ -148,6 +150,14 @@ class ServiceBus {
   /// receive.
   void send(const std::string& from_site, const std::string& address, json::Value payload);
 
+  /// Batch envelope: a one-way data message known to carry
+  /// `record_count` coalesced records (the ingest delta-log path).
+  /// Delivery semantics are identical to send(); the extra counters
+  /// (`bus.batches`, `bus.batch_records`) expose the coalescing ratio —
+  /// envelopes on the wire vs usage records represented.
+  void send_batch(const std::string& from_site, const std::string& address,
+                  json::Value payload, std::size_t record_count);
+
   /// Immediate local call, bypassing latency and participation (used for
   /// co-located services inside one installation). Throws if unbound.
   [[nodiscard]] json::Value call(const std::string& address, const json::Value& payload);
@@ -198,6 +208,8 @@ class ServiceBus {
     obs::Counter* duplicated = nullptr;
     obs::Counter* unbound_bounces = nullptr;
     obs::Counter* payload_bytes = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* batch_records = nullptr;
   };
   /// Per-endpoint RPC metrics ("rpc.<address>.*"), registered on first
   /// bind/request of the address.

@@ -264,7 +264,7 @@ void check_experiment_keys(const json::Value& value, const std::string& path) {
   reject_unknown_keys(object, path,
                       {"dispatch", "timings", "fairshare", "bus_remote_latency",
                        "sample_interval", "seed_rng", "record_per_site", "drain_seconds",
-                       "sites", "offloads"});
+                       "sites", "offloads", "usage_batching"});
 }
 
 std::vector<VariantSpec> parse_variants(const json::Value& value, const std::string& path) {

@@ -12,9 +12,13 @@ Fcs::Fcs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, FcsC
       address_(site_ + ".fcs"),
       config_(config),
       telemetry_(obs, simulator, site_, "fcs",
-                 {"fairshare", "table", "tree", "snapshot", "configure"}),
+                 {"fairshare", "table", "tree", "snapshot", "configure", "report_batch"}),
       recalculations_(telemetry_.counter("recalculations")),
       engine_(config.algorithm) {
+  ingest_sink_ = std::make_unique<ingest::EngineSink>(engine_, [this](const std::string& user) {
+    const auto it = ingest_paths_.find(user);
+    return it != ingest_paths_.end() ? it->second : "/" + user;
+  });
   bus_.bind(address_, [this](const json::Value& request) { return handle(request); });
   update_task_ = simulator_.schedule_periodic(config_.update_interval, config_.update_interval,
                                               [this] { update_now(); });
@@ -50,6 +54,7 @@ void Fcs::update_now() {
                  try {
                    policy_ = core::PolicyTree::from_json(reply);
                    have_policy_ = true;
+                   refresh_ingest_paths();
                    recalculate();
                  } catch (const std::exception& e) {
                    AEQ_WARN("fcs") << site_ << ": bad policy reply: " << e.what();
@@ -62,6 +67,7 @@ void Fcs::update_now() {
                [this, cycle](const json::Value& reply) {
                  try {
                    usage_ = core::UsageTree::from_json(reply);
+                   have_usage_ = true;
                    recalculate();
                  } catch (const std::exception& e) {
                    AEQ_WARN("fcs") << site_ << ": bad usage reply: " << e.what();
@@ -76,8 +82,16 @@ void Fcs::recalculate() {
   // recomputes only dirty paths; an update that changed nothing keeps the
   // generation, and then the projection/table rebuild is skipped too.
   engine_.set_policy(policy_);
-  engine_.set_usage(usage_);
-  const core::FairshareSnapshotPtr base = engine_.snapshot();
+  // Wholesale usage replacement drops push-mode binned state, so it only
+  // happens once a UMS poll reply has actually landed (poll mode wins).
+  // Before that the re-applied default tree would be an empty-vs-empty
+  // no-op for poll deployments anyway.
+  if (have_usage_) engine_.set_usage(usage_);
+  republish(engine_.snapshot());
+}
+
+void Fcs::republish(const core::FairshareSnapshotPtr& base) {
+  if (base == nullptr) return;
   if (snapshot_ == nullptr || base->generation() != snapshot_->generation() || reproject_) {
     table_ = core::project(*base, config_.projection);
     user_table_.clear();
@@ -92,6 +106,21 @@ void Fcs::recalculate() {
   bump(recalculations_);
   telemetry_.trace(obs::EventKind::kUsageUpdateApplied, "recalculate",
                    static_cast<double>(table_.size()));
+}
+
+void Fcs::refresh_ingest_paths() {
+  ingest_paths_.clear();
+  for (const auto& path : policy_.leaf_paths()) {
+    const auto segments = core::split_path(path);
+    if (!segments.empty()) ingest_paths_[segments.back()] = path;
+  }
+}
+
+bool Fcs::ingest_batch(const ingest::DeltaBatch& batch) {
+  const core::FairshareSnapshotPtr snap = ingest_sink_->commit(batch);
+  if (snap == nullptr) return false;  // duplicate delivery
+  republish(snap);
+  return true;
 }
 
 void Fcs::set_projection(core::ProjectionConfig projection) {
@@ -163,6 +192,23 @@ json::Value Fcs::handle(const json::Value& request) {
     // default-constructed tree served before the first calculation.
     if (snapshot_ == nullptr) return core::FairshareTree{}.to_json();
     return snapshot_->tree_to_json();
+  }
+  if (op == ingest::kBatchOp) {
+    try {
+      const ingest::DeltaBatch batch = ingest::DeltaBatch::from_json(request);
+      json::Object reply;
+      reply["ok"] = true;
+      if (ingest_batch(batch)) {
+        reply["applied"] = static_cast<double>(batch.deltas.size());
+      } else {
+        reply["duplicate"] = true;
+      }
+      reply["generation"] = static_cast<double>(engine_.generation());
+      return json::Value(std::move(reply));
+    } catch (const std::exception& e) {
+      AEQ_WARN("fcs") << site_ << ": malformed batch envelope: " << e.what();
+      return json::Value(json::Object{{"error", json::Value(std::string(e.what()))}});
+    }
   }
   if (op == "configure") {
     try {

@@ -24,6 +24,13 @@
 //   {"op":"snapshot", "tree":bool} -> generation-stamped snapshot JSON
 //   {"op":"tree"}  -> full fairshare tree JSON
 //   {"op":"configure", "projection":{...}, "algorithm":{...}} -> {"ok":true}
+//   {"op":"report_batch", ...}  -> {"ok":true, "applied":k, "generation":g}
+//       push-mode ingestion seam (DESIGN.md §6g): a delta-log batch is
+//       committed as ONE engine transaction — N apply_usage() calls,
+//       one snapshot publish — idempotently per (source, seq). Push and
+//       poll modes are alternatives: a UMS usage poll reply replaces the
+//       usage state wholesale (set_usage drops binned deltas), so
+//       deployments feed an FCS batches *or* poll cycles, not both.
 //
 // Since the incremental-engine rework the FCS no longer recomputes the
 // whole tree per update: it feeds the fetched policy/usage trees into a
@@ -34,12 +41,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/engine.hpp"
 #include "core/fairshare.hpp"
 #include "core/projection.hpp"
 #include "core/snapshot.hpp"
+#include "ingest/apply.hpp"
 #include "net/service_bus.hpp"
 #include "services/telemetry.hpp"
 #include "sim/simulator.hpp"
@@ -89,9 +98,25 @@ class Fcs {
   /// Run-time reconfiguration of the distance algorithm (k, resolution).
   void set_algorithm(core::FairshareConfig algorithm);
 
+  /// Push-mode ingestion: commit one delta-log batch as a single engine
+  /// transaction and republish the projected table. Returns false for
+  /// duplicate (source, seq) deliveries. Users are mapped to policy leaf
+  /// paths (falling back to "/<user>" before a policy is known).
+  bool ingest_batch(const ingest::DeltaBatch& batch);
+
+  [[nodiscard]] const ingest::EngineSinkStats& ingest_stats() const noexcept {
+    return ingest_sink_->stats();
+  }
+
  private:
   json::Value handle(const json::Value& request);
   void recalculate();
+  /// Project + publish from a freshly published engine snapshot (shared
+  /// by the poll-driven recalculate() and the push-driven batch commit).
+  void republish(const core::FairshareSnapshotPtr& base);
+  /// Rebuild the grid-user -> policy-leaf-path map the ingest seam
+  /// resolves through (called whenever a new policy lands).
+  void refresh_ingest_paths();
   /// Count one reply of update cycle `cycle`; closes the cycle's span when
   /// both the policy and usage replies have landed.
   void update_reply_done(std::uint64_t cycle);
@@ -107,10 +132,13 @@ class Fcs {
   core::PolicyTree policy_;
   core::UsageTree usage_;
   bool have_policy_ = false;
+  bool have_usage_ = false;  ///< a UMS poll reply landed (enables wholesale set_usage)
   bool reproject_ = false;  ///< projection changed: factors stale even at same generation
   core::FairshareSnapshotPtr snapshot_;        ///< latest tree + factors
   std::map<std::string, double> table_;        ///< leaf path -> factor
   std::map<std::string, double> user_table_;   ///< leaf name -> factor
+  std::map<std::string, std::string> ingest_paths_;  ///< user -> policy leaf path
+  std::unique_ptr<ingest::EngineSink> ingest_sink_;  ///< idempotent batch commits
   std::uint64_t calculations_ = 0;
   sim::EventHandle update_task_;
   /// Span of the in-flight update cycle; closed "complete" when both

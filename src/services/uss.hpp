@@ -9,7 +9,18 @@
 //
 // Bus protocol (address "<site>.uss"):
 //   {"op":"report", "user":<grid id>, "usage":<core-seconds>}  -> {"ok":true}
+//   {"op":"report_batch", "source":<site>, "seq":n,
+//    "deltas":[[user, time, amount], ...]}
+//       -> {"ok":true, "applied":k} | {"ok":true, "duplicate":true}
 //   {"op":"histograms"} -> {"users": {"<user>": [[bin_time, amount], ...]}}
+//
+// Batch envelopes come from the ingest delta log (DESIGN.md §6g). They
+// are applied transactionally — all records of an admitted batch, none
+// of a duplicate — and idempotently: the bus may duplicate inter-site
+// legs, so each (source, seq) pair is admitted exactly once. Batched
+// records carry their *record* time and are binned by it, not by
+// arrival, so cadence-delayed delivery lands in the same histogram bins
+// the per-delta path would have used.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "ingest/apply.hpp"
+#include "ingest/delta.hpp"
 #include "net/service_bus.hpp"
 #include "services/telemetry.hpp"
 #include "sim/simulator.hpp"
@@ -44,6 +57,15 @@ class Uss {
   /// Record `usage` core-seconds for `grid_user` at the current time.
   void report(const std::string& grid_user, double usage);
 
+  /// Record `usage` core-seconds binned by an explicit record time (the
+  /// batched path: a delta delayed by its cadence still lands in the bin
+  /// it was produced in).
+  void report_at(const std::string& grid_user, double usage, double time);
+
+  /// Apply one decoded batch envelope: admitted exactly once per
+  /// (source, seq), all records or none. Returns false for duplicates.
+  bool apply_batch(const ingest::DeltaBatch& batch);
+
   /// Per-user histograms: user -> ordered (bin start time, amount) pairs.
   [[nodiscard]] const std::map<std::string, std::vector<std::pair<double, double>>>& histograms()
       const noexcept {
@@ -55,6 +77,8 @@ class Uss {
 
   [[nodiscard]] const std::string& address() const noexcept { return address_; }
   [[nodiscard]] std::uint64_t reports_received() const noexcept { return reports_; }
+  [[nodiscard]] std::uint64_t batches_applied() const noexcept { return batches_applied_; }
+  [[nodiscard]] std::uint64_t batch_duplicates() const noexcept { return batch_duplicates_; }
 
   /// Serialize histograms into the wire format.
   [[nodiscard]] json::Value histograms_json() const;
@@ -70,6 +94,11 @@ class Uss {
   ServiceTelemetry telemetry_;
   std::map<std::string, std::vector<std::pair<double, double>>> histograms_;
   std::uint64_t reports_ = 0;
+  ingest::BatchApplier applier_;
+  std::uint64_t batches_applied_ = 0;
+  std::uint64_t batch_duplicates_ = 0;
+  obs::Counter* batch_counter_ = nullptr;
+  obs::Counter* batch_duplicate_counter_ = nullptr;
 };
 
 }  // namespace aequus::services

@@ -59,6 +59,22 @@ aequus::testbed::ExperimentConfig aequus::json::Decoder<aequus::testbed::Experim
   config.record_per_site = spec.get_bool("record_per_site", config.record_per_site);
   config.drain_seconds = spec.get_number("drain_seconds", config.drain_seconds);
 
+  if (const auto batching = spec.find("usage_batching")) {
+    const auto& b = batching->get();
+    auto& ingest = config.usage_batching;
+    ingest.enabled = b.get_bool("enabled", true);
+    ingest.batch_interval = b.get_number("batch_interval", ingest.batch_interval);
+    ingest.max_batch_records =
+        static_cast<std::size_t>(b.get_number("max_batch_records",
+                                              static_cast<double>(ingest.max_batch_records)));
+    ingest.queue_capacity = static_cast<std::size_t>(
+        b.get_number("queue_capacity", static_cast<double>(ingest.queue_capacity)));
+    const std::string overflow = b.get_string("overflow", "block");
+    if (overflow == "block") ingest.overflow = aequus::ingest::OverflowPolicy::kBlockProducer;
+    else if (overflow == "drop-oldest") ingest.overflow = aequus::ingest::OverflowPolicy::kDropOldest;
+    else throw std::invalid_argument("unknown ingest overflow policy: " + overflow);
+  }
+
   if (const auto offloads = spec.find("offloads")) {
     for (const auto& entry : offloads->get().as_array()) {
       OffloadRule rule;

@@ -49,7 +49,8 @@ Experiment::Experiment(const workload::Scenario& scenario, ExperimentConfig conf
     }
     site_names.push_back(spec.name);
     sites_.push_back(std::make_unique<ClusterSite>(simulator_, bus_, spec, config_.timings,
-                                                   config_.fairshare, observability));
+                                                   config_.fairshare, observability,
+                                                   config_.usage_batching));
   }
   for (auto& site : sites_) site->set_peer_sites(site_names);
 

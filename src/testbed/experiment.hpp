@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "ingest/batcher.hpp"
 #include "net/service_bus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -70,6 +71,11 @@ struct ExperimentConfig {
   net::FaultPlan faults{};
   /// Cross-site offload windows applied after dispatch site selection.
   std::vector<OffloadRule> offloads;
+  /// Batched usage ingestion for every site's client (DESIGN.md §6g).
+  /// Off by default: reports stay per-RPC, byte-identical to the legacy
+  /// path. The delta-log bin width is overridden per site with the USS
+  /// histogram width.
+  ingest::IngestConfig usage_batching{};
 };
 
 struct ExperimentResult {

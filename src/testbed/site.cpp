@@ -33,7 +33,7 @@ std::optional<std::string> grid_user_for(const std::string& system_account) {
 
 ClusterSite::ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const SiteSpec& spec,
                          const SiteTimings& timings, const SiteFairshare& fairshare,
-                         obs::Observability obs)
+                         obs::Observability obs, const ingest::IngestConfig& batching)
     : spec_(spec) {
   services::InstallationConfig installation_config;
   installation_config.uss.bin_width = timings.uss_bin_width;
@@ -53,6 +53,10 @@ ClusterSite::ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const 
   client_config.site = spec.name;
   client_config.cluster = spec.name;
   client_config.fairshare_cache_ttl = timings.client_cache_ttl;
+  client_config.batching = batching;
+  // Coalesce on the USS histogram granularity: two deltas the delta log
+  // merges were going to share a bin at the USS anyway.
+  client_config.batching.bin_width = timings.uss_bin_width;
   client_ = std::make_unique<client::AequusClient>(simulator, bus, client_config, obs);
 
   rms::Cluster cluster(spec.name, spec.hosts, spec.cores_per_host);

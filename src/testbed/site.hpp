@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "ingest/batcher.hpp"
 #include "libaequus/client.hpp"
 #include "maui/maui_scheduler.hpp"
 #include "rms/scheduler.hpp"
@@ -60,7 +61,7 @@ class ClusterSite {
  public:
   ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const SiteSpec& spec,
               const SiteTimings& timings, const SiteFairshare& fairshare,
-              obs::Observability obs = {});
+              obs::Observability obs = {}, const ingest::IngestConfig& batching = {});
 
   [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
   [[nodiscard]] const SiteSpec& spec() const noexcept { return spec_; }

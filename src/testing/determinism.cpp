@@ -21,6 +21,9 @@ std::string fingerprint(const net::BusStats& stats) {
                       static_cast<unsigned long long>(stats.unbound_bounces));
   out += util::format("payload_bytes=%llu\n",
                       static_cast<unsigned long long>(stats.payload_bytes));
+  out += util::format("batches=%llu\n", static_cast<unsigned long long>(stats.batches));
+  out += util::format("batch_records=%llu\n",
+                      static_cast<unsigned long long>(stats.batch_records));
   return out;
 }
 

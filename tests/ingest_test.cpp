@@ -1,0 +1,505 @@
+// Streaming ingestion unit suite: coalescing algebra, bounded-queue
+// overflow semantics, delta-log cadence/backpressure, idempotent batch
+// admission, engine-transaction commits, and the batched-equals-naive
+// golden/property contracts (DESIGN.md §6g).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/usage.hpp"
+#include "ingest/apply.hpp"
+#include "ingest/batcher.hpp"
+#include "ingest/delta.hpp"
+#include "ingest/queue.hpp"
+#include "net/service_bus.hpp"
+#include "obs/metrics.hpp"
+#include "services/uss.hpp"
+#include "testing/property.hpp"
+#include "util/rng.hpp"
+
+namespace aequus::ingest {
+namespace {
+
+// ---------------------------------------------------------------- coalesce
+
+TEST(Coalesce, MergesSameUserBinSummingAmounts) {
+  const std::vector<UsageDelta> raw = {
+      {"U1", 10.0, 1.0}, {"U1", 70.0, 2.0}, {"U1", 15.0, 4.0}};
+  const auto merged = coalesce(raw, 60.0);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].user, "U1");
+  EXPECT_DOUBLE_EQ(merged[0].time, 10.0);  // first record's time survives
+  EXPECT_DOUBLE_EQ(merged[0].amount, 5.0);
+  EXPECT_DOUBLE_EQ(merged[1].time, 70.0);
+  EXPECT_DOUBLE_EQ(merged[1].amount, 2.0);
+}
+
+TEST(Coalesce, PreservesFirstAppearanceOrderAcrossUsers) {
+  const std::vector<UsageDelta> raw = {
+      {"B", 5.0, 1.0}, {"A", 6.0, 1.0}, {"B", 7.0, 1.0}, {"C", 8.0, 1.0}};
+  const auto merged = coalesce(raw, 60.0);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].user, "B");  // not re-sorted: FIFO shape kept
+  EXPECT_EQ(merged[1].user, "A");
+  EXPECT_EQ(merged[2].user, "C");
+  EXPECT_DOUBLE_EQ(merged[0].amount, 2.0);
+}
+
+TEST(Coalesce, ZeroBinWidthMergesOnlyBitEqualTimes) {
+  const std::vector<UsageDelta> raw = {
+      {"U", 10.0, 1.0}, {"U", 10.0, 2.0}, {"U", 10.5, 4.0}};
+  const auto merged = coalesce(raw, 0.0);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].amount, 3.0);
+  EXPECT_DOUBLE_EQ(merged[1].amount, 4.0);
+}
+
+TEST(Coalesce, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(coalesce({}, 60.0).empty());
+}
+
+// ------------------------------------------------------------------ queue
+
+TEST(BoundedQueue, BlockProducerRefusesAppendWhenFull) {
+  BoundedDeltaQueue queue(2, OverflowPolicy::kBlockProducer);
+  EXPECT_EQ(queue.push({"A", 0.0, 1.0}), BoundedDeltaQueue::Append::kAccepted);
+  EXPECT_EQ(queue.push({"B", 0.0, 1.0}), BoundedDeltaQueue::Append::kAccepted);
+  EXPECT_EQ(queue.push({"C", 0.0, 1.0}), BoundedDeltaQueue::Append::kWouldBlock);
+  EXPECT_EQ(queue.size(), 2u);  // the refused record was not stored
+  EXPECT_EQ(queue.dropped(), 0u);
+}
+
+TEST(BoundedQueue, DropOldestEvictsAndCounts) {
+  BoundedDeltaQueue queue(2, OverflowPolicy::kDropOldest);
+  (void)queue.push({"A", 0.0, 1.0});
+  (void)queue.push({"B", 0.0, 1.0});
+  EXPECT_EQ(queue.push({"C", 0.0, 1.0}), BoundedDeltaQueue::Append::kDroppedOldest);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.dropped(), 1u);
+  const auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].user, "B");  // A was the eviction victim
+  EXPECT_EQ(drained[1].user, "C");
+}
+
+TEST(BoundedQueue, DrainChunksRespectMaxRecords) {
+  BoundedDeltaQueue queue(10, OverflowPolicy::kBlockProducer);
+  for (int i = 0; i < 5; ++i) (void)queue.push({"U" + std::to_string(i), 0.0, 1.0});
+  const auto first = queue.drain(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].user, "U0");
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.drain(0).size(), 3u);  // 0 = everything
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedDeltaQueue queue(0, OverflowPolicy::kBlockProducer);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_EQ(queue.push({"A", 0.0, 1.0}), BoundedDeltaQueue::Append::kAccepted);
+  EXPECT_EQ(queue.push({"B", 0.0, 1.0}), BoundedDeltaQueue::Append::kWouldBlock);
+}
+
+// --------------------------------------------------------------- envelope
+
+TEST(DeltaBatchJson, RoundTripsThroughWireFormat) {
+  DeltaBatch batch;
+  batch.source = "siteA";
+  batch.seq = 7;
+  batch.deltas = {{"U1", 120.0, 40.0}, {"U2", 180.0, 2.5}};
+  const json::Value wire = batch.to_json();
+  EXPECT_EQ(wire.get_string("op"), kBatchOp);
+  const DeltaBatch decoded = DeltaBatch::from_json(wire);
+  EXPECT_EQ(decoded.source, "siteA");
+  EXPECT_EQ(decoded.seq, 7u);
+  ASSERT_EQ(decoded.deltas.size(), 2u);
+  EXPECT_EQ(decoded.deltas[0].user, "U1");
+  EXPECT_DOUBLE_EQ(decoded.deltas[0].time, 120.0);
+  EXPECT_DOUBLE_EQ(decoded.deltas[1].amount, 2.5);
+  EXPECT_DOUBLE_EQ(decoded.total(), 42.5);
+}
+
+TEST(DeltaBatchJson, FromJsonRejectsMalformedEnvelopes) {
+  DeltaBatch good;
+  good.source = "siteA";
+  good.seq = 1;
+  good.deltas = {{"U1", 0.0, 1.0}};
+
+  json::Value wrong_op = good.to_json();
+  wrong_op.as_object()["op"] = json::Value("report");
+  EXPECT_THROW((void)DeltaBatch::from_json(wrong_op), std::invalid_argument);
+
+  json::Value no_source = good.to_json();
+  no_source.as_object()["source"] = json::Value("");
+  EXPECT_THROW((void)DeltaBatch::from_json(no_source), std::invalid_argument);
+
+  json::Value zero_seq = good.to_json();
+  zero_seq.as_object()["seq"] = json::Value(0.0);
+  EXPECT_THROW((void)DeltaBatch::from_json(zero_seq), std::invalid_argument);
+
+  json::Value bad_arity = good.to_json();
+  bad_arity.as_object()["deltas"] =
+      json::Value(json::Array{json::Value(json::Array{json::Value("U1"), json::Value(1.0)})});
+  EXPECT_THROW((void)DeltaBatch::from_json(bad_arity), std::invalid_argument);
+
+  json::Value bad_amount = good.to_json();
+  bad_amount.as_object()["deltas"] = json::Value(json::Array{json::Value(
+      json::Array{json::Value("U1"), json::Value(1.0), json::Value(-2.0)})});
+  EXPECT_THROW((void)DeltaBatch::from_json(bad_amount), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- delta log
+
+struct CapturedBatches {
+  std::vector<DeltaBatch> batches;
+
+  void bind(net::ServiceBus& bus, const std::string& address) {
+    bus.bind(address, [this](const json::Value& request) {
+      batches.push_back(DeltaBatch::from_json(request));
+      return json::Value(json::Object{{"ok", json::Value(true)}});
+    });
+  }
+};
+
+TEST(DeltaLog, ShipsCoalescedBatchesOnCadence) {
+  sim::Simulator simulator;
+  net::ServiceBus bus{simulator};
+  CapturedBatches sink;
+  sink.bind(bus, "siteA.uss");
+
+  IngestConfig config;
+  config.enabled = true;
+  config.batch_interval = 5.0;
+  config.bin_width = 60.0;
+  DeltaLog log(simulator, bus, "siteA", "siteA.uss", config);
+
+  log.append_at("U1", 1.0, 10.0);
+  log.append_at("U1", 2.0, 11.0);  // same bin: coalesces away
+  log.append_at("U2", 4.0, 12.0);
+  EXPECT_EQ(log.depth(), 3u);
+
+  simulator.run_until(6.0);
+  ASSERT_EQ(sink.batches.size(), 1u);
+  EXPECT_EQ(sink.batches[0].source, "siteA");
+  EXPECT_EQ(sink.batches[0].seq, 1u);
+  ASSERT_EQ(sink.batches[0].deltas.size(), 2u);
+  EXPECT_DOUBLE_EQ(sink.batches[0].deltas[0].amount, 3.0);
+  EXPECT_EQ(log.depth(), 0u);
+
+  const DeltaLogStats& stats = log.stats();
+  EXPECT_EQ(stats.appended, 3u);
+  EXPECT_EQ(stats.batches_shipped, 1u);
+  EXPECT_EQ(stats.records_shipped, 2u);
+  EXPECT_EQ(stats.coalesced_records, 1u);
+  EXPECT_EQ(stats.dropped_deltas, 0u);
+
+  // An empty cadence tick ships nothing (no empty envelopes on the bus).
+  simulator.run_until(11.0);
+  EXPECT_EQ(sink.batches.size(), 1u);
+  EXPECT_EQ(log.next_seq(), 2u);
+}
+
+TEST(DeltaLog, ChunksLargeFlushesBySequenceNumber) {
+  sim::Simulator simulator;
+  net::ServiceBus bus{simulator};
+  CapturedBatches sink;
+  sink.bind(bus, "siteA.uss");
+
+  IngestConfig config;
+  config.enabled = true;
+  config.batch_interval = 0.0;  // manual flushes only
+  config.max_batch_records = 2;
+  config.bin_width = 0.0;  // distinct times: nothing coalesces
+  DeltaLog log(simulator, bus, "siteA", "siteA.uss", config);
+  for (int i = 0; i < 5; ++i) {
+    log.append_at("U" + std::to_string(i), 1.0, static_cast<double>(i));
+  }
+  log.flush_now();
+  simulator.run_all();
+  ASSERT_EQ(sink.batches.size(), 3u);  // 2 + 2 + 1
+  EXPECT_EQ(sink.batches[0].seq, 1u);
+  EXPECT_EQ(sink.batches[1].seq, 2u);
+  EXPECT_EQ(sink.batches[2].seq, 3u);
+  EXPECT_EQ(sink.batches[2].deltas.size(), 1u);
+}
+
+TEST(DeltaLog, BlockProducerBackpressureFlushesInsteadOfLosing) {
+  sim::Simulator simulator;
+  net::ServiceBus bus{simulator};
+  CapturedBatches sink;
+  sink.bind(bus, "siteA.uss");
+
+  IngestConfig config;
+  config.enabled = true;
+  config.batch_interval = 0.0;
+  config.queue_capacity = 2;
+  config.overflow = OverflowPolicy::kBlockProducer;
+  config.bin_width = 0.0;
+  DeltaLog log(simulator, bus, "siteA", "siteA.uss", config);
+  for (int i = 0; i < 5; ++i) {
+    log.append_at("U" + std::to_string(i), 1.0, static_cast<double>(i));
+  }
+  log.flush_now();
+  simulator.run_all();
+
+  const DeltaLogStats& stats = log.stats();
+  EXPECT_EQ(stats.backpressure_flushes, 2u);  // appends 3 and 5 hit a full queue
+  EXPECT_EQ(stats.dropped_deltas, 0u);
+  EXPECT_EQ(stats.records_shipped, 5u);  // lossless: every record arrived
+  std::size_t delivered = 0;
+  for (const auto& batch : sink.batches) delivered += batch.deltas.size();
+  EXPECT_EQ(delivered, 5u);
+}
+
+TEST(DeltaLog, DropOldestShedsLoadIntoRegistryCounters) {
+  sim::Simulator simulator;
+  net::ServiceBus bus{simulator};
+  obs::Registry registry;
+  CapturedBatches sink;
+  sink.bind(bus, "siteA.uss");
+
+  IngestConfig config;
+  config.enabled = true;
+  config.batch_interval = 0.0;
+  config.queue_capacity = 2;
+  config.overflow = OverflowPolicy::kDropOldest;
+  config.bin_width = 0.0;
+  DeltaLog log(simulator, bus, "siteA", "siteA.uss", config, {&registry, nullptr});
+  for (int i = 0; i < 5; ++i) {
+    log.append_at("U" + std::to_string(i), 1.0, static_cast<double>(i));
+  }
+  EXPECT_EQ(log.stats().dropped_deltas, 3u);
+  // The trace.dropped_events precedent: shed load is visible globally and
+  // per site, never silent.
+  EXPECT_EQ(registry.counter("ingest.dropped_deltas").value(), 3u);
+  EXPECT_EQ(registry.counter("siteA.ingest.dropped_deltas").value(), 3u);
+  log.flush_now();
+  simulator.run_all();
+  ASSERT_EQ(sink.batches.size(), 1u);
+  ASSERT_EQ(sink.batches[0].deltas.size(), 2u);
+  EXPECT_EQ(sink.batches[0].deltas[0].user, "U3");  // survivors are the newest
+  EXPECT_EQ(registry.counter("siteA.ingest.batches_shipped").value(), 1u);
+}
+
+TEST(DeltaLog, IgnoresNonPositiveAmountsAndEmptyUsers) {
+  sim::Simulator simulator;
+  net::ServiceBus bus{simulator};
+  IngestConfig config;
+  config.enabled = true;
+  config.batch_interval = 0.0;
+  DeltaLog log(simulator, bus, "siteA", "siteA.uss", config);
+  log.append("U1", 0.0);
+  log.append("U1", -4.0);
+  log.append("", 1.0);
+  EXPECT_EQ(log.depth(), 0u);
+  EXPECT_EQ(log.stats().appended, 0u);
+}
+
+// ---------------------------------------------------------------- admit
+
+TEST(BatchApplier, AdmitsOncePerSourceSequence) {
+  BatchApplier applier;
+  EXPECT_TRUE(applier.admit("siteA", 1));
+  EXPECT_FALSE(applier.admit("siteA", 1));  // bus duplicate
+  EXPECT_TRUE(applier.admit("siteB", 1));   // per-source namespaces
+  EXPECT_EQ(applier.admitted(), 2u);
+  EXPECT_EQ(applier.duplicates(), 1u);
+}
+
+TEST(BatchApplier, AdmitsLateOutOfOrderArrivals) {
+  // Jitter can reorder legs; rejecting seq 2 after seq 3 would turn
+  // reordering into data loss.
+  BatchApplier applier;
+  EXPECT_TRUE(applier.admit("siteA", 1));
+  EXPECT_TRUE(applier.admit("siteA", 3));
+  EXPECT_EQ(applier.contiguous_floor("siteA"), 1u);
+  EXPECT_TRUE(applier.admit("siteA", 2));  // the gap fills late
+  EXPECT_EQ(applier.contiguous_floor("siteA"), 3u);  // floor catches up
+  EXPECT_FALSE(applier.admit("siteA", 2));  // now a duplicate
+  EXPECT_FALSE(applier.admit("siteA", 3));
+}
+
+TEST(BatchApplier, RejectsSequenceZero) {
+  BatchApplier applier;
+  EXPECT_FALSE(applier.admit("siteA", 0));
+  EXPECT_EQ(applier.contiguous_floor("siteA"), 0u);
+}
+
+// ------------------------------------------------------------ engine sink
+
+TEST(EngineSink, CommitsBatchAsOneEngineTransaction) {
+  core::FairshareEngine engine;
+  core::PolicyTree policy;
+  policy.set_share("/grid/U1", 1.0);
+  policy.set_share("/grid/U2", 1.0);
+  engine.set_policy(policy);
+  (void)engine.snapshot();
+  const std::uint64_t before = engine.generation();
+
+  EngineSink sink(engine, [](const std::string& user) { return "/grid/" + user; });
+  DeltaBatch batch;
+  batch.source = "siteA";
+  batch.seq = 1;
+  batch.deltas = {{"U1", 10.0, 4.0}, {"U2", 20.0, 8.0}, {"U1", 70.0, 2.0}};
+  const auto snap = sink.commit(batch);
+  ASSERT_NE(snap, nullptr);
+  // N records, at most ONE new generation: the transaction boundary.
+  EXPECT_LE(engine.generation(), before + 1);
+  EXPECT_EQ(sink.stats().committed_batches, 1u);
+  EXPECT_EQ(sink.stats().applied_records, 3u);
+
+  // A bus-duplicated redelivery is rejected without touching the engine.
+  const std::uint64_t after = engine.generation();
+  EXPECT_EQ(sink.commit(batch), nullptr);
+  EXPECT_EQ(engine.generation(), after);
+  EXPECT_EQ(sink.stats().duplicate_batches, 1u);
+}
+
+TEST(EngineSink, DefaultResolverMapsUserToRootLeaf) {
+  // The published tree's shape comes from the policy; the resolver only
+  // decides where usage lands. With U9/U10 as root leaves, a delta for
+  // bare "U9" must land on "/U9" and pull the whole usage share there.
+  core::FairshareEngine engine;
+  core::PolicyTree policy;
+  policy.set_share("/U9", 1.0);
+  policy.set_share("/U10", 1.0);
+  engine.set_policy(policy);
+
+  EngineSink sink(engine);
+  DeltaBatch batch;
+  batch.source = "s";
+  batch.seq = 1;
+  batch.deltas = {{"U9", 0.0, 16.0}};
+  const auto snap = sink.commit(batch);
+  ASSERT_NE(snap, nullptr);
+  const auto* leaf = snap->find("/U9");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_DOUBLE_EQ(leaf->usage_share, 1.0);
+}
+
+// ----------------------------------------------------- golden equivalence
+
+/// Dyadic amounts (multiples of 1/4 with moderate magnitude) make every
+/// partial sum exact, so coalescing's re-association cannot introduce
+/// rounding and "bit-identical" is a meaningful contract.
+double dyadic_amount(util::Rng& rng) {
+  return 0.25 * static_cast<double>(1 + rng() % 256);
+}
+
+TEST(GoldenEquivalence, BatchedEngineMatchesPerDeltaBitwise) {
+  util::Rng rng(0x90ef);
+  std::vector<UsageDelta> stream;
+  for (int i = 0; i < 400; ++i) {
+    stream.push_back({"U" + std::to_string(rng() % 7), rng.uniform(0.0, 3600.0),
+                      dyadic_amount(rng)});
+  }
+  core::PolicyTree policy;
+  for (int u = 0; u < 7; ++u) policy.set_share("/grid/U" + std::to_string(u), 1.0);
+
+  core::FairshareEngine per_delta;
+  per_delta.set_policy(policy);
+  for (const auto& delta : stream) {
+    per_delta.apply_usage("/grid/" + delta.user, delta.amount, delta.time);
+  }
+
+  core::FairshareEngine batched;
+  batched.set_policy(policy);
+  EngineSink sink(batched, [](const std::string& user) { return "/grid/" + user; });
+  std::uint64_t seq = 1;
+  for (std::size_t start = 0; start < stream.size(); start += 32) {
+    DeltaBatch batch;
+    batch.source = "siteA";
+    batch.seq = seq++;
+    const std::size_t end = std::min(start + 32, stream.size());
+    batch.deltas = coalesce({stream.begin() + static_cast<std::ptrdiff_t>(start),
+                             stream.begin() + static_cast<std::ptrdiff_t>(end)},
+                            60.0);
+    (void)sink.commit(batch);
+  }
+
+  const auto a = per_delta.snapshot();
+  const auto b = batched.snapshot();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->tree_to_json().dump(), b->tree_to_json().dump());
+}
+
+TEST(GoldenEquivalence, UssBatchedHistogramsMatchPerReportBitwise) {
+  sim::Simulator simulator;
+  net::ServiceBus bus{simulator};
+  services::UssConfig uss_config;
+  uss_config.bin_width = 60.0;
+  services::Uss per_report(simulator, bus, "siteA", uss_config);
+  services::Uss batched(simulator, bus, "siteB", uss_config);
+
+  util::Rng rng(0x0551);
+  std::vector<UsageDelta> stream;
+  for (int i = 0; i < 300; ++i) {
+    stream.push_back({"U" + std::to_string(rng() % 5), rng.uniform(0.0, 1800.0),
+                      dyadic_amount(rng)});
+  }
+  for (const auto& delta : stream) {
+    per_report.report_at(delta.user, delta.amount, delta.time);
+  }
+  std::uint64_t seq = 1;
+  for (std::size_t start = 0; start < stream.size(); start += 25) {
+    DeltaBatch batch;
+    batch.source = "siteC";
+    batch.seq = seq++;
+    const std::size_t end = std::min(start + 25, stream.size());
+    batch.deltas = coalesce({stream.begin() + static_cast<std::ptrdiff_t>(start),
+                             stream.begin() + static_cast<std::ptrdiff_t>(end)},
+                            uss_config.bin_width);
+    EXPECT_TRUE(batched.apply_batch(batch));
+  }
+  EXPECT_EQ(per_report.histograms_json().dump(), batched.histograms_json().dump());
+}
+
+// ----------------------------------------------------------- property
+
+TEST(IngestProperty, BatcherEqualsNaivePerDeltaApplication) {
+  // For ANY random delta stream and ANY chunking, partition + coalesce +
+  // apply equals naive per-delta application on the final usage tree.
+  // Replay a reported failure with AEQUUS_PROPERTY_SEED.
+  const auto outcome = testing::run_property(
+      "batcher-equals-naive", 50, 0x1276e57, [](std::uint64_t seed) {
+        util::Rng rng(seed);
+        const int users = 1 + static_cast<int>(rng() % 9);
+        const int records = 1 + static_cast<int>(rng() % 500);
+        std::vector<UsageDelta> stream;
+        for (int i = 0; i < records; ++i) {
+          stream.push_back({"U" + std::to_string(rng() % users),
+                            rng.uniform(0.0, 7200.0), dyadic_amount(rng)});
+        }
+        core::UsageTree naive;
+        for (const auto& delta : stream) naive.add("/" + delta.user, delta.amount);
+
+        core::UsageTree via_batcher;
+        std::size_t start = 0;
+        while (start < stream.size()) {
+          const std::size_t chunk = 1 + rng() % 7;
+          const std::size_t end = std::min(start + chunk, stream.size());
+          const auto merged =
+              coalesce({stream.begin() + static_cast<std::ptrdiff_t>(start),
+                        stream.begin() + static_cast<std::ptrdiff_t>(end)},
+                       60.0);
+          for (const auto& delta : merged) via_batcher.add("/" + delta.user, delta.amount);
+          start = end;
+        }
+        testing::require(naive.leaves().size() == via_batcher.leaves().size(),
+                         "leaf sets diverged");
+        for (const auto& [path, amount] : naive.leaves()) {
+          const auto it = via_batcher.leaves().find(path);
+          testing::require(it != via_batcher.leaves().end(), "missing leaf " + path);
+          testing::require(it->second == amount, "amount diverged at " + path);
+        }
+        testing::require(naive.total() == via_batcher.total(), "totals diverged");
+      });
+  EXPECT_TRUE(outcome.passed) << outcome.summary();
+}
+
+}  // namespace
+}  // namespace aequus::ingest

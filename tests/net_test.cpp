@@ -3,6 +3,8 @@
 #include <tuple>
 #include <vector>
 
+#include "ingest/apply.hpp"
+#include "ingest/delta.hpp"
 #include "net/service_bus.hpp"
 
 namespace aequus::net {
@@ -439,6 +441,82 @@ TEST_F(ServiceBusTest, StatsAreAFacadeOverTheMetricsRegistry) {
   EXPECT_EQ(bus.stats().one_way, bus.registry().counter("bus.one_way").value());
   EXPECT_EQ(bus.registry().counter("rpc.b.svc.requests").value(), 1u);
   EXPECT_EQ(bus.registry().histogram("rpc.b.svc.latency_s").count(), 1u);
+}
+
+TEST_F(ServiceBusTest, SendBatchCountsEnvelopesAndRecords) {
+  bus.bind("b.uss", [](const json::Value&) { return json::Value(); });
+  bus.send_batch("a", "b.uss", json::Value(json::Object{}), 7);
+  bus.send_batch("a", "b.uss", json::Value(json::Object{}), 3);
+  simulator.run_all();
+  EXPECT_EQ(bus.stats().batches, 2u);
+  EXPECT_EQ(bus.stats().batch_records, 10u);
+  // Batch envelopes are one-way sends: batches is a sub-count of one_way,
+  // and both flow through the same registry facade.
+  EXPECT_EQ(bus.stats().one_way, 2u);
+  EXPECT_EQ(bus.registry().counter("bus.batches").value(), 2u);
+  EXPECT_EQ(bus.registry().counter("bus.batch_records").value(), 10u);
+}
+
+TEST_F(ServiceBusTest, DuplicatedBatchEnvelopeIsAdmittedExactlyOnce) {
+  // Regression (ingest PR): a duplication plan redelivers the same batch
+  // envelope on an inter-site leg; the sequence-numbered admit path must
+  // apply it exactly once. This failed before batches carried (source,
+  // seq) — a duplicated leg double-counted every record in the envelope.
+  FaultPlan plan;
+  plan.duplicate_rate = 1.0;  // every delivered inter-site leg duplicates
+  plan.seed = 99;
+  bus.set_fault_plan(plan);
+
+  ingest::BatchApplier applier;
+  int deliveries = 0;
+  double applied_usage = 0.0;
+  bus.bind("b.uss", [&](const json::Value& request) {
+    ++deliveries;
+    const ingest::DeltaBatch batch = ingest::DeltaBatch::from_json(request);
+    if (applier.admit(batch.source, batch.seq)) applied_usage += batch.total();
+    return json::Value(json::Object{{"ok", json::Value(true)}});
+  });
+
+  ingest::DeltaBatch batch;
+  batch.source = "a";
+  batch.seq = 1;
+  batch.deltas = {{"U1", 10.0, 4.0}, {"U2", 20.0, 8.0}};
+  bus.send_batch("a", "b.uss", batch.to_json(), batch.deltas.size());
+  simulator.run_all();
+
+  EXPECT_EQ(deliveries, 2);  // the wire really delivered it twice
+  EXPECT_DOUBLE_EQ(applied_usage, 12.0);  // but it was applied once
+  EXPECT_EQ(applier.duplicates(), 1u);
+  EXPECT_EQ(bus.stats().duplicated, 1u);
+}
+
+TEST_F(ServiceBusTest, ReorderedBatchSequencesAreNotTreatedAsDuplicates) {
+  // Jitter can deliver seq 3 before seq 2; the admit path must accept the
+  // late arrival (rejecting it would convert reordering into loss) while
+  // still rejecting true redeliveries of either.
+  ingest::BatchApplier applier;
+  double applied_usage = 0.0;
+  bus.bind("b.uss", [&](const json::Value& request) {
+    const ingest::DeltaBatch batch = ingest::DeltaBatch::from_json(request);
+    if (applier.admit(batch.source, batch.seq)) applied_usage += batch.total();
+    return json::Value(json::Object{{"ok", json::Value(true)}});
+  });
+  const auto envelope = [](std::uint64_t seq, double amount) {
+    ingest::DeltaBatch batch;
+    batch.source = "a";
+    batch.seq = seq;
+    batch.deltas = {{"U1", 0.0, amount}};
+    return batch;
+  };
+  // Out-of-order arrival: 1, 3, then the late 2, then replays of all.
+  for (const std::uint64_t seq : {1u, 3u, 2u, 1u, 2u, 3u}) {
+    const auto batch = envelope(seq, static_cast<double>(seq));
+    bus.send_batch("a", "b.uss", batch.to_json(), 1);
+  }
+  simulator.run_all();
+  EXPECT_DOUBLE_EQ(applied_usage, 6.0);  // 1 + 3 + 2, replays rejected
+  EXPECT_EQ(applier.contiguous_floor("a"), 3u);
+  EXPECT_EQ(applier.duplicates(), 3u);
 }
 
 TEST_F(ServiceBusTest, RebindReplacesHandlerForNewTraffic) {

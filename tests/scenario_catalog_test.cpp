@@ -61,6 +61,38 @@ TEST(ScenarioCatalog, CoversTheModifierMatrix) {
   EXPECT_TRUE(variants) << "no spec exercises sweep variants";
 }
 
+TEST(ScenarioCatalog, ShipsTheIngestCadenceSweep) {
+  // The batched-ingestion regression net (DESIGN.md §6g): the catalog
+  // must carry a spec sweeping the delta-log flush cadence against the
+  // per-RPC path, with an outage in the window (so conservation=auto
+  // correctly skips) and overlays flowing through the usage_batching
+  // experiment key.
+  bool found = false;
+  for (const std::string& path : list_catalog()) {
+    const ScenarioSpec spec = load_spec_file(path);
+    if (spec.name != "ingest_cadence_sweep") continue;
+    found = true;
+    EXPECT_FALSE(spec.faults.outages.empty()) << "sweep must include a site outage";
+    EXPECT_FALSE(spec.churn.empty()) << "sweep must include user churn";
+    ASSERT_GE(spec.variants.size(), 3u) << "needs per-RPC plus multiple cadences";
+    // The base experiment enables batching; at least one variant overlay
+    // disables it and at least one changes the cadence.
+    ASSERT_TRUE(spec.experiment.is_object());
+    EXPECT_TRUE(spec.experiment.find("usage_batching").has_value());
+    bool disables = false, retunes = false;
+    for (const VariantSpec& variant : spec.variants) {
+      if (!variant.experiment.is_object()) continue;
+      if (const auto batching = variant.experiment.find("usage_batching")) {
+        disables = disables || !batching->get().get_bool("enabled", true);
+        retunes = retunes || batching->get().find("batch_interval").has_value();
+      }
+    }
+    EXPECT_TRUE(disables) << "no variant falls back to per-RPC reporting";
+    EXPECT_TRUE(retunes) << "no variant sweeps the batch interval";
+  }
+  EXPECT_TRUE(found) << "scenarios/ingest_cadence_sweep.json missing from catalog";
+}
+
 TEST(ScenarioCatalog, EverySpecPassesItsGatesAtReducedScale) {
   const std::vector<std::string> paths = list_catalog();
   ASSERT_FALSE(paths.empty());

@@ -305,6 +305,12 @@ def self_test() -> int:
          report({"overhead": {"ceiling": 1.02}}), report({"overhead": 1.5}), 1),
         ("one-sided metric missing from the emitted report is a failure",
          report({"speedup": {"floor": 5.0}}), report({}), 1),
+        ("emitted metrics absent from the baseline are ungated",
+         # The ingest-throughput baseline leans on this: it floors the
+         # speedup ratios while the emitted absolute completion rates
+         # (machine-specific) pass through uncompared.
+         report({"speedup": {"floor": 5.0}}),
+         report({"speedup": 6.5, "rpc_completions_per_sec": 664654.0}), 0),
         ("floor and ceiling can bracket a ratio together",
          report({"ratio": {"floor": 0.9, "ceiling": 1.1}}), report({"ratio": 2.0}), 1),
     ]
