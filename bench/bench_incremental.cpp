@@ -13,10 +13,25 @@
 // ratios of wall times on the same machine are comparable across hosts
 // in a way the absolute microseconds are not.
 //
+// A second mode drives the arena-engine scale rows (DESIGN.md §6h):
+//
+//   bench_incremental --leaves N[,N...] [deltas] [--reps N] ...
+//
+// builds an N-leaf tree per requested size (the fig10 shape stretched —
+// wide sibling fans are exactly where the SoA arenas pay off), replays
+// the identical delta stream through the frozen map-backed engine
+// (testing::ReferenceMapEngine) and the arena engine, checks the two
+// checksums agree bitwise, and emits BM_-style per-size rows into
+// BENCH_incremental_scale.json with the arena-vs-map speedup gated by
+// its own baseline. Without --leaves the classic fig10 report is
+// emitted unchanged.
+//
 //   bench_incremental [deltas] [--reps N] [--seed S] [--json-dir DIR]
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -27,6 +42,7 @@
 #include "common.hpp"
 #include "core/engine.hpp"
 #include "json/json.hpp"
+#include "testing/reference_engine.hpp"
 #include "util/rng.hpp"
 
 using namespace aequus;
@@ -82,12 +98,189 @@ struct Delta {
   double amount = 0.0;
 };
 
+/// "10k" / "100k" / "1m" for the variant keys and BM_ row labels.
+std::string size_label(std::size_t leaves) {
+  if (leaves >= 1000000 && leaves % 1000000 == 0)
+    return std::to_string(leaves / 1000000) + "m";
+  if (leaves >= 1000 && leaves % 1000 == 0) return std::to_string(leaves / 1000) + "k";
+  return std::to_string(leaves);
+}
+
+void write_report(const std::string& bench_name, const bench::BenchArgs& args,
+                  std::size_t deltas, std::size_t rounds, double wall_seconds,
+                  json::Object variants) {
+  json::Object root;
+  root["bench"] = bench_name;
+  root["schema_version"] = 1;
+  root["jobs"] = deltas;
+  root["threads"] = 1;
+  root["replications"] = rounds;
+  root["root_seed"] = util::format("0x%llx", static_cast<unsigned long long>(args.root_seed));
+  root["wall_seconds"] = wall_seconds;
+  root["variants"] = json::Value(std::move(variants));
+
+  const std::string path = args.json_dir + "/BENCH_" + bench_name + ".json";
+  std::error_code ec;
+  std::filesystem::create_directories(args.json_dir, ec);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << json::Value(std::move(root)).pretty() << "\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Arena-vs-map scale rows: one variant per requested leaf count, the
+/// same delta stream through both engines, speedup = map time / arena
+/// time. Exits nonzero if the engines' checksums ever diverge — the
+/// bench doubles as a coarse differential check at sizes the property
+/// test cannot afford.
+int run_scale_bench(const bench::BenchArgs& args, const std::vector<std::size_t>& sizes) {
+  const std::size_t deltas = args.jobs;
+  const std::size_t rounds = args.replications;
+  json::Object variants;
+  double wall = 0.0;
+
+  for (const std::size_t target : sizes) {
+    // Three levels of ~cbrt(n) siblings (site -> cluster -> user): the
+    // realistic shape for very large populations, and the one where a
+    // usage delta's dirty path stays narrow — a flat million-wide fan
+    // would make *every* update O(n) in snapshot-node copies for any
+    // engine, measuring allocator throughput instead of the engines.
+    const std::size_t fan = std::max<std::size_t>(
+        4, static_cast<std::size_t>(std::lround(std::cbrt(static_cast<double>(target)))));
+    const std::size_t users = std::max<std::size_t>(1, target / (fan * fan));
+    const std::size_t leaves = fan * fan * users;
+    const auto leaf_path = [](std::size_t s, std::size_t c, std::size_t u) {
+      return "/grid/site" + std::to_string(s) + "/cluster" + std::to_string(c) + "/user" +
+             std::to_string(u);
+    };
+    std::printf(
+        "-- %s leaves (%zu sites x %zu clusters x %zu users), %zu deltas/round, %zu rounds\n",
+        size_label(target).c_str(), fan, fan, users, deltas, rounds);
+
+    util::Rng rng(args.root_seed);
+    core::PolicyTree policy;
+    core::UsageTree initial_usage;
+    for (std::size_t s = 0; s < fan; ++s) {
+      for (std::size_t c = 0; c < fan; ++c) {
+        for (std::size_t u = 0; u < users; ++u) {
+          const std::string path = leaf_path(s, c, u);
+          policy.set_share(path, 1.0 + static_cast<double>(u % 7));
+          initial_usage.add(path, rng.uniform(1.0, 1000.0));
+        }
+      }
+    }
+    std::vector<Delta> stream(deltas);
+    for (auto& delta : stream) {
+      delta.path = leaf_path(static_cast<std::size_t>(rng.uniform_int(0, fan - 1)),
+                             static_cast<std::size_t>(rng.uniform_int(0, fan - 1)),
+                             static_cast<std::size_t>(rng.uniform_int(0, users - 1)));
+      delta.amount = rng.uniform(0.5, 50.0);
+    }
+
+    const core::DecayConfig decay{core::DecayKind::kNone, 0.0, 0.0};
+    // Setup (policy/usage sync + first publish) is once per engine and
+    // untimed; the rounds re-run only the delta loop, so the min is a
+    // warm-state per-delta figure on both sides.
+    testing::ReferenceMapEngine map_engine({}, decay);
+    map_engine.set_policy(policy);
+    map_engine.set_usage(initial_usage);
+    (void)map_engine.snapshot();
+    double map_seconds = std::numeric_limits<double>::infinity();
+    double map_sink = 0.0;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      const auto start = std::chrono::steady_clock::now();
+      for (const Delta& delta : stream) {
+        map_engine.apply_usage(delta.path, delta.amount, 0.0);
+        // The root's distance is pinned to 0 and /grid holds all usage
+        // (its distance is identically 0 too); probe the first cluster so
+        // the checksum actually witnesses the recompute.
+        map_sink += map_engine.snapshot()->root().children.front()->children.front()->distance;
+      }
+      map_seconds = std::min(map_seconds, seconds_since(start));
+    }
+
+    core::FairshareEngine arena_engine({}, decay);
+    arena_engine.set_policy(policy);
+    arena_engine.set_usage(initial_usage);
+    (void)arena_engine.snapshot();
+    double arena_seconds = std::numeric_limits<double>::infinity();
+    double arena_sink = 0.0;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      const auto start = std::chrono::steady_clock::now();
+      for (const Delta& delta : stream) {
+        arena_engine.apply_usage(delta.path, delta.amount, 0.0);
+        arena_sink +=
+            arena_engine.snapshot()->root().children.front()->children.front()->distance;
+      }
+      arena_seconds = std::min(arena_seconds, seconds_since(start));
+    }
+
+    if (map_sink != arena_sink) {
+      std::fprintf(stderr, "FAIL: engines diverged at %zu leaves (%.17g vs %.17g)\n",
+                   leaves, map_sink, arena_sink);
+      return 1;
+    }
+
+    const std::string label = size_label(target);
+    const double map_us = 1e6 * map_seconds / static_cast<double>(deltas);
+    const double arena_us = 1e6 * arena_seconds / static_cast<double>(deltas);
+    const double speedup = map_us / arena_us;
+    std::printf("BM_map_delta/%-6s %12.2f us\n", label.c_str(), map_us);
+    std::printf("BM_arena_delta/%-4s %12.2f us\n", label.c_str(), arena_us);
+    std::printf("BM_speedup/%-8s %12.2fx   (checksum %.6g)\n\n", label.c_str(), speedup,
+                arena_sink);
+    wall += map_seconds + arena_seconds;
+
+    json::Object metrics;
+    const auto metric = [&metrics](const std::string& name, double mean) {
+      json::Object summary;
+      summary["count"] = 1;
+      summary["mean"] = mean;
+      metrics[name] = json::Value(std::move(summary));
+    };
+    metric("map_engine_us_per_delta", map_us);
+    metric("arena_engine_us_per_delta", arena_us);
+    metric("speedup_arena_vs_map", speedup);
+    json::Object variant;
+    variant["metrics"] = json::Value(std::move(metrics));
+    variants["engine_" + label] = json::Value(std::move(variant));
+  }
+
+  write_report("incremental_scale", args, deltas, rounds, wall, std::move(variants));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --leaves N[,N...] selects the scale mode; peeled off before the
+  // shared parser (which warns on flags it does not know).
+  std::vector<std::size_t> scale_sizes;
+  std::vector<char*> filtered;
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--leaves" && i + 1 < argc) {
+      std::string list = argv[++i];
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        scale_sizes.push_back(
+            static_cast<std::size_t>(std::strtoull(list.substr(pos, comma - pos).c_str(),
+                                                   nullptr, 10)));
+        pos = comma + 1;
+      }
+    } else {
+      filtered.push_back(argv[i]);
+    }
+  }
+
   bench::print_banner("Incremental engine: per-delta cost vs whole-tree recompute",
                       "engine rework; fig10 tree shape (6 clusters x 40 users)");
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, 240, 5);
+  const bench::BenchArgs args = bench::parse_bench_args(
+      static_cast<int>(filtered.size()), filtered.data(), 240, 5);
+  if (!scale_sizes.empty()) return run_scale_bench(args, scale_sizes);
   const std::size_t deltas = args.jobs;
   const std::size_t rounds = args.replications;
 
@@ -173,7 +366,7 @@ int main(int argc, char** argv) {
   const double overhead = wrapper_seconds / reference_seconds;
   std::printf("whole-tree recompute per delta: %9.2f us\n", full_us);
   std::printf("incremental engine per delta:   %9.2f us\n", incremental_us);
-  std::printf("speedup (incremental vs full):  %9.2fx   (gate floor: 5x)\n", speedup);
+  std::printf("speedup (incremental vs full):  %9.2fx   (gate floor: 23x)\n", speedup);
   std::printf("batch wrapper vs original:      %9.4fx   (gate ceiling: 1.02x)\n", overhead);
   std::printf("(checksum %.6g)\n\n", sink);
 
@@ -194,26 +387,8 @@ int main(int argc, char** argv) {
   json::Object variants;
   variants["incremental"] = json::Value(std::move(variant));
 
-  json::Object root;
-  root["bench"] = std::string("incremental");
-  root["schema_version"] = 1;
-  root["jobs"] = deltas;
-  root["threads"] = 1;
-  root["replications"] = rounds;
-  root["root_seed"] = util::format("0x%llx", static_cast<unsigned long long>(args.root_seed));
-  root["wall_seconds"] = full_seconds + incremental_seconds + wrapper_seconds +
-                         reference_seconds;
-  root["variants"] = json::Value(std::move(variants));
-
-  const std::string path = args.json_dir + "/BENCH_incremental.json";
-  std::error_code ec;
-  std::filesystem::create_directories(args.json_dir, ec);
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-    return 1;
-  }
-  out << json::Value(std::move(root)).pretty() << "\n";
-  std::printf("wrote %s\n", path.c_str());
+  write_report("incremental", args, deltas, rounds,
+               full_seconds + incremental_seconds + wrapper_seconds + reference_seconds,
+               std::move(variants));
   return 0;
 }

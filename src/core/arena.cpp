@@ -1,0 +1,183 @@
+#include "core/arena.hpp"
+
+#include <algorithm>
+
+namespace aequus::core {
+
+NodeArena::NodeArena() {
+  // Root occupies id 0 with path "/". (assign() instead of a "/" literal
+  // sidesteps GCC 12's -Wrestrict false positive, PR105651.)
+  parent.push_back(kNoIndex);
+  name.push_back(names.intern(std::string_view("/", 1)));
+  path.emplace_back(1, '/');
+  raw_share.push_back(0.0);
+  policy_share.push_back(0.0);
+  usage_share.push_back(0.0);
+  distance.push_back(0.0);
+  subtree_usage.push_back(0.0);
+  flags.push_back(kSumStale | kChildrenDirty | kValueChanged);
+  published.emplace_back();
+  first_child_.push_back(0);
+  child_count_.push_back(0);
+}
+
+NodeId NodeArena::create(NodeId parent_id, std::uint32_t name_id) {
+  NodeId id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = static_cast<NodeId>(parent.size());
+    parent.emplace_back();
+    name.emplace_back();
+    path.emplace_back();
+    raw_share.emplace_back();
+    policy_share.emplace_back();
+    usage_share.emplace_back();
+    distance.emplace_back();
+    subtree_usage.emplace_back();
+    flags.emplace_back();
+    published.emplace_back();
+    first_child_.emplace_back();
+    child_count_.emplace_back();
+  }
+  parent[id] = parent_id;
+  name[id] = name_id;
+  const std::string& parent_path = path[parent_id];
+  std::string& node_path = path[id];
+  node_path.clear();
+  if (parent_path.size() > 1) node_path = parent_path;
+  node_path += '/';
+  node_path += names[name_id];
+  raw_share[id] = 0.0;
+  policy_share[id] = 0.0;
+  usage_share[id] = 0.0;
+  distance[id] = 0.0;
+  subtree_usage[id] = 0.0;
+  // Same defaults as a fresh working-tree node: stale sum, dirty group,
+  // value never published.
+  flags[id] = kSumStale | kChildrenDirty | kValueChanged;
+  published[id] = nullptr;
+  first_child_[id] = 0;
+  child_count_[id] = 0;
+  return id;
+}
+
+void NodeArena::release_subtree(NodeId id) {
+  const std::uint32_t first = first_child_[id];
+  const std::uint32_t count = child_count_[id];
+  for (std::uint32_t i = 0; i < count; ++i) {
+    release_subtree(child_slots_[first + i]);
+  }
+  live_child_slots_ -= count;
+  child_count_[id] = 0;
+  published[id] = nullptr;
+  free_.push_back(id);
+}
+
+void NodeArena::set_children(NodeId parent_id, const std::vector<NodeId>& children) {
+  const auto count = static_cast<std::uint32_t>(children.size());
+  live_child_slots_ -= child_count_[parent_id];
+  if (count <= child_count_[parent_id]) {
+    // Shrinking (or equal-size) groups rewrite their span in place.
+    std::copy(children.begin(), children.end(),
+              child_slots_.begin() + first_child_[parent_id]);
+  } else {
+    first_child_[parent_id] = static_cast<std::uint32_t>(child_slots_.size());
+    child_slots_.insert(child_slots_.end(), children.begin(), children.end());
+  }
+  child_count_[parent_id] = count;
+  live_child_slots_ += count;
+  if (child_slots_.size() > 2 * live_child_slots_ + 1024) compact_children();
+}
+
+void NodeArena::compact_children() {
+  std::vector<NodeId> next;
+  next.reserve(live_child_slots_);
+  for (NodeId id = 0; id < parent.size(); ++id) {
+    const std::uint32_t first = first_child_[id];
+    const std::uint32_t count = child_count_[id];
+    first_child_[id] = static_cast<std::uint32_t>(next.size());
+    next.insert(next.end(), child_slots_.begin() + first, child_slots_.begin() + first + count);
+  }
+  child_slots_ = std::move(next);
+}
+
+NodeId NodeArena::find_child(NodeId parent_id, std::uint32_t name_id) const noexcept {
+  const NodeId* begin = children_begin(parent_id);
+  const NodeId* end = begin + child_count_[parent_id];
+  for (const NodeId* it = begin; it != end; ++it) {
+    if (name[*it] == name_id) return *it;
+  }
+  return kNoIndex;
+}
+
+void NodeArena::mark_all_groups_dirty() {
+  // Recycled ids are unreachable from the root, so flagging them too is
+  // harmless (create() resets flags) and keeps this a flat sweep.
+  for (auto& f : flags) f |= kChildrenDirty | kNeedsVisit;
+}
+
+LeafId LeafStore::intern(std::string_view canonical_path) {
+  const LeafId id = paths_.intern(canonical_path);
+  if (id == active_.size()) {  // first sight: grow every parallel array
+    value_.push_back(0.0);
+    active_.push_back(0);
+    pos_.push_back(kNoIndex);
+    bins.emplace_back();
+    bin_epoch.push_back(0.0);
+    bin_value.push_back(0.0);
+    bin_cached.push_back(0);
+    attach.push_back(kNoIndex);
+    attach_epoch.push_back(0);
+  }
+  return id;
+}
+
+void LeafStore::activate(LeafId id, double leaf_value) {
+  const std::string& leaf_path = paths_[id];
+  const auto it = std::lower_bound(
+      order_.begin(), order_.end(), leaf_path,
+      [this](LeafId a, const std::string& p) { return paths_[a] < p; });
+  const auto at = static_cast<std::size_t>(it - order_.begin());
+  order_.insert(it, id);
+  order_value_.insert(order_value_.begin() + static_cast<std::ptrdiff_t>(at), leaf_value);
+  value_[id] = leaf_value;
+  active_[id] = 1;
+  for (std::size_t i = at; i < order_.size(); ++i) {
+    pos_[order_[i]] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void LeafStore::deactivate(LeafId id) {
+  const std::size_t at = pos_[id];
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(at));
+  order_value_.erase(order_value_.begin() + static_cast<std::ptrdiff_t>(at));
+  for (std::size_t i = at; i < order_.size(); ++i) {
+    pos_[order_[i]] = static_cast<std::uint32_t>(i);
+  }
+  pos_[id] = kNoIndex;
+  active_[id] = 0;
+  value_[id] = 0.0;
+}
+
+double LeafStore::subtree_sum(const std::string& subtree_path) const {
+  // Same matches in the same order as the old leaf_values_ map scan:
+  // lower_bound to the first path >= the prefix, then a linear walk of
+  // the prefix block with the '/'-boundary filter. The walk is over a
+  // contiguous double array here instead of tree nodes.
+  const auto it = std::lower_bound(
+      order_.begin(), order_.end(), subtree_path,
+      [this](LeafId a, const std::string& p) { return paths_[a] < p; });
+  double total = 0.0;
+  for (auto i = static_cast<std::size_t>(it - order_.begin()); i < order_.size(); ++i) {
+    const std::string& leaf = paths_[order_[i]];
+    if (leaf.compare(0, subtree_path.size(), subtree_path) != 0) break;
+    if (leaf.size() == subtree_path.size() || leaf[subtree_path.size()] == '/') {
+      total += order_value_[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace aequus::core

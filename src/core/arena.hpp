@@ -1,0 +1,182 @@
+// Structure-of-arrays arenas backing the incremental FairshareEngine.
+//
+// The engine's working state used to be a pointer-linked node tree plus
+// two string-keyed std::maps (leaf values, leaf bins). Every hot
+// operation — a usage delta, a dirty-path renormalize, a subtree sum —
+// paid string hashing/comparison and pointer chasing per node. The
+// arenas flatten that state into dense uint32-indexed parallel arrays
+// (ids from core::IdTable), so:
+//
+//   - a sibling-group renormalize walks one contiguous id span and reads
+//     raw/policy/usage/distance from parallel double arrays (a few cache
+//     lines per group, independent of tree size);
+//   - a subtree sum is a scan over one contiguous, path-sorted value
+//     array — the same matches in the same lexicographic order as the
+//     old full-map scan, so the floating-point summation stays
+//     bit-identical to the batch path;
+//   - a usage delta resolves its leaf with one interned-id lookup and
+//     marks its root-to-leaf path dirty by walking parent links, with no
+//     string splitting or per-segment child scans.
+//
+// Strings survive only at the edges: the per-node canonical path (cold
+// array, read by dirty-path subtree sums), the name table (copied into
+// published FairshareSnapshot nodes, which remain the string-keyed API
+// boundary), and the leaf-path table that interns wire-format user
+// paths. Publication is unchanged: copy-on-write FairshareSnapshot nodes
+// with structural sharing across generations; the arenas are purely the
+// writer's working representation.
+//
+// Single-writer, like the engine that owns them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/id_table.hpp"
+#include "core/snapshot.hpp"
+
+namespace aequus::core {
+
+using NodeId = std::uint32_t;
+using LeafId = std::uint32_t;
+inline constexpr std::uint32_t kNoIndex = 0xffffffffu;
+inline constexpr NodeId kRootNode = 0;
+
+/// SoA arena for the annotated policy-tree nodes. Child lists are spans
+/// into one shared slot vector; structural policy changes append a new
+/// span for the changed group (the arena compacts itself when the slack
+/// grows past twice the live size). Released node ids are recycled.
+class NodeArena {
+ public:
+  // Dirty flags, one byte per node.
+  static constexpr std::uint8_t kSumStale = 1u << 0;      ///< cached subtree_usage invalid
+  static constexpr std::uint8_t kChildrenDirty = 1u << 1; ///< child group must renormalize
+  static constexpr std::uint8_t kNeedsVisit = 1u << 2;    ///< some descendant group is dirty
+  static constexpr std::uint8_t kValueChanged = 1u << 3;  ///< published values differ
+
+  NodeArena();
+
+  /// Allocate (or recycle) a node under `parent` named by `name_id`,
+  /// with default annotations and dirty flags. Does not link it into the
+  /// parent's child span — the caller rebuilds the span via set_children.
+  NodeId create(NodeId parent_id, std::uint32_t name_id);
+
+  /// Recycle `id` and its whole subtree (published nodes released).
+  void release_subtree(NodeId id);
+
+  /// Replace `parent`'s child span with `children` (policy order).
+  void set_children(NodeId parent_id, const std::vector<NodeId>& children);
+
+  [[nodiscard]] const NodeId* children_begin(NodeId id) const noexcept {
+    return child_slots_.data() + first_child_[id];
+  }
+  [[nodiscard]] std::uint32_t child_count(NodeId id) const noexcept {
+    return child_count_[id];
+  }
+
+  /// Child of `parent` named `name_id`, or kNoIndex. Compares interned
+  /// ids, not strings.
+  [[nodiscard]] NodeId find_child(NodeId parent_id, std::uint32_t name_id) const noexcept;
+
+  /// Mark every node's sibling group dirty (config swap: all values must
+  /// be re-derived; cached subtree sums stay valid).
+  void mark_all_groups_dirty();
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent.size(); }
+  [[nodiscard]] std::size_t live() const noexcept { return parent.size() - free_.size(); }
+
+  IdTable names;  ///< interned node name segments
+
+  // Parallel per-node arrays, indexed by NodeId.
+  std::vector<NodeId> parent;
+  std::vector<std::uint32_t> name;      ///< id into `names`
+  std::vector<std::string> path;        ///< canonical "/a/b" (cold; subtree-sum bounds)
+  std::vector<double> raw_share;
+  std::vector<double> policy_share;
+  std::vector<double> usage_share;
+  std::vector<double> distance;
+  std::vector<double> subtree_usage;
+  std::vector<std::uint8_t> flags;
+  std::vector<std::shared_ptr<const FairshareSnapshot::Node>> published;
+
+ private:
+  void compact_children();
+
+  std::vector<std::uint32_t> first_child_;
+  std::vector<std::uint32_t> child_count_;
+  std::vector<NodeId> child_slots_;   ///< all child spans, slack compacted lazily
+  std::size_t live_child_slots_ = 0;  ///< slots referenced by some span
+  std::vector<NodeId> free_;          ///< recycled node ids
+};
+
+/// SoA store for usage leaves. A leaf slot exists for every distinct
+/// canonical path ever reported (slots are never recycled — binned decay
+/// memos outlive a decayed-to-zero value, exactly like the old
+/// leaf_bins_ map outlived leaf_values_ entries). The *active* leaves
+/// (present in the current usage state) additionally appear in a
+/// path-sorted order index with their values mirrored in a contiguous
+/// array: subtree sums scan that array in the old full-map scan's exact
+/// lexicographic order, so summation stays bit-identical while touching
+/// sequential cache lines instead of a red-black tree.
+class LeafStore {
+ public:
+  /// Slot for `canonical_path`, creating it inactive on first sight.
+  LeafId intern(std::string_view canonical_path);
+
+  /// Slot for `canonical_path`, or kNoIndex when never seen.
+  [[nodiscard]] LeafId find(std::string_view canonical_path) const noexcept {
+    return paths_.find(canonical_path);
+  }
+
+  [[nodiscard]] const std::string& path(LeafId id) const noexcept { return paths_[id]; }
+  [[nodiscard]] std::size_t slot_count() const noexcept { return active_.size(); }
+
+  [[nodiscard]] bool active(LeafId id) const noexcept { return active_[id] != 0; }
+  [[nodiscard]] double value(LeafId id) const noexcept { return value_[id]; }
+
+  /// Insert `id` into the active order (binary-searched splice; appends
+  /// are O(1), which makes a sorted bulk load linear).
+  void activate(LeafId id, double leaf_value);
+  /// Remove `id` from the active order.
+  void deactivate(LeafId id);
+  /// Update an active leaf's value in place.
+  void set_value(LeafId id, double leaf_value) noexcept {
+    value_[id] = leaf_value;
+    order_value_[pos_[id]] = leaf_value;
+  }
+
+  /// Active leaves in lexicographic path order (the summation order).
+  [[nodiscard]] const std::vector<LeafId>& order() const noexcept { return order_; }
+  [[nodiscard]] std::size_t active_count() const noexcept { return order_.size(); }
+
+  /// Sum of active leaf values inside `subtree_path`, scanning the
+  /// contiguous ordered array with the same prefix/boundary filter (and
+  /// therefore the same matches, in the same order) as the old
+  /// std::map lower_bound scan — bit-identical to the batch path.
+  [[nodiscard]] double subtree_sum(const std::string& subtree_path) const;
+
+  // Per-slot binned accounting + decayed-total memo (apply_usage path).
+  std::vector<std::vector<std::pair<double, double>>> bins;  ///< (bin_time, amount)
+  std::vector<double> bin_epoch;
+  std::vector<double> bin_value;
+  std::vector<std::uint8_t> bin_cached;
+
+  // Deepest policy node whose path prefixes the leaf path, memoized
+  // against the engine's policy-structure epoch (dirty-path marking).
+  std::vector<NodeId> attach;
+  std::vector<std::uint64_t> attach_epoch;
+
+ private:
+  IdTable paths_;                      ///< canonical leaf paths; LeafId == path id
+  std::vector<double> value_;          ///< current decayed value (active slots)
+  std::vector<std::uint8_t> active_;   ///< present in the usage state
+  std::vector<std::uint32_t> pos_;     ///< position in order_, kNoIndex if inactive
+  std::vector<LeafId> order_;          ///< active slots, path-sorted
+  std::vector<double> order_value_;    ///< values parallel to order_ (summation array)
+};
+
+}  // namespace aequus::core

@@ -1,5 +1,5 @@
-// Incremental fairshare engine: dirty-path recompute behind immutable
-// snapshots.
+// Incremental fairshare engine: dirty-path recompute over SoA arenas,
+// behind immutable snapshots.
 //
 // The batch FairshareAlgorithm::compute() rebuilds the whole annotated
 // tree from scratch on every usage delta — the dominant cost of the FCS
@@ -12,7 +12,7 @@
 //     group on the path renormalizes (a group's usage_total changed, so
 //     all its members' usage shares move) — but clean siblings' subtrees
 //     are never re-entered;
-//   - a policy swap diffs the new tree against the working tree and
+//   - a policy swap diffs the new tree against the working state and
 //     dirties only sibling groups whose membership, order, or raw shares
 //     changed;
 //   - decayed usage is memoized per leaf keyed by the decay epoch:
@@ -20,7 +20,15 @@
 //     decayed value is bit-identical (idle users, kNone/sliding-window
 //     plateaus) stay clean, so an idle subtree costs zero.
 //
-// Reads never touch the working tree: snapshot() publishes an immutable,
+// Since the arena rework (DESIGN.md §6h) the working state lives in
+// cache-conscious structure-of-arrays arenas keyed by dense interned ids
+// (core::IdTable, core::NodeArena, core::LeafStore): a delta resolves its
+// leaf with one id lookup, marks the dirty path by walking parent links,
+// and the renormalize/subtree-sum hot loops stream contiguous double
+// arrays. Strings appear only at the API boundary — wire-format user
+// paths coming in, published FairshareSnapshot nodes going out.
+//
+// Reads never touch the working state: snapshot() publishes an immutable,
 // generation-stamped FairshareSnapshot with copy-on-publish structural
 // sharing (unchanged subtrees are the *same* nodes as the previous
 // generation), and current() hands the latest one out as a shared_ptr
@@ -33,19 +41,21 @@
 // Bit-identity contract: for any sequence of mutations, the published
 // tree is bit-identical to FairshareAlgorithm::compute() over the
 // equivalent policy and (decayed) usage trees — the engine reproduces the
-// batch path's exact floating-point summation orders. compute() itself is
-// now a thin one-shot wrapper over this engine.
+// batch path's exact floating-point summation orders (the leaf order
+// index in LeafStore preserves the old full-map scan order). compute()
+// itself is now a thin one-shot wrapper over this engine.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/decay.hpp"
 #include "core/fairshare.hpp"
+#include "core/id_table.hpp"
 #include "core/policy.hpp"
 #include "core/snapshot.hpp"
 #include "core/usage.hpp"
@@ -56,7 +66,7 @@ class FairshareEngine {
  public:
   explicit FairshareEngine(FairshareConfig config = {}, DecayConfig decay = {});
 
-  /// Swap the policy tree; structurally diffed against the working tree
+  /// Swap the policy tree; structurally diffed against the working state
   /// so unchanged sibling groups keep their annotations.
   void set_policy(const PolicyTree& policy);
 
@@ -104,6 +114,9 @@ class FairshareEngine {
   /// Generation of the latest published snapshot (0 before the first).
   [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
 
+  /// Active usage leaves in the working state (present, value retained).
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return leaves_.active_count(); }
+
   /// One-shot batch computation through a throwaway engine; the
   /// implementation behind FairshareAlgorithm::compute().
   [[nodiscard]] static FairshareTree compute_once(const FairshareConfig& config,
@@ -111,56 +124,34 @@ class FairshareEngine {
                                                   const UsageTree& usage);
 
  private:
-  /// Working-tree node. `subtree_usage` caches the decayed leaf sum of the
-  /// node's subtree in the batch path's exact summation order.
-  struct Node {
-    std::string name;
-    std::string path;  ///< canonical "/a/b"
-    double raw_share = 0.0;
-    double policy_share = 0.0;
-    double usage_share = 0.0;
-    double distance = 0.0;
-    double subtree_usage = 0.0;
-    bool sum_stale = true;       ///< cached subtree_usage is invalid
-    bool children_dirty = true;  ///< this node's child group must renormalize
-    bool needs_visit = false;    ///< some descendant group is dirty
-    bool value_changed = true;   ///< published values differ -> republish
-    std::vector<std::unique_ptr<Node>> children;
-    std::shared_ptr<const FairshareSnapshot::Node> published;
-
-    [[nodiscard]] Node* find_child(const std::string& child_name);
-  };
-
-  /// Decayed-total memo for one binned leaf.
-  struct BinnedLeaf {
-    std::vector<std::pair<double, double>> bins;  ///< (bin_time, amount)
-    double cached_epoch = 0.0;
-    double cached_value = 0.0;
-    bool cached = false;
-  };
-
   /// Diff one policy sibling group; returns true when anything below
   /// `node` (inclusive) was dirtied.
-  bool sync_policy(Node& node, const PolicyTree::Node& policy_node);
-  /// Mark the root-to-leaf path of `leaf_path` dirty.
-  void mark_leaf_dirty(const std::string& leaf_path);
+  bool sync_policy(NodeId node, const PolicyTree::Node& policy_node);
+  /// Leaf slot for a wire-format user path (canonicalized, interned).
+  LeafId leaf_for(const std::string& user_path);
+  /// Deepest policy node prefixing the leaf's path (memoized per policy
+  /// structure epoch).
+  NodeId attach_node(LeafId leaf);
+  /// Mark the root-to-leaf path of `leaf` dirty.
+  void mark_leaf_dirty(LeafId leaf);
   /// Set a leaf's effective decayed value, dirtying its path on change.
-  void set_leaf_value(const std::string& leaf_path, double value);
+  void set_leaf_value(LeafId leaf, double value);
   /// Renormalize dirty sibling groups and refresh stale sums below `node`.
-  void refresh(Node& node);
-  /// Sum of leaf values inside `path`, in the batch path's scan order.
-  [[nodiscard]] double subtree_sum(const std::string& path) const;
+  void refresh(NodeId node);
   /// Rebuild the published node for `node` where values changed, sharing
   /// every untouched child. Returns true when the pointer changed.
-  bool publish_node(Node& node);
+  bool publish_node(NodeId node);
 
   FairshareAlgorithm algorithm_;
   Decay decay_;
   double epoch_ = 0.0;
-  Node root_;
+  NodeArena nodes_;
+  LeafStore leaves_;
+  /// Bumped whenever a policy swap changes tree *structure*; invalidates
+  /// the leaves' memoized attach nodes.
+  std::uint64_t structure_epoch_ = 1;
+  bool structure_changed_ = false;  ///< set by sync_policy during one swap
   int depth_ = 0;
-  std::map<std::string, double> leaf_values_;    ///< decayed leaf usage (> 0 only)
-  std::map<std::string, BinnedLeaf> leaf_bins_;  ///< binned accounting + memo
   std::uint64_t generation_ = 0;
   bool force_republish_ = true;  ///< config change or first publish
   mutable std::mutex publish_mutex_;  ///< guards only the published_ handoff

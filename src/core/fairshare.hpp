@@ -32,6 +32,14 @@
 
 namespace aequus::core {
 
+/// The neutral priority factor (the percental balance point): a user at
+/// perfect policy/usage balance projects here. This is also the documented
+/// resolution for *missing* leaves — a user absent from a factor table
+/// (churned in between snapshot generations, unresolvable identity, no
+/// data yet) must read as kNeutralFactor, never as a default-constructed
+/// 0.0 that would zero the job's whole priority.
+inline constexpr double kNeutralFactor = 0.5;
+
 struct FairshareConfig {
   double distance_weight_k = 0.5;       ///< weight of the relative component
   int resolution = kDefaultResolution;  ///< vector element range

@@ -1,0 +1,99 @@
+// Dense string interning for the engine hot paths.
+//
+// An IdTable maps strings (leaf paths, node name segments) to dense
+// uint32_t ids in first-insertion order and back. Ids are stable for the
+// table's lifetime and index straight into structure-of-arrays storage
+// (see arena.hpp), so everything past the API boundary works on integers
+// and contiguous arrays instead of string-keyed maps — the same
+// discipline as the obs tracer's site/component interning, but with an
+// open-addressing index so a hot-path lookup is one hash, one probe
+// chain over a flat uint32 slot array, and at most one string compare
+// per probe. Insertion order is deterministic, which keeps every
+// consumer (snapshots, fingerprints, iteration) replayable.
+//
+// Single-writer like the engine that owns it; lookups are const.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aequus::core {
+
+class IdTable {
+ public:
+  static constexpr std::uint32_t kNoId = 0xffffffffu;
+
+  IdTable() { rehash(16); }
+
+  /// Id of `text`, inserting it on first sight. Ids are dense and
+  /// assigned in insertion order: the n-th distinct string gets id n.
+  std::uint32_t intern(std::string_view text) {
+    const std::uint64_t h = hash(text);
+    std::size_t slot = probe(h, text);
+    if (slots_[slot] != kNoId) return slots_[slot];
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    strings_.emplace_back(text);
+    slots_[slot] = id;
+    if (strings_.size() * 10 >= slots_.size() * 7) {  // load factor 0.7
+      rehash(slots_.size() * 2);
+    }
+    return id;
+  }
+
+  /// Id of `text`, or kNoId when it was never interned. Allocation-free.
+  [[nodiscard]] std::uint32_t find(std::string_view text) const noexcept {
+    return slots_[probe(hash(text), text)];
+  }
+
+  [[nodiscard]] const std::string& operator[](std::uint32_t id) const noexcept {
+    return strings_[id];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return strings_.size(); }
+
+  void reserve(std::size_t count) {
+    strings_.reserve(count);
+    std::size_t want = 16;
+    while (want * 7 < count * 10) want *= 2;
+    if (want > slots_.size()) rehash(want);
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t hash(std::string_view text) noexcept {
+    // FNV-1a: no seeding, so table layout is a pure function of the
+    // insertion sequence (determinism contract).
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : text) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  /// First slot that holds `text`'s id or is empty (linear probing over a
+  /// power-of-two table).
+  [[nodiscard]] std::size_t probe(std::uint64_t h, std::string_view text) const noexcept {
+    std::size_t slot = static_cast<std::size_t>(h) & mask_;
+    while (slots_[slot] != kNoId && strings_[slots_[slot]] != text) {
+      slot = (slot + 1) & mask_;
+    }
+    return slot;
+  }
+
+  void rehash(std::size_t slot_count) {
+    slots_.assign(slot_count, kNoId);
+    mask_ = slot_count - 1;
+    for (std::uint32_t id = 0; id < strings_.size(); ++id) {
+      std::size_t slot = static_cast<std::size_t>(hash(strings_[id])) & mask_;
+      while (slots_[slot] != kNoId) slot = (slot + 1) & mask_;
+      slots_[slot] = id;
+    }
+  }
+
+  std::vector<std::string> strings_;   ///< id -> text, insertion order
+  std::vector<std::uint32_t> slots_;   ///< open-addressing index into strings_
+  std::size_t mask_ = 0;
+};
+
+}  // namespace aequus::core

@@ -69,18 +69,71 @@ std::map<std::string, double> project_bitwise(const Tree& tree, int bits_per_lev
   double scale = 1.0;
   for (std::size_t i = 0; i < level_count; ++i) scale *= bucket_count;
 
-  std::map<std::string, double> out;
-  for (const auto& path : tree.user_paths()) {
-    const FairshareVector vector = *tree.vector_for(path);
+  struct Entry {
+    std::string path;
+    FairshareVector vector;
     double merged = 0.0;
+  };
+  std::vector<Entry> entries;
+  for (const auto& path : tree.user_paths()) {
+    Entry entry{path, *tree.vector_for(path)};
     for (std::size_t level = 0; level < level_count; ++level) {
-      const double raw = level < vector.depth() ? vector.values()[level] : 0.0;
+      const double raw = level < entry.vector.depth() ? entry.vector.values()[level] : 0.0;
       // Quantize [-1, 1] into [0, 2^bits - 1].
       double bucket = std::floor((raw + 1.0) / 2.0 * bucket_count);
       bucket = std::clamp(bucket, 0.0, bucket_count - 1.0);
-      merged = merged * bucket_count + bucket;
+      entry.merged = entry.merged * bucket_count + bucket;
     }
-    out[path] = scale > 1.0 ? merged / (scale - 1.0) : 0.0;
+    entries.push_back(std::move(entry));
+  }
+
+  // Quantization can map *distinct* vectors to the same merged code
+  // (coarse bits_per_level, or levels truncated past the mantissa),
+  // which used to silently merge their factors. Group by code and
+  // disambiguate collisions with sub-code fractions that keep the group
+  // inside its own quantum: ordering across codes is untouched, equal
+  // vectors still get equal factors, and a collision-free code keeps the
+  // exact old factor.
+  std::map<double, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    groups[entries[i].merged].push_back(i);
+  }
+
+  std::map<std::string, double> out;
+  for (auto& [merged, members] : groups) {
+    // Rank the group's distinct vectors ascending (worst first).
+    std::stable_sort(members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
+      return entries[a].vector.compare(entries[b].vector) == std::strong_ordering::less;
+    });
+    std::vector<std::size_t> rank(members.size(), 0);
+    std::size_t distinct = 1;
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      if (entries[members[i]].vector.compare(entries[members[i - 1]].vector) !=
+          std::strong_ordering::equal) {
+        ++distinct;
+      }
+      rank[i] = distinct - 1;
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const Entry& entry = entries[members[i]];
+      double factor;
+      if (scale <= 1.0) {
+        factor = 0.0;  // zero usable levels: nothing to disambiguate with
+      } else if (distinct == 1) {
+        factor = merged / (scale - 1.0);  // no collision: bit-identical to before
+      } else {
+        // Spread the collided vectors across the code's own quantum. The
+        // best collider of a non-zero code keeps the undisturbed factor
+        // and the rest shift down within (merged - 1, merged]; code 0
+        // spreads up within [0, 1) instead so factors stay in [0, 1].
+        const double share = static_cast<double>(distinct);
+        const double frac = merged > 0.0
+                                ? (static_cast<double>(rank[i]) - (share - 1.0)) / share
+                                : static_cast<double>(rank[i]) / share;
+        factor = (merged + frac) / (scale - 1.0);
+      }
+      out[entry.path] = factor;
+    }
   }
   return out;
 }
@@ -93,7 +146,7 @@ double percental_value_impl(const Tree& tree, const std::string& path) {
   double usage = 1.0;
   for (const auto& segment : segments) {
     node = node->find_child(segment);
-    if (node == nullptr) return 0.5;
+    if (node == nullptr) return kNeutralFactor;
     target *= node->policy_share;
     usage *= node->usage_share;
   }

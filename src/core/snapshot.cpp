@@ -132,7 +132,9 @@ std::vector<std::string> FairshareSnapshot::user_paths() const {
 double FairshareSnapshot::factor_for(const std::string& user) const {
   if (const auto it = user_factors_.find(user); it != user_factors_.end()) return it->second;
   if (const auto it = path_factors_.find(user); it != path_factors_.end()) return it->second;
-  return 0.5;
+  // Absent leaf (e.g. a user churned in after this generation was cut):
+  // the documented neutral resolution, never a priority-zeroing 0.0.
+  return kNeutralFactor;
 }
 
 FairshareTree FairshareSnapshot::to_tree() const {

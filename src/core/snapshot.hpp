@@ -77,8 +77,10 @@ class FairshareSnapshot {
   /// Maximum levels below the root (cached at publish time).
   [[nodiscard]] int depth() const noexcept { return depth_; }
 
-  /// Projected factor for a leaf name or path; 0.5 (balance) when unknown
-  /// or when the snapshot carries no factors.
+  /// Projected factor for a leaf name or path; kNeutralFactor (the
+  /// balance point) when the user is unknown — including one churned in
+  /// after this generation was cut — or when the snapshot carries no
+  /// factors. Never a priority-zeroing 0.0.
   [[nodiscard]] double factor_for(const std::string& user) const;
 
   /// Projected factors, when present: policy leaf path -> factor and leaf

@@ -12,7 +12,7 @@ DeltaLog::DeltaLog(sim::Simulator& simulator, net::ServiceBus& bus, std::string 
       sink_(std::move(sink_address)),
       config_(config),
       obs_(obs),
-      queue_(config.queue_capacity, config.overflow) {
+      queue_(config.queue_capacity, config.overflow, config.bin_width) {
   if (obs_.registry != nullptr) {
     const std::string prefix = site_ + ".ingest.";
     dropped_global_ = &obs_.registry->counter("ingest.dropped_deltas");
@@ -54,9 +54,14 @@ void DeltaLog::append_at(const std::string& user, double amount, double time) {
     result = queue_.push(std::move(delta));
   }
   if (result == BoundedDeltaQueue::Append::kDroppedOldest) {
+    // A merge-less eviction: usage was genuinely shed. Overflow merges
+    // (kCoalesced) conserve every amount and stay out of this counter so
+    // the conservation auto-skip only fires on real loss.
     ++stats_.dropped_deltas;
     obs::bump(dropped_global_);
     obs::bump(dropped_site_);
+  } else if (result == BoundedDeltaQueue::Append::kCoalesced) {
+    ++stats_.coalesced_records;
   }
   ++stats_.appended;
   set_depth_gauge();

@@ -9,8 +9,10 @@
 //
 // Backpressure: with kBlockProducer a full queue triggers an immediate
 // synchronous flush (the producer stalls until the log drains — no
-// record is ever lost); with kDropOldest the oldest queued record is
-// evicted. Both are accounted in the obs registry:
+// record is ever lost); with kDropOldest the queue first coalesces
+// same-(user, bin) records in place (lossless, the merge ship() would
+// do anyway) and only counts a delta dropped when an eviction cannot
+// merge anywhere. Both are accounted in the obs registry:
 //   ingest.dropped_deltas            (global, trace.dropped_events style)
 //   <site>.ingest.dropped_deltas
 //   <site>.ingest.queue_depth        (gauge, sampled per append/flush)
@@ -46,11 +48,11 @@ struct IngestConfig {
 /// observability attached).
 struct DeltaLogStats {
   std::uint64_t appended = 0;            ///< deltas accepted into the queue
-  std::uint64_t dropped_deltas = 0;      ///< evicted by kDropOldest
+  std::uint64_t dropped_deltas = 0;      ///< records actually shed (merge-less evictions)
   std::uint64_t backpressure_flushes = 0;///< synchronous flushes forced by a full queue
   std::uint64_t batches_shipped = 0;     ///< envelopes sent
   std::uint64_t records_shipped = 0;     ///< coalesced records sent
-  std::uint64_t coalesced_records = 0;   ///< raw records merged away
+  std::uint64_t coalesced_records = 0;   ///< raw records merged away (at ship or overflow)
 };
 
 class DeltaLog {

@@ -7,16 +7,6 @@
 
 namespace aequus::ingest {
 
-namespace {
-
-/// Histogram bin a record time falls into (the USS uses the same floor).
-double bin_of(double time, double bin_width) {
-  if (bin_width <= 0.0) return time;
-  return std::floor(time / bin_width) * bin_width;
-}
-
-}  // namespace
-
 std::vector<UsageDelta> coalesce(const std::vector<UsageDelta>& deltas, double bin_width) {
   std::vector<UsageDelta> merged;
   merged.reserve(deltas.size());

@@ -20,6 +20,7 @@
 //    "deltas":[["U1", 120.0, 40.0], ...]}          // [user, time, amount]
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,6 +39,13 @@ struct UsageDelta {
   double time = 0.0;
   double amount = 0.0;
 };
+
+/// Histogram bin a record time falls into (the USS uses the same floor).
+/// `bin_width` <= 0 keeps the raw time: only bit-equal times share a bin.
+[[nodiscard]] inline double bin_of(double time, double bin_width) noexcept {
+  if (bin_width <= 0.0) return time;
+  return std::floor(time / bin_width) * bin_width;
+}
 
 /// Merge same-(user, bin) deltas by summing amounts, preserving the
 /// first-appearance order of each key — application order stays

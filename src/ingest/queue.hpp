@@ -10,9 +10,15 @@
 //     DeltaLog models the stalled producer by flushing synchronously and
 //     retrying, so no record is ever lost; the stall is accounted in
 //     `ingest.backpressure_flushes`.
-//   kDropOldest — a full queue evicts its oldest record to admit the new
-//     one, counted in `ingest.dropped_deltas` (the trace.dropped_events
-//     precedent: shed load visibly, never silently).
+//   kDropOldest — a full queue first tries to *coalesce*: if the incoming
+//     record (or the would-be-evicted oldest one) can merge into a queued
+//     record of the same (user, bin) — exactly the merge ship-time
+//     coalesce() would perform anyway — no information is lost and
+//     nothing is counted dropped. Only when no merge is possible is the
+//     oldest record genuinely shed, counted in `ingest.dropped_deltas`
+//     (the trace.dropped_events precedent: shed load visibly, never
+//     silently). Counting only real sheds keeps the scenario runner's
+//     conservation auto-skip accurate under multi-producer overflow.
 #pragma once
 
 #include <algorithm>
@@ -34,20 +40,31 @@ class BoundedDeltaQueue {
  public:
   enum class Append {
     kAccepted,      ///< stored
-    kDroppedOldest, ///< stored; the oldest record was evicted to make room
+    kCoalesced,     ///< merged into a queued same-(user, bin) record; nothing lost
+    kDroppedOldest, ///< stored; the oldest record was evicted and could not merge
     kWouldBlock,    ///< refused (kBlockProducer and the queue is full)
   };
 
-  explicit BoundedDeltaQueue(std::size_t capacity, OverflowPolicy policy)
-      : capacity_(capacity > 0 ? capacity : 1), policy_(policy) {}
+  /// `bin_width` scopes overflow coalescing exactly like ship-time
+  /// coalesce(): <= 0 merges only bit-equal record times.
+  explicit BoundedDeltaQueue(std::size_t capacity, OverflowPolicy policy,
+                             double bin_width = 0.0)
+      : capacity_(capacity > 0 ? capacity : 1), policy_(policy), bin_width_(bin_width) {}
 
   Append push(UsageDelta delta) {
     if (queue_.size() >= capacity_) {
       if (policy_ == OverflowPolicy::kBlockProducer) return Append::kWouldBlock;
+      // Overflow coalescing, cheapest first: fold the incoming record
+      // into a queued sibling (same merge ship() would do), else evict
+      // the oldest but fold *it* into a sibling. Amounts are conserved
+      // in both cases; only a merge-less eviction sheds information.
+      if (merge_into_queue(delta, 0)) return Append::kCoalesced;
+      UsageDelta oldest = std::move(queue_.front());
       queue_.pop_front();
-      ++dropped_;
+      const bool preserved = merge_into_queue(oldest, 0);
+      if (!preserved) ++dropped_;
       queue_.push_back(std::move(delta));
-      return Append::kDroppedOldest;
+      return preserved ? Append::kCoalesced : Append::kDroppedOldest;
     }
     queue_.push_back(std::move(delta));
     return Append::kAccepted;
@@ -70,12 +87,30 @@ class BoundedDeltaQueue {
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] OverflowPolicy policy() const noexcept { return policy_; }
-  /// Records evicted by kDropOldest over the queue's lifetime.
+  /// Records genuinely shed by kDropOldest over the queue's lifetime —
+  /// evictions that could not coalesce into any queued record. Evictions
+  /// absorbed by a same-(user, bin) merge are NOT counted: ship-time
+  /// coalesce() would have merged them anyway, so no usage was lost.
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
  private:
+  /// Fold `delta` into the first queued record with the same (user, bin),
+  /// keeping the queued record's (earlier) time like coalesce() does.
+  bool merge_into_queue(const UsageDelta& delta, std::size_t from) {
+    const double bin = bin_of(delta.time, bin_width_);
+    for (std::size_t i = from; i < queue_.size(); ++i) {
+      UsageDelta& candidate = queue_[i];
+      if (candidate.user == delta.user && bin_of(candidate.time, bin_width_) == bin) {
+        candidate.amount += delta.amount;
+        return true;
+      }
+    }
+    return false;
+  }
+
   std::size_t capacity_;
   OverflowPolicy policy_;
+  double bin_width_ = 0.0;
   std::deque<UsageDelta> queue_;
   std::uint64_t dropped_ = 0;
 };

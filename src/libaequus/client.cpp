@@ -164,8 +164,8 @@ double AequusClient::fairshare_factor(const std::string& grid_user) {
   ++stats_.fairshare_lookups;
   obs::bump(metrics_.fairshare_lookups);
   // Served from the published snapshot: same values a snapshot() reader
-  // sees, 0.5 (balance) before the first refresh or for unknown users.
-  return snapshot_ != nullptr ? snapshot_->factor_for(grid_user) : 0.5;
+  // sees, neutral before the first refresh or for unknown users.
+  return snapshot_ != nullptr ? snapshot_->factor_for(grid_user) : core::kNeutralFactor;
 }
 
 std::optional<std::string> AequusClient::resolve_identity(const std::string& system_user) {

@@ -7,7 +7,7 @@ void apply_aequus_patches(MauiScheduler& scheduler, client::AequusClient& client
     std::string grid_user = context.job.grid_user;
     if (grid_user.empty()) {
       const auto resolved = client.resolve_identity(context.job.system_user);
-      if (!resolved) return 0.5;
+      if (!resolved) return core::kNeutralFactor;
       grid_user = *resolved;
     }
     // Same preference order as the SLURM source: per-pass snapshot first,

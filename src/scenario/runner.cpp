@@ -19,6 +19,7 @@ struct TaskGateState {
   std::size_t reconvergence_violations = 0;
   std::size_t conservation_violations = 0;
   bool conservation_checked = false;
+  bool ingest_dropped = false;  ///< the task's ingest path shed deltas for real
   std::string first_violation;  ///< "invariant @ t: detail" of the first one
 };
 
@@ -94,8 +95,15 @@ ScenarioReport run_scenario(const CompiledScenario& compiled, const RunOptions& 
         state.reconvergence_violations = checker.violations().size() - before;
       }
       const std::size_t variant_index = slot.task_index / replications;
+      // A variant is only conservation-checkable when neither the fault
+      // plan nor the ingest queue lost usage. `ingest.dropped_deltas`
+      // counts records *actually shed* (merge-less drop-oldest
+      // evictions) — overflow coalescing conserves amounts and does not
+      // disqualify the check.
+      state.ingest_dropped = slot.obs.counter("ingest.dropped_deltas") > 0;
       const bool lossless = variant_index < compiled.variants.size() &&
-                            compiled.variants[variant_index].lossless;
+                            compiled.variants[variant_index].lossless &&
+                            !state.ingest_dropped;
       if (gates.conservation == "on" || (gates.conservation == "auto" && lossless)) {
         const std::size_t before = checker.violations().size();
         checker.check_conservation_final();
@@ -137,7 +145,14 @@ ScenarioReport run_scenario(const CompiledScenario& compiled, const RunOptions& 
     const bool any_checked =
         std::any_of(states.begin(), states.end(),
                     [](const TaskGateState& s) { return s.conservation_checked; });
-    if (!any_checked) gate.detail = "skipped: fault plan is lossy (conservation=auto)";
+    const bool any_ingest_dropped =
+        std::any_of(states.begin(), states.end(),
+                    [](const TaskGateState& s) { return s.ingest_dropped; });
+    if (!any_checked) {
+      gate.detail = any_ingest_dropped
+                        ? "skipped: ingest shed deltas (conservation=auto)"
+                        : "skipped: fault plan is lossy (conservation=auto)";
+    }
     report.gates.push_back(std::move(gate));
   }
 

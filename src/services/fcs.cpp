@@ -137,7 +137,7 @@ void Fcs::set_algorithm(core::FairshareConfig algorithm) {
 
 double Fcs::factor_for(const std::string& grid_user) const {
   const auto it = user_table_.find(grid_user);
-  return it != user_table_.end() ? it->second : 0.5;
+  return it != user_table_.end() ? it->second : core::kNeutralFactor;
 }
 
 json::Value Fcs::handle(const json::Value& request) {

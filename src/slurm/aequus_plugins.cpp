@@ -9,7 +9,7 @@ FairshareSource aequus_fairshare_source(client::AequusClient& client) {
     std::string grid_user = context.job.grid_user;
     if (grid_user.empty()) {
       const auto resolved = client.resolve_identity(context.job.system_user);
-      if (!resolved) return 0.5;  // balance point for unresolvable accounts
+      if (!resolved) return core::kNeutralFactor;  // unresolvable accounts stay neutral
       grid_user = *resolved;
     }
     // Read the pass's snapshot when the scheduler supplied one — the same

@@ -11,7 +11,7 @@ double ExperimentResult::priority_convergence_time(double epsilon, double until)
   std::map<std::string, double> targets;
   for (const auto& [name, series] : priorities.all()) {
     (void)series;
-    targets[name] = 0.5;  // percental balance point
+    targets[name] = core::kNeutralFactor;  // percental balance point
   }
   return convergence_time(priorities, targets, epsilon, until);
 }

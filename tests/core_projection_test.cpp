@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
+
 #include "core/projection.hpp"
 
 namespace aequus::core {
@@ -60,9 +63,12 @@ TEST(BitwiseProjection, PreservesOrderWithinDepth) {
   }
 }
 
-TEST(BitwiseProjection, FiniteDepthTruncates) {
+TEST(BitwiseProjection, FiniteDepthTruncatesToOneQuantum) {
   // With 26 bits per level only two levels fit into a double's mantissa;
-  // a difference at level 3 is invisible (Table I: no infinite depth).
+  // a difference at level 3 is truncated out of the *code* (Table I: no
+  // infinite depth). The code collision no longer merges the factors —
+  // disambiguation separates them — but both must stay inside the code's
+  // own quantum, so the coarse (code-level) ordering is unchanged.
   PolicyTree policy;
   policy.set_share("/a/b/c1", 1.0);
   policy.set_share("/a/b/c2", 1.0);
@@ -70,20 +76,61 @@ TEST(BitwiseProjection, FiniteDepthTruncates) {
   usage.add("/a/b/c1", 100.0);
   const FairshareTree tree = FairshareAlgorithm().compute(policy, usage);
   const auto values = project(tree, {ProjectionKind::kBitwiseVector, 26});
-  EXPECT_DOUBLE_EQ(values.at("/a/b/c1"), values.at("/a/b/c2"));
-  // Dictionary ordering keeps the distinction (infinite depth).
+  const double quantum = 1.0 / (std::exp2(26.0 * 2) - 1.0);
+  EXPECT_NE(values.at("/a/b/c1"), values.at("/a/b/c2"));
+  EXPECT_LT(std::abs(values.at("/a/b/c1") - values.at("/a/b/c2")), quantum);
+  // c2 idle, c1 used: c2's vector ranks higher, so must its factor.
+  EXPECT_GT(values.at("/a/b/c2"), values.at("/a/b/c1"));
+  // Dictionary ordering keeps the distinction at full strength.
   const auto dict = project(tree, {ProjectionKind::kDictionaryOrdering, 8});
   EXPECT_NE(dict.at("/a/b/c1"), dict.at("/a/b/c2"));
 }
 
-TEST(BitwiseProjection, FinitePrecisionQuantizes) {
-  // 1-bit elements cannot distinguish two mildly different usages on the
-  // same side of balance (Table I: no infinite precision).
+TEST(BitwiseProjection, FinitePrecisionQuantizesToOneQuantum) {
+  // 1-bit elements put two mildly different same-side usages into the
+  // same bucket (Table I: no infinite precision). Disambiguation keeps
+  // their factors distinct and correctly ordered, but within the shared
+  // bucket's quantum — far closer together than to any other bucket.
   const FairshareTree tree =
       make_tree({{"/a", 1.0}, {"/b", 1.0}, {"/c", 1.0}},
                 {{"/a", 10.0}, {"/b", 12.0}, {"/c", 1000.0}});
   const auto values = project(tree, {ProjectionKind::kBitwiseVector, 1});
-  EXPECT_DOUBLE_EQ(values.at("/a"), values.at("/b"));
+  const double quantum = 1.0;  // 1 bit, 1 level: scale - 1 = 1
+  EXPECT_NE(values.at("/a"), values.at("/b"));
+  EXPECT_LT(std::abs(values.at("/a") - values.at("/b")), quantum);
+  EXPECT_GT(values.at("/a"), values.at("/b"));  // less usage ranks higher
+}
+
+TEST(BitwiseProjection, CollidingCodesDisambiguated) {
+  // Regression for the id-collision edge case: coarse bits_per_level maps
+  // distinct sibling vectors to the same merged code, which used to merge
+  // their factors silently. Collided factors must now stay distinct,
+  // ordered like their vectors, inside [0, 1], and inside their code's
+  // quantum; bit-identical vectors must still share one factor.
+  const FairshareTree tree = make_tree(
+      {{"/a", 1.0}, {"/b", 1.0}, {"/c", 1.0}, {"/d", 1.0}, {"/e", 1.0}},
+      {{"/a", 10.0}, {"/b", 12.0}, {"/c", 14.0}, {"/d", 1000.0}, {"/e", 1000.0}});
+  const auto values = project(tree, {ProjectionKind::kBitwiseVector, 2});
+  // a, b, c quantize alike (mild usage, same side of balance) yet carry
+  // distinct vectors: all three factors distinct and vector-ordered.
+  EXPECT_NE(values.at("/a"), values.at("/b"));
+  EXPECT_NE(values.at("/b"), values.at("/c"));
+  EXPECT_GT(values.at("/a"), values.at("/b"));
+  EXPECT_GT(values.at("/b"), values.at("/c"));
+  // d and e have bit-identical vectors: factors must still merge.
+  EXPECT_EQ(values.at("/d"), values.at("/e"));
+  // Global ordering across different codes is untouched.
+  EXPECT_GT(values.at("/c"), values.at("/d"));
+  for (const auto& [path, v] : values) {
+    EXPECT_GE(v, 0.0) << path;
+    EXPECT_LE(v, 1.0) << path;
+  }
+  // Collision-free codes keep the exact legacy factor: with generous bits
+  // every vector gets its own code, and the factor is merged/(scale-1).
+  const auto fine = project(tree, {ProjectionKind::kBitwiseVector, 8});
+  std::map<double, int> distinct_codes;
+  for (const auto& [path, v] : fine) ++distinct_codes[v];
+  EXPECT_EQ(distinct_codes.size(), 4u);  // d/e share; a/b/c/d each distinct
 }
 
 TEST(PercentalProjection, PaperMaximumForIdleUser) {

@@ -4,8 +4,12 @@
 // faults, whose randomness flows from the same seeding discipline.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 
+#include "core/engine.hpp"
+#include "core/projection.hpp"
+#include "core/snapshot.hpp"
 #include "testbed/experiment.hpp"
 #include "testing/determinism.hpp"
 #include "workload/scenarios.hpp"
@@ -113,6 +117,40 @@ TEST(Determinism, BatchedIngestionIsDeterministic) {
   const std::string second = batched_fingerprint(8);
   EXPECT_EQ(first, second);
   EXPECT_GT(first.size(), 1000u);
+}
+
+TEST(Determinism, ChurnedInUserResolvesToNeutralFactor) {
+  // Regression: a user churning in between snapshot generations used to
+  // read a default-constructed 0.0 out of the factor maps — zeroing
+  // their priority until the next publish, and making the run's outcome
+  // depend on where exactly the churn landed relative to a generation
+  // cut. Missing leaves must resolve to the documented balance point on
+  // every lookup path instead.
+  core::PolicyTree policy;
+  policy.set_share("/site/alice", 2.0);
+  policy.set_share("/site/bob", 1.0);
+  core::FairshareEngine engine(
+      core::FairshareConfig{},
+      core::DecayConfig{core::DecayKind::kExponentialHalfLife, 500.0, 1000.0});
+  engine.set_policy(policy);
+  engine.apply_usage("/site/alice", 25.0, 10.0);
+  const core::FairshareSnapshotPtr base = engine.snapshot();
+  ASSERT_NE(base, nullptr);
+  const std::map<std::string, double> factors =
+      core::project(*base, {core::ProjectionKind::kPercental, 8});
+  std::map<std::string, double> users;
+  for (const auto& [path, value] : factors) {
+    users[path.substr(path.rfind('/') + 1)] = value;
+  }
+  const core::FairshareSnapshotPtr snap =
+      core::FairshareSnapshot::with_factors(base, factors, users);
+  // carol churned in after this generation was cut: neutral, never 0.0.
+  EXPECT_EQ(snap->factor_for("carol"), core::kNeutralFactor);
+  EXPECT_EQ(snap->factor_for("/site/carol"), core::kNeutralFactor);
+  EXPECT_NE(core::kNeutralFactor, 0.0);
+  // Known users still read their projected factors verbatim.
+  EXPECT_EQ(snap->factor_for("/site/alice"), factors.at("/site/alice"));
+  EXPECT_EQ(snap->factor_for("bob"), users.at("bob"));
 }
 
 TEST(Determinism, BatchedAndPerRpcFingerprintsDiverge) {

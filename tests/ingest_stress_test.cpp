@@ -8,6 +8,7 @@
 #include <cmath>
 #include <string>
 
+#include "ingest/queue.hpp"
 #include "testbed/experiment.hpp"
 #include "testing/generators.hpp"
 #include "testing/invariants.hpp"
@@ -165,6 +166,63 @@ TEST(IngestStress, MultiProducerBackpressureStaysLossless) {
   // synchronous flushes, and block-producer shed nothing.
   EXPECT_GT(result.obs.counter("site0.ingest.backpressure_flushes"), 0u);
   EXPECT_EQ(result.obs.counter("ingest.dropped_deltas"), 0u);
+}
+
+TEST(IngestOverflow, DroppedCountsRecordsActuallyShedNotQueueSlots) {
+  // Regression: `dropped_deltas` used to count every kDropOldest eviction
+  // — i.e. queue-slot turnover — even when the evicted record merged into
+  // a queued same-(user, bin) sibling and no usage was lost. It must
+  // count records actually shed, and nothing else.
+  ingest::BoundedDeltaQueue queue(2, ingest::OverflowPolicy::kDropOldest,
+                                  /*bin_width=*/10.0);
+  ASSERT_EQ(queue.push({"alice", 5.0, 1.0}), ingest::BoundedDeltaQueue::Append::kAccepted);
+  ASSERT_EQ(queue.push({"alice", 7.0, 2.0}), ingest::BoundedDeltaQueue::Append::kAccepted);
+
+  // Full queue, incoming record merges into a queued sibling: coalesced,
+  // nothing evicted, nothing dropped.
+  EXPECT_EQ(queue.push({"alice", 3.0, 4.0}), ingest::BoundedDeltaQueue::Append::kCoalesced);
+  EXPECT_EQ(queue.dropped(), 0u);
+  EXPECT_EQ(queue.size(), 2u);
+
+  // Full queue, incoming carol cannot merge: the oldest alice record is
+  // evicted but folds into the other queued alice record (same bin) —
+  // still a coalesce, still zero dropped.
+  EXPECT_EQ(queue.push({"carol", 25.0, 1.5}), ingest::BoundedDeltaQueue::Append::kCoalesced);
+  EXPECT_EQ(queue.dropped(), 0u);
+
+  // Full queue, incoming dave cannot merge and neither can the evicted
+  // alice aggregate: a genuine shed, and the only one counted.
+  EXPECT_EQ(queue.push({"dave", 35.0, 1.0}),
+            ingest::BoundedDeltaQueue::Append::kDroppedOldest);
+  EXPECT_EQ(queue.dropped(), 1u);
+
+  // Conservation arithmetic: 9.5 pushed, the alice aggregate (1+2+4 = 7)
+  // was shed, everything else is still queued.
+  double remaining = 0.0;
+  for (const auto& delta : queue.drain()) remaining += delta.amount;
+  EXPECT_EQ(remaining, 1.5 + 1.0);
+  EXPECT_EQ(queue.dropped(), 1u);  // drain never counts as a drop
+}
+
+TEST(IngestStress, DropOldestShedIsVisibleAndInvariantsTolerateIt) {
+  // A deliberately shedding configuration: one-slot queue, a cadence far
+  // past the inter-completion gap, drop-oldest overflow. An eviction from
+  // a one-slot queue leaves nothing to merge into, so every eviction
+  // whose successor is a different (user, bin) is a real shed. It must
+  // show up in `ingest.dropped_deltas` (the signal the scenario runner's
+  // conservation auto-skip keys on), while the tick invariants — which
+  // only demand recorded <= completed — keep holding.
+  const workload::Scenario scenario = dyadic_scenario(37, 150);
+  testbed::ExperimentConfig config = batched_config(true);
+  config.usage_batching.queue_capacity = 1;
+  config.usage_batching.batch_interval = 900.0;
+  config.usage_batching.overflow = ingest::OverflowPolicy::kDropOldest;
+  testbed::Experiment experiment(scenario, config);
+  InvariantChecker checker(experiment);
+  const testbed::ExperimentResult result = experiment.run();
+  ASSERT_EQ(result.jobs_completed, scenario.trace.size());
+  EXPECT_GT(result.obs.counter("ingest.dropped_deltas"), 0u);
+  EXPECT_TRUE(checker.ok()) << checker.report();
 }
 
 }  // namespace
