@@ -134,6 +134,12 @@ LeafId LeafStore::intern(std::string_view canonical_path) {
   return id;
 }
 
+// activate/deactivate keep order_/order_value_ sorted and rewrite pos_
+// for every element past the splice point, so mid-array churn costs
+// O(active_count) per event. Benchmarks show this is dwarfed by the
+// recompute it triggers; if churn-heavy workloads (decay-to-zero leaves
+// reappearing) surface in profiles, a gap buffer or deferred reindex is
+// the follow-up.
 void LeafStore::activate(LeafId id, double leaf_value) {
   const std::string& leaf_path = paths_[id];
   const auto it = std::lower_bound(

@@ -90,47 +90,81 @@ std::map<std::string, double> project_bitwise(const Tree& tree, int bits_per_lev
   // Quantization can map *distinct* vectors to the same merged code
   // (coarse bits_per_level, or levels truncated past the mantissa),
   // which used to silently merge their factors. Group by code and
-  // disambiguate collisions with sub-code fractions that keep the group
-  // inside its own quantum: ordering across codes is untouched, equal
-  // vectors still get equal factors, and a collision-free code keeps the
-  // exact old factor.
+  // disambiguate collisions with sub-code fractions: the best collider
+  // of a non-zero code keeps the undisturbed factor and the rest shift
+  // down within (merged - 1, merged], so ordering across non-zero codes
+  // is untouched. Code 0 spreads up instead (factors stay in [0, 1]),
+  // bounded strictly below the smallest fraction handed out in the next
+  // occupied code's group so the two spreads can never meet or invert
+  // even when adjacent codes both collide. Equal vectors still get equal
+  // factors, and a collision-free code keeps the exact old factor.
   std::map<double, std::vector<std::size_t>> groups;
   for (std::size_t i = 0; i < entries.size(); ++i) {
     groups[entries[i].merged].push_back(i);
   }
 
-  std::map<std::string, double> out;
-  for (auto& [merged, members] : groups) {
-    // Rank the group's distinct vectors ascending (worst first).
-    std::stable_sort(members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
-      return entries[a].vector.compare(entries[b].vector) == std::strong_ordering::less;
-    });
-    std::vector<std::size_t> rank(members.size(), 0);
+  // Pass 1: per group, rank the distinct vectors ascending (worst first).
+  struct Group {
+    double merged = 0.0;
+    std::vector<std::size_t> members;
+    std::vector<std::size_t> rank;
     std::size_t distinct = 1;
-    for (std::size_t i = 1; i < members.size(); ++i) {
-      if (entries[members[i]].vector.compare(entries[members[i - 1]].vector) !=
+  };
+  std::vector<Group> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [merged, members] : groups) {
+    Group group;
+    group.merged = merged;
+    group.members = std::move(members);
+    std::stable_sort(group.members.begin(), group.members.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return entries[a].vector.compare(entries[b].vector) ==
+                              std::strong_ordering::less;
+                     });
+    group.rank.assign(group.members.size(), 0);
+    for (std::size_t i = 1; i < group.members.size(); ++i) {
+      if (entries[group.members[i]].vector.compare(entries[group.members[i - 1]].vector) !=
           std::strong_ordering::equal) {
-        ++distinct;
+        ++group.distinct;
       }
-      rank[i] = distinct - 1;
+      group.rank[i] = group.distinct - 1;
     }
-    for (std::size_t i = 0; i < members.size(); ++i) {
-      const Entry& entry = entries[members[i]];
+    ordered.push_back(std::move(group));
+  }
+
+  // Pass 2: assign factors. Groups are in ascending code order, so the
+  // code-0 group (if present) is first and can see its successor.
+  std::map<std::string, double> out;
+  for (std::size_t g = 0; g < ordered.size(); ++g) {
+    const Group& group = ordered[g];
+    const double merged = group.merged;
+    const double share = static_cast<double>(group.distinct);
+    // Ceiling for code 0's up-spread, in merged units: the smallest
+    // fraction the next occupied code's group will receive. That group
+    // spreads down within (next - 1, next], bottoming out at
+    // next - (next_distinct - 1) / next_distinct > next - 1 >= 0, so the
+    // ceiling is positive and the up-spread below it stays ordered
+    // under the successor even when both groups collide. The arithmetic
+    // lives near magnitude 0..1 where doubles have precision to spare.
+    double ceiling = 1.0;
+    if (merged == 0.0 && group.distinct > 1 && g + 1 < ordered.size()) {
+      const Group& next = ordered[g + 1];
+      const double next_share = static_cast<double>(next.distinct);
+      ceiling = std::min(1.0, next.merged - (next_share - 1.0) / next_share);
+    }
+    for (std::size_t i = 0; i < group.members.size(); ++i) {
+      const Entry& entry = entries[group.members[i]];
       double factor;
       if (scale <= 1.0) {
         factor = 0.0;  // zero usable levels: nothing to disambiguate with
-      } else if (distinct == 1) {
+      } else if (group.distinct == 1) {
         factor = merged / (scale - 1.0);  // no collision: bit-identical to before
-      } else {
-        // Spread the collided vectors across the code's own quantum. The
-        // best collider of a non-zero code keeps the undisturbed factor
-        // and the rest shift down within (merged - 1, merged]; code 0
-        // spreads up within [0, 1) instead so factors stay in [0, 1].
-        const double share = static_cast<double>(distinct);
-        const double frac = merged > 0.0
-                                ? (static_cast<double>(rank[i]) - (share - 1.0)) / share
-                                : static_cast<double>(rank[i]) / share;
+      } else if (merged > 0.0) {
+        const double frac = (static_cast<double>(group.rank[i]) - (share - 1.0)) / share;
         factor = (merged + frac) / (scale - 1.0);
+      } else {
+        const double frac = static_cast<double>(group.rank[i]) / share * ceiling;
+        factor = frac / (scale - 1.0);
       }
       out[entry.path] = factor;
     }

@@ -96,6 +96,11 @@ class BoundedDeltaQueue {
  private:
   /// Fold `delta` into the first queued record with the same (user, bin),
   /// keeping the queued record's (earlier) time like coalesce() does.
+  /// Linear in queue size, so sustained kDropOldest overflow costs
+  /// O(capacity) per append (twice when the incoming record can't merge
+  /// and the evicted one is retried). Fine for the bounded capacities the
+  /// shippers use; a (user, bin) -> index map is the upgrade path if
+  /// large-capacity overflow shows up in profiles.
   bool merge_into_queue(const UsageDelta& delta, std::size_t from) {
     const double bin = bin_of(delta.time, bin_width_);
     for (std::size_t i = from; i < queue_.size(); ++i) {

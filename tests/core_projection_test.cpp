@@ -133,6 +133,39 @@ TEST(BitwiseProjection, CollidingCodesDisambiguated) {
   EXPECT_EQ(distinct_codes.size(), 4u);  // d/e share; a/b/c/d each distinct
 }
 
+TEST(BitwiseProjection, AdjacentCodesBothCollidingKeepCrossCodeOrder) {
+  // Regression: when two adjacent codes *both* contain collisions, the
+  // code-0 up-spread and the code-1 down-spread must not overlap. With
+  // 1 bit per level and one level, under-used users (positive vector
+  // value) land in code 1 and over-used users (negative value) in code 0,
+  // two distinct vectors in each. An unbounded up-spread would let code
+  // 0's best collider meet or exceed code 1's worst; bounding code 0's
+  // spread below the successor group's smallest fraction keeps the full
+  // cross-code ordering strict.
+  const FairshareTree tree = make_tree(
+      {{"/a", 1.0}, {"/b", 1.0}, {"/c", 1.0}, {"/d", 1.0}},
+      {{"/a", 10.0}, {"/b", 12.0}, {"/c", 1000.0}, {"/d", 2000.0}});
+  // Sanity: a/b share code 1, c/d share code 0, vectors distinct per code.
+  EXPECT_GT(tree.vector_for("/a")->values()[0], 0.0);
+  EXPECT_GT(tree.vector_for("/b")->values()[0], 0.0);
+  EXPECT_LT(tree.vector_for("/c")->values()[0], 0.0);
+  EXPECT_LT(tree.vector_for("/d")->values()[0], 0.0);
+  const auto values = project(tree, {ProjectionKind::kBitwiseVector, 1});
+  // Vector order is a > b > c > d; factors must follow strictly, in
+  // particular code 1's worst collider stays above code 0's best.
+  EXPECT_GT(values.at("/a"), values.at("/b"));
+  EXPECT_GT(values.at("/b"), values.at("/c"));
+  EXPECT_GT(values.at("/c"), values.at("/d"));
+  // Code 1's two colliders spread down within [0.5, 1]; code 0's stay
+  // strictly below that group's floor of 0.5.
+  EXPECT_GE(values.at("/b"), 0.5);
+  EXPECT_LT(values.at("/c"), 0.5);
+  for (const auto& [path, v] : values) {
+    EXPECT_GE(v, 0.0) << path;
+    EXPECT_LE(v, 1.0) << path;
+  }
+}
+
 TEST(PercentalProjection, PaperMaximumForIdleUser) {
   // U3 with share 0.12 and zero usage: (0.12 - 0 + 1) / 2 = 0.56.
   const FairshareTree tree =
