@@ -48,7 +48,7 @@ BenchArgs parse_bench_args(int argc, char** argv, std::size_t fallback_jobs,
     } else if (std::strcmp(arg, "--trace-cap") == 0) {
       args.trace_cap = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
     } else if (std::strcmp(arg, "--metrics") == 0) {
-      args.print_metrics = true;
+      args.metrics_path = value();
     } else if (arg[0] != '-') {
       const long parsed = std::strtol(arg, nullptr, 10);
       if (parsed > 0) args.jobs = static_cast<std::size_t>(parsed);
@@ -127,23 +127,43 @@ void report_observability(const BenchArgs& args, const testbed::SweepResult& res
       }
     }
   }
-  if (args.print_metrics) {
+  if (!args.metrics_path.empty()) {
+    json::Object snapshots;
     for (const auto& [variant, snapshot] : result.obs) {
-      std::printf("metrics %s:\n", variant.c_str());
-      for (const auto& [key, value] : snapshot.counters) {
-        std::printf("  %-40s %llu\n", key.c_str(), static_cast<unsigned long long>(value));
-      }
-      for (const auto& [key, gauge] : snapshot.gauges) {
-        std::printf("  %-40s last=%.6g mean=%.6g (n=%llu)\n", key.c_str(), gauge.last,
-                    gauge.mean(), static_cast<unsigned long long>(gauge.samples));
-      }
-      for (const auto& [key, histogram] : snapshot.histograms) {
-        std::printf("  %-40s n=%llu mean=%.6g [%.6g, %.6g]\n", key.c_str(),
-                    static_cast<unsigned long long>(histogram.count), histogram.mean(),
-                    histogram.min, histogram.max);
+      snapshots[variant] = snapshot.to_json();
+    }
+    json::Object dump;
+    dump["schema"] = "aequus-metrics-dump-v1";
+    dump["source"] = "bench";
+    dump["snapshots"] = json::Value(std::move(snapshots));
+    const json::Value document = json::Value(std::move(dump));
+    if (args.metrics_path == "-") {
+      std::printf("%s\n", document.pretty().c_str());
+    } else {
+      std::ofstream out(args.metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n", args.metrics_path.c_str());
+      } else {
+        out << document.pretty() << "\n";
+        // Keep the human-readable table when the JSON goes to a file.
+        for (const auto& [variant, snapshot] : result.obs) {
+          std::printf("metrics %s:\n", variant.c_str());
+          for (const auto& [key, value] : snapshot.counters) {
+            std::printf("  %-40s %llu\n", key.c_str(), static_cast<unsigned long long>(value));
+          }
+          for (const auto& [key, gauge] : snapshot.gauges) {
+            std::printf("  %-40s last=%.6g mean=%.6g (n=%llu)\n", key.c_str(), gauge.last,
+                        gauge.mean(), static_cast<unsigned long long>(gauge.samples));
+          }
+          for (const auto& [key, histogram] : snapshot.histograms) {
+            std::printf("  %-40s n=%llu mean=%.6g [%.6g, %.6g]\n", key.c_str(),
+                        static_cast<unsigned long long>(histogram.count), histogram.mean(),
+                        histogram.min, histogram.max);
+          }
+        }
+        std::printf("metrics dump written to %s\n\n", args.metrics_path.c_str());
       }
     }
-    std::printf("\n");
   }
 }
 

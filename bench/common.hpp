@@ -33,7 +33,7 @@ inline constexpr std::size_t kFitSubsample = 3000;
 
 /// Command-line options shared by the sweep-capable benches:
 ///   bench [jobs] [--threads N] [--reps N] [--seed S] [--json-dir DIR]
-///         [--no-serial-reference] [--trace FILE] [--trace-cap N] [--metrics]
+///         [--no-serial-reference] [--trace FILE] [--trace-cap N] [--metrics FILE]
 /// `--threads 0` (the default) defers to AEQUUS_THREADS, then to the
 /// hardware. Unknown flags warn and are skipped.
 struct BenchArgs {
@@ -51,8 +51,11 @@ struct BenchArgs {
   /// --trace-cap N: tracer ring-buffer capacity for traced tasks (events;
   /// 0 = unbounded). Evictions land in the trace.dropped_events counter.
   std::size_t trace_cap = 1u << 19;
-  /// --metrics: print the merged per-variant metrics snapshots.
-  bool print_metrics = false;
+  /// --metrics FILE: dump the merged per-variant registry snapshots as an
+  /// aequus-metrics-dump-v1 JSON document ("-" = stdout; validated by
+  /// bench_gate.py --validate-metrics-dump). The human-readable table is
+  /// printed alongside when writing to a file.
+  std::string metrics_path;
 };
 [[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv, std::size_t fallback_jobs,
                                          std::size_t fallback_replications);
@@ -74,8 +77,9 @@ struct SweepRun {
                                                 const BenchArgs& args);
 
 /// Honour --trace / --metrics on a finished sweep: write the first task's
-/// trace events to args.trace_path (JSON-lines) and/or print the merged
-/// per-variant metrics snapshots. No-op when neither flag was given.
+/// trace events to args.trace_path (JSON-lines) and/or dump the merged
+/// per-variant metrics snapshots as an aequus-metrics-dump-v1 document
+/// to args.metrics_path. No-op when neither flag was given.
 void report_observability(const BenchArgs& args, const testbed::SweepResult& result);
 
 /// Per-hop delay decomposition from the causal span trees (tracing on,

@@ -8,6 +8,29 @@
 
 namespace aequus::net {
 
+const char* to_string(SendVerdict verdict) noexcept {
+  switch (verdict) {
+    case SendVerdict::kDelivered: return "delivered";
+    case SendVerdict::kDroppedParticipation: return "dropped_participation";
+    case SendVerdict::kDroppedUnbound: return "dropped_unbound";
+    case SendVerdict::kDroppedOutage: return "dropped_outage";
+    case SendVerdict::kDroppedLoss: return "dropped_loss";
+  }
+  return "unknown";
+}
+
+bool send_verdict_from_string(std::string_view name, SendVerdict& out) noexcept {
+  for (const SendVerdict verdict :
+       {SendVerdict::kDelivered, SendVerdict::kDroppedParticipation,
+        SendVerdict::kDroppedUnbound, SendVerdict::kDroppedOutage, SendVerdict::kDroppedLoss}) {
+    if (name == to_string(verdict)) {
+      out = verdict;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool FaultPlan::active() const noexcept {
   return loss_rate > 0.0 || duplicate_rate > 0.0 || latency_jitter > 0.0 ||
          !link_loss.empty() || !outages.empty();
@@ -202,17 +225,21 @@ void ServiceBus::drop_leg(const obs::SpanContext& leg, const std::string& site,
   }
 }
 
-bool ServiceBus::deliver(const std::string& from_site, const std::string& to_site,
-                         const std::string& what, const obs::SpanContext& leg,
-                         std::function<void()> action) {
+ServiceBus::Delivery ServiceBus::deliver(const std::string& from_site,
+                                         const std::string& to_site, const std::string& what,
+                                         const obs::SpanContext& leg,
+                                         std::function<void()> action) {
+  Delivery outcome;
   if (outage(from_site, to_site)) {
     metrics_.dropped_outage->inc();
     drop_leg(leg, from_site, "outage:" + what);
-    return false;
+    outcome.verdict = SendVerdict::kDroppedOutage;
+    return outcome;
   }
   if (lose(from_site, to_site)) {
     drop_leg(leg, from_site, "loss:" + what);
-    return false;
+    outcome.verdict = SendVerdict::kDroppedLoss;
+    return outcome;
   }
   const bool twice = duplicate(from_site, to_site);
   // Close the leg span on arrival: leg duration is pure wire time, so the
@@ -225,12 +252,16 @@ bool ServiceBus::deliver(const std::string& from_site, const std::string& to_sit
     }
     action();
   };
-  simulator_.schedule_after(leg_latency(from_site, to_site), arrive);
+  outcome.delivered = true;
+  outcome.latency = leg_latency(from_site, to_site);
+  simulator_.schedule_after(outcome.latency, arrive);
   if (twice) {
     metrics_.duplicated->inc();
-    simulator_.schedule_after(leg_latency(from_site, to_site), std::move(arrive));
+    outcome.duplicated = true;
+    outcome.dup_latency = leg_latency(from_site, to_site);
+    simulator_.schedule_after(outcome.dup_latency, std::move(arrive));
   }
-  return true;
+  return outcome;
 }
 
 void ServiceBus::bounce_unbound(const std::string& address, const std::string& from_site,
@@ -356,8 +387,14 @@ void ServiceBus::request(const std::string& from_site, const std::string& addres
 
 void ServiceBus::send(const std::string& from_site, const std::string& address,
                       json::Value payload) {
+  send_impl(from_site, address, std::move(payload), 0, false);
+}
+
+void ServiceBus::send_impl(const std::string& from_site, const std::string& address,
+                           json::Value payload, std::size_t record_count, bool batch) {
   metrics_.one_way->inc();
-  metrics_.payload_bytes->inc(payload.dump().size());
+  const std::string wire = payload.dump();
+  metrics_.payload_bytes->inc(wire.size());
   const std::string to_site = site_of(address);
   const obs::SpanContext send_span =
       tracing() ? tracer_->begin_span(simulator_.now(), from_site, "bus",
@@ -365,25 +402,49 @@ void ServiceBus::send(const std::string& from_site, const std::string& address,
                 : obs::SpanContext{};
   obs::SpanScope scope(tracer_, send_span);
   trace(obs::EventKind::kMessageSend, from_site, "bus", address);
+  // Report the transport verdict to the attached tap. Purely observational:
+  // no randomness is consumed and no state is touched, so attaching a tap
+  // cannot perturb a run (the replay golden tests pin this).
+  const auto observe = [&](SendVerdict verdict, double latency, double dup_latency,
+                           bool duplicated) {
+    if (tap_ == nullptr) return;
+    SendObservation observation;
+    observation.sent_at = simulator_.now();
+    observation.delivered_at = simulator_.now() + latency;
+    observation.duplicate_delivered_at =
+        duplicated ? simulator_.now() + dup_latency : 0.0;
+    observation.from_site = from_site;
+    observation.address = address;
+    observation.payload = wire;
+    observation.record_count = record_count;
+    observation.batch = batch;
+    observation.duplicated = duplicated;
+    observation.verdict = verdict;
+    observation.span = send_span;
+    tap_->on_send(observation);
+  };
   // Drops leave the send span open: the data never arrived, and the
   // analyzer reports the enclosing chain as broken.
   if (!allowed(from_site, to_site)) {
     metrics_.dropped_participation->inc();
     trace(obs::EventKind::kMessageDrop, from_site, "bus", "participation:" + address);
+    observe(SendVerdict::kDroppedParticipation, 0.0, 0.0, false);
     return;
   }
   if (endpoints_.find(address) == endpoints_.end()) {
     metrics_.dropped_unbound->inc();
     AEQ_DEBUG("bus") << "send to unbound address " << address;
     trace(obs::EventKind::kMessageDrop, to_site, "bus", "unbound:" + address);
+    observe(SendVerdict::kDroppedUnbound, 0.0, 0.0, false);
     return;
   }
   const obs::SpanContext data_leg =
       tracing() ? tracer_->begin_child(simulator_.now(), send_span, from_site, "bus",
                                        "data:" + address)
                 : obs::SpanContext{};
-  deliver(from_site, to_site, address, data_leg,
-          [this, address, to_site, send_span, payload = std::move(payload)] {
+  const Delivery outcome = deliver(
+      from_site, to_site, address, data_leg,
+      [this, address, to_site, send_span, payload = std::move(payload)] {
             const auto it = endpoints_.find(address);
             if (it == endpoints_.end()) {
               // Unbound while in flight: one-way data has no reply channel,
@@ -410,6 +471,7 @@ void ServiceBus::send(const std::string& from_site, const std::string& address,
               tracer_->end_span(simulator_.now(), send_span, to_site, "bus");
             }
           });
+  observe(outcome.verdict, outcome.latency, outcome.dup_latency, outcome.duplicated);
 }
 
 void ServiceBus::send_batch(const std::string& from_site, const std::string& address,
@@ -419,7 +481,7 @@ void ServiceBus::send_batch(const std::string& from_site, const std::string& add
   // outage, loss, duplication, jitter) is exactly send()'s.
   metrics_.batches->inc();
   metrics_.batch_records->inc(record_count);
-  send(from_site, address, std::move(payload));
+  send_impl(from_site, address, std::move(payload), record_count, true);
 }
 
 json::Value ServiceBus::call(const std::string& address, const json::Value& payload) {

@@ -101,6 +101,52 @@ struct FaultPlan {
                                 const std::string& to_site) const noexcept;
 };
 
+/// Transport-layer outcome of one one-way envelope, decided at send time.
+/// The numeric values are stable: they are written into flight-recorder
+/// logs (src/replay/log.hpp), so reordering them would corrupt old logs.
+enum class SendVerdict : std::uint8_t {
+  kDelivered = 0,             ///< scheduled for arrival (handler may still be unbound)
+  kDroppedParticipation = 1,  ///< blocked by participation flags
+  kDroppedUnbound = 2,        ///< no endpoint bound at send time
+  kDroppedOutage = 3,         ///< a site outage window swallowed the leg
+  kDroppedLoss = 4,           ///< injected per-link loss
+};
+
+[[nodiscard]] const char* to_string(SendVerdict verdict) noexcept;
+[[nodiscard]] bool send_verdict_from_string(std::string_view name, SendVerdict& out) noexcept;
+
+/// Everything the bus knows about one one-way envelope at the moment the
+/// transport decision is made. Passed to an attached BusTap; the
+/// string_views alias send-scope storage and must be copied to outlive
+/// the callback. `verdict` reflects the wire decision: a kDelivered
+/// envelope whose address unbinds while in flight still reads kDelivered
+/// (handler resolution happens on arrival, after the tap has fired).
+struct SendObservation {
+  double sent_at = 0.0;
+  double delivered_at = 0.0;            ///< == sent_at when dropped
+  double duplicate_delivered_at = 0.0;  ///< second arrival; 0 unless duplicated
+  std::string_view from_site;
+  std::string_view address;
+  std::string_view payload;      ///< compact JSON wire form (payload.dump())
+  std::size_t record_count = 0;  ///< coalesced records (send_batch), else 0
+  bool batch = false;            ///< came in via send_batch
+  bool duplicated = false;       ///< fault plan injected a second delivery
+  SendVerdict verdict = SendVerdict::kDelivered;
+  obs::SpanContext span;  ///< the send span (invalid when tracing is off)
+};
+
+/// Observer of every one-way envelope (send / send_batch). Passive by
+/// contract: on_send must not mutate the bus and must not consume
+/// randomness — attaching a tap leaves the run's determinism fingerprint
+/// untouched (pinned by the replay golden tests). request/reply traffic
+/// is not tapped: only one-way sends mutate remote state, so they are
+/// exactly the traffic a replay needs.
+class BusTap {
+ public:
+  virtual ~BusTap() = default;
+  virtual void on_send(const SendObservation& observation) = 0;
+};
+
 /// In-process message fabric running on the shared Simulator.
 class ServiceBus {
  public:
@@ -186,6 +232,12 @@ class ServiceBus {
   /// rate = 0 disables (default). Resets any per-link overrides.
   void set_loss_rate(double rate, std::uint64_t seed = 0x10ad);
 
+  /// Attach (or detach, with nullptr) the single envelope tap. The tap
+  /// observes every send/send_batch with its transport verdict; it is
+  /// not an owner and must outlive the traffic it observes.
+  void set_tap(BusTap* tap) noexcept { tap_ = tap; }
+  [[nodiscard]] BusTap* tap() const noexcept { return tap_; }
+
   /// Counter façade assembled from the metrics registry.
   [[nodiscard]] BusStats stats() const noexcept;
 
@@ -245,12 +297,25 @@ class ServiceBus {
   [[nodiscard]] bool duplicate(const std::string& from_site, const std::string& to_site);
   /// Per-leg latency including jitter (consumes randomness when jitter on).
   [[nodiscard]] double leg_latency(const std::string& from_site, const std::string& to_site);
+  /// Transport outcome of one leg, reported by deliver() so send paths can
+  /// surface it to an attached BusTap. Latencies are relative to now().
+  struct Delivery {
+    bool delivered = false;
+    SendVerdict verdict = SendVerdict::kDelivered;
+    double latency = 0.0;      ///< primary arrival delay (0 when dropped)
+    double dup_latency = 0.0;  ///< second arrival delay; 0 unless duplicated
+    bool duplicated = false;
+  };
   /// Deliver `action` over one leg, applying outage/loss/duplication/jitter.
   /// `what` labels the leg in trace output; `leg` is the leg's span (the
   /// invalid context when tracing is off), closed on arrival or drop.
-  /// Returns false when dropped.
-  bool deliver(const std::string& from_site, const std::string& to_site, const std::string& what,
-               const obs::SpanContext& leg, std::function<void()> action);
+  Delivery deliver(const std::string& from_site, const std::string& to_site,
+                   const std::string& what, const obs::SpanContext& leg,
+                   std::function<void()> action);
+  /// Shared body of send()/send_batch(): batch metadata rides along so the
+  /// tap observes one coherent record per envelope.
+  void send_impl(const std::string& from_site, const std::string& address, json::Value payload,
+                 std::size_t record_count, bool batch);
 
   sim::Simulator& simulator_;
   std::map<std::string, Handler> endpoints_;
@@ -263,6 +328,7 @@ class ServiceBus {
   obs::Registry own_registry_;
   obs::Registry* registry_ = &own_registry_;
   obs::Tracer* tracer_ = nullptr;
+  BusTap* tap_ = nullptr;
   Metrics metrics_;
   std::map<std::string, EndpointMetrics> endpoint_metrics_;
 };

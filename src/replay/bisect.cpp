@@ -1,0 +1,163 @@
+#include "replay/bisect.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace aequus::replay {
+
+namespace {
+
+/// Union of two sorted unique vectors (stack-shape inputs for both sides).
+std::vector<std::string> merged(std::vector<std::string> a, const std::vector<std::string>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  return a;
+}
+
+std::vector<Envelope> chain_of(const EnvelopeLog& log, const Envelope& offending) {
+  std::vector<Envelope> chain;
+  if (!offending.span.valid()) return chain;
+  for (const Envelope& envelope : log.envelopes) {
+    if (envelope.span.trace_id == offending.span.trace_id) chain.push_back(envelope);
+  }
+  return chain;
+}
+
+}  // namespace
+
+json::Value BisectReport::to_json() const {
+  json::Object out;
+  out["diverged"] = diverged;
+  out["cosmetic_only"] = cosmetic_only;
+  out["length_divergence"] = length_divergence;
+  out["first_divergence"] = static_cast<double>(first_divergence);
+  out["first_record_difference"] = static_cast<double>(first_record_difference);
+  out["probes"] = static_cast<double>(probes);
+  out["fingerprint_hash_a"] = fingerprint_hash_a;
+  out["fingerprint_hash_b"] = fingerprint_hash_b;
+  if (diverged) {
+    out["envelope_a"] = envelope_a.to_json();
+    if (!length_divergence) out["envelope_b"] = envelope_b.to_json();
+    json::Array chain;
+    for (const Envelope& envelope : span_chain) chain.push_back(envelope.to_json());
+    out["span_chain"] = json::Value(std::move(chain));
+  }
+  return json::Value(std::move(out));
+}
+
+BisectReport DivergenceBisector::bisect(const EnvelopeLog& a, const EnvelopeLog& b) const {
+  BisectReport report;
+  const std::size_t common = std::min(a.size(), b.size());
+
+  // Pre-scan: prefixes up to the first record-level difference replay
+  // identically by construction — no probes needed below `low`.
+  std::size_t low = 0;
+  while (low < common && a.envelopes[low] == b.envelopes[low]) ++low;
+  report.first_record_difference = low;
+
+  // Both sides replay over the union stack so pre-divergence prefixes
+  // fingerprint identically even when the logs mention different users.
+  ReplayOptions base = options_;
+  if (base.users.empty()) base.users = merged(BusReplayer::users_of(a), BusReplayer::users_of(b));
+  if (base.sites.empty()) base.sites = merged(BusReplayer::sites_of(a), BusReplayer::sites_of(b));
+
+  const auto hash_prefix = [&](const EnvelopeLog& log, std::size_t prefix) {
+    ReplayOptions options = base;
+    options.prefix = prefix;
+    ++report.probes;
+    return BusReplayer(options).replay(log).fingerprint_hash;
+  };
+
+  if (low == common && a.size() == b.size()) return report;  // identical logs
+
+  report.fingerprint_hash_a = hash_prefix(a, common);
+  report.fingerprint_hash_b = hash_prefix(b, common);
+  if (report.fingerprint_hash_a == report.fingerprint_hash_b) {
+    if (a.size() == b.size()) {
+      // Records differ somewhere but no prefix changes state.
+      report.cosmetic_only = true;
+      report.first_divergence = low;
+      return report;
+    }
+    // Common prefix agrees in full: the first extra envelope diverges.
+    report.diverged = true;
+    report.length_divergence = true;
+    report.first_divergence = common;
+    const EnvelopeLog& longer = a.size() > b.size() ? a : b;
+    report.envelope_a = longer.envelopes[common];
+    report.span_chain = chain_of(longer, report.envelope_a);
+    return report;
+  }
+
+  // Invariant: fp(low) equal (identical records, identical stacks),
+  // fp(high) differs. Binary search the smallest differing prefix.
+  std::size_t equal = low;
+  std::size_t differs = common;
+  while (differs - equal > 1) {
+    const std::size_t mid = equal + (differs - equal) / 2;
+    if (hash_prefix(a, mid) == hash_prefix(b, mid)) {
+      equal = mid;
+    } else {
+      differs = mid;
+    }
+  }
+  report.diverged = true;
+  report.first_divergence = differs - 1;
+  report.fingerprint_hash_a = hash_prefix(a, differs);
+  report.fingerprint_hash_b = hash_prefix(b, differs);
+  report.envelope_a = a.envelopes[differs - 1];
+  report.envelope_b = b.envelopes[differs - 1];
+  report.span_chain = chain_of(a, report.envelope_a);
+  return report;
+}
+
+BisectReport DivergenceBisector::bisect_against(
+    const EnvelopeLog& a, const std::function<std::string(std::size_t)>& fingerprint_of) const {
+  BisectReport report;
+  const std::size_t size = a.size();
+  report.first_record_difference = size;  // no second record stream to scan
+
+  ReplayOptions base = options_;
+  if (base.users.empty()) base.users = BusReplayer::users_of(a);
+  if (base.sites.empty()) base.sites = BusReplayer::sites_of(a);
+
+  const auto hash_prefix = [&](std::size_t prefix) {
+    ReplayOptions options = base;
+    options.prefix = prefix;
+    ++report.probes;
+    return BusReplayer(options).replay(a).fingerprint_hash;
+  };
+
+  report.fingerprint_hash_a = hash_prefix(size);
+  report.fingerprint_hash_b = fingerprint_of(size);
+  if (report.fingerprint_hash_a == report.fingerprint_hash_b) return report;
+
+  // The empty prefix must agree for the search invariant; when even that
+  // differs the oracle's stack shape is wrong and index 0 is the answer.
+  std::size_t equal = 0;
+  std::size_t differs = size;
+  if (hash_prefix(0) != fingerprint_of(0)) {
+    differs = 0;
+  }
+  while (differs - equal > 1) {
+    const std::size_t mid = equal + (differs - equal) / 2;
+    if (hash_prefix(mid) == fingerprint_of(mid)) {
+      equal = mid;
+    } else {
+      differs = mid;
+    }
+  }
+  report.diverged = true;
+  report.first_divergence = differs == 0 ? 0 : differs - 1;
+  report.fingerprint_hash_a = hash_prefix(differs);
+  report.fingerprint_hash_b = fingerprint_of(differs);
+  if (differs > 0) {
+    report.envelope_a = a.envelopes[differs - 1];
+    report.span_chain = chain_of(a, report.envelope_a);
+  }
+  return report;
+}
+
+}  // namespace aequus::replay

@@ -1,0 +1,86 @@
+// DivergenceBisector: find the first envelope whose inclusion makes two
+// recordings disagree (§ DESIGN.md 6i).
+//
+// Given logs A and B, the bisector binary-searches the smallest prefix
+// length k such that the replay fingerprints of A[0..k) and B[0..k)
+// differ; the offending envelope is index k-1. Both prefixes replay over
+// stacks built from the *union* of the two logs' user and site sets, so
+// a pre-divergence prefix fingerprints identically on both sides — the
+// search invariant. The search leans on monotonicity: USS state is
+// additive (reports and idempotent batches only ever accumulate), so
+// once a prefix diverges every longer prefix stays diverged.
+//
+// A cheap record-equality pre-scan bounds the search from below: prefixes
+// up to the first byte-different record need no replay at all. Cosmetic
+// differences (span ids, timestamps of *dropped* envelopes — anything
+// that never reaches state) are detected and reported as such instead of
+// as a divergence. When one log is a strict prefix of the other with
+// identical state, the divergence is the first extra envelope.
+//
+// The "one log vs live engine" form takes a fingerprint callback instead
+// of a second log: the caller renders its engine's state for a given
+// prefix length, and the bisector drives the same search.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "replay/log.hpp"
+#include "replay/replayer.hpp"
+
+namespace aequus::replay {
+
+struct BisectReport {
+  bool diverged = false;
+  /// Records differed but every replayed prefix fingerprinted the same:
+  /// the difference never reaches state (span ids, drop timestamps, ...).
+  bool cosmetic_only = false;
+  /// The divergence is one log simply being longer (state identical over
+  /// the common prefix).
+  bool length_divergence = false;
+  /// 0-based index of the first envelope whose inclusion diverges the
+  /// fingerprints (or of the first extra envelope for length divergence).
+  std::size_t first_divergence = 0;
+  /// First index where the two logs' *records* differ byte-wise
+  /// (= common length when they never do).
+  std::size_t first_record_difference = 0;
+  std::size_t probes = 0;  ///< replays performed by the search
+  std::string fingerprint_hash_a;  ///< prefix hashes at the divergence point
+  std::string fingerprint_hash_b;
+  /// The offending envelope as each log recorded it (envelope_a is also
+  /// the report for the single-log form). Default-constructed for length
+  /// divergence past the shorter log's end.
+  Envelope envelope_a;
+  Envelope envelope_b;
+  /// Envelopes of log A sharing the offending envelope's trace id, in log
+  /// order — the span chain to print alongside the verdict.
+  std::vector<Envelope> span_chain;
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+class DivergenceBisector {
+ public:
+  explicit DivergenceBisector(ReplayOptions options = {}) : options_(std::move(options)) {}
+
+  /// Bisect two recorded logs.
+  [[nodiscard]] BisectReport bisect(const EnvelopeLog& a, const EnvelopeLog& b) const;
+
+  /// Bisect log `a` against an external state oracle: `fingerprint_of(k)`
+  /// must return the oracle's fingerprint hash for the first k envelopes
+  /// (e.g. a live engine replaying its own copy of the traffic). The
+  /// oracle sees the same ReplayOptions-derived user/site unions via
+  /// options(); record-equality pre-scanning is unavailable, so the
+  /// search runs over [0, size].
+  [[nodiscard]] BisectReport bisect_against(
+      const EnvelopeLog& a, const std::function<std::string(std::size_t)>& fingerprint_of) const;
+
+  [[nodiscard]] const ReplayOptions& options() const noexcept { return options_; }
+
+ private:
+  ReplayOptions options_;
+};
+
+}  // namespace aequus::replay

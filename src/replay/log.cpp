@@ -1,0 +1,356 @@
+#include "replay/log.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace aequus::replay {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'E', 'Q', 'L', 'O', 'G', '1', '\n'};
+constexpr std::uint8_t kFlagBatch = 0x01;
+constexpr std::uint8_t kFlagDuplicated = 0x02;
+/// Sanity bound on every length field: a corrupt length must fail as
+/// "corrupt", not as a multi-gigabyte allocation.
+constexpr std::uint32_t kMaxChunk = 1u << 30;
+
+// --- little-endian packing (explicit bytes: host-endianness independent) --
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_f64(std::string& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+void put_bytes(std::string& out, const std::string& bytes) {
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(bytes);
+}
+
+/// Cursor over one decoded record body with bounds-checked reads.
+struct Reader {
+  const std::string& data;
+  std::size_t pos = 0;
+  const char* what;  ///< context for error messages
+
+  void need(std::size_t n) const {
+    if (pos + n > data.size()) {
+      throw LogError(util::format("corrupt log: %s truncated at byte %zu", what, pos));
+    }
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  std::string bytes() {
+    const std::uint32_t len = u32();
+    if (len > kMaxChunk) {
+      throw LogError(util::format("corrupt log: %s string length %u exceeds bound", what, len));
+    }
+    need(len);
+    std::string out = data.substr(pos, len);
+    pos += len;
+    return out;
+  }
+};
+
+std::string encode_record(const Envelope& envelope) {
+  std::string out;
+  out.reserve(64 + envelope.from_site.size() + envelope.address.size() +
+              envelope.payload.size());
+  put_f64(out, envelope.sent_at);
+  put_f64(out, envelope.delivered_at);
+  put_f64(out, envelope.duplicate_delivered_at);
+  put_u64(out, envelope.span.trace_id);
+  put_u64(out, envelope.span.span_id);
+  put_u64(out, envelope.span.parent_span_id);
+  out.push_back(static_cast<char>(envelope.verdict));
+  std::uint8_t flags = 0;
+  if (envelope.batch) flags |= kFlagBatch;
+  if (envelope.duplicated) flags |= kFlagDuplicated;
+  out.push_back(static_cast<char>(flags));
+  put_u32(out, envelope.record_count);
+  put_bytes(out, envelope.from_site);
+  put_bytes(out, envelope.address);
+  put_bytes(out, envelope.payload);
+  return out;
+}
+
+Envelope decode_record(const std::string& body, std::size_t index) {
+  const std::string what = util::format("record %zu", index);
+  Reader reader{body, 0, what.c_str()};
+  Envelope envelope;
+  envelope.sent_at = reader.f64();
+  envelope.delivered_at = reader.f64();
+  envelope.duplicate_delivered_at = reader.f64();
+  envelope.span.trace_id = reader.u64();
+  envelope.span.span_id = reader.u64();
+  envelope.span.parent_span_id = reader.u64();
+  const std::uint8_t verdict = reader.u8();
+  if (verdict > static_cast<std::uint8_t>(net::SendVerdict::kDroppedLoss)) {
+    throw LogError(util::format("corrupt log: record %zu has unknown verdict %u", index,
+                                static_cast<unsigned>(verdict)));
+  }
+  envelope.verdict = static_cast<net::SendVerdict>(verdict);
+  const std::uint8_t flags = reader.u8();
+  envelope.batch = (flags & kFlagBatch) != 0;
+  envelope.duplicated = (flags & kFlagDuplicated) != 0;
+  envelope.record_count = reader.u32();
+  envelope.from_site = reader.bytes();
+  envelope.address = reader.bytes();
+  envelope.payload = reader.bytes();
+  if (reader.pos != body.size()) {
+    throw LogError(util::format("corrupt log: record %zu has %zu trailing bytes", index,
+                                body.size() - reader.pos));
+  }
+  return envelope;
+}
+
+json::Value footer_json(const EnvelopeLog& log) {
+  json::Object footer;
+  footer["envelopes"] = static_cast<double>(log.envelopes.size());
+  footer["recorder_dropped"] = static_cast<double>(log.recorder_dropped);
+  footer["fingerprint_hash"] = log.fingerprint_hash;
+  return json::Value(std::move(footer));
+}
+
+void apply_footer(EnvelopeLog& log, const json::Value& footer, const char* origin) {
+  if (!footer.is_object()) throw LogError(std::string(origin) + ": footer is not an object");
+  const double declared = footer.get_number("envelopes", -1.0);
+  if (declared >= 0.0 &&
+      static_cast<std::size_t>(declared) != log.envelopes.size()) {
+    throw LogError(util::format("%s: footer declares %zu envelopes but %zu were read", origin,
+                                static_cast<std::size_t>(declared), log.envelopes.size()));
+  }
+  log.recorder_dropped =
+      static_cast<std::uint64_t>(footer.get_number("recorder_dropped", 0.0));
+  log.fingerprint_hash = footer.get_string("fingerprint_hash", "");
+}
+
+std::uint32_t read_u32_stream(std::istream& in, const char* what) {
+  char raw[4];
+  in.read(raw, 4);
+  if (in.gcount() != 4) {
+    throw LogError(util::format("truncated log: EOF while reading %s", what));
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(raw[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string read_chunk(std::istream& in, std::uint32_t len, const char* what) {
+  if (len > kMaxChunk) {
+    throw LogError(util::format("corrupt log: %s length %u exceeds bound", what, len));
+  }
+  std::string chunk(len, '\0');
+  in.read(chunk.data(), static_cast<std::streamsize>(len));
+  if (static_cast<std::uint32_t>(in.gcount()) != len) {
+    throw LogError(util::format("truncated log: EOF inside %s", what));
+  }
+  return chunk;
+}
+
+json::Value parse_json_chunk(const std::string& text, const char* what) {
+  std::optional<json::Value> value = json::try_parse(text);
+  if (!value) throw LogError(util::format("corrupt log: %s is not valid JSON", what));
+  return *std::move(value);
+}
+
+}  // namespace
+
+json::Value Envelope::to_json() const {
+  json::Object out;
+  out["sent_at"] = sent_at;
+  out["delivered_at"] = delivered_at;
+  if (duplicated) out["duplicate_delivered_at"] = duplicate_delivered_at;
+  out["verdict"] = std::string(net::to_string(verdict));
+  if (batch) out["batch"] = true;
+  if (duplicated) out["duplicated"] = true;
+  if (record_count > 0) out["record_count"] = static_cast<double>(record_count);
+  if (span.valid()) {
+    json::Object span_json;
+    // Ids are rendered as hex strings: trace ids use 48 bits but span ids
+    // are full u64, which a JSON double cannot hold exactly.
+    span_json["trace_id"] = util::format("%llx", static_cast<unsigned long long>(span.trace_id));
+    span_json["span_id"] = util::format("%llx", static_cast<unsigned long long>(span.span_id));
+    span_json["parent_span_id"] =
+        util::format("%llx", static_cast<unsigned long long>(span.parent_span_id));
+    out["span"] = json::Value(std::move(span_json));
+  }
+  out["from_site"] = from_site;
+  out["address"] = address;
+  out["payload"] = payload;
+  return json::Value(std::move(out));
+}
+
+Envelope Envelope::from_json(const json::Value& value) {
+  if (!value.is_object()) throw LogError("envelope line is not a JSON object");
+  Envelope envelope;
+  envelope.sent_at = value.get_number("sent_at");
+  envelope.delivered_at = value.get_number("delivered_at");
+  envelope.duplicate_delivered_at = value.get_number("duplicate_delivered_at", 0.0);
+  const std::string verdict = value.get_string("verdict", "delivered");
+  if (!net::send_verdict_from_string(verdict, envelope.verdict)) {
+    throw LogError("envelope has unknown verdict '" + verdict + "'");
+  }
+  envelope.batch = value.get_bool("batch", false);
+  envelope.duplicated = value.get_bool("duplicated", false);
+  envelope.record_count =
+      static_cast<std::uint32_t>(value.get_number("record_count", 0.0));
+  if (const auto span = value.find("span")) {
+    const json::Value& context = span->get();
+    envelope.span.trace_id =
+        std::strtoull(context.get_string("trace_id", "0").c_str(), nullptr, 16);
+    envelope.span.span_id =
+        std::strtoull(context.get_string("span_id", "0").c_str(), nullptr, 16);
+    envelope.span.parent_span_id =
+        std::strtoull(context.get_string("parent_span_id", "0").c_str(), nullptr, 16);
+  }
+  envelope.from_site = value.get_string("from_site");
+  envelope.address = value.get_string("address");
+  envelope.payload = value.get_string("payload");
+  return envelope;
+}
+
+void write_binary(const EnvelopeLog& log, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  std::string header;
+  const std::string meta = (log.meta.is_object() ? log.meta : json::Value(json::Object{})).dump();
+  put_bytes(header, meta);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  for (const Envelope& envelope : log.envelopes) {
+    const std::string body = encode_record(envelope);
+    std::string framed;
+    put_u32(framed, static_cast<std::uint32_t>(body.size()));
+    framed.append(body);
+    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  }
+  std::string tail;
+  put_u32(tail, 0);  // end marker
+  put_bytes(tail, footer_json(log).dump());
+  out.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+}
+
+EnvelopeLog read_binary(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(kMagic));
+  if (in.gcount() != sizeof(kMagic) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw LogError("not an aequus envelope log (bad magic)");
+  }
+  EnvelopeLog log;
+  log.meta = parse_json_chunk(read_chunk(in, read_u32_stream(in, "meta length"), "meta"),
+                              "meta");
+  for (;;) {
+    const std::uint32_t len = read_u32_stream(in, "record length");
+    if (len == 0) break;  // end marker
+    const std::string body = read_chunk(in, len, "record");
+    log.envelopes.push_back(decode_record(body, log.envelopes.size()));
+  }
+  apply_footer(log,
+               parse_json_chunk(
+                   read_chunk(in, read_u32_stream(in, "footer length"), "footer"), "footer"),
+               "binary log");
+  return log;
+}
+
+void write_jsonl(const EnvelopeLog& log, std::ostream& out) {
+  json::Object header;
+  header["schema"] = "aequus-envelope-log-v1";
+  header["meta"] = log.meta.is_object() ? log.meta : json::Value(json::Object{});
+  out << json::Value(std::move(header)).dump() << "\n";
+  for (const Envelope& envelope : log.envelopes) out << envelope.to_json().dump() << "\n";
+  json::Object tail;
+  tail["footer"] = footer_json(log);
+  out << json::Value(std::move(tail)).dump() << "\n";
+}
+
+EnvelopeLog read_jsonl(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw LogError("truncated log: empty JSONL stream");
+  const json::Value header = parse_json_chunk(line, "JSONL header");
+  if (!header.is_object() || header.get_string("schema", "") != "aequus-envelope-log-v1") {
+    throw LogError("not an aequus envelope log (JSONL header schema mismatch)");
+  }
+  EnvelopeLog log;
+  if (const auto meta = header.find("meta")) log.meta = meta->get();
+  bool saw_footer = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const json::Value value = parse_json_chunk(
+        line, util::format("JSONL line %zu", log.envelopes.size() + 2).c_str());
+    if (value.is_object()) {
+      if (const auto footer = value.find("footer")) {
+        apply_footer(log, footer->get(), "JSONL log");
+        saw_footer = true;
+        break;
+      }
+    }
+    log.envelopes.push_back(Envelope::from_json(value));
+  }
+  if (!saw_footer) throw LogError("truncated log: JSONL stream has no footer line");
+  return log;
+}
+
+void save_log(const std::string& path, const EnvelopeLog& log, LogFormat format) {
+  std::ofstream out(path, format == LogFormat::kBinary
+                              ? std::ios::binary | std::ios::trunc
+                              : std::ios::trunc);
+  if (!out) throw LogError("cannot write log file '" + path + "'");
+  if (format == LogFormat::kBinary) {
+    write_binary(log, out);
+  } else {
+    write_jsonl(log, out);
+  }
+  out.flush();
+  if (!out) throw LogError("write failed for log file '" + path + "'");
+}
+
+EnvelopeLog load_log(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw LogError("cannot open log file '" + path + "'");
+  char first = '\0';
+  in.get(first);
+  in.seekg(0);
+  if (first == kMagic[0]) {
+    // Could still be JSONL? JSONL starts with '{'. 'A' unambiguously
+    // selects binary.
+    return read_binary(in);
+  }
+  if (first == '{') return read_jsonl(in);
+  throw LogError("not an aequus envelope log: '" + path + "'");
+}
+
+}  // namespace aequus::replay

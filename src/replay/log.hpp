@@ -1,0 +1,109 @@
+// Flight-recorder envelope log (§ DESIGN.md 6i).
+//
+// An EnvelopeLog is the durable form of one run's one-way bus traffic:
+// every send/send_batch the ServiceBus accepted, with its payload (the
+// exact compact-JSON wire text), addressing, span context, transport
+// verdict, and delivery timestamps. One-way sends are the complete
+// usage-mutating traffic (requests only *read* state), so a log is a
+// sufficient input to reconstruct USS/engine state offline — see
+// replayer.hpp.
+//
+// Binary format (little-endian throughout, "AEQLOG1\n" magic):
+//
+//   magic[8]            "AEQLOG1\n"
+//   u32 meta_len        length of the meta JSON text
+//   meta[meta_len]      free-form JSON object (scenario, seed, ...)
+//   repeated records:
+//     u32 record_len    > 0; length of the encoded record
+//     record[record_len]
+//   u32 0               end marker (a zero-length record)
+//   u32 footer_len
+//   footer[footer_len]  JSON object: {"envelopes": n, "recorder_dropped":
+//                       d, "fingerprint_hash": "<16 hex>", ...}
+//
+// One record encodes, in order: sent_at f64, delivered_at f64,
+// duplicate_delivered_at f64, trace_id u64, span_id u64, parent_span_id
+// u64, verdict u8 (net::SendVerdict wire values), flags u8 (bit0 batch,
+// bit1 duplicated), record_count u32, then from_site / address / payload
+// each as u32 length + bytes. Any EOF before the end marker or footer, a
+// bad magic, or an oversized length field raises LogError — a truncated
+// recording is an error with an address, never silently short data.
+//
+// The JSONL debug mode is the same data as text: a header line
+// {"schema": "aequus-envelope-log-v1", "meta": {...}}, one object per
+// envelope, and a final {"footer": {...}} line. Binary and JSONL round
+// trip losslessly; load_log() auto-detects the format by the magic.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "net/service_bus.hpp"
+#include "obs/trace.hpp"
+
+namespace aequus::replay {
+
+/// Malformed/truncated log data: one line naming what broke where.
+struct LogError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One captured one-way envelope (owning copy of a net::SendObservation).
+struct Envelope {
+  double sent_at = 0.0;
+  double delivered_at = 0.0;            ///< == sent_at when dropped
+  double duplicate_delivered_at = 0.0;  ///< 0 unless duplicated
+  net::SendVerdict verdict = net::SendVerdict::kDelivered;
+  bool batch = false;
+  bool duplicated = false;
+  std::uint32_t record_count = 0;
+  obs::SpanContext span;
+  std::string from_site;
+  std::string address;
+  std::string payload;  ///< compact JSON wire text
+
+  [[nodiscard]] bool delivered() const noexcept {
+    return verdict == net::SendVerdict::kDelivered;
+  }
+  bool operator==(const Envelope&) const = default;
+
+  [[nodiscard]] json::Value to_json() const;
+  [[nodiscard]] static Envelope from_json(const json::Value& value);
+};
+
+/// A complete recording: meta, envelope stream, and footer facts.
+struct EnvelopeLog {
+  json::Value meta;  ///< free-form object ({} when none)
+  std::vector<Envelope> envelopes;
+  /// Envelopes the recorder ring evicted before this log was taken. Cap-
+  /// dependent, not semantics-dependent: excluded from fingerprints.
+  std::uint64_t recorder_dropped = 0;
+  /// fnv1a64 hash (16 hex chars) of the replay state fingerprint computed
+  /// at record time; empty when never computed. bus_replay recomputes it
+  /// to check record→replay bit-identity.
+  std::string fingerprint_hash;
+
+  [[nodiscard]] std::size_t size() const noexcept { return envelopes.size(); }
+  [[nodiscard]] bool empty() const noexcept { return envelopes.empty(); }
+};
+
+enum class LogFormat : std::uint8_t { kBinary, kJsonl };
+
+void write_binary(const EnvelopeLog& log, std::ostream& out);
+[[nodiscard]] EnvelopeLog read_binary(std::istream& in);
+
+void write_jsonl(const EnvelopeLog& log, std::ostream& out);
+[[nodiscard]] EnvelopeLog read_jsonl(std::istream& in);
+
+/// Write `log` to `path` in `format` (parent directories must exist).
+void save_log(const std::string& path, const EnvelopeLog& log,
+              LogFormat format = LogFormat::kBinary);
+
+/// Read a log from `path`, auto-detecting binary vs JSONL by the magic.
+[[nodiscard]] EnvelopeLog load_log(const std::string& path);
+
+}  // namespace aequus::replay

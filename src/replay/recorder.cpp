@@ -1,0 +1,55 @@
+#include "replay/recorder.hpp"
+
+#include <utility>
+
+#include "net/service_bus.hpp"
+#include "obs/metrics.hpp"
+
+namespace aequus::replay {
+
+void FlightRecorder::attach(net::ServiceBus& bus, obs::Registry* registry) {
+  if (registry != nullptr) {
+    // Register eagerly: the counter shows up in snapshots even when the
+    // ring never overflows.
+    dropped_counter_ = &registry->counter("replay.recorder_dropped");
+  }
+  bus.set_tap(this);
+}
+
+void FlightRecorder::detach(net::ServiceBus& bus) {
+  if (bus.tap() == this) bus.set_tap(nullptr);
+}
+
+void FlightRecorder::on_send(const net::SendObservation& observation) {
+  if (capacity_ > 0 && envelopes_.size() >= capacity_) {
+    envelopes_.pop_front();
+    ++dropped_;
+    obs::bump(dropped_counter_);
+  }
+  Envelope envelope;
+  envelope.sent_at = observation.sent_at;
+  envelope.delivered_at = observation.delivered_at;
+  envelope.duplicate_delivered_at = observation.duplicate_delivered_at;
+  envelope.verdict = observation.verdict;
+  envelope.batch = observation.batch;
+  envelope.duplicated = observation.duplicated;
+  envelope.record_count = static_cast<std::uint32_t>(observation.record_count);
+  envelope.span = observation.span;
+  envelope.from_site.assign(observation.from_site);
+  envelope.address.assign(observation.address);
+  envelope.payload.assign(observation.payload);
+  envelopes_.push_back(std::move(envelope));
+}
+
+EnvelopeLog FlightRecorder::take_log(json::Value meta) {
+  EnvelopeLog log;
+  log.meta = std::move(meta);
+  log.envelopes.assign(std::make_move_iterator(envelopes_.begin()),
+                       std::make_move_iterator(envelopes_.end()));
+  log.recorder_dropped = dropped_;
+  envelopes_.clear();
+  dropped_ = 0;
+  return log;
+}
+
+}  // namespace aequus::replay

@@ -1,0 +1,65 @@
+// FlightRecorder: the always-on bus tap (§ DESIGN.md 6i).
+//
+// A FlightRecorder attaches to a net::ServiceBus as its BusTap and copies
+// every one-way SendObservation into an owning Envelope ring. The ring is
+// capacity-capped like the obs::Tracer event ring: when full, the oldest
+// envelope is evicted and counted — once in `dropped()`, and once in the
+// `replay.recorder_dropped` registry counter when a registry is attached.
+// Drops are cap-dependent, not semantics-dependent, so that counter lives
+// in the determinism fingerprints' excluded set (see replayer.hpp): the
+// same run recorded at different cap sizes fingerprints identically.
+//
+// The recorder is passive by the BusTap contract — it reads the
+// observation, copies strings, and never touches the bus or any RNG — so
+// attaching one does not perturb the experiment it records.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "replay/log.hpp"
+
+namespace aequus::obs {
+class Registry;
+}
+
+namespace aequus::net {
+class ServiceBus;
+}
+
+namespace aequus::replay {
+
+class FlightRecorder : public net::BusTap {
+ public:
+  /// `capacity` caps the envelope ring; 0 (default) means unbounded.
+  explicit FlightRecorder(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Attach as `bus`'s tap. When `registry` is non-null the
+  /// `replay.recorder_dropped` counter is registered immediately (so it
+  /// appears in snapshots even at zero) and mirrors eviction counts.
+  void attach(net::ServiceBus& bus, obs::Registry* registry = nullptr);
+
+  /// Detach from `bus` if this recorder is its current tap.
+  void detach(net::ServiceBus& bus);
+
+  void on_send(const net::SendObservation& observation) override;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return envelopes_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] const std::deque<Envelope>& envelopes() const noexcept { return envelopes_; }
+
+  /// Move the recording out as an EnvelopeLog carrying `meta` and the drop
+  /// count; the recorder is left empty (drop count reset) and can keep
+  /// recording. The log's fingerprint_hash is left empty — computing it
+  /// is the replayer's job.
+  [[nodiscard]] EnvelopeLog take_log(json::Value meta = json::Value(json::Object{}));
+
+ private:
+  std::size_t capacity_;
+  std::deque<Envelope> envelopes_;
+  std::uint64_t dropped_ = 0;
+  obs::Counter* dropped_counter_ = nullptr;
+};
+
+}  // namespace aequus::replay

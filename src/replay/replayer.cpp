@@ -1,0 +1,236 @@
+#include "replay/replayer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "core/engine.hpp"
+#include "core/policy.hpp"
+#include "net/service_bus.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+
+namespace aequus::replay {
+
+namespace {
+
+/// Collect the grid users one envelope's payload touches.
+void users_of_payload(const json::Value& payload, std::set<std::string>& users) {
+  if (!payload.is_object()) return;
+  const std::string op = payload.get_string("op", "");
+  if (op == "report") {
+    const std::string user = payload.get_string("user", "");
+    if (!user.empty()) users.insert(user);
+  } else if (op == "report_batch") {
+    const auto deltas = payload.find("deltas");
+    if (!deltas || !deltas->get().is_array()) return;
+    for (const json::Value& delta : deltas->get().as_array()) {
+      if (delta.is_array() && delta.size() >= 1 && delta.at(0).is_string()) {
+        users.insert(delta.at(0).as_string());
+      }
+    }
+  }
+}
+
+json::Value parse_payload(const Envelope& envelope, std::size_t index) {
+  std::optional<json::Value> payload = json::try_parse(envelope.payload);
+  if (!payload) {
+    throw LogError(util::format("corrupt log: envelope %zu payload is not valid JSON", index));
+  }
+  return *std::move(payload);
+}
+
+std::vector<std::string> sorted_unique(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+}  // namespace
+
+std::vector<std::string> BusReplayer::users_of(const EnvelopeLog& log) {
+  std::set<std::string> users;
+  for (std::size_t i = 0; i < log.envelopes.size(); ++i) {
+    users_of_payload(parse_payload(log.envelopes[i], i), users);
+  }
+  return {users.begin(), users.end()};
+}
+
+std::vector<std::string> BusReplayer::sites_of(const EnvelopeLog& log) {
+  std::set<std::string> sites;
+  for (const Envelope& envelope : log.envelopes) {
+    std::string site = net::ServiceBus::site_of(envelope.address);
+    if (!site.empty()) sites.insert(std::move(site));
+  }
+  return {sites.begin(), sites.end()};
+}
+
+const std::vector<std::string>& BusReplayer::fingerprint_excluded_counters() {
+  // Cap-dependent (ring evictions) or observational-only (divergence
+  // verdicts, trace drops): none of these may perturb a state fingerprint.
+  static const std::vector<std::string> kExcluded = {
+      "replay.recorder_dropped",
+      "replay.divergences",
+      "trace.dropped_events",
+  };
+  return kExcluded;
+}
+
+ReplayResult BusReplayer::replay(const EnvelopeLog& log) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Stack shape comes from the FULL log (or the explicit overrides) so
+  // prefix replays of one log share policy, sites, and registered
+  // counters — only the traffic fed differs.
+  const std::vector<std::string> users =
+      options_.users.empty() ? users_of(log) : sorted_unique(options_.users);
+  const std::vector<std::string> sites =
+      options_.sites.empty() ? sites_of(log) : sorted_unique(options_.sites);
+  services::UssConfig uss_config = options_.uss;
+  if (log.meta.is_object()) {
+    const double meta_width = log.meta.get_number("uss_bin_width", 0.0);
+    if (meta_width > 0.0) uss_config.bin_width = meta_width;
+  }
+
+  sim::Simulator simulator;
+  net::ServiceBus bus(simulator);
+  obs::Registry registry;
+  bus.attach_observability({&registry, nullptr});
+  obs::Counter& envelopes_counter = registry.counter("replay.envelopes");
+  obs::Counter& dropped_counter = registry.counter("replay.dropped");
+  (void)registry.counter("replay.divergences");  // register: snapshots always carry it
+
+  std::vector<std::unique_ptr<services::Uss>> stack;
+  stack.reserve(sites.size());
+  for (const std::string& site : sites) {
+    stack.push_back(std::make_unique<services::Uss>(simulator, bus, site, uss_config,
+                                                    obs::Observability{&registry, nullptr}));
+  }
+
+  ReplayResult result;
+  const std::size_t considered = std::min(options_.prefix, log.envelopes.size());
+  double last_arrival = 0.0;
+  for (std::size_t i = 0; i < considered; ++i) {
+    const Envelope& envelope = log.envelopes[i];
+    envelopes_counter.inc();
+    ++result.envelopes;
+    if (!envelope.delivered() || !bus.bound(envelope.address)) {
+      dropped_counter.inc();
+      ++result.dropped;
+      continue;
+    }
+    json::Value payload = parse_payload(envelope, i);
+    if (!payload.is_object()) {
+      dropped_counter.inc();
+      ++result.dropped;
+      continue;
+    }
+    last_arrival = std::max(last_arrival, envelope.delivered_at);
+    if (envelope.duplicated) {
+      last_arrival = std::max(last_arrival, envelope.duplicate_delivered_at);
+    }
+    if (options_.preserve_spacing) {
+      // Primary then duplicate, scheduled in log order: the simulator
+      // breaks time ties by insertion sequence, which reproduces the
+      // original arrival interleaving.
+      const std::string address = envelope.address;
+      simulator.schedule_at(envelope.delivered_at, [&bus, address, payload] {
+        (void)bus.call(address, payload);
+      });
+      if (envelope.duplicated) {
+        simulator.schedule_at(envelope.duplicate_delivered_at, [&bus, address, payload] {
+          (void)bus.call(address, payload);
+        });
+        ++result.applied;
+      }
+      ++result.applied;
+    } else {
+      (void)bus.call(envelope.address, payload);
+      ++result.applied;
+      if (envelope.duplicated) {
+        (void)bus.call(envelope.address, payload);
+        ++result.applied;
+      }
+    }
+  }
+  simulator.run_all();
+
+  // Fold per-site histograms into one engine: sorted site -> sorted user
+  // -> bin order, a fixed summation order so the render is byte-stable.
+  core::FairshareEngine engine;
+  core::PolicyTree policy;
+  for (const std::string& user : users) policy.set_share("/" + user, 1.0);
+  engine.set_policy(policy);
+  for (const auto& uss : stack) {
+    for (const auto& [user, bins] : uss->histograms()) {
+      for (const auto& [bin_time, amount] : bins) {
+        if (amount > 0.0) engine.apply_usage("/" + user, amount, bin_time);
+      }
+    }
+  }
+  engine.set_decay_epoch(last_arrival);
+  const core::FairshareSnapshotPtr snapshot = engine.snapshot();
+
+  result.fingerprint_comparable = options_.preserve_spacing;
+  result.snapshot = registry.snapshot();
+
+  std::string fp;
+  fp += "aequus-replay-fingerprint-v1\n";
+  fp += util::format("envelopes %llu applied %llu dropped %llu\n",
+                     static_cast<unsigned long long>(result.envelopes),
+                     static_cast<unsigned long long>(result.applied),
+                     static_cast<unsigned long long>(result.dropped));
+  fp += util::format("epoch %.17g\n", engine.decay_epoch());
+  fp += util::format("generation %llu\n",
+                     static_cast<unsigned long long>(snapshot ? snapshot->generation() : 0));
+  if (snapshot) {
+    for (const std::string& path : snapshot->user_paths()) {
+      fp += util::format("factor %s %.17g\n", path.c_str(), snapshot->factor_for(path));
+    }
+  }
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    const services::Uss& uss = *stack[i];
+    fp += util::format("uss %s reports %llu batches %llu dupes %llu\n", sites[i].c_str(),
+                       static_cast<unsigned long long>(uss.reports_received()),
+                       static_cast<unsigned long long>(uss.batches_applied()),
+                       static_cast<unsigned long long>(uss.batch_duplicates()));
+    for (const auto& [user, bins] : uss.histograms()) {
+      for (const auto& [bin_time, amount] : bins) {
+        fp += util::format("hist %s %s %.17g %.17g\n", sites[i].c_str(), user.c_str(), bin_time,
+                           amount);
+      }
+    }
+  }
+  const std::vector<std::string>& excluded = fingerprint_excluded_counters();
+  for (const auto& [key, value] : result.snapshot.counters) {
+    if (std::find(excluded.begin(), excluded.end(), key) != excluded.end()) continue;
+    fp += util::format("counter %s %llu\n", key.c_str(), static_cast<unsigned long long>(value));
+  }
+  result.fingerprint = std::move(fp);
+  result.fingerprint_hash = util::format(
+      "%016llx", static_cast<unsigned long long>(util::fnv1a64(result.fingerprint)));
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return result;
+}
+
+VerifyResult BusReplayer::verify(const EnvelopeLog& log) const {
+  VerifyResult verdict;
+  verdict.result = replay(log);
+  verdict.expected_hash = log.fingerprint_hash;
+  verdict.comparable = !verdict.expected_hash.empty() && verdict.result.fingerprint_comparable &&
+                       options_.prefix >= log.envelopes.size();
+  verdict.bit_identical =
+      verdict.comparable && verdict.result.fingerprint_hash == verdict.expected_hash;
+  if (verdict.comparable && !verdict.bit_identical) {
+    // Count on a throwaway registry-free path: the result snapshot is
+    // already taken, so expose the divergence in the returned counts.
+    verdict.result.snapshot.counters["replay.divergences"] += 1;
+  }
+  return verdict;
+}
+
+}  // namespace aequus::replay

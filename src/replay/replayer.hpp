@@ -1,0 +1,110 @@
+// BusReplayer: feed a recorded envelope log back into a live USS/engine
+// stack without the simulator that produced it (§ DESIGN.md 6i).
+//
+// One-way bus traffic is the complete usage-mutating input of a run
+// (requests only read state), so a replay can rebuild the distributed
+// usage state from the log alone: a private stack of one services::Uss
+// per destination site plus one core::FairshareEngine, fed each delivered
+// envelope at its *recorded* delivery timestamp over a fresh
+// sim::Simulator (preserve_spacing, the default), or inline in log order
+// (as-fast-as-possible). Timed replay is bit-exact: the USS bins per-RPC
+// reports by now(), and the replay clock hits the recorded arrival times
+// exactly, so the histograms — and everything derived from them — come
+// out byte-identical run after run. AFAP replay collapses the clock, so
+// its fingerprint is flagged non-comparable.
+//
+// After the feed, per-site histograms are folded into the engine
+// (sorted site → sorted user → bin order), the decay epoch is set to the
+// last recorded arrival, and the state is rendered as a multi-line
+// determinism fingerprint (every double as %.17g, the repo-wide
+// byte-exactness convention). The fnv1a64 hash of that text is what log
+// footers carry; verify() recomputes it to check record→replay
+// bit-identity.
+//
+// Replay-side counters live on the stack's registry: `replay.envelopes`
+// (considered), `replay.dropped` (non-delivered verdicts plus envelopes
+// with no replay endpoint), `replay.divergences` (verify mismatches).
+// Cap-dependent and meta counters — `replay.recorder_dropped`,
+// `replay.divergences`, `trace.dropped_events` — are excluded from the
+// fingerprint: the same traffic recorded at a different ring cap (or
+// verified twice) must fingerprint identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "replay/log.hpp"
+#include "services/uss.hpp"
+
+namespace aequus::replay {
+
+struct ReplayOptions {
+  /// Deliver each envelope at its recorded simulated arrival time
+  /// (default). false = as-fast-as-possible: apply in log order with a
+  /// collapsed clock; the result's fingerprint is not comparable to a
+  /// timed one.
+  bool preserve_spacing = true;
+  /// Replay only the first `prefix` envelopes (npos = all). The stack is
+  /// still built from the *full* log, so prefix fingerprints of the same
+  /// log are comparable to each other — the bisection invariant.
+  std::size_t prefix = static_cast<std::size_t>(-1);
+  /// Override the user set (sorted, deduped by the replayer). The
+  /// bisector passes the union over both logs so both stacks carry the
+  /// same flat policy. Empty = derive from the log.
+  std::vector<std::string> users;
+  /// Override the destination-site set, same contract as `users`.
+  std::vector<std::string> sites;
+  /// Replay-side USS config; meta key "uss_bin_width" (written by the
+  /// scenario recorder) overrides bin_width when present.
+  services::UssConfig uss;
+};
+
+struct ReplayResult {
+  std::uint64_t envelopes = 0;  ///< considered (prefix-limited)
+  std::uint64_t applied = 0;    ///< applications (duplicates count twice)
+  std::uint64_t dropped = 0;
+  bool fingerprint_comparable = true;  ///< false for AFAP replays
+  std::string fingerprint;             ///< multi-line state render
+  std::string fingerprint_hash;        ///< fnv1a64 of `fingerprint`, 16 hex
+  obs::Snapshot snapshot;              ///< replay stack registry export
+  double wall_seconds = 0.0;
+};
+
+struct VerifyResult {
+  ReplayResult result;
+  std::string expected_hash;  ///< from the log footer ("" = unverifiable)
+  bool comparable = false;    ///< footer hash present and replay was timed
+  bool bit_identical = false;
+};
+
+class BusReplayer {
+ public:
+  explicit BusReplayer(ReplayOptions options = {}) : options_(std::move(options)) {}
+
+  /// Replay `log` through a fresh stack. Throws LogError on undecodable
+  /// payloads (a recorded payload is wire JSON by construction).
+  [[nodiscard]] ReplayResult replay(const EnvelopeLog& log) const;
+
+  /// Replay and compare against the footer fingerprint hash.
+  [[nodiscard]] VerifyResult verify(const EnvelopeLog& log) const;
+
+  [[nodiscard]] const ReplayOptions& options() const noexcept { return options_; }
+
+  /// Sorted unique grid users mentioned by any envelope payload (per-RPC
+  /// "report" and batched "report_batch" deltas alike).
+  [[nodiscard]] static std::vector<std::string> users_of(const EnvelopeLog& log);
+
+  /// Sorted unique destination sites over all envelope addresses.
+  [[nodiscard]] static std::vector<std::string> sites_of(const EnvelopeLog& log);
+
+  /// Counter keys excluded from replay fingerprints (cap-dependent or
+  /// meta-observational).
+  [[nodiscard]] static const std::vector<std::string>& fingerprint_excluded_counters();
+
+ private:
+  ReplayOptions options_;
+};
+
+}  // namespace aequus::replay

@@ -141,6 +141,7 @@ CompiledScenario compile(const ScenarioSpec& spec, const CompileOptions& options
   CompiledScenario compiled;
   compiled.name = spec.name;
   compiled.gates = spec.gates;
+  compiled.record = spec.record;
   compiled.jobs = effective_jobs(spec.workload, options);
 
   workload::Scenario base = build_base(spec.workload, compiled.jobs);

@@ -54,6 +54,9 @@ struct CompiledScenario {
   testbed::SweepSpec sweep;
   std::vector<CompiledVariant> variants;
   GateSpec gates;
+  /// Flight-recorder request carried over from the spec; the runner may
+  /// force-enable it (scenario_run --record).
+  RecordSpec record;
 };
 
 /// The job count a spec resolves to under `options`.

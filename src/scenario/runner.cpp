@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 
+#include "replay/recorder.hpp"
+#include "replay/replayer.hpp"
 #include "testing/invariants.hpp"
 #include "util/strings.hpp"
 
@@ -115,11 +118,65 @@ ScenarioReport run_scenario(const CompiledScenario& compiled, const RunOptions& 
     };
   }
 
+  // Flight recording: tap the sweep's task 0 (first variant, first
+  // replication) — one canonical log per scenario. The recorder is only
+  // ever touched from task 0's worker thread during the sweep and read
+  // after run_sweep returns, so no synchronization is needed.
+  const bool want_record = compiled.record.enabled || !options.record_dir.empty();
+  replay::FlightRecorder recorder(compiled.record.cap);
+  double recorded_bin_width = 0.0;
+  if (want_record) {
+    auto prior_setup = spec.on_setup;
+    spec.on_setup = [&recorder, &recorded_bin_width, prior_setup](
+                        testbed::Experiment& experiment, std::size_t task_index) {
+      if (prior_setup) prior_setup(experiment, task_index);
+      if (task_index == 0) {
+        recorded_bin_width = experiment.config().timings.uss_bin_width;
+        recorder.attach(experiment.bus(), &experiment.registry());
+      }
+    };
+  }
+
   ScenarioReport report;
   report.name = compiled.name;
   report.jobs = compiled.jobs;
   report.tasks = spec.task_count();
   report.sweep = testbed::run_sweep(spec);
+
+  if (want_record) {
+    json::Object meta;
+    meta["scenario"] = compiled.name;
+    meta["uss_bin_width"] = recorded_bin_width;
+    // Seeds are u64: rendered as hex strings (JSON doubles lose bits).
+    meta["root_seed"] = util::format(
+        "%llx", static_cast<unsigned long long>(compiled.sweep.root_seed));
+    replay::EnvelopeLog log = recorder.take_log(json::Value(std::move(meta)));
+    // The footer hash is the record-side half of the record->replay
+    // bit-identity check: bus_replay recomputes it from the log alone.
+    log.fingerprint_hash = replay::BusReplayer().replay(log).fingerprint_hash;
+    std::string path = compiled.record.path.empty()
+                           ? compiled.name + (compiled.record.format == "jsonl" ? ".jsonl"
+                                                                                : ".aeqlog")
+                           : compiled.record.path;
+    if (!options.record_dir.empty() && path.front() != '/') {
+      path = options.record_dir + "/" + path;
+    }
+    // Create the target directory (--record names a directory that need
+    // not exist yet); save_log still reports unwritable paths loudly.
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
+    replay::save_log(path, log,
+                     compiled.record.format == "jsonl" ? replay::LogFormat::kJsonl
+                                                       : replay::LogFormat::kBinary);
+    report.record.enabled = true;
+    report.record.path = path;
+    report.record.envelopes = log.envelopes.size();
+    report.record.recorder_dropped = log.recorder_dropped;
+    report.record.fingerprint_hash = log.fingerprint_hash;
+  }
   report.threads = report.sweep.threads_used;
   for (const auto& task : report.sweep.tasks) {
     report.fingerprints.push_back(abbreviate(task.fingerprint));
@@ -228,6 +285,15 @@ json::Value report_to_json(const ScenarioReport& report) {
   json::Array fingerprints;
   for (const std::string& fp : report.fingerprints) fingerprints.push_back(json::Value(fp));
   out["fingerprints"] = json::Value(std::move(fingerprints));
+
+  if (report.record.enabled) {
+    json::Object record;
+    record["path"] = report.record.path;
+    record["envelopes"] = report.record.envelopes;
+    record["recorder_dropped"] = report.record.recorder_dropped;
+    record["fingerprint_hash"] = report.record.fingerprint_hash;
+    out["record"] = json::Value(std::move(record));
+  }
   return json::Value(std::move(out));
 }
 

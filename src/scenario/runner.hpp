@@ -27,6 +27,9 @@ struct RunOptions {
   /// to this count, the re-run uses 1 thread instead (the comparison is
   /// only meaningful across different schedules).
   int alternate_threads = 8;
+  /// Non-empty: force-enable flight recording (scenario_run --record) and
+  /// resolve relative log paths against this directory.
+  std::string record_dir;
 };
 
 /// One evaluated gate: name, verdict, and a human-readable detail line.
@@ -34,6 +37,17 @@ struct GateResult {
   std::string gate;
   bool passed = true;
   std::string detail;
+};
+
+/// Outcome of the scenario's flight recording (when one was requested).
+struct RecordOutcome {
+  bool enabled = false;
+  std::string path;  ///< where the log was written
+  std::uint64_t envelopes = 0;
+  std::uint64_t recorder_dropped = 0;  ///< ring evictions (cap-dependent)
+  /// Replay state fingerprint hash (fnv1a64, 16 hex), computed by an
+  /// in-process replay and written into the log footer.
+  std::string fingerprint_hash;
 };
 
 /// Everything a catalog run knows about one scenario's execution.
@@ -48,6 +62,7 @@ struct ScenarioReport {
   /// Abbreviated (fnv1a64, 16 hex chars) determinism fingerprint per
   /// task, in task-index order. Full fingerprints run to megabytes.
   std::vector<std::string> fingerprints;
+  RecordOutcome record;
   testbed::SweepResult sweep;
 };
 

@@ -324,6 +324,24 @@ GateSpec parse_gates(const json::Value& value, const std::string& path) {
   return gates;
 }
 
+RecordSpec parse_record(const json::Value& value, const std::string& path) {
+  const json::Object& object = as_object(value, path);
+  reject_unknown_keys(object, path, {"enabled", "path", "cap", "format"});
+  RecordSpec record;
+  // Writing a "record" object at all means "record this scenario" unless
+  // explicitly switched off.
+  record.enabled = bool_or(object, path, "enabled", true);
+  record.path = string_or(object, path, "path", "");
+  const double cap = nonnegative_or(object, path, "cap", 0.0);
+  record.cap = static_cast<std::size_t>(cap);
+  record.format = string_or(object, path, "format", record.format);
+  if (record.format != "binary" && record.format != "jsonl") {
+    fail(path + ".format",
+         "unknown value '" + record.format + "' (expected binary | jsonl)");
+  }
+  return record;
+}
+
 }  // namespace
 
 json::Value deep_merge(const json::Value& base, const json::Value& overlay) {
@@ -342,7 +360,8 @@ ScenarioSpec parse_spec(const json::Value& value) {
   const json::Object& object = as_object(value, path);
   reject_unknown_keys(object, path,
                       {"name", "description", "workload", "policy_shares", "phases", "churn",
-                       "offloads", "faults", "experiment", "variants", "sweep", "gates"});
+                       "offloads", "faults", "experiment", "variants", "sweep", "gates",
+                       "record"});
 
   ScenarioSpec spec;
   spec.name = string_or(object, path, "name", "");
@@ -383,6 +402,9 @@ ScenarioSpec parse_spec(const json::Value& value) {
   }
   if (const json::Value* gates = find(object, "gates")) {
     spec.gates = parse_gates(*gates, path + ".gates");
+  }
+  if (const json::Value* record = find(object, "record")) {
+    spec.record = parse_record(*record, path + ".record");
   }
   return spec;
 }

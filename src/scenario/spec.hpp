@@ -137,6 +137,20 @@ struct GateSpec {
   double convergence_tolerance = 0.02;
 };
 
+/// Flight-recorder request: capture the scenario's bus traffic into an
+/// envelope log (src/replay). Recording happens on the sweep's task 0
+/// (first variant, first replication) — one canonical log per scenario,
+/// with the footer fingerprint computed by an in-process replay so
+/// `bus_replay replay` can check record→replay bit-identity offline.
+struct RecordSpec {
+  bool enabled = false;
+  /// Log file path; empty derives "<scenario-name>.aeqlog" (resolved
+  /// against the runner's --record directory).
+  std::string path;
+  std::size_t cap = 0;            ///< recorder ring cap; 0 = unbounded
+  std::string format = "binary";  ///< binary | jsonl
+};
+
 /// A complete declarative scenario.
 struct ScenarioSpec {
   std::string name;
@@ -156,6 +170,7 @@ struct ScenarioSpec {
   std::vector<VariantSpec> variants;
   SweepSettings sweep;
   GateSpec gates;
+  RecordSpec record;
 };
 
 /// Parse a spec from its JSON form. Throws SpecError with the offending

@@ -5,16 +5,18 @@
 // obs::Registry: a total `requests` count plus one `ops.<op>` counter per
 // declared op (`ops.other` catches protocol errors). Registration happens
 // once at construction; the request hot path is two pointer increments
-// and a small map lookup, no allocation. Default-constructed (no
-// registry attached) every call is a cheap no-op, so services record
+// and a binary search over a flat sorted (op, counter) vector — no
+// allocation, no node-based map hops. Default-constructed (no registry
+// attached) every call is a cheap no-op, so services record
 // unconditionally.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <initializer_list>
-#include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -32,17 +34,22 @@ class ServiceTelemetry {
     const std::string prefix = site_ + "." + service_;
     requests_ = &obs_.registry->counter(prefix + ".requests");
     other_ = &obs_.registry->counter(prefix + ".ops.other");
+    ops_.reserve(ops.size());
     for (const char* op : ops) {
-      ops_.emplace(op, &obs_.registry->counter(prefix + ".ops." + op));
+      ops_.emplace_back(op, &obs_.registry->counter(prefix + ".ops." + op));
     }
+    std::sort(ops_.begin(), ops_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   }
 
   /// Count one handled request, attributed to `op`.
   void hit(const std::string& op) {
     if (requests_ == nullptr) return;
     requests_->inc();
-    const auto it = ops_.find(op);
-    (it != ops_.end() ? it->second : other_)->inc();
+    const auto it = std::lower_bound(
+        ops_.begin(), ops_.end(), op,
+        [](const auto& entry, const std::string& key) { return entry.first < key; });
+    (it != ops_.end() && it->first == op ? it->second : other_)->inc();
   }
 
   /// Extra service-specific counter under the service prefix, registered
@@ -87,7 +94,8 @@ class ServiceTelemetry {
   std::string service_;
   obs::Counter* requests_ = nullptr;
   obs::Counter* other_ = nullptr;
-  std::map<std::string, obs::Counter*> ops_;
+  /// Pre-resolved op counters, sorted by op name at construction.
+  std::vector<std::pair<std::string, obs::Counter*>> ops_;
 };
 
 }  // namespace aequus::services

@@ -9,8 +9,18 @@
 namespace aequus::util {
 
 void Series::add(double time, double value) {
-  times_.push_back(time);
-  values_.push_back(value);
+  if (times_.empty() || time >= times_.back()) {
+    times_.push_back(time);
+    values_.push_back(value);
+    return;
+  }
+  // Out-of-order sample: insert at its sorted position (after any equal
+  // times, preserving arrival order within a timestamp) so value_at's
+  // binary search stays valid.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), time);
+  const std::size_t index = static_cast<std::size_t>(it - times_.begin());
+  times_.insert(it, time);
+  values_.insert(values_.begin() + static_cast<std::ptrdiff_t>(index), value);
 }
 
 double Series::value_at(double time, double fallback) const noexcept {

@@ -11,9 +11,12 @@
 
 namespace aequus::util {
 
-/// A single named series of (time, value) samples, appended in time order.
+/// A single named series of (time, value) samples, kept in time order.
 class Series {
  public:
+  /// Append a sample. In-order times (the common case) cost one
+  /// comparison; an out-of-order time falls back to sorted insertion so
+  /// value_at's binary search stays correct.
   void add(double time, double value);
 
   [[nodiscard]] const std::vector<double>& times() const noexcept { return times_; }

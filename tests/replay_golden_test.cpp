@@ -1,0 +1,208 @@
+// Flight-recorder integration pins (ctest label `replay`):
+//
+//   - record→replay bit-identity: a catalog scenario recorded through
+//     run_scenario() replays offline to the exact footer fingerprint,
+//     at the default sweep thread count and at 8 threads (recording is
+//     task-0-only, so the log must not depend on the schedule);
+//   - bisect-finds-injected-divergence: perturbing one envelope of a
+//     recorded log is pinpointed at exactly that index;
+//   - recorder passivity (cap stability): attaching recorders of any
+//     capacity must not perturb the experiment's determinism
+//     fingerprint, and recorder_dropped must not leak into the replay
+//     fingerprint (it is in the excluded-counters set);
+//   - the ScenarioSpec `record:` key drives recording end-to-end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "replay/bisect.hpp"
+#include "replay/log.hpp"
+#include "replay/recorder.hpp"
+#include "replay/replayer.hpp"
+#include "scenario/catalog.hpp"
+#include "scenario/compile.hpp"
+#include "scenario/runner.hpp"
+#include "testbed/experiment.hpp"
+#include "testing/determinism.hpp"
+#include "workload/scenarios.hpp"
+
+namespace aequus::replay {
+namespace {
+
+namespace fs = std::filesystem;
+
+scenario::CompiledScenario compiled_fig10(std::size_t jobs) {
+  const std::string path =
+      (fs::path(scenario::catalog_dir()) / "fig10_baseline.json").string();
+  scenario::ScenarioSpec spec = scenario::load_spec_file(path);
+  spec.sweep.replications = 1;     // task 0 is the only task we record
+  spec.gates.determinism = false;  // the dual run is covered elsewhere
+  scenario::CompileOptions options;
+  options.max_jobs = jobs;
+  options.time_scale = 0.1;
+  return scenario::compile(spec, options);
+}
+
+std::string temp_dir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf;
+  fs::create_directories(dir);
+  return dir;
+}
+
+EnvelopeLog record_fig10(const std::string& leaf, int threads) {
+  scenario::RunOptions options;
+  options.threads = threads;
+  options.determinism = false;
+  options.record_dir = temp_dir(leaf);
+  const scenario::ScenarioReport report = run_scenario(compiled_fig10(120), options);
+  EXPECT_TRUE(report.passed);
+  EXPECT_TRUE(report.record.enabled);
+  EXPECT_GT(report.record.envelopes, 0u);
+  EXPECT_EQ(report.record.fingerprint_hash.size(), 16u);
+  return load_log(report.record.path);
+}
+
+TEST(ReplayGolden, RecordedScenarioReplaysBitIdentical) {
+  const EnvelopeLog log = record_fig10("replay-golden-t1", 1);
+  ASSERT_FALSE(log.fingerprint_hash.empty());
+  const VerifyResult verdict = BusReplayer().verify(log);
+  ASSERT_TRUE(verdict.comparable);
+  EXPECT_TRUE(verdict.bit_identical)
+      << "footer " << log.fingerprint_hash << " vs replay "
+      << verdict.result.fingerprint_hash;
+
+  // A second offline replay of the same log is also bit-identical:
+  // replay itself is deterministic, not just record→replay.
+  EXPECT_EQ(BusReplayer().replay(log).fingerprint_hash, verdict.result.fingerprint_hash);
+}
+
+TEST(ReplayGolden, RecordedLogIsScheduleIndependent) {
+  // Recording hooks task 0 only; the captured traffic is simulator-driven
+  // and must be byte-identical whatever the sweep thread count.
+  const EnvelopeLog serial = record_fig10("replay-golden-serial", 1);
+  const EnvelopeLog threaded = record_fig10("replay-golden-threaded", 8);
+  ASSERT_EQ(serial.envelopes.size(), threaded.envelopes.size());
+  EXPECT_EQ(serial.envelopes, threaded.envelopes);
+  EXPECT_EQ(serial.fingerprint_hash, threaded.fingerprint_hash);
+}
+
+TEST(ReplayGolden, BisectPinpointsAnInjectedDivergence) {
+  const EnvelopeLog log = record_fig10("replay-golden-bisect", 1);
+  ASSERT_GT(log.envelopes.size(), 40u);
+
+  // Pick the first *delivered usage* envelope from a third of the way in:
+  // perturbing it must change replayed state, not just the record.
+  std::size_t injected = log.envelopes.size();
+  json::Value payload;
+  for (std::size_t i = log.envelopes.size() / 3; i < log.envelopes.size(); ++i) {
+    if (!log.envelopes[i].delivered()) continue;
+    payload = json::parse(log.envelopes[i].payload);
+    const std::string op = payload.get_string("op", "");
+    if (op == "report" || op == "report_batch") {
+      injected = i;
+      break;
+    }
+  }
+  ASSERT_LT(injected, log.envelopes.size()) << "no delivered usage envelope found";
+
+  EnvelopeLog perturbed = log;
+  if (payload.get_string("op", "") == "report") {
+    payload.as_object()["usage"] = payload.get_number("usage", 0.0) * 3.0 + 1.0;
+  } else {
+    // Batch deltas are [user, time, amount] triples.
+    auto& deltas = payload.as_object()["deltas"].as_array();
+    ASSERT_FALSE(deltas.empty());
+    for (auto& delta : deltas) {
+      delta.as_array()[2] = delta.as_array()[2].as_number() * 3.0 + 1.0;
+    }
+  }
+  perturbed.envelopes[injected].payload = payload.dump();
+
+  const BisectReport report = DivergenceBisector().bisect(log, perturbed);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_FALSE(report.cosmetic_only);
+  EXPECT_EQ(report.first_divergence, injected);
+  EXPECT_EQ(report.envelope_a, log.envelopes[injected]);
+  EXPECT_EQ(report.envelope_b, perturbed.envelopes[injected]);
+
+  // The perturbed log no longer verifies against its (inherited) footer.
+  ASSERT_FALSE(perturbed.fingerprint_hash.empty());
+  const VerifyResult verdict = BusReplayer().verify(perturbed);
+  ASSERT_TRUE(verdict.comparable);
+  EXPECT_FALSE(verdict.bit_identical);
+}
+
+TEST(ReplayGolden, RecorderCapDoesNotPerturbTheExperiment) {
+  // Satellite (f), angle one: the recorder is a passive tap. Runs with no
+  // recorder, an unbounded recorder, and a tiny ring-capped recorder must
+  // produce byte-identical experiment fingerprints.
+  const workload::Scenario scenario = workload::baseline_scenario(2012, 150);
+  std::vector<std::string> fingerprints;
+  std::vector<std::size_t> caps = {0, 0, 7};  // first run: no recorder at all
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    testbed::Experiment experiment(scenario, testbed::ExperimentConfig{});
+    FlightRecorder recorder(caps[i]);
+    if (i > 0) {
+      recorder.attach(experiment.bus(), &experiment.registry());
+    }
+    fingerprints.push_back(testing::fingerprint(experiment.run()));
+    if (i == 2) {
+      EXPECT_GT(recorder.dropped(), 0u);  // the tiny cap really did evict
+    }
+  }
+  EXPECT_EQ(fingerprints[1], fingerprints[0]) << "attaching a recorder changed the run";
+  EXPECT_EQ(fingerprints[2], fingerprints[0]) << "a ring-capped recorder changed the run";
+}
+
+TEST(ReplayGolden, RecorderDroppedIsExcludedFromTheReplayFingerprint) {
+  // Satellite (f), angle two: the same envelope content with different
+  // recorder_dropped values replays to the same fingerprint —
+  // replay.recorder_dropped is in the excluded-counters set.
+  const auto excluded = BusReplayer::fingerprint_excluded_counters();
+  EXPECT_NE(std::find(excluded.begin(), excluded.end(), "replay.recorder_dropped"),
+            excluded.end());
+
+  EnvelopeLog log = record_fig10("replay-golden-capstable", 1);
+  const std::string reference = BusReplayer().replay(log).fingerprint_hash;
+  log.recorder_dropped = 12345;
+  EXPECT_EQ(BusReplayer().replay(log).fingerprint_hash, reference);
+}
+
+TEST(ReplayGolden, SpecRecordKeyDrivesRecordingEndToEnd) {
+  // No runner force-enable here: the spec's own `record:` key requests
+  // the capture (JSONL format, explicit path).
+  const std::string dir = temp_dir("replay-golden-speckey");
+  const std::string spec_text = R"({
+    "name": "record-key-e2e",
+    "workload": {"base": "baseline", "jobs": 120, "seed": 2012},
+    "sweep": {"replications": 1},
+    "gates": {"determinism": false},
+    "record": {"path": "speckey.jsonl", "format": "jsonl", "cap": 0}
+  })";
+  scenario::ScenarioSpec spec = scenario::parse_spec_text(spec_text);
+  EXPECT_TRUE(spec.record.enabled);  // a record object implies enabled
+  scenario::CompileOptions compile_options;
+  compile_options.time_scale = 0.1;
+  const scenario::CompiledScenario compiled = scenario::compile(spec, compile_options);
+
+  scenario::RunOptions options;
+  options.threads = 1;
+  options.determinism = false;
+  options.record_dir = dir;  // resolves the relative spec path
+  const scenario::ScenarioReport report = run_scenario(compiled, options);
+  EXPECT_TRUE(report.record.enabled);
+  EXPECT_EQ(report.record.path, (fs::path(dir) / "speckey.jsonl").string());
+
+  const EnvelopeLog log = load_log(report.record.path);
+  EXPECT_EQ(log.envelopes.size(), report.record.envelopes);
+  const VerifyResult verdict = BusReplayer().verify(log);
+  ASSERT_TRUE(verdict.comparable);
+  EXPECT_TRUE(verdict.bit_identical);
+}
+
+}  // namespace
+}  // namespace aequus::replay

@@ -1,0 +1,421 @@
+// Flight-recorder unit suite: envelope-log round trips and error paths,
+// recorder capture semantics (verdicts, batches, the ring cap), offline
+// replay, and divergence bisection (DESIGN.md §6i).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/service_bus.hpp"
+#include "obs/metrics.hpp"
+#include "replay/bisect.hpp"
+#include "replay/log.hpp"
+#include "replay/recorder.hpp"
+#include "replay/replayer.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+
+namespace aequus::replay {
+namespace {
+
+Envelope make_report(const std::string& site, const std::string& user, double amount,
+                     double time) {
+  Envelope envelope;
+  envelope.sent_at = time;
+  envelope.delivered_at = time + 0.1;
+  envelope.from_site = site;
+  envelope.address = site + ".uss";
+  json::Object payload;
+  payload["op"] = "report";
+  payload["user"] = user;
+  payload["usage"] = amount;
+  envelope.payload = json::Value(std::move(payload)).dump();
+  return envelope;
+}
+
+EnvelopeLog make_log(std::size_t envelopes) {
+  EnvelopeLog log;
+  json::Object meta;
+  meta["scenario"] = std::string("unit");
+  meta["uss_bin_width"] = 60.0;
+  log.meta = json::Value(std::move(meta));
+  for (std::size_t i = 0; i < envelopes; ++i) {
+    log.envelopes.push_back(make_report(i % 2 == 0 ? "siteA" : "siteB",
+                                        "U" + std::to_string(i % 3),
+                                        10.0 + static_cast<double>(i),
+                                        60.0 * static_cast<double>(i)));
+  }
+  return log;
+}
+
+// --- log format round trips -------------------------------------------------
+
+TEST(ReplayLog, BinaryRoundTripPreservesEverything) {
+  EnvelopeLog log = make_log(5);
+  log.recorder_dropped = 7;
+  log.fingerprint_hash = "0123456789abcdef";
+  log.envelopes[2].verdict = net::SendVerdict::kDroppedLoss;
+  log.envelopes[2].delivered_at = log.envelopes[2].sent_at;
+  log.envelopes[3].batch = true;
+  log.envelopes[3].record_count = 12;
+  log.envelopes[4].duplicated = true;
+  log.envelopes[4].duplicate_delivered_at = log.envelopes[4].delivered_at + 0.2;
+  log.envelopes[4].span = obs::SpanContext{0xfeedfacecafebeefULL, 0x1234, 0x5678};
+
+  std::stringstream stream;
+  write_binary(log, stream);
+  const EnvelopeLog loaded = read_binary(stream);
+  EXPECT_EQ(loaded.envelopes, log.envelopes);
+  EXPECT_EQ(loaded.recorder_dropped, 7u);
+  EXPECT_EQ(loaded.fingerprint_hash, "0123456789abcdef");
+  EXPECT_EQ(loaded.meta.get_string("scenario", ""), "unit");
+  EXPECT_EQ(loaded.meta.get_number("uss_bin_width", 0.0), 60.0);
+}
+
+TEST(ReplayLog, JsonlRoundTripPreservesEverything) {
+  EnvelopeLog log = make_log(4);
+  log.recorder_dropped = 3;
+  log.fingerprint_hash = "00000000000000aa";
+  log.envelopes[1].span = obs::SpanContext{0xffffffffffffffffULL, 0x2, 0x3};
+  log.envelopes[1].verdict = net::SendVerdict::kDroppedParticipation;
+
+  std::stringstream stream;
+  write_jsonl(log, stream);
+  const EnvelopeLog loaded = read_jsonl(stream);
+  EXPECT_EQ(loaded.envelopes, log.envelopes);  // u64 span ids survive (hex strings)
+  EXPECT_EQ(loaded.recorder_dropped, 3u);
+  EXPECT_EQ(loaded.fingerprint_hash, "00000000000000aa");
+}
+
+TEST(ReplayLog, SaveAndLoadAutoDetectBothFormats) {
+  const EnvelopeLog log = make_log(3);
+  const std::string dir = ::testing::TempDir();
+  const std::string binary_path = dir + "/roundtrip.aeqlog";
+  const std::string jsonl_path = dir + "/roundtrip.jsonl";
+  save_log(binary_path, log, LogFormat::kBinary);
+  save_log(jsonl_path, log, LogFormat::kJsonl);
+  EXPECT_EQ(load_log(binary_path).envelopes, log.envelopes);
+  EXPECT_EQ(load_log(jsonl_path).envelopes, log.envelopes);
+}
+
+TEST(ReplayLog, TruncationAndCorruptionAreLoudErrors) {
+  EnvelopeLog log = make_log(3);
+  std::stringstream stream;
+  write_binary(log, stream);
+  const std::string bytes = stream.str();
+
+  {  // cut mid-record
+    std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW((void)read_binary(cut), LogError);
+  }
+  {  // bad magic
+    std::string mangled = bytes;
+    mangled[0] = 'X';
+    std::stringstream in(mangled);
+    EXPECT_THROW((void)read_binary(in), LogError);
+  }
+  {  // empty stream
+    std::stringstream in{std::string()};
+    EXPECT_THROW((void)read_binary(in), LogError);
+  }
+  {  // JSONL without a footer line
+    std::stringstream out;
+    write_jsonl(log, out);
+    std::string text = out.str();
+    text = text.substr(0, text.rfind("{\"footer\""));
+    std::stringstream in(text);
+    EXPECT_THROW((void)read_jsonl(in), LogError);
+  }
+  {  // JSONL with a wrong header schema
+    std::stringstream in(std::string("{\"schema\":\"something-else\"}\n"));
+    EXPECT_THROW((void)read_jsonl(in), LogError);
+  }
+  EXPECT_THROW((void)load_log(::testing::TempDir() + "/does-not-exist.aeqlog"), LogError);
+}
+
+// --- recorder capture -------------------------------------------------------
+
+TEST(FlightRecorder, CapturesVerdictsTimestampsAndPayloads) {
+  sim::Simulator simulator;
+  net::ServiceBus bus(simulator);
+  FlightRecorder recorder;
+  recorder.attach(bus);
+  bus.bind("siteA.uss", [](const json::Value&) { return json::Value(); });
+
+  json::Object payload;
+  payload["op"] = "report";
+  payload["user"] = std::string("U1");
+  payload["usage"] = 5.0;
+  const std::string wire = json::Value(payload).dump();
+
+  bus.send("siteA", "siteA.uss", json::Value(payload));               // delivered, local
+  bus.send("siteB", "siteA.uss", json::Value(payload));               // delivered, remote
+  bus.send("siteA", "siteA.nowhere", json::Value(payload));           // unbound
+  bus.set_site_contributes("siteC", false);
+  bus.send("siteC", "siteA.uss", json::Value(payload));               // participation
+  simulator.run_all();
+
+  ASSERT_EQ(recorder.size(), 4u);
+  const auto& envelopes = recorder.envelopes();
+  EXPECT_EQ(envelopes[0].verdict, net::SendVerdict::kDelivered);
+  EXPECT_EQ(envelopes[0].payload, wire);
+  EXPECT_EQ(envelopes[0].from_site, "siteA");
+  EXPECT_EQ(envelopes[0].address, "siteA.uss");
+  EXPECT_GT(envelopes[0].delivered_at, envelopes[0].sent_at);
+  EXPECT_GT(envelopes[1].delivered_at - envelopes[1].sent_at,
+            envelopes[0].delivered_at - envelopes[0].sent_at);  // remote > local latency
+  EXPECT_EQ(envelopes[2].verdict, net::SendVerdict::kDroppedUnbound);
+  EXPECT_FALSE(envelopes[2].delivered());
+  EXPECT_EQ(envelopes[3].verdict, net::SendVerdict::kDroppedParticipation);
+}
+
+TEST(FlightRecorder, CapturesFaultVerdictsAndDuplicates) {
+  sim::Simulator simulator;
+  net::ServiceBus bus(simulator);
+  FlightRecorder recorder;
+  recorder.attach(bus);
+  bus.bind("siteA.uss", [](const json::Value&) { return json::Value(); });
+
+  net::FaultPlan plan;
+  plan.outages.push_back({"siteA", 0.0, 100.0});
+  bus.set_fault_plan(plan);
+  bus.send("siteB", "siteA.uss", json::Value(json::Object{}));  // outage window
+
+  plan.outages.clear();
+  plan.loss_rate = 1.0;
+  bus.set_fault_plan(plan);
+  bus.send("siteB", "siteA.uss", json::Value(json::Object{}));  // certain loss
+
+  plan.loss_rate = 0.0;
+  plan.duplicate_rate = 1.0;
+  bus.set_fault_plan(plan);
+  bus.send("siteB", "siteA.uss", json::Value(json::Object{}));  // certain duplicate
+  simulator.run_all();
+
+  ASSERT_EQ(recorder.size(), 3u);
+  const auto& envelopes = recorder.envelopes();
+  EXPECT_EQ(envelopes[0].verdict, net::SendVerdict::kDroppedOutage);
+  EXPECT_EQ(envelopes[1].verdict, net::SendVerdict::kDroppedLoss);
+  EXPECT_EQ(envelopes[2].verdict, net::SendVerdict::kDelivered);
+  EXPECT_TRUE(envelopes[2].duplicated);
+  // Without latency jitter both legs share the deterministic latency.
+  EXPECT_GE(envelopes[2].duplicate_delivered_at, envelopes[2].delivered_at);
+}
+
+TEST(FlightRecorder, CapturesBatchMetadata) {
+  sim::Simulator simulator;
+  net::ServiceBus bus(simulator);
+  FlightRecorder recorder;
+  recorder.attach(bus);
+  bus.bind("siteA.uss", [](const json::Value&) { return json::Value(); });
+  bus.send_batch("siteA", "siteA.uss", json::Value(json::Object{}), 17);
+  simulator.run_all();
+  ASSERT_EQ(recorder.size(), 1u);
+  EXPECT_TRUE(recorder.envelopes()[0].batch);
+  EXPECT_EQ(recorder.envelopes()[0].record_count, 17u);
+}
+
+TEST(FlightRecorder, RingCapEvictsOldestAndCountsDrops) {
+  sim::Simulator simulator;
+  net::ServiceBus bus(simulator);
+  obs::Registry registry;
+  FlightRecorder recorder(3);
+  recorder.attach(bus, &registry);
+  // The counter is registered eagerly: visible at zero before any drop.
+  EXPECT_EQ(registry.snapshot().counter("replay.recorder_dropped"), 0u);
+  bus.bind("siteA.uss", [](const json::Value&) { return json::Value(); });
+  for (int i = 0; i < 5; ++i) {
+    json::Object payload;
+    payload["i"] = i;
+    bus.send("siteA", "siteA.uss", json::Value(std::move(payload)));
+  }
+  simulator.run_all();
+
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+  EXPECT_EQ(registry.snapshot().counter("replay.recorder_dropped"), 2u);
+  // Oldest evicted: the survivors are i = 2, 3, 4.
+  EXPECT_EQ(recorder.envelopes()[0].payload, "{\"i\":2}");
+
+  EnvelopeLog log = recorder.take_log();
+  EXPECT_EQ(log.envelopes.size(), 3u);
+  EXPECT_EQ(log.recorder_dropped, 2u);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);  // reset with the taken log
+  recorder.detach(bus);
+  EXPECT_EQ(bus.tap(), nullptr);
+}
+
+// --- replay -----------------------------------------------------------------
+
+TEST(BusReplayer, RebuildsUsageStateAndFingerprintsDeterministically) {
+  EnvelopeLog log = make_log(12);
+  const ReplayResult first = BusReplayer().replay(log);
+  EXPECT_EQ(first.envelopes, 12u);
+  EXPECT_EQ(first.applied, 12u);
+  EXPECT_EQ(first.dropped, 0u);
+  EXPECT_TRUE(first.fingerprint_comparable);
+  EXPECT_EQ(first.fingerprint_hash.size(), 16u);
+  EXPECT_EQ(first.snapshot.counter("replay.envelopes"), 12u);
+
+  const ReplayResult second = BusReplayer().replay(log);
+  EXPECT_EQ(second.fingerprint, first.fingerprint);
+  EXPECT_EQ(second.fingerprint_hash, first.fingerprint_hash);
+
+  // AFAP applies the same envelopes but is flagged non-comparable.
+  ReplayOptions afap;
+  afap.preserve_spacing = false;
+  const ReplayResult fast = BusReplayer(afap).replay(log);
+  EXPECT_EQ(fast.applied, 12u);
+  EXPECT_FALSE(fast.fingerprint_comparable);
+}
+
+TEST(BusReplayer, DropsNonDeliveredEnvelopesAndCountsThem) {
+  EnvelopeLog log = make_log(6);
+  log.envelopes[1].verdict = net::SendVerdict::kDroppedLoss;
+  log.envelopes[4].verdict = net::SendVerdict::kDroppedOutage;
+  const ReplayResult result = BusReplayer().replay(log);
+  EXPECT_EQ(result.envelopes, 6u);
+  EXPECT_EQ(result.applied, 4u);
+  EXPECT_EQ(result.dropped, 2u);
+  EXPECT_EQ(result.snapshot.counter("replay.dropped"), 2u);
+}
+
+TEST(BusReplayer, DuplicatedEnvelopeAppliesTwice) {
+  EnvelopeLog log = make_log(2);
+  log.envelopes[0].duplicated = true;
+  log.envelopes[0].duplicate_delivered_at = log.envelopes[0].delivered_at + 1.0;
+  const ReplayResult result = BusReplayer().replay(log);
+  EXPECT_EQ(result.applied, 3u);
+}
+
+TEST(BusReplayer, VerifyChecksTheFooterHash) {
+  EnvelopeLog log = make_log(8);
+  log.fingerprint_hash = BusReplayer().replay(log).fingerprint_hash;
+  const VerifyResult good = BusReplayer().verify(log);
+  EXPECT_TRUE(good.comparable);
+  EXPECT_TRUE(good.bit_identical);
+
+  log.fingerprint_hash = "ffffffffffffffff";
+  const VerifyResult bad = BusReplayer().verify(log);
+  EXPECT_TRUE(bad.comparable);
+  EXPECT_FALSE(bad.bit_identical);
+  EXPECT_EQ(bad.result.snapshot.counters.at("replay.divergences"), 1u);
+
+  log.fingerprint_hash.clear();
+  EXPECT_FALSE(BusReplayer().verify(log).comparable);  // nothing to compare
+}
+
+TEST(BusReplayer, MetaBinWidthControlsTheReplayStack) {
+  EnvelopeLog log = make_log(6);
+  const std::string wide = BusReplayer().replay(log).fingerprint_hash;
+  log.meta.as_object()["uss_bin_width"] = 17.0;
+  const std::string narrow = BusReplayer().replay(log).fingerprint_hash;
+  EXPECT_NE(wide, narrow);  // different binning => different histograms
+}
+
+TEST(BusReplayer, DerivesUsersAndSitesFromTheLog) {
+  const EnvelopeLog log = make_log(6);
+  EXPECT_EQ(BusReplayer::users_of(log), (std::vector<std::string>{"U0", "U1", "U2"}));
+  EXPECT_EQ(BusReplayer::sites_of(log), (std::vector<std::string>{"siteA", "siteB"}));
+}
+
+// --- bisection --------------------------------------------------------------
+
+TEST(DivergenceBisector, IdenticalLogsDoNotDiverge) {
+  const EnvelopeLog log = make_log(10);
+  const BisectReport report = DivergenceBisector().bisect(log, log);
+  EXPECT_FALSE(report.diverged);
+  EXPECT_EQ(report.probes, 0u);  // record pre-scan settles it without a replay
+}
+
+TEST(DivergenceBisector, FindsTheInjectedDivergenceIndex) {
+  const EnvelopeLog a = make_log(16);
+  for (std::size_t index : {std::size_t{0}, std::size_t{7}, std::size_t{15}}) {
+    EnvelopeLog b = a;
+    json::Value payload = json::parse(b.envelopes[index].payload);
+    payload.as_object()["usage"] = payload.get_number("usage", 0.0) * 2.0;
+    b.envelopes[index].payload = payload.dump();
+    const BisectReport report = DivergenceBisector().bisect(a, b);
+    EXPECT_TRUE(report.diverged);
+    EXPECT_FALSE(report.cosmetic_only);
+    EXPECT_EQ(report.first_divergence, index) << "injected at " << index;
+    EXPECT_EQ(report.first_record_difference, index);
+    EXPECT_NE(report.fingerprint_hash_a, report.fingerprint_hash_b);
+    EXPECT_EQ(report.envelope_a, a.envelopes[index]);
+    EXPECT_EQ(report.envelope_b, b.envelopes[index]);
+  }
+}
+
+TEST(DivergenceBisector, SpanOnlyDifferencesAreCosmetic) {
+  const EnvelopeLog a = make_log(10);
+  EnvelopeLog b = a;
+  b.envelopes[4].span = obs::SpanContext{0xabc, 0xdef, 0x123};
+  const BisectReport report = DivergenceBisector().bisect(a, b);
+  EXPECT_FALSE(report.diverged);
+  EXPECT_TRUE(report.cosmetic_only);
+  EXPECT_EQ(report.first_record_difference, 4u);
+}
+
+TEST(DivergenceBisector, StrictPrefixIsALengthDivergence) {
+  const EnvelopeLog a = make_log(10);
+  EnvelopeLog b = a;
+  b.envelopes.resize(7);
+  const BisectReport report = DivergenceBisector().bisect(a, b);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_TRUE(report.length_divergence);
+  EXPECT_EQ(report.first_divergence, 7u);
+  EXPECT_EQ(report.envelope_a, a.envelopes[7]);  // the first extra envelope
+}
+
+TEST(DivergenceBisector, BisectAgainstALiveOracle) {
+  const EnvelopeLog log = make_log(12);
+  DivergenceBisector bisector;
+
+  // Honest oracle: replays the same log; no divergence.
+  const auto honest = [&](std::size_t prefix) {
+    ReplayOptions options;
+    options.prefix = prefix;
+    options.users = BusReplayer::users_of(log);
+    options.sites = BusReplayer::sites_of(log);
+    return BusReplayer(options).replay(log).fingerprint_hash;
+  };
+  EXPECT_FALSE(bisector.bisect_against(log, honest).diverged);
+
+  // Oracle that silently loses every envelope from index 5 on.
+  EnvelopeLog lossy = log;
+  for (std::size_t i = 5; i < lossy.envelopes.size(); ++i) {
+    lossy.envelopes[i].verdict = net::SendVerdict::kDroppedLoss;
+  }
+  const auto broken = [&](std::size_t prefix) {
+    ReplayOptions options;
+    options.prefix = prefix;
+    options.users = BusReplayer::users_of(log);
+    options.sites = BusReplayer::sites_of(log);
+    return BusReplayer(options).replay(lossy).fingerprint_hash;
+  };
+  const BisectReport report = bisector.bisect_against(log, broken);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_EQ(report.first_divergence, 5u);
+  EXPECT_EQ(report.envelope_a, log.envelopes[5]);
+}
+
+TEST(DivergenceBisector, ReportRendersAsJson) {
+  const EnvelopeLog a = make_log(6);
+  EnvelopeLog b = a;
+  json::Value payload = json::parse(b.envelopes[3].payload);
+  payload.as_object()["usage"] = 999.0;
+  b.envelopes[3].payload = payload.dump();
+  const BisectReport report = DivergenceBisector().bisect(a, b);
+  const json::Value rendered = report.to_json();
+  EXPECT_TRUE(rendered.get_bool("diverged", false));
+  EXPECT_EQ(rendered.get_number("first_divergence", -1.0), 3.0);
+  ASSERT_TRUE(rendered.find("envelope_a").has_value());
+  ASSERT_TRUE(rendered.find("envelope_b").has_value());
+}
+
+}  // namespace
+}  // namespace aequus::replay

@@ -187,6 +187,35 @@ TEST(ScenarioSpecDecode, GateValidation) {
                "$.gates.conversation: unknown key");
 }
 
+TEST(ScenarioSpecDecode, RecordDefaultsOffAndPresenceImpliesEnabled) {
+  // No record key: recording is off.
+  EXPECT_FALSE(parse_spec_text(R"({"name": "x"})").record.enabled);
+  // Writing a record object at all means "record this scenario"...
+  const ScenarioSpec bare = parse_spec_text(R"({"name": "x", "record": {}})");
+  EXPECT_TRUE(bare.record.enabled);
+  EXPECT_TRUE(bare.record.path.empty());  // derived from the name later
+  EXPECT_EQ(bare.record.cap, 0u);
+  EXPECT_EQ(bare.record.format, "binary");
+  // ...unless explicitly switched off.
+  EXPECT_FALSE(
+      parse_spec_text(R"({"name": "x", "record": {"enabled": false}})").record.enabled);
+
+  const ScenarioSpec full = parse_spec_text(
+      R"({"name": "x", "record": {"path": "x.jsonl", "cap": 5000, "format": "jsonl"}})");
+  EXPECT_TRUE(full.record.enabled);
+  EXPECT_EQ(full.record.path, "x.jsonl");
+  EXPECT_EQ(full.record.cap, 5000u);
+  EXPECT_EQ(full.record.format, "jsonl");
+}
+
+TEST(ScenarioSpecDecode, RecordValidation) {
+  expect_error(R"({"name": "x", "record": {"format": "protobuf"}})",
+               "$.record.format: unknown value 'protobuf'");
+  expect_error(R"({"name": "x", "record": {"capp": 10}})", "$.record.capp: unknown key");
+  expect_error(R"({"name": "x", "record": {"cap": -1}})", "$.record.cap");
+  expect_error(R"({"name": "x", "record": true})", "$.record: expected an object");
+}
+
 // --- deep_merge ---------------------------------------------------------
 
 TEST(DeepMerge, OverlayWinsAndObjectsMergeRecursively) {

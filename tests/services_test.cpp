@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
 #include "services/installation.hpp"
+#include "services/telemetry.hpp"
 #include "util/strings.hpp"
 
 namespace aequus::services {
@@ -384,6 +386,31 @@ TEST_F(ServicesTest, NonContributingSiteIsInvisibleRemotely) {
   // ...but site A itself still accounts for it (reads stay local).
   EXPECT_LT(a.fcs().factor_for("alice"), 0.5);
   EXPECT_LT(a.fcs().factor_for("alice"), a.fcs().factor_for("bob"));
+}
+
+TEST_F(ServicesTest, TelemetryCountsKnownAndUnknownOps) {
+  obs::Registry registry;
+  ServiceTelemetry telemetry({&registry, nullptr}, simulator, "siteA", "uss",
+                             {"report", "usage", "snapshot"});
+  telemetry.hit("report");
+  telemetry.hit("report");
+  telemetry.hit("usage");
+  telemetry.hit("bogus");  // undeclared: lands in ops.other
+  telemetry.hit("");       // so does the empty op
+
+  const obs::Snapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("siteA.uss.requests"), 5u);
+  EXPECT_EQ(snapshot.counter("siteA.uss.ops.report"), 2u);
+  EXPECT_EQ(snapshot.counter("siteA.uss.ops.usage"), 1u);
+  EXPECT_EQ(snapshot.counter("siteA.uss.ops.snapshot"), 0u);  // declared, unused
+  EXPECT_EQ(snapshot.counter("siteA.uss.ops.other"), 2u);
+}
+
+TEST_F(ServicesTest, DetachedTelemetryIsANoOp) {
+  ServiceTelemetry detached;
+  detached.hit("report");  // must not crash; nothing to count
+  EXPECT_EQ(detached.counter("anything"), nullptr);
+  EXPECT_FALSE(detached.tracing());
 }
 
 }  // namespace

@@ -194,6 +194,45 @@ TEST(Series, MaxDeviation) {
   EXPECT_NEAR(s.max_deviation_in(0.0, 2.0, 0.5), 0.2, 1e-12);
 }
 
+TEST(Series, ValueAtBeforeFirstSampleFallsBack) {
+  Series s;
+  EXPECT_EQ(s.value_at(0.0), 0.0);  // empty: default fallback
+  EXPECT_EQ(s.value_at(0.0, 9.0), 9.0);
+  s.add(10.0, 1.0);
+  EXPECT_EQ(s.value_at(9.999, -1.0), -1.0);  // strictly before the first sample
+  EXPECT_EQ(s.value_at(10.0, -1.0), 1.0);    // at the first sample, no fallback
+}
+
+TEST(Series, WindowQueriesOnEmptyAndSingleSample) {
+  Series empty;
+  EXPECT_EQ(empty.mean_in(0.0, 100.0), 0.0);
+  EXPECT_EQ(empty.mean_in(0.0, 100.0, 42.0), 42.0);
+  EXPECT_EQ(empty.max_deviation_in(0.0, 100.0, 0.5), 0.0);
+
+  Series single;
+  single.add(5.0, 0.8);
+  EXPECT_DOUBLE_EQ(single.mean_in(0.0, 10.0), 0.8);
+  EXPECT_DOUBLE_EQ(single.mean_in(5.0, 5.0), 0.8);        // inclusive bounds
+  EXPECT_EQ(single.mean_in(6.0, 10.0, -3.0), -3.0);       // window misses it
+  EXPECT_NEAR(single.max_deviation_in(0.0, 10.0, 0.5), 0.3, 1e-12);
+  EXPECT_EQ(single.max_deviation_in(6.0, 10.0, 0.5), 0.0);
+}
+
+TEST(Series, OutOfOrderAddKeepsTimeOrder) {
+  Series s;
+  s.add(10.0, 1.0);
+  s.add(30.0, 3.0);
+  s.add(20.0, 2.0);  // out of order: sorted insertion
+  EXPECT_EQ(s.times(), (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_EQ(s.values(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(s.value_at(25.0), 2.0);  // binary search still valid
+
+  // Equal timestamps preserve arrival order (later add lands after).
+  s.add(20.0, 2.5);
+  EXPECT_EQ(s.value_at(20.0), 2.5);
+  EXPECT_EQ(s.values(), (std::vector<double>{1.0, 2.0, 2.5, 3.0}));
+}
+
 TEST(SeriesSet, RenderChartAndTableSmoke) {
   SeriesSet set;
   set.series("a").add(0.0, 0.1);

@@ -20,6 +20,11 @@ A third mode schema-checks the JSON reports tools/scenario_run emits
 
   bench_gate.py --validate-scenario-report ./build/scenario-report.json
 
+A fourth mode schema-checks the metrics dumps benches and scenario_run
+emit via --metrics FILE (aequus-metrics-dump-v1):
+
+  bench_gate.py --validate-metrics-dump ./build/metrics.json
+
 The gated quantity is each variant's aggregate *mean* per metric; the
 sweep's metrics are deterministic for a fixed (jobs, replications, seed)
 triple and independent of the thread count, so the tolerance (default
@@ -248,6 +253,80 @@ def validate_scenario_report(document) -> list[str]:
     return errors
 
 
+METRICS_SCHEMA = "aequus-metrics-dump-v1"
+
+
+def _is_count(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        and value >= 0 and float(value).is_integer()
+
+
+def validate_metrics_dump(document) -> list[str]:
+    """Schema check for aequus-metrics-dump-v1 documents.
+
+    These are the registry snapshot exports behind --metrics FILE (benches
+    and tools/scenario_run alike). Counters must be non-negative integers,
+    gauges numeric, and histogram bucket counts must be consistent: one
+    overflow bucket beyond the bounds, and the scalar count equal to the
+    bucket sum.
+    """
+    errors = []
+    if not isinstance(document, dict):
+        return ["dump root must be an object"]
+    if document.get("schema") != METRICS_SCHEMA:
+        errors.append(f"schema must be {METRICS_SCHEMA!r}, got {document.get('schema')!r}")
+    if not isinstance(document.get("source"), str) or not document["source"]:
+        errors.append("'source' must be a non-empty string")
+    snapshots = document.get("snapshots")
+    if not isinstance(snapshots, dict) or not snapshots:
+        errors.append("'snapshots' must be a non-empty object")
+        return errors
+
+    for name, snapshot in sorted(snapshots.items()):
+        where = f"snapshots[{name!r}]"
+        if not isinstance(snapshot, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(snapshot.get(section), dict):
+                errors.append(f"{where}: '{section}' must be an object")
+        if any(not isinstance(snapshot.get(s), dict)
+               for s in ("counters", "gauges", "histograms")):
+            continue
+        for key, value in sorted(snapshot["counters"].items()):
+            if not _is_count(value):
+                errors.append(f"{where}: counter {key!r} must be a non-negative "
+                              f"integer, got {value!r}")
+        for key, gauge in sorted(snapshot["gauges"].items()):
+            fields = ("last", "sum", "samples", "mean")
+            if (not isinstance(gauge, dict)
+                    or any(not isinstance(gauge.get(f), (int, float))
+                           or isinstance(gauge.get(f), bool) for f in fields)):
+                errors.append(f"{where}: gauge {key!r} needs numeric "
+                              f"{'/'.join(fields)}")
+        for key, hist in sorted(snapshot["histograms"].items()):
+            if (not isinstance(hist, dict)
+                    or not isinstance(hist.get("bounds"), list)
+                    or not isinstance(hist.get("counts"), list)
+                    or not _is_count(hist.get("count"))):
+                errors.append(f"{where}: histogram {key!r} needs bounds/counts arrays "
+                              "and an integer count")
+                continue
+            if len(hist["counts"]) != len(hist["bounds"]) + 1:
+                errors.append(
+                    f"{where}: histogram {key!r} has {len(hist['counts'])} bucket "
+                    f"count(s) for {len(hist['bounds'])} bound(s) "
+                    "(expected bounds + overflow)")
+            if not all(_is_count(c) for c in hist["counts"]):
+                errors.append(f"{where}: histogram {key!r} bucket counts must be "
+                              "non-negative integers")
+            elif hist["count"] != sum(hist["counts"]):
+                errors.append(
+                    f"{where}: histogram {key!r} count {hist['count']} != bucket "
+                    f"sum {sum(hist['counts'])}")
+    return errors
+
+
 def self_test() -> int:
     """Unit cases for compare(), runnable without any bench artifacts."""
 
@@ -367,7 +446,52 @@ def self_test() -> int:
             print(f"       expected {'pass' if expected_ok else 'errors'}, got: {errors}")
             failed += 1
 
-    total = len(cases) + len(scenario_cases)
+    # Metrics-dump schema validator cases.
+    def metrics_dump(**overrides):
+        snapshot = {
+            "counters": {"replay.envelopes": 120, "replay.dropped": 0},
+            "gauges": {"queue.depth": {"last": 3.0, "sum": 12.0, "samples": 4,
+                                       "mean": 3.0}},
+            "histograms": {"wait_s": {"bounds": [0.1, 0.2], "counts": [1, 2, 3],
+                                      "count": 6, "sum": 1.5, "min": 0.05,
+                                      "max": 0.4, "mean": 0.25}},
+        }
+        snapshot.update({k: v for k, v in overrides.items() if k != "_doc"})
+        doc = {"schema": METRICS_SCHEMA, "source": "bench",
+               "snapshots": {"fig10_baseline/base": snapshot}}
+        doc.update(overrides.get("_doc", {}))
+        return doc
+
+    metrics_cases = [
+        ("well-formed metrics dump validates", metrics_dump(), True),
+        ("wrong schema tag is rejected",
+         metrics_dump(_doc={"schema": "aequus-bench-v1"}), False),
+        ("empty snapshots object is rejected",
+         metrics_dump(_doc={"snapshots": {}}), False),
+        ("negative counter is rejected",
+         metrics_dump(counters={"replay.dropped": -1}), False),
+        ("non-integer counter is rejected",
+         metrics_dump(counters={"replay.envelopes": 1.5}), False),
+        ("gauge missing a field is rejected",
+         metrics_dump(gauges={"queue.depth": {"last": 3.0}}), False),
+        ("histogram without the overflow bucket is rejected",
+         metrics_dump(histograms={"wait_s": {"bounds": [0.1, 0.2], "counts": [1, 2],
+                                             "count": 3}}), False),
+        ("histogram count disagreeing with its buckets is rejected",
+         metrics_dump(histograms={"wait_s": {"bounds": [0.1], "counts": [1, 2],
+                                             "count": 9}}), False),
+        ("snapshot with empty sections validates",
+         metrics_dump(counters={}, gauges={}, histograms={}), True),
+    ]
+    for name, document, expected_ok in metrics_cases:
+        errors = validate_metrics_dump(document)
+        ok = (not errors) == expected_ok
+        print(f"  {'ok  ' if ok else 'FAIL'} {name}")
+        if not ok:
+            print(f"       expected {'pass' if expected_ok else 'errors'}, got: {errors}")
+            failed += 1
+
+    total = len(cases) + len(scenario_cases) + len(metrics_cases)
     if failed:
         print(f"SELF-TEST FAIL: {failed}/{total} case(s)")
         return 1
@@ -391,9 +515,23 @@ def main() -> int:
                         help="run the gate's own unit cases and exit")
     parser.add_argument("--validate-scenario-report", type=Path, metavar="FILE",
                         help="schema-check a tools/scenario_run JSON report and exit")
+    parser.add_argument("--validate-metrics-dump", type=Path, metavar="FILE",
+                        help="schema-check an aequus-metrics-dump-v1 document and exit")
     args = parser.parse_args()
     if args.self_test:
         return self_test()
+    if args.validate_metrics_dump:
+        document = load(args.validate_metrics_dump, "metrics dump")
+        errors = validate_metrics_dump(document)
+        if errors:
+            print(f"FAIL: {len(errors)} schema error(s) in {args.validate_metrics_dump}:")
+            for error in errors:
+                print("  -", error)
+            return 1
+        count = len(document.get("snapshots", {}))
+        print(f"PASS: {args.validate_metrics_dump} is a valid {METRICS_SCHEMA} "
+              f"document ({count} snapshot(s))")
+        return 0
     if args.validate_scenario_report:
         document = load(args.validate_scenario_report, "scenario report")
         errors = validate_scenario_report(document)

@@ -1,0 +1,304 @@
+// bus_replay: record, replay, and bisect flight-recorder envelope logs
+// (src/replay, DESIGN.md §6i). Every subcommand emits one
+// aequus-bus-replay-v1 JSON document on stdout (or --json FILE).
+//
+// Usage:
+//   bus_replay record <spec> --out LOG [--cap N] [--format binary|jsonl]
+//                     [--jobs-scale F] [--max-jobs N] [--time-scale F]
+//                     [--threads N] [--reps N]
+//       Compile and run a scenario spec (path or catalog name) with the
+//       flight recorder forced on; the envelope log lands at LOG with its
+//       replay fingerprint hash in the footer.
+//   bus_replay replay <log> [--afap] [--prefix N]
+//       Replay the log through a fresh USS/engine stack and check the
+//       recomputed fingerprint hash against the footer (record->replay
+//       bit-identity). --afap collapses the clock (throughput mode, not
+//       comparable); --prefix replays only the first N envelopes.
+//   bus_replay bisect <logA> <logB> [--expect-index N]
+//       Binary-search the first envelope index whose inclusion makes the
+//       two logs' replay fingerprints diverge; prints the offending
+//       envelope with its span chain. --expect-index asserts the found
+//       index (exit 1 on mismatch) — the ctest replay tier uses it.
+//   bus_replay stat <log>
+//       Envelope/verdict/site/user census of a log, no replay.
+//   bus_replay perturb <in> <out> --index N [--scale F]
+//       Copy a log, scaling the usage amounts of envelope N by F
+//       (default 2.0) — a divergence-injection drill for bisect. The
+//       footer hash is kept, so `replay` flags the perturbed log as
+//       non-identical by construction.
+//
+// Exit status: 0 ok / check passed, 1 a check failed (fingerprint
+// mismatch, unexpected bisect index), 2 usage or log errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "replay/bisect.hpp"
+#include "replay/log.hpp"
+#include "replay/replayer.hpp"
+#include "scenario/catalog.hpp"
+#include "scenario/runner.hpp"
+
+using namespace aequus;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bus_replay record <spec> --out LOG [--cap N] [--format binary|jsonl]\n"
+      "                  [--jobs-scale F] [--max-jobs N] [--time-scale F] [--threads N]\n"
+      "                  [--reps N] [--json FILE]\n"
+      "       bus_replay replay <log> [--afap] [--prefix N] [--json FILE]\n"
+      "       bus_replay bisect <logA> <logB> [--expect-index N] [--json FILE]\n"
+      "       bus_replay stat <log> [--json FILE]\n"
+      "       bus_replay perturb <in> <out> --index N [--scale F] [--json FILE]\n");
+  return 2;
+}
+
+/// Wrap a subcommand result in the schema envelope and emit it.
+int emit(const std::string& command, json::Object body, const std::string& json_path) {
+  json::Object document;
+  document["schema"] = "aequus-bus-replay-v1";
+  document["command"] = command;
+  for (auto& [key, value] : body) document[key] = std::move(value);
+  const json::Value out = json::Value(std::move(document));
+  if (json_path.empty() || json_path == "-") {
+    std::printf("%s\n", out.pretty().c_str());
+  } else {
+    std::ofstream file(json_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 2;
+    }
+    file << out.pretty() << "\n";
+  }
+  return 0;
+}
+
+int run_record(std::vector<std::string> positional, std::map<std::string, std::string> flags,
+               const std::string& json_path) {
+  if (positional.size() != 1 || flags["out"].empty()) return usage();
+  scenario::CompileOptions compile;
+  if (flags.count("jobs-scale")) compile.jobs_scale = std::strtod(flags["jobs-scale"].c_str(), nullptr);
+  if (flags.count("max-jobs")) compile.max_jobs = std::strtoull(flags["max-jobs"].c_str(), nullptr, 10);
+  if (flags.count("time-scale")) compile.time_scale = std::strtod(flags["time-scale"].c_str(), nullptr);
+  if (flags.count("threads")) compile.threads = static_cast<int>(std::strtol(flags["threads"].c_str(), nullptr, 10));
+  if (flags.count("reps")) compile.replications = std::strtoull(flags["reps"].c_str(), nullptr, 10);
+
+  std::string spec_path = positional[0];
+  if (!std::ifstream(spec_path).good()) {
+    const std::string named = scenario::catalog_dir() + "/" + spec_path + ".json";
+    if (std::ifstream(named).good()) spec_path = named;
+  }
+  const scenario::ScenarioSpec spec = scenario::load_spec_file(spec_path);
+  scenario::CompiledScenario compiled = scenario::compile(spec, compile);
+  compiled.record.enabled = true;
+  compiled.record.path = flags["out"];
+  if (flags.count("cap")) compiled.record.cap = std::strtoull(flags["cap"].c_str(), nullptr, 10);
+  if (flags.count("format")) compiled.record.format = flags["format"];
+  if (compiled.record.format != "binary" && compiled.record.format != "jsonl") return usage();
+
+  scenario::RunOptions run;
+  run.determinism = false;  // recording wants one run, not the dual-threaded gate
+  const scenario::ScenarioReport report = scenario::run_scenario(compiled, run);
+
+  json::Object body;
+  body["scenario"] = report.name;
+  body["path"] = report.record.path;
+  body["envelopes"] = report.record.envelopes;
+  body["recorder_dropped"] = report.record.recorder_dropped;
+  body["fingerprint_hash"] = report.record.fingerprint_hash;
+  body["gates_passed"] = report.passed;
+  const int status = emit("record", std::move(body), json_path);
+  return status != 0 ? status : (report.passed ? 0 : 1);
+}
+
+int run_replay(std::vector<std::string> positional, std::map<std::string, std::string> flags,
+               const std::string& json_path) {
+  if (positional.size() != 1) return usage();
+  const replay::EnvelopeLog log = replay::load_log(positional[0]);
+  replay::ReplayOptions options;
+  options.preserve_spacing = flags.count("afap") == 0;
+  if (flags.count("prefix")) options.prefix = std::strtoull(flags["prefix"].c_str(), nullptr, 10);
+  const replay::VerifyResult verdict = replay::BusReplayer(options).verify(log);
+
+  json::Object body;
+  body["path"] = positional[0];
+  body["envelopes"] = verdict.result.envelopes;
+  body["applied"] = verdict.result.applied;
+  body["dropped"] = verdict.result.dropped;
+  body["recorder_dropped"] = log.recorder_dropped;
+  body["fingerprint_hash"] = verdict.result.fingerprint_hash;
+  body["expected_hash"] = verdict.expected_hash;
+  body["comparable"] = verdict.comparable;
+  body["bit_identical"] = verdict.bit_identical;
+  body["wall_seconds"] = verdict.result.wall_seconds;
+  const int status = emit("replay", std::move(body), json_path);
+  if (status != 0) return status;
+  return (verdict.comparable && !verdict.bit_identical) ? 1 : 0;
+}
+
+int run_bisect(std::vector<std::string> positional, std::map<std::string, std::string> flags,
+               const std::string& json_path) {
+  if (positional.size() != 2) return usage();
+  const replay::EnvelopeLog a = replay::load_log(positional[0]);
+  const replay::EnvelopeLog b = replay::load_log(positional[1]);
+  const replay::BisectReport report = replay::DivergenceBisector().bisect(a, b);
+
+  json::Object body;
+  body["log_a"] = positional[0];
+  body["log_b"] = positional[1];
+  json::Value report_json = report.to_json();  // named: range-for over a
+  for (auto& [key, value] : report_json.as_object()) {  // temporary dangles
+    body[key] = std::move(value);
+  }
+  const int status = emit("bisect", std::move(body), json_path);
+  if (status != 0) return status;
+  if (flags.count("expect-index")) {
+    const std::size_t expected = std::strtoull(flags["expect-index"].c_str(), nullptr, 10);
+    if (!report.diverged || report.first_divergence != expected) {
+      std::fprintf(stderr, "bisect: expected divergence at %zu, got %s index %zu\n", expected,
+                   report.diverged ? "divergence at" : "no divergence;", report.first_divergence);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int run_stat(std::vector<std::string> positional, const std::string& json_path) {
+  if (positional.size() != 1) return usage();
+  const replay::EnvelopeLog log = replay::load_log(positional[0]);
+
+  std::map<std::string, std::uint64_t> verdicts;
+  std::uint64_t batches = 0;
+  std::uint64_t batch_records = 0;
+  std::uint64_t duplicated = 0;
+  double first_sent = 0.0;
+  double last_delivered = 0.0;
+  for (const replay::Envelope& envelope : log.envelopes) {
+    ++verdicts[net::to_string(envelope.verdict)];
+    if (envelope.batch) {
+      ++batches;
+      batch_records += envelope.record_count;
+    }
+    if (envelope.duplicated) ++duplicated;
+    if (first_sent == 0.0 || envelope.sent_at < first_sent) first_sent = envelope.sent_at;
+    if (envelope.delivered()) last_delivered = std::max(last_delivered, envelope.delivered_at);
+  }
+
+  json::Object body;
+  body["path"] = positional[0];
+  body["envelopes"] = log.envelopes.size();
+  body["recorder_dropped"] = log.recorder_dropped;
+  body["fingerprint_hash"] = log.fingerprint_hash;
+  body["meta"] = log.meta;
+  json::Object verdict_counts;
+  for (const auto& [name, count] : verdicts) verdict_counts[name] = count;
+  body["verdicts"] = json::Value(std::move(verdict_counts));
+  body["batches"] = batches;
+  body["batch_records"] = batch_records;
+  body["duplicated"] = duplicated;
+  body["first_sent_at"] = first_sent;
+  body["last_delivered_at"] = last_delivered;
+  json::Array sites;
+  for (const std::string& site : replay::BusReplayer::sites_of(log)) sites.push_back(json::Value(site));
+  body["sites"] = json::Value(std::move(sites));
+  json::Array users;
+  for (const std::string& user : replay::BusReplayer::users_of(log)) users.push_back(json::Value(user));
+  body["users"] = json::Value(std::move(users));
+  return emit("stat", std::move(body), json_path);
+}
+
+int run_perturb(std::vector<std::string> positional, std::map<std::string, std::string> flags,
+                const std::string& json_path) {
+  if (positional.size() != 2 || flags.count("index") == 0) return usage();
+  const std::size_t index = std::strtoull(flags["index"].c_str(), nullptr, 10);
+  const double scale = flags.count("scale") ? std::strtod(flags["scale"].c_str(), nullptr) : 2.0;
+
+  replay::EnvelopeLog log = replay::load_log(positional[0]);
+  if (index >= log.envelopes.size()) {
+    std::fprintf(stderr, "perturb: index %zu out of range (log has %zu envelopes)\n", index,
+                 log.envelopes.size());
+    return 2;
+  }
+  replay::Envelope& envelope = log.envelopes[index];
+  json::Value payload = json::parse(envelope.payload);
+  json::Object& object = payload.as_object();
+  const std::string op = payload.get_string("op", "");
+  if (op == "report") {
+    object["usage"] = payload.get_number("usage", 0.0) * scale;
+  } else if (op == "report_batch") {
+    for (json::Value& delta : object["deltas"].as_array()) {
+      json::Array& fields = delta.as_array();
+      if (fields.size() >= 3) fields[2] = fields[2].as_number() * scale;
+    }
+  } else {
+    std::fprintf(stderr, "perturb: envelope %zu is not a usage report (op '%s')\n", index,
+                 op.c_str());
+    return 2;
+  }
+  envelope.payload = payload.dump();
+  // Keep the original footer hash: a verify of the perturbed log now
+  // fails by construction (that is the drill).
+  const bool jsonl = !positional[1].ends_with(".aeqlog") && positional[1].ends_with(".jsonl");
+  replay::save_log(positional[1], log,
+                   jsonl ? replay::LogFormat::kJsonl : replay::LogFormat::kBinary);
+
+  json::Object body;
+  body["path"] = positional[1];
+  body["index"] = index;
+  body["scale"] = scale;
+  body["op"] = op;
+  return emit("perturb", std::move(body), json_path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  // Flags are --name VALUE (or bare --afap); everything else is positional.
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+  std::string json_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string name = arg.substr(2);
+      if (name == "afap") {
+        flags[name] = "1";
+      } else if (i + 1 < argc) {
+        const std::string value = argv[++i];
+        if (name == "json") {
+          json_path = value;
+        } else {
+          flags[name] = value;
+        }
+      } else {
+        return usage();
+      }
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  try {
+    if (command == "record") return run_record(std::move(positional), std::move(flags), json_path);
+    if (command == "replay") return run_replay(std::move(positional), std::move(flags), json_path);
+    if (command == "bisect") return run_bisect(std::move(positional), std::move(flags), json_path);
+    if (command == "stat") return run_stat(std::move(positional), json_path);
+    if (command == "perturb") return run_perturb(std::move(positional), std::move(flags), json_path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bus_replay %s: %s\n", command.c_str(), error.what());
+    return 2;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return usage();
+}

@@ -19,6 +19,10 @@
 //   --reps N             override every spec's replication count
 //   --no-determinism     skip the dual-threaded determinism gate
 //   --json FILE          write the report document to FILE ("-" = stdout)
+//   --record DIR         force-enable flight recording; envelope logs land
+//                        in DIR (see src/replay and tools/bus_replay)
+//   --metrics FILE       dump the merged obs registry snapshots as an
+//                        aequus-metrics-dump-v1 document ("-" = stdout)
 //
 // $AEQUUS_SCENARIO_SCALE (a fraction) multiplies jobs-scale and
 // time-scale on top of the flags, so CI can compress a full catalog run
@@ -44,6 +48,7 @@ struct CliArgs {
   std::vector<std::string> specs;
   std::string catalog;
   std::string json_path;
+  std::string metrics_path;
   scenario::CompileOptions compile;
   scenario::RunOptions run;
   bool list = false;
@@ -53,7 +58,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--catalog DIR] [--jobs-scale F] [--max-jobs N]\n"
                "          [--time-scale F] [--threads N] [--reps N] [--no-determinism]\n"
-               "          [--json FILE] [spec.json ...]\n",
+               "          [--json FILE] [--record DIR] [--metrics FILE] [spec.json ...]\n",
                argv0);
   return 2;
 }
@@ -77,6 +82,10 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.run.determinism = false;
     } else if (arg == "--json") {
       args.json_path = value();
+    } else if (arg == "--record") {
+      args.run.record_dir = value();
+    } else if (arg == "--metrics") {
+      args.metrics_path = value();
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
@@ -89,6 +98,23 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
     return false;
   }
   return true;
+}
+
+/// The aequus-metrics-dump-v1 document: merged per-variant registry
+/// snapshots keyed "<scenario>/<variant>" (validated by
+/// bench_gate.py --validate-metrics-dump).
+json::Value metrics_dump_json(const std::vector<scenario::ScenarioReport>& reports) {
+  json::Object snapshots;
+  for (const scenario::ScenarioReport& report : reports) {
+    for (const auto& [variant, snapshot] : report.sweep.obs) {
+      snapshots[report.name + "/" + variant] = snapshot.to_json();
+    }
+  }
+  json::Object out;
+  out["schema"] = "aequus-metrics-dump-v1";
+  out["source"] = "scenario_run";
+  out["snapshots"] = json::Value(std::move(snapshots));
+  return json::Value(std::move(out));
 }
 
 /// A positional spec is a file path, or a bare catalog name resolved to
@@ -149,11 +175,19 @@ int main(int argc, char** argv) {
         std::printf("   [%s] %-14s %s\n", gate.passed ? "PASS" : "FAIL", gate.gate.c_str(),
                     gate.detail.c_str());
       }
+      if (report.record.enabled) {
+        std::printf("   recorded %llu envelope(s) -> %s (fingerprint %s)\n",
+                    static_cast<unsigned long long>(report.record.envelopes),
+                    report.record.path.c_str(), report.record.fingerprint_hash.c_str());
+      }
       std::printf("   %s in %.2f s wall (%d threads)\n", report.passed ? "ok" : "FAILED",
                   report.wall_seconds, report.threads);
       wall += report.wall_seconds;
       reports.push_back(std::move(report));
     } catch (const scenario::SpecError& error) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), error.what());
+      return 2;
+    } catch (const std::exception& error) {  // e.g. an unwritable record log
       std::fprintf(stderr, "%s: %s\n", path.c_str(), error.what());
       return 2;
     }
@@ -171,6 +205,21 @@ int main(int argc, char** argv) {
       }
       out << document.pretty() << "\n";
       std::printf("report written to %s\n", args.json_path.c_str());
+    }
+  }
+
+  if (!args.metrics_path.empty()) {
+    const json::Value dump = metrics_dump_json(reports);
+    if (args.metrics_path == "-") {
+      std::printf("%s\n", dump.pretty().c_str());
+    } else {
+      std::ofstream out(args.metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", args.metrics_path.c_str());
+        return 2;
+      }
+      out << dump.pretty() << "\n";
+      std::printf("metrics dump written to %s\n", args.metrics_path.c_str());
     }
   }
 
