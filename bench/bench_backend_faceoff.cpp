@@ -1,0 +1,88 @@
+// Backend face-off (DESIGN.md §6j): the non-optimal-policy workload
+// (70/20/8/2 targets the demand cannot satisfy) run under each registered
+// fairness backend — aequus fairshare, balanced fairness (Bonald &
+// Comte), and credit-based (Zahedi & Freeman) — with identical traces,
+// seeds, and timings, so every difference in the table is the policy
+// math. Prints a head-to-head table on the faceoff columns (fairness
+// distance to the policy targets, starvation count, throughput) and
+// emits one BENCH_backend_<name>.json per backend; those reports are the
+// per-backend baselines tools/bench_gate.py gates in CI.
+//
+//   bench_backend_faceoff [jobs] [--backend NAME] [--reps N] [--threads N]
+//                         [--seed S] [--json-dir DIR] [--no-serial-reference]
+//
+// --backend NAME restricts the run to one backend (one JSON emitted) so
+// each ctest gate entry pays for a single sweep.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/backend.hpp"
+
+using namespace aequus;
+
+int main(int argc, char** argv) {
+  bench::print_banner("Backend face-off: aequus vs balanced vs credit",
+                      "DESIGN.md 6j; workload per Espling et al., IPPS'14, IV-A test 3");
+
+  // Peel --backend off before the shared parser (it warns on unknowns).
+  std::string only;
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      only = argv[++i];
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  const bench::BenchArgs args = bench::parse_bench_args(
+      static_cast<int>(filtered.size()), filtered.data(), bench::kTestbedJobs, 2);
+  if (!only.empty() && !core::fairness_backend_known(only)) {
+    std::fprintf(stderr, "--backend: unknown fairness backend '%s'\n", only.c_str());
+    return 2;
+  }
+  const std::vector<std::string> backends =
+      only.empty() ? std::vector<std::string>{"aequus", "balanced", "credit"}
+                   : std::vector<std::string>{only};
+
+  const workload::Scenario scenario = workload::nonoptimal_policy_scenario(2012, args.jobs);
+  std::printf("scenario: %d clusters x %d hosts, %zu jobs, policy U65/U30/U3/Uoth = "
+              "%.0f/%.0f/%.0f/%.0f%%\n\n",
+              scenario.cluster_count, scenario.hosts_per_cluster, scenario.trace.size(),
+              100.0 * scenario.policy_shares.at("U65"), 100.0 * scenario.policy_shares.at("U30"),
+              100.0 * scenario.policy_shares.at("U3"), 100.0 * scenario.policy_shares.at("Uoth"));
+
+  // One single-variant sweep per backend: every sweep reuses the same
+  // root seed, so task seeds (and thus traces and fault draws) line up
+  // across backends and each report lands in its own baseline file.
+  std::map<std::string, std::map<std::string, testbed::MetricSummary>> rows;
+  for (const std::string& name : backends) {
+    std::printf("-- backend %s --\n", name.c_str());
+    testbed::ExperimentConfig config;
+    config.fairshare.backend.name = name;
+    const testbed::SweepSpec spec = bench::make_sweep({{name, scenario, config}}, args);
+    const bench::SweepRun sweep = bench::run_sweep_with_reference(spec, args);
+    bench::print_aggregates(sweep.result);
+    rows[name] = sweep.result.aggregates.at(name);
+    bench::write_bench_json("backend_" + name, args, spec, sweep.result, sweep.extra);
+  }
+
+  if (rows.size() > 1) {
+    std::printf("\nhead-to-head (means across %zu replication(s); lower distance and\n"
+                "starvation are fairer, higher throughput is better):\n",
+                args.replications);
+    std::printf("  %-10s %18s %14s %18s %16s\n", "backend", "fairness_distance", "starved_jobs",
+                "throughput(jobs/h)", "max_share_error");
+    for (const std::string& name : backends) {
+      const auto& metrics = rows.at(name);
+      std::printf("  %-10s %18.5f %14.1f %18.1f %16.5f\n", name.c_str(),
+                  metrics.at("fairness_distance").mean, metrics.at("starved_jobs").mean,
+                  metrics.at("throughput_jobs_per_h").mean, metrics.at("max_share_error").mean);
+    }
+  }
+  return 0;
+}

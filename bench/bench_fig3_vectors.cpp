@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "core/engine.hpp"
 #include "core/projection.hpp"
 #include "util/table.hpp"
 
@@ -41,7 +42,8 @@ int main() {
   usage.add("/LQ", 200.0);
 
   const core::FairshareAlgorithm algorithm;  // k = 0.5, resolution 10000
-  const core::FairshareTree tree = algorithm.compute(policy, usage);
+  const core::FairshareTree tree =
+      core::FairshareEngine::compute_once(algorithm.config(), policy, usage);
 
   std::printf("annotated fairshare tree (policy/usage shares sibling-normalized):\n\n");
   print_node(tree.root(), "", 0);

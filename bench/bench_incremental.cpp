@@ -317,7 +317,9 @@ int main(int argc, char** argv) {
     const auto start = std::chrono::steady_clock::now();
     for (const Delta& delta : stream) {
       usage.add(delta.path, delta.amount);
-      sink += algorithm.compute(policy, usage).root().distance;
+      sink += core::FairshareEngine::compute_once(algorithm.config(), policy, usage)
+                  .root()
+                  .distance;
     }
     full_seconds = std::min(full_seconds, seconds_since(start));
   }
@@ -338,15 +340,18 @@ int main(int argc, char** argv) {
     incremental_seconds = std::min(incremental_seconds, seconds_since(start));
   }
 
-  // 3) Batch-wrapper overhead: compute() (throwaway engine) against the
-  //    frozen original recursion, both doing the identical one-shot job.
+  // 3) Batch-wrapper overhead: compute_once() (throwaway engine) against
+  //    the frozen original recursion, both doing the identical one-shot job.
   const std::size_t batch_iterations = std::max<std::size_t>(deltas / 4, 16);
   double wrapper_seconds = std::numeric_limits<double>::infinity();
   double reference_seconds = std::numeric_limits<double>::infinity();
   for (std::size_t round = 0; round < rounds; ++round) {
     auto start = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < batch_iterations; ++i) {
-      sink += algorithm.compute(policy, initial_usage).root().distance;
+      sink += core::FairshareEngine::compute_once(algorithm.config(), policy,
+                                                  initial_usage)
+                  .root()
+                  .distance;
     }
     wrapper_seconds = std::min(wrapper_seconds, seconds_since(start));
 

@@ -45,7 +45,8 @@ void BM_FairshareTreeCompute(benchmark::State& state) {
   const core::UsageTree usage = usage_for(users, rng);
   const core::FairshareAlgorithm algorithm;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(algorithm.compute(policy, usage));
+    benchmark::DoNotOptimize(core::FairshareEngine::compute_once(
+        algorithm.config(), policy, usage));
   }
   state.SetItemsProcessed(state.iterations() * users);
 }
@@ -76,7 +77,7 @@ void BM_Projection(benchmark::State& state) {
   util::Rng rng(1);
   const core::PolicyTree policy = flat_policy(512);
   const core::UsageTree usage = usage_for(512, rng);
-  const core::FairshareTree tree = core::FairshareAlgorithm().compute(policy, usage);
+  const core::FairshareTree tree = core::FairshareEngine::compute_once({}, policy, usage);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::project(tree, {kind, 8}));
   }

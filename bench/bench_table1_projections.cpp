@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "core/engine.hpp"
 #include "core/projection.hpp"
 #include "util/table.hpp"
 
@@ -35,7 +36,7 @@ FairshareTree compute(const std::map<std::string, double>& shares,
   for (const auto& [path, share] : shares) policy.set_share(path, share);
   UsageTree usage;
   for (const auto& [path, amount] : usage_amounts) usage.add(path, amount);
-  return FairshareAlgorithm().compute(policy, usage);
+  return FairshareEngine::compute_once({}, policy, usage);
 }
 
 struct Probe {

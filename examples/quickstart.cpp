@@ -9,6 +9,7 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
+#include "core/engine.hpp"
 #include "core/projection.hpp"
 
 int main() {
@@ -34,8 +35,8 @@ int main() {
 
   // 3. Fairshare: k weighs the relative vs absolute distance metrics
   //    (paper default 0.5); resolution sets the vector encoding range.
-  const FairshareAlgorithm algorithm(FairshareConfig{0.5, kDefaultResolution});
-  const FairshareTree tree = algorithm.compute(policy, usage);
+  const FairshareConfig fairshare{0.5, kDefaultResolution};
+  const FairshareTree tree = FairshareEngine::compute_once(fairshare, policy, usage);
 
   // 4. Vectors: one element per hierarchy level, balance point = 5000.
   std::printf("fairshare vectors (0-9999, balance 5000):\n");

@@ -1,0 +1,136 @@
+#include "core/backend.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "core/backends.hpp"
+#include "core/engine.hpp"
+
+namespace aequus::core {
+
+void FairnessBackend::apply_usage_batch(const std::vector<UsageSample>& samples) {
+  for (const auto& sample : samples) {
+    apply_usage(sample.user_path, sample.amount, sample.bin_time);
+  }
+}
+
+void FairnessBackend::advance_time(double) {}
+
+std::map<std::string, double> FairnessBackend::project_factors(
+    const FairshareSnapshot& snapshot, const ProjectionConfig& config) const {
+  return project(snapshot, config);
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, FairnessBackendFactory> factories;
+};
+
+Registry& registry() {
+  static Registry* instance = [] {
+    auto* r = new Registry;
+    r->factories["aequus"] = [](const FairnessBackendConfig&, FairshareConfig fairshare,
+                                DecayConfig decay) -> std::unique_ptr<FairnessBackend> {
+      return std::make_unique<FairshareEngine>(fairshare, decay);
+    };
+    r->factories["balanced"] = [](const FairnessBackendConfig&, FairshareConfig fairshare,
+                                  DecayConfig decay) -> std::unique_ptr<FairnessBackend> {
+      return std::make_unique<BalancedBackend>(fairshare, decay);
+    };
+    r->factories["credit"] = [](const FairnessBackendConfig& config, FairshareConfig fairshare,
+                                DecayConfig decay) -> std::unique_ptr<FairnessBackend> {
+      return std::make_unique<CreditBackend>(
+          CreditConfig{config.credit_refresh_s, config.credit_cap}, fairshare, decay);
+    };
+    return r;  // leaked intentionally: factories may be used at exit
+  }();
+  return *instance;
+}
+
+}  // namespace
+
+void register_fairness_backend(const std::string& name, FairnessBackendFactory factory) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> guard(r.mutex);
+  r.factories[name] = std::move(factory);
+}
+
+std::vector<std::string> fairness_backend_names() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> guard(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, factory] : r.factories) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+bool fairness_backend_known(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> guard(r.mutex);
+  return r.factories.find(name) != r.factories.end();
+}
+
+std::unique_ptr<FairnessBackend> make_fairness_backend(const FairnessBackendConfig& config,
+                                                       FairshareConfig fairshare,
+                                                       DecayConfig decay) {
+  FairnessBackendFactory factory;
+  {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> guard(r.mutex);
+    const auto it = r.factories.find(config.name);
+    if (it == r.factories.end()) {
+      std::string known;
+      for (const auto& [name, fn] : r.factories) {
+        if (!known.empty()) known += " | ";
+        known += name;
+      }
+      throw std::invalid_argument("unknown fairness backend '" + config.name +
+                                  "' (expected " + known + ")");
+    }
+    factory = it->second;
+  }
+  return factory(config, fairshare, decay);
+}
+
+json::Value to_json(const FairnessBackendConfig& config) {
+  json::Object obj;
+  obj["backend"] = config.name;
+  obj["credit_refresh_s"] = config.credit_refresh_s;
+  obj["credit_cap"] = config.credit_cap;
+  return json::Value(std::move(obj));
+}
+
+}  // namespace aequus::core
+
+aequus::core::FairnessBackendConfig
+aequus::json::Decoder<aequus::core::FairnessBackendConfig>::decode(const Value& value) {
+  aequus::core::FairnessBackendConfig config;
+  if (value.is_string()) {
+    config.name = value.as_string();
+  } else {
+    config.name = value.get_string("backend", config.name);
+    config.credit_refresh_s = value.get_number("credit_refresh_s", config.credit_refresh_s);
+    config.credit_cap = value.get_number("credit_cap", config.credit_cap);
+  }
+  if (!aequus::core::fairness_backend_known(config.name)) {
+    std::string known;
+    for (const auto& name : aequus::core::fairness_backend_names()) {
+      if (!known.empty()) known += " | ";
+      known += name;
+    }
+    throw std::invalid_argument("unknown fairness backend '" + config.name + "' (expected " +
+                                known + ")");
+  }
+  if (!(config.credit_refresh_s > 0.0)) {
+    throw std::invalid_argument("fairness backend: credit_refresh_s must be > 0");
+  }
+  if (!(config.credit_cap > 0.0)) {
+    throw std::invalid_argument("fairness backend: credit_cap must be > 0");
+  }
+  return config;
+}

@@ -1,0 +1,144 @@
+// The pluggable fairness-backend seam (DESIGN.md §6j).
+//
+// A FairnessBackend owns the priority computation behind the FCS: it
+// consumes policy trees and (decayed) usage, and publishes immutable,
+// generation-stamped FairshareSnapshots that schedulers read through
+// rms::PriorityContext. The arena FairshareEngine is the default
+// `aequus` backend and keeps its bit-identity contract; alternative
+// policies from the related work — balanced fairness (Bonald & Comte)
+// and credit-based online fairness (Zahedi & Freeman) — implement the
+// same interface on the same arena/SoA storage (see backends.hpp), so
+// the whole scenario catalog, invariant gates, and bench baselines can
+// compare fairness policies under identical workloads.
+//
+// Backends are registered in a string-keyed factory; selection threads
+// through services::FcsConfig, the testbed ExperimentConfig, and the
+// scenario `fairness:` key.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/decay.hpp"
+#include "core/fairshare.hpp"
+#include "core/policy.hpp"
+#include "core/projection.hpp"
+#include "core/snapshot.hpp"
+#include "core/usage.hpp"
+
+namespace aequus::core {
+
+/// One usage report: `amount` (>= 0) core-seconds for the user leaf at
+/// `user_path`, recorded in the time bin at `bin_time`.
+struct UsageSample {
+  std::string user_path;
+  double amount = 0.0;
+  double bin_time = 0.0;
+};
+
+/// Snapshot-producing fairness computation. Single writer / many
+/// readers, exactly like FairshareEngine: all mutators and publish()
+/// belong to one thread; current() is safe from any thread.
+class FairnessBackend {
+ public:
+  virtual ~FairnessBackend() = default;
+
+  /// Registry key of this backend ("aequus", "balanced", "credit").
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Swap the policy tree (structurally diffed where the backend can).
+  virtual void set_policy(const PolicyTree& policy) = 0;
+
+  /// Replace the usage state wholesale with externally decayed per-leaf
+  /// values (the poll-mode FCS path: the UMS already applied decay).
+  virtual void set_usage(const UsageTree& decayed) = 0;
+
+  /// Add one usage delta; the backend applies its own decay at the
+  /// current decay epoch (the push-mode ingest path).
+  virtual void apply_usage(const std::string& user_path, double amount,
+                           double bin_time) = 0;
+
+  /// Apply a batch of deltas as one logical transaction. The default
+  /// loops apply_usage in order.
+  virtual void apply_usage_batch(const std::vector<UsageSample>& samples);
+
+  /// Re-evaluate decayed usage at epoch `now` (push-mode path).
+  virtual void set_decay_epoch(double now) = 0;
+  virtual void set_decay(DecayConfig decay) = 0;
+
+  /// Swap the distance algorithm parameters (k, resolution).
+  virtual void set_config(FairshareConfig config) = 0;
+
+  /// Advance backend-local time to `now`. Time-dependent policies
+  /// (credit accrual) integrate their state here; stateless backends
+  /// ignore it. Default: no-op.
+  virtual void advance_time(double now);
+
+  /// Recompute what the mutations since the last publish can have
+  /// changed and return the latest snapshot, bumping the generation
+  /// only when a published value changed. Writer-side only.
+  [[nodiscard]] virtual FairshareSnapshotPtr publish() = 0;
+
+  /// Latest published snapshot (null before the first publish); safe
+  /// from any thread concurrently with the single writer.
+  [[nodiscard]] virtual FairshareSnapshotPtr current() const = 0;
+
+  /// Generation of the latest published snapshot (0 before the first).
+  [[nodiscard]] virtual std::uint64_t generation() const noexcept = 0;
+
+  /// Project a published snapshot to per-user priority factors
+  /// (policy leaf path -> factor in [0, 1]). The default applies
+  /// core::project(); backends whose signal lives outside the
+  /// policy/usage share products (credit banks ride in the distance
+  /// channel) override the percental case.
+  [[nodiscard]] virtual std::map<std::string, double> project_factors(
+      const FairshareSnapshot& snapshot, const ProjectionConfig& config) const;
+};
+
+/// Backend selection + per-policy tuning, as carried by FcsConfig and
+/// the experiment/scenario `fairness:` key.
+struct FairnessBackendConfig {
+  std::string name = "aequus";
+  /// credit: seconds of sustained full-share imbalance to accrue one
+  /// unit of (clamped) credit distance.
+  double credit_refresh_s = 3600.0;
+  /// credit: bank clamp, in units of fairshare distance ([-cap, cap]).
+  double credit_cap = 1.0;
+};
+
+/// Wire format: {"backend": "credit", "credit_refresh_s": 3600,
+/// "credit_cap": 1}.
+[[nodiscard]] json::Value to_json(const FairnessBackendConfig& config);
+
+using FairnessBackendFactory = std::function<std::unique_ptr<FairnessBackend>(
+    const FairnessBackendConfig& config, FairshareConfig fairshare, DecayConfig decay)>;
+
+/// Register (or replace) a backend under `name`.
+void register_fairness_backend(const std::string& name, FairnessBackendFactory factory);
+
+/// Registered backend names, sorted. Always contains the built-ins
+/// ("aequus", "balanced", "credit").
+[[nodiscard]] std::vector<std::string> fairness_backend_names();
+
+[[nodiscard]] bool fairness_backend_known(const std::string& name);
+
+/// Instantiate the backend `config.name` refers to; throws
+/// std::invalid_argument naming the unknown backend otherwise.
+[[nodiscard]] std::unique_ptr<FairnessBackend> make_fairness_backend(
+    const FairnessBackendConfig& config, FairshareConfig fairshare = {},
+    DecayConfig decay = {});
+
+}  // namespace aequus::core
+
+/// json::decode<core::FairnessBackendConfig> support. Accepts either a
+/// bare backend-name string or the object wire format; unknown backend
+/// names are rejected here so every decode path gets the same error.
+template <>
+struct aequus::json::Decoder<aequus::core::FairnessBackendConfig> {
+  [[nodiscard]] static aequus::core::FairnessBackendConfig decode(const Value& value);
+};

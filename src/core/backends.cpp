@@ -1,0 +1,139 @@
+#include "core/backends.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aequus::core {
+
+void BalancedBackend::annotate_group(NodeId node, double share_total, double usage_total) {
+  const NodeId* kids = nodes_.children_begin(node);
+  const std::uint32_t count = nodes_.child_count(node);
+  // Balanced fairness splits the group's capacity among the members that
+  // are actually consuming; the weight mass of idle members is
+  // redistributed instead of reserved.
+  double active_share_total = 0.0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NodeId child = kids[i];
+    if (nodes_.subtree_usage[child] > 0.0) {
+      active_share_total += std::max(nodes_.raw_share[child], 0.0);
+    }
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NodeId child = kids[i];
+    const double raw = std::max(nodes_.raw_share[child], 0.0);
+    double entitlement = 0.0;
+    if (usage_total > 0.0) {
+      const bool active = nodes_.subtree_usage[child] > 0.0;
+      entitlement = active && active_share_total > 0.0 ? raw / active_share_total : 0.0;
+    } else {
+      // Fully idle group: nominal weights, coinciding with aequus.
+      entitlement = share_total > 0.0 ? raw / share_total : 0.0;
+    }
+    const double usage_share =
+        usage_total > 0.0 ? nodes_.subtree_usage[child] / usage_total : 0.0;
+    const double distance = algorithm_.node_distance(entitlement, usage_share);
+    if (entitlement != nodes_.policy_share[child] ||
+        usage_share != nodes_.usage_share[child] || distance != nodes_.distance[child]) {
+      nodes_.policy_share[child] = entitlement;
+      nodes_.usage_share[child] = usage_share;
+      nodes_.distance[child] = distance;
+      nodes_.flags[child] |= NodeArena::kValueChanged;
+    }
+  }
+}
+
+CreditBackend::CreditBackend(CreditConfig credit, FairshareConfig config, DecayConfig decay)
+    : FairshareEngine(config, decay), credit_(credit) {
+  if (!(credit_.refresh_s > 0.0) || !std::isfinite(credit_.refresh_s)) {
+    throw std::invalid_argument("CreditBackend: refresh_s must be finite and > 0");
+  }
+  if (!(credit_.cap > 0.0) || !std::isfinite(credit_.cap)) {
+    throw std::invalid_argument("CreditBackend: cap must be finite and > 0");
+  }
+}
+
+void CreditBackend::advance_time(double now) {
+  if (std::isfinite(now) && now > now_) now_ = now;
+}
+
+FairshareSnapshotPtr CreditBackend::publish() {
+  // Structural policy changes recycle node ids, so stale banks could
+  // attach to unrelated nodes; reset the whole ledger instead.
+  if (bank_structure_epoch_ != structure_epoch_) {
+    bank_.assign(nodes_.size(), 0.0);
+    bank_structure_epoch_ = structure_epoch_;
+  }
+  if (bank_.size() < nodes_.size()) bank_.resize(nodes_.size(), 0.0);
+  pending_dt_ = have_time_ ? std::max(0.0, now_ - accrual_epoch_) : 0.0;
+  // Every bank drifts with elapsed time, not only the dirty paths, so a
+  // publish must re-annotate every sibling group.
+  if (pending_dt_ > 0.0) nodes_.mark_all_groups_dirty();
+  FairshareSnapshotPtr snap = snapshot();
+  accrual_epoch_ = now_;
+  have_time_ = true;
+  pending_dt_ = 0.0;
+  return snap;
+}
+
+void CreditBackend::annotate_group(NodeId node, double share_total, double usage_total) {
+  if (bank_.size() < nodes_.size()) bank_.resize(nodes_.size(), 0.0);
+  const NodeId* kids = nodes_.children_begin(node);
+  const std::uint32_t count = nodes_.child_count(node);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NodeId child = kids[i];
+    const double policy_share =
+        share_total > 0.0 ? std::max(nodes_.raw_share[child], 0.0) / share_total : 0.0;
+    const double usage_share =
+        usage_total > 0.0 ? nodes_.subtree_usage[child] / usage_total : 0.0;
+    if (pending_dt_ > 0.0) {
+      const double accrued =
+          bank_[child] + (policy_share - usage_share) * pending_dt_ / credit_.refresh_s;
+      bank_[child] = std::clamp(accrued, -credit_.cap, credit_.cap);
+    }
+    const double distance = bank_[child] / credit_.cap;
+    if (policy_share != nodes_.policy_share[child] ||
+        usage_share != nodes_.usage_share[child] || distance != nodes_.distance[child]) {
+      nodes_.policy_share[child] = policy_share;
+      nodes_.usage_share[child] = usage_share;
+      nodes_.distance[child] = distance;
+      nodes_.flags[child] |= NodeArena::kValueChanged;
+    }
+  }
+}
+
+namespace {
+void collect_credit_factors(const FairshareSnapshot::Node& node, std::string& path,
+                            double distance_sum, int depth,
+                            std::map<std::string, double>& out) {
+  if (node.leaf()) {
+    const double mean = depth > 0 ? distance_sum / depth : 0.0;
+    out[path] = std::clamp(kNeutralFactor + kNeutralFactor * mean, 0.0, 1.0);
+    return;
+  }
+  for (const auto& child : node.children) {
+    const std::size_t mark = path.size();
+    path += '/';
+    path += child->name;
+    collect_credit_factors(*child, path, distance_sum + child->distance, depth + 1, out);
+    path.resize(mark);
+  }
+}
+}  // namespace
+
+std::map<std::string, double> CreditBackend::project_factors(
+    const FairshareSnapshot& snapshot, const ProjectionConfig& config) const {
+  if (config.kind != ProjectionKind::kPercental) {
+    return FairnessBackend::project_factors(snapshot, config);
+  }
+  // The percental projection multiplies share products and never reads
+  // the distance channel the banks live in; project the mean per-level
+  // bank around the neutral point instead.
+  std::map<std::string, double> out;
+  if (!snapshot.has_tree() || snapshot.root().leaf()) return out;
+  std::string path;
+  collect_credit_factors(snapshot.root(), path, 0.0, 0, out);
+  return out;
+}
+
+}  // namespace aequus::core

@@ -1,0 +1,99 @@
+// Alternative fairness policies behind the FairnessBackend seam
+// (DESIGN.md §6j). Both subclass the arena FairshareEngine: they reuse
+// its SoA storage, dirty-path tracking, decay memoization, and
+// copy-on-publish snapshots, and replace only the per-sibling-group
+// annotation (annotate_group) plus, for credit, the time integration
+// and the percental projection.
+//
+//   balanced — balanced-fairness share allocation (Bonald & Comte): a
+//       sibling group's capacity is split among its *active* members
+//       (subtree usage > 0) in proportion to their configured weights;
+//       idle members are entitled to nothing while idle. The published
+//       policy_share is that entitlement, and the distance reuses the
+//       Aequus node_distance over (entitlement, usage_share), so the
+//       existing projections and priority plumbing apply unchanged. A
+//       fully idle group falls back to the nominal weights, which makes
+//       the backend coincide with aequus exactly when every sibling is
+//       active (or none is).
+//
+//   credit — credit-based online fairness (Zahedi & Freeman): every
+//       node carries a bank that accrues credit at rate
+//       (policy_share - usage_share) / refresh_s as simulation time
+//       advances (advance_time), clamped to [-cap, cap]. Underserved
+//       subtrees bank credit they later spend by consuming above their
+//       share; persistent over-consumers sit pinned at -cap. The bank
+//       (normalized by the cap) is published through the distance
+//       channel, so dictionary/bitwise projections consume it directly;
+//       the percental projection — which only looks at share products —
+//       is overridden to read the mean per-level bank instead. Banks
+//       reset on structural policy changes. Publishing re-annotates the
+//       whole tree (O(n) per publish, accepted for an evaluation
+//       backend).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace aequus::core {
+
+/// Balanced-fairness backend: weights split among active siblings only.
+class BalancedBackend : public FairshareEngine {
+ public:
+  explicit BalancedBackend(FairshareConfig config = {}, DecayConfig decay = {})
+      : FairshareEngine(config, decay) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "balanced"; }
+
+ protected:
+  void annotate_group(NodeId node, double share_total, double usage_total) override;
+};
+
+struct CreditConfig {
+  /// Seconds of sustained full-share imbalance to accrue one unit of
+  /// (clamped) credit distance.
+  double refresh_s = 3600.0;
+  /// Bank clamp: banks live in [-cap, cap], published as bank / cap.
+  double cap = 1.0;
+};
+
+/// Credit-based online fairness backend: banked (share - usage) credit
+/// published through the distance channel.
+class CreditBackend : public FairshareEngine {
+ public:
+  explicit CreditBackend(CreditConfig credit = {}, FairshareConfig config = {},
+                         DecayConfig decay = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "credit"; }
+
+  /// Record backend-local time; credit accrues over the elapsed span on
+  /// the next publish(). Time never runs backwards (clamped).
+  void advance_time(double now) override;
+
+  /// Accrue banks over the time elapsed since the last publish, then
+  /// re-annotate and publish. Forces a whole-tree re-annotation because
+  /// every bank drifts with time, not only the dirty paths.
+  [[nodiscard]] FairshareSnapshotPtr publish() override;
+
+  /// Percental reads the mean per-level bank; other kinds consume the
+  /// distance channel already and use the default projection.
+  [[nodiscard]] std::map<std::string, double> project_factors(
+      const FairshareSnapshot& snapshot, const ProjectionConfig& config) const override;
+
+  [[nodiscard]] const CreditConfig& credit_config() const noexcept { return credit_; }
+
+ protected:
+  void annotate_group(NodeId node, double share_total, double usage_total) override;
+
+ private:
+  CreditConfig credit_;
+  std::vector<double> bank_;          ///< per-NodeId credit bank
+  double now_ = 0.0;                  ///< latest advance_time()
+  double accrual_epoch_ = 0.0;        ///< time banks were last integrated to
+  double pending_dt_ = 0.0;           ///< span being integrated by this publish
+  bool have_time_ = false;            ///< first publish pins the epoch, no accrual
+  std::uint64_t bank_structure_epoch_ = 0;  ///< banks reset when structure moves
+};
+
+}  // namespace aequus::core

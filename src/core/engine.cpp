@@ -243,27 +243,33 @@ void FairshareEngine::refresh(NodeId node) {
       }
       usage_total += nodes_.subtree_usage[child];
     }
-    for (std::uint32_t i = 0; i < count; ++i) {
-      const NodeId child = kids[i];
-      const double policy_share =
-          share_total > 0.0 ? std::max(nodes_.raw_share[child], 0.0) / share_total : 0.0;
-      const double usage_share =
-          usage_total > 0.0 ? nodes_.subtree_usage[child] / usage_total : 0.0;
-      const double distance = algorithm_.node_distance(policy_share, usage_share);
-      if (policy_share != nodes_.policy_share[child] ||
-          usage_share != nodes_.usage_share[child] || distance != nodes_.distance[child]) {
-        nodes_.policy_share[child] = policy_share;
-        nodes_.usage_share[child] = usage_share;
-        nodes_.distance[child] = distance;
-        nodes_.flags[child] |= NodeArena::kValueChanged;
-      }
-    }
+    annotate_group(node, share_total, usage_total);
     nodes_.flags[node] &= static_cast<std::uint8_t>(~NodeArena::kChildrenDirty);
   }
   for (std::uint32_t i = 0; i < count; ++i) {
     const NodeId child = kids[i];
     if ((nodes_.flags[child] & (NodeArena::kNeedsVisit | NodeArena::kChildrenDirty)) != 0) {
       refresh(child);
+    }
+  }
+}
+
+void FairshareEngine::annotate_group(NodeId node, double share_total, double usage_total) {
+  const NodeId* kids = nodes_.children_begin(node);
+  const std::uint32_t count = nodes_.child_count(node);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NodeId child = kids[i];
+    const double policy_share =
+        share_total > 0.0 ? std::max(nodes_.raw_share[child], 0.0) / share_total : 0.0;
+    const double usage_share =
+        usage_total > 0.0 ? nodes_.subtree_usage[child] / usage_total : 0.0;
+    const double distance = algorithm_.node_distance(policy_share, usage_share);
+    if (policy_share != nodes_.policy_share[child] ||
+        usage_share != nodes_.usage_share[child] || distance != nodes_.distance[child]) {
+      nodes_.policy_share[child] = policy_share;
+      nodes_.usage_share[child] = usage_share;
+      nodes_.distance[child] = distance;
+      nodes_.flags[child] |= NodeArena::kValueChanged;
     }
   }
 }

@@ -1,8 +1,8 @@
 // Incremental fairshare engine: dirty-path recompute over SoA arenas,
 // behind immutable snapshots.
 //
-// The batch FairshareAlgorithm::compute() rebuilds the whole annotated
-// tree from scratch on every usage delta — the dominant cost of the FCS
+// A batch recompute rebuilds the whole annotated tree from scratch on
+// every usage delta — the dominant cost of the FCS
 // pre-calculation loop once sweeps run in parallel. The engine keeps the
 // annotated tree *stateful* and recomputes only what a mutation can have
 // changed:
@@ -39,11 +39,15 @@
 // practice.) The engine is single-writer / many-reader.
 //
 // Bit-identity contract: for any sequence of mutations, the published
-// tree is bit-identical to FairshareAlgorithm::compute() over the
+// tree is bit-identical to a batch computation (compute_once) over the
 // equivalent policy and (decayed) usage trees — the engine reproduces the
 // batch path's exact floating-point summation orders (the leaf order
-// index in LeafStore preserves the old full-map scan order). compute()
-// itself is now a thin one-shot wrapper over this engine.
+// index in LeafStore preserves the old full-map scan order).
+//
+// The engine is also the default "aequus" core::FairnessBackend; the
+// alternative fairness policies in backends.hpp subclass it, reusing the
+// arenas and dirty tracking and overriding only annotate_group() (plus
+// projection/time hooks where their math needs it).
 #pragma once
 
 #include <cstdint>
@@ -53,6 +57,7 @@
 #include <vector>
 
 #include "core/arena.hpp"
+#include "core/backend.hpp"
 #include "core/decay.hpp"
 #include "core/fairshare.hpp"
 #include "core/id_table.hpp"
@@ -62,39 +67,43 @@
 
 namespace aequus::core {
 
-class FairshareEngine {
+class FairshareEngine : public FairnessBackend {
  public:
   explicit FairshareEngine(FairshareConfig config = {}, DecayConfig decay = {});
 
+  /// Registry key; derived backends reuse the engine's storage and
+  /// override this along with annotate_group().
+  [[nodiscard]] std::string_view name() const noexcept override { return "aequus"; }
+
   /// Swap the policy tree; structurally diffed against the working state
   /// so unchanged sibling groups keep their annotations.
-  void set_policy(const PolicyTree& policy);
+  void set_policy(const PolicyTree& policy) override;
 
   /// Add `amount` (> 0) core-seconds for the user leaf at `user_path`,
   /// recorded in the time bin at `bin_time`. The leaf's effective value
   /// is the decay-weighted sum of its bins at the current epoch.
   /// Rejects negative or non-finite amounts; zero is a no-op.
-  void apply_usage(const std::string& user_path, double amount, double bin_time);
+  void apply_usage(const std::string& user_path, double amount, double bin_time) override;
 
   /// Replace the usage state wholesale with externally decayed per-leaf
   /// values (the FCS path: the UMS has already applied decay). Leaves are
   /// diffed bitwise, so a refresh that changes nothing dirties nothing.
   /// Drops any binned state previously built via apply_usage().
-  void set_usage(const UsageTree& decayed);
+  void set_usage(const UsageTree& decayed) override;
 
   /// Re-evaluate every binned leaf at decay epoch `now`. Leaves whose
   /// decayed value is bit-identical stay clean.
-  void set_decay_epoch(double now);
+  void set_decay_epoch(double now) override;
   [[nodiscard]] double decay_epoch() const noexcept { return epoch_; }
 
   /// Swap the decay function; re-values all binned leaves at the current
   /// epoch.
-  void set_decay(DecayConfig decay);
+  void set_decay(DecayConfig decay) override;
 
   /// Swap the distance algorithm (k, resolution); the full tree is
   /// re-annotated on the next publish. Throws like FairshareAlgorithm on
   /// invalid configs.
-  void set_config(FairshareConfig config);
+  void set_config(FairshareConfig config) override;
   [[nodiscard]] const FairshareConfig& config() const noexcept {
     return algorithm_.config();
   }
@@ -104,24 +113,47 @@ class FairshareEngine {
   /// only (not thread-safe against other mutators).
   FairshareSnapshotPtr snapshot();
 
+  /// FairnessBackend spelling of snapshot().
+  [[nodiscard]] FairshareSnapshotPtr publish() override { return snapshot(); }
+
   /// Latest published snapshot; safe from any thread concurrently with
   /// the single writer. Null before the first snapshot() call.
-  [[nodiscard]] FairshareSnapshotPtr current() const {
+  [[nodiscard]] FairshareSnapshotPtr current() const override {
     const std::lock_guard<std::mutex> guard(publish_mutex_);
     return published_;
   }
 
   /// Generation of the latest published snapshot (0 before the first).
-  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+  [[nodiscard]] std::uint64_t generation() const noexcept override { return generation_; }
 
   /// Active usage leaves in the working state (present, value retained).
   [[nodiscard]] std::size_t leaf_count() const noexcept { return leaves_.active_count(); }
 
-  /// One-shot batch computation through a throwaway engine; the
-  /// implementation behind FairshareAlgorithm::compute().
+  /// One-shot batch computation through a throwaway engine (the
+  /// historical FairshareAlgorithm::compute() semantics).
   [[nodiscard]] static FairshareTree compute_once(const FairshareConfig& config,
                                                   const PolicyTree& policy,
                                                   const UsageTree& usage);
+
+ protected:
+  /// Re-annotate one dirty sibling group: derive every child's published
+  /// (policy_share, usage_share, distance) triple from the group-local
+  /// state — `share_total` is the group's positive raw-share sum and
+  /// `usage_total` its refreshed subtree-usage sum — and set
+  /// kValueChanged on any child whose triple moved. This is the policy
+  /// seam: the default body is the Aequus annotation (sibling-normalized
+  /// shares, FairshareAlgorithm::node_distance) and alternative backends
+  /// (backends.hpp) override only this.
+  virtual void annotate_group(NodeId node, double share_total, double usage_total);
+
+  FairshareAlgorithm algorithm_;
+  Decay decay_;
+  double epoch_ = 0.0;
+  NodeArena nodes_;
+  LeafStore leaves_;
+  /// Bumped whenever a policy swap changes tree *structure*; invalidates
+  /// the leaves' memoized attach nodes.
+  std::uint64_t structure_epoch_ = 1;
 
  private:
   /// Diff one policy sibling group; returns true when anything below
@@ -142,14 +174,6 @@ class FairshareEngine {
   /// every untouched child. Returns true when the pointer changed.
   bool publish_node(NodeId node);
 
-  FairshareAlgorithm algorithm_;
-  Decay decay_;
-  double epoch_ = 0.0;
-  NodeArena nodes_;
-  LeafStore leaves_;
-  /// Bumped whenever a policy swap changes tree *structure*; invalidates
-  /// the leaves' memoized attach nodes.
-  std::uint64_t structure_epoch_ = 1;
   bool structure_changed_ = false;  ///< set by sync_policy during one swap
   int depth_ = 0;
   std::uint64_t generation_ = 0;

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/engine.hpp"
-
 namespace aequus::core {
 
 const FairshareTree::Node* FairshareTree::Node::find_child(const std::string& child_name) const {
@@ -152,14 +150,6 @@ double FairshareAlgorithm::node_distance(double policy_share, double usage_share
     relative = -1.0;  // consuming with no allocation: maximal over-use
   }
   return k * relative + (1.0 - k) * absolute;
-}
-
-FairshareTree FairshareAlgorithm::compute(const PolicyTree& policy,
-                                          const UsageTree& usage) const {
-  // One-shot wrapper over the incremental engine; bit-identical to the
-  // historical recursive annotate() (the engine reproduces its exact
-  // floating-point summation orders — pinned by the differential test).
-  return FairshareEngine::compute_once(config_, policy, usage);
 }
 
 }  // namespace aequus::core

@@ -15,9 +15,11 @@
 // encoding. With k = 0.5 the maximum distance of a user with share s is
 // 0.5 * (1 + s), reproducing the paper's §IV-A-5 check (0.56 for s=0.12).
 //
-// compute() walks policy and usage trees together and produces a
-// FairshareTree holding per-node distances, from which per-user fairshare
-// vectors are extracted (§III-C) and projections computed.
+// FairshareEngine::compute_once() walks policy and usage trees together
+// and produces a FairshareTree holding per-node distances, from which
+// per-user fairshare vectors are extracted (§III-C) and projections
+// computed; the incremental engine maintains the same annotation
+// statefully.
 #pragma once
 
 #include <map>
@@ -100,8 +102,9 @@ class FairshareAlgorithm {
   /// Distance for a single node given normalized shares.
   [[nodiscard]] double node_distance(double policy_share, double usage_share) const noexcept;
 
-  /// Annotate `policy` with distances computed from `usage`.
-  [[nodiscard]] FairshareTree compute(const PolicyTree& policy, const UsageTree& usage) const;
+  // The legacy batch compute() wrapper is gone: one-shot annotations go
+  // through FairshareEngine::compute_once(config, policy, usage), and
+  // schedulers read published snapshots via rms::PriorityContext.
 
  private:
   FairshareConfig config_{};

@@ -25,8 +25,8 @@ std::uint64_t BatchApplier::contiguous_floor(const std::string& source) const {
   return it != sources_.end() ? it->second.floor : 0;
 }
 
-EngineSink::EngineSink(core::FairshareEngine& engine, PathResolver path_of)
-    : engine_(engine), path_of_(std::move(path_of)) {
+EngineSink::EngineSink(core::FairnessBackend& backend, PathResolver path_of)
+    : backend_(backend), path_of_(std::move(path_of)) {
   if (!path_of_) {
     path_of_ = [](const std::string& user) { return "/" + user; };
   }
@@ -37,14 +37,17 @@ core::FairshareSnapshotPtr EngineSink::commit(const DeltaBatch& batch) {
     ++stats_.duplicate_batches;
     return nullptr;
   }
+  std::vector<core::UsageSample> samples;
+  samples.reserve(batch.deltas.size());
   for (const UsageDelta& delta : batch.deltas) {
-    engine_.apply_usage(path_of_(delta.user), delta.amount, delta.time);
+    samples.push_back({path_of_(delta.user), delta.amount, delta.time});
   }
+  backend_.apply_usage_batch(samples);
   stats_.applied_records += batch.deltas.size();
   ++stats_.committed_batches;
   // The transaction boundary: one publish per batch, however many
   // records it carried.
-  return engine_.snapshot();
+  return backend_.publish();
 }
 
 }  // namespace aequus::ingest

@@ -9,8 +9,8 @@
 // turn reordering into data loss.
 //
 // EngineSink is the FCS-side seam: it commits one admitted batch as a
-// single core::FairshareEngine transaction — N apply_usage() calls and
-// exactly one snapshot() publish — instead of N independent updates
+// single core::FairnessBackend transaction — one apply_usage_batch()
+// call and exactly one publish() — instead of N independent updates
 // each paying a snapshot.
 #pragma once
 
@@ -20,7 +20,7 @@
 #include <set>
 #include <string>
 
-#include "core/engine.hpp"
+#include "core/backend.hpp"
 #include "ingest/delta.hpp"
 
 namespace aequus::ingest {
@@ -59,11 +59,11 @@ struct EngineSinkStats {
   std::uint64_t applied_records = 0;
 };
 
-/// Commits admitted batches into a FairshareEngine, one transaction (and
+/// Commits admitted batches into a FairnessBackend, one transaction (and
 /// one snapshot generation at most) per batch.
 class EngineSink {
  public:
-  explicit EngineSink(core::FairshareEngine& engine, PathResolver path_of = {});
+  explicit EngineSink(core::FairnessBackend& backend, PathResolver path_of = {});
 
   /// Apply `batch` unless it is a duplicate. Returns the snapshot
   /// published after the transaction (null for rejected duplicates).
@@ -73,7 +73,7 @@ class EngineSink {
   [[nodiscard]] BatchApplier& applier() noexcept { return applier_; }
 
  private:
-  core::FairshareEngine& engine_;
+  core::FairnessBackend& backend_;
   PathResolver path_of_;
   BatchApplier applier_;
   EngineSinkStats stats_;

@@ -1,20 +1,14 @@
 #include "maui/patches.hpp"
 
+#include "slurm/aequus_plugins.hpp"
+
 namespace aequus::maui {
 
 void apply_aequus_patches(MauiScheduler& scheduler, client::AequusClient& client) {
-  scheduler.patch_fairshare([&client](const rms::PriorityContext& context) -> double {
-    std::string grid_user = context.job.grid_user;
-    if (grid_user.empty()) {
-      const auto resolved = client.resolve_identity(context.job.system_user);
-      if (!resolved) return core::kNeutralFactor;
-      grid_user = *resolved;
-    }
-    // Same preference order as the SLURM source: per-pass snapshot first,
-    // client cache fallback — identical values either way.
-    if (context.fairshare != nullptr) return context.fairshare->factor_for(grid_user);
-    return client.fairshare_factor(grid_user);
-  });
+  // Same identity resolution and snapshot preference order as the SLURM
+  // plugin — literally the same source, so the two RM flavours cannot
+  // drift: PriorityContext::priority_of is the one priority fetch.
+  scheduler.patch_fairshare(slurm::aequus_fairshare_source(client));
   scheduler.patch_completion([&client](const rms::Job& job, double now) {
     // Patch hop of the jobcomp chain (Maui's completion callback).
     obs::Tracer* tracer = client.observability().tracer;

@@ -44,6 +44,20 @@ struct PriorityContext {
   /// wired or no data has arrived yet (policies fall back to 0.5).
   core::FairshareSnapshotPtr fairshare{};
   std::string site{};  ///< site label of the owning scheduler
+
+  /// Projected fairshare priority of the user leaf `leaf_id` (a grid-user
+  /// name or a policy leaf path), read from this pass's pinned snapshot —
+  /// or from `fallback` (e.g. a client's cached snapshot) when no
+  /// snapshot was pinned. This is THE priority fetch for every scheduler
+  /// flavour (SLURM multifactor, Maui patches, rms policies): the
+  /// missing-leaf convention is applied in exactly one place — an absent
+  /// snapshot or an unknown leaf reads core::kNeutralFactor, never a
+  /// priority-zeroing 0.0.
+  [[nodiscard]] double priority_of(const std::string& leaf_id,
+                                   const core::FairshareSnapshotPtr& fallback = {}) const {
+    const core::FairshareSnapshotPtr& snap = fairshare != nullptr ? fairshare : fallback;
+    return snap != nullptr ? snap->factor_for(leaf_id) : core::kNeutralFactor;
+  }
 };
 
 struct SchedulerConfig {

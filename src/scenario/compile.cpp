@@ -169,7 +169,14 @@ CompiledScenario compile(const ScenarioSpec& spec, const CompileOptions& options
     const std::string variant_path =
         variant.name.empty() ? "$" : "$.variants[" + variant.name + "]";
 
-    json::Value merged = deep_merge(spec.experiment, variant.experiment);
+    // The spec's "fairness" selection sits *below* the experiment and
+    // variant overlays, so a variant overriding fairshare.backend (the
+    // backend_faceoff pattern) wins over the scenario-wide default.
+    json::Object fairness_overlay;
+    fairness_overlay["fairshare"] =
+        json::Value(json::Object{{"backend", core::to_json(spec.fairness)}});
+    json::Value merged = deep_merge(json::Value(std::move(fairness_overlay)),
+                                    deep_merge(spec.experiment, variant.experiment));
     if (merged.is_null()) merged = json::Value(json::Object{});
     testbed::ExperimentConfig config = json::decode<testbed::ExperimentConfig>(merged);
     config.faults = lower_faults(spec.faults, scenario.duration_seconds);
@@ -208,6 +215,7 @@ CompiledScenario compile(const ScenarioSpec& spec, const CompileOptions& options
     meta.name = sweep_variant.name;
     meta.duration_seconds = sweep_variant.scenario.duration_seconds;
     meta.lossless = spec.faults.lossless();
+    meta.backend = sweep_variant.config.fairshare.backend.name;
     compiled.variants.push_back(std::move(meta));
     compiled.sweep.variants.push_back(std::move(sweep_variant));
   }

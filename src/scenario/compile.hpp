@@ -41,6 +41,9 @@ struct CompileOptions {
 struct CompiledVariant {
   std::string name;
   double duration_seconds = 0.0;  ///< post-scale scenario window
+  /// Resolved fairness backend after all overlays (spec "fairness" key,
+  /// experiment, variant) — the comparison emitter's row label.
+  std::string backend = "aequus";
   /// No loss/duplication/outage anywhere: exact final conservation is a
   /// meaningful gate ("auto" mode enables it only here).
   bool lossless = true;

@@ -141,6 +141,7 @@ ScenarioReport run_scenario(const CompiledScenario& compiled, const RunOptions& 
   report.name = compiled.name;
   report.jobs = compiled.jobs;
   report.tasks = spec.task_count();
+  report.variants = compiled.variants;
   report.sweep = testbed::run_sweep(spec);
 
   if (want_record) {
@@ -281,6 +282,46 @@ json::Value report_to_json(const ScenarioReport& report) {
     variants[variant_name] = json::Value(std::move(variant_json));
   }
   out["variants"] = json::Value(std::move(variants));
+
+  // Head-to-head comparison table (DESIGN.md §6j): one row per variant
+  // with its resolved fairness backend and the faceoff columns —
+  // fairness distance (mean |share - target|), starvation count,
+  // throughput, and the per-delta-delivery RPC latency observed at the
+  // FCS (mean over every rpc.<site>.fcs.latency_s histogram; 0 when the
+  // bus recorded no FCS traffic). Scalar columns are replication means.
+  if (!report.variants.empty()) {
+    json::Array comparison;
+    for (const CompiledVariant& variant : report.variants) {
+      json::Object row;
+      row["variant"] = variant.name;
+      row["backend"] = variant.backend;
+      const auto aggregates = report.sweep.aggregates.find(variant.name);
+      const auto mean_of = [&](const char* metric) {
+        if (aggregates == report.sweep.aggregates.end()) return 0.0;
+        const auto it = aggregates->second.find(metric);
+        return it != aggregates->second.end() ? it->second.mean : 0.0;
+      };
+      row["fairness_distance"] = mean_of("fairness_distance");
+      row["starved_jobs"] = mean_of("starved_jobs");
+      row["throughput_jobs_per_h"] = mean_of("throughput_jobs_per_h");
+      row["max_share_error"] = mean_of("max_share_error");
+      double latency_sum = 0.0;
+      std::uint64_t latency_count = 0;
+      const auto obs = report.sweep.obs.find(variant.name);
+      if (obs != report.sweep.obs.end()) {
+        for (const auto& [key, histogram] : obs->second.histograms) {
+          if (util::starts_with(key, "rpc.") && util::ends_with(key, ".fcs.latency_s")) {
+            latency_sum += histogram.sum;
+            latency_count += histogram.count;
+          }
+        }
+      }
+      row["delta_latency_ms"] =
+          latency_count > 0 ? latency_sum / static_cast<double>(latency_count) * 1e3 : 0.0;
+      comparison.push_back(json::Value(std::move(row)));
+    }
+    out["comparison"] = json::Value(std::move(comparison));
+  }
 
   json::Array fingerprints;
   for (const std::string& fp : report.fingerprints) fingerprints.push_back(json::Value(fp));

@@ -62,6 +62,10 @@ struct ScenarioReport {
   /// Abbreviated (fnv1a64, 16 hex chars) determinism fingerprint per
   /// task, in task-index order. Full fingerprints run to megabytes.
   std::vector<std::string> fingerprints;
+  /// Per-variant lowering metadata (resolved fairness backend name,
+  /// duration), carried over so report_to_json can emit the head-to-head
+  /// "comparison" table without re-lowering the spec.
+  std::vector<CompiledVariant> variants;
   RecordOutcome record;
   testbed::SweepResult sweep;
 };

@@ -256,6 +256,42 @@ FaultSpec parse_faults(const json::Value& value, const std::string& path) {
   return faults;
 }
 
+/// Fairness backend selection: a bare backend name ("credit") or an
+/// object with per-policy tuning. Unlike the lenient ExperimentConfig
+/// decode, an unknown backend here fails with the registry's live name
+/// list at the exact path — "$.fairness.backend: unknown fairness
+/// backend 'x' (expected aequus | balanced | credit)".
+core::FairnessBackendConfig parse_fairness(const json::Value& value, const std::string& path) {
+  core::FairnessBackendConfig config;
+  if (value.is_string()) {
+    config.name = value.as_string();
+  } else {
+    const json::Object& object = as_object(value, path);
+    reject_unknown_keys(object, path, {"backend", "credit_refresh_s", "credit_cap"});
+    config.name = string_or(object, path, "backend", config.name);
+    config.credit_refresh_s =
+        number_or(object, path, "credit_refresh_s", config.credit_refresh_s);
+    config.credit_cap = number_or(object, path, "credit_cap", config.credit_cap);
+  }
+  if (!core::fairness_backend_known(config.name)) {
+    std::string known;
+    for (const std::string& name : core::fairness_backend_names()) {
+      if (!known.empty()) known += " | ";
+      known += name;
+    }
+    fail(path + ".backend",
+         "unknown fairness backend '" + config.name + "' (expected " + known + ")");
+  }
+  if (!(config.credit_refresh_s > 0.0)) {
+    fail(path + ".credit_refresh_s",
+         util::format("%g must be > 0", config.credit_refresh_s));
+  }
+  if (!(config.credit_cap > 0.0)) {
+    fail(path + ".credit_cap", util::format("%g must be > 0", config.credit_cap));
+  }
+  return config;
+}
+
 /// ExperimentConfig objects are decoded leniently by the testbed decoder;
 /// the DSL still rejects unknown *top-level* keys so a typo like
 /// "sample_intervall" cannot silently keep the default.
@@ -360,8 +396,8 @@ ScenarioSpec parse_spec(const json::Value& value) {
   const json::Object& object = as_object(value, path);
   reject_unknown_keys(object, path,
                       {"name", "description", "workload", "policy_shares", "phases", "churn",
-                       "offloads", "faults", "experiment", "variants", "sweep", "gates",
-                       "record"});
+                       "offloads", "faults", "fairness", "experiment", "variants", "sweep",
+                       "gates", "record"});
 
   ScenarioSpec spec;
   spec.name = string_or(object, path, "name", "");
@@ -389,6 +425,9 @@ ScenarioSpec parse_spec(const json::Value& value) {
   }
   if (const json::Value* faults = find(object, "faults")) {
     spec.faults = parse_faults(*faults, path + ".faults");
+  }
+  if (const json::Value* fairness = find(object, "fairness")) {
+    spec.fairness = parse_fairness(*fairness, path + ".fairness");
   }
   if (const json::Value* experiment = find(object, "experiment")) {
     check_experiment_keys(*experiment, path + ".experiment");

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "json/decode.hpp"
 #include "json/json.hpp"
 
@@ -163,6 +164,12 @@ struct ScenarioSpec {
   std::vector<ChurnSpec> churn;
   std::vector<OffloadSpec> offloads;
   FaultSpec faults;
+  /// Fairness backend selection ("fairness" key; DESIGN.md §6j): a bare
+  /// name ("balanced") or an object with per-policy tuning. Lowered into
+  /// every variant's experiment as fairshare.backend, below the
+  /// experiment/variant overlays — so a variant overlay setting
+  /// fairshare.backend (the faceoff pattern) wins.
+  core::FairnessBackendConfig fairness{};
   /// Raw ExperimentConfig object (testbed/config.hpp keys); decoded per
   /// variant after the variant overlay is merged in.
   json::Value experiment;

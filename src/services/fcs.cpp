@@ -14,8 +14,8 @@ Fcs::Fcs(sim::Simulator& simulator, net::ServiceBus& bus, std::string site, FcsC
       telemetry_(obs, simulator, site_, "fcs",
                  {"fairshare", "table", "tree", "snapshot", "configure", "report_batch"}),
       recalculations_(telemetry_.counter("recalculations")),
-      engine_(config.algorithm) {
-  ingest_sink_ = std::make_unique<ingest::EngineSink>(engine_, [this](const std::string& user) {
+      backend_(core::make_fairness_backend(config.backend, config.algorithm)) {
+  ingest_sink_ = std::make_unique<ingest::EngineSink>(*backend_, [this](const std::string& user) {
     const auto it = ingest_paths_.find(user);
     return it != ingest_paths_.end() ? it->second : "/" + user;
   });
@@ -81,19 +81,22 @@ void Fcs::recalculate() {
   // The engine diffs the fetched trees against its working state and
   // recomputes only dirty paths; an update that changed nothing keeps the
   // generation, and then the projection/table rebuild is skipped too.
-  engine_.set_policy(policy_);
+  backend_->set_policy(policy_);
   // Wholesale usage replacement drops push-mode binned state, so it only
   // happens once a UMS poll reply has actually landed (poll mode wins).
   // Before that the re-applied default tree would be an empty-vs-empty
   // no-op for poll deployments anyway.
-  if (have_usage_) engine_.set_usage(usage_);
-  republish(engine_.snapshot());
+  if (have_usage_) backend_->set_usage(usage_);
+  // Time-dependent backends (credit accrual) integrate up to the
+  // current simulation time on this publish; aequus ignores it.
+  backend_->advance_time(simulator_.now());
+  republish(backend_->publish());
 }
 
 void Fcs::republish(const core::FairshareSnapshotPtr& base) {
   if (base == nullptr) return;
   if (snapshot_ == nullptr || base->generation() != snapshot_->generation() || reproject_) {
-    table_ = core::project(*base, config_.projection);
+    table_ = backend_->project_factors(*base, config_.projection);
     user_table_.clear();
     for (const auto& [path, value] : table_) {
       const auto segments = core::split_path(path);
@@ -117,6 +120,7 @@ void Fcs::refresh_ingest_paths() {
 }
 
 bool Fcs::ingest_batch(const ingest::DeltaBatch& batch) {
+  backend_->advance_time(simulator_.now());
   const core::FairshareSnapshotPtr snap = ingest_sink_->commit(batch);
   if (snap == nullptr) return false;  // duplicate delivery
   republish(snap);
@@ -131,7 +135,7 @@ void Fcs::set_projection(core::ProjectionConfig projection) {
 
 void Fcs::set_algorithm(core::FairshareConfig algorithm) {
   config_.algorithm = algorithm;
-  engine_.set_config(algorithm);  // validates; forces a republish
+  backend_->set_config(algorithm);  // validates; forces a republish
   recalculate();
 }
 
@@ -167,7 +171,7 @@ json::Value Fcs::handle(const json::Value& request) {
     if (const auto if_generation = request.find("if_generation")) {
       const auto generation = static_cast<std::uint64_t>(if_generation->get().as_number());
       json::Object reply;
-      reply["generation"] = static_cast<double>(engine_.generation());
+      reply["generation"] = static_cast<double>(backend_->generation());
       if (snapshot_ != nullptr && generation == snapshot_->generation()) {
         reply["unchanged"] = true;
         return json::Value(std::move(reply));
@@ -203,7 +207,7 @@ json::Value Fcs::handle(const json::Value& request) {
       } else {
         reply["duplicate"] = true;
       }
-      reply["generation"] = static_cast<double>(engine_.generation());
+      reply["generation"] = static_cast<double>(backend_->generation());
       return json::Value(std::move(reply));
     } catch (const std::exception& e) {
       AEQ_WARN("fcs") << site_ << ": malformed batch envelope: " << e.what();

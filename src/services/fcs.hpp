@@ -34,8 +34,10 @@
 //
 // Since the incremental-engine rework the FCS no longer recomputes the
 // whole tree per update: it feeds the fetched policy/usage trees into a
-// core::FairshareEngine, which recomputes only dirty paths and publishes
-// an immutable generation-stamped FairshareSnapshot. Projection and table
+// core::FairnessBackend (the arena FairshareEngine by default, selected
+// by FcsConfig::backend from the string-keyed factory — DESIGN.md §6j),
+// which recomputes what the mutation can have changed and publishes an
+// immutable generation-stamped FairshareSnapshot. Projection and table
 // rebuilds are skipped entirely when the generation did not move.
 #pragma once
 
@@ -44,7 +46,7 @@
 #include <memory>
 #include <string>
 
-#include "core/engine.hpp"
+#include "core/backend.hpp"
 #include "core/fairshare.hpp"
 #include "core/projection.hpp"
 #include "core/snapshot.hpp"
@@ -59,6 +61,7 @@ struct FcsConfig {
   double update_interval = 30.0;          ///< pre-calculation period [s]
   core::FairshareConfig algorithm{};      ///< distance weight k, resolution
   core::ProjectionConfig projection{};    ///< projection for scalar factors
+  core::FairnessBackendConfig backend{};  ///< fairness policy selection
 };
 
 class Fcs {
@@ -75,7 +78,7 @@ class Fcs {
   [[nodiscard]] core::FairshareSnapshotPtr snapshot() const noexcept { return snapshot_; }
 
   /// Generation of the latest snapshot (0 before the first calculation).
-  [[nodiscard]] std::uint64_t generation() const noexcept { return engine_.generation(); }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return backend_->generation(); }
 
   /// Latest projected per-user factors (policy leaf path -> [0, 1]).
   [[nodiscard]] const std::map<std::string, double>& table() const noexcept { return table_; }
@@ -87,6 +90,9 @@ class Fcs {
   [[nodiscard]] const std::string& address() const noexcept { return address_; }
   [[nodiscard]] std::uint64_t calculations() const noexcept { return calculations_; }
   [[nodiscard]] const FcsConfig& config() const noexcept { return config_; }
+
+  /// The fairness policy computing this site's priorities.
+  [[nodiscard]] const core::FairnessBackend& backend() const noexcept { return *backend_; }
 
   /// Force an immediate fetch + recalculation.
   void update_now();
@@ -128,7 +134,7 @@ class Fcs {
   FcsConfig config_;
   ServiceTelemetry telemetry_;
   obs::Counter* recalculations_ = nullptr;
-  core::FairshareEngine engine_;
+  std::unique_ptr<core::FairnessBackend> backend_;  ///< never null
   core::PolicyTree policy_;
   core::UsageTree usage_;
   bool have_policy_ = false;

@@ -12,12 +12,13 @@ FairshareSource aequus_fairshare_source(client::AequusClient& client) {
       if (!resolved) return core::kNeutralFactor;  // unresolvable accounts stay neutral
       grid_user = *resolved;
     }
-    // Read the pass's snapshot when the scheduler supplied one — the same
-    // values as the client cache (the client publishes it), but one
-    // consistent generation for the whole sweep and no per-job client
-    // bookkeeping. Fall back to the client cache otherwise.
-    if (context.fairshare != nullptr) return context.fairshare->factor_for(grid_user);
-    return client.fairshare_factor(grid_user);
+    // One fetch path for every scheduler flavour: the pass's pinned
+    // snapshot when the scheduler supplied one — the same values as the
+    // client cache (the client publishes it), but one consistent
+    // generation for the whole sweep — with the client's cached snapshot
+    // as the no-provider fallback. PriorityContext::priority_of owns the
+    // missing-leaf kNeutralFactor convention.
+    return context.priority_of(grid_user, client.snapshot());
   };
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/backend.hpp"
 #include "core/projection.hpp"
 
 aequus::workload::Scenario aequus::json::Decoder<aequus::workload::Scenario>::decode(
@@ -51,6 +52,11 @@ aequus::testbed::ExperimentConfig aequus::json::Decoder<aequus::testbed::Experim
     }
     if (const auto projection = f.find("projection")) {
       config.fairshare.projection = json::decode<core::ProjectionConfig>(projection->get());
+    }
+    if (const auto backend = f.find("backend")) {
+      // Accepts a bare name ("credit") or the object form with
+      // per-policy tuning; unknown names throw here.
+      config.fairshare.backend = json::decode<core::FairnessBackendConfig>(backend->get());
     }
   }
   config.bus_remote_latency = spec.get_number("bus_remote_latency", config.bus_remote_latency);

@@ -44,6 +44,7 @@ ClusterSite::ClusterSite(sim::Simulator& simulator, net::ServiceBus& bus, const 
   installation_config.fcs.update_interval = timings.service_update_interval;
   installation_config.fcs.algorithm = fairshare.algorithm;
   installation_config.fcs.projection = fairshare.projection;
+  installation_config.fcs.backend = fairshare.backend;
   installation_ = std::make_unique<services::Installation>(simulator, bus, spec.name,
                                                            installation_config, obs);
 

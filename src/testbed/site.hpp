@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "core/backend.hpp"
 #include "ingest/batcher.hpp"
 #include "libaequus/client.hpp"
 #include "maui/maui_scheduler.hpp"
@@ -49,6 +50,9 @@ struct SiteFairshare {
   core::DecayConfig decay{core::DecayKind::kExponentialHalfLife, 86400.0, 7200.0};
   core::FairshareConfig algorithm{};
   core::ProjectionConfig projection{};
+  /// Fairness policy computing the priorities (DESIGN.md §6j):
+  /// "aequus" (default), "balanced", or "credit".
+  core::FairnessBackendConfig backend{};
   /// Factor weights for the SLURM multifactor plugin. The paper's tests
   /// use fairshare only; nonzero age/size weights reproduce the
   /// "smoothing effect" of combining fairshare with other factors.

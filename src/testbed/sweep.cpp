@@ -101,15 +101,51 @@ std::map<std::string, double> scalar_metrics(const ExperimentResult& result,
     worst = std::max(worst, std::fabs(measured - target));
   }
   metrics["max_share_error"] = worst;
+  // Run-averaged mean absolute share deviation from the *policy* targets
+  // — the backend-faceoff "fairness distance" column (lower is fairer).
+  // Two deliberate differences from max_share_error: the policy targets
+  // are kept even when they disagree with the realized demand (the
+  // nonoptimal-policy workloads — that gap is exactly what the fairness
+  // policies differ on), and the deviation is averaged over every usage
+  // sample of the run rather than read once at the end (once every job
+  // has completed, the final cumulative share equals the trace
+  // composition for any scheduling order; the trajectory does not).
+  const auto& fairness_targets =
+      !scenario.policy_shares.empty() ? scenario.policy_shares : targets;
+  double distance_sum = 0.0;
+  std::size_t distance_samples = 0;
+  for (const auto& [user, target] : fairness_targets) {
+    const auto it = result.usage_shares.all().find(user);
+    if (it == result.usage_shares.all().end()) continue;
+    for (const double share : it->second.values()) {
+      distance_sum += std::fabs(share - target);
+      ++distance_samples;
+    }
+  }
+  metrics["fairness_distance"] =
+      distance_samples > 0 ? distance_sum / static_cast<double>(distance_samples) : 0.0;
 
+  // Starvation: a started job whose queue wait exceeded 5 % of the
+  // scenario window. The threshold is a fraction of the (scaled) run so
+  // the count is comparable across time-compressed CI variants.
+  const double starvation_threshold = 0.05 * scenario.duration_seconds;
   double wait_sum = 0.0;
   std::size_t wait_count = 0;
+  std::size_t starved = 0;
   for (const auto& [user, series] : result.waits.all()) {
     (void)user;
-    for (const double w : series.values()) wait_sum += w;
+    for (const double w : series.values()) {
+      wait_sum += w;
+      if (starvation_threshold > 0.0 && w > starvation_threshold) ++starved;
+    }
     wait_count += series.size();
   }
   metrics["mean_wait_s"] = wait_count > 0 ? wait_sum / static_cast<double>(wait_count) : 0.0;
+  metrics["starved_jobs"] = static_cast<double>(starved);
+  metrics["throughput_jobs_per_h"] =
+      result.makespan > 0.0
+          ? static_cast<double>(result.jobs_completed) / result.makespan * 3600.0
+          : 0.0;
 
   metrics["bus_requests"] = static_cast<double>(result.bus.requests);
   metrics["bus_dropped"] =

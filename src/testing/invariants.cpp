@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "core/engine.hpp"
 #include "core/fairshare.hpp"
 #include "core/projection.hpp"
 #include "util/strings.hpp"
@@ -103,13 +104,13 @@ void InvariantChecker::check_priority_monotonicity(double now) {
   for (const auto& [user, share] : scenario.policy_shares) {
     policy.set_share("/" + user, share);
   }
-  const core::FairshareAlgorithm algorithm(fairshare.algorithm);
   const bool rank_spaced =
       fairshare.projection.kind == core::ProjectionKind::kDictionaryOrdering;
 
   for (const auto& site : experiment_.sites()) {
     const auto& usage = site->aequus().ums().usage_tree();
-    const core::FairshareTree tree = algorithm.compute(policy, usage);
+    const core::FairshareTree tree =
+        core::FairshareEngine::compute_once(fairshare.algorithm, policy, usage);
     const auto factors = core::project(tree, fairshare.projection);
 
     struct User {

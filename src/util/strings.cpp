@@ -52,6 +52,10 @@ bool starts_with(std::string_view value, std::string_view prefix) noexcept {
   return value.size() >= prefix.size() && value.substr(0, prefix.size()) == prefix;
 }
 
+bool ends_with(std::string_view value, std::string_view suffix) noexcept {
+  return value.size() >= suffix.size() && value.substr(value.size() - suffix.size()) == suffix;
+}
+
 std::string format(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

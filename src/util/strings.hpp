@@ -24,6 +24,9 @@ namespace aequus::util {
 /// True if `value` starts with `prefix`.
 [[nodiscard]] bool starts_with(std::string_view value, std::string_view prefix) noexcept;
 
+/// True if `value` ends with `suffix`.
+[[nodiscard]] bool ends_with(std::string_view value, std::string_view suffix) noexcept;
+
 /// printf-style formatting into a std::string.
 [[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

@@ -1,0 +1,252 @@
+// FairnessBackend conformance suite: every registered backend (aequus,
+// balanced, credit) must honour the seam's contracts regardless of the
+// policy math it runs — share conservation in published snapshots,
+// reconvergence to a pure function of (policy, usage) after divergent
+// histories, bit-identical determinism fingerprints at 1 vs 8 sweep
+// threads, and snapshot-generation monotonicity. Plus the factory edges:
+// unknown names fail with the live name list, custom registrations are
+// immediately constructible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/backends.hpp"
+#include "core/engine.hpp"
+#include "core/snapshot.hpp"
+#include "testbed/sweep.hpp"
+#include "testing/determinism.hpp"
+#include "workload/scenarios.hpp"
+
+namespace aequus::core {
+namespace {
+
+const std::vector<std::string>& conformance_backends() {
+  static const std::vector<std::string> names = {"aequus", "balanced", "credit"};
+  return names;
+}
+
+std::unique_ptr<FairnessBackend> make_backend(const std::string& name) {
+  FairnessBackendConfig config;
+  config.name = name;
+  return make_fairness_backend(config);
+}
+
+PolicyTree grid_policy() {
+  PolicyTree policy;
+  policy.set_share("/grid/projA/alice", 30.0);
+  policy.set_share("/grid/projA/bob", 10.0);
+  policy.set_share("/grid/projB/carol", 40.0);
+  policy.set_share("/grid/projB/dave", 20.0);
+  return policy;
+}
+
+/// Deterministic non-uniform usage: alice hot, dave idle.
+void apply_grid_usage(FairnessBackend& backend) {
+  backend.apply_usage("/grid/projA/alice", 900.0, 0.0);
+  backend.apply_usage("/grid/projA/bob", 150.0, 0.0);
+  backend.apply_usage("/grid/projB/carol", 300.0, 0.0);
+}
+
+/// Sum a conformance invariant over every sibling group of the tree.
+void check_group_conservation(const FairshareSnapshot::Node& node, const std::string& where,
+                              const std::string& backend) {
+  if (node.children.empty()) return;
+  double policy_sum = 0.0;
+  double usage_sum = 0.0;
+  double share_raw = 0.0;
+  double usage_raw = 0.0;
+  for (const auto& child : node.children) {
+    policy_sum += child->policy_share;
+    usage_sum += child->usage_share;
+    share_raw += child->policy_share;
+    usage_raw += child->usage_share;
+    EXPECT_GE(child->policy_share, 0.0) << backend << " " << where << "/" << child->name;
+    EXPECT_LE(child->policy_share, 1.0 + 1e-12) << backend << " " << where << "/" << child->name;
+    EXPECT_GE(child->usage_share, 0.0) << backend << " " << where << "/" << child->name;
+    EXPECT_LE(child->usage_share, 1.0 + 1e-12) << backend << " " << where << "/" << child->name;
+  }
+  // Normalized sibling shares partition the group: both channels sum to
+  // 1 whenever the group carries any mass at all (conservation).
+  if (share_raw > 0.0) {
+    EXPECT_NEAR(policy_sum, 1.0, 1e-9) << backend << ": policy shares at " << where;
+  }
+  if (usage_raw > 0.0) {
+    EXPECT_NEAR(usage_sum, 1.0, 1e-9) << backend << ": usage shares at " << where;
+  }
+  for (const auto& child : node.children) {
+    check_group_conservation(*child, where + "/" + child->name, backend);
+  }
+}
+
+TEST(BackendConformance, PublishedSnapshotsConserveGroupShares) {
+  for (const std::string& name : conformance_backends()) {
+    const auto backend = make_backend(name);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->name(), name);
+    backend->set_policy(grid_policy());
+    apply_grid_usage(*backend);
+    const FairshareSnapshotPtr snapshot = backend->publish();
+    ASSERT_NE(snapshot, nullptr) << name;
+    ASSERT_TRUE(snapshot->has_tree()) << name;
+    check_group_conservation(snapshot->root(), "", name);
+
+    // Projected factors are priorities: every backend must keep them in
+    // [0, 1] for every projection it supports.
+    for (const auto kind : {ProjectionKind::kBitwiseVector, ProjectionKind::kPercental}) {
+      ProjectionConfig projection;
+      projection.kind = kind;
+      for (const auto& [path, factor] : backend->project_factors(*snapshot, projection)) {
+        EXPECT_GE(factor, 0.0) << name << " " << path;
+        EXPECT_LE(factor, 1.0) << name << " " << path;
+        EXPECT_TRUE(std::isfinite(factor)) << name << " " << path;
+      }
+    }
+  }
+}
+
+TEST(BackendConformance, WholesaleUsageReconvergesDivergentHistories) {
+  for (const std::string& name : conformance_backends()) {
+    // Two instances of the same backend take different update histories...
+    const auto a = make_backend(name);
+    const auto b = make_backend(name);
+    a->set_policy(grid_policy());
+    b->set_policy(grid_policy());
+    apply_grid_usage(*a);
+    (void)a->publish();
+    b->apply_usage("/grid/projB/dave", 5000.0, 0.0);
+    b->apply_usage("/grid/projA/alice", 1.0, 0.0);
+    (void)b->publish();
+
+    // ...then both are handed the same wholesale usage tree (the FCS poll
+    // path). Published state must be a pure function of (policy, usage):
+    // the divergent histories may not leak into the trees or the factors.
+    UsageTree usage;
+    usage.add("/grid/projA/alice", 700.0);
+    usage.add("/grid/projB/carol", 250.0);
+    a->set_usage(usage);
+    b->set_usage(usage);
+    const FairshareSnapshotPtr snap_a = a->publish();
+    const FairshareSnapshotPtr snap_b = b->publish();
+    ASSERT_NE(snap_a, nullptr) << name;
+    ASSERT_NE(snap_b, nullptr) << name;
+
+    const ProjectionConfig projection;
+    const auto factors_a = a->project_factors(*snap_a, projection);
+    const auto factors_b = b->project_factors(*snap_b, projection);
+    ASSERT_EQ(factors_a.size(), factors_b.size()) << name;
+    for (const auto& [path, factor] : factors_a) {
+      const auto it = factors_b.find(path);
+      ASSERT_NE(it, factors_b.end()) << name << " " << path;
+      EXPECT_EQ(factor, it->second) << name << " " << path;
+    }
+  }
+}
+
+TEST(BackendConformance, SweepFingerprintsIdenticalAtOneAndEightThreads) {
+  for (const std::string& name : conformance_backends()) {
+    const auto spec_for = [&name](int threads) {
+      testbed::SweepSpec spec;
+      testbed::SweepVariant variant;
+      variant.name = name;
+      variant.scenario = workload::baseline_scenario(77, 90);
+      variant.scenario.cluster_count = 2;
+      variant.scenario.hosts_per_cluster = 6;
+      variant.config.fairshare.backend.name = name;
+      spec.variants.push_back(std::move(variant));
+      spec.replications = 2;
+      spec.root_seed = 0xFACE;
+      spec.threads = threads;
+      spec.keep_results = false;
+      testing::attach_fingerprints(spec);
+      return spec;
+    };
+    const testbed::SweepResult serial = testbed::run_sweep(spec_for(1));
+    const testbed::SweepResult parallel = testbed::run_sweep(spec_for(8));
+    ASSERT_EQ(serial.tasks.size(), parallel.tasks.size()) << name;
+    for (std::size_t i = 0; i < serial.tasks.size(); ++i) {
+      ASSERT_FALSE(serial.tasks[i].fingerprint.empty()) << name;
+      EXPECT_EQ(serial.tasks[i].fingerprint, parallel.tasks[i].fingerprint)
+          << name << ": task " << i << " diverged between 1 and 8 threads";
+    }
+  }
+}
+
+TEST(BackendConformance, SnapshotGenerationsAreMonotonic) {
+  for (const std::string& name : conformance_backends()) {
+    const auto backend = make_backend(name);
+    const std::uint64_t initial = backend->generation();
+    backend->set_policy(grid_policy());
+    const FairshareSnapshotPtr first = backend->publish();
+    ASSERT_NE(first, nullptr) << name;
+    EXPECT_GT(first->generation(), initial) << name;
+    EXPECT_EQ(first->generation(), backend->generation()) << name;
+
+    // A publish with nothing changed keeps the generation (consumers use
+    // it as a cheap cache key), and never moves it backwards.
+    const FairshareSnapshotPtr unchanged = backend->publish();
+    ASSERT_NE(unchanged, nullptr) << name;
+    EXPECT_EQ(unchanged->generation(), first->generation()) << name;
+
+    apply_grid_usage(*backend);
+    const FairshareSnapshotPtr second = backend->publish();
+    ASSERT_NE(second, nullptr) << name;
+    EXPECT_GT(second->generation(), first->generation()) << name;
+    EXPECT_EQ(second->generation(), backend->generation()) << name;
+  }
+}
+
+TEST(BackendConformance, FactoryRejectsUnknownNamesWithLiveList) {
+  FairnessBackendConfig config;
+  config.name = "lottery";
+  try {
+    (void)make_fairness_backend(config);
+    FAIL() << "unknown backend must throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unknown fairness backend 'lottery'"), std::string::npos) << message;
+    // The expected-list half of the message is generated from the live
+    // registry, so it can never go stale.
+    for (const std::string& name : conformance_backends()) {
+      EXPECT_NE(message.find(name), std::string::npos) << message;
+    }
+  }
+}
+
+TEST(BackendConformance, RegisteredBackendsAreListedAndConstructible) {
+  const std::vector<std::string> names = fairness_backend_names();
+  for (const std::string& name : conformance_backends()) {
+    EXPECT_TRUE(fairness_backend_known(name)) << name;
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end()) << name;
+  }
+  EXPECT_FALSE(fairness_backend_known("lottery"));
+
+  // Registration is open: a custom policy drops in without touching the
+  // seam, and the factory picks it up immediately.
+  register_fairness_backend("conformance-test", [](const FairnessBackendConfig&,
+                                                   FairshareConfig fairshare, DecayConfig decay) {
+    return std::make_unique<BalancedBackend>(fairshare, decay);
+  });
+  EXPECT_TRUE(fairness_backend_known("conformance-test"));
+  FairnessBackendConfig config;
+  config.name = "conformance-test";
+  const auto backend = make_fairness_backend(config);
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->name(), "balanced");
+}
+
+TEST(BackendConformance, CreditConfigValidation) {
+  EXPECT_THROW(CreditBackend(CreditConfig{0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(CreditBackend(CreditConfig{3600.0, -1.0}), std::invalid_argument);
+  const CreditBackend credit(CreditConfig{1800.0, 2.0});
+  EXPECT_EQ(credit.name(), "credit");
+  EXPECT_EQ(credit.credit_config().refresh_s, 1800.0);
+  EXPECT_EQ(credit.credit_config().cap, 2.0);
+}
+
+}  // namespace
+}  // namespace aequus::core

@@ -29,7 +29,7 @@ void expect_nodes_equal(const FairshareSnapshot::Node& snapshot_node,
 
 void expect_matches_batch(const FairshareSnapshotPtr& snapshot, const FairshareConfig& config,
                           const PolicyTree& policy, const UsageTree& usage) {
-  const FairshareTree batch = FairshareAlgorithm(config).compute(policy, usage);
+  const FairshareTree batch = FairshareEngine::compute_once(config, policy, usage);
   ASSERT_NE(snapshot, nullptr);
   ASSERT_TRUE(snapshot->has_tree());
   expect_nodes_equal(snapshot->root(), batch.root(), "");
@@ -261,13 +261,16 @@ TEST(FairshareEngineModel, CurrentIsNullBeforeFirstPublish) {
   EXPECT_EQ(engine.generation(), 0u);
 }
 
-TEST(FairshareEngineModel, ComputeOnceMatchesAlgorithmEntryPoint) {
+TEST(FairshareEngineModel, ComputeOnceMatchesExplicitEngineRun) {
   const PolicyTree policy = fig_policy();
   UsageTree usage;
   usage.add("/grid/projB/carol", 77.0);
-  const FairshareTree via_wrapper = FairshareAlgorithm().compute(policy, usage);
+  FairshareEngine engine;
+  engine.set_policy(policy);
+  engine.set_usage(usage);
+  const FairshareTree explicit_run = engine.snapshot()->to_tree();
   const FairshareTree direct = FairshareEngine::compute_once({}, policy, usage);
-  EXPECT_EQ(via_wrapper.to_json().dump(), direct.to_json().dump());
+  EXPECT_EQ(explicit_run.to_json().dump(), direct.to_json().dump());
 }
 
 TEST(FairshareSnapshotModel, VectorExtractionMatchesTree) {
@@ -278,7 +281,7 @@ TEST(FairshareSnapshotModel, VectorExtractionMatchesTree) {
   engine.set_policy(policy);
   engine.set_usage(usage);
   const FairshareSnapshotPtr snapshot = engine.snapshot();
-  const FairshareTree batch = FairshareAlgorithm().compute(policy, usage);
+  const FairshareTree batch = FairshareEngine::compute_once({}, policy, usage);
   for (const auto& path : batch.user_paths()) {
     const auto from_snapshot = snapshot->vector_for(path);
     const auto from_tree = batch.vector_for(path);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/engine.hpp"
 #include "core/fairshare.hpp"
 
 namespace aequus::core {
@@ -130,8 +131,7 @@ TEST(FairshareTreeModel, ComputeAnnotatesShares) {
   usage.add("/g/u2", 10.0);
   usage.add("/local", 60.0);
 
-  const FairshareAlgorithm algorithm;
-  const FairshareTree tree = algorithm.compute(policy, usage);
+  const FairshareTree tree = FairshareEngine::compute_once({}, policy, usage);
 
   const auto* g = tree.find("/g");
   ASSERT_NE(g, nullptr);
@@ -152,8 +152,7 @@ TEST(FairshareTreeModel, VectorExtractionAndPadding) {
   UsageTree usage;
   usage.add("/g/u1", 10.0);
 
-  const FairshareAlgorithm algorithm;
-  const FairshareTree tree = algorithm.compute(policy, usage);
+  const FairshareTree tree = FairshareEngine::compute_once({}, policy, usage);
 
   const auto deep = tree.vector_for("/g/u1");
   ASSERT_TRUE(deep.has_value());
@@ -174,8 +173,7 @@ TEST(FairshareTreeModel, IdleUserOutranksActiveUser) {
   UsageTree usage;
   usage.add("/u1", 100.0);
 
-  const FairshareAlgorithm algorithm;
-  const FairshareTree tree = algorithm.compute(policy, usage);
+  const FairshareTree tree = FairshareEngine::compute_once({}, policy, usage);
   const auto v1 = tree.vector_for("/u1");
   const auto v2 = tree.vector_for("/u2");
   EXPECT_EQ(v2->compare(*v1), std::strong_ordering::greater);
@@ -199,9 +197,8 @@ TEST(FairshareTreeModel, SubgroupIsolationOfVectorElements) {
   UsageTree usage2 = usage1;
   usage2.add("/b/u3", 500.0);  // perturb the other subgroup
 
-  const FairshareAlgorithm algorithm;
-  const FairshareTree t1 = algorithm.compute(policy, usage1);
-  const FairshareTree t2 = algorithm.compute(policy, usage2);
+  const FairshareTree t1 = FairshareEngine::compute_once({}, policy, usage1);
+  const FairshareTree t2 = FairshareEngine::compute_once({}, policy, usage2);
 
   // Second (leaf) element of /a users: untouched by /b's internal change.
   EXPECT_DOUBLE_EQ(t1.find("/a/u1")->distance, t2.find("/a/u1")->distance);
@@ -216,8 +213,7 @@ TEST(FairshareTreeModel, JsonRoundTrip) {
   policy.set_share("/g/u2", 3.0);
   UsageTree usage;
   usage.add("/g/u1", 5.0);
-  const FairshareAlgorithm algorithm;
-  const FairshareTree tree = algorithm.compute(policy, usage);
+  const FairshareTree tree = FairshareEngine::compute_once({}, policy, usage);
 
   const FairshareTree restored = FairshareTree::from_json(tree.to_json());
   EXPECT_EQ(restored.user_paths(), tree.user_paths());
@@ -292,7 +288,7 @@ TEST(FairshareTreeModel, UserPathsListsLeaves) {
   PolicyTree policy;
   policy.set_share("/g/u1", 1.0);
   policy.set_share("/solo", 1.0);
-  const FairshareTree tree = FairshareAlgorithm().compute(policy, UsageTree());
+  const FairshareTree tree = FairshareEngine::compute_once({}, policy, UsageTree());
   EXPECT_EQ(tree.user_paths(), (std::vector<std::string>{"/g/u1", "/solo"}));
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 
+#include "core/engine.hpp"
 #include "core/projection.hpp"
 
 namespace aequus::core {
@@ -15,7 +16,8 @@ FairshareTree make_tree(const std::map<std::string, double>& shares,
   for (const auto& [path, share] : shares) policy.set_share(path, share);
   UsageTree usage;
   for (const auto& [path, amount] : usage_amounts) usage.add(path, amount);
-  return FairshareAlgorithm(FairshareConfig{k, kDefaultResolution}).compute(policy, usage);
+  return FairshareEngine::compute_once(FairshareConfig{k, kDefaultResolution}, policy,
+                                       usage);
 }
 
 TEST(ProjectionNames, ToString) {
@@ -74,7 +76,7 @@ TEST(BitwiseProjection, FiniteDepthTruncatesToOneQuantum) {
   policy.set_share("/a/b/c2", 1.0);
   UsageTree usage;
   usage.add("/a/b/c1", 100.0);
-  const FairshareTree tree = FairshareAlgorithm().compute(policy, usage);
+  const FairshareTree tree = FairshareEngine::compute_once({}, policy, usage);
   const auto values = project(tree, {ProjectionKind::kBitwiseVector, 26});
   const double quantum = 1.0 / (std::exp2(26.0 * 2) - 1.0);
   EXPECT_NE(values.at("/a/b/c1"), values.at("/a/b/c2"));
@@ -201,7 +203,7 @@ TEST(PercentalProjection, MultiplicativeDownPaths) {
   policy.set_share("/q/w", 1.0);
   UsageTree usage;
   usage.add("/q/w", 100.0);
-  const FairshareTree tree = FairshareAlgorithm().compute(policy, usage);
+  const FairshareTree tree = FairshareEngine::compute_once({}, policy, usage);
   // /p/u: target 0.2 * 0.25 = 0.05, usage 0 -> (0.05 + 1)/2 = 0.525.
   EXPECT_NEAR(percental_value(tree, "/p/u"), 0.525, 1e-12);
   EXPECT_EQ(percental_value(tree, "/missing"), 0.5);

@@ -210,7 +210,8 @@ void run_differential(std::uint64_t seed, int reader_threads) {
       reference_root.usage_share = usage.empty() ? 0.0 : 1.0;
       reference_root.distance = 0.0;
 
-      const FairshareTree batch = algorithm.compute(stream.policy, usage);
+      const FairshareTree batch =
+          FairshareEngine::compute_once(stream.config, stream.policy, usage);
       bool ok = true;
       expect_nodes_equal(reference_root, batch.root(), "[batch]", ok);
 

@@ -164,6 +164,45 @@ FINGERPRINT_HEX = set("0123456789abcdef")
 # Per-metric summary fields tools/scenario_run emits for every variant.
 SUMMARY_FIELDS = ("count", "mean", "stddev", "ci95_half", "min", "max")
 
+# Numeric columns of a backend-comparison row (the head-to-head table
+# scenarios with a variants list emit; see scenarios/backend_faceoff.json).
+COMPARISON_COLUMNS = ("fairness_distance", "starved_jobs", "throughput_jobs_per_h",
+                      "max_share_error", "delta_latency_ms")
+
+
+def _validate_comparison(where: str, entry: dict, errors: list[str]) -> None:
+    """Check an optional per-scenario 'comparison' array (backend face-off).
+
+    Each row names a variant (which must exist in the scenario's variants
+    object) and its resolved fairness backend, and carries one number per
+    face-off column. Scenarios without the key validate unchanged.
+    """
+    comparison = entry.get("comparison")
+    if comparison is None:
+        return
+    if not isinstance(comparison, list) or not comparison:
+        errors.append(f"{where}: 'comparison' must be a non-empty array")
+        return
+    variants = entry.get("variants")
+    known_variants = set(variants) if isinstance(variants, dict) else None
+    for j, row in enumerate(comparison):
+        if not isinstance(row, dict):
+            errors.append(f"{where}: comparison[{j}] must be an object")
+            continue
+        for field in ("variant", "backend"):
+            if not isinstance(row.get(field), str) or not row[field]:
+                errors.append(
+                    f"{where}: comparison[{j}] needs a non-empty string {field!r}")
+        bad = [c for c in COMPARISON_COLUMNS
+               if not isinstance(row.get(c), (int, float)) or isinstance(row.get(c), bool)]
+        if bad:
+            errors.append(
+                f"{where}: comparison[{j}] missing numeric {'/'.join(bad)}")
+        if (known_variants is not None and isinstance(row.get("variant"), str)
+                and row["variant"] not in known_variants):
+            errors.append(
+                f"{where}: comparison[{j}] names unknown variant {row['variant']!r}")
+
 
 def validate_scenario_report(document) -> list[str]:
     """Schema check for the reports tools/scenario_run emits.
@@ -250,6 +289,8 @@ def validate_scenario_report(document) -> list[str]:
                             f"{where}: variants[{vname!r}].metrics[{metric!r}] "
                             f"missing numeric {'/'.join(missing)}")
                         break
+
+        _validate_comparison(where, entry, errors)
     return errors
 
 
@@ -437,6 +478,32 @@ def self_test() -> int:
         ("metric summaries need all numeric fields",
          scenario_report(variants={"v": {"metrics": {"m": {"mean": 1.0}}}}), False),
         ("zero tasks is rejected", scenario_report(tasks=0, fingerprints=[]), False),
+    ]
+
+    # Backend-comparison block cases (scenarios/backend_faceoff.json emits
+    # one row per variant; scenarios without the key stay valid — covered
+    # by "well-formed scenario report validates" above).
+    def comparison_row(**overrides):
+        row = {"variant": "fig10_baseline", "backend": "aequus",
+               "fairness_distance": 0.074, "starved_jobs": 11.0,
+               "throughput_jobs_per_h": 36.0, "max_share_error": 0.052,
+               "delta_latency_ms": 0.8}
+        row.update(overrides)
+        for key in [k for k, v in row.items() if v is None]:
+            del row[key]
+        return row
+
+    scenario_cases += [
+        ("comparison block with well-formed rows validates",
+         scenario_report(comparison=[comparison_row()]), True),
+        ("comparison row without a backend is rejected",
+         scenario_report(comparison=[comparison_row(backend=None)]), False),
+        ("comparison row with a non-numeric column is rejected",
+         scenario_report(comparison=[comparison_row(starved_jobs="11")]), False),
+        ("comparison row naming an unknown variant is rejected",
+         scenario_report(comparison=[comparison_row(variant="lottery")]), False),
+        ("empty comparison array is rejected",
+         scenario_report(comparison=[]), False),
     ]
     for name, document, expected_ok in scenario_cases:
         errors = validate_scenario_report(document)

@@ -16,6 +16,9 @@
 //   --max-jobs N         cap the post-scale job count
 //   --time-scale F       extra time compression folded into variant scales
 //   --threads N          sweep threads for the primary run
+//   --backend NAME       force the fairness backend (aequus | balanced |
+//                        credit) on every loaded spec, overriding its
+//                        fairness: key and any variant overlay
 //   --reps N             override every spec's replication count
 //   --no-determinism     skip the dual-threaded determinism gate
 //   --json FILE          write the report document to FILE ("-" = stdout)
@@ -37,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "scenario/catalog.hpp"
 #include "scenario/runner.hpp"
 
@@ -49,6 +53,7 @@ struct CliArgs {
   std::string catalog;
   std::string json_path;
   std::string metrics_path;
+  std::string backend;  ///< non-empty: force this fairness backend
   scenario::CompileOptions compile;
   scenario::RunOptions run;
   bool list = false;
@@ -57,8 +62,9 @@ struct CliArgs {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--catalog DIR] [--jobs-scale F] [--max-jobs N]\n"
-               "          [--time-scale F] [--threads N] [--reps N] [--no-determinism]\n"
-               "          [--json FILE] [--record DIR] [--metrics FILE] [spec.json ...]\n",
+               "          [--time-scale F] [--threads N] [--reps N] [--backend NAME]\n"
+               "          [--no-determinism] [--json FILE] [--record DIR]\n"
+               "          [--metrics FILE] [spec.json ...]\n",
                argv0);
   return 2;
 }
@@ -78,6 +84,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.run.threads = static_cast<int>(std::strtol(value(), nullptr, 10));
     } else if (arg == "--reps") {
       args.compile.replications = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--backend") {
+      args.backend = value();
     } else if (arg == "--no-determinism") {
       args.run.determinism = false;
     } else if (arg == "--json") {
@@ -115,6 +123,27 @@ json::Value metrics_dump_json(const std::vector<scenario::ScenarioReport>& repor
   out["source"] = "scenario_run";
   out["snapshots"] = json::Value(std::move(snapshots));
   return json::Value(std::move(out));
+}
+
+/// Drop a fairshare.backend overlay from an experiment-config object so a
+/// --backend override is not shadowed by the spec's own overlays (the
+/// spec-level fairness key sits *below* them in the merge order).
+void strip_backend_overlay(json::Value& experiment) {
+  if (!experiment.is_object()) return;
+  json::Object& object = experiment.as_object();
+  const auto fairshare = object.find("fairshare");
+  if (fairshare == object.end() || !fairshare->second.is_object()) return;
+  fairshare->second.as_object().erase("backend");
+}
+
+/// Apply --backend NAME: retarget the spec's fairness selection and strip
+/// competing overlays, so every variant runs the forced backend.
+void force_backend(scenario::ScenarioSpec& spec, const std::string& backend) {
+  spec.fairness.name = backend;
+  strip_backend_overlay(spec.experiment);
+  for (scenario::VariantSpec& variant : spec.variants) {
+    strip_backend_overlay(variant.experiment);
+  }
 }
 
 /// A positional spec is a file path, or a bare catalog name resolved to
@@ -161,11 +190,17 @@ int main(int argc, char** argv) {
 
   scenario::apply_env_scale(args.compile);
 
+  if (!args.backend.empty() && !core::fairness_backend_known(args.backend)) {
+    std::fprintf(stderr, "--backend: unknown fairness backend '%s'\n", args.backend.c_str());
+    return 2;
+  }
+
   std::vector<scenario::ScenarioReport> reports;
   double wall = 0.0;
   for (const std::string& path : paths) {
     try {
-      const scenario::ScenarioSpec spec = scenario::load_spec_file(path);
+      scenario::ScenarioSpec spec = scenario::load_spec_file(path);
+      if (!args.backend.empty()) force_backend(spec, args.backend);
       const scenario::CompiledScenario compiled = scenario::compile(spec, args.compile);
       std::printf("== %s: %zu jobs x %zu task(s)...\n", compiled.name.c_str(), compiled.jobs,
                   compiled.sweep.task_count());
